@@ -1,0 +1,84 @@
+/**
+ * Ablation (DESIGN.md §6): push vs. pull vs. hybrid traversal for BFS on
+ * a social and a road graph, on the CPU GraphVM, plus a sweep of the
+ * hybrid threshold (the Fig 7 condition).
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "sched/apply.h"
+#include "vm/cpu/cpu_vm.h"
+
+using namespace ugc;
+
+namespace {
+
+Cycles
+bfsWith(const RunInputs &inputs,
+        const std::function<void(Program &)> &schedule)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    schedule(*program);
+    CpuVM vm;
+    return vm.run(*program, inputs).cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &bfs = algorithms::byName("bfs");
+    bench::printHeading(
+        "Ablation: BFS traversal direction (CPU GraphVM)");
+    std::printf("%-6s%12s%12s%12s\n", "", "push", "pull", "hybrid");
+    for (const char *name : {"LJ", "RN"}) {
+        const Graph &graph =
+            bench::getGraph(name, datasets::Scale::Small, false);
+        const RunInputs inputs = bench::makeInputs(graph, bfs, 1);
+
+        const Cycles push = bfsWith(inputs, [](Program &p) {
+            SimpleCPUSchedule s;
+            s.configDirection(Direction::Push);
+            applyCPUSchedule(p, "s1", s);
+        });
+        const Cycles pull = bfsWith(inputs, [](Program &p) {
+            SimpleCPUSchedule s;
+            s.configDirection(Direction::Pull);
+            applyCPUSchedule(p, "s1", s);
+        });
+        const Cycles hybrid = bfsWith(inputs, [](Program &p) {
+            SimpleCPUSchedule push_s, pull_s;
+            push_s.configDirection(Direction::Push);
+            pull_s.configDirection(Direction::Pull);
+            applyCPUSchedule(p, "s1",
+                             CompositeCPUSchedule(
+                                 HybridCriteria::InputSetSize, 0.15,
+                                 push_s, pull_s));
+        });
+        std::printf("%-6s%11.2fx%11.2fx%11.2fx   (speedup vs push)\n",
+                    name, 1.0,
+                    static_cast<double>(push) / pull,
+                    static_cast<double>(push) / hybrid);
+    }
+
+    bench::printHeading("Ablation: hybrid threshold sweep (LJ, BFS)");
+    const Graph &graph = bench::getGraph("LJ", datasets::Scale::Small,
+                                         false);
+    const RunInputs inputs = bench::makeInputs(graph, bfs, 1);
+    for (double threshold : {0.01, 0.05, 0.15, 0.5, 0.9}) {
+        const Cycles cycles = bfsWith(inputs, [&](Program &p) {
+            SimpleCPUSchedule push_s, pull_s;
+            push_s.configDirection(Direction::Push);
+            pull_s.configDirection(Direction::Pull);
+            applyCPUSchedule(p, "s1",
+                             CompositeCPUSchedule(
+                                 HybridCriteria::InputSetSize, threshold,
+                                 push_s, pull_s));
+        });
+        std::printf("threshold %.2f: %llu cycles\n", threshold,
+                    static_cast<unsigned long long>(cycles));
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * Ablation (DESIGN.md §6): frontier representation — SPARSE vs BITMAP vs
+ * BOOLMAP for the pull input frontier, and fused vs unfused frontier
+ * creation on the GPU.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "sched/apply.h"
+#include "vm/gpu/gpu_vm.h"
+
+using namespace ugc;
+
+int
+main()
+{
+    const auto &bfs = algorithms::byName("bfs");
+    const Graph &graph =
+        bench::getGraph("LJ", datasets::Scale::Small, false);
+    const RunInputs inputs = bench::makeInputs(graph, bfs, 1);
+
+    bench::printHeading(
+        "Ablation: pull input-frontier representation (GPU, LJ, BFS)");
+    for (auto format :
+         {VertexSetFormat::Bitmap, VertexSetFormat::Boolmap}) {
+        ProgramPtr program = algorithms::buildProgram(bfs);
+        SimpleGPUSchedule sched;
+        sched.configDirection(Direction::Pull, format);
+        applyGPUSchedule(*program, "s1", sched);
+        GpuVM vm;
+        std::printf("pull_input_frontier=%-8s %14llu cycles\n",
+                    formatName(format).c_str(),
+                    static_cast<unsigned long long>(
+                        vm.run(*program, inputs).cycles));
+    }
+
+    bench::printHeading(
+        "Ablation: frontier creation (GPU, LJ, BFS, push)");
+    struct Entry
+    {
+        const char *label;
+        FrontierCreation creation;
+    };
+    for (const Entry &entry :
+         {Entry{"FUSED", FrontierCreation::Fused},
+          Entry{"UNFUSED_BITMAP", FrontierCreation::UnfusedBitmap},
+          Entry{"UNFUSED_BOOLMAP", FrontierCreation::UnfusedBoolmap}}) {
+        ProgramPtr program = algorithms::buildProgram(bfs);
+        SimpleGPUSchedule sched;
+        sched.configFrontierCreation(entry.creation);
+        applyGPUSchedule(*program, "s1", sched);
+        GpuVM vm;
+        std::printf("%-16s %14llu cycles\n", entry.label,
+                    static_cast<unsigned long long>(
+                        vm.run(*program, inputs).cycles));
+    }
+    return 0;
+}

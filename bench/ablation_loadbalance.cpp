@@ -1,0 +1,51 @@
+/**
+ * Ablation (DESIGN.md §6): the GPU load-balancing strategy zoo on CC over
+ * a skewed social graph and a bounded-degree road graph.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "sched/apply.h"
+#include "vm/gpu/gpu_vm.h"
+
+using namespace ugc;
+
+int
+main()
+{
+    const auto &cc = algorithms::byName("cc");
+    const GpuLoadBalance strategies[] = {
+        GpuLoadBalance::VertexBased, GpuLoadBalance::Twc,
+        GpuLoadBalance::Cm,          GpuLoadBalance::Wm,
+        GpuLoadBalance::Etwc,        GpuLoadBalance::EdgeOnly,
+    };
+
+    bench::printHeading("Ablation: GPU load balancing on CC");
+    std::printf("%-6s", "");
+    for (auto lb : strategies)
+        std::printf("%14s", gpuLoadBalanceName(lb));
+    std::printf("\n");
+
+    for (const char *name : {"OK", "RN"}) {
+        const Graph &graph =
+            bench::getGraph(name, datasets::Scale::Small, false);
+        const RunInputs inputs = bench::makeInputs(graph, cc, 1);
+        std::printf("%-6s", name);
+        Cycles base = 0;
+        for (auto lb : strategies) {
+            ProgramPtr program = algorithms::buildProgram(cc);
+            SimpleGPUSchedule sched;
+            sched.configLoadBalance(lb);
+            applyGPUSchedule(*program, "s1", sched);
+            GpuVM vm;
+            const Cycles cycles = vm.run(*program, inputs).cycles;
+            if (base == 0)
+                base = cycles;
+            std::printf("%13.2fx",
+                        static_cast<double>(base) /
+                            static_cast<double>(cycles));
+        }
+        std::printf("   (speedup vs VERTEX_BASED)\n");
+    }
+    return 0;
+}

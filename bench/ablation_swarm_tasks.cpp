@@ -1,0 +1,71 @@
+/**
+ * Ablation (DESIGN.md §6): Swarm task granularity x spatial hints x
+ * frontier realization, on BFS over a road graph.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "sched/apply.h"
+#include "vm/swarm/swarm_vm.h"
+
+using namespace ugc;
+
+namespace {
+
+RunResult
+bfsWith(const RunInputs &inputs, SwarmFrontiers f,
+        TaskGranularity g, bool hints)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    SimpleSwarmSchedule sched;
+    sched.configFrontiers(f).taskGranularity(g).configSpatialHints(hints);
+    applySwarmSchedule(*program, "s1", sched);
+    SwarmVM vm;
+    return vm.run(*program, inputs);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &bfs = algorithms::byName("bfs");
+    const Graph &graph =
+        bench::getGraph("RC", datasets::Scale::Small, false);
+    const RunInputs inputs = bench::makeInputs(graph, bfs, 1);
+
+    bench::printHeading(
+        "Ablation: Swarm task structure on BFS (RC road graph)");
+    std::printf("%-44s%14s%10s\n", "configuration", "cycles", "aborts");
+
+    struct Config
+    {
+        const char *label;
+        SwarmFrontiers frontiers;
+        TaskGranularity granularity;
+        bool hints;
+    };
+    const Config configs[] = {
+        {"queues + coarse (baseline)", SwarmFrontiers::Queues,
+         TaskGranularity::Coarse, false},
+        {"queues + fine", SwarmFrontiers::Queues,
+         TaskGranularity::FineGrained, false},
+        {"vertexset-to-tasks + coarse", SwarmFrontiers::VertexsetToTasks,
+         TaskGranularity::Coarse, false},
+        {"vertexset-to-tasks + fine", SwarmFrontiers::VertexsetToTasks,
+         TaskGranularity::FineGrained, false},
+        {"vertexset-to-tasks + fine + hints",
+         SwarmFrontiers::VertexsetToTasks, TaskGranularity::FineGrained,
+         true},
+    };
+    for (const Config &config : configs) {
+        const RunResult result =
+            bfsWith(inputs, config.frontiers, config.granularity,
+                    config.hints);
+        std::printf("%-44s%14llu%10.0f\n", config.label,
+                    static_cast<unsigned long long>(result.cycles),
+                    result.counters.get("swarm.aborts"));
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+#include "common.h"
+
+#include <cstdio>
+
+#include "support/stats.h"
+#include "support/string_util.h"
+
+namespace ugc::bench {
+
+const Graph &
+getGraph(const std::string &name, datasets::Scale scale, bool weighted)
+{
+    static std::map<std::string, Graph> cache;
+    const std::string key =
+        name + "/" + std::to_string(static_cast<int>(scale)) +
+        (weighted ? "/w" : "/u");
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, datasets::load(name, scale, weighted)).first;
+    return it->second;
+}
+
+VertexId
+pickStartVertex(const Graph &graph)
+{
+    // First vertex whose degree is at least the average: deterministic
+    // and never an isolated vertex.
+    const EdgeId avg = graph.numEdges() / std::max(graph.numVertices(), 1);
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        if (graph.outDegree(v) >= std::max<EdgeId>(avg, 1))
+            return v;
+    return 0;
+}
+
+RunInputs
+makeInputs(const Graph &graph, const algorithms::Algorithm &algorithm,
+           int pr_iterations, datasets::GraphKind kind)
+{
+    RunInputs inputs;
+    inputs.graph = &graph;
+    const VertexId start =
+        algorithm.needsStartVertex ? pickStartVertex(graph) : 0;
+    int64_t arg3 = 1;
+    if (algorithm.name == "pr")
+        arg3 = pr_iterations;
+    else if (algorithm.name == "sssp")
+        arg3 = kind == datasets::GraphKind::Road ? 8192 : 2;
+    inputs.args = {0, 0, start, arg3};
+    return inputs;
+}
+
+Cycles
+baselineCycles(GraphVM &vm, const std::string &algorithm,
+               const Graph &graph, int pr_iterations,
+               datasets::GraphKind kind)
+{
+    const auto &algo = algorithms::byName(algorithm);
+    ProgramPtr program = algorithms::buildProgram(algo);
+    return vm.run(*program, makeInputs(graph, algo, pr_iterations, kind))
+        .cycles;
+}
+
+RunResult
+tunedRun(GraphVM &vm, const std::string &algorithm, const Graph &graph,
+         datasets::GraphKind kind, int pr_iterations)
+{
+    const auto &algo = algorithms::byName(algorithm);
+    ProgramPtr program = algorithms::buildProgram(algo);
+    algorithms::applyTunedSchedule(*program, algorithm, vm.name(), kind);
+    return vm.run(*program, makeInputs(graph, algo, pr_iterations, kind));
+}
+
+Cycles
+tunedCycles(GraphVM &vm, const std::string &algorithm, const Graph &graph,
+            datasets::GraphKind kind, int pr_iterations)
+{
+    return tunedRun(vm, algorithm, graph, kind, pr_iterations).cycles;
+}
+
+void
+printHeading(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void
+printSpeedupTable(const std::string &title,
+                  const std::vector<std::string> &row_names,
+                  const std::vector<std::string> &col_names,
+                  const std::vector<std::vector<double>> &speedups)
+{
+    printHeading(title);
+    std::printf("%-6s", "");
+    for (const auto &col : col_names)
+        std::printf("%10s", col.c_str());
+    std::printf("\n");
+    std::vector<double> all;
+    for (size_t r = 0; r < row_names.size(); ++r) {
+        std::printf("%-6s", row_names[r].c_str());
+        for (double value : speedups[r]) {
+            std::printf("%9.2fx", value);
+            if (value > 0)
+                all.push_back(value);
+        }
+        std::printf("\n");
+    }
+    double max_speedup = 0;
+    for (double v : all)
+        max_speedup = std::max(max_speedup, v);
+    std::printf("geomean %.2fx   max %.2fx\n", geoMean(all), max_speedup);
+}
+
+} // namespace ugc::bench

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses
+ * (DESIGN.md §4). Each bench binary prints the same rows/series the paper
+ * reports; absolute cycle counts come from the machine models, so the
+ * *shape* (who wins, by roughly what factor) is the comparison target.
+ */
+#ifndef UGC_BENCH_COMMON_H
+#define UGC_BENCH_COMMON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "graph/datasets.h"
+#include "vm/factory.h"
+
+namespace ugc::bench {
+
+/** Cached dataset instantiation (benches reuse graphs across cells). */
+const Graph &getGraph(const std::string &name, datasets::Scale scale,
+                      bool weighted);
+
+/** Deterministic start vertex: a well-connected vertex of the graph. */
+VertexId pickStartVertex(const Graph &graph);
+
+/**
+ * argv bindings for one run. argv[3] carries the PR iteration count or
+ * the application-level SSSP Δ (8192 on road weights, 2 on unit-ish
+ * social weights) — shared by baseline and tuned runs, since Δ is an
+ * algorithm parameter, not a schedule choice.
+ */
+RunInputs makeInputs(const Graph &graph,
+                     const algorithms::Algorithm &algorithm,
+                     int pr_iterations,
+                     datasets::GraphKind kind = datasets::GraphKind::Social);
+
+/** Cycles of a run with the baseline (default) schedule. */
+Cycles baselineCycles(GraphVM &vm, const std::string &algorithm,
+                      const Graph &graph, int pr_iterations,
+                      datasets::GraphKind kind);
+
+/** Cycles of a run with the tuned schedule for (target, graph kind). */
+Cycles tunedCycles(GraphVM &vm, const std::string &algorithm,
+                   const Graph &graph, datasets::GraphKind kind,
+                   int pr_iterations);
+
+/** Full run with the tuned schedule (when counters/trace are needed). */
+RunResult tunedRun(GraphVM &vm, const std::string &algorithm,
+                   const Graph &graph, datasets::GraphKind kind,
+                   int pr_iterations);
+
+/** Print a heatmap-style table: rows = graphs, columns = algorithms. */
+void printSpeedupTable(const std::string &title,
+                       const std::vector<std::string> &row_names,
+                       const std::vector<std::string> &col_names,
+                       const std::vector<std::vector<double>> &speedups);
+
+/** Single separator/heading helpers. */
+void printHeading(const std::string &title);
+
+} // namespace ugc::bench
+
+#endif // UGC_BENCH_COMMON_H

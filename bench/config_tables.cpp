@@ -1,0 +1,58 @@
+/**
+ * Prints the configuration tables of the paper as encoded in this
+ * implementation: Table I (architecture summary), Table VI (Swarm),
+ * Table VII (HammerBlade), Table VIII (dataset registry).
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "vm/cpu/cpu_model.h"
+#include "vm/gpu/gpu_model.h"
+#include "vm/hb/hb_model.h"
+#include "vm/swarm/swarm_model.h"
+
+using namespace ugc;
+
+int
+main()
+{
+    bench::printHeading("Table I: modeled parallel architectures");
+    const CpuParams cpu;
+    const GpuParams gpu;
+    const SwarmParams swarm;
+    const HBParams hb;
+    std::printf("CPU:   %u cores / %u threads, %llu MB LLC, fork-join "
+                "rounds\n",
+                cpu.cores, cpu.threads,
+                static_cast<unsigned long long>(cpu.llcBytes >> 20));
+    std::printf("GPU:   %u SMs x %u threads (SIMT), %.0f B/cycle HBM2, "
+                "%llu-cycle kernel launch\n",
+                gpu.sms, gpu.threadsPerSm, gpu.bytesPerCycle,
+                static_cast<unsigned long long>(gpu.kernelLaunch));
+    std::printf("Swarm: %u cores in %u tiles, %u task-queue + %u "
+                "commit-queue entries/core, ordered speculative tasks\n",
+                swarm.cores, swarm.tiles(), swarm.taskQueuePerCore,
+                swarm.commitQueuePerCore);
+    std::printf("HB:    %u cores, %llu KB LLC in %u banks, %.0f B/cycle "
+                "HBM, 4 KB scratchpads\n",
+                hb.cores,
+                static_cast<unsigned long long>(hb.llcBytes >> 10),
+                hb.llcBanks, hb.hbmBytesPerCycle);
+
+    bench::printHeading("Table VIII: dataset registry (Small scale)");
+    std::printf("%-6s%-10s%14s%14s  %s\n", "Name", "Kind", "Vertices",
+                "Edges", "Description");
+    for (const auto &info : datasets::all()) {
+        const Graph &graph =
+            bench::getGraph(info.name, datasets::Scale::Small, false);
+        const char *kind =
+            info.kind == datasets::GraphKind::Road
+                ? "road"
+                : info.kind == datasets::GraphKind::Web ? "web" : "social";
+        std::printf("%-6s%-10s%14d%14lld  %s\n", info.name.c_str(), kind,
+                    graph.numVertices(),
+                    static_cast<long long>(graph.numEdges()),
+                    info.description.c_str());
+    }
+    return 0;
+}

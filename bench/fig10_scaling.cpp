@@ -1,0 +1,89 @@
+/**
+ * Regenerates Fig 10: strong scaling of optimized BFS —
+ *  (a) HammerBlade Manycore at 32/64/128/256 cores (LLC held constant),
+ *  (b) Swarm from 1 to 64 cores (tiles add queue + cache capacity).
+ * Reported as speedup over the smallest configuration, per graph.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "vm/hb/hb_vm.h"
+#include "vm/swarm/swarm_vm.h"
+
+using namespace ugc;
+
+namespace {
+
+const std::vector<std::string> kGraphs = {"RN", "RC", "PK", "HW", "LJ"};
+
+Cycles
+hbBfs(unsigned cores, const RunInputs &inputs, datasets::GraphKind kind)
+{
+    HBParams params;
+    params.cores = cores;
+    HBVM vm(params);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    algorithms::applyTunedSchedule(*program, "bfs", "hb", kind);
+    return vm.run(*program, inputs).cycles;
+}
+
+Cycles
+swarmBfs(unsigned cores, const RunInputs &inputs,
+         datasets::GraphKind kind)
+{
+    SwarmParams params;
+    params.cores = cores;
+    params.coresPerTile = cores < 4 ? cores : 4;
+    SwarmVM vm(params);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    algorithms::applyTunedSchedule(*program, "bfs", "swarm", kind);
+    return vm.run(*program, inputs).cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &bfs = algorithms::byName("bfs");
+
+    bench::printHeading(
+        "Fig 10a: BFS scaling on HammerBlade (speedup vs 32 cores)");
+    std::printf("%-6s%10s%10s%10s%10s\n", "", "32", "64", "128", "256");
+    for (const auto &name : kGraphs) {
+        const auto kind = datasets::info(name).kind;
+        // Medium scale: enough per-round work for 256 cores.
+        const Graph &graph =
+            bench::getGraph(name, datasets::Scale::Medium, false);
+        const RunInputs inputs = bench::makeInputs(graph, bfs, 1);
+        const Cycles base = hbBfs(32, inputs, kind);
+        std::printf("%-6s", name.c_str());
+        for (unsigned cores : {32u, 64u, 128u, 256u}) {
+            const Cycles cycles = hbBfs(cores, inputs, kind);
+            std::printf("%9.2fx", static_cast<double>(base) /
+                                      static_cast<double>(cycles));
+        }
+        std::printf("\n");
+    }
+
+    bench::printHeading(
+        "Fig 10b: BFS scaling on Swarm (speedup vs 1 core)");
+    std::printf("%-6s%10s%10s%10s%10s\n", "", "1", "4", "16", "64");
+    for (const auto &name : kGraphs) {
+        const auto kind = datasets::info(name).kind;
+        const Graph &graph =
+            bench::getGraph(name, datasets::Scale::Small, false);
+        const RunInputs inputs = bench::makeInputs(graph, bfs, 1);
+        const Cycles base = swarmBfs(1, inputs, kind);
+        std::printf("%-6s", name.c_str());
+        for (unsigned cores : {1u, 4u, 16u, 64u}) {
+            const Cycles cycles = swarmBfs(cores, inputs, kind);
+            std::printf("%9.2fx", static_cast<double>(base) /
+                                      static_cast<double>(cycles));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

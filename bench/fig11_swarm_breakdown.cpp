@@ -1,0 +1,52 @@
+/**
+ * Regenerates Fig 11: how Swarm cores spend time under the optimized
+ * schedules, averaged over the 64 cores — committed work, aborted work,
+ * idle (commit queue full / no tasks), and task-queue spills. The paper's
+ * shape: committed work dominates across all five algorithms.
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "vm/swarm/swarm_vm.h"
+
+using namespace ugc;
+
+int
+main()
+{
+    const std::vector<std::string> algs = {"pr", "bfs", "sssp", "cc", "bc"};
+    const std::vector<std::string> graphs = {"RN", "LJ"};
+
+    bench::printHeading("Fig 11: Swarm core-time breakdown (percent)");
+    std::printf("%-12s%10s%10s%10s%10s%10s\n", "", "commit", "abort",
+                "idle-cq", "idle-task", "spill");
+    for (const auto &graph_name : graphs) {
+        const auto kind = datasets::info(graph_name).kind;
+        for (const auto &alg : algs) {
+            const auto &algorithm = algorithms::byName(alg);
+            const Graph &graph = bench::getGraph(
+                graph_name, datasets::Scale::Small, algorithm.needsWeights);
+            SwarmVM vm;
+            ProgramPtr program = algorithms::buildProgram(algorithm);
+            algorithms::applyTunedSchedule(*program, alg, "swarm", kind);
+            const RunResult result =
+                vm.run(*program,
+                       bench::makeInputs(graph, algorithm, 2, kind));
+
+            const auto &c = result.counters;
+            const double capacity =
+                c.get("swarm.wall_cycles") * c.get("swarm.cores");
+            auto pct = [&](const char *key) {
+                return 100.0 * c.get(key) / capacity;
+            };
+            std::printf("%-4s/%-7s%9.1f%%%9.1f%%%9.1f%%%9.1f%%%9.1f%%\n",
+                        graph_name.c_str(), alg.c_str(),
+                        pct("swarm.committed_cycles"),
+                        pct("swarm.aborted_cycles"),
+                        pct("swarm.idle_commit_queue_cycles"),
+                        pct("swarm.idle_no_task_cycles"),
+                        pct("swarm.spill_cycles"));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared driver for the four Fig 8 heatmaps: speedup of schedule-tuned
+ * code over the GraphVM's default-schedule baseline, per algorithm per
+ * input graph.
+ */
+#ifndef UGC_BENCH_FIG8_COMMON_H
+#define UGC_BENCH_FIG8_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "sched/apply.h"
+
+namespace ugc::bench {
+
+/**
+ * Run one Fig 8 row-block.
+ * @param target        GraphVM name
+ * @param scale         dataset scale (cheaper for cycle-level simulators)
+ * @param graph_names   datasets to run (HB uses its 6-graph subset)
+ * @param pr_iterations PageRank iterations (the paper reduces them for
+ *                      expensive simulators, §IV-D)
+ */
+inline void
+runFig8(const std::string &target, datasets::Scale scale,
+        const std::vector<std::string> &graph_names, int pr_iterations)
+{
+    const std::vector<std::string> algs = {"pr", "bfs", "sssp", "cc", "bc"};
+    std::vector<std::vector<double>> speedups;
+
+    auto vm = createGraphVM(target, /*scale_memory_to_datasets=*/true);
+    for (const std::string &graph_name : graph_names) {
+        std::vector<double> row;
+        const datasets::GraphKind kind = datasets::info(graph_name).kind;
+        for (const std::string &alg : algs) {
+            const auto &algorithm = algorithms::byName(alg);
+            const Graph &graph =
+                getGraph(graph_name, scale, algorithm.needsWeights);
+
+            Cycles base;
+            if (target == "hb" &&
+                (alg == "bfs" || alg == "bc" || alg == "sssp")) {
+                // §IV-D: the paper's HammerBlade baselines already use
+                // hybrid traversal (to bound RTL simulation time); the
+                // speedups isolate the partitioning optimizations.
+                ProgramPtr program = algorithms::buildProgram(algorithm);
+                SimpleHBSchedule baseline;
+                baseline.configLoadBalance(HBLoadBalance::VertexBased)
+                    .configDirection(HBDirection::Hybrid)
+                    .configDelta(kind == datasets::GraphKind::Road ? 8192
+                                                                   : 2);
+                applyHBSchedule(*program, "s1", baseline);
+                if (alg == "bc")
+                    applyHBSchedule(*program, "s3", baseline);
+                base = vm->run(*program,
+                               makeInputs(graph, algorithm, pr_iterations,
+                                          kind))
+                           .cycles;
+            } else {
+                base = baselineCycles(*vm, alg, graph, pr_iterations,
+                                      kind);
+            }
+            const Cycles tuned =
+                tunedCycles(*vm, alg, graph, kind, pr_iterations);
+            row.push_back(static_cast<double>(base) /
+                          static_cast<double>(tuned));
+        }
+        speedups.push_back(std::move(row));
+    }
+    printSpeedupTable(
+        "Fig 8 (" + target +
+            "): tuned-schedule speedup over default-schedule baseline",
+        graph_names, algs, speedups);
+}
+
+} // namespace ugc::bench
+
+#endif // UGC_BENCH_FIG8_COMMON_H

@@ -1,0 +1,13 @@
+/** Regenerates the GPU row-block of Fig 8 (see DESIGN.md §4). */
+#include "fig8_common.h"
+
+int
+main()
+{
+    std::vector<std::string> graphs;
+    for (const auto &info : ugc::datasets::all())
+        graphs.push_back(info.name);
+    ugc::bench::runFig8("gpu", ugc::datasets::Scale::Small, graphs,
+                        /*pr_iterations=*/10);
+    return 0;
+}

@@ -1,0 +1,15 @@
+/**
+ * Regenerates the HammerBlade row-block of Fig 8 (see DESIGN.md §4).
+ * Like the paper (§IV-D), only 6 of the 10 graphs run on HammerBlade and
+ * PR is limited to few iterations to bound simulation time.
+ */
+#include "fig8_common.h"
+
+int
+main()
+{
+    ugc::bench::runFig8("hb", ugc::datasets::Scale::Small,
+                        ugc::datasets::hammerBladeSubset(),
+                        /*pr_iterations=*/2);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * Regenerates the Swarm row-block of Fig 8 (see DESIGN.md §4).
+ * The discrete-event task simulator is the most expensive model, so the
+ * Swarm block runs fewer PageRank iterations, like the paper bounds
+ * simulation time for its cycle-level platforms.
+ */
+#include "fig8_common.h"
+
+int
+main()
+{
+    std::vector<std::string> graphs;
+    for (const auto &info : ugc::datasets::all())
+        graphs.push_back(info.name);
+    ugc::bench::runFig8("swarm", ugc::datasets::Scale::Small, graphs,
+                        /*pr_iterations=*/2);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * Regenerates Fig 9: speedup of the GPU GraphVM's tuned code over the
+ * next-best of Gunrock, GSwitch, and SEP-Graph (strategy models on the
+ * same GPU machine model; DESIGN.md §2). The paper's shape to reproduce:
+ * UGC at or above 1x nearly everywhere, but consistently *below* 1x
+ * against SEP-Graph on SSSP over road graphs (asynchronous execution UGC
+ * does not implement, §IV-C).
+ */
+#include <cstdio>
+
+#include "common.h"
+#include "comparators/gpu_frameworks.h"
+#include "vm/gpu/gpu_vm.h"
+
+using namespace ugc;
+
+int
+main()
+{
+    const std::vector<std::string> algs = {"pr", "bfs", "sssp", "cc", "bc"};
+    bench::printHeading(
+        "Fig 9: GPU GraphVM speedup over the best GPU framework");
+    std::printf("%-6s", "");
+    for (const auto &alg : algs)
+        std::printf("%16s", alg.c_str());
+    std::printf("\n");
+
+    for (const auto &info : datasets::all()) {
+        std::printf("%-6s", info.name.c_str());
+        for (const auto &alg : algs) {
+            const auto &algorithm = algorithms::byName(alg);
+            const Graph &graph = bench::getGraph(
+                info.name, datasets::Scale::Small, algorithm.needsWeights);
+            const RunInputs inputs =
+                bench::makeInputs(graph, algorithm, 10, info.kind);
+
+            auto vm = createGraphVM("gpu", /*scale_memory=*/true);
+            ProgramPtr program = algorithms::buildProgram(algorithm);
+            algorithms::applyTunedSchedule(*program, alg, "gpu", info.kind);
+            const Cycles ugc_cycles = vm->run(*program, inputs).cycles;
+
+            std::string winner;
+            const Cycles best = comparators::bestFrameworkCycles(
+                alg, graph, inputs, info.kind, &winner);
+            std::printf("%6.2fx vs %-4.4s",
+                        static_cast<double>(best) /
+                            static_cast<double>(ugc_cycles),
+                        winner.c_str());
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(values < 1x mean the framework wins; the paper's "
+                "SEP-Graph SSSP road-graph win should reproduce)\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * Micro-benchmarks (google-benchmark) of the runtime layers the GraphVMs
+ * are built on: vertex-set operations across representations, UDF
+ * bytecode dispatch, and priority-queue bucket operations.
+ */
+#include <benchmark/benchmark.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "runtime/prio_queue.h"
+#include "runtime/vertex_set.h"
+#include "udf/compiler.h"
+#include "udf/interp.h"
+
+using namespace ugc;
+
+namespace {
+
+void
+BM_VertexSetAdd(benchmark::State &state)
+{
+    const auto format = static_cast<VertexSetFormat>(state.range(0));
+    constexpr VertexId kUniverse = 1 << 16;
+    for (auto _ : state) {
+        VertexSet set(kUniverse, format);
+        for (VertexId v = 0; v < kUniverse; v += 3)
+            set.add(v);
+        benchmark::DoNotOptimize(set.size());
+    }
+}
+BENCHMARK(BM_VertexSetAdd)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_VertexSetConvert(benchmark::State &state)
+{
+    constexpr VertexId kUniverse = 1 << 16;
+    VertexSet set(kUniverse, VertexSetFormat::Sparse);
+    for (VertexId v = 0; v < kUniverse; v += 5)
+        set.add(v);
+    for (auto _ : state) {
+        VertexSet copy = set;
+        copy.convertTo(VertexSetFormat::Bitmap);
+        benchmark::DoNotOptimize(copy.size());
+    }
+}
+BENCHMARK(BM_VertexSetConvert);
+
+void
+BM_UdfDispatch(benchmark::State &state)
+{
+    // The lowered BFS updateEdge: CAS + branch + enqueue.
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    Program lowered = *program; // unlowered UDF is fine for dispatch cost
+    const SymbolTables symbols = SymbolTables::fromProgram(lowered);
+    const Chunk chunk =
+        compileUdf(*lowered.findFunction("updateEdge"), symbols);
+
+    AddrSpace space;
+    VertexData parent("parent", ElemType::Int32, 1 << 16, space);
+    parent.fillInt(-1);
+    std::vector<Reg> globals;
+    UdfRuntime runtime;
+    runtime.props = {&parent};
+    runtime.globals = &globals;
+    runtime.enqueue = [](VertexId) {};
+    runtime.updatePriorityMin = [](VertexId, int64_t) { return false; };
+
+    UdfStats stats;
+    VertexId dst = 0;
+    for (auto _ : state) {
+        Reg args[2] = {regOfInt(1), regOfInt(dst)};
+        runUdf(chunk, {args, 2}, runtime, stats);
+        dst = (dst + 1) & 0xffff;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UdfDispatch);
+
+void
+BM_PrioQueueChurn(benchmark::State &state)
+{
+    constexpr VertexId kVertices = 1 << 14;
+    for (auto _ : state) {
+        state.PauseTiming();
+        AddrSpace space;
+        VertexData dist("dist", ElemType::Int64, kVertices, space);
+        dist.fillInt(kInfDist);
+        dist.setInt(0, 0);
+        PrioQueue queue(&dist, 8);
+        queue.enqueue(0);
+        state.ResumeTiming();
+
+        VertexId next = 1;
+        while (!queue.finished()) {
+            const VertexSet frontier = queue.dequeueReadySet();
+            frontier.forEach([&](VertexId v) {
+                if (next < kVertices)
+                    queue.updatePriorityMin(
+                        next++, dist.getInt(v) + (v % 13) + 1);
+            });
+        }
+        benchmark::DoNotOptimize(queue.roundsProcessed());
+    }
+}
+BENCHMARK(BM_PrioQueueChurn);
+
+void
+BM_GraphTraversal(benchmark::State &state)
+{
+    const Graph graph = gen::rmat(14, 8);
+    for (auto _ : state) {
+        EdgeId total = 0;
+        for (VertexId v = 0; v < graph.numVertices(); ++v)
+            for (VertexId u : graph.outNeighbors(v))
+                total += u;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * graph.numEdges());
+}
+BENCHMARK(BM_GraphTraversal);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+/**
+ * Regenerates Table III for *this* repository: lines of code per module,
+ * showing how much of the compiler is shared (frontend +
+ * hardware-independent passes) versus per-GraphVM, mirroring the paper's
+ * reuse argument.
+ */
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+long
+countLines(const fs::path &path)
+{
+    std::ifstream in(path);
+    long lines = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++lines;
+    return lines;
+}
+
+long
+countDir(const fs::path &dir, bool recursive = true)
+{
+    long total = 0;
+    if (!fs::exists(dir))
+        return 0;
+    auto count_entry = [&](const fs::directory_entry &entry) {
+        if (!entry.is_regular_file())
+            return;
+        const auto ext = entry.path().extension();
+        if (ext == ".cpp" || ext == ".h")
+            total += countLines(entry.path());
+    };
+    if (recursive) {
+        for (const auto &entry : fs::recursive_directory_iterator(dir))
+            count_entry(entry);
+    } else {
+        for (const auto &entry : fs::directory_iterator(dir))
+            count_entry(entry);
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    const fs::path root = UGC_SOURCE_DIR;
+    const fs::path src = root / "src";
+
+    struct Row
+    {
+        const char *module;
+        fs::path dir;
+        bool recursive;
+    };
+    const std::vector<Row> shared = {
+        {"Frontend (parser, sema)", src / "frontend", true},
+        {"GraphIR + metadata", src / "ir", true},
+        {"Hardware-independent passes", src / "midend", true},
+        {"Scheduling language", src / "sched", true},
+        {"UDF bytecode engine", src / "udf", true},
+        {"Runtime data structures", src / "runtime", true},
+        {"Graph substrate", src / "graph", true},
+        {"Support library", src / "support", true},
+        {"GraphVM core + engine", src / "vm", false},
+        {"Algorithms library", src / "algorithms", true},
+        {"Reference implementations", src / "reference", true},
+        {"Comparator models", src / "comparators", true},
+    };
+    const std::vector<Row> backends = {
+        {"CPU GraphVM", src / "vm" / "cpu", true},
+        {"GPU GraphVM", src / "vm" / "gpu", true},
+        {"Swarm GraphVM", src / "vm" / "swarm", true},
+        {"HammerBlade GraphVM", src / "vm" / "hb", true},
+    };
+
+    std::printf("\n==== Table III (this repository): lines of code per "
+                "module ====\n");
+    long shared_total = 0;
+    std::printf("%-34s%10s\n", "Shared module", "LoC");
+    for (const Row &row : shared) {
+        const long loc = countDir(row.dir, row.recursive);
+        shared_total += loc;
+        std::printf("%-34s%10ld\n", row.module, loc);
+    }
+    std::printf("%-34s%10ld\n", "Shared total", shared_total);
+
+    long backend_total = 0;
+    std::printf("\n%-34s%10s\n", "Per-backend module", "LoC");
+    for (const Row &row : backends) {
+        const long loc = countDir(row.dir, row.recursive);
+        backend_total += loc;
+        std::printf("%-34s%10ld\n", row.module, loc);
+    }
+    std::printf("%-34s%10ld\n", "Backend total", backend_total);
+    std::printf("\nShared : per-backend ratio = %.1f : 1 — each new "
+                "GraphVM costs a small fraction of the stack (the "
+                "paper's Table III argument).\n",
+                static_cast<double>(shared_total) /
+                    static_cast<double>(backend_total ? backend_total : 1));
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Compiler explorer: watch one algorithm travel through the UGC stack —
+ * the parsed GraphIR, the Fig-4-style lowered GraphIR after the
+ * hardware-independent passes, and the code each of the four GraphVMs
+ * generates for its target toolchain.
+ */
+#include <cstdio>
+
+#include "algorithms/algorithms.h"
+#include "ir/printer.h"
+#include "midend/pipeline.h"
+#include "vm/factory.h"
+
+using namespace ugc;
+
+int
+main()
+{
+    const auto &bfs = algorithms::byName("bfs");
+    ProgramPtr program = algorithms::buildProgram(bfs);
+
+    std::printf("==== GraphIR straight out of the frontend ====\n%s\n",
+                printProgram(*program).c_str());
+
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+    std::printf("==== GraphIR after the hardware-independent passes "
+                "(Fig 4) ====\n%s\n",
+                printFunction(
+                    *lowered->findFunction("updateEdge_push_tracked"))
+                    .c_str());
+
+    for (const std::string &target : graphVMNames()) {
+        auto vm = createGraphVM(target);
+        ProgramPtr tuned = algorithms::buildProgram(bfs);
+        algorithms::applyTunedSchedule(*tuned, "bfs", target,
+                                       datasets::GraphKind::Road);
+        std::printf("==== %s GraphVM generated code ====\n%s\n",
+                    target.c_str(), vm->emitCode(*tuned).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,480 @@
+#include "algorithms/algorithms.h"
+
+#include <stdexcept>
+
+#include "frontend/sema.h"
+#include "sched/apply.h"
+
+namespace ugc::algorithms {
+
+namespace {
+
+// --- PageRank (topology-driven; Fig 8 column "PR") -------------------------
+const char *kPageRankSource = R"(
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const old_rank : vector{Vertex}(float) = 0.0;
+const new_rank : vector{Vertex}(float) = 0.0;
+const out_degree : vector{Vertex}(int) = edges.getOutDegrees();
+const contrib : vector{Vertex}(float) = 0.0;
+const damp : float = 0.85;
+const beta_score : float = 0.0;
+extern num_vertices : int;
+
+func initRank(v : Vertex)
+    old_rank[v] = 1.0 / num_vertices;
+end
+
+func computeContrib(v : Vertex)
+    if out_degree[v] != 0
+        contrib[v] = old_rank[v] / out_degree[v];
+    else
+        contrib[v] = 0.0;
+    end
+end
+
+func updateEdge(src : Vertex, dst : Vertex)
+    new_rank[dst] += contrib[src];
+end
+
+func updateVertex(v : Vertex)
+    old_rank[v] = beta_score + damp * new_rank[v];
+    new_rank[v] = 0.0;
+end
+
+func main()
+    beta_score = (1.0 - damp) / num_vertices;
+    vertices.apply(initRank);
+    #s0# for i in 0 : atoi(argv[3])
+        vertices.apply(computeContrib);
+        #s1# edges.apply(updateEdge);
+        vertices.apply(updateVertex);
+    end
+end
+)";
+
+// --- BFS (Fig 2 of the paper) ----------------------------------------------
+const char *kBfsSource = R"(
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const parent : vector{Vertex}(int) = -1;
+
+func toFilter(v : Vertex) -> output : bool
+    output = (parent[v] == -1);
+end
+
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    var start_vertex : int = atoi(argv[2]);
+    frontier.addVertex(start_vertex);
+    parent[start_vertex] = start_vertex;
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} =
+            edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+    delete frontier;
+end
+)";
+
+// --- SSSP with Δ-stepping (ordered; GraphIt CGO'20 formulation) -------------
+const char *kSsspSource = R"(
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);
+const dist : vector{Vertex}(int) = 2147483647;
+
+func updateEdge(src : Vertex, dst : Vertex, weight : int)
+    var new_dist : int = dist[src] + weight;
+    pq.updatePriorityMin(dst, new_dist);
+end
+
+func main()
+    var start_vertex : int = atoi(argv[2]);
+    var pq : priority_queue{Vertex} =
+        new priority_queue{Vertex}(dist, atoi(argv[3]), start_vertex);
+    #s0# while (not pq.finished())
+        var frontier : vertexset{Vertex} = pq.dequeue_ready_set();
+        #s1# edges.from(frontier).applyUpdatePriority(updateEdge);
+        delete frontier;
+    end
+end
+)";
+
+// --- Connected Components (label propagation with min reduction) ------------
+const char *kCcSource = R"(
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const IDs : vector{Vertex}(int) = 0;
+extern num_vertices : int;
+
+func initLabel(v : Vertex)
+    IDs[v] = v;
+end
+
+func updateEdge(src : Vertex, dst : Vertex)
+    IDs[dst] min= IDs[src];
+end
+
+func main()
+    vertices.apply(initLabel);
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(num_vertices);
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} =
+            edges.from(frontier).applyModified(updateEdge, IDs, true);
+        delete frontier;
+        frontier = output;
+    end
+    delete frontier;
+end
+)";
+
+// --- Betweenness Centrality (forward sigma + backward dependences) ----------
+const char *kBcSource = R"(
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const num_paths : vector{Vertex}(float) = 0.0;
+const dependences : vector{Vertex}(float) = 0.0;
+const visited : vector{Vertex}(bool) = false;
+const level : vector{Vertex}(int) = -1;
+const round : int = 0;
+
+func visitedFilter(v : Vertex) -> output : bool
+    output = (visited[v] == false);
+end
+
+func forwardUpdate(src : Vertex, dst : Vertex)
+    num_paths[dst] += num_paths[src];
+end
+
+func markVisited(v : Vertex)
+    visited[v] = true;
+    level[v] = round;
+end
+
+func backwardUpdate(src : Vertex, dst : Vertex)
+    if (visited[dst] == true) and (level[dst] == level[src] - 1)
+        dependences[dst] +=
+            (num_paths[dst] / num_paths[src]) * (1.0 + dependences[src]);
+    end
+end
+
+func main()
+    var start_vertex : int = atoi(argv[2]);
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    frontier.addVertex(start_vertex);
+    num_paths[start_vertex] = 1.0;
+    visited[start_vertex] = true;
+    level[start_vertex] = 0;
+    var trajectories : list{vertexset{Vertex}} = new list{vertexset{Vertex}}();
+    #s0# while (frontier.getVertexSetSize() != 0)
+        round = round + 1;
+        #s1# var output : vertexset{Vertex} =
+            edges.from(frontier).to(visitedFilter).applyModified(forwardUpdate, num_paths, true);
+        output.apply(markVisited);
+        trajectories.append(frontier);
+        delete frontier;
+        frontier = output;
+    end
+    delete frontier;
+    var d : int = 0;
+    #s2# while (d < round)
+        var back : vertexset{Vertex} = trajectories.retrieve();
+        #s3# edges.from(back).apply(backwardUpdate);
+        delete back;
+        d = d + 1;
+    end
+end
+)";
+
+// --- PageRankDelta (GraphIt's flagship data-driven PR variant) ---------------
+const char *kPageRankDeltaSource = R"(
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const cur_rank : vector{Vertex}(float) = 0.0;
+const delta : vector{Vertex}(float) = 0.0;
+const ngh_sum : vector{Vertex}(float) = 0.0;
+const out_degree : vector{Vertex}(int) = edges.getOutDegrees();
+const damp : float = 0.85;
+const beta_score : float = 0.0;
+const epsilon2 : float = 0.1;
+extern num_vertices : int;
+
+func initV(v : Vertex)
+    delta[v] = 1.0 / num_vertices;
+    cur_rank[v] = 0.0;
+end
+
+func updateEdge(src : Vertex, dst : Vertex)
+    if out_degree[src] != 0
+        ngh_sum[dst] += delta[src] / out_degree[src];
+    end
+end
+
+func updateVertexFirstRound(v : Vertex) -> output : bool
+    delta[v] = damp * ngh_sum[v] + beta_score;
+    cur_rank[v] += delta[v];
+    delta[v] = delta[v] - 1.0 / num_vertices;
+    output = (delta[v] > epsilon2 * cur_rank[v]) or
+             ((0.0 - delta[v]) > epsilon2 * cur_rank[v]);
+    ngh_sum[v] = 0.0;
+end
+
+func updateVertex(v : Vertex) -> output : bool
+    delta[v] = ngh_sum[v] * damp;
+    cur_rank[v] += delta[v];
+    output = (delta[v] > epsilon2 * cur_rank[v]) or
+             ((0.0 - delta[v]) > epsilon2 * cur_rank[v]);
+    ngh_sum[v] = 0.0;
+end
+
+func main()
+    beta_score = (1.0 - damp) / num_vertices;
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(num_vertices);
+    vertices.apply(initV);
+    #s0# for i in 0 : atoi(argv[3])
+        #s1# edges.from(frontier).apply(updateEdge);
+        if i == 0
+            var first : vertexset{Vertex} = vertices.filter(updateVertexFirstRound);
+            delete frontier;
+            frontier = first;
+        else
+            var rest : vertexset{Vertex} = vertices.filter(updateVertex);
+            delete frontier;
+            frontier = rest;
+        end
+    end
+end
+)";
+
+} // namespace
+
+const std::vector<Algorithm> &
+all()
+{
+    static const std::vector<Algorithm> algorithms = {
+        {"pr", kPageRankSource, false, false, "old_rank"},
+        {"bfs", kBfsSource, false, true, "parent"},
+        {"sssp", kSsspSource, true, true, "dist"},
+        {"cc", kCcSource, false, false, "IDs"},
+        {"bc", kBcSource, false, true, "dependences"},
+        // Beyond the paper's five: GraphIt's PageRankDelta, exercising
+        // data-driven filtering with float thresholds.
+        {"prd", kPageRankDeltaSource, false, false, "cur_rank"},
+    };
+    return algorithms;
+}
+
+const Algorithm &
+byName(const std::string &name)
+{
+    for (const Algorithm &algorithm : all())
+        if (algorithm.name == name)
+            return algorithm;
+    throw std::out_of_range("unknown algorithm: " + name);
+}
+
+ProgramPtr
+buildProgram(const Algorithm &algorithm)
+{
+    return frontend::compileSource(algorithm.source, algorithm.name);
+}
+
+namespace {
+
+void
+tuneCpu(Program &program, const std::string &algorithm,
+        datasets::GraphKind kind)
+{
+    const bool road = kind == datasets::GraphKind::Road;
+    if (algorithm == "bfs" || algorithm == "bc") {
+        // Hybrid direction + edge-aware parallelism: the classic
+        // direction-optimizing schedule (§IV-C).
+        SimpleCPUSchedule push;
+        push.configDirection(Direction::Push)
+            .configParallelization(Parallelization::EdgeAwareVertexBased);
+        SimpleCPUSchedule pull;
+        pull.configDirection(Direction::Pull, VertexSetFormat::Bitmap)
+            .configParallelization(Parallelization::EdgeAwareVertexBased);
+        applyCPUSchedule(program, "s1",
+                         CompositeCPUSchedule(HybridCriteria::InputSetSize,
+                                              road ? 0.5 : 0.15, push,
+                                              pull));
+    } else if (algorithm == "pr") {
+        SimpleCPUSchedule sched;
+        // Block size chosen so a destination slice fits the LLC at the
+        // evaluated dataset scale.
+        sched.configDirection(Direction::Pull)
+            .configParallelization(Parallelization::EdgeAwareVertexBased)
+            .configEdgeBlocking(true, 4096)
+            .configNuma(true);
+        applyCPUSchedule(program, "s1", sched);
+    } else if (algorithm == "sssp") {
+        SimpleCPUSchedule sched;
+        sched.configDirection(Direction::Push)
+            .configParallelization(Parallelization::EdgeAwareVertexBased)
+            .configDelta(road ? 8192 : 2)
+            .configBucketFusion(road);
+        applyCPUSchedule(program, "s1", sched);
+    } else if (algorithm == "cc" || algorithm == "prd") {
+        SimpleCPUSchedule sched;
+        sched.configDirection(Direction::Push)
+            .configParallelization(Parallelization::EdgeAwareVertexBased);
+        applyCPUSchedule(program, "s1", sched);
+    }
+}
+
+void
+tuneGpu(Program &program, const std::string &algorithm,
+        datasets::GraphKind kind)
+{
+    const bool road = kind == datasets::GraphKind::Road;
+    if (algorithm == "bfs" || algorithm == "bc") {
+        if (road) {
+            // Road graphs: tiny frontiers for thousands of iterations —
+            // fused kernels matter more than direction (§III-C2).
+            SimpleGPUSchedule sched;
+            sched.configDirection(Direction::Push)
+                .configLoadBalance(GpuLoadBalance::Twc)
+                .configFrontierCreation(FrontierCreation::Fused)
+                .configKernelFusion(true);
+            applyGPUSchedule(program, "s1", sched);
+            if (algorithm == "bc")
+                applyGPUSchedule(program, "s3", sched);
+        } else {
+            SimpleGPUSchedule push;
+            push.configDirection(Direction::Push)
+                .configLoadBalance(GpuLoadBalance::Etwc)
+                .configFrontierCreation(FrontierCreation::Fused);
+            SimpleGPUSchedule pull;
+            pull.configDirection(Direction::Pull, VertexSetFormat::Bitmap)
+                .configLoadBalance(GpuLoadBalance::Cm)
+                .configFrontierCreation(FrontierCreation::UnfusedBitmap);
+            applyGPUSchedule(
+                program, "s1",
+                CompositeGPUSchedule(HybridCriteria::InputSetSize, 0.15,
+                                     push, pull));
+            if (algorithm == "bc")
+                applyGPUSchedule(program, "s3", push);
+        }
+    } else if (algorithm == "pr") {
+        SimpleGPUSchedule sched;
+        sched.configDirection(Direction::Pull)
+            .configLoadBalance(GpuLoadBalance::Etwc)
+            .configEdgeBlocking(true, 4096);
+        applyGPUSchedule(program, "s1", sched);
+    } else if (algorithm == "sssp") {
+        SimpleGPUSchedule sched;
+        sched.configDirection(Direction::Push)
+            .configLoadBalance(road ? GpuLoadBalance::Twc
+                                    : GpuLoadBalance::Etwc)
+            .configDelta(road ? 8192 : 2)
+            .configKernelFusion(road);
+        applyGPUSchedule(program, "s1", sched);
+    } else if (algorithm == "cc") {
+        SimpleGPUSchedule sched;
+        sched.configDirection(Direction::Push)
+            .configLoadBalance(GpuLoadBalance::Etwc)
+            // Label propagation on high-diameter graphs runs many
+            // near-empty rounds; fuse them into one kernel.
+            .configKernelFusion(road);
+        applyGPUSchedule(program, "s1", sched);
+    }
+}
+
+void
+tuneSwarm(Program &program, const std::string &algorithm,
+          datasets::GraphKind kind)
+{
+    const bool road = kind == datasets::GraphKind::Road;
+    SimpleSwarmSchedule sched;
+    sched.configDirection(Direction::Push);
+    if (algorithm == "bfs" || algorithm == "sssp") {
+        // Converting vertex sets to task spawns unlocks cross-round
+        // speculation; most of the road-graph speedup (§IV-E).
+        sched.configFrontiers(SwarmFrontiers::VertexsetToTasks);
+        if (road || algorithm == "bfs") {
+            sched.taskGranularity(TaskGranularity::FineGrained);
+            sched.configSpatialHints(true);
+        } else {
+            // High-degree graphs: per-edge subtasks cost more dispatch
+            // than they save in aborts; stay coarse and selective.
+            sched.taskGranularity(TaskGranularity::Coarse);
+        }
+        if (algorithm == "sssp")
+            sched.configDelta(road ? 8192 : 2);
+        applySwarmSchedule(program, "s1", sched);
+    } else if (algorithm == "bc") {
+        sched.configFrontiers(SwarmFrontiers::VertexsetToTasks);
+        sched.taskGranularity(TaskGranularity::FineGrained);
+        sched.configSpatialHints(true);
+        applySwarmSchedule(program, "s1", sched);
+        applySwarmSchedule(program, "s3", sched);
+    } else if (algorithm == "cc" || algorithm == "pr") {
+        sched.taskGranularity(TaskGranularity::FineGrained);
+        sched.configSpatialHints(true);
+        // High in-degree graphs: shuffle edge order to reduce aborts.
+        sched.configShuffleEdges(!road);
+        applySwarmSchedule(program, "s1", sched);
+    }
+}
+
+void
+tuneHb(Program &program, const std::string &algorithm,
+       datasets::GraphKind kind)
+{
+    (void)kind;
+    SimpleHBSchedule sched;
+    if (algorithm == "bfs" || algorithm == "bc" || algorithm == "cc") {
+        // Alignment-based partitioning (§III-C4); CC's all-vertex rounds
+        // gain nothing from pull, so it stays push.
+        sched.configLoadBalance(HBLoadBalance::Aligned);
+        sched.configDirection(algorithm == "cc" ? HBDirection::Push
+                                                : HBDirection::Hybrid);
+        applyHBSchedule(program, "s1", sched);
+        if (algorithm == "bc")
+            applyHBSchedule(program, "s3", sched);
+    } else if (algorithm == "pr" || algorithm == "sssp") {
+        // Compute-intensive kernels use the blocked access method.
+        sched.configLoadBalance(HBLoadBalance::Blocked);
+        sched.configDirection(HBDirection::Push);
+        if (algorithm == "sssp")
+            sched.configDelta(kind == datasets::GraphKind::Road ? 8192 : 2);
+        applyHBSchedule(program, "s1", sched);
+    }
+}
+
+} // namespace
+
+void
+applyTunedSchedule(Program &program, const std::string &algorithm,
+                   const std::string &target, datasets::GraphKind kind)
+{
+    if (target == "cpu")
+        tuneCpu(program, algorithm, kind);
+    else if (target == "gpu")
+        tuneGpu(program, algorithm, kind);
+    else if (target == "swarm")
+        tuneSwarm(program, algorithm, kind);
+    else if (target == "hb")
+        tuneHb(program, algorithm, kind);
+    else
+        throw std::out_of_range("unknown target: " + target);
+}
+
+} // namespace ugc::algorithms

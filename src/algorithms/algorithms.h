@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The five evaluated algorithms (§IV-A) as GraphIt algorithm-language
+ * sources, plus tuned schedules per (architecture, graph class).
+ *
+ * UGC compiles a single source specification per algorithm; all four
+ * GraphVMs reuse it. Tuned schedules mirror the paper's: hybrid traversal
+ * for BFS/BC, EdgeBlocking/NUMA for PageRank, bucket fusion for SSSP on
+ * road graphs, load balancing (ETWC) for CC on GPUs, vertexset→tasks and
+ * fine-grained splitting on Swarm, blocked/aligned partitioning on
+ * HammerBlade.
+ */
+#ifndef UGC_ALGORITHMS_ALGORITHMS_H
+#define UGC_ALGORITHMS_ALGORITHMS_H
+
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "ir/program.h"
+
+namespace ugc::algorithms {
+
+struct Algorithm
+{
+    std::string name;        ///< "bfs", "sssp", "pr", "cc", "bc"
+    std::string source;      ///< GraphIt algorithm-language text
+    bool needsWeights;       ///< requires a weighted graph
+    bool needsStartVertex;   ///< uses argv[2]
+    std::string resultProp;  ///< property holding the answer
+};
+
+/** The evaluated algorithms, in the paper's order (PR, BFS, SSSP, CC, BC). */
+const std::vector<Algorithm> &all();
+
+/** Lookup by name. @throws std::out_of_range. */
+const Algorithm &byName(const std::string &name);
+
+/** Parse + sema an algorithm's source into GraphIR. */
+ProgramPtr buildProgram(const Algorithm &algorithm);
+
+/**
+ * Attach the hand-tuned schedule for @p target ("cpu", "gpu", "swarm",
+ * "hb") and graph class, like the per-(application, graph) tuning of §IV-A.
+ * Leaves the program untouched for unknown combinations (baseline).
+ */
+void applyTunedSchedule(Program &program, const std::string &algorithm,
+                        const std::string &target,
+                        datasets::GraphKind kind);
+
+} // namespace ugc::algorithms
+
+#endif // UGC_ALGORITHMS_ALGORITHMS_H

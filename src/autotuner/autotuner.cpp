@@ -1,0 +1,233 @@
+#include "autotuner/autotuner.h"
+
+#include <stdexcept>
+
+#include "sched/apply.h"
+
+namespace ugc::autotuner {
+
+namespace {
+
+void
+addCpuCandidates(std::vector<Candidate> &candidates, bool ordered)
+{
+    const struct
+    {
+        const char *name;
+        Parallelization parallelization;
+    } par_options[] = {
+        {"vertex", Parallelization::VertexBased},
+        {"edge-aware", Parallelization::EdgeAwareVertexBased},
+    };
+    for (const auto &par : par_options) {
+        if (!ordered) {
+            for (Direction direction : {Direction::Push, Direction::Pull}) {
+                candidates.push_back(
+                    {std::string("cpu/") + directionName(direction) + "/" +
+                         par.name,
+                     [=](Program &program, const std::string &label) {
+                         SimpleCPUSchedule sched;
+                         sched.configDirection(direction)
+                             .configParallelization(par.parallelization);
+                         applyCPUSchedule(program, label, sched);
+                     }});
+            }
+            candidates.push_back(
+                {std::string("cpu/HYBRID-0.15/") + par.name,
+                 [=](Program &program, const std::string &label) {
+                     SimpleCPUSchedule push, pull;
+                     push.configDirection(Direction::Push)
+                         .configParallelization(par.parallelization);
+                     pull.configDirection(Direction::Pull)
+                         .configParallelization(par.parallelization);
+                     applyCPUSchedule(
+                         program, label,
+                         CompositeCPUSchedule(HybridCriteria::InputSetSize,
+                                              0.15, push, pull));
+                 }});
+        } else {
+            for (int64_t delta : {2, 1024, 8192}) {
+                for (bool fusion : {false, true}) {
+                    candidates.push_back(
+                        {std::string("cpu/PUSH/") + par.name + "/delta" +
+                             std::to_string(delta) +
+                             (fusion ? "/bucket-fusion" : ""),
+                         [=](Program &program, const std::string &label) {
+                             SimpleCPUSchedule sched;
+                             sched.configDirection(Direction::Push)
+                                 .configParallelization(par.parallelization)
+                                 .configDelta(delta)
+                                 .configBucketFusion(fusion);
+                             applyCPUSchedule(program, label, sched);
+                         }});
+                }
+            }
+        }
+    }
+    // EdgeBlocking + NUMA pull (PageRank-style traversals).
+    if (!ordered) {
+        candidates.push_back(
+            {"cpu/PULL/edge-aware/blocked+numa",
+             [](Program &program, const std::string &label) {
+                 SimpleCPUSchedule sched;
+                 sched.configDirection(Direction::Pull)
+                     .configParallelization(
+                         Parallelization::EdgeAwareVertexBased)
+                     .configEdgeBlocking(true, 4096)
+                     .configNuma(true);
+                 applyCPUSchedule(program, label, sched);
+             }});
+    }
+}
+
+void
+addGpuCandidates(std::vector<Candidate> &candidates, bool ordered)
+{
+    for (GpuLoadBalance lb : {GpuLoadBalance::VertexBased,
+                              GpuLoadBalance::Twc, GpuLoadBalance::Cm,
+                              GpuLoadBalance::Wm, GpuLoadBalance::Etwc}) {
+        for (bool fusion : {false, true}) {
+            candidates.push_back(
+                {std::string("gpu/PUSH/") + gpuLoadBalanceName(lb) +
+                     (fusion ? "/fused-kernel" : ""),
+                 [=](Program &program, const std::string &label) {
+                     SimpleGPUSchedule sched;
+                     sched.configDirection(Direction::Push)
+                         .configLoadBalance(lb)
+                         .configKernelFusion(fusion);
+                     if (ordered)
+                         sched.configDelta(8192);
+                     applyGPUSchedule(program, label, sched);
+                 }});
+        }
+    }
+    if (!ordered) {
+        candidates.push_back(
+            {"gpu/HYBRID-0.15/ETWC+CM",
+             [](Program &program, const std::string &label) {
+                 SimpleGPUSchedule push, pull;
+                 push.configDirection(Direction::Push)
+                     .configLoadBalance(GpuLoadBalance::Etwc);
+                 pull.configDirection(Direction::Pull,
+                                      VertexSetFormat::Bitmap)
+                     .configLoadBalance(GpuLoadBalance::Cm)
+                     .configFrontierCreation(
+                         FrontierCreation::UnfusedBitmap);
+                 applyGPUSchedule(program, label,
+                                  CompositeGPUSchedule(
+                                      HybridCriteria::InputSetSize, 0.15,
+                                      push, pull));
+             }});
+    }
+}
+
+void
+addSwarmCandidates(std::vector<Candidate> &candidates, bool ordered)
+{
+    for (SwarmFrontiers frontiers :
+         {SwarmFrontiers::Queues, SwarmFrontiers::VertexsetToTasks}) {
+        for (TaskGranularity granularity :
+             {TaskGranularity::Coarse, TaskGranularity::FineGrained}) {
+            for (bool hints : {false, true}) {
+                if (hints && granularity == TaskGranularity::Coarse)
+                    continue; // hints require single-address subtasks
+                std::string name = "swarm/";
+                name += frontiers == SwarmFrontiers::Queues ? "queues"
+                                                            : "tasks";
+                name += granularity == TaskGranularity::Coarse ? "/coarse"
+                                                               : "/fine";
+                if (hints)
+                    name += "/hints";
+                candidates.push_back(
+                    {name,
+                     [=](Program &program, const std::string &label) {
+                         SimpleSwarmSchedule sched;
+                         sched.configFrontiers(frontiers)
+                             .taskGranularity(granularity)
+                             .configSpatialHints(hints);
+                         if (ordered)
+                             sched.configDelta(8192);
+                         applySwarmSchedule(program, label, sched);
+                     }});
+            }
+        }
+    }
+}
+
+void
+addHbCandidates(std::vector<Candidate> &candidates, bool ordered)
+{
+    for (HBLoadBalance lb :
+         {HBLoadBalance::VertexBased, HBLoadBalance::EdgeBased,
+          HBLoadBalance::Blocked, HBLoadBalance::Aligned}) {
+        for (HBDirection direction : {HBDirection::Push,
+                                      HBDirection::Hybrid}) {
+            if (ordered && direction != HBDirection::Push)
+                continue;
+            std::string name = std::string("hb/") + hbLoadBalanceName(lb) +
+                               "/" +
+                               (direction == HBDirection::Push ? "PUSH"
+                                                               : "HYBRID");
+            candidates.push_back(
+                {name, [=](Program &program, const std::string &label) {
+                     SimpleHBSchedule sched;
+                     sched.configLoadBalance(lb).configDirection(direction);
+                     if (ordered)
+                         sched.configDelta(8192);
+                     applyHBSchedule(program, label, sched);
+                 }});
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Candidate>
+candidatesFor(const std::string &target, bool ordered)
+{
+    std::vector<Candidate> candidates;
+    if (target == "cpu")
+        addCpuCandidates(candidates, ordered);
+    else if (target == "gpu")
+        addGpuCandidates(candidates, ordered);
+    else if (target == "swarm")
+        addSwarmCandidates(candidates, ordered);
+    else if (target == "hb")
+        addHbCandidates(candidates, ordered);
+    else
+        throw std::out_of_range("autotuner: unknown target " + target);
+    return candidates;
+}
+
+TuneResult
+tune(const Program &program, GraphVM &vm, const RunInputs &inputs,
+     const std::string &label, bool ordered)
+{
+    TuneResult result;
+    for (const Candidate &candidate : candidatesFor(vm.name(), ordered)) {
+        ProgramPtr variant = program.clone();
+        candidate.apply(*variant, label);
+        const Cycles cycles = vm.run(*variant, inputs).cycles;
+        result.evaluated.push_back({candidate.description, cycles});
+        if (result.best.empty() || cycles < result.bestCycles) {
+            result.best = candidate.description;
+            result.bestCycles = cycles;
+        }
+    }
+    return result;
+}
+
+void
+applyBest(Program &program, const std::string &target,
+          const TuneResult &result, const std::string &label, bool ordered)
+{
+    for (const Candidate &candidate : candidatesFor(target, ordered)) {
+        if (candidate.description == result.best) {
+            candidate.apply(program, label);
+            return;
+        }
+    }
+    throw std::out_of_range("autotuner: unknown winner " + result.best);
+}
+
+} // namespace ugc::autotuner

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Schedule autotuner (§III-D: "the programmer or an autotuner [7] can
+ * generate different variants of the same algorithm tailored to specific
+ * graph inputs simply by supplying different schedules").
+ *
+ * Enumerates each GraphVM's schedule space for a labeled statement and
+ * measures candidates on the backend's machine model; because models are
+ * deterministic and fast, exhaustive search is practical, playing the
+ * role OpenTuner plays for the original GraphIt.
+ */
+#ifndef UGC_AUTOTUNER_AUTOTUNER_H
+#define UGC_AUTOTUNER_AUTOTUNER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "vm/graphvm.h"
+
+namespace ugc::autotuner {
+
+/** One point in a backend's schedule space. */
+struct Candidate
+{
+    std::string description;
+    std::function<void(Program &, const std::string &label)> apply;
+};
+
+/** Outcome of a tuning run. */
+struct TuneResult
+{
+    std::string best;     ///< description of the winning candidate
+    Cycles bestCycles = 0;
+    std::vector<std::pair<std::string, Cycles>> evaluated; ///< all points
+};
+
+/**
+ * The candidate schedules for a backend ("cpu", "gpu", "swarm", "hb").
+ * @param ordered the statement is an ordered (priority-queue) traversal,
+ *        which restricts direction choices and adds Δ candidates
+ */
+std::vector<Candidate> candidatesFor(const std::string &target,
+                                     bool ordered);
+
+/**
+ * Exhaustively tune the schedule of the statement labeled @p label.
+ * The program itself is not modified; apply the winner with
+ * applyBest().
+ */
+TuneResult tune(const Program &program, GraphVM &vm,
+                const RunInputs &inputs, const std::string &label = "s1",
+                bool ordered = false);
+
+/** Re-apply a tuning winner (by description) to a program. */
+void applyBest(Program &program, const std::string &target,
+               const TuneResult &result, const std::string &label = "s1",
+               bool ordered = false);
+
+} // namespace ugc::autotuner
+
+#endif // UGC_AUTOTUNER_AUTOTUNER_H

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Strategy models of the GPU frameworks the paper compares against in
+ * Fig 9 — Gunrock, GSwitch, and SEP-Graph. Each framework is represented
+ * by its published characteristic execution strategy, run on the same GPU
+ * machine model as the GPU GraphVM, which isolates exactly the variable
+ * Fig 9 compares (see DESIGN.md §2 for the substitution argument):
+ *  - Gunrock: push advance with TWC load balancing, per-operator kernels;
+ *  - GSwitch: pattern-tuned adaptive direction + warp-mapped balancing;
+ *  - SEP-Graph: hybrid sync/async execution — on SSSP it removes the
+ *    per-round barriers entirely, which is why it wins on road graphs.
+ */
+#ifndef UGC_COMPARATORS_GPU_FRAMEWORKS_H
+#define UGC_COMPARATORS_GPU_FRAMEWORKS_H
+
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "vm/run_types.h"
+
+namespace ugc::comparators {
+
+/** Run @p algorithm under a framework's strategy on the GPU model. */
+RunResult runGunrock(const std::string &algorithm, const Graph &graph,
+                     const RunInputs &inputs, datasets::GraphKind kind);
+RunResult runGSwitch(const std::string &algorithm, const Graph &graph,
+                     const RunInputs &inputs, datasets::GraphKind kind);
+RunResult runSepGraph(const std::string &algorithm, const Graph &graph,
+                      const RunInputs &inputs, datasets::GraphKind kind);
+
+/** Cycles of the best (fastest) of the three frameworks. */
+Cycles bestFrameworkCycles(const std::string &algorithm, const Graph &graph,
+                           const RunInputs &inputs,
+                           datasets::GraphKind kind,
+                           std::string *winner = nullptr);
+
+} // namespace ugc::comparators
+
+#endif // UGC_COMPARATORS_GPU_FRAMEWORKS_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Swarm comparison points:
+ *  - hand-tuned prior-work code (Fig 12): schedules tailored to road
+ *    graphs by the architecture's designers, applied to every input —
+ *    excellent on roads, poor on high-degree social graphs for SSSP;
+ *  - the CPU GraphVM's best code run on Swarm hardware (Table X): Swarm
+ *    executes plain barriered parallel code too, so the comparison
+ *    isolates what the Swarm GraphVM's task conversion buys.
+ */
+#ifndef UGC_COMPARATORS_SWARM_BASELINES_H
+#define UGC_COMPARATORS_SWARM_BASELINES_H
+
+#include <string>
+
+#include "graph/datasets.h"
+#include "vm/run_types.h"
+#include "vm/swarm/swarm_model.h"
+
+namespace ugc::comparators {
+
+/** Hand-tuned (road-tailored) Swarm code for BFS or SSSP (Fig 12). */
+RunResult runSwarmHandTuned(const std::string &algorithm,
+                            const Graph &graph, const RunInputs &inputs,
+                            SwarmParams params = {});
+
+/** The CPU GraphVM's best schedule executed as barriered parallel code on
+ *  the Swarm machine (Table X). */
+RunResult runCpuCodeOnSwarm(const std::string &algorithm,
+                            const Graph &graph, const RunInputs &inputs,
+                            datasets::GraphKind kind,
+                            SwarmParams params = {});
+
+} // namespace ugc::comparators
+
+#endif // UGC_COMPARATORS_SWARM_BASELINES_H

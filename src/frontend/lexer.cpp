@@ -1,0 +1,327 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace ugc::frontend {
+
+namespace {
+
+const std::map<std::string, TokenKind> &
+keywords()
+{
+    static const std::map<std::string, TokenKind> table = {
+        {"func", TokenKind::KwFunc},     {"end", TokenKind::KwEnd},
+        {"var", TokenKind::KwVar},       {"const", TokenKind::KwConst},
+        {"while", TokenKind::KwWhile},   {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},     {"for", TokenKind::KwFor},
+        {"in", TokenKind::KwIn},         {"new", TokenKind::KwNew},
+        {"delete", TokenKind::KwDelete}, {"true", TokenKind::KwTrue},
+        {"false", TokenKind::KwFalse},   {"and", TokenKind::KwAnd},
+        {"or", TokenKind::KwOr},         {"not", TokenKind::KwNot},
+        {"element", TokenKind::KwElement},
+        {"extern", TokenKind::KwExtern},
+    };
+    return table;
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &source) : _source(source) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> tokens;
+        for (;;) {
+            skipWhitespaceAndComments();
+            Token token = next();
+            const bool done = token.kind == TokenKind::EndOfFile;
+            tokens.push_back(std::move(token));
+            if (done)
+                return tokens;
+        }
+    }
+
+  private:
+    bool atEnd() const { return _pos >= _source.size(); }
+    char peek() const { return atEnd() ? '\0' : _source[_pos]; }
+    char
+    peekNext() const
+    {
+        return _pos + 1 < _source.size() ? _source[_pos + 1] : '\0';
+    }
+
+    char
+    advance()
+    {
+        const char c = _source[_pos++];
+        if (c == '\n') {
+            ++_line;
+            _column = 1;
+        } else {
+            ++_column;
+        }
+        return c;
+    }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        for (;;) {
+            while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+                advance();
+            if (!atEnd() && peek() == '%') {
+                while (!atEnd() && peek() != '\n')
+                    advance();
+                continue;
+            }
+            return;
+        }
+    }
+
+    Token
+    make(TokenKind kind, std::string text = "")
+    {
+        Token token;
+        token.kind = kind;
+        token.text = std::move(text);
+        token.line = _tokenLine;
+        token.column = _tokenColumn;
+        return token;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message)
+    {
+        throw ParseError(message, _line, _column);
+    }
+
+    Token
+    next()
+    {
+        _tokenLine = _line;
+        _tokenColumn = _column;
+        if (atEnd())
+            return make(TokenKind::EndOfFile);
+
+        const char c = advance();
+        switch (c) {
+          case '(': return make(TokenKind::LParen);
+          case ')': return make(TokenKind::RParen);
+          case '{': return make(TokenKind::LBrace);
+          case '}': return make(TokenKind::RBrace);
+          case '[': return make(TokenKind::LBracket);
+          case ']': return make(TokenKind::RBracket);
+          case ',': return make(TokenKind::Comma);
+          case ';': return make(TokenKind::Semicolon);
+          case ':': return make(TokenKind::Colon);
+          case '.':
+            if (std::isdigit(static_cast<unsigned char>(peek())))
+                fail("floats must start with a digit");
+            return make(TokenKind::Dot);
+          case '+':
+            if (peek() == '=') {
+                advance();
+                return make(TokenKind::PlusAssign);
+            }
+            return make(TokenKind::Plus);
+          case '-':
+            if (peek() == '>') {
+                advance();
+                return make(TokenKind::Arrow);
+            }
+            return make(TokenKind::Minus);
+          case '*': return make(TokenKind::Star);
+          case '/': return make(TokenKind::Slash);
+          case '!':
+            if (peek() == '=') {
+                advance();
+                return make(TokenKind::Ne);
+            }
+            return make(TokenKind::Bang);
+          case '=':
+            if (peek() == '=') {
+                advance();
+                return make(TokenKind::Eq);
+            }
+            return make(TokenKind::Assign);
+          case '<':
+            if (peek() == '=') {
+                advance();
+                return make(TokenKind::Le);
+            }
+            return make(TokenKind::Lt);
+          case '>':
+            if (peek() == '=') {
+                advance();
+                return make(TokenKind::Ge);
+            }
+            return make(TokenKind::Gt);
+          case '#': return lexLabel();
+          case '"': return lexString();
+          default:
+            break;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            return lexNumber(c);
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return lexIdentifier(c);
+        fail(std::string("unexpected character '") + c + "'");
+    }
+
+    Token
+    lexLabel()
+    {
+        std::string name;
+        while (!atEnd() && peek() != '#' && peek() != '\n')
+            name += advance();
+        if (atEnd() || peek() != '#')
+            fail("unterminated #label#");
+        advance(); // closing '#'
+        if (name.empty())
+            fail("empty #label#");
+        return make(TokenKind::Label, name);
+    }
+
+    Token
+    lexString()
+    {
+        std::string value;
+        while (!atEnd() && peek() != '"') {
+            if (peek() == '\n')
+                fail("unterminated string literal");
+            value += advance();
+        }
+        if (atEnd())
+            fail("unterminated string literal");
+        advance();
+        return make(TokenKind::StringLiteral, value);
+    }
+
+    Token
+    lexNumber(char first)
+    {
+        std::string digits(1, first);
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+            digits += advance();
+        bool is_float = false;
+        if (!atEnd() && peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(peekNext()))) {
+            is_float = true;
+            digits += advance();
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                digits += advance();
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            is_float = true;
+            digits += advance();
+            if (peek() == '+' || peek() == '-')
+                digits += advance();
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                digits += advance();
+        }
+        Token token = make(is_float ? TokenKind::FloatLiteral
+                                    : TokenKind::IntLiteral,
+                           digits);
+        if (is_float)
+            token.floatValue = std::stod(digits);
+        else
+            token.intValue = std::stoll(digits);
+        return token;
+    }
+
+    Token
+    lexIdentifier(char first)
+    {
+        std::string name(1, first);
+        while (!atEnd() &&
+               (std::isalnum(static_cast<unsigned char>(peek())) ||
+                peek() == '_'))
+            name += advance();
+        auto keyword = keywords().find(name);
+        if (keyword != keywords().end())
+            return make(keyword->second, name);
+        return make(TokenKind::Identifier, name);
+    }
+
+    const std::string &_source;
+    size_t _pos = 0;
+    int _line = 1;
+    int _column = 1;
+    int _tokenLine = 1;
+    int _tokenColumn = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+std::string
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::IntLiteral: return "integer literal";
+      case TokenKind::FloatLiteral: return "float literal";
+      case TokenKind::StringLiteral: return "string literal";
+      case TokenKind::Label: return "#label#";
+      case TokenKind::KwFunc: return "'func'";
+      case TokenKind::KwEnd: return "'end'";
+      case TokenKind::KwVar: return "'var'";
+      case TokenKind::KwConst: return "'const'";
+      case TokenKind::KwWhile: return "'while'";
+      case TokenKind::KwIf: return "'if'";
+      case TokenKind::KwElse: return "'else'";
+      case TokenKind::KwFor: return "'for'";
+      case TokenKind::KwIn: return "'in'";
+      case TokenKind::KwNew: return "'new'";
+      case TokenKind::KwDelete: return "'delete'";
+      case TokenKind::KwTrue: return "'true'";
+      case TokenKind::KwFalse: return "'false'";
+      case TokenKind::KwAnd: return "'and'";
+      case TokenKind::KwOr: return "'or'";
+      case TokenKind::KwNot: return "'not'";
+      case TokenKind::KwElement: return "'element'";
+      case TokenKind::KwExtern: return "'extern'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Semicolon: return "';'";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::Dot: return "'.'";
+      case TokenKind::Arrow: return "'->'";
+      case TokenKind::Assign: return "'='";
+      case TokenKind::PlusAssign: return "'+='";
+      case TokenKind::MinAssign: return "'min='";
+      case TokenKind::MaxAssign: return "'max='";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::Eq: return "'=='";
+      case TokenKind::Ne: return "'!='";
+      case TokenKind::Lt: return "'<'";
+      case TokenKind::Le: return "'<='";
+      case TokenKind::Gt: return "'>'";
+      case TokenKind::Ge: return "'>='";
+      case TokenKind::Bang: return "'!'";
+      case TokenKind::EndOfFile: return "end of file";
+    }
+    return "?";
+}
+
+} // namespace ugc::frontend

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Lexer for the GraphIt algorithm language.
+ */
+#ifndef UGC_FRONTEND_LEXER_H
+#define UGC_FRONTEND_LEXER_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace ugc::frontend {
+
+/** Raised on lexical and syntax errors, with line/column context. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(const std::string &message, int line, int column)
+        : std::runtime_error(message + " at line " + std::to_string(line) +
+                             ", column " + std::to_string(column)),
+          line(line), column(column)
+    {
+    }
+
+    const int line;
+    const int column;
+};
+
+/** Tokenize @p source. `%`-to-end-of-line comments are skipped. */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace ugc::frontend
+
+#endif // UGC_FRONTEND_LEXER_H

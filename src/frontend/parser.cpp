@@ -1,0 +1,1077 @@
+#include "frontend/parser.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "frontend/lexer.h"
+
+namespace ugc::frontend {
+
+namespace {
+
+/** One step of a postfix method chain: .method(arg, arg, ...). */
+struct ChainStep
+{
+    std::string method;
+    std::vector<ExprPtr> args;
+    /** Arguments that were bare identifiers (function or set names). */
+    std::vector<std::string> nameArgs;
+    int line = 0;
+};
+
+/** A parsed-but-not-yet-lowered method chain rooted at an identifier. */
+struct ParsedChain
+{
+    std::string base;
+    std::vector<ChainStep> steps;
+    int line = 0;
+};
+
+/** Either a plain expression or a method chain (decided by context). */
+struct ExprOrChain
+{
+    ExprPtr expr;                     ///< null if this is a chain
+    std::optional<ParsedChain> chain; ///< set if this is a chain
+};
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, std::string name)
+        : _tokens(std::move(tokens))
+    {
+        _program = std::make_shared<Program>();
+        _program->name = std::move(name);
+    }
+
+    ProgramPtr
+    run()
+    {
+        while (!check(TokenKind::EndOfFile))
+            parseTopLevel();
+        return _program;
+    }
+
+  private:
+    // --- token helpers -----------------------------------------------------
+    const Token &peek(int ahead = 0) const
+    {
+        const size_t index = std::min(_pos + ahead, _tokens.size() - 1);
+        return _tokens[index];
+    }
+
+    bool check(TokenKind kind) const { return peek().kind == kind; }
+
+    bool
+    checkIdent(const std::string &text) const
+    {
+        return check(TokenKind::Identifier) && peek().text == text;
+    }
+
+    const Token &
+    advance()
+    {
+        const Token &token = _tokens[_pos];
+        if (_pos + 1 < _tokens.size())
+            ++_pos;
+        return token;
+    }
+
+    bool
+    match(TokenKind kind)
+    {
+        if (!check(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    const Token &
+    expect(TokenKind kind, const std::string &context)
+    {
+        if (!check(kind)) {
+            fail("expected " + tokenKindName(kind) + " " + context +
+                 ", found " + tokenKindName(peek().kind));
+        }
+        return advance();
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw ParseError(message, peek().line, peek().column);
+    }
+
+    [[noreturn]] void
+    failAt(const std::string &message, int line) const
+    {
+        throw ParseError(message, line, 0);
+    }
+
+    // --- symbol bookkeeping -----------------------------------------------
+    enum class NameKind {
+        EdgeSet, VertexSet, VertexData, Scalar, PrioQueue, FrontierList,
+        Function,
+    };
+
+    void
+    declareName(const std::string &name, NameKind kind)
+    {
+        _names[name] = kind;
+    }
+
+    std::optional<NameKind>
+    nameKind(const std::string &name) const
+    {
+        auto it = _names.find(name);
+        if (it == _names.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Register the `__argvK` extern scalar backing atoi(argv[K]). */
+    ExprPtr
+    argvScalar(int64_t index)
+    {
+        const std::string name = "__argv" + std::to_string(index);
+        if (!_program->findGlobal(name)) {
+            auto decl = std::make_shared<VarDeclStmt>(
+                name, TypeDesc::scalar(ElemType::Int64));
+            decl->setMetadata("extern", true);
+            decl->setMetadata("argv_index", static_cast<int>(index));
+            _program->addGlobal(decl);
+            declareName(name, NameKind::Scalar);
+        }
+        return varRef(name);
+    }
+
+    /** Parse `argv [ k ]` and return k. */
+    int64_t
+    parseArgvIndex()
+    {
+        const Token &ident = expect(TokenKind::Identifier, "in argv use");
+        if (ident.text != "argv")
+            failAt("expected 'argv'", ident.line);
+        expect(TokenKind::LBracket, "after argv");
+        const Token &index = expect(TokenKind::IntLiteral, "as argv index");
+        expect(TokenKind::RBracket, "after argv index");
+        return index.intValue;
+    }
+
+    // --- types -------------------------------------------------------------
+    ElemType
+    parseScalarType()
+    {
+        const Token &token = expect(TokenKind::Identifier, "as type");
+        if (token.text == "int")
+            return ElemType::Int32;
+        if (token.text == "int64")
+            return ElemType::Int64;
+        if (token.text == "float" || token.text == "double")
+            return ElemType::Float64;
+        if (token.text == "bool")
+            return ElemType::Bool;
+        if (token.text == "Vertex" || token.text == "Edge")
+            return ElemType::Int32; // element handles are ids
+        failAt("unknown scalar type: " + token.text, token.line);
+    }
+
+    /**
+     * Parse a declaration type. Returns the TypeDesc plus auxiliary facts
+     * via out-params: whether an edgeset is weighted.
+     */
+    TypeDesc
+    parseType(bool *edgeset_weighted = nullptr)
+    {
+        if (checkIdent("vertexset")) {
+            advance();
+            expect(TokenKind::LBrace, "in vertexset type");
+            expect(TokenKind::Identifier, "element type");
+            expect(TokenKind::RBrace, "in vertexset type");
+            return TypeDesc::vertexSet();
+        }
+        if (checkIdent("edgeset")) {
+            advance();
+            expect(TokenKind::LBrace, "in edgeset type");
+            expect(TokenKind::Identifier, "element type");
+            expect(TokenKind::RBrace, "in edgeset type");
+            bool weighted = false;
+            if (match(TokenKind::LParen)) {
+                expect(TokenKind::Identifier, "endpoint type");
+                expect(TokenKind::Comma, "in edgeset type");
+                expect(TokenKind::Identifier, "endpoint type");
+                if (match(TokenKind::Comma)) {
+                    parseScalarType();
+                    weighted = true;
+                }
+                expect(TokenKind::RParen, "in edgeset type");
+            }
+            if (edgeset_weighted)
+                *edgeset_weighted = weighted;
+            return TypeDesc::edgeSet();
+        }
+        if (checkIdent("vector")) {
+            advance();
+            expect(TokenKind::LBrace, "in vector type");
+            expect(TokenKind::Identifier, "element type");
+            expect(TokenKind::RBrace, "in vector type");
+            expect(TokenKind::LParen, "in vector type");
+            const ElemType elem = parseScalarType();
+            expect(TokenKind::RParen, "in vector type");
+            return TypeDesc::vertexData(elem);
+        }
+        if (checkIdent("priority_queue")) {
+            advance();
+            expect(TokenKind::LBrace, "in priority_queue type");
+            expect(TokenKind::Identifier, "element type");
+            expect(TokenKind::RBrace, "in priority_queue type");
+            return TypeDesc::prioQueue();
+        }
+        if (checkIdent("list")) {
+            advance();
+            expect(TokenKind::LBrace, "in list type");
+            parseType(); // inner vertexset type
+            expect(TokenKind::RBrace, "in list type");
+            return TypeDesc::frontierList();
+        }
+        return TypeDesc::scalar(parseScalarType());
+    }
+
+    static NameKind
+    nameKindOf(const TypeDesc &type)
+    {
+        switch (type.kind) {
+          case TypeDesc::Kind::EdgeSet: return NameKind::EdgeSet;
+          case TypeDesc::Kind::VertexSet: return NameKind::VertexSet;
+          case TypeDesc::Kind::VertexData: return NameKind::VertexData;
+          case TypeDesc::Kind::PrioQueue: return NameKind::PrioQueue;
+          case TypeDesc::Kind::FrontierList: return NameKind::FrontierList;
+          case TypeDesc::Kind::Scalar:
+          default:
+            return NameKind::Scalar;
+        }
+    }
+
+    // --- top-level declarations ---------------------------------------------
+    void
+    parseTopLevel()
+    {
+        if (match(TokenKind::KwElement)) {
+            // `element Vertex end` — element declarations carry no data in
+            // this subset; Vertex/Edge are built in.
+            expect(TokenKind::Identifier, "element name");
+            match(TokenKind::KwEnd);
+            return;
+        }
+        if (check(TokenKind::KwConst)) {
+            parseConstDecl();
+            return;
+        }
+        if (check(TokenKind::KwExtern)) {
+            parseExternDecl();
+            return;
+        }
+        if (check(TokenKind::KwFunc)) {
+            parseFunc();
+            return;
+        }
+        fail("expected a declaration (element/const/extern/func)");
+    }
+
+    void
+    parseExternDecl()
+    {
+        expect(TokenKind::KwExtern, "");
+        const Token &name = expect(TokenKind::Identifier, "extern name");
+        expect(TokenKind::Colon, "in extern declaration");
+        const TypeDesc type = parseType();
+        expect(TokenKind::Semicolon, "after extern declaration");
+        if (type.kind != TypeDesc::Kind::Scalar)
+            failAt("extern declarations must be scalars", name.line);
+        auto decl = std::make_shared<VarDeclStmt>(name.text, type);
+        decl->setMetadata("extern", true);
+        _program->addGlobal(decl);
+        declareName(name.text, NameKind::Scalar);
+    }
+
+    void
+    parseConstDecl()
+    {
+        expect(TokenKind::KwConst, "");
+        const Token &name = expect(TokenKind::Identifier, "const name");
+        expect(TokenKind::Colon, "in const declaration");
+        bool weighted = false;
+        const TypeDesc type = parseType(&weighted);
+        auto decl = std::make_shared<VarDeclStmt>(name.text, type);
+        if (type.kind == TypeDesc::Kind::EdgeSet)
+            decl->setMetadata("weighted", weighted);
+
+        if (match(TokenKind::Assign))
+            parseConstInit(*decl);
+        expect(TokenKind::Semicolon, "after const declaration");
+        _program->addGlobal(decl);
+        declareName(name.text, nameKindOf(type));
+    }
+
+    /** Initializers of const declarations. */
+    void
+    parseConstInit(VarDeclStmt &decl)
+    {
+        // load(argv[k]) — graph input (bound at run time).
+        if (checkIdent("load")) {
+            advance();
+            expect(TokenKind::LParen, "after load");
+            const int64_t index = parseArgvIndex();
+            expect(TokenKind::RParen, "after load argument");
+            decl.setMetadata("load_arg", static_cast<int>(index));
+            return;
+        }
+        // edges.getVertices() / edges.transpose()
+        if (check(TokenKind::Identifier) &&
+            nameKind(peek().text) == NameKind::EdgeSet &&
+            peek(1).kind == TokenKind::Dot) {
+            const std::string base = advance().text;
+            advance(); // '.'
+            const Token &method = expect(TokenKind::Identifier, "method");
+            expect(TokenKind::LParen, "after method");
+            expect(TokenKind::RParen, "after method");
+            if (method.text == "getVertices") {
+                decl.setMetadata("all_vertices_of", base);
+            } else if (method.text == "getOutDegrees") {
+                decl.setMetadata("out_degrees_of", base);
+            } else if (method.text == "transpose") {
+                decl.setMetadata("transpose_of", base);
+            } else {
+                failAt("unknown edgeset initializer: " + method.text,
+                       method.line);
+            }
+            return;
+        }
+        // Scalar constant initializer expression.
+        decl.init = parseExpr();
+    }
+
+    // --- functions -----------------------------------------------------------
+    void
+    parseFunc()
+    {
+        expect(TokenKind::KwFunc, "");
+        const Token &name = expect(TokenKind::Identifier, "function name");
+        auto func = std::make_shared<Function>();
+        func->name = name.text;
+
+        expect(TokenKind::LParen, "after function name");
+        if (!check(TokenKind::RParen)) {
+            do {
+                const Token &param =
+                    expect(TokenKind::Identifier, "parameter name");
+                expect(TokenKind::Colon, "in parameter");
+                const TypeDesc type = parseType();
+                func->params.push_back({param.text, type});
+            } while (match(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "after parameters");
+
+        if (match(TokenKind::Arrow)) {
+            const Token &result =
+                expect(TokenKind::Identifier, "result name");
+            expect(TokenKind::Colon, "in result declaration");
+            func->resultName = result.text;
+            func->resultType = parseType();
+        }
+
+        _localNames.clear();
+        for (const Param &param : func->params)
+            _localNames.insert(param.name);
+        if (func->hasResult())
+            _localNames.insert(func->resultName);
+
+        func->body = parseBlock({TokenKind::KwEnd});
+        expect(TokenKind::KwEnd, "to close function");
+        _program->addFunction(func);
+        declareName(func->name, NameKind::Function);
+    }
+
+    /** Parse statements until one of @p terminators (not consumed). */
+    std::vector<StmtPtr>
+    parseBlock(std::initializer_list<TokenKind> terminators)
+    {
+        std::vector<StmtPtr> body;
+        for (;;) {
+            for (TokenKind t : terminators)
+                if (check(t))
+                    return body;
+            if (check(TokenKind::EndOfFile))
+                fail("unexpected end of file inside a block");
+            body.push_back(parseStmt());
+        }
+    }
+
+    // --- statements ------------------------------------------------------------
+    StmtPtr
+    parseStmt()
+    {
+        std::string label;
+        if (check(TokenKind::Label))
+            label = advance().text;
+        StmtPtr stmt = parseUnlabeledStmt();
+        if (!label.empty())
+            stmt->label = label;
+        return stmt;
+    }
+
+    StmtPtr
+    parseUnlabeledStmt()
+    {
+        if (check(TokenKind::KwVar))
+            return parseVarDecl();
+        if (check(TokenKind::KwWhile))
+            return parseWhile();
+        if (check(TokenKind::KwIf))
+            return parseIf();
+        if (check(TokenKind::KwFor))
+            return parseFor();
+        if (match(TokenKind::KwDelete)) {
+            const Token &name =
+                expect(TokenKind::Identifier, "after delete");
+            expect(TokenKind::Semicolon, "after delete");
+            return std::make_shared<DeleteStmt>(name.text);
+        }
+        return parseSimpleStmt();
+    }
+
+    StmtPtr
+    parseVarDecl()
+    {
+        expect(TokenKind::KwVar, "");
+        const Token &name = expect(TokenKind::Identifier, "variable name");
+        expect(TokenKind::Colon, "in var declaration");
+        const TypeDesc type = parseType();
+        _localNames.insert(name.text);
+
+        if (!match(TokenKind::Assign)) {
+            expect(TokenKind::Semicolon, "after var declaration");
+            return std::make_shared<VarDeclStmt>(name.text, type);
+        }
+
+        // `new` allocations.
+        if (check(TokenKind::KwNew))
+            return parseNewInit(name.text, type);
+
+        ExprOrChain init = parseExprOrChain();
+        expect(TokenKind::Semicolon, "after var declaration");
+        if (init.expr)
+            return std::make_shared<VarDeclStmt>(name.text, type, init.expr);
+        return lowerChainStmt(*init.chain, name.text, type);
+    }
+
+    StmtPtr
+    parseNewInit(const std::string &name, const TypeDesc &type)
+    {
+        expect(TokenKind::KwNew, "");
+        bool weighted = false;
+        const TypeDesc new_type = parseType(&weighted);
+        if (new_type.kind != type.kind)
+            fail("new-expression type does not match declaration");
+        expect(TokenKind::LParen, "in new-expression");
+
+        auto decl = std::make_shared<VarDeclStmt>(name, type);
+        if (type.kind == TypeDesc::Kind::PrioQueue) {
+            // new priority_queue{Vertex}(priorities, delta, start_vertex)
+            const Token &prop =
+                expect(TokenKind::Identifier, "priority property");
+            expect(TokenKind::Comma, "in priority_queue arguments");
+            ExprPtr delta = parseExpr();
+            expect(TokenKind::Comma, "in priority_queue arguments");
+            ExprPtr start = parseExpr();
+            std::vector<ExprPtr> args{varRef(prop.text), delta, start};
+            decl->init = std::make_shared<CallExpr>("__pq_new",
+                                                    std::move(args));
+        } else if (!check(TokenKind::RParen)) {
+            decl->init = parseExpr(); // vertexset size (0 == empty)
+        }
+        expect(TokenKind::RParen, "after new-expression");
+        expect(TokenKind::Semicolon, "after var declaration");
+        return decl;
+    }
+
+    StmtPtr
+    parseWhile()
+    {
+        expect(TokenKind::KwWhile, "");
+        ExprPtr cond = parseExpr();
+        auto body = parseBlock({TokenKind::KwEnd});
+        expect(TokenKind::KwEnd, "to close while");
+        return std::make_shared<WhileStmt>(std::move(cond), std::move(body));
+    }
+
+    StmtPtr
+    parseIf()
+    {
+        expect(TokenKind::KwIf, "");
+        ExprPtr cond = parseExpr();
+        auto then_body = parseBlock({TokenKind::KwEnd, TokenKind::KwElse});
+        std::vector<StmtPtr> else_body;
+        if (match(TokenKind::KwElse))
+            else_body = parseBlock({TokenKind::KwEnd});
+        expect(TokenKind::KwEnd, "to close if");
+        return std::make_shared<IfStmt>(std::move(cond),
+                                        std::move(then_body),
+                                        std::move(else_body));
+    }
+
+    StmtPtr
+    parseFor()
+    {
+        expect(TokenKind::KwFor, "");
+        const Token &var = expect(TokenKind::Identifier, "loop variable");
+        expect(TokenKind::KwIn, "in for statement");
+        ExprPtr lo = parseExpr();
+        expect(TokenKind::Colon, "in for range");
+        ExprPtr hi = parseExpr();
+        _localNames.insert(var.text);
+        auto body = parseBlock({TokenKind::KwEnd});
+        expect(TokenKind::KwEnd, "to close for");
+        return std::make_shared<ForRangeStmt>(var.text, std::move(lo),
+                                              std::move(hi),
+                                              std::move(body));
+    }
+
+    /** Assignment / reduction / expression-statement. */
+    StmtPtr
+    parseSimpleStmt()
+    {
+        // lvalue: ident or ident[expr]
+        const Token &name = expect(TokenKind::Identifier, "statement");
+
+        if (check(TokenKind::LBracket)) {
+            advance();
+            ExprPtr index = parseExpr();
+            expect(TokenKind::RBracket, "after index");
+            return parsePropAssign(name.text, std::move(index));
+        }
+
+        if (check(TokenKind::Dot)) {
+            ParsedChain chain = parseChainSteps(name.text, name.line);
+            expect(TokenKind::Semicolon, "after statement");
+            return lowerChainStmt(chain, "", TypeDesc{});
+        }
+
+        // Scalar or set assignment, or min=/max= reduction on a scalar.
+        if (match(TokenKind::Assign)) {
+            ExprOrChain value = parseExprOrChain();
+            expect(TokenKind::Semicolon, "after assignment");
+            if (value.expr)
+                return std::make_shared<AssignStmt>(name.text, value.expr);
+            return lowerChainStmt(*value.chain, name.text, TypeDesc{});
+        }
+        if (match(TokenKind::PlusAssign)) {
+            ExprPtr value = parseExpr();
+            expect(TokenKind::Semicolon, "after '+='");
+            return std::make_shared<AssignStmt>(
+                name.text,
+                binary(BinaryOp::Add, varRef(name.text), std::move(value)));
+        }
+        fail("expected an assignment or method call");
+    }
+
+    StmtPtr
+    parsePropAssign(const std::string &prop, ExprPtr index)
+    {
+        // prop[i] = v | prop[i] += v | prop[i] min= v | prop[i] max= v
+        if (match(TokenKind::Assign)) {
+            ExprPtr value = parseExpr();
+            expect(TokenKind::Semicolon, "after assignment");
+            return std::make_shared<PropWriteStmt>(prop, std::move(index),
+                                                   std::move(value));
+        }
+        if (match(TokenKind::PlusAssign)) {
+            ExprPtr value = parseExpr();
+            expect(TokenKind::Semicolon, "after '+='");
+            return std::make_shared<ReductionStmt>(prop, std::move(index),
+                                                   ReductionType::Sum,
+                                                   std::move(value));
+        }
+        // `min=` / `max=` lex as Identifier('min'|'max') + '='.
+        if (check(TokenKind::Identifier) &&
+            (peek().text == "min" || peek().text == "max") &&
+            peek(1).kind == TokenKind::Assign) {
+            const bool is_min = advance().text == "min";
+            advance(); // '='
+            ExprPtr value = parseExpr();
+            expect(TokenKind::Semicolon, "after reduction");
+            return std::make_shared<ReductionStmt>(
+                prop, std::move(index),
+                is_min ? ReductionType::Min : ReductionType::Max,
+                std::move(value));
+        }
+        fail("expected '=', '+=', 'min=' or 'max=' after indexed lvalue");
+    }
+
+    // --- method chains -----------------------------------------------------------
+    ParsedChain
+    parseChainSteps(const std::string &base, int line)
+    {
+        ParsedChain chain;
+        chain.base = base;
+        chain.line = line;
+        while (match(TokenKind::Dot)) {
+            ChainStep step;
+            const Token &method =
+                expect(TokenKind::Identifier, "method name");
+            step.method = method.text;
+            step.line = method.line;
+            expect(TokenKind::LParen, "after method name");
+            if (!check(TokenKind::RParen)) {
+                do {
+                    // Bare identifiers naming functions/sets stay names;
+                    // everything else is an expression.
+                    if (check(TokenKind::Identifier) &&
+                        peek(1).kind != TokenKind::LBracket &&
+                        peek(1).kind != TokenKind::Dot &&
+                        !isExprFollow(peek(1).kind)) {
+                        step.nameArgs.push_back(advance().text);
+                        step.args.push_back(nullptr);
+                    } else {
+                        step.args.push_back(parseExpr());
+                        step.nameArgs.push_back("");
+                    }
+                } while (match(TokenKind::Comma));
+            }
+            expect(TokenKind::RParen, "after method arguments");
+            chain.steps.push_back(std::move(step));
+        }
+        return chain;
+    }
+
+    /** True if @p kind can continue an expression after an identifier. */
+    static bool
+    isExprFollow(TokenKind kind)
+    {
+        switch (kind) {
+          case TokenKind::Plus:
+          case TokenKind::Minus:
+          case TokenKind::Star:
+          case TokenKind::Slash:
+          case TokenKind::Eq:
+          case TokenKind::Ne:
+          case TokenKind::Lt:
+          case TokenKind::Le:
+          case TokenKind::Gt:
+          case TokenKind::Ge:
+          case TokenKind::KwAnd:
+          case TokenKind::KwOr:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /**
+     * Lower a method chain appearing in statement position.
+     * @param target name of the variable receiving the result ("" if none)
+     * @param target_type declared type when this is a var-decl initializer
+     */
+    StmtPtr
+    lowerChainStmt(const ParsedChain &chain, const std::string &target,
+                   const TypeDesc &target_type)
+    {
+        const auto base_kind = nameKind(chain.base);
+
+        if (base_kind == NameKind::EdgeSet)
+            return lowerEdgeSetChain(chain, target, target_type);
+
+        // All non-edgeset chains are single-step operators dispatched by
+        // method name (the base may be a main-local, so its kind is not
+        // always statically known here; sema validates the operands).
+        if (chain.steps.size() == 1) {
+            const ChainStep &step = chain.steps[0];
+            if (step.method == "apply" || step.method == "filter")
+                return lowerVertexSetApply(chain, target);
+            if (step.method == "addVertex") {
+                requireArgs(step, 1);
+                return std::make_shared<EnqueueVertexStmt>(
+                    chain.base, argExpr(step, 0));
+            }
+            if (step.method == "dedup")
+                return std::make_shared<VertexSetDedupStmt>(chain.base);
+            if (step.method == "dequeue_ready_set") {
+                auto call = std::make_shared<CallExpr>(
+                    "__pq_dequeue",
+                    std::vector<ExprPtr>{varRef(chain.base)});
+                return wrapDeclOrAssign(target, target_type, call);
+            }
+            if (step.method == "updatePriorityMin") {
+                requireArgs(step, 2);
+                return std::make_shared<UpdatePriorityStmt>(
+                    UpdatePriorityStmt::Kind::Min, chain.base,
+                    argExpr(step, 0), argExpr(step, 1));
+            }
+            if (step.method == "append") {
+                if (step.nameArgs.size() != 1 || step.nameArgs[0].empty())
+                    failAt("append expects a vertexset name", step.line);
+                return std::make_shared<ListAppendStmt>(chain.base,
+                                                        step.nameArgs[0]);
+            }
+            if (step.method == "retrieve") {
+                if (target.empty())
+                    failAt("retrieve needs a target", step.line);
+                auto stmt = std::make_shared<ListRetrieveStmt>(chain.base,
+                                                               target);
+                if (target_type.kind == TypeDesc::Kind::VertexSet)
+                    stmt->setMetadata("needs_allocation", true);
+                return stmt;
+            }
+        }
+        failAt("cannot lower method chain on '" + chain.base + "'",
+               chain.line);
+    }
+
+    /** Argument @p index as an expression (bare names become VarRefs). */
+    static ExprPtr
+    argExpr(const ChainStep &step, size_t index)
+    {
+        if (step.args[index])
+            return step.args[index];
+        return varRef(step.nameArgs[index]);
+    }
+
+    void
+    requireArgs(const ChainStep &step, size_t count) const
+    {
+        if (step.args.size() != count)
+            failAt("method " + step.method + " expects " +
+                       std::to_string(count) + " argument(s)",
+                   step.line);
+    }
+
+    StmtPtr
+    lowerVertexSetApply(const ParsedChain &chain, const std::string &target)
+    {
+        const ChainStep &step = chain.steps[0];
+        requireArgs(step, 1);
+        if (step.nameArgs[0].empty())
+            failAt("apply/filter expects a function name", step.line);
+        auto stmt = std::make_shared<VertexSetIteratorStmt>();
+        stmt->inputSet = chain.base;
+        if (step.method == "apply") {
+            stmt->applyFunc = step.nameArgs[0];
+        } else {
+            stmt->filterFunc = step.nameArgs[0];
+            stmt->outputSet = target;
+        }
+        return stmt;
+    }
+
+    StmtPtr
+    lowerEdgeSetChain(const ParsedChain &chain, const std::string &target,
+                      const TypeDesc &target_type)
+    {
+        auto stmt = std::make_shared<EdgeSetIteratorStmt>();
+        stmt->graph = chain.base;
+        bool has_apply = false;
+        for (const ChainStep &step : chain.steps) {
+            if (step.method == "from") {
+                requireArgs(step, 1);
+                const std::string &name = step.nameArgs[0];
+                if (name.empty())
+                    failAt("from() expects a name", step.line);
+                // A vertexset input frontier or a source-filter function.
+                if (nameKind(name) == NameKind::Function)
+                    stmt->srcFilter = name;
+                else
+                    stmt->inputSet = name;
+            } else if (step.method == "to") {
+                requireArgs(step, 1);
+                if (step.nameArgs[0].empty())
+                    failAt("to() expects a function name", step.line);
+                stmt->dstFilter = step.nameArgs[0];
+            } else if (step.method == "apply") {
+                requireArgs(step, 1);
+                stmt->applyFunc = step.nameArgs[0];
+                has_apply = true;
+            } else if (step.method == "applyModified") {
+                if (step.args.size() < 2 || step.nameArgs[0].empty() ||
+                    step.nameArgs[1].empty()) {
+                    failAt("applyModified(func, property[, bool])",
+                           step.line);
+                }
+                stmt->applyFunc = step.nameArgs[0];
+                stmt->trackedProp = step.nameArgs[1];
+                stmt->trackChanges = true;
+                if (step.args.size() == 3) {
+                    // Third arg: dedup flag (true/false literal).
+                    if (step.args[2] &&
+                        step.args[2]->kind == ExprKind::IntConst) {
+                        stmt->setMetadata(
+                            "apply_deduplication",
+                            static_cast<const IntConstExpr &>(
+                                *step.args[2]).value != 0);
+                    }
+                }
+                has_apply = true;
+            } else if (step.method == "applyUpdatePriority") {
+                requireArgs(step, 1);
+                stmt->applyFunc = step.nameArgs[0];
+                stmt->setMetadata("ordered", true);
+                has_apply = true;
+            } else {
+                failAt("unknown edgeset operator: " + step.method,
+                       step.line);
+            }
+        }
+        if (!has_apply)
+            failAt("edge traversal without an apply operator", chain.line);
+        if (!target.empty()) {
+            stmt->outputSet = target;
+            stmt->setMetadata("requires_output", true);
+        }
+        if (target_type.kind == TypeDesc::Kind::VertexSet)
+            stmt->setMetadata("declares_output", true);
+        return stmt;
+    }
+
+    StmtPtr
+    wrapDeclOrAssign(const std::string &target, const TypeDesc &target_type,
+                     ExprPtr value)
+    {
+        if (target.empty())
+            return std::make_shared<ExprStmt>(std::move(value));
+        if (target_type.kind == TypeDesc::Kind::VertexSet) {
+            return std::make_shared<VarDeclStmt>(target, target_type,
+                                                 std::move(value));
+        }
+        return std::make_shared<AssignStmt>(target, std::move(value));
+    }
+
+    // --- expressions ------------------------------------------------------------
+    ExprPtr
+    parseExpr()
+    {
+        ExprOrChain result = parseExprOrChain();
+        if (!result.expr)
+            fail("method chain is not valid in this expression context");
+        return result.expr;
+    }
+
+    ExprOrChain
+    parseExprOrChain()
+    {
+        return parseOr();
+    }
+
+    ExprOrChain
+    parseOr()
+    {
+        ExprOrChain lhs = parseAnd();
+        while (check(TokenKind::KwOr)) {
+            advance();
+            lhs = {binary(BinaryOp::Or, requireExpr(lhs),
+                          requireExpr(parseAnd())),
+                   std::nullopt};
+        }
+        return lhs;
+    }
+
+    ExprOrChain
+    parseAnd()
+    {
+        ExprOrChain lhs = parseCompare();
+        while (check(TokenKind::KwAnd)) {
+            advance();
+            lhs = {binary(BinaryOp::And, requireExpr(lhs),
+                          requireExpr(parseCompare())),
+                   std::nullopt};
+        }
+        return lhs;
+    }
+
+    ExprOrChain
+    parseCompare()
+    {
+        ExprOrChain lhs = parseAdditive();
+        BinaryOp op;
+        if (check(TokenKind::Eq))
+            op = BinaryOp::Eq;
+        else if (check(TokenKind::Ne))
+            op = BinaryOp::Ne;
+        else if (check(TokenKind::Lt))
+            op = BinaryOp::Lt;
+        else if (check(TokenKind::Le))
+            op = BinaryOp::Le;
+        else if (check(TokenKind::Gt))
+            op = BinaryOp::Gt;
+        else if (check(TokenKind::Ge))
+            op = BinaryOp::Ge;
+        else
+            return lhs;
+        advance();
+        return {binary(op, requireExpr(lhs), requireExpr(parseAdditive())),
+                std::nullopt};
+    }
+
+    ExprOrChain
+    parseAdditive()
+    {
+        ExprOrChain lhs = parseMultiplicative();
+        for (;;) {
+            BinaryOp op;
+            if (check(TokenKind::Plus))
+                op = BinaryOp::Add;
+            else if (check(TokenKind::Minus))
+                op = BinaryOp::Sub;
+            else
+                return lhs;
+            advance();
+            lhs = {binary(op, requireExpr(lhs),
+                          requireExpr(parseMultiplicative())),
+                   std::nullopt};
+        }
+    }
+
+    ExprOrChain
+    parseMultiplicative()
+    {
+        ExprOrChain lhs = parseUnary();
+        for (;;) {
+            BinaryOp op;
+            if (check(TokenKind::Star))
+                op = BinaryOp::Mul;
+            else if (check(TokenKind::Slash))
+                op = BinaryOp::Div;
+            else
+                return lhs;
+            advance();
+            lhs = {binary(op, requireExpr(lhs),
+                          requireExpr(parseUnary())),
+                   std::nullopt};
+        }
+    }
+
+    ExprOrChain
+    parseUnary()
+    {
+        if (match(TokenKind::Minus))
+            return {unary(UnaryOp::Neg, requireExpr(parseUnary())),
+                    std::nullopt};
+        if (check(TokenKind::Bang) || check(TokenKind::KwNot)) {
+            advance();
+            return {unary(UnaryOp::Not, requireExpr(parseUnary())),
+                    std::nullopt};
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    requireExpr(const ExprOrChain &value)
+    {
+        if (!value.expr)
+            fail("method chain is not valid inside an expression");
+        return value.expr;
+    }
+
+    ExprOrChain
+    parsePostfix()
+    {
+        ExprOrChain base = parsePrimary();
+        for (;;) {
+            if (base.expr && check(TokenKind::LBracket)) {
+                advance();
+                ExprPtr index = parseExpr();
+                expect(TokenKind::RBracket, "after index");
+                const auto *ref =
+                    dynamic_cast<const VarRefExpr *>(base.expr.get());
+                if (!ref)
+                    fail("indexing requires a property name");
+                base = {propRead(ref->name, std::move(index)),
+                        std::nullopt};
+                continue;
+            }
+            if (check(TokenKind::Dot)) {
+                // Method chain rooted at a variable reference.
+                std::string name;
+                if (base.expr) {
+                    const auto *ref =
+                        dynamic_cast<const VarRefExpr *>(base.expr.get());
+                    if (!ref)
+                        fail("method call on a non-variable");
+                    name = ref->name;
+                } else {
+                    name = base.chain->base;
+                    fail("nested method chains are not supported");
+                }
+                ParsedChain chain = parseChainSteps(name, peek().line);
+                // Expression-valued intrinsic chains resolve here.
+                if (chain.steps.size() == 1) {
+                    const ChainStep &step = chain.steps[0];
+                    if (step.method == "getVertexSetSize") {
+                        base = {vertexSetSize(chain.base), std::nullopt};
+                        continue;
+                    }
+                    if (step.method == "finished") {
+                        base = {std::make_shared<CallExpr>(
+                                    "__pq_finished",
+                                    std::vector<ExprPtr>{
+                                        varRef(chain.base)}),
+                                std::nullopt};
+                        continue;
+                    }
+                    if (step.method == "size") {
+                        base = {vertexSetSize(chain.base), std::nullopt};
+                        continue;
+                    }
+                }
+                return {nullptr, std::move(chain)};
+            }
+            return base;
+        }
+    }
+
+    ExprOrChain
+    parsePrimary()
+    {
+        if (check(TokenKind::IntLiteral))
+            return {intConst(advance().intValue), std::nullopt};
+        if (check(TokenKind::FloatLiteral))
+            return {floatConst(advance().floatValue), std::nullopt};
+        if (match(TokenKind::KwTrue))
+            return {intConst(1), std::nullopt};
+        if (match(TokenKind::KwFalse))
+            return {intConst(0), std::nullopt};
+        if (match(TokenKind::LParen)) {
+            ExprPtr inner = parseExpr();
+            expect(TokenKind::RParen, "after parenthesized expression");
+            return {inner, std::nullopt};
+        }
+        if (check(TokenKind::Identifier)) {
+            const Token &name = advance();
+            // atoi(argv[k]) intrinsic.
+            if (name.text == "atoi" && check(TokenKind::LParen)) {
+                advance();
+                const int64_t index = parseArgvIndex();
+                expect(TokenKind::RParen, "after atoi argument");
+                return {argvScalar(index), std::nullopt};
+            }
+            return {varRef(name.text), std::nullopt};
+        }
+        fail("expected an expression");
+    }
+
+    std::vector<Token> _tokens;
+    size_t _pos = 0;
+    ProgramPtr _program;
+    std::map<std::string, NameKind> _names;
+    std::set<std::string> _localNames;
+};
+
+} // namespace
+
+ProgramPtr
+parseProgram(const std::string &source, const std::string &name)
+{
+    return Parser(tokenize(source), name).run();
+}
+
+} // namespace ugc::frontend

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Recursive-descent parser for the GraphIt algorithm language (§II-A).
+ *
+ * The parser lowers algorithm sources (Fig 2) directly into GraphIR —
+ * UGC's frontend AST and GraphIR coincide because GraphIR is already a
+ * high-level domain representation. Method chains such as
+ * `edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true)`
+ * become EdgeSetIterator statements with their arguments filled in;
+ * hardware-independent lowering (midend) then rewrites UDFs and attaches
+ * metadata.
+ *
+ * Supported surface (subset of GraphIt + the ordered extensions):
+ *   - `element`, `const`, `extern` program declarations
+ *   - `func name(args) [-> res : type] ... end`
+ *   - statements: var/assign/reduce (`+=`, `min=`, `max=`), while, if/else,
+ *     for-in, delete, labeled statements (#s0#), method-call statements
+ *   - edgeset operators: from/to/srcFilter/apply/applyModified/
+ *     applyUpdatePriority; vertexset operators: apply/filter/addVertex;
+ *     priority-queue and frontier-list operators
+ *   - intrinsics: load(argv[k]), atoi(argv[k]), getVertexSetSize,
+ *     transpose, getVertices
+ */
+#ifndef UGC_FRONTEND_PARSER_H
+#define UGC_FRONTEND_PARSER_H
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace ugc::frontend {
+
+/**
+ * Parse @p source into a GraphIR program.
+ * @throws ParseError on lexical/syntax errors.
+ */
+ProgramPtr parseProgram(const std::string &source,
+                        const std::string &name = "program");
+
+} // namespace ugc::frontend
+
+#endif // UGC_FRONTEND_PARSER_H

@@ -1,0 +1,201 @@
+#include "frontend/sema.h"
+
+#include <set>
+
+#include "frontend/parser.h"
+#include "ir/walk.h"
+
+namespace ugc::frontend {
+
+namespace {
+
+class Sema
+{
+  public:
+    explicit Sema(Program &program) : _program(program) {}
+
+    void
+    run()
+    {
+        for (const auto &global : _program.globals)
+            _globalNames.insert(global->name);
+
+        if (!_program.mainFunction())
+            throw SemaError("program has no main function");
+
+        for (const FunctionPtr &func : _program.functions()) {
+            if (func->name == "main")
+                checkMain(*func);
+            else
+                checkUdf(*func);
+        }
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw SemaError("sema: " + message);
+    }
+
+    FunctionPtr
+    requireFunction(const std::string &name, size_t min_params,
+                    size_t max_params, const std::string &role) const
+    {
+        FunctionPtr func = _program.findFunction(name);
+        if (!func)
+            fail("undefined function '" + name + "' used as " + role);
+        if (func->params.size() < min_params ||
+            func->params.size() > max_params) {
+            fail("function '" + name + "' has wrong arity for " + role);
+        }
+        return func;
+    }
+
+    void
+    requireGlobalKind(const std::string &name, TypeDesc::Kind kind,
+                      const std::string &role) const
+    {
+        const VarDeclStmt *decl = _program.findGlobal(name);
+        if (!decl)
+            return; // may be a main-local variable; checked dynamically
+        if (decl->type.kind != kind)
+            fail("'" + name + "' has the wrong type for " + role);
+    }
+
+    /** Find the priority queue a UDF updates (applyUpdatePriority). */
+    std::string
+    queueUpdatedBy(const Function &udf) const
+    {
+        std::string queue;
+        walkStmts(udf.body, [&](const StmtPtr &stmt, const std::string &) {
+            if (stmt->kind == StmtKind::UpdatePriority) {
+                queue = static_cast<const UpdatePriorityStmt &>(*stmt).queue;
+            }
+        });
+        return queue;
+    }
+
+    void
+    checkMain(Function &main)
+    {
+        walkStmts(main.body, [&](const StmtPtr &stmt, const std::string &) {
+            switch (stmt->kind) {
+              case StmtKind::EdgeSetIterator: {
+                auto &node = static_cast<EdgeSetIteratorStmt &>(*stmt);
+                checkEdgeSetIterator(node);
+                break;
+              }
+              case StmtKind::VertexSetIterator: {
+                auto &node = static_cast<VertexSetIteratorStmt &>(*stmt);
+                if (!node.applyFunc.empty())
+                    requireFunction(node.applyFunc, 1, 1, "vertex apply");
+                if (!node.filterFunc.empty()) {
+                    FunctionPtr filter = requireFunction(
+                        node.filterFunc, 1, 1, "vertex filter");
+                    if (!filter->hasResult())
+                        fail("filter function '" + node.filterFunc +
+                             "' must return bool");
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        });
+    }
+
+    void
+    checkEdgeSetIterator(EdgeSetIteratorStmt &node)
+    {
+        const VarDeclStmt *graph = _program.findGlobal(node.graph);
+        if (!graph || graph->type.kind != TypeDesc::Kind::EdgeSet)
+            fail("'" + node.graph + "' is not an edgeset");
+
+        FunctionPtr apply = requireFunction(node.applyFunc, 2, 3,
+                                            "edge apply");
+        node.setMetadata("needs_weight", apply->params.size() == 3);
+        if (apply->params.size() == 3 &&
+            !graph->getMetadataOr("weighted", false)) {
+            fail("weighted apply function '" + node.applyFunc +
+                 "' on unweighted edgeset '" + node.graph + "'");
+        }
+
+        if (!node.dstFilter.empty()) {
+            FunctionPtr filter =
+                requireFunction(node.dstFilter, 1, 1, "destination filter");
+            if (!filter->hasResult())
+                fail("filter '" + node.dstFilter + "' must return bool");
+        }
+        if (!node.srcFilter.empty()) {
+            FunctionPtr filter =
+                requireFunction(node.srcFilter, 1, 1, "source filter");
+            if (!filter->hasResult())
+                fail("filter '" + node.srcFilter + "' must return bool");
+        }
+        if (!node.trackedProp.empty())
+            requireGlobalKind(node.trackedProp, TypeDesc::Kind::VertexData,
+                              "applyModified tracking");
+        if (node.inputSet.empty())
+            node.setMetadata("is_all_edges", true);
+
+        // Ordered operators: record which queue the UDF updates.
+        if (node.getMetadataOr("ordered", false)) {
+            const std::string queue = queueUpdatedBy(*apply);
+            if (queue.empty())
+                fail("applyUpdatePriority UDF '" + node.applyFunc +
+                     "' never updates a priority queue");
+            node.queue = queue;
+        }
+    }
+
+    void
+    checkUdf(Function &udf)
+    {
+        // Property references inside UDFs must name VertexData globals;
+        // scalar reads may reference scalar globals.
+        walkStmts(udf.body, [&](const StmtPtr &stmt, const std::string &) {
+            stmtExprs(stmt, [&](const ExprPtr &expr) {
+                if (expr->kind == ExprKind::PropRead) {
+                    const auto &node =
+                        static_cast<const PropReadExpr &>(*expr);
+                    requireGlobalKind(node.prop, TypeDesc::Kind::VertexData,
+                                      "property read");
+                }
+            });
+            if (stmt->kind == StmtKind::PropWrite) {
+                requireGlobalKind(
+                    static_cast<const PropWriteStmt &>(*stmt).prop,
+                    TypeDesc::Kind::VertexData, "property write");
+            } else if (stmt->kind == StmtKind::Reduction) {
+                requireGlobalKind(
+                    static_cast<const ReductionStmt &>(*stmt).prop,
+                    TypeDesc::Kind::VertexData, "reduction");
+            } else if (stmt->kind == StmtKind::EdgeSetIterator ||
+                       stmt->kind == StmtKind::VertexSetIterator) {
+                fail("nested traversal inside UDF '" + udf.name + "'");
+            }
+        });
+    }
+
+    Program &_program;
+    std::set<std::string> _globalNames;
+};
+
+} // namespace
+
+void
+analyze(Program &program)
+{
+    Sema(program).run();
+}
+
+ProgramPtr
+compileSource(const std::string &source, const std::string &name)
+{
+    ProgramPtr program = parseProgram(source, name);
+    analyze(*program);
+    return program;
+}
+
+} // namespace ugc::frontend

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Semantic analysis over freshly parsed GraphIR.
+ *
+ * Validates name references and operator arities, and annotates
+ * EdgeSetIterator nodes with facts later passes rely on (whether the apply
+ * UDF takes an edge weight, whether the traversal is over all edges, which
+ * priority queue an ordered operator updates).
+ */
+#ifndef UGC_FRONTEND_SEMA_H
+#define UGC_FRONTEND_SEMA_H
+
+#include <stdexcept>
+
+#include "ir/program.h"
+
+namespace ugc::frontend {
+
+/** Raised on semantic errors (undefined names, bad arity, ...). */
+class SemaError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Check and annotate @p program in place. @throws SemaError. */
+void analyze(Program &program);
+
+/** parseProgram + analyze in one call (the usual entry point). */
+ProgramPtr compileSource(const std::string &source,
+                         const std::string &name = "program");
+
+} // namespace ugc::frontend
+
+#endif // UGC_FRONTEND_SEMA_H

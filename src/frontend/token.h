@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tokens of the GraphIt algorithm language (§II-A, Fig 2).
+ */
+#ifndef UGC_FRONTEND_TOKEN_H
+#define UGC_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ugc::frontend {
+
+enum class TokenKind {
+    // literals and names
+    Identifier,
+    IntLiteral,
+    FloatLiteral,
+    StringLiteral,
+    Label, ///< #s0#
+
+    // keywords
+    KwFunc, KwEnd, KwVar, KwConst, KwWhile, KwIf, KwElse, KwFor, KwIn,
+    KwNew, KwDelete, KwTrue, KwFalse, KwAnd, KwOr, KwNot, KwElement,
+    KwExtern,
+
+    // punctuation and operators
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semicolon, Colon, Dot, Arrow,
+    Assign, PlusAssign, MinAssign, MaxAssign,
+    Plus, Minus, Star, Slash, Percent,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    Bang,
+
+    EndOfFile,
+};
+
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;     ///< identifier/label/string spelling
+    int64_t intValue = 0;
+    double floatValue = 0.0;
+    int line = 0;
+    int column = 0;
+};
+
+/** Printable name of a token kind (diagnostics). */
+std::string tokenKindName(TokenKind kind);
+
+} // namespace ugc::frontend
+
+#endif // UGC_FRONTEND_TOKEN_H

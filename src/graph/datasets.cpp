@@ -1,0 +1,123 @@
+#include "graph/datasets.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "graph/generators.h"
+
+namespace ugc::datasets {
+
+namespace {
+
+/** Generator parameters for one dataset at one scale. */
+struct Recipe
+{
+    GraphKind kind;
+    // Road graphs: grid rows/cols. Power-law: rmat scale/edge factor.
+    int p1_tiny, p2_tiny;
+    int p1_small, p2_small;
+    int p1_medium, p2_medium;
+    uint64_t seed;
+    std::string description;
+};
+
+const std::map<std::string, Recipe> &
+recipes()
+{
+    // Relative ordering of sizes follows Table VIII: RN < RC < RU among
+    // roads; PK < HW < LJ < OK < IC < TW < SW among social/web by edges.
+    static const std::map<std::string, Recipe> table = {
+        {"RN", {GraphKind::Road, 12, 16, 80, 100, 160, 200, 101,
+                "RoadNetCA stand-in"}},
+        {"RC", {GraphKind::Road, 14, 18, 120, 150, 240, 300, 102,
+                "RoadCentral stand-in"}},
+        {"RU", {GraphKind::Road, 16, 20, 140, 180, 280, 360, 103,
+                "RoadUSA stand-in"}},
+        {"PK", {GraphKind::Social, 8, 8, 12, 12, 14, 18, 104,
+                "Pokec stand-in"}},
+        {"HW", {GraphKind::Social, 8, 16, 11, 32, 13, 48, 105,
+                "Hollywood stand-in"}},
+        {"LJ", {GraphKind::Social, 9, 8, 13, 10, 15, 12, 106,
+                "LiveJournal stand-in"}},
+        {"OK", {GraphKind::Social, 9, 12, 12, 24, 14, 32, 107,
+                "Orkut stand-in"}},
+        {"IC", {GraphKind::Web, 9, 10, 13, 14, 15, 14, 108,
+                "Indochina stand-in"}},
+        {"TW", {GraphKind::Social, 10, 8, 14, 8, 16, 8, 109,
+                "Twitter stand-in"}},
+        {"SW", {GraphKind::Social, 10, 8, 14, 9, 16, 9, 110,
+                "SinaWeibo stand-in"}},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<DatasetInfo> &
+all()
+{
+    static const std::vector<DatasetInfo> list = [] {
+        std::vector<DatasetInfo> v;
+        for (const char *name :
+             {"RN", "RC", "RU", "PK", "HW", "LJ", "OK", "IC", "TW", "SW"}) {
+            const Recipe &r = recipes().at(name);
+            v.push_back({name, r.kind, r.description});
+        }
+        return v;
+    }();
+    return list;
+}
+
+std::vector<std::string>
+hammerBladeSubset()
+{
+    // The paper ran 6 of 10 graphs on HammerBlade (Fig 8 / §IV-D).
+    return {"RN", "RC", "PK", "HW", "LJ", "OK"};
+}
+
+std::vector<std::string>
+roadGraphs()
+{
+    return {"RN", "RC", "RU"};
+}
+
+const DatasetInfo &
+info(const std::string &name)
+{
+    for (const DatasetInfo &d : all())
+        if (d.name == name)
+            return d;
+    throw std::out_of_range("unknown dataset: " + name);
+}
+
+Graph
+load(const std::string &name, Scale scale, bool weighted)
+{
+    auto it = recipes().find(name);
+    if (it == recipes().end())
+        throw std::out_of_range("unknown dataset: " + name);
+    const Recipe &r = it->second;
+    int p1, p2;
+    switch (scale) {
+      case Scale::Tiny:
+        p1 = r.p1_tiny;
+        p2 = r.p2_tiny;
+        break;
+      case Scale::Small:
+        p1 = r.p1_small;
+        p2 = r.p2_small;
+        break;
+      case Scale::Medium:
+      default:
+        p1 = r.p1_medium;
+        p2 = r.p2_medium;
+        break;
+    }
+    if (r.kind == GraphKind::Road)
+        return gen::roadGrid(p1, p2, weighted, r.seed);
+    // Web graphs get a slightly more skewed R-MAT than social graphs.
+    const double a = r.kind == GraphKind::Web ? 0.62 : 0.57;
+    return gen::rmat(p1, p2, a, 0.19, 0.19, weighted, r.seed);
+}
+
+} // namespace ugc::datasets

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Named synthetic stand-ins for the paper's 10 evaluation graphs
+ * (Table VIII), scaled so the cycle-level simulators finish in reasonable
+ * time. The mapping preserves each graph's *class*:
+ *  - RN / RC / RU: road networks (bounded degree, large diameter, weighted);
+ *  - PK / HW / LJ / OK / IC / TW / SW: power-law social/web graphs
+ *    (skewed degrees, small diameter).
+ * Relative sizes between the stand-ins follow the paper's ordering.
+ */
+#ifndef UGC_GRAPH_DATASETS_H
+#define UGC_GRAPH_DATASETS_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ugc::datasets {
+
+/** Graph class, used to pick tuned schedules like the paper does. */
+enum class GraphKind { Road, Social, Web };
+
+/** At what size to instantiate a dataset. */
+enum class Scale {
+    Tiny,   ///< unit tests (hundreds of vertices)
+    Small,  ///< expensive simulators (Swarm, HammerBlade)
+    Medium, ///< analytical simulators and the CPU backend
+};
+
+struct DatasetInfo
+{
+    std::string name;  ///< paper's two-letter code (RN, LJ, ...)
+    GraphKind kind;
+    std::string description;
+};
+
+/** All 10 dataset codes in the paper's order. */
+const std::vector<DatasetInfo> &all();
+
+/** The 6 datasets the paper ran on HammerBlade. */
+std::vector<std::string> hammerBladeSubset();
+
+/** Road-graph codes (RN, RC, RU). */
+std::vector<std::string> roadGraphs();
+
+/** Lookup info by code. @throws std::out_of_range for unknown names. */
+const DatasetInfo &info(const std::string &name);
+
+/**
+ * Instantiate a dataset.
+ * @param weighted build the weighted variant (needed by SSSP)
+ * Deterministic: same (name, scale, weighted) always yields the same graph.
+ */
+Graph load(const std::string &name, Scale scale, bool weighted);
+
+} // namespace ugc::datasets
+
+#endif // UGC_GRAPH_DATASETS_H

@@ -1,0 +1,178 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/rng.h"
+
+namespace ugc::gen {
+
+namespace {
+
+/** Random permutation of [0, n) with the given seed stream. */
+std::vector<VertexId>
+randomPermutation(VertexId n, Rng &rng)
+{
+    std::vector<VertexId> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (VertexId i = n - 1; i > 0; --i) {
+        const auto j =
+            static_cast<VertexId>(rng.nextBounded(static_cast<uint64_t>(i) + 1));
+        std::swap(perm[i], perm[j]);
+    }
+    return perm;
+}
+
+Weight
+randomWeight(Rng &rng, Weight max_weight)
+{
+    return static_cast<Weight>(rng.nextBounded(max_weight)) + 1;
+}
+
+} // namespace
+
+Graph
+rmat(int scale, int edge_factor, double a, double b, double c, bool weighted,
+     uint64_t seed)
+{
+    const VertexId n = VertexId{1} << scale;
+    const EdgeId m = static_cast<EdgeId>(n) * edge_factor;
+    Rng rng(seed);
+    const auto perm = randomPermutation(n, rng);
+
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<size_t>(m));
+    for (EdgeId e = 0; e < m; ++e) {
+        VertexId src = 0, dst = 0;
+        for (int bit = 0; bit < scale; ++bit) {
+            const double r = rng.nextDouble();
+            if (r < a) {
+                // top-left: no bits set
+            } else if (r < a + b) {
+                dst |= VertexId{1} << bit;
+            } else if (r < a + b + c) {
+                src |= VertexId{1} << bit;
+            } else {
+                src |= VertexId{1} << bit;
+                dst |= VertexId{1} << bit;
+            }
+        }
+        edges.push_back({perm[src], perm[dst],
+                         weighted ? randomWeight(rng, 64) : Weight{1}});
+    }
+    return Graph::fromEdges(n, std::move(edges), weighted,
+                            /*symmetrize=*/true);
+}
+
+Graph
+roadGrid(int rows, int cols, bool weighted, uint64_t seed)
+{
+    const VertexId n = static_cast<VertexId>(rows) * cols;
+    Rng rng(seed);
+    // Permute vertex ids: real road-network ids are not laid out in
+    // perfect scan order, and id-adjacent frontiers would otherwise
+    // cluster onto shared cache lines.
+    const auto perm = randomPermutation(n, rng);
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<size_t>(n) * 2);
+
+    auto vid = [cols, &perm](int r, int c) {
+        return perm[static_cast<size_t>(r) * cols + c];
+    };
+
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const VertexId v = vid(r, c);
+            // Right and down neighbors form the base grid.
+            if (c + 1 < cols) {
+                edges.push_back({v, vid(r, c + 1),
+                                 weighted ? randomWeight(rng, 1000)
+                                          : Weight{1}});
+            }
+            if (r + 1 < rows) {
+                edges.push_back({v, vid(r + 1, c),
+                                 weighted ? randomWeight(rng, 1000)
+                                          : Weight{1}});
+            }
+            // Occasional short "diagonal" shortcut keeps degree bounded but
+            // breaks the perfect lattice, like real road networks.
+            if (r + 1 < rows && c + 1 < cols && rng.nextBool(0.05)) {
+                edges.push_back({v, vid(r + 1, c + 1),
+                                 weighted ? randomWeight(rng, 1400)
+                                          : Weight{1}});
+            }
+        }
+    }
+    return Graph::fromEdges(n, std::move(edges), weighted,
+                            /*symmetrize=*/true);
+}
+
+Graph
+uniformRandom(VertexId num_vertices, EdgeId num_edges, bool weighted,
+              uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<size_t>(num_edges));
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        const auto src = static_cast<VertexId>(
+            rng.nextBounded(static_cast<uint64_t>(num_vertices)));
+        const auto dst = static_cast<VertexId>(
+            rng.nextBounded(static_cast<uint64_t>(num_vertices)));
+        edges.push_back(
+            {src, dst, weighted ? randomWeight(rng, 64) : Weight{1}});
+    }
+    return Graph::fromEdges(num_vertices, std::move(edges), weighted,
+                            /*symmetrize=*/true);
+}
+
+Graph
+path(VertexId num_vertices, bool weighted)
+{
+    std::vector<RawEdge> edges;
+    for (VertexId v = 0; v + 1 < num_vertices; ++v)
+        edges.push_back({v, v + 1, weighted ? v % 7 + 1 : 1});
+    return Graph::fromEdges(num_vertices, std::move(edges), weighted, true);
+}
+
+Graph
+cycle(VertexId num_vertices, bool weighted)
+{
+    std::vector<RawEdge> edges;
+    for (VertexId v = 0; v < num_vertices; ++v)
+        edges.push_back(
+            {v, static_cast<VertexId>((v + 1) % num_vertices),
+             weighted ? v % 5 + 1 : 1});
+    return Graph::fromEdges(num_vertices, std::move(edges), weighted, true);
+}
+
+Graph
+star(VertexId num_leaves, bool weighted)
+{
+    std::vector<RawEdge> edges;
+    for (VertexId v = 1; v <= num_leaves; ++v)
+        edges.push_back({0, v, weighted ? v % 9 + 1 : 1});
+    return Graph::fromEdges(num_leaves + 1, std::move(edges), weighted, true);
+}
+
+Graph
+complete(VertexId num_vertices, bool weighted)
+{
+    std::vector<RawEdge> edges;
+    for (VertexId u = 0; u < num_vertices; ++u)
+        for (VertexId v = u + 1; v < num_vertices; ++v)
+            edges.push_back({u, v, weighted ? (u + v) % 11 + 1 : 1});
+    return Graph::fromEdges(num_vertices, std::move(edges), weighted, true);
+}
+
+Graph
+binaryTree(int depth, bool weighted)
+{
+    const VertexId n = (VertexId{1} << (depth + 1)) - 1;
+    std::vector<RawEdge> edges;
+    for (VertexId v = 1; v < n; ++v)
+        edges.push_back({(v - 1) / 2, v, weighted ? v % 4 + 1 : 1});
+    return Graph::fromEdges(n, std::move(edges), weighted, true);
+}
+
+} // namespace ugc::gen

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * These stand in for the paper's 10 input graphs (Table VIII). Two families
+ * matter for the evaluation's schedule tradeoffs:
+ *  - power-law graphs (R-MAT / Kronecker): skewed degrees, small diameter —
+ *    stand-ins for the social/web graphs (OK, TW, LJ, SW, HW, PK, IC);
+ *  - road networks (2-D grid with perturbation, uniform small weights):
+ *    bounded degree, large diameter — stand-ins for RN, RC, RU.
+ * Additional simple shapes (path, star, cycle, complete, binary tree) are
+ * used by the unit and property tests.
+ */
+#ifndef UGC_GRAPH_GENERATORS_H
+#define UGC_GRAPH_GENERATORS_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ugc::gen {
+
+/**
+ * R-MAT generator (Chakrabarti et al.), the standard power-law model.
+ *
+ * @param scale       log2 of the number of vertices
+ * @param edge_factor average directed edges per vertex before dedup
+ * @param a,b,c       recursive quadrant probabilities (d = 1-a-b-c)
+ * @param weighted    assign weights uniform in [1, 64]
+ * @param seed        RNG seed
+ * Vertex ids are randomly permuted so that id order carries no structure.
+ * The result is symmetrized (undirected), matching the paper's datasets.
+ */
+Graph rmat(int scale, int edge_factor, double a = 0.57, double b = 0.19,
+           double c = 0.19, bool weighted = false, uint64_t seed = 1);
+
+/**
+ * Road-network-like graph: a rows×cols grid where each vertex connects to
+ * its right/down neighbors, a fraction of edges is randomly rewired to a
+ * nearby vertex (keeping degrees bounded), and weights are uniform in
+ * [1, 1000] like DIMACS travel times.
+ */
+Graph roadGrid(int rows, int cols, bool weighted = true, uint64_t seed = 2);
+
+/** Erdos-Renyi-style uniform random graph with m directed edges. */
+Graph uniformRandom(VertexId num_vertices, EdgeId num_edges,
+                    bool weighted = false, uint64_t seed = 3);
+
+/** Simple shapes for tests. All undirected (symmetrized). */
+Graph path(VertexId num_vertices, bool weighted = false);
+Graph cycle(VertexId num_vertices, bool weighted = false);
+Graph star(VertexId num_leaves, bool weighted = false);
+Graph complete(VertexId num_vertices, bool weighted = false);
+Graph binaryTree(int depth, bool weighted = false);
+
+} // namespace ugc::gen
+
+#endif // UGC_GRAPH_GENERATORS_H

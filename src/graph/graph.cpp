@@ -1,0 +1,136 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "support/string_util.h"
+
+namespace ugc {
+
+namespace {
+
+/** Sort + dedup edges; keep the minimum weight among duplicates. */
+void
+canonicalize(std::vector<RawEdge> &edges)
+{
+    std::sort(edges.begin(), edges.end(),
+              [](const RawEdge &a, const RawEdge &b) {
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  if (a.dst != b.dst)
+                      return a.dst < b.dst;
+                  return a.weight < b.weight;
+              });
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const RawEdge &a, const RawEdge &b) {
+                                return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+}
+
+} // namespace
+
+Graph
+Graph::fromEdges(VertexId num_vertices, std::vector<RawEdge> edges,
+                 bool weighted, bool symmetrize)
+{
+    if (num_vertices < 0)
+        throw std::invalid_argument("negative vertex count");
+
+    // Drop self loops and validate ids.
+    std::erase_if(edges, [&](const RawEdge &e) {
+        if (e.src < 0 || e.src >= num_vertices || e.dst < 0 ||
+            e.dst >= num_vertices) {
+            throw std::out_of_range("edge endpoint out of range");
+        }
+        return e.src == e.dst;
+    });
+
+    if (symmetrize) {
+        const size_t original = edges.size();
+        edges.reserve(original * 2);
+        for (size_t i = 0; i < original; ++i)
+            edges.push_back({edges[i].dst, edges[i].src, edges[i].weight});
+    }
+    canonicalize(edges);
+
+    Graph g;
+    g._numVertices = num_vertices;
+    g._numEdges = static_cast<EdgeId>(edges.size());
+    g._weighted = weighted;
+
+    // Out-CSR straight from the sorted list.
+    g._outOffsets.assign(num_vertices + 1, 0);
+    for (const RawEdge &e : edges)
+        ++g._outOffsets[e.src + 1];
+    for (VertexId v = 0; v < num_vertices; ++v)
+        g._outOffsets[v + 1] += g._outOffsets[v];
+    g._outNeighbors.resize(edges.size());
+    if (weighted)
+        g._outWeights.resize(edges.size());
+    for (size_t i = 0; i < edges.size(); ++i) {
+        g._outNeighbors[i] = edges[i].dst;
+        if (weighted)
+            g._outWeights[i] = edges[i].weight;
+    }
+
+    // In-CSR via counting sort on dst.
+    g._inOffsets.assign(num_vertices + 1, 0);
+    for (const RawEdge &e : edges)
+        ++g._inOffsets[e.dst + 1];
+    for (VertexId v = 0; v < num_vertices; ++v)
+        g._inOffsets[v + 1] += g._inOffsets[v];
+    g._inNeighbors.resize(edges.size());
+    if (weighted)
+        g._inWeights.resize(edges.size());
+    std::vector<EdgeId> cursor(g._inOffsets.begin(), g._inOffsets.end() - 1);
+    for (const RawEdge &e : edges) {
+        const EdgeId slot = cursor[e.dst]++;
+        g._inNeighbors[slot] = e.src;
+        if (weighted)
+            g._inWeights[slot] = e.weight;
+    }
+    return g;
+}
+
+bool
+Graph::hasEdge(VertexId src, VertexId dst) const
+{
+    const auto nbrs = outNeighbors(src);
+    return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+}
+
+EdgeId
+Graph::maxOutDegree() const
+{
+    EdgeId max_deg = 0;
+    for (VertexId v = 0; v < _numVertices; ++v)
+        max_deg = std::max(max_deg, outDegree(v));
+    return max_deg;
+}
+
+std::vector<RawEdge>
+Graph::toCoo() const
+{
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<size_t>(_numEdges));
+    for (VertexId v = 0; v < _numVertices; ++v) {
+        const auto nbrs = outNeighbors(v);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+            const Weight w = _weighted ? outWeights(v)[i] : 1;
+            edges.push_back({v, nbrs[i], w});
+        }
+    }
+    return edges;
+}
+
+std::string
+Graph::summary() const
+{
+    return strprintf("Graph(|V|=%d, |E|=%lld, %s)", _numVertices,
+                     static_cast<long long>(_numEdges),
+                     _weighted ? "weighted" : "unweighted");
+}
+
+} // namespace ugc

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Core graph data structure: CSR in both directions, optional weights.
+ *
+ * This is the EdgeSet type of GraphIR (Table II in the paper): it can be
+ * viewed in CSR (the default for traversal) or materialized as a COO edge
+ * list (used by edge-parallel load balancing strategies).
+ */
+#ifndef UGC_GRAPH_GRAPH_H
+#define UGC_GRAPH_GRAPH_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/types.h"
+
+namespace ugc {
+
+/** A single (src, dst, weight) triple; COO representation element. */
+struct RawEdge
+{
+    VertexId src;
+    VertexId dst;
+    Weight weight = 1;
+};
+
+/**
+ * Immutable graph in Compressed Sparse Row form, both out- and in-edges.
+ *
+ * Neighbor lists are sorted by destination id. Weighted graphs carry a
+ * parallel weight array per direction. Construction goes through
+ * Graph::fromEdges which deduplicates, optionally symmetrizes, and drops
+ * self-loops.
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+
+    /**
+     * Build a graph from an edge list.
+     *
+     * @param num_vertices vertex-id universe size
+     * @param edges        COO edges (need not be sorted or unique)
+     * @param weighted     keep weights; unweighted graphs store none
+     * @param symmetrize   insert the reverse of every edge
+     */
+    static Graph fromEdges(VertexId num_vertices,
+                           std::vector<RawEdge> edges,
+                           bool weighted = false,
+                           bool symmetrize = false);
+
+    VertexId numVertices() const { return _numVertices; }
+    EdgeId numEdges() const { return _numEdges; }
+    bool isWeighted() const { return _weighted; }
+
+    /** Out-degree of @p v. */
+    EdgeId
+    outDegree(VertexId v) const
+    {
+        return _outOffsets[v + 1] - _outOffsets[v];
+    }
+
+    /** In-degree of @p v. */
+    EdgeId
+    inDegree(VertexId v) const
+    {
+        return _inOffsets[v + 1] - _inOffsets[v];
+    }
+
+    /** Out-neighbors of @p v, sorted ascending. */
+    std::span<const VertexId>
+    outNeighbors(VertexId v) const
+    {
+        return {_outNeighbors.data() + _outOffsets[v],
+                static_cast<size_t>(outDegree(v))};
+    }
+
+    /** In-neighbors of @p v, sorted ascending. */
+    std::span<const VertexId>
+    inNeighbors(VertexId v) const
+    {
+        return {_inNeighbors.data() + _inOffsets[v],
+                static_cast<size_t>(inDegree(v))};
+    }
+
+    /** Weights parallel to outNeighbors(v). @pre isWeighted(). */
+    std::span<const Weight>
+    outWeights(VertexId v) const
+    {
+        return {_outWeights.data() + _outOffsets[v],
+                static_cast<size_t>(outDegree(v))};
+    }
+
+    /** Weights parallel to inNeighbors(v). @pre isWeighted(). */
+    std::span<const Weight>
+    inWeights(VertexId v) const
+    {
+        return {_inWeights.data() + _inOffsets[v],
+                static_cast<size_t>(inDegree(v))};
+    }
+
+    /** CSR offset arrays (used by load-balancing strategies). */
+    const std::vector<EdgeId> &outOffsets() const { return _outOffsets; }
+    const std::vector<EdgeId> &inOffsets() const { return _inOffsets; }
+    const std::vector<VertexId> &outNeighborArray() const
+    {
+        return _outNeighbors;
+    }
+    const std::vector<VertexId> &inNeighborArray() const
+    {
+        return _inNeighbors;
+    }
+
+    /** True if edge (src, dst) exists. O(log deg). */
+    bool hasEdge(VertexId src, VertexId dst) const;
+
+    /** Maximum out-degree over all vertices. */
+    EdgeId maxOutDegree() const;
+
+    /** Materialize the COO (src-sorted) view of the out-edges. */
+    std::vector<RawEdge> toCoo() const;
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+
+  private:
+    VertexId _numVertices = 0;
+    EdgeId _numEdges = 0;
+    bool _weighted = false;
+
+    std::vector<EdgeId> _outOffsets{0};
+    std::vector<VertexId> _outNeighbors;
+    std::vector<Weight> _outWeights;
+
+    std::vector<EdgeId> _inOffsets{0};
+    std::vector<VertexId> _inNeighbors;
+    std::vector<Weight> _inWeights;
+};
+
+} // namespace ugc
+
+#endif // UGC_GRAPH_GRAPH_H

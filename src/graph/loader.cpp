@@ -1,0 +1,249 @@
+#include "graph/loader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/string_util.h"
+
+namespace ugc {
+
+namespace {
+
+std::ifstream
+openOrThrow(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open graph file: " + path);
+    return in;
+}
+
+} // namespace
+
+Graph
+loadEdgeList(std::istream &in, bool symmetrize)
+{
+    std::vector<RawEdge> edges;
+    VertexId max_id = -1;
+    bool weighted = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream fields(line);
+        long long src, dst;
+        if (!(fields >> src >> dst))
+            throw std::runtime_error("malformed edge list line: " + line);
+        long long weight;
+        RawEdge edge{static_cast<VertexId>(src), static_cast<VertexId>(dst),
+                     1};
+        if (fields >> weight) {
+            weighted = true;
+            edge.weight = static_cast<Weight>(weight);
+        }
+        max_id = std::max({max_id, edge.src, edge.dst});
+        edges.push_back(edge);
+    }
+    return Graph::fromEdges(max_id + 1, std::move(edges), weighted,
+                            symmetrize);
+}
+
+Graph
+loadEdgeListFile(const std::string &path, bool symmetrize)
+{
+    auto in = openOrThrow(path);
+    return loadEdgeList(in, symmetrize);
+}
+
+Graph
+loadDimacs(std::istream &in)
+{
+    std::vector<RawEdge> edges;
+    VertexId num_vertices = 0;
+    bool saw_header = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == 'c')
+            continue;
+        std::istringstream fields(line);
+        char tag;
+        fields >> tag;
+        if (tag == 'p') {
+            std::string kind;
+            long long n, m;
+            if (!(fields >> kind >> n >> m) || kind != "sp")
+                throw std::runtime_error("bad DIMACS header: " + line);
+            num_vertices = static_cast<VertexId>(n);
+            edges.reserve(static_cast<size_t>(m));
+            saw_header = true;
+        } else if (tag == 'a') {
+            long long src, dst, weight;
+            if (!(fields >> src >> dst >> weight))
+                throw std::runtime_error("bad DIMACS arc: " + line);
+            edges.push_back({static_cast<VertexId>(src - 1),
+                             static_cast<VertexId>(dst - 1),
+                             static_cast<Weight>(weight)});
+        }
+    }
+    if (!saw_header)
+        throw std::runtime_error("DIMACS file missing 'p sp' header");
+    return Graph::fromEdges(num_vertices, std::move(edges),
+                            /*weighted=*/true, /*symmetrize=*/false);
+}
+
+Graph
+loadDimacsFile(const std::string &path)
+{
+    auto in = openOrThrow(path);
+    return loadDimacs(in);
+}
+
+Graph
+loadMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || !startsWith(line, "%%MatrixMarket"))
+        throw std::runtime_error("missing MatrixMarket banner");
+    const bool symmetric = line.find("symmetric") != std::string::npos;
+    const bool pattern = line.find("pattern") != std::string::npos;
+
+    // Skip remaining comments, then the size line.
+    while (std::getline(in, line)) {
+        line = trim(line);
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream size_fields(line);
+    long long n_rows, n_cols, n_entries;
+    if (!(size_fields >> n_rows >> n_cols >> n_entries))
+        throw std::runtime_error("bad MatrixMarket size line: " + line);
+    const VertexId n = static_cast<VertexId>(std::max(n_rows, n_cols));
+
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<size_t>(n_entries));
+    bool weighted = !pattern;
+    while (std::getline(in, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream fields(line);
+        long long row, col;
+        if (!(fields >> row >> col))
+            throw std::runtime_error("bad MatrixMarket entry: " + line);
+        RawEdge edge{static_cast<VertexId>(row - 1),
+                     static_cast<VertexId>(col - 1), 1};
+        double value;
+        if (!pattern && fields >> value)
+            edge.weight = static_cast<Weight>(
+                std::max(1.0, std::llround(std::abs(value)) * 1.0));
+        edges.push_back(edge);
+    }
+    return Graph::fromEdges(n, std::move(edges), weighted, symmetric);
+}
+
+Graph
+loadMatrixMarketFile(const std::string &path)
+{
+    auto in = openOrThrow(path);
+    return loadMatrixMarket(in);
+}
+
+void
+writeEdgeList(const Graph &graph, std::ostream &out)
+{
+    for (const RawEdge &e : graph.toCoo()) {
+        out << e.src << ' ' << e.dst;
+        if (graph.isWeighted())
+            out << ' ' << e.weight;
+        out << '\n';
+    }
+}
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x55474331; // "UGC1"
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!in)
+        throw std::runtime_error("binary graph: truncated file");
+    return value;
+}
+
+} // namespace
+
+void
+writeBinary(const Graph &graph, std::ostream &out)
+{
+    writePod(out, kBinaryMagic);
+    writePod(out, static_cast<int64_t>(graph.numVertices()));
+    writePod(out, static_cast<int64_t>(graph.numEdges()));
+    writePod(out, static_cast<uint8_t>(graph.isWeighted()));
+    for (const RawEdge &e : graph.toCoo()) {
+        writePod(out, e.src);
+        writePod(out, e.dst);
+        if (graph.isWeighted())
+            writePod(out, e.weight);
+    }
+}
+
+Graph
+loadBinary(std::istream &in)
+{
+    if (readPod<uint64_t>(in) != kBinaryMagic)
+        throw std::runtime_error("binary graph: bad magic");
+    const auto num_vertices = readPod<int64_t>(in);
+    const auto num_edges = readPod<int64_t>(in);
+    const bool weighted = readPod<uint8_t>(in) != 0;
+    if (num_vertices < 0 || num_edges < 0)
+        throw std::runtime_error("binary graph: negative counts");
+
+    std::vector<RawEdge> edges;
+    edges.reserve(static_cast<size_t>(num_edges));
+    for (int64_t i = 0; i < num_edges; ++i) {
+        RawEdge e;
+        e.src = readPod<VertexId>(in);
+        e.dst = readPod<VertexId>(in);
+        e.weight = weighted ? readPod<Weight>(in) : 1;
+        edges.push_back(e);
+    }
+    return Graph::fromEdges(static_cast<VertexId>(num_vertices),
+                            std::move(edges), weighted,
+                            /*symmetrize=*/false);
+}
+
+void
+writeBinaryFile(const Graph &graph, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot write graph file: " + path);
+    writeBinary(graph, out);
+}
+
+Graph
+loadBinaryFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open graph file: " + path);
+    return loadBinary(in);
+}
+
+} // namespace ugc

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Graph file loaders: plain edge lists (.el/.wel), DIMACS shortest-path
+ * (.gr), and MatrixMarket coordinate (.mtx) formats — the formats the
+ * paper's datasets ship in.
+ */
+#ifndef UGC_GRAPH_LOADER_H
+#define UGC_GRAPH_LOADER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ugc {
+
+/**
+ * Load a whitespace-separated edge list: one `src dst [weight]` per line,
+ * `#`-prefixed comment lines ignored. Vertex ids are 0-based.
+ */
+Graph loadEdgeList(std::istream &in, bool symmetrize = true);
+Graph loadEdgeListFile(const std::string &path, bool symmetrize = true);
+
+/**
+ * Load the DIMACS 9th-challenge .gr format used by the road graphs:
+ * `p sp N M` header, `a src dst weight` arc lines, 1-based ids.
+ */
+Graph loadDimacs(std::istream &in);
+Graph loadDimacsFile(const std::string &path);
+
+/**
+ * Load MatrixMarket `coordinate` format (general or symmetric, pattern or
+ * integer/real values), 1-based ids. Real weights are rounded to int.
+ */
+Graph loadMatrixMarket(std::istream &in);
+Graph loadMatrixMarketFile(const std::string &path);
+
+/** Serialize as a `src dst [weight]` edge list (for round-trip tests). */
+void writeEdgeList(const Graph &graph, std::ostream &out);
+
+/**
+ * Binary serialization (the `.bin` snapshots graph frameworks use to skip
+ * re-parsing): a fixed header (magic, counts, weighted flag) followed by
+ * the raw CSR arrays. Loading is O(read), with full validation.
+ */
+void writeBinary(const Graph &graph, std::ostream &out);
+Graph loadBinary(std::istream &in);
+void writeBinaryFile(const Graph &graph, const std::string &path);
+Graph loadBinaryFile(const std::string &path);
+
+} // namespace ugc
+
+#endif // UGC_GRAPH_LOADER_H

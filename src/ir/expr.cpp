@@ -1,0 +1,26 @@
+#include "ir/expr.h"
+
+namespace ugc {
+
+std::string
+binaryOpName(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Mod: return "%";
+      case BinaryOp::Lt: return "<";
+      case BinaryOp::Le: return "<=";
+      case BinaryOp::Gt: return ">";
+      case BinaryOp::Ge: return ">=";
+      case BinaryOp::Eq: return "==";
+      case BinaryOp::Ne: return "!=";
+      case BinaryOp::And: return "and";
+      case BinaryOp::Or: return "or";
+    }
+    return "?";
+}
+
+} // namespace ugc

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * GraphIR expression nodes.
+ *
+ * Expressions appear inside user-defined functions (UDFs) and in the scalar
+ * statements of main. Each node derives from Expr, which carries the
+ * metadata map GraphVMs extend (§III-B).
+ */
+#ifndef UGC_IR_EXPR_H
+#define UGC_IR_EXPR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/metadata.h"
+#include "ir/types.h"
+
+namespace ugc {
+
+enum class ExprKind {
+    IntConst,
+    FloatConst,
+    VarRef,
+    PropRead,
+    Binary,
+    Unary,
+    VertexSetSize,
+    CompareAndSwap,
+    Call,
+};
+
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Mod,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or,
+};
+
+enum class UnaryOp { Neg, Not };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/** Base expression node. */
+struct Expr : MetadataMap
+{
+    explicit Expr(ExprKind kind) : kind(kind) {}
+    virtual ~Expr() = default;
+
+    const ExprKind kind;
+};
+
+struct IntConstExpr : Expr
+{
+    explicit IntConstExpr(int64_t value)
+        : Expr(ExprKind::IntConst), value(value)
+    {
+    }
+    int64_t value;
+};
+
+struct FloatConstExpr : Expr
+{
+    explicit FloatConstExpr(double value)
+        : Expr(ExprKind::FloatConst), value(value)
+    {
+    }
+    double value;
+};
+
+/** Reference to a parameter, local, or program-level scalar variable. */
+struct VarRefExpr : Expr
+{
+    explicit VarRefExpr(std::string name)
+        : Expr(ExprKind::VarRef), name(std::move(name))
+    {
+    }
+    std::string name;
+};
+
+/** Read of a vertex property: prop[index]. */
+struct PropReadExpr : Expr
+{
+    PropReadExpr(std::string prop, ExprPtr index)
+        : Expr(ExprKind::PropRead), prop(std::move(prop)),
+          index(std::move(index))
+    {
+    }
+    std::string prop;
+    ExprPtr index;
+};
+
+struct BinaryExpr : Expr
+{
+    BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+        : Expr(ExprKind::Binary), op(op), lhs(std::move(lhs)),
+          rhs(std::move(rhs))
+    {
+    }
+    BinaryOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+struct UnaryExpr : Expr
+{
+    UnaryExpr(UnaryOp op, ExprPtr operand)
+        : Expr(ExprKind::Unary), op(op), operand(std::move(operand))
+    {
+    }
+    UnaryOp op;
+    ExprPtr operand;
+};
+
+/** Size of a named vertex set (frontier.getVertexSetSize()). */
+struct VertexSetSizeExpr : Expr
+{
+    explicit VertexSetSizeExpr(std::string set)
+        : Expr(ExprKind::VertexSetSize), set(std::move(set))
+    {
+    }
+    std::string set;
+};
+
+/**
+ * CompareAndSwap on a vertex property (Table II). Inserted by the midend's
+ * applyModified lowering; evaluates to true when the swap happened.
+ * Metadata: is_atomic (bool).
+ */
+struct CompareAndSwapExpr : Expr
+{
+    CompareAndSwapExpr(std::string prop, ExprPtr index, ExprPtr old_value,
+                       ExprPtr new_value)
+        : Expr(ExprKind::CompareAndSwap), prop(std::move(prop)),
+          index(std::move(index)), oldValue(std::move(old_value)),
+          newValue(std::move(new_value))
+    {
+    }
+    std::string prop;
+    ExprPtr index;
+    ExprPtr oldValue;
+    ExprPtr newValue;
+};
+
+/** Call of another (scalar) function by name. */
+struct CallExpr : Expr
+{
+    CallExpr(std::string callee, std::vector<ExprPtr> args)
+        : Expr(ExprKind::Call), callee(std::move(callee)),
+          args(std::move(args))
+    {
+    }
+    std::string callee;
+    std::vector<ExprPtr> args;
+};
+
+// --- convenience constructors --------------------------------------------
+
+inline ExprPtr
+intConst(int64_t value)
+{
+    return std::make_shared<IntConstExpr>(value);
+}
+
+inline ExprPtr
+floatConst(double value)
+{
+    return std::make_shared<FloatConstExpr>(value);
+}
+
+inline ExprPtr
+varRef(std::string name)
+{
+    return std::make_shared<VarRefExpr>(std::move(name));
+}
+
+inline ExprPtr
+propRead(std::string prop, ExprPtr index)
+{
+    return std::make_shared<PropReadExpr>(std::move(prop), std::move(index));
+}
+
+inline ExprPtr
+binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+{
+    return std::make_shared<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+inline ExprPtr
+unary(UnaryOp op, ExprPtr operand)
+{
+    return std::make_shared<UnaryExpr>(op, std::move(operand));
+}
+
+inline ExprPtr
+vertexSetSize(std::string set)
+{
+    return std::make_shared<VertexSetSizeExpr>(std::move(set));
+}
+
+std::string binaryOpName(BinaryOp op);
+
+} // namespace ugc
+
+#endif // UGC_IR_EXPR_H

@@ -1,0 +1,229 @@
+#include "ir/function.h"
+
+#include <cassert>
+
+namespace ugc {
+
+namespace {
+
+/** Copy the metadata map of @p from into @p to. */
+template <typename Node>
+void
+copyMeta(const Node &from, Node &to)
+{
+    for (const auto &[label, value] : from.entries())
+        to.template setMetadata<std::any>(label, value);
+}
+
+} // namespace
+
+ExprPtr
+cloneExpr(const ExprPtr &expr)
+{
+    if (!expr)
+        return nullptr;
+    ExprPtr copy;
+    switch (expr->kind) {
+      case ExprKind::IntConst:
+        copy = std::make_shared<IntConstExpr>(
+            static_cast<const IntConstExpr &>(*expr));
+        break;
+      case ExprKind::FloatConst:
+        copy = std::make_shared<FloatConstExpr>(
+            static_cast<const FloatConstExpr &>(*expr));
+        break;
+      case ExprKind::VarRef:
+        copy = std::make_shared<VarRefExpr>(
+            static_cast<const VarRefExpr &>(*expr));
+        break;
+      case ExprKind::PropRead: {
+        const auto &node = static_cast<const PropReadExpr &>(*expr);
+        copy = std::make_shared<PropReadExpr>(node.prop,
+                                              cloneExpr(node.index));
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto &node = static_cast<const BinaryExpr &>(*expr);
+        copy = std::make_shared<BinaryExpr>(node.op, cloneExpr(node.lhs),
+                                            cloneExpr(node.rhs));
+        break;
+      }
+      case ExprKind::Unary: {
+        const auto &node = static_cast<const UnaryExpr &>(*expr);
+        copy = std::make_shared<UnaryExpr>(node.op, cloneExpr(node.operand));
+        break;
+      }
+      case ExprKind::VertexSetSize:
+        copy = std::make_shared<VertexSetSizeExpr>(
+            static_cast<const VertexSetSizeExpr &>(*expr));
+        break;
+      case ExprKind::CompareAndSwap: {
+        const auto &node = static_cast<const CompareAndSwapExpr &>(*expr);
+        copy = std::make_shared<CompareAndSwapExpr>(
+            node.prop, cloneExpr(node.index), cloneExpr(node.oldValue),
+            cloneExpr(node.newValue));
+        break;
+      }
+      case ExprKind::Call: {
+        const auto &node = static_cast<const CallExpr &>(*expr);
+        std::vector<ExprPtr> args;
+        for (const auto &arg : node.args)
+            args.push_back(cloneExpr(arg));
+        copy = std::make_shared<CallExpr>(node.callee, std::move(args));
+        break;
+      }
+    }
+    assert(copy);
+    // Copy-constructed nodes above already carry metadata; rebuilt ones
+    // need an explicit copy.
+    for (const auto &[label, value] : expr->entries())
+        if (!copy->hasMetadata(label))
+            copy->setMetadata(label, value);
+    return copy;
+}
+
+StmtPtr
+cloneStmt(const StmtPtr &stmt)
+{
+    if (!stmt)
+        return nullptr;
+    StmtPtr copy;
+    switch (stmt->kind) {
+      case StmtKind::VarDecl: {
+        const auto &node = static_cast<const VarDeclStmt &>(*stmt);
+        copy = std::make_shared<VarDeclStmt>(node.name, node.type,
+                                             cloneExpr(node.init));
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto &node = static_cast<const AssignStmt &>(*stmt);
+        copy = std::make_shared<AssignStmt>(node.name,
+                                            cloneExpr(node.value));
+        break;
+      }
+      case StmtKind::PropWrite: {
+        const auto &node = static_cast<const PropWriteStmt &>(*stmt);
+        copy = std::make_shared<PropWriteStmt>(
+            node.prop, cloneExpr(node.index), cloneExpr(node.value));
+        break;
+      }
+      case StmtKind::Reduction: {
+        const auto &node = static_cast<const ReductionStmt &>(*stmt);
+        auto cloned = std::make_shared<ReductionStmt>(
+            node.prop, cloneExpr(node.index), node.op,
+            cloneExpr(node.value));
+        cloned->resultVar = node.resultVar;
+        copy = cloned;
+        break;
+      }
+      case StmtKind::If: {
+        const auto &node = static_cast<const IfStmt &>(*stmt);
+        copy = std::make_shared<IfStmt>(cloneExpr(node.cond),
+                                        cloneBody(node.thenBody),
+                                        cloneBody(node.elseBody));
+        break;
+      }
+      case StmtKind::While: {
+        const auto &node = static_cast<const WhileStmt &>(*stmt);
+        copy = std::make_shared<WhileStmt>(cloneExpr(node.cond),
+                                           cloneBody(node.body));
+        break;
+      }
+      case StmtKind::ForRange: {
+        const auto &node = static_cast<const ForRangeStmt &>(*stmt);
+        copy = std::make_shared<ForRangeStmt>(node.var, cloneExpr(node.lo),
+                                              cloneExpr(node.hi),
+                                              cloneBody(node.body));
+        break;
+      }
+      case StmtKind::ExprStmt: {
+        const auto &node = static_cast<const ExprStmt &>(*stmt);
+        copy = std::make_shared<ExprStmt>(cloneExpr(node.expr));
+        break;
+      }
+      case StmtKind::EdgeSetIterator: {
+        const auto &node = static_cast<const EdgeSetIteratorStmt &>(*stmt);
+        copy = std::make_shared<EdgeSetIteratorStmt>(node);
+        break;
+      }
+      case StmtKind::VertexSetIterator: {
+        const auto &node = static_cast<const VertexSetIteratorStmt &>(*stmt);
+        copy = std::make_shared<VertexSetIteratorStmt>(node);
+        break;
+      }
+      case StmtKind::EnqueueVertex: {
+        const auto &node = static_cast<const EnqueueVertexStmt &>(*stmt);
+        copy = std::make_shared<EnqueueVertexStmt>(node.output,
+                                                   cloneExpr(node.vertex));
+        break;
+      }
+      case StmtKind::UpdatePriority: {
+        const auto &node = static_cast<const UpdatePriorityStmt &>(*stmt);
+        copy = std::make_shared<UpdatePriorityStmt>(
+            node.updateKind, node.queue, cloneExpr(node.vertex),
+            cloneExpr(node.value));
+        break;
+      }
+      case StmtKind::ListAppend: {
+        const auto &node = static_cast<const ListAppendStmt &>(*stmt);
+        copy = std::make_shared<ListAppendStmt>(node.list, node.set);
+        break;
+      }
+      case StmtKind::ListRetrieve: {
+        const auto &node = static_cast<const ListRetrieveStmt &>(*stmt);
+        copy = std::make_shared<ListRetrieveStmt>(node.list, node.set);
+        break;
+      }
+      case StmtKind::VertexSetDedup: {
+        const auto &node = static_cast<const VertexSetDedupStmt &>(*stmt);
+        copy = std::make_shared<VertexSetDedupStmt>(node.set);
+        break;
+      }
+      case StmtKind::Delete: {
+        const auto &node = static_cast<const DeleteStmt &>(*stmt);
+        copy = std::make_shared<DeleteStmt>(node.name);
+        break;
+      }
+      case StmtKind::Return: {
+        const auto &node = static_cast<const ReturnStmt &>(*stmt);
+        copy = std::make_shared<ReturnStmt>(cloneExpr(node.value));
+        break;
+      }
+      case StmtKind::Break:
+        copy = std::make_shared<BreakStmt>();
+        break;
+    }
+    assert(copy);
+    copy->label = stmt->label;
+    for (const auto &[label, value] : stmt->entries())
+        if (!copy->hasMetadata(label))
+            copy->setMetadata(label, value);
+    return copy;
+}
+
+std::vector<StmtPtr>
+cloneBody(const std::vector<StmtPtr> &body)
+{
+    std::vector<StmtPtr> copy;
+    copy.reserve(body.size());
+    for (const StmtPtr &stmt : body)
+        copy.push_back(cloneStmt(stmt));
+    return copy;
+}
+
+FunctionPtr
+Function::clone() const
+{
+    auto copy = std::make_shared<Function>();
+    copy->name = name;
+    copy->params = params;
+    copy->resultName = resultName;
+    copy->resultType = resultType;
+    copy->placement = placement;
+    copy->body = cloneBody(body);
+    for (const auto &[label, value] : entries())
+        copy->setMetadata(label, value);
+    return copy;
+}
+
+} // namespace ugc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * GraphIR Function (Table II): top-level function definition.
+ */
+#ifndef UGC_IR_FUNCTION_H
+#define UGC_IR_FUNCTION_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.h"
+
+namespace ugc {
+
+/** Where a function executes; GraphVMs use this for codegen splitting. */
+enum class FuncPlacement { Host, Device, Both };
+
+struct Function;
+using FunctionPtr = std::shared_ptr<Function>;
+
+struct Param
+{
+    std::string name;
+    TypeDesc type;
+};
+
+/**
+ * A GraphIR function: main, or a UDF applied per edge / per vertex.
+ *
+ * GraphIt's algorithm language declares UDF outputs as named results
+ * (`-> output : bool`); the interpreter returns the result variable's final
+ * value.
+ */
+struct Function : MetadataMap
+{
+    std::string name;
+    std::vector<Param> params;
+    std::string resultName;          ///< empty if the function returns nothing
+    TypeDesc resultType = TypeDesc::scalar(ElemType::Bool);
+    std::vector<StmtPtr> body;
+    FuncPlacement placement = FuncPlacement::Both;
+
+    bool hasResult() const { return !resultName.empty(); }
+
+    /** Deep-copy this function (used when lowering creates push/pull
+     *  variants that are then rewritten differently). */
+    FunctionPtr clone() const;
+};
+
+/** Deep-copy helpers shared by Function::clone and the midend rewriters. */
+ExprPtr cloneExpr(const ExprPtr &expr);
+StmtPtr cloneStmt(const StmtPtr &stmt);
+std::vector<StmtPtr> cloneBody(const std::vector<StmtPtr> &body);
+
+} // namespace ugc
+
+#endif // UGC_IR_FUNCTION_H

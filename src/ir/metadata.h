@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GraphIR metadata API (§III-B of the paper).
+ *
+ * Every IR node carries a string-keyed metadata map manipulated through
+ * setMetadata<T>(label, value) / getMetadata<T>(label). Because the API
+ * allows arbitrarily many labels, hardware-independent passes and GraphVM
+ * passes can stack information on nodes without changing base class
+ * definitions — this is the primary extension point GraphVMs use.
+ */
+#ifndef UGC_IR_METADATA_H
+#define UGC_IR_METADATA_H
+
+#include <any>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace ugc {
+
+class MetadataMap
+{
+  public:
+    template <typename T>
+    void
+    setMetadata(const std::string &label, T value)
+    {
+        _entries[label] = std::move(value);
+    }
+
+    /** @throws std::out_of_range if absent, std::bad_any_cast on type
+     *  mismatch. */
+    template <typename T>
+    T
+    getMetadata(const std::string &label) const
+    {
+        auto it = _entries.find(label);
+        if (it == _entries.end())
+            throw std::out_of_range("no metadata: " + label);
+        return std::any_cast<T>(it->second);
+    }
+
+    /** Like getMetadata but returns @p fallback when the label is absent. */
+    template <typename T>
+    T
+    getMetadataOr(const std::string &label, T fallback) const
+    {
+        auto it = _entries.find(label);
+        if (it == _entries.end())
+            return fallback;
+        return std::any_cast<T>(it->second);
+    }
+
+    bool
+    hasMetadata(const std::string &label) const
+    {
+        return _entries.count(label) != 0;
+    }
+
+    void eraseMetadata(const std::string &label) { _entries.erase(label); }
+
+    const std::map<std::string, std::any> &entries() const
+    {
+        return _entries;
+    }
+
+  private:
+    std::map<std::string, std::any> _entries;
+};
+
+} // namespace ugc
+
+#endif // UGC_IR_METADATA_H

@@ -1,0 +1,319 @@
+#include "ir/printer.h"
+
+#include <sstream>
+#include <typeinfo>
+
+#include "support/string_util.h"
+
+namespace ugc {
+
+namespace {
+
+std::string
+indentOf(int indent)
+{
+    return std::string(static_cast<size_t>(indent) * 2, ' ');
+}
+
+/** Render a metadata map as `<k1=v1, k2=v2>`; empty string if no entries. */
+std::string
+metaSuffix(const MetadataMap &meta)
+{
+    if (meta.entries().empty())
+        return "";
+    std::ostringstream out;
+    out << '<';
+    bool first = true;
+    for (const auto &[label, value] : meta.entries()) {
+        if (!first)
+            out << ", ";
+        first = false;
+        out << label << '=';
+        if (value.type() == typeid(bool))
+            out << (std::any_cast<bool>(value) ? "true" : "false");
+        else if (value.type() == typeid(int))
+            out << std::any_cast<int>(value);
+        else if (value.type() == typeid(int64_t))
+            out << std::any_cast<int64_t>(value);
+        else if (value.type() == typeid(double))
+            out << std::any_cast<double>(value);
+        else if (value.type() == typeid(std::string))
+            out << std::any_cast<std::string>(value);
+        else if (value.type() == typeid(Direction))
+            out << directionName(std::any_cast<Direction>(value));
+        else if (value.type() == typeid(VertexSetFormat))
+            out << formatName(std::any_cast<VertexSetFormat>(value));
+        else
+            out << "...";
+    }
+    out << '>';
+    return out.str();
+}
+
+std::string
+typeName(const TypeDesc &type)
+{
+    switch (type.kind) {
+      case TypeDesc::Kind::Scalar:
+        return elemTypeName(type.elem);
+      case TypeDesc::Kind::VertexSet:
+        return "VertexSet";
+      case TypeDesc::Kind::EdgeSet:
+        return "EdgeSet";
+      case TypeDesc::Kind::PrioQueue:
+        return "PrioQueue";
+      case TypeDesc::Kind::FrontierList:
+        return "FrontierList";
+      case TypeDesc::Kind::VertexData:
+        return "VertexData<" + elemTypeName(type.elem) + ">";
+    }
+    return "?";
+}
+
+void printBody(std::ostringstream &out, const std::vector<StmtPtr> &body,
+               int indent);
+
+} // namespace
+
+std::string
+printExpr(const ExprPtr &expr)
+{
+    if (!expr)
+        return "<null>";
+    switch (expr->kind) {
+      case ExprKind::IntConst:
+        return std::to_string(
+            static_cast<const IntConstExpr &>(*expr).value);
+      case ExprKind::FloatConst:
+        return strprintf(
+            "%g", static_cast<const FloatConstExpr &>(*expr).value);
+      case ExprKind::VarRef:
+        return static_cast<const VarRefExpr &>(*expr).name;
+      case ExprKind::PropRead: {
+        const auto &node = static_cast<const PropReadExpr &>(*expr);
+        return node.prop + "[" + printExpr(node.index) + "]";
+      }
+      case ExprKind::Binary: {
+        const auto &node = static_cast<const BinaryExpr &>(*expr);
+        return "(" + printExpr(node.lhs) + " " + binaryOpName(node.op) +
+               " " + printExpr(node.rhs) + ")";
+      }
+      case ExprKind::Unary: {
+        const auto &node = static_cast<const UnaryExpr &>(*expr);
+        return (node.op == UnaryOp::Neg ? "-" : "!") +
+               printExpr(node.operand);
+      }
+      case ExprKind::VertexSetSize:
+        return "VertexSetSize(" +
+               static_cast<const VertexSetSizeExpr &>(*expr).set + ")";
+      case ExprKind::CompareAndSwap: {
+        const auto &node = static_cast<const CompareAndSwapExpr &>(*expr);
+        return "CompareAndSwap" + metaSuffix(node) + "(" + node.prop + "[" +
+               printExpr(node.index) + "], " + printExpr(node.oldValue) +
+               ", " + printExpr(node.newValue) + ")";
+      }
+      case ExprKind::Call: {
+        const auto &node = static_cast<const CallExpr &>(*expr);
+        std::string out = node.callee + "(";
+        for (size_t i = 0; i < node.args.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += printExpr(node.args[i]);
+        }
+        return out + ")";
+      }
+    }
+    return "?";
+}
+
+std::string
+printStmt(const StmtPtr &stmt, int indent)
+{
+    std::ostringstream out;
+    out << indentOf(indent);
+    if (!stmt->label.empty())
+        out << "#" << stmt->label << "# ";
+    switch (stmt->kind) {
+      case StmtKind::VarDecl: {
+        const auto &node = static_cast<const VarDeclStmt &>(*stmt);
+        out << "VarDecl " << node.name << " : " << typeName(node.type);
+        if (node.init)
+            out << " = " << printExpr(node.init);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto &node = static_cast<const AssignStmt &>(*stmt);
+        out << "AssignStmt(" << node.name << ", " << printExpr(node.value)
+            << ")";
+        break;
+      }
+      case StmtKind::PropWrite: {
+        const auto &node = static_cast<const PropWriteStmt &>(*stmt);
+        out << node.prop << "[" << printExpr(node.index)
+            << "] = " << printExpr(node.value);
+        break;
+      }
+      case StmtKind::Reduction: {
+        const auto &node = static_cast<const ReductionStmt &>(*stmt);
+        if (!node.resultVar.empty())
+            out << node.resultVar << " = ";
+        out << "ReductionOp" << metaSuffix(node) << "(" << node.prop << "["
+            << printExpr(node.index) << "] " << reductionName(node.op) << " "
+            << printExpr(node.value) << ")";
+        break;
+      }
+      case StmtKind::If: {
+        const auto &node = static_cast<const IfStmt &>(*stmt);
+        out << "If (" << printExpr(node.cond) << ", {\n";
+        printBody(out, node.thenBody, indent + 1);
+        out << indentOf(indent) << "}, {";
+        if (!node.elseBody.empty()) {
+            out << "\n";
+            printBody(out, node.elseBody, indent + 1);
+            out << indentOf(indent);
+        }
+        out << "})";
+        break;
+      }
+      case StmtKind::While: {
+        const auto &node = static_cast<const WhileStmt &>(*stmt);
+        out << "WhileLoopStmt" << metaSuffix(node) << "("
+            << printExpr(node.cond) << ", {\n";
+        printBody(out, node.body, indent + 1);
+        out << indentOf(indent) << "})";
+        break;
+      }
+      case StmtKind::ForRange: {
+        const auto &node = static_cast<const ForRangeStmt &>(*stmt);
+        out << "ForRange(" << node.var << " : " << printExpr(node.lo)
+            << " .. " << printExpr(node.hi) << ", {\n";
+        printBody(out, node.body, indent + 1);
+        out << indentOf(indent) << "})";
+        break;
+      }
+      case StmtKind::ExprStmt:
+        out << printExpr(static_cast<const ExprStmt &>(*stmt).expr);
+        break;
+      case StmtKind::EdgeSetIterator: {
+        const auto &node = static_cast<const EdgeSetIteratorStmt &>(*stmt);
+        out << "EdgeSetIterator" << metaSuffix(node) << "(" << node.graph;
+        out << ", " << (node.inputSet.empty() ? "ALL" : node.inputSet);
+        out << ", " << (node.outputSet.empty() ? "NONE" : node.outputSet);
+        out << ", " << node.applyFunc;
+        if (!node.dstFilter.empty())
+            out << ", to=" << node.dstFilter;
+        if (!node.srcFilter.empty())
+            out << ", from=" << node.srcFilter;
+        if (!node.trackedProp.empty())
+            out << ", tracking=" << node.trackedProp;
+        if (!node.queue.empty())
+            out << ", queue=" << node.queue;
+        out << ")";
+        break;
+      }
+      case StmtKind::VertexSetIterator: {
+        const auto &node =
+            static_cast<const VertexSetIteratorStmt &>(*stmt);
+        out << "VertexSetIterator" << metaSuffix(node) << "("
+            << (node.inputSet.empty() ? "ALL" : node.inputSet) << ", "
+            << node.applyFunc;
+        if (!node.filterFunc.empty())
+            out << ", filter=" << node.filterFunc;
+        if (!node.outputSet.empty())
+            out << ", output=" << node.outputSet;
+        out << ")";
+        break;
+      }
+      case StmtKind::EnqueueVertex: {
+        const auto &node = static_cast<const EnqueueVertexStmt &>(*stmt);
+        out << "EnqueueVertex" << metaSuffix(node) << "(" << node.output
+            << ", " << printExpr(node.vertex) << ")";
+        break;
+      }
+      case StmtKind::UpdatePriority: {
+        const auto &node = static_cast<const UpdatePriorityStmt &>(*stmt);
+        out << (node.updateKind == UpdatePriorityStmt::Kind::Min
+                    ? "UpdatePriorityMin"
+                    : "UpdatePrioritySum")
+            << metaSuffix(node) << "(" << node.queue << ", "
+            << printExpr(node.vertex) << ", " << printExpr(node.value)
+            << ")";
+        break;
+      }
+      case StmtKind::ListAppend: {
+        const auto &node = static_cast<const ListAppendStmt &>(*stmt);
+        out << "ListAppend" << metaSuffix(node) << "(" << node.list << ", "
+            << node.set << ")";
+        break;
+      }
+      case StmtKind::ListRetrieve: {
+        const auto &node = static_cast<const ListRetrieveStmt &>(*stmt);
+        out << "ListRetrieve" << metaSuffix(node) << "(" << node.list << ", "
+            << node.set << ")";
+        break;
+      }
+      case StmtKind::VertexSetDedup:
+        out << "VertexSetDedup("
+            << static_cast<const VertexSetDedupStmt &>(*stmt).set << ")";
+        break;
+      case StmtKind::Delete:
+        out << "Delete(" << static_cast<const DeleteStmt &>(*stmt).name
+            << ")";
+        break;
+      case StmtKind::Return: {
+        const auto &node = static_cast<const ReturnStmt &>(*stmt);
+        out << "Return";
+        if (node.value)
+            out << " " << printExpr(node.value);
+        break;
+      }
+      case StmtKind::Break:
+        out << "Break";
+        break;
+    }
+    return out.str();
+}
+
+namespace {
+
+void
+printBody(std::ostringstream &out, const std::vector<StmtPtr> &body,
+          int indent)
+{
+    for (const StmtPtr &stmt : body)
+        out << printStmt(stmt, indent) << ",\n";
+}
+
+} // namespace
+
+std::string
+printFunction(const Function &func)
+{
+    std::ostringstream out;
+    out << "Function " << func.name << " (";
+    for (size_t i = 0; i < func.params.size(); ++i) {
+        if (i)
+            out << ", ";
+        out << typeName(func.params[i].type) << " " << func.params[i].name;
+    }
+    out << ", {\n";
+    printBody(out, func.body, 1);
+    out << "})";
+    if (func.hasResult())
+        out << " -> " << func.resultName;
+    out << "\n";
+    return out.str();
+}
+
+std::string
+printProgram(const Program &program)
+{
+    std::ostringstream out;
+    for (const auto &global : program.globals)
+        out << printStmt(std::static_pointer_cast<Stmt>(global)) << "\n";
+    for (const FunctionPtr &func : program.functions())
+        out << printFunction(*func);
+    return out.str();
+}
+
+} // namespace ugc

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * GraphIR pretty printer.
+ *
+ * Produces the textual rendering shown in Fig 4 of the paper: instruction
+ * names with their performance metadata in angle brackets, e.g.
+ * `EdgeSetIterator<direction=PUSH, is_edge_parallel=true>(...)`. GraphIR is
+ * an in-memory structure; this text form exists for diagnostics and tests.
+ */
+#ifndef UGC_IR_PRINTER_H
+#define UGC_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace ugc {
+
+/** Pretty-print one function. */
+std::string printFunction(const Function &func);
+
+/** Pretty-print a whole program (globals, then functions). */
+std::string printProgram(const Program &program);
+
+/** Pretty-print one expression (single line). */
+std::string printExpr(const ExprPtr &expr);
+
+/** Pretty-print one statement subtree. */
+std::string printStmt(const StmtPtr &stmt, int indent = 0);
+
+} // namespace ugc
+
+#endif // UGC_IR_PRINTER_H

@@ -1,0 +1,90 @@
+#include "ir/program.h"
+
+#include <stdexcept>
+
+#include "support/string_util.h"
+
+namespace ugc {
+
+void
+Program::addGlobal(std::shared_ptr<VarDeclStmt> decl)
+{
+    if (findGlobal(decl->name))
+        throw std::invalid_argument("duplicate global: " + decl->name);
+    globals.push_back(std::move(decl));
+}
+
+const VarDeclStmt *
+Program::findGlobal(const std::string &name) const
+{
+    for (const auto &decl : globals)
+        if (decl->name == name)
+            return decl.get();
+    return nullptr;
+}
+
+void
+Program::addFunction(FunctionPtr func)
+{
+    if (_functionsByName.count(func->name))
+        throw std::invalid_argument("duplicate function: " + func->name);
+    _functionsByName[func->name] = func;
+    _functions.push_back(std::move(func));
+}
+
+FunctionPtr
+Program::findFunction(const std::string &name) const
+{
+    auto it = _functionsByName.find(name);
+    return it == _functionsByName.end() ? nullptr : it->second;
+}
+
+void
+Program::replaceFunction(const std::string &name, FunctionPtr func)
+{
+    auto it = _functionsByName.find(name);
+    if (it == _functionsByName.end())
+        throw std::invalid_argument("no such function: " + name);
+    for (auto &slot : _functions)
+        if (slot->name == name)
+            slot = func;
+    it->second = std::move(func);
+}
+
+void
+Program::applySchedule(const std::string &label, SchedulePtr schedule)
+{
+    _schedules[label] = std::move(schedule);
+}
+
+SchedulePtr
+Program::scheduleFor(const std::string &label_path) const
+{
+    auto it = _schedules.find(label_path);
+    if (it != _schedules.end())
+        return it->second;
+    const auto components = split(label_path, ':');
+    if (components.size() > 1) {
+        it = _schedules.find(components.back());
+        if (it != _schedules.end())
+            return it->second;
+    }
+    return nullptr;
+}
+
+std::shared_ptr<Program>
+Program::clone() const
+{
+    auto copy = std::make_shared<Program>();
+    copy->name = name;
+    for (const auto &decl : globals) {
+        copy->globals.push_back(std::static_pointer_cast<VarDeclStmt>(
+            cloneStmt(std::static_pointer_cast<Stmt>(decl))));
+    }
+    for (const FunctionPtr &func : _functions)
+        copy->addFunction(func->clone());
+    copy->_schedules = _schedules;
+    return copy;
+}
+
+} // namespace ugc

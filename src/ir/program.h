@@ -1,0 +1,84 @@
+/**
+ * @file
+ * GraphIR Program: the unit the hardware-independent compiler hands to a
+ * GraphVM — global declarations, functions, and attached schedules.
+ */
+#ifndef UGC_IR_PROGRAM_H
+#define UGC_IR_PROGRAM_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace ugc {
+
+class AbstractSchedule;
+using SchedulePtr = std::shared_ptr<AbstractSchedule>;
+
+class Program
+{
+  public:
+    std::string name = "program";
+
+    /** Program-level declarations: graphs, vertex data, scalars. */
+    std::vector<std::shared_ptr<VarDeclStmt>> globals;
+
+    /** Add a global declaration. @throws std::invalid_argument on dup. */
+    void addGlobal(std::shared_ptr<VarDeclStmt> decl);
+
+    /** Find a global by name; nullptr if absent. */
+    const VarDeclStmt *findGlobal(const std::string &name) const;
+
+    /** Add a function. @throws std::invalid_argument on duplicate name. */
+    void addFunction(FunctionPtr func);
+
+    /** Look up a function by name; nullptr if absent. */
+    FunctionPtr findFunction(const std::string &name) const;
+
+    FunctionPtr
+    mainFunction() const
+    {
+        return findFunction("main");
+    }
+
+    const std::vector<FunctionPtr> &functions() const { return _functions; }
+
+    /** Replace an existing function (used by lowering passes). */
+    void replaceFunction(const std::string &name, FunctionPtr func);
+
+    // --- scheduling -------------------------------------------------------
+
+    /**
+     * Attach a schedule object to the statement labeled @p label
+     * (e.g. "s0:s1" for statement s1 inside s0; a bare "s1" also matches).
+     */
+    void applySchedule(const std::string &label, SchedulePtr schedule);
+
+    /**
+     * Schedule attached to @p label_path ("s0:s1"), trying the full path
+     * first and then the last component alone. nullptr if none.
+     */
+    SchedulePtr scheduleFor(const std::string &label_path) const;
+
+    const std::map<std::string, SchedulePtr> &schedules() const
+    {
+        return _schedules;
+    }
+
+    /** Deep-copy (globals, functions); schedules are shared. */
+    std::shared_ptr<Program> clone() const;
+
+  private:
+    std::vector<FunctionPtr> _functions;
+    std::map<std::string, FunctionPtr> _functionsByName;
+    std::map<std::string, SchedulePtr> _schedules;
+};
+
+using ProgramPtr = std::shared_ptr<Program>;
+
+} // namespace ugc
+
+#endif // UGC_IR_PROGRAM_H

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * GraphIR statement nodes, including the two key domain instructions of the
+ * paper: EdgeSetIterator and VertexSetIterator (Table II).
+ */
+#ifndef UGC_IR_STMT_H
+#define UGC_IR_STMT_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "ir/types.h"
+
+namespace ugc {
+
+enum class StmtKind {
+    VarDecl,
+    Assign,
+    PropWrite,
+    Reduction,
+    If,
+    While,
+    ForRange,
+    ExprStmt,
+    EdgeSetIterator,
+    VertexSetIterator,
+    EnqueueVertex,
+    UpdatePriority,
+    ListAppend,
+    ListRetrieve,
+    VertexSetDedup,
+    Delete,
+    Return,
+    Break,
+};
+
+/** Declared type of a GraphIR variable (Table II data types). */
+struct TypeDesc
+{
+    enum class Kind {
+        Scalar,
+        VertexSet,
+        EdgeSet,
+        PrioQueue,
+        FrontierList,
+        VertexData,
+    };
+
+    Kind kind = Kind::Scalar;
+    ElemType elem = ElemType::Int64; ///< for Scalar and VertexData
+
+    static TypeDesc scalar(ElemType t) { return {Kind::Scalar, t}; }
+    static TypeDesc vertexSet() { return {Kind::VertexSet, ElemType::Int64}; }
+    static TypeDesc edgeSet() { return {Kind::EdgeSet, ElemType::Int64}; }
+    static TypeDesc prioQueue() { return {Kind::PrioQueue, ElemType::Int64}; }
+    static TypeDesc frontierList()
+    {
+        return {Kind::FrontierList, ElemType::Int64};
+    }
+    static TypeDesc vertexData(ElemType t) { return {Kind::VertexData, t}; }
+
+    bool operator==(const TypeDesc &) const = default;
+};
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+/**
+ * Base statement. Statements may carry a schedule label (the #s0# markers
+ * of the GraphIt algorithm language); schedules are attached to labels via
+ * Program::applySchedule.
+ */
+struct Stmt : MetadataMap
+{
+    explicit Stmt(StmtKind kind) : kind(kind) {}
+    virtual ~Stmt() = default;
+
+    const StmtKind kind;
+    std::string label; ///< empty if unlabeled
+};
+
+/** Declaration of a local or program-level variable. */
+struct VarDeclStmt : Stmt
+{
+    VarDeclStmt(std::string name, TypeDesc type, ExprPtr init = nullptr)
+        : Stmt(StmtKind::VarDecl), name(std::move(name)), type(type),
+          init(std::move(init))
+    {
+    }
+    std::string name;
+    TypeDesc type;
+    ExprPtr init; ///< scalar init value, or VertexData fill value; may be null
+};
+
+/** Scalar variable assignment; also used for frontier = output swaps. */
+struct AssignStmt : Stmt
+{
+    AssignStmt(std::string name, ExprPtr value)
+        : Stmt(StmtKind::Assign), name(std::move(name)),
+          value(std::move(value))
+    {
+    }
+    std::string name;
+    ExprPtr value;
+};
+
+/** Plain store to a vertex property: prop[index] = value. */
+struct PropWriteStmt : Stmt
+{
+    PropWriteStmt(std::string prop, ExprPtr index, ExprPtr value)
+        : Stmt(StmtKind::PropWrite), prop(std::move(prop)),
+          index(std::move(index)), value(std::move(value))
+    {
+    }
+    std::string prop;
+    ExprPtr index;
+    ExprPtr value;
+};
+
+/**
+ * ReductionOp (Table II): prop[index] op= value, where op is one of
+ * +=, min=, max=. Metadata: is_atomic (bool, set by the midend's dependence
+ * analysis); tracking_var (string) when the result feeds frontier creation.
+ */
+struct ReductionStmt : Stmt
+{
+    ReductionStmt(std::string prop, ExprPtr index, ReductionType op,
+                  ExprPtr value)
+        : Stmt(StmtKind::Reduction), prop(std::move(prop)),
+          index(std::move(index)), op(op), value(std::move(value))
+    {
+    }
+    std::string prop;
+    ExprPtr index;
+    ReductionType op;
+    ExprPtr value;
+    /** Name of the bool local receiving "did the value change", if any. */
+    std::string resultVar;
+};
+
+struct IfStmt : Stmt
+{
+    IfStmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+           std::vector<StmtPtr> else_body = {})
+        : Stmt(StmtKind::If), cond(std::move(cond)),
+          thenBody(std::move(then_body)), elseBody(std::move(else_body))
+    {
+    }
+    ExprPtr cond;
+    std::vector<StmtPtr> thenBody;
+    std::vector<StmtPtr> elseBody;
+};
+
+/** WhileLoopStmt (Table II). Metadata: needs_fusion, hoisted_vars. */
+struct WhileStmt : Stmt
+{
+    WhileStmt(ExprPtr cond, std::vector<StmtPtr> body)
+        : Stmt(StmtKind::While), cond(std::move(cond)), body(std::move(body))
+    {
+    }
+    ExprPtr cond;
+    std::vector<StmtPtr> body;
+};
+
+/** Counted loop: for var in [lo, hi). */
+struct ForRangeStmt : Stmt
+{
+    ForRangeStmt(std::string var, ExprPtr lo, ExprPtr hi,
+                 std::vector<StmtPtr> body)
+        : Stmt(StmtKind::ForRange), var(std::move(var)), lo(std::move(lo)),
+          hi(std::move(hi)), body(std::move(body))
+    {
+    }
+    std::string var;
+    ExprPtr lo;
+    ExprPtr hi;
+    std::vector<StmtPtr> body;
+};
+
+struct ExprStmt : Stmt
+{
+    explicit ExprStmt(ExprPtr expr)
+        : Stmt(StmtKind::ExprStmt), expr(std::move(expr))
+    {
+    }
+    ExprPtr expr;
+};
+
+/**
+ * EdgeSetIterator (Table II): iterate the edges incident to a frontier and
+ * apply a UDF to each.
+ *
+ * Arguments (correctness-relevant):
+ *   - graph:      the EdgeSet to traverse
+ *   - inputSet:   input frontier variable; empty means all vertices
+ *   - outputSet:  output frontier variable; empty if none is produced
+ *   - applyFunc:  UDF applied per edge (src, dst[, weight])
+ *   - dstFilter:  optional UDF filtering destinations (the .to() operator)
+ *   - srcFilter:  optional UDF filtering sources (the .from() filter form)
+ *   - trackedProp + trackChanges: applyModified bookkeeping before lowering
+ *
+ * Metadata (performance): is_all_edges, requires_output,
+ * apply_deduplication, can_reuse_frontier, is_edge_parallel, direction,
+ * output_representation, pull_input_frontier, queue_updated, ...
+ */
+struct EdgeSetIteratorStmt : Stmt
+{
+    EdgeSetIteratorStmt() : Stmt(StmtKind::EdgeSetIterator) {}
+
+    std::string graph;
+    std::string inputSet;
+    std::string outputSet;
+    std::string applyFunc;
+    std::string dstFilter;
+    std::string srcFilter;
+    std::string trackedProp;   ///< applyModified: property whose writes imply
+                               ///< destination enqueue (pre-lowering)
+    bool trackChanges = false; ///< true for applyModified
+    std::string queue;         ///< PrioQueue updated by applyUpdatePriority
+};
+
+/** VertexSetIterator (Table II): apply a UDF to each member vertex. */
+struct VertexSetIteratorStmt : Stmt
+{
+    VertexSetIteratorStmt() : Stmt(StmtKind::VertexSetIterator) {}
+
+    std::string inputSet; ///< empty means all vertices
+    std::string applyFunc;
+    std::string filterFunc;  ///< optional boolean UDF (vertexset.filter)
+    std::string outputSet;   ///< receives filtered vertices if non-empty
+};
+
+/** EnqueueVertex (Table II). Metadata: output_format. */
+struct EnqueueVertexStmt : Stmt
+{
+    EnqueueVertexStmt(std::string output, ExprPtr vertex)
+        : Stmt(StmtKind::EnqueueVertex), output(std::move(output)),
+          vertex(std::move(vertex))
+    {
+    }
+    std::string output;
+    ExprPtr vertex;
+};
+
+/** UpdatePriorityMin / UpdatePrioritySum (Table II). */
+struct UpdatePriorityStmt : Stmt
+{
+    enum class Kind { Min, Sum };
+
+    UpdatePriorityStmt(Kind update_kind, std::string queue, ExprPtr vertex,
+                       ExprPtr value)
+        : Stmt(StmtKind::UpdatePriority), updateKind(update_kind),
+          queue(std::move(queue)), vertex(std::move(vertex)),
+          value(std::move(value))
+    {
+    }
+    Kind updateKind;
+    std::string queue;
+    ExprPtr vertex;
+    ExprPtr value;
+};
+
+/** ListAppend (Table II). Metadata: to_destroy. */
+struct ListAppendStmt : Stmt
+{
+    ListAppendStmt(std::string list, std::string set)
+        : Stmt(StmtKind::ListAppend), list(std::move(list)),
+          set(std::move(set))
+    {
+    }
+    std::string list;
+    std::string set;
+};
+
+/** ListRetrieve (Table II). Metadata: needs_allocation. */
+struct ListRetrieveStmt : Stmt
+{
+    ListRetrieveStmt(std::string list, std::string set)
+        : Stmt(StmtKind::ListRetrieve), list(std::move(list)),
+          set(std::move(set))
+    {
+    }
+    std::string list;
+    std::string set;
+};
+
+/** VertexSetDedup (Table II). */
+struct VertexSetDedupStmt : Stmt
+{
+    explicit VertexSetDedupStmt(std::string set)
+        : Stmt(StmtKind::VertexSetDedup), set(std::move(set))
+    {
+    }
+    std::string set;
+};
+
+/** delete var — destroys a runtime object (frontier memory reuse). */
+struct DeleteStmt : Stmt
+{
+    explicit DeleteStmt(std::string name)
+        : Stmt(StmtKind::Delete), name(std::move(name))
+    {
+    }
+    std::string name;
+};
+
+/** Terminates a UDF; the function result is the result variable's value. */
+struct ReturnStmt : Stmt
+{
+    explicit ReturnStmt(ExprPtr value = nullptr)
+        : Stmt(StmtKind::Return), value(std::move(value))
+    {
+    }
+    ExprPtr value;
+};
+
+struct BreakStmt : Stmt
+{
+    BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+} // namespace ugc
+
+#endif // UGC_IR_STMT_H

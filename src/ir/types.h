@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Leaf header with the enumerations shared by GraphIR, the runtime data
+ * structures, the scheduling language, and the GraphVMs.
+ */
+#ifndef UGC_IR_TYPES_H
+#define UGC_IR_TYPES_H
+
+#include <string>
+
+namespace ugc {
+
+/** Scalar element types usable in vertex data and UDF locals. */
+enum class ElemType { Int32, Int64, Float64, Bool };
+
+/** Size in bytes of one element of @p type (as laid out by machine models). */
+inline int
+elemSize(ElemType type)
+{
+    switch (type) {
+      case ElemType::Int32:
+        return 4;
+      case ElemType::Int64:
+        return 8;
+      case ElemType::Float64:
+        return 8;
+      case ElemType::Bool:
+        return 1;
+    }
+    return 8;
+}
+
+inline std::string
+elemTypeName(ElemType type)
+{
+    switch (type) {
+      case ElemType::Int32:
+        return "int32_t";
+      case ElemType::Int64:
+        return "int64_t";
+      case ElemType::Float64:
+        return "double";
+      case ElemType::Bool:
+        return "bool";
+    }
+    return "?";
+}
+
+/** Concrete representation of a VertexSet (Table II). */
+enum class VertexSetFormat { Sparse, Bitmap, Boolmap };
+
+inline std::string
+formatName(VertexSetFormat format)
+{
+    switch (format) {
+      case VertexSetFormat::Sparse:
+        return "SPARSE";
+      case VertexSetFormat::Bitmap:
+        return "BITMAP";
+      case VertexSetFormat::Boolmap:
+        return "BOOLMAP";
+    }
+    return "?";
+}
+
+/** Edge traversal direction. */
+enum class Direction { Push, Pull };
+
+inline std::string
+directionName(Direction dir)
+{
+    return dir == Direction::Push ? "PUSH" : "PULL";
+}
+
+/** Reduction operators available to ReductionOp (Table II). */
+enum class ReductionType { Sum, Min, Max };
+
+inline std::string
+reductionName(ReductionType type)
+{
+    switch (type) {
+      case ReductionType::Sum:
+        return "+=";
+      case ReductionType::Min:
+        return "min=";
+      case ReductionType::Max:
+        return "max=";
+    }
+    return "?";
+}
+
+} // namespace ugc
+
+#endif // UGC_IR_TYPES_H

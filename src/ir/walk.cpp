@@ -1,0 +1,136 @@
+#include "ir/walk.h"
+
+namespace ugc {
+
+void
+walkStmts(
+    const std::vector<StmtPtr> &body,
+    const std::function<void(const StmtPtr &, const std::string &)> &visit,
+    const std::string &enclosing_path)
+{
+    for (const StmtPtr &stmt : body) {
+        std::string path = enclosing_path;
+        if (!stmt->label.empty()) {
+            if (!path.empty())
+                path += ':';
+            path += stmt->label;
+        }
+        visit(stmt, path);
+        switch (stmt->kind) {
+          case StmtKind::If: {
+            const auto &node = static_cast<const IfStmt &>(*stmt);
+            walkStmts(node.thenBody, visit, path);
+            walkStmts(node.elseBody, visit, path);
+            break;
+          }
+          case StmtKind::While: {
+            const auto &node = static_cast<const WhileStmt &>(*stmt);
+            walkStmts(node.body, visit, path);
+            break;
+          }
+          case StmtKind::ForRange: {
+            const auto &node = static_cast<const ForRangeStmt &>(*stmt);
+            walkStmts(node.body, visit, path);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+void
+walkExprs(const ExprPtr &expr,
+          const std::function<void(const ExprPtr &)> &visit)
+{
+    if (!expr)
+        return;
+    visit(expr);
+    switch (expr->kind) {
+      case ExprKind::PropRead:
+        walkExprs(static_cast<const PropReadExpr &>(*expr).index, visit);
+        break;
+      case ExprKind::Binary: {
+        const auto &node = static_cast<const BinaryExpr &>(*expr);
+        walkExprs(node.lhs, visit);
+        walkExprs(node.rhs, visit);
+        break;
+      }
+      case ExprKind::Unary:
+        walkExprs(static_cast<const UnaryExpr &>(*expr).operand, visit);
+        break;
+      case ExprKind::CompareAndSwap: {
+        const auto &node = static_cast<const CompareAndSwapExpr &>(*expr);
+        walkExprs(node.index, visit);
+        walkExprs(node.oldValue, visit);
+        walkExprs(node.newValue, visit);
+        break;
+      }
+      case ExprKind::Call: {
+        const auto &node = static_cast<const CallExpr &>(*expr);
+        for (const ExprPtr &arg : node.args)
+            walkExprs(arg, visit);
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+stmtExprs(const StmtPtr &stmt,
+          const std::function<void(const ExprPtr &)> &visit)
+{
+    switch (stmt->kind) {
+      case StmtKind::VarDecl:
+        walkExprs(static_cast<const VarDeclStmt &>(*stmt).init, visit);
+        break;
+      case StmtKind::Assign:
+        walkExprs(static_cast<const AssignStmt &>(*stmt).value, visit);
+        break;
+      case StmtKind::PropWrite: {
+        const auto &node = static_cast<const PropWriteStmt &>(*stmt);
+        walkExprs(node.index, visit);
+        walkExprs(node.value, visit);
+        break;
+      }
+      case StmtKind::Reduction: {
+        const auto &node = static_cast<const ReductionStmt &>(*stmt);
+        walkExprs(node.index, visit);
+        walkExprs(node.value, visit);
+        break;
+      }
+      case StmtKind::If:
+        walkExprs(static_cast<const IfStmt &>(*stmt).cond, visit);
+        break;
+      case StmtKind::While:
+        walkExprs(static_cast<const WhileStmt &>(*stmt).cond, visit);
+        break;
+      case StmtKind::ForRange: {
+        const auto &node = static_cast<const ForRangeStmt &>(*stmt);
+        walkExprs(node.lo, visit);
+        walkExprs(node.hi, visit);
+        break;
+      }
+      case StmtKind::ExprStmt:
+        walkExprs(static_cast<const ExprStmt &>(*stmt).expr, visit);
+        break;
+      case StmtKind::EnqueueVertex:
+        walkExprs(static_cast<const EnqueueVertexStmt &>(*stmt).vertex,
+                  visit);
+        break;
+      case StmtKind::UpdatePriority: {
+        const auto &node = static_cast<const UpdatePriorityStmt &>(*stmt);
+        walkExprs(node.vertex, visit);
+        walkExprs(node.value, visit);
+        break;
+      }
+      case StmtKind::Return:
+        walkExprs(static_cast<const ReturnStmt &>(*stmt).value, visit);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace ugc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Recursive statement walker used by analysis and lowering passes.
+ */
+#ifndef UGC_IR_WALK_H
+#define UGC_IR_WALK_H
+
+#include <functional>
+#include <string>
+
+#include "ir/function.h"
+
+namespace ugc {
+
+/**
+ * Visit every statement in @p body depth-first, pre-order.
+ *
+ * The callback receives the statement and its schedule label path —
+ * the ':'-joined labels of the enclosing labeled statements plus its own
+ * label (e.g. "s0:s1"), matching the paper's applySchedule("s0:s1", ...)
+ * addressing (Fig 6).
+ */
+void walkStmts(
+    const std::vector<StmtPtr> &body,
+    const std::function<void(const StmtPtr &, const std::string &)> &visit,
+    const std::string &enclosing_path = "");
+
+/** Visit every sub-expression of @p expr depth-first, pre-order. */
+void walkExprs(const ExprPtr &expr,
+               const std::function<void(const ExprPtr &)> &visit);
+
+/** Visit every expression appearing in @p stmt (non-recursive on stmts). */
+void stmtExprs(const StmtPtr &stmt,
+               const std::function<void(const ExprPtr &)> &visit);
+
+} // namespace ugc
+
+#endif // UGC_IR_WALK_H

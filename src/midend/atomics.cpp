@@ -1,0 +1,48 @@
+#include "midend/atomics.h"
+
+#include "ir/walk.h"
+
+namespace ugc {
+
+namespace {
+
+/** Mark every CAS/reduction in @p func with is_atomic = @p atomic. */
+void
+markFunction(Function &func, bool atomic)
+{
+    walkStmts(func.body, [&](const StmtPtr &stmt, const std::string &) {
+        if (stmt->kind == StmtKind::Reduction)
+            stmt->setMetadata("is_atomic", atomic);
+        stmtExprs(stmt, [&](const ExprPtr &expr) {
+            if (expr->kind == ExprKind::CompareAndSwap)
+                expr->setMetadata("is_atomic", atomic);
+        });
+        if (stmt->kind == StmtKind::UpdatePriority)
+            stmt->setMetadata("needs_atomic", atomic);
+    });
+}
+
+} // namespace
+
+void
+AtomicsInsertionPass::run(Program &program)
+{
+    FunctionPtr main = program.mainFunction();
+    if (!main)
+        return;
+    walkStmts(main->body, [&](const StmtPtr &stmt, const std::string &) {
+        if (stmt->kind != StmtKind::EdgeSetIterator)
+            return;
+        const auto &node = static_cast<const EdgeSetIteratorStmt &>(*stmt);
+        if (!node.hasMetadata("apply_variant"))
+            return; // direction lowering has not run on this node
+        const auto direction =
+            node.getMetadataOr("direction", Direction::Push);
+        FunctionPtr variant = program.findFunction(
+            node.getMetadata<std::string>("apply_variant"));
+        if (variant)
+            markFunction(*variant, direction == Direction::Push);
+    });
+}
+
+} // namespace ugc

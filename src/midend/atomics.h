@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Property analysis / atomics insertion (Table III's
+ * "Property Analysis/Atomic Insertion" pass).
+ *
+ * Dependence analysis over UDFs: a CompareAndSwap or ReductionOp inside an
+ * edge-apply UDF needs atomicity exactly when multiple parallel workers can
+ * target the same vertex — i.e. PUSH traversals (many sources share one
+ * destination). PULL traversals own their destination exclusively, and
+ * vertex-apply UDFs own their vertex, so their updates stay plain.
+ */
+#ifndef UGC_MIDEND_ATOMICS_H
+#define UGC_MIDEND_ATOMICS_H
+
+#include "midend/pass.h"
+
+namespace ugc {
+
+class AtomicsInsertionPass : public Pass
+{
+  public:
+    std::string name() const override { return "atomics-insertion"; }
+    void run(Program &program) override;
+};
+
+} // namespace ugc
+
+#endif // UGC_MIDEND_ATOMICS_H

@@ -1,0 +1,471 @@
+#include "midend/direction_lowering.h"
+
+#include <stdexcept>
+
+#include "ir/walk.h"
+
+namespace ugc {
+
+namespace {
+
+/** Evaluate an integer constant expression (literals and unary minus). */
+bool
+constIntOf(const Expr *expr, int64_t *out)
+{
+    if (expr->kind == ExprKind::IntConst) {
+        *out = static_cast<const IntConstExpr &>(*expr).value;
+        return true;
+    }
+    if (expr->kind == ExprKind::Unary) {
+        const auto &node = static_cast<const UnaryExpr &>(*expr);
+        int64_t inner;
+        if (node.op == UnaryOp::Neg &&
+            constIntOf(node.operand.get(), &inner)) {
+            *out = -inner;
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * If @p filter is `output = (prop[v] == K)` for the tracked property,
+ * return K so the filter can be fused into a CompareAndSwap.
+ */
+bool
+matchEqFilter(const Function &filter, const std::string &tracked_prop,
+              int64_t *out_const)
+{
+    if (filter.body.size() != 1 || filter.params.size() != 1)
+        return false;
+    const StmtPtr &stmt = filter.body[0];
+    if (stmt->kind != StmtKind::Assign)
+        return false;
+    const auto &assign = static_cast<const AssignStmt &>(*stmt);
+    if (assign.name != filter.resultName)
+        return false;
+    const Expr *expr = assign.value.get();
+    if (expr->kind != ExprKind::Binary)
+        return false;
+    const auto &cmp = static_cast<const BinaryExpr &>(*expr);
+    if (cmp.op != BinaryOp::Eq)
+        return false;
+
+    const Expr *prop_side = cmp.lhs.get();
+    const Expr *const_side = cmp.rhs.get();
+    if (prop_side->kind != ExprKind::PropRead)
+        std::swap(prop_side, const_side);
+    int64_t value;
+    if (prop_side->kind != ExprKind::PropRead ||
+        !constIntOf(const_side, &value))
+        return false;
+
+    const auto &read = static_cast<const PropReadExpr &>(*prop_side);
+    if (read.prop != tracked_prop ||
+        read.index->kind != ExprKind::VarRef ||
+        static_cast<const VarRefExpr &>(*read.index).name !=
+            filter.params[0].name) {
+        return false;
+    }
+    *out_const = value;
+    return true;
+}
+
+/**
+ * Rewrite the body of an applyModified UDF so that tracked-property updates
+ * explicitly enqueue the destination (Fig 4).
+ */
+class TrackingRewriter
+{
+  public:
+    TrackingRewriter(const std::string &tracked_prop,
+                     const std::string &dst_param,
+                     const std::string &output_set, bool fuse_filter,
+                     int64_t filter_const)
+        : _trackedProp(tracked_prop), _dstParam(dst_param),
+          _outputSet(output_set), _fuseFilter(fuse_filter),
+          _filterConst(filter_const)
+    {
+    }
+
+    int rewrites() const { return _rewrites; }
+
+    std::vector<StmtPtr>
+    rewriteBody(const std::vector<StmtPtr> &body)
+    {
+        std::vector<StmtPtr> out;
+        for (const StmtPtr &stmt : body) {
+            switch (stmt->kind) {
+              case StmtKind::PropWrite: {
+                const auto &write = static_cast<const PropWriteStmt &>(*stmt);
+                if (write.prop == _trackedProp) {
+                    rewriteWrite(write, out);
+                    continue;
+                }
+                out.push_back(stmt);
+                break;
+              }
+              case StmtKind::Reduction: {
+                const auto &reduce =
+                    static_cast<const ReductionStmt &>(*stmt);
+                if (reduce.prop == _trackedProp) {
+                    rewriteReduction(reduce, out);
+                    continue;
+                }
+                out.push_back(stmt);
+                break;
+              }
+              case StmtKind::If: {
+                const auto &branch = static_cast<const IfStmt &>(*stmt);
+                auto copy = std::make_shared<IfStmt>(
+                    cloneExpr(branch.cond), rewriteBody(branch.thenBody),
+                    rewriteBody(branch.elseBody));
+                copy->label = stmt->label;
+                out.push_back(copy);
+                break;
+              }
+              default:
+                out.push_back(stmt);
+                break;
+            }
+        }
+        return out;
+    }
+
+  private:
+    std::string
+    freshVar()
+    {
+        return "enqueue" + (_counter ? std::to_string(_counter++)
+                                     : (++_counter, std::string()));
+    }
+
+    void
+    rewriteWrite(const PropWriteStmt &write, std::vector<StmtPtr> &out)
+    {
+        ++_rewrites;
+        if (_fuseFilter) {
+            // bool enqueue = CAS(prop[idx], K, value); if (enqueue) ...
+            auto cas = std::make_shared<CompareAndSwapExpr>(
+                _trackedProp, cloneExpr(write.index),
+                intConst(_filterConst), cloneExpr(write.value));
+            const std::string var = freshVar();
+            out.push_back(std::make_shared<VarDeclStmt>(
+                var, TypeDesc::scalar(ElemType::Bool), cas));
+            out.push_back(std::make_shared<IfStmt>(
+                varRef(var),
+                std::vector<StmtPtr>{std::make_shared<EnqueueVertexStmt>(
+                    _outputSet, cloneExpr(write.index))}));
+            return;
+        }
+        // No fusable filter: plain write, unconditional enqueue.
+        out.push_back(std::make_shared<PropWriteStmt>(
+            write.prop, cloneExpr(write.index), cloneExpr(write.value)));
+        out.push_back(std::make_shared<EnqueueVertexStmt>(
+            _outputSet, cloneExpr(write.index)));
+    }
+
+    void
+    rewriteReduction(const ReductionStmt &reduce, std::vector<StmtPtr> &out)
+    {
+        ++_rewrites;
+        auto copy = std::make_shared<ReductionStmt>(
+            reduce.prop, cloneExpr(reduce.index), reduce.op,
+            cloneExpr(reduce.value));
+        const std::string var = freshVar();
+        copy->resultVar = var;
+        out.push_back(copy);
+        out.push_back(std::make_shared<IfStmt>(
+            varRef(var),
+            std::vector<StmtPtr>{std::make_shared<EnqueueVertexStmt>(
+                _outputSet, cloneExpr(reduce.index))}));
+    }
+
+    const std::string &_trackedProp;
+    const std::string &_dstParam;
+    const std::string &_outputSet;
+    bool _fuseFilter;
+    int64_t _filterConst;
+    int _rewrites = 0;
+    int _counter = 0;
+};
+
+class Lowering
+{
+  public:
+    Lowering(Program &program, SchedulePtr default_schedule)
+        : _program(program), _defaultSchedule(std::move(default_schedule))
+    {
+    }
+
+    void
+    run()
+    {
+        FunctionPtr main = _program.mainFunction();
+        if (!main)
+            return;
+        lowerBody(main->body, "");
+    }
+
+  private:
+    /** Resolve the simple schedule for a statement path (never null). */
+    std::shared_ptr<SimpleSchedule>
+    simpleScheduleFor(const SchedulePtr &schedule)
+    {
+        auto simple = std::dynamic_pointer_cast<SimpleSchedule>(schedule);
+        if (simple)
+            return simple;
+        return std::make_shared<SimpleSchedule>();
+    }
+
+    void
+    lowerBody(std::vector<StmtPtr> &body, const std::string &path)
+    {
+        for (size_t i = 0; i < body.size(); ++i) {
+            StmtPtr &stmt = body[i];
+            std::string stmt_path = path;
+            if (!stmt->label.empty()) {
+                if (!stmt_path.empty())
+                    stmt_path += ':';
+                stmt_path += stmt->label;
+            }
+            switch (stmt->kind) {
+              case StmtKind::While:
+                lowerBody(static_cast<WhileStmt &>(*stmt).body, stmt_path);
+                break;
+              case StmtKind::ForRange:
+                lowerBody(static_cast<ForRangeStmt &>(*stmt).body,
+                          stmt_path);
+                break;
+              case StmtKind::If: {
+                auto &branch = static_cast<IfStmt &>(*stmt);
+                lowerBody(branch.thenBody, stmt_path);
+                lowerBody(branch.elseBody, stmt_path);
+                break;
+              }
+              case StmtKind::EdgeSetIterator:
+                stmt = lowerEdgeTraversal(
+                    std::static_pointer_cast<EdgeSetIteratorStmt>(stmt),
+                    stmt_path);
+                break;
+              case StmtKind::VertexSetIterator:
+                stmt->setMetadata("is_parallel", true);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    /** Lower one EdgeSetIterator; may return a hybrid IfStmt (Fig 7). */
+    StmtPtr
+    lowerEdgeTraversal(std::shared_ptr<EdgeSetIteratorStmt> stmt,
+                       const std::string &path)
+    {
+        SchedulePtr schedule = _program.scheduleFor(path);
+        const bool explicit_schedule = schedule != nullptr;
+        if (!schedule)
+            schedule = _defaultSchedule;
+        stmt->setMetadata("has_explicit_schedule", explicit_schedule);
+
+        // Ordered (priority-queue) traversals are push-only: the ordered
+        // runtime relaxes out-edges of the ready set. Collapse hybrid and
+        // pull schedules onto their push configuration.
+        if (stmt->getMetadataOr("ordered", false)) {
+            auto simple =
+                std::dynamic_pointer_cast<SimpleSchedule>(schedule);
+            if (auto composite =
+                    std::dynamic_pointer_cast<CompositeSchedule>(schedule))
+                simple = std::dynamic_pointer_cast<SimpleSchedule>(
+                    composite->getFirstSchedule());
+            if (!simple)
+                simple = std::make_shared<SimpleSchedule>();
+            if (simple->getDirection() != Direction::Push ||
+                simple->isHybridDirection()) {
+                simple = std::make_shared<DirectionOverrideSchedule>(
+                    simple, Direction::Push);
+            }
+            applySimple(*stmt, simple);
+            return stmt;
+        }
+
+        // HYBRID direction sugar expands to a composite with the standard
+        // direction-optimizing threshold.
+        if (auto simple = std::dynamic_pointer_cast<SimpleSchedule>(schedule);
+            simple && simple->isHybridDirection()) {
+            return expandHybridDirection(std::move(stmt), simple);
+        }
+
+        if (auto composite =
+                std::dynamic_pointer_cast<CompositeSchedule>(schedule)) {
+            return expandComposite(std::move(stmt), *composite);
+        }
+
+        applySimple(*stmt, simpleScheduleFor(schedule));
+        return stmt;
+    }
+
+    StmtPtr
+    expandComposite(std::shared_ptr<EdgeSetIteratorStmt> stmt,
+                    const CompositeSchedule &composite)
+    {
+        auto then_stmt = std::static_pointer_cast<EdgeSetIteratorStmt>(
+            cloneStmt(stmt));
+        auto else_stmt = std::static_pointer_cast<EdgeSetIteratorStmt>(
+            cloneStmt(stmt));
+        then_stmt->label.clear();
+        else_stmt->label.clear();
+        applySimple(*then_stmt,
+                    simpleScheduleFor(composite.getFirstSchedule()));
+        applySimple(*else_stmt,
+                    simpleScheduleFor(composite.getSecondSchedule()));
+
+        // Runtime condition: |frontier| (or its out-degree sum) below a
+        // fraction of the graph (Fig 7).
+        auto cond = std::make_shared<CallExpr>(
+            "__hybrid_cond",
+            std::vector<ExprPtr>{
+                varRef(stmt->inputSet.empty() ? std::string("__all")
+                                              : stmt->inputSet),
+                floatConst(composite.getThreshold()),
+                intConst(static_cast<int64_t>(composite.getCriteria()))});
+        auto hybrid = std::make_shared<IfStmt>(
+            cond, std::vector<StmtPtr>{then_stmt},
+            std::vector<StmtPtr>{else_stmt});
+        hybrid->label = stmt->label;
+        hybrid->setMetadata("hybrid_direction", true);
+        return hybrid;
+    }
+
+    StmtPtr
+    expandHybridDirection(std::shared_ptr<EdgeSetIteratorStmt> stmt,
+                          const std::shared_ptr<SimpleSchedule> &base)
+    {
+        // Build an equivalent composite: PUSH when the frontier is small,
+        // PULL when it is dense.
+        CompositeSchedule composite(
+            HybridCriteria::InputSetSize, 0.15,
+            std::make_shared<DirectionOverrideSchedule>(base,
+                                                        Direction::Push),
+            std::make_shared<DirectionOverrideSchedule>(base,
+                                                        Direction::Pull));
+        return expandComposite(std::move(stmt), composite);
+    }
+
+    /** Attach a simple schedule and create the direction variant UDF. */
+    void
+    applySimple(EdgeSetIteratorStmt &stmt,
+                const std::shared_ptr<SimpleSchedule> &schedule)
+    {
+        const Direction direction = schedule->getDirection();
+        stmt.setMetadata("schedule",
+                         std::static_pointer_cast<AbstractSchedule>(
+                             schedule));
+        stmt.setMetadata("direction", direction);
+        stmt.setMetadata("pull_input_frontier",
+                         schedule->getPullFrontier());
+        stmt.setMetadata(
+            "is_edge_parallel",
+            schedule->getParallelization() == Parallelization::EdgeBased);
+        if (!stmt.hasMetadata("apply_deduplication"))
+            stmt.setMetadata("apply_deduplication",
+                             schedule->getDeduplication());
+
+        FunctionPtr apply = _program.findFunction(stmt.applyFunc);
+        if (!apply) {
+            throw std::runtime_error("direction lowering: missing UDF " +
+                                     stmt.applyFunc);
+        }
+
+        FunctionPtr variant;
+        if (stmt.trackChanges && !stmt.trackedProp.empty())
+            variant = makeTrackedVariant(stmt, *apply, direction);
+        else
+            variant = makeUntrackedVariant(stmt, *apply, direction);
+        stmt.setMetadata("apply_variant", variant->name);
+    }
+
+    FunctionPtr
+    makeTrackedVariant(EdgeSetIteratorStmt &stmt, const Function &apply,
+                       Direction direction)
+    {
+        // An equality destination filter on the tracked property can be
+        // fused into a CAS — but only for PUSH, where concurrent sources
+        // race on the destination. PULL keeps the filter as a cheap
+        // pre-check on the destination and may stop scanning in-neighbors
+        // after the first hit (the classic pull-BFS early exit).
+        bool fuse_possible = false;
+        int64_t filter_const = 0;
+        if (!stmt.dstFilter.empty()) {
+            FunctionPtr filter = _program.findFunction(stmt.dstFilter);
+            if (filter &&
+                matchEqFilter(*filter, stmt.trackedProp, &filter_const))
+                fuse_possible = true;
+        }
+        const bool fuse = fuse_possible && direction == Direction::Push;
+
+        if (fuse)
+            stmt.setMetadata("filter_fused", true);
+        if (fuse_possible && direction == Direction::Pull)
+            stmt.setMetadata("pull_early_exit", true);
+
+        FunctionPtr variant = apply.clone();
+        variant->name = variantName(apply.name, stmt, direction);
+        if (FunctionPtr existing = _program.findFunction(variant->name))
+            return existing;
+
+        const std::string &dst_param = apply.params.size() > 1
+                                           ? apply.params[1].name
+                                           : apply.params[0].name;
+        const std::string output =
+            stmt.outputSet.empty() ? "__output" : stmt.outputSet;
+        TrackingRewriter rewriter(stmt.trackedProp, dst_param, output, fuse,
+                                  filter_const);
+        variant->body = rewriter.rewriteBody(variant->body);
+        if (rewriter.rewrites() == 0) {
+            throw std::runtime_error(
+                "applyModified: UDF " + apply.name +
+                " never updates tracked property " + stmt.trackedProp);
+        }
+        variant->setMetadata("direction", direction);
+        _program.addFunction(variant);
+        return variant;
+    }
+
+    FunctionPtr
+    makeUntrackedVariant(EdgeSetIteratorStmt &stmt, const Function &apply,
+                         Direction direction)
+    {
+        FunctionPtr variant = apply.clone();
+        variant->name = variantName(apply.name, stmt, direction);
+        if (FunctionPtr existing = _program.findFunction(variant->name))
+            return existing;
+        variant->setMetadata("direction", direction);
+        _program.addFunction(variant);
+        return variant;
+    }
+
+    static std::string
+    variantName(const std::string &base, const EdgeSetIteratorStmt &stmt,
+                Direction direction)
+    {
+        std::string name = base;
+        name += direction == Direction::Push ? "_push" : "_pull";
+        if (stmt.trackChanges)
+            name += "_tracked";
+        return name;
+    }
+
+    Program &_program;
+    SchedulePtr _defaultSchedule;
+};
+
+} // namespace
+
+void
+DirectionLoweringPass::run(Program &program)
+{
+    Lowering(program, _defaultSchedule).run();
+}
+
+} // namespace ugc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Direction lowering and schedule attachment.
+ *
+ * For every EdgeSetIterator this pass:
+ *  1. resolves the schedule attached to its label (or the pipeline default)
+ *     and stores it in the node's metadata;
+ *  2. expands CompositeSchedule into the Fig 7 runtime if-then-else, with a
+ *     cloned EdgeSetIterator per branch;
+ *  3. creates a direction-specific UDF variant, rewriting applyModified
+ *     tracking into explicit CompareAndSwap / tracked reductions followed
+ *     by EnqueueVertex (the Fig 4 lowering), fusing an equality destination
+ *     filter into the CAS when possible;
+ *  4. records direction, frontier representations, and dedup metadata for
+ *     the GraphVMs.
+ */
+#ifndef UGC_MIDEND_DIRECTION_LOWERING_H
+#define UGC_MIDEND_DIRECTION_LOWERING_H
+
+#include "midend/pass.h"
+#include "sched/schedule.h"
+
+namespace ugc {
+
+class DirectionLoweringPass : public Pass
+{
+  public:
+    /** @param default_schedule used for statements without a schedule. */
+    explicit DirectionLoweringPass(SchedulePtr default_schedule)
+        : _defaultSchedule(std::move(default_schedule))
+    {
+    }
+
+    std::string name() const override { return "direction-lowering"; }
+    void run(Program &program) override;
+
+  private:
+    SchedulePtr _defaultSchedule;
+};
+
+} // namespace ugc
+
+#endif // UGC_MIDEND_DIRECTION_LOWERING_H

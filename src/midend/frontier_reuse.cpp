@@ -1,0 +1,67 @@
+#include "midend/frontier_reuse.h"
+
+#include "ir/walk.h"
+
+namespace ugc {
+
+namespace {
+
+/** Collect every EdgeSetIterator in @p body (including hybrid branches). */
+void
+collectIterators(const std::vector<StmtPtr> &body,
+                 std::vector<EdgeSetIteratorStmt *> &out)
+{
+    walkStmts(body, [&](const StmtPtr &stmt, const std::string &) {
+        if (stmt->kind == StmtKind::EdgeSetIterator)
+            out.push_back(static_cast<EdgeSetIteratorStmt *>(stmt.get()));
+    });
+}
+
+void
+analyzeLoop(WhileStmt &loop)
+{
+    // Look for the `delete X; X = Y;` (or `X = Y; delete ...`) idiom where
+    // some traversal in the loop reads X and writes Y.
+    std::vector<EdgeSetIteratorStmt *> iterators;
+    collectIterators(loop.body, iterators);
+    if (iterators.empty())
+        return;
+
+    for (size_t i = 0; i < loop.body.size(); ++i) {
+        if (loop.body[i]->kind != StmtKind::Delete)
+            continue;
+        const auto &del = static_cast<const DeleteStmt &>(*loop.body[i]);
+        for (size_t j = i + 1; j < loop.body.size(); ++j) {
+            if (loop.body[j]->kind != StmtKind::Assign)
+                continue;
+            const auto &assign =
+                static_cast<const AssignStmt &>(*loop.body[j]);
+            if (assign.name != del.name ||
+                assign.value->kind != ExprKind::VarRef)
+                continue;
+            const std::string &source =
+                static_cast<const VarRefExpr &>(*assign.value).name;
+            for (EdgeSetIteratorStmt *iter : iterators) {
+                if (iter->inputSet == del.name &&
+                    iter->outputSet == source)
+                    iter->setMetadata("can_reuse_frontier", true);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+FrontierReusePass::run(Program &program)
+{
+    FunctionPtr main = program.mainFunction();
+    if (!main)
+        return;
+    walkStmts(main->body, [&](const StmtPtr &stmt, const std::string &) {
+        if (stmt->kind == StmtKind::While)
+            analyzeLoop(static_cast<WhileStmt &>(*stmt));
+    });
+}
+
+} // namespace ugc

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Frontier reuse analysis (Table III).
+ *
+ * Liveness over frontier variables: when a loop body ends by deleting the
+ * input frontier and replacing it with the traversal's output
+ * (`delete frontier; frontier = output;`), the input frontier's storage can
+ * be recycled for the output. The result is recorded as
+ * can_reuse_frontier metadata on the EdgeSetIterator (used by the GPU,
+ * Swarm, and HammerBlade GraphVMs; the CPU GraphVM does not use it).
+ */
+#ifndef UGC_MIDEND_FRONTIER_REUSE_H
+#define UGC_MIDEND_FRONTIER_REUSE_H
+
+#include "midend/pass.h"
+
+namespace ugc {
+
+class FrontierReusePass : public Pass
+{
+  public:
+    std::string name() const override { return "frontier-reuse"; }
+    void run(Program &program) override;
+};
+
+} // namespace ugc
+
+#endif // UGC_MIDEND_FRONTIER_REUSE_H

@@ -1,0 +1,36 @@
+#include "midend/ordered.h"
+
+#include "ir/walk.h"
+#include "sched/cpu_schedule.h"
+
+namespace ugc {
+
+void
+OrderedLoweringPass::run(Program &program)
+{
+    FunctionPtr main = program.mainFunction();
+    if (!main)
+        return;
+    walkStmts(main->body, [&](const StmtPtr &stmt, const std::string &) {
+        if (stmt->kind != StmtKind::EdgeSetIterator)
+            return;
+        auto &node = static_cast<EdgeSetIteratorStmt &>(*stmt);
+        if (!node.getMetadataOr("ordered", false))
+            return;
+
+        auto schedule = node.getMetadataOr<SchedulePtr>("schedule", nullptr);
+        auto simple = std::dynamic_pointer_cast<SimpleSchedule>(schedule);
+        // Only an explicitly attached schedule overrides the program's
+        // own Δ (argv); default-schedule baselines keep the algorithm's
+        // parameter.
+        if (simple && node.getMetadataOr("has_explicit_schedule", false)) {
+            node.setMetadata("delta", simple->getDelta());
+            if (auto cpu =
+                    std::dynamic_pointer_cast<SimpleCPUSchedule>(simple))
+                node.setMetadata("bucket_fusion", cpu->bucketFusion());
+        }
+        node.setMetadata("queue_updated", node.queue);
+    });
+}
+
+} // namespace ugc

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Ordered processing lowering (Table III): prepares priority-queue-driven
+ * algorithms (Δ-stepping SSSP and friends) for the GraphVMs — resolves the
+ * bucket width Δ from the schedule, annotates ordered traversals, and tags
+ * the bucket-fusion opportunity when the schedule requests it.
+ */
+#ifndef UGC_MIDEND_ORDERED_H
+#define UGC_MIDEND_ORDERED_H
+
+#include "midend/pass.h"
+
+namespace ugc {
+
+class OrderedLoweringPass : public Pass
+{
+  public:
+    std::string name() const override { return "ordered-lowering"; }
+    void run(Program &program) override;
+};
+
+} // namespace ugc
+
+#endif // UGC_MIDEND_ORDERED_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pass interface of the hardware-independent compiler (§III-A).
+ *
+ * Passes are IR-to-IR transformations over GraphIR, LLVM-style; GraphVMs
+ * append their own hardware-specific passes to the shared pipeline.
+ */
+#ifndef UGC_MIDEND_PASS_H
+#define UGC_MIDEND_PASS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace ugc {
+
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable name used in diagnostics and pipeline dumps. */
+    virtual std::string name() const = 0;
+
+    /** Transform @p program in place. */
+    virtual void run(Program &program) = 0;
+};
+
+using PassPtr = std::unique_ptr<Pass>;
+
+/** Ordered list of passes applied to a program. */
+class PassManager
+{
+  public:
+    void addPass(PassPtr pass) { _passes.push_back(std::move(pass)); }
+
+    void
+    run(Program &program)
+    {
+        for (const PassPtr &pass : _passes)
+            pass->run(program);
+    }
+
+    std::vector<std::string>
+    passNames() const
+    {
+        std::vector<std::string> names;
+        for (const PassPtr &pass : _passes)
+            names.push_back(pass->name());
+        return names;
+    }
+
+  private:
+    std::vector<PassPtr> _passes;
+};
+
+} // namespace ugc
+
+#endif // UGC_MIDEND_PASS_H

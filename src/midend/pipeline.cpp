@@ -1,0 +1,31 @@
+#include "midend/pipeline.h"
+
+#include "midend/atomics.h"
+#include "midend/direction_lowering.h"
+#include "midend/frontier_reuse.h"
+#include "midend/ordered.h"
+
+namespace ugc::midend {
+
+PassManager
+standardPipeline(SchedulePtr default_schedule)
+{
+    PassManager manager;
+    manager.addPass(
+        std::make_unique<DirectionLoweringPass>(std::move(default_schedule)));
+    manager.addPass(std::make_unique<AtomicsInsertionPass>());
+    manager.addPass(std::make_unique<FrontierReusePass>());
+    manager.addPass(std::make_unique<OrderedLoweringPass>());
+    return manager;
+}
+
+ProgramPtr
+runStandardPipeline(const Program &program, SchedulePtr default_schedule)
+{
+    ProgramPtr lowered = program.clone();
+    PassManager manager = standardPipeline(std::move(default_schedule));
+    manager.run(*lowered);
+    return lowered;
+}
+
+} // namespace ugc::midend

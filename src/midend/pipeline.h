@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The standard hardware-independent pipeline (§III-A): the passes every
+ * GraphVM runs before its own hardware-specific passes.
+ */
+#ifndef UGC_MIDEND_PIPELINE_H
+#define UGC_MIDEND_PIPELINE_H
+
+#include "midend/pass.h"
+#include "sched/schedule.h"
+
+namespace ugc::midend {
+
+/**
+ * Build the standard pipeline.
+ * @param default_schedule schedule used for unscheduled statements
+ *        (each GraphVM passes its baseline schedule here)
+ */
+PassManager standardPipeline(SchedulePtr default_schedule);
+
+/** Clone @p program and run the standard pipeline over the clone. */
+ProgramPtr runStandardPipeline(const Program &program,
+                               SchedulePtr default_schedule);
+
+} // namespace ugc::midend
+
+#endif // UGC_MIDEND_PIPELINE_H

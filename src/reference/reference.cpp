@@ -1,0 +1,246 @@
+#include "reference/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ugc::reference {
+
+std::vector<int64_t>
+bfsLevels(const Graph &graph, VertexId source)
+{
+    std::vector<int64_t> level(static_cast<size_t>(graph.numVertices()),
+                               kUnreached);
+    std::queue<VertexId> queue;
+    level[source] = 0;
+    queue.push(source);
+    while (!queue.empty()) {
+        const VertexId u = queue.front();
+        queue.pop();
+        for (VertexId v : graph.outNeighbors(u)) {
+            if (level[v] == kUnreached) {
+                level[v] = level[u] + 1;
+                queue.push(v);
+            }
+        }
+    }
+    return level;
+}
+
+std::vector<int64_t>
+ssspDistances(const Graph &graph, VertexId source)
+{
+    std::vector<int64_t> dist(static_cast<size_t>(graph.numVertices()),
+                              kUnreached);
+    using Entry = std::pair<int64_t, VertexId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.push({0, source});
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d != dist[u])
+            continue;
+        const auto nbrs = graph.outNeighbors(u);
+        const auto wts = graph.outWeights(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+            const int64_t nd = d + wts[i];
+            if (nd < dist[nbrs[i]]) {
+                dist[nbrs[i]] = nd;
+                heap.push({nd, nbrs[i]});
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<double>
+pageRank(const Graph &graph, int iterations, double damp)
+{
+    const auto n = static_cast<size_t>(graph.numVertices());
+    const double beta = (1.0 - damp) / static_cast<double>(n);
+    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+    std::vector<double> next(n, 0.0);
+    for (int iter = 0; iter < iterations; ++iter) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (VertexId u = 0; u < graph.numVertices(); ++u) {
+            const EdgeId deg = graph.outDegree(u);
+            if (deg == 0)
+                continue;
+            const double contrib =
+                rank[static_cast<size_t>(u)] / static_cast<double>(deg);
+            for (VertexId v : graph.outNeighbors(u))
+                next[static_cast<size_t>(v)] += contrib;
+        }
+        for (size_t v = 0; v < n; ++v)
+            rank[v] = beta + damp * next[v];
+    }
+    return rank;
+}
+
+std::vector<double>
+pageRankDelta(const Graph &graph, int iterations, double damp,
+              double epsilon2)
+{
+    const auto n = static_cast<size_t>(graph.numVertices());
+    const double beta = (1.0 - damp) / static_cast<double>(n);
+    std::vector<double> rank(n, 0.0);
+    std::vector<double> delta(n, 1.0 / static_cast<double>(n));
+    std::vector<double> ngh_sum(n, 0.0);
+    std::vector<VertexId> frontier(n);
+    for (size_t v = 0; v < n; ++v)
+        frontier[v] = static_cast<VertexId>(v);
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        for (VertexId src : frontier) {
+            const EdgeId deg = graph.outDegree(src);
+            if (deg == 0)
+                continue;
+            const double contrib =
+                delta[static_cast<size_t>(src)] /
+                static_cast<double>(deg);
+            for (VertexId dst : graph.outNeighbors(src))
+                ngh_sum[static_cast<size_t>(dst)] += contrib;
+        }
+        frontier.clear();
+        for (size_t v = 0; v < n; ++v) {
+            if (iter == 0) {
+                delta[v] = damp * ngh_sum[v] + beta;
+                rank[v] += delta[v];
+                delta[v] = delta[v] - 1.0 / static_cast<double>(n);
+            } else {
+                delta[v] = ngh_sum[v] * damp;
+                rank[v] += delta[v];
+            }
+            if (delta[v] > epsilon2 * rank[v] ||
+                (0.0 - delta[v]) > epsilon2 * rank[v])
+                frontier.push_back(static_cast<VertexId>(v));
+            ngh_sum[v] = 0.0;
+        }
+    }
+    return rank;
+}
+
+std::vector<int64_t>
+connectedComponents(const Graph &graph)
+{
+    std::vector<int64_t> label(static_cast<size_t>(graph.numVertices()));
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        label[static_cast<size_t>(v)] = v;
+    // BFS per component from the smallest unvisited id.
+    std::vector<bool> visited(label.size(), false);
+    for (VertexId root = 0; root < graph.numVertices(); ++root) {
+        if (visited[static_cast<size_t>(root)])
+            continue;
+        std::queue<VertexId> queue;
+        queue.push(root);
+        visited[static_cast<size_t>(root)] = true;
+        while (!queue.empty()) {
+            const VertexId u = queue.front();
+            queue.pop();
+            label[static_cast<size_t>(u)] = root;
+            for (VertexId v : graph.outNeighbors(u)) {
+                if (!visited[static_cast<size_t>(v)]) {
+                    visited[static_cast<size_t>(v)] = true;
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    return label;
+}
+
+std::vector<double>
+bcDependencies(const Graph &graph, VertexId source)
+{
+    const auto n = static_cast<size_t>(graph.numVertices());
+    std::vector<int64_t> level(n, -1);
+    std::vector<double> sigma(n, 0.0);
+    std::vector<double> delta(n, 0.0);
+    std::vector<VertexId> order; // BFS order
+
+    std::queue<VertexId> queue;
+    level[source] = 0;
+    sigma[source] = 1.0;
+    queue.push(source);
+    while (!queue.empty()) {
+        const VertexId u = queue.front();
+        queue.pop();
+        order.push_back(u);
+        for (VertexId v : graph.outNeighbors(u)) {
+            if (level[v] < 0) {
+                level[v] = level[u] + 1;
+                queue.push(v);
+            }
+            if (level[v] == level[u] + 1)
+                sigma[v] += sigma[u];
+        }
+    }
+    // Reverse accumulation (predecessors include the source).
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const VertexId w = *it;
+        for (VertexId u : graph.outNeighbors(w)) {
+            if (level[u] == level[w] - 1) {
+                delta[u] +=
+                    (sigma[u] / sigma[w]) * (1.0 + delta[w]);
+            }
+        }
+    }
+    return delta;
+}
+
+bool
+validBfsParents(const Graph &graph, VertexId source,
+                const std::vector<double> &parent)
+{
+    const std::vector<int64_t> levels = bfsLevels(graph, source);
+    if (parent.size() != levels.size())
+        return false;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        const auto p = static_cast<VertexId>(parent[v]);
+        if (levels[v] == kUnreached) {
+            if (p != -1)
+                return false;
+            continue;
+        }
+        if (v == source) {
+            if (p != source)
+                return false;
+            continue;
+        }
+        // The parent must be a neighbor exactly one level shallower.
+        if (p < 0 || p >= graph.numVertices())
+            return false;
+        if (!graph.hasEdge(p, v))
+            return false;
+        if (levels[p] != levels[v] - 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+equalInt(const std::vector<double> &actual,
+         const std::vector<int64_t> &expected)
+{
+    if (actual.size() != expected.size())
+        return false;
+    for (size_t i = 0; i < actual.size(); ++i)
+        if (static_cast<int64_t>(actual[i]) != expected[i])
+            return false;
+    return true;
+}
+
+bool
+closeTo(const std::vector<double> &actual,
+        const std::vector<double> &expected, double tolerance)
+{
+    if (actual.size() != expected.size())
+        return false;
+    for (size_t i = 0; i < actual.size(); ++i)
+        if (std::abs(actual[i] - expected[i]) > tolerance)
+            return false;
+    return true;
+}
+
+} // namespace ugc::reference

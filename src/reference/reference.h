@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Serial reference implementations of the five evaluated algorithms
+ * (§IV-A) plus validators. Every GraphVM's output is checked against
+ * these in the test suite.
+ */
+#ifndef UGC_REFERENCE_REFERENCE_H
+#define UGC_REFERENCE_REFERENCE_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ugc::reference {
+
+/** Sentinel used for unreached vertices in integer distance arrays;
+ *  matches the DSL sources' INT32_MAX initializer. */
+inline constexpr int64_t kUnreached = 2147483647;
+
+/** BFS levels from @p source (kUnreached if unreachable). */
+std::vector<int64_t> bfsLevels(const Graph &graph, VertexId source);
+
+/** Single-source shortest path distances (Dijkstra). */
+std::vector<int64_t> ssspDistances(const Graph &graph, VertexId source);
+
+/** PageRank after @p iterations of synchronous power iteration. */
+std::vector<double> pageRank(const Graph &graph, int iterations,
+                             double damp = 0.85);
+
+/**
+ * PageRankDelta (GraphIt's data-driven PR): only vertices whose rank
+ * moved by more than epsilon2 * rank stay active. Operation order matches
+ * the DSL program exactly, so results are bit-comparable.
+ */
+std::vector<double> pageRankDelta(const Graph &graph, int iterations,
+                                  double damp = 0.85,
+                                  double epsilon2 = 0.1);
+
+/** Connected component labels: every vertex maps to the smallest vertex
+ *  id in its component. */
+std::vector<int64_t> connectedComponents(const Graph &graph);
+
+/** Brandes dependency scores from a single source (matching the paper's
+ *  single-source BC formulation; the source itself accumulates too). */
+std::vector<double> bcDependencies(const Graph &graph, VertexId source);
+
+// --- validators -----------------------------------------------------------
+
+/**
+ * Check that @p parent is a valid BFS parent array for @p source: parents
+ * form a tree rooted at source whose depths equal the reference levels.
+ * (Parent arrays are not unique; levels are.)
+ */
+bool validBfsParents(const Graph &graph, VertexId source,
+                     const std::vector<double> &parent);
+
+/** Exact match of integer properties (stored as doubles). */
+bool equalInt(const std::vector<double> &actual,
+              const std::vector<int64_t> &expected);
+
+/** Element-wise closeness for float properties. */
+bool closeTo(const std::vector<double> &actual,
+             const std::vector<double> &expected, double tolerance = 1e-6);
+
+} // namespace ugc::reference
+
+#endif // UGC_REFERENCE_REFERENCE_H

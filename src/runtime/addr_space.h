@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Logical address space for machine models.
+ *
+ * Runtime arrays are assigned non-overlapping logical address ranges so the
+ * cache / DRAM / conflict-detection models can reason about cache lines
+ * without depending on host allocation addresses (which would break
+ * determinism).
+ */
+#ifndef UGC_RUNTIME_ADDR_SPACE_H
+#define UGC_RUNTIME_ADDR_SPACE_H
+
+#include "support/types.h"
+
+namespace ugc {
+
+/** Cache line size assumed by every machine model (Table VI). */
+inline constexpr Addr kCacheLineBytes = 64;
+
+/** Cache line index of a logical address. */
+inline Addr
+lineOf(Addr addr)
+{
+    return addr / kCacheLineBytes;
+}
+
+/** Bump allocator of logical address ranges, line-aligned. */
+class AddrSpace
+{
+  public:
+    /** Allocate @p bytes, aligned to a cache line; returns the base. */
+    Addr
+    allocate(Addr bytes)
+    {
+        const Addr base = _next;
+        const Addr padded =
+            (bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+        _next += padded;
+        return base;
+    }
+
+    /** Total bytes allocated so far. */
+    Addr used() const { return _next; }
+
+  private:
+    Addr _next = kCacheLineBytes; // keep 0 as a null address
+};
+
+} // namespace ugc
+
+#endif // UGC_RUNTIME_ADDR_SPACE_H

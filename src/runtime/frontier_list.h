@@ -1,0 +1,47 @@
+/**
+ * @file
+ * FrontierList: an ordered list of VertexSets (Table II).
+ *
+ * Betweenness centrality's forward pass appends one frontier per level
+ * (ListAppend) and the backward pass retrieves them in reverse
+ * (ListRetrieve).
+ */
+#ifndef UGC_RUNTIME_FRONTIER_LIST_H
+#define UGC_RUNTIME_FRONTIER_LIST_H
+
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/vertex_set.h"
+
+namespace ugc {
+
+class FrontierList
+{
+  public:
+    /** Append a frontier (ListAppend). */
+    void append(VertexSet frontier) { _frontiers.push_back(std::move(frontier)); }
+
+    /** Remove and return the most recent frontier (ListRetrieve). */
+    VertexSet
+    retrieve()
+    {
+        if (_frontiers.empty())
+            throw std::out_of_range("retrieve() on empty FrontierList");
+        VertexSet frontier = std::move(_frontiers.back());
+        _frontiers.pop_back();
+        return frontier;
+    }
+
+    size_t size() const { return _frontiers.size(); }
+    bool empty() const { return _frontiers.empty(); }
+
+    const VertexSet &at(size_t index) const { return _frontiers.at(index); }
+
+  private:
+    std::vector<VertexSet> _frontiers;
+};
+
+} // namespace ugc
+
+#endif // UGC_RUNTIME_FRONTIER_LIST_H

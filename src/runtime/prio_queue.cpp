@@ -1,0 +1,108 @@
+#include "runtime/prio_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ugc {
+
+PrioQueue::PrioQueue(VertexData *priorities, int64_t delta)
+    : _priorities(priorities), _delta(delta)
+{
+    if (delta <= 0)
+        throw std::invalid_argument("PrioQueue delta must be positive");
+    if (priorities->isFloat())
+        throw std::invalid_argument("PrioQueue requires integer priorities");
+    _lastDequeued.assign(static_cast<size_t>(priorities->size()), -1);
+}
+
+void
+PrioQueue::enqueue(VertexId v)
+{
+    const int64_t priority = _priorities->getInt(v);
+    if (priority >= kInfDist)
+        return; // unreachable vertices never enter a bucket
+    const int64_t bucket = bucketOf(priority);
+    assert(bucket >= _minBucket);
+    const size_t index = static_cast<size_t>(bucket - _minBucket);
+    if (index >= _buckets.size())
+        _buckets.resize(index + 1);
+    _buckets[index].push_back(v);
+}
+
+bool
+PrioQueue::updatePriorityMin(VertexId v, int64_t new_priority)
+{
+    if (new_priority >= _priorities->getInt(v))
+        return false;
+    _priorities->setInt(v, new_priority);
+    enqueue(v);
+    return true;
+}
+
+bool
+PrioQueue::advanceToNonEmpty()
+{
+    size_t skip = 0;
+    while (skip < _buckets.size()) {
+        // A bucket may hold only stale entries; check liveness lazily.
+        bool live = false;
+        for (VertexId v : _buckets[skip]) {
+            if (bucketOf(_priorities->getInt(v)) == _minBucket +
+                static_cast<int64_t>(skip)) {
+                live = true;
+                break;
+            }
+        }
+        if (live)
+            break;
+        ++skip;
+    }
+    if (skip == _buckets.size()) {
+        _buckets.clear();
+        return false;
+    }
+    if (skip > 0) {
+        _buckets.erase(_buckets.begin(),
+                       _buckets.begin() + static_cast<ptrdiff_t>(skip));
+        _minBucket += static_cast<int64_t>(skip);
+    }
+    return true;
+}
+
+bool
+PrioQueue::finished()
+{
+    return !advanceToNonEmpty();
+}
+
+int64_t
+PrioQueue::currentBucket()
+{
+    return advanceToNonEmpty() ? _minBucket : -1;
+}
+
+VertexSet
+PrioQueue::dequeueReadySet()
+{
+    VertexSet frontier(_priorities->size(), VertexSetFormat::Sparse);
+    if (!advanceToNonEmpty())
+        return frontier;
+
+    ++_stamp;
+    ++_rounds;
+    std::vector<VertexId> bucket = std::move(_buckets.front());
+    _buckets.front().clear();
+    for (VertexId v : bucket) {
+        // Skip stale entries (priority moved to another bucket) and
+        // duplicates (same vertex enqueued twice into this bucket).
+        if (bucketOf(_priorities->getInt(v)) != _minBucket)
+            continue;
+        if (_lastDequeued[v] == _stamp)
+            continue;
+        _lastDequeued[v] = _stamp;
+        frontier.add(v);
+    }
+    return frontier;
+}
+
+} // namespace ugc

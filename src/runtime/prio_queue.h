@@ -1,0 +1,80 @@
+/**
+ * @file
+ * PrioQueue: the Δ-bucketed priority queue behind ordered algorithms
+ * (SSSP with Δ-stepping) — the PrioQueue type of Table II and the
+ * ordered-processing runtime of GraphIt (Zhang et al., CGO 2020).
+ *
+ * Priorities live in a VertexData array; the queue keeps lazily-maintained
+ * buckets of width Δ. Stale entries (vertices whose priority decreased
+ * after insertion) are skipped at dequeue time, the standard lazy-deletion
+ * design.
+ */
+#ifndef UGC_RUNTIME_PRIO_QUEUE_H
+#define UGC_RUNTIME_PRIO_QUEUE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/vertex_data.h"
+#include "runtime/vertex_set.h"
+
+namespace ugc {
+
+class PrioQueue
+{
+  public:
+    /**
+     * @param priorities per-vertex priority array (integer typed)
+     * @param delta      bucket width (Δ of Δ-stepping); must be > 0
+     */
+    PrioQueue(VertexData *priorities, int64_t delta);
+
+    int64_t delta() const { return _delta; }
+
+    /** Insert @p v with its current priority. */
+    void enqueue(VertexId v);
+
+    /**
+     * Lower @p v's priority to @p new_priority if it improves, enqueueing
+     * the vertex in its new bucket.
+     * @return true if the priority decreased (UpdatePriorityMin node).
+     */
+    bool updatePriorityMin(VertexId v, int64_t new_priority);
+
+    /** True when every bucket is empty (of live entries). */
+    bool finished();
+
+    /**
+     * Pop the lowest non-empty bucket as a frontier of live vertices.
+     * Each vertex appears at most once per dequeue.
+     *
+     * @param same_bucket_only with bucket fusion (the CPU GraphVM's
+     *        optimization for road graphs), callers re-pop the *current*
+     *        bucket until it stays empty before advancing.
+     */
+    VertexSet dequeueReadySet();
+
+    /** Index of the current lowest non-empty bucket, or -1 if finished. */
+    int64_t currentBucket();
+
+    /** Number of dequeue rounds performed (drives sync-cost models). */
+    int64_t roundsProcessed() const { return _rounds; }
+
+  private:
+    int64_t bucketOf(int64_t priority) const { return priority / _delta; }
+
+    /** Drop leading empty buckets; returns false if all are empty. */
+    bool advanceToNonEmpty();
+
+    VertexData *_priorities;
+    int64_t _delta;
+    int64_t _minBucket = 0;
+    int64_t _rounds = 0;
+    std::vector<std::vector<VertexId>> _buckets; // indexed from _minBucket
+    std::vector<int64_t> _lastDequeued; // per-vertex stamp for dedup
+    int64_t _stamp = 0;
+};
+
+} // namespace ugc
+
+#endif // UGC_RUNTIME_PRIO_QUEUE_H

@@ -1,0 +1,107 @@
+#include "runtime/vertex_data.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace ugc {
+
+namespace {
+
+template <typename T>
+std::atomic<T> &
+asAtomic(T &ref)
+{
+    static_assert(sizeof(std::atomic<T>) == sizeof(T));
+    return reinterpret_cast<std::atomic<T> &>(ref);
+}
+
+} // namespace
+
+VertexData::VertexData(std::string name, ElemType type, VertexId size,
+                       AddrSpace &space)
+    : _name(std::move(name)), _type(type), _size(size),
+      _base(space.allocate(static_cast<Addr>(size) * elemSize(type)))
+{
+    if (isFloat())
+        _floats.assign(static_cast<size_t>(size), 0.0);
+    else
+        _ints.assign(static_cast<size_t>(size), 0);
+}
+
+void
+VertexData::fillInt(int64_t value)
+{
+    assert(!isFloat());
+    std::fill(_ints.begin(), _ints.end(), value);
+}
+
+void
+VertexData::fillFloat(double value)
+{
+    assert(isFloat());
+    std::fill(_floats.begin(), _floats.end(), value);
+}
+
+bool
+VertexData::casInt(VertexId v, int64_t expected, int64_t desired)
+{
+    return asAtomic(_ints[v]).compare_exchange_strong(
+        expected, desired, std::memory_order_relaxed);
+}
+
+bool
+VertexData::minInt(VertexId v, int64_t value)
+{
+    auto &cell = asAtomic(_ints[v]);
+    int64_t current = cell.load(std::memory_order_relaxed);
+    while (value < current) {
+        if (cell.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+bool
+VertexData::minFloat(VertexId v, double value)
+{
+    auto &cell = asAtomic(_floats[v]);
+    double current = cell.load(std::memory_order_relaxed);
+    while (value < current) {
+        if (cell.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+bool
+VertexData::maxInt(VertexId v, int64_t value)
+{
+    auto &cell = asAtomic(_ints[v]);
+    int64_t current = cell.load(std::memory_order_relaxed);
+    while (value > current) {
+        if (cell.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+void
+VertexData::addInt(VertexId v, int64_t delta)
+{
+    asAtomic(_ints[v]).fetch_add(delta, std::memory_order_relaxed);
+}
+
+void
+VertexData::addFloat(VertexId v, double delta)
+{
+    auto &cell = asAtomic(_floats[v]);
+    double current = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace ugc

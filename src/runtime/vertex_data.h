@@ -1,0 +1,93 @@
+/**
+ * @file
+ * VertexData: a typed per-vertex property array (Table II).
+ *
+ * Type-erased over ElemType so GraphIR programs can declare properties of
+ * any scalar type; integer-family types share an int64 backing store and
+ * Float64 uses a double store. Atomic read-modify-write entry points back
+ * the CompareAndSwap / ReductionOp instructions inserted by the midend.
+ */
+#ifndef UGC_RUNTIME_VERTEX_DATA_H
+#define UGC_RUNTIME_VERTEX_DATA_H
+
+#include <string>
+#include <vector>
+
+#include "ir/types.h"
+#include "runtime/addr_space.h"
+#include "support/types.h"
+
+namespace ugc {
+
+class VertexData
+{
+  public:
+    /**
+     * @param name  property name (diagnostics, codegen)
+     * @param type  scalar element type
+     * @param size  number of vertices
+     * @param space address space to carve the logical range from
+     */
+    VertexData(std::string name, ElemType type, VertexId size,
+               AddrSpace &space);
+
+    const std::string &name() const { return _name; }
+    ElemType type() const { return _type; }
+    VertexId size() const { return _size; }
+    bool isFloat() const { return _type == ElemType::Float64; }
+
+    /** Logical address of element @p v, for machine models. */
+    Addr
+    addrOf(VertexId v) const
+    {
+        return _base + static_cast<Addr>(v) * elemSize(_type);
+    }
+
+    // --- plain accessors -------------------------------------------------
+    int64_t getInt(VertexId v) const { return _ints[v]; }
+    double getFloat(VertexId v) const { return _floats[v]; }
+    void setInt(VertexId v, int64_t value) { _ints[v] = value; }
+    void setFloat(VertexId v, double value) { _floats[v] = value; }
+
+    /** Read as double regardless of type (for reporting/validation). */
+    double
+    asDouble(VertexId v) const
+    {
+        return isFloat() ? _floats[v] : static_cast<double>(_ints[v]);
+    }
+
+    /** Fill every element with the same value. */
+    void fillInt(int64_t value);
+    void fillFloat(double value);
+
+    // --- atomic read-modify-write ----------------------------------------
+    /** CAS; @return true if the swap happened. */
+    bool casInt(VertexId v, int64_t expected, int64_t desired);
+
+    /** Atomic min; @return true if the stored value decreased. */
+    bool minInt(VertexId v, int64_t value);
+    bool minFloat(VertexId v, double value);
+
+    /** Atomic max; @return true if the stored value increased. */
+    bool maxInt(VertexId v, int64_t value);
+
+    /** Atomic add. Always "changes" the value unless delta == 0. */
+    void addInt(VertexId v, int64_t delta);
+    void addFloat(VertexId v, double delta);
+
+    /** Raw backing stores (bulk validation / snapshots). */
+    const std::vector<int64_t> &ints() const { return _ints; }
+    const std::vector<double> &floats() const { return _floats; }
+
+  private:
+    std::string _name;
+    ElemType _type;
+    VertexId _size;
+    Addr _base;
+    std::vector<int64_t> _ints;
+    std::vector<double> _floats;
+};
+
+} // namespace ugc
+
+#endif // UGC_RUNTIME_VERTEX_DATA_H

@@ -1,0 +1,174 @@
+#include "runtime/vertex_set.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace ugc {
+
+VertexSet::VertexSet(VertexId num_vertices, VertexSetFormat format)
+    : _numVertices(num_vertices), _format(format)
+{
+    if (format == VertexSetFormat::Bitmap)
+        _bitmap.resize(static_cast<size_t>(num_vertices));
+    else if (format == VertexSetFormat::Boolmap)
+        _boolmap.assign(static_cast<size_t>(num_vertices), 0);
+}
+
+VertexSet
+VertexSet::allOf(VertexId num_vertices, VertexSetFormat format)
+{
+    VertexSet set(num_vertices, format);
+    for (VertexId v = 0; v < num_vertices; ++v)
+        set.add(v);
+    return set;
+}
+
+VertexId
+VertexSet::size() const
+{
+    if (_format == VertexSetFormat::Sparse)
+        return static_cast<VertexId>(_sparse.size());
+    return _denseCount;
+}
+
+bool
+VertexSet::contains(VertexId v) const
+{
+    switch (_format) {
+      case VertexSetFormat::Sparse:
+        return std::find(_sparse.begin(), _sparse.end(), v) != _sparse.end();
+      case VertexSetFormat::Bitmap:
+        return _bitmap.test(static_cast<size_t>(v));
+      case VertexSetFormat::Boolmap:
+        return _boolmap[v] != 0;
+    }
+    return false;
+}
+
+void
+VertexSet::add(VertexId v)
+{
+    assert(v >= 0 && v < _numVertices);
+    switch (_format) {
+      case VertexSetFormat::Sparse:
+        _sparse.push_back(v);
+        break;
+      case VertexSetFormat::Bitmap:
+        if (!_bitmap.test(static_cast<size_t>(v))) {
+            _bitmap.set(static_cast<size_t>(v));
+            ++_denseCount;
+        }
+        break;
+      case VertexSetFormat::Boolmap:
+        if (!_boolmap[v]) {
+            _boolmap[v] = 1;
+            ++_denseCount;
+        }
+        break;
+    }
+}
+
+bool
+VertexSet::addAtomic(VertexId v)
+{
+    assert(v >= 0 && v < _numVertices);
+    switch (_format) {
+      case VertexSetFormat::Bitmap: {
+        if (_bitmap.setAtomic(static_cast<size_t>(v))) {
+            reinterpret_cast<std::atomic<VertexId> &>(_denseCount)
+                .fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+      }
+      case VertexSetFormat::Boolmap: {
+        auto &cell = reinterpret_cast<std::atomic<uint8_t> &>(_boolmap[v]);
+        if (cell.exchange(1, std::memory_order_relaxed) == 0) {
+            reinterpret_cast<std::atomic<VertexId> &>(_denseCount)
+                .fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+      }
+      case VertexSetFormat::Sparse:
+        // Sparse parallel insertion is handled by per-thread buffers in the
+        // execution engine; direct atomic insertion is not supported.
+        assert(false && "addAtomic on sparse set");
+        return false;
+    }
+    return false;
+}
+
+void
+VertexSet::dedup()
+{
+    if (_format != VertexSetFormat::Sparse)
+        return; // dense formats are sets by construction
+    std::sort(_sparse.begin(), _sparse.end());
+    _sparse.erase(std::unique(_sparse.begin(), _sparse.end()),
+                  _sparse.end());
+}
+
+void
+VertexSet::clear()
+{
+    _sparse.clear();
+    _bitmap.clear();
+    std::fill(_boolmap.begin(), _boolmap.end(), 0);
+    _denseCount = 0;
+}
+
+void
+VertexSet::convertTo(VertexSetFormat format)
+{
+    if (format == _format)
+        return;
+    const std::vector<VertexId> members = toSorted();
+    _format = format;
+    _sparse.clear();
+    _bitmap.resize(0);
+    _boolmap.clear();
+    _denseCount = 0;
+    if (format == VertexSetFormat::Bitmap)
+        _bitmap.resize(static_cast<size_t>(_numVertices));
+    else if (format == VertexSetFormat::Boolmap)
+        _boolmap.assign(static_cast<size_t>(_numVertices), 0);
+    for (VertexId v : members)
+        add(v);
+}
+
+std::vector<VertexId>
+VertexSet::toSorted() const
+{
+    std::vector<VertexId> members;
+    members.reserve(static_cast<size_t>(size()));
+    forEach([&](VertexId v) { members.push_back(v); });
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    return members;
+}
+
+Addr
+VertexSet::footprintBytes() const
+{
+    switch (_format) {
+      case VertexSetFormat::Sparse:
+        return static_cast<Addr>(_sparse.size()) * sizeof(VertexId);
+      case VertexSetFormat::Bitmap:
+        return static_cast<Addr>(_numVertices + 7) / 8;
+      case VertexSetFormat::Boolmap:
+        return static_cast<Addr>(_numVertices);
+    }
+    return 0;
+}
+
+bool
+VertexSet::operator==(const VertexSet &other) const
+{
+    return _numVertices == other._numVertices &&
+           toSorted() == other.toSorted();
+}
+
+} // namespace ugc

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * VertexSet: the active-vertex frontier type (Table II).
+ *
+ * Supports the three concrete representations the paper's scheduling
+ * language selects between — SPARSE (compact id list), BITMAP (1 bit per
+ * vertex), BOOLMAP (1 byte per vertex) — with lossless conversions.
+ * Machine models charge different traffic for each representation, which is
+ * what the configFrontierCreation / pull_input_frontier schedule knobs
+ * trade off.
+ */
+#ifndef UGC_RUNTIME_VERTEX_SET_H
+#define UGC_RUNTIME_VERTEX_SET_H
+
+#include <vector>
+
+#include "ir/types.h"
+#include "runtime/addr_space.h"
+#include "support/bitset.h"
+#include "support/types.h"
+
+namespace ugc {
+
+class VertexSet
+{
+  public:
+    /** Empty set over a universe of @p num_vertices vertices. */
+    explicit VertexSet(VertexId num_vertices = 0,
+                       VertexSetFormat format = VertexSetFormat::Sparse);
+
+    /** The full set {0, ..., num_vertices-1}. */
+    static VertexSet allOf(VertexId num_vertices,
+                           VertexSetFormat format = VertexSetFormat::Sparse);
+
+    VertexId universe() const { return _numVertices; }
+    VertexSetFormat format() const { return _format; }
+
+    /** Number of member vertices. */
+    VertexId size() const;
+
+    bool empty() const { return size() == 0; }
+
+    /** Membership test. O(1) for bitmap/boolmap, O(n) sparse unsorted. */
+    bool contains(VertexId v) const;
+
+    /**
+     * Insert @p v. Sparse insertion does not deduplicate — callers that
+     * need set semantics either dedup via VertexSetDedup (Table II) or
+     * guard insertion with a CAS as the midend's lowering does.
+     */
+    void add(VertexId v);
+
+    /**
+     * Thread-safe insert for bitmap/boolmap formats.
+     * @return true if the vertex was newly inserted.
+     */
+    bool addAtomic(VertexId v);
+
+    /** Remove duplicate sparse entries (keeps ascending order). */
+    void dedup();
+
+    /** Remove all members, keeping universe and format. */
+    void clear();
+
+    /** Convert in place to @p format. */
+    void convertTo(VertexSetFormat format);
+
+    /** Members in ascending order (materializes for bitmap/boolmap). */
+    std::vector<VertexId> toSorted() const;
+
+    /** Sparse member list in insertion order. @pre format() == Sparse. */
+    const std::vector<VertexId> &sparse() const { return _sparse; }
+    std::vector<VertexId> &mutableSparse() { return _sparse; }
+
+    /** Invoke @p fn(v) for every member. Order: ascending for
+     *  bitmap/boolmap, insertion order for sparse. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        switch (_format) {
+          case VertexSetFormat::Sparse:
+            for (VertexId v : _sparse)
+                fn(v);
+            break;
+          case VertexSetFormat::Bitmap:
+            _bitmap.forEach([&](size_t v) { fn(static_cast<VertexId>(v)); });
+            break;
+          case VertexSetFormat::Boolmap:
+            for (VertexId v = 0; v < _numVertices; ++v)
+                if (_boolmap[v])
+                    fn(v);
+            break;
+        }
+    }
+
+    /** Bytes a machine model should charge for storing this set. */
+    Addr footprintBytes() const;
+
+    bool operator==(const VertexSet &other) const;
+
+  private:
+    VertexId _numVertices = 0;
+    VertexSetFormat _format = VertexSetFormat::Sparse;
+
+    std::vector<VertexId> _sparse;      // Sparse
+    Bitset _bitmap;                     // Bitmap
+    std::vector<uint8_t> _boolmap;      // Boolmap
+    VertexId _denseCount = 0;           // member count for dense formats
+};
+
+} // namespace ugc
+
+#endif // UGC_RUNTIME_VERTEX_SET_H

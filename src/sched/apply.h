@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 6 entry points: attach backend schedules to labeled statements.
+ */
+#ifndef UGC_SCHED_APPLY_H
+#define UGC_SCHED_APPLY_H
+
+#include "ir/program.h"
+#include "sched/cpu_schedule.h"
+#include "sched/gpu_schedule.h"
+#include "sched/hb_schedule.h"
+#include "sched/swarm_schedule.h"
+
+namespace ugc {
+
+inline void
+applyCPUSchedule(Program &program, const std::string &label,
+                 const SimpleCPUSchedule &schedule)
+{
+    program.applySchedule(label,
+                          std::make_shared<SimpleCPUSchedule>(schedule));
+}
+
+inline void
+applyCPUSchedule(Program &program, const std::string &label,
+                 const CompositeCPUSchedule &schedule)
+{
+    program.applySchedule(label,
+                          std::make_shared<CompositeCPUSchedule>(schedule));
+}
+
+inline void
+applyGPUSchedule(Program &program, const std::string &label,
+                 const SimpleGPUSchedule &schedule)
+{
+    program.applySchedule(label,
+                          std::make_shared<SimpleGPUSchedule>(schedule));
+}
+
+inline void
+applyGPUSchedule(Program &program, const std::string &label,
+                 const CompositeGPUSchedule &schedule)
+{
+    program.applySchedule(label,
+                          std::make_shared<CompositeGPUSchedule>(schedule));
+}
+
+inline void
+applySwarmSchedule(Program &program, const std::string &label,
+                   const SimpleSwarmSchedule &schedule)
+{
+    program.applySchedule(label,
+                          std::make_shared<SimpleSwarmSchedule>(schedule));
+}
+
+inline void
+applyHBSchedule(Program &program, const std::string &label,
+                const SimpleHBSchedule &schedule)
+{
+    program.applySchedule(label,
+                          std::make_shared<SimpleHBSchedule>(schedule));
+}
+
+} // namespace ugc
+
+#endif // UGC_SCHED_APPLY_H

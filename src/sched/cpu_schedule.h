@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Scheduling language of the CPU GraphVM (§III-C1): the optimization space
+ * of the original GraphIt compiler — traversal direction, parallelization,
+ * frontier representation, NUMA/cache tiling (edge blocking), and the
+ * bucket-fusion optimization for ordered algorithms.
+ */
+#ifndef UGC_SCHED_CPU_SCHEDULE_H
+#define UGC_SCHED_CPU_SCHEDULE_H
+
+#include "sched/schedule.h"
+
+namespace ugc {
+
+/** Layout of the vertex properties a UDF touches together (§III-C1:
+ *  "vertex data array of struct and struct of array transformations"). */
+enum class VertexDataLayout { StructOfArrays, ArrayOfStructs };
+
+class SimpleCPUSchedule : public SimpleSchedule
+{
+  public:
+    // --- configuration (chained, Fig 6 style) ----------------------------
+    SimpleCPUSchedule &
+    configDirection(Direction direction,
+                    VertexSetFormat pull_frontier = VertexSetFormat::Boolmap)
+    {
+        _direction = direction;
+        _pullFrontier = pull_frontier;
+        return *this;
+    }
+
+    SimpleCPUSchedule &
+    configParallelization(Parallelization parallelization,
+                          int grain_size = 256)
+    {
+        _parallelization = parallelization;
+        _grainSize = grain_size;
+        return *this;
+    }
+
+    SimpleCPUSchedule &
+    configDeduplication(bool enable)
+    {
+        _deduplication = enable;
+        return *this;
+    }
+
+    SimpleCPUSchedule &
+    configDelta(int64_t delta)
+    {
+        _delta = delta;
+        return *this;
+    }
+
+    /** Fuse consecutive same-bucket rounds (ordered algorithms, roads). */
+    SimpleCPUSchedule &
+    configBucketFusion(bool enable)
+    {
+        _bucketFusion = enable;
+        return *this;
+    }
+
+    /** Tile edges by destination range to fit the LLC (PageRank et al.). */
+    SimpleCPUSchedule &
+    configEdgeBlocking(bool enable, int block_vertices = 1 << 20)
+    {
+        _edgeBlocking = enable;
+        _blockVertices = block_vertices;
+        return *this;
+    }
+
+    /** Enable NUMA-aware partitioning of pull traversals. */
+    SimpleCPUSchedule &
+    configNuma(bool enable)
+    {
+        _numa = enable;
+        return *this;
+    }
+
+    /** Interleave the properties a UDF touches (array-of-structs): one
+     *  cache line serves every property of a vertex. */
+    SimpleCPUSchedule &
+    configLayout(VertexDataLayout layout)
+    {
+        _layout = layout;
+        return *this;
+    }
+
+    // --- SimpleSchedule interface (Table IV) ------------------------------
+    Parallelization getParallelization() const override
+    {
+        return _parallelization;
+    }
+    Direction getDirection() const override { return _direction; }
+    VertexSetFormat getPullFrontier() const override { return _pullFrontier; }
+    bool getDeduplication() const override { return _deduplication; }
+    int64_t getDelta() const override { return _delta; }
+
+    // --- CPU-GraphVM-specific queries -------------------------------------
+    bool bucketFusion() const { return _bucketFusion; }
+    bool edgeBlocking() const { return _edgeBlocking; }
+    int blockVertices() const { return _blockVertices; }
+    bool numa() const { return _numa; }
+    int grainSize() const { return _grainSize; }
+    VertexDataLayout layout() const { return _layout; }
+
+  private:
+    Direction _direction = Direction::Push;
+    VertexSetFormat _pullFrontier = VertexSetFormat::Boolmap;
+    Parallelization _parallelization = Parallelization::VertexBased;
+    bool _deduplication = true;
+    int64_t _delta = 1;
+    bool _bucketFusion = false;
+    bool _edgeBlocking = false;
+    int _blockVertices = 1 << 20;
+    bool _numa = false;
+    int _grainSize = 256;
+    VertexDataLayout _layout = VertexDataLayout::StructOfArrays;
+};
+
+/** Hybrid CPU schedule (direction-optimizing traversal). */
+class CompositeCPUSchedule : public CompositeSchedule
+{
+  public:
+    CompositeCPUSchedule(HybridCriteria criteria, double threshold,
+                         const SimpleCPUSchedule &first,
+                         const SimpleCPUSchedule &second)
+        : CompositeSchedule(criteria, threshold,
+                            std::make_shared<SimpleCPUSchedule>(first),
+                            std::make_shared<SimpleCPUSchedule>(second))
+    {
+    }
+};
+
+} // namespace ugc
+
+#endif // UGC_SCHED_CPU_SCHEDULE_H

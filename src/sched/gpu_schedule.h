@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Scheduling language of the GPU GraphVM (§III-C2): load-balancing
+ * strategies, fused/unfused frontier creation, kernel fusion, and edge
+ * blocking, mirroring the GraphIt GPU backend (Brahmakshatriya et al.,
+ * CGO 2021).
+ */
+#ifndef UGC_SCHED_GPU_SCHEDULE_H
+#define UGC_SCHED_GPU_SCHEDULE_H
+
+#include "sched/schedule.h"
+
+namespace ugc {
+
+/** GPU load-balancing strategies provided by the runtime library. */
+enum class GpuLoadBalance {
+    VertexBased, ///< one thread per active vertex
+    Twc,         ///< thread/warp/CTA binning by degree
+    Cm,          ///< CTA-mapped: blocks cooperate over vertices
+    Wm,          ///< warp-mapped
+    Etwc,        ///< enhanced TWC with runtime work stealing
+    EdgeOnly,    ///< strict edge parallelism over the COO list
+};
+
+inline const char *
+gpuLoadBalanceName(GpuLoadBalance lb)
+{
+    switch (lb) {
+      case GpuLoadBalance::VertexBased: return "VERTEX_BASED";
+      case GpuLoadBalance::Twc: return "TWC";
+      case GpuLoadBalance::Cm: return "CM";
+      case GpuLoadBalance::Wm: return "WM";
+      case GpuLoadBalance::Etwc: return "ETWC";
+      case GpuLoadBalance::EdgeOnly: return "EDGE_ONLY";
+    }
+    return "?";
+}
+
+class SimpleGPUSchedule : public SimpleSchedule
+{
+  public:
+    SimpleGPUSchedule &
+    configDirection(Direction direction,
+                    VertexSetFormat pull_frontier = VertexSetFormat::Bitmap)
+    {
+        _direction = direction;
+        _pullFrontier = pull_frontier;
+        return *this;
+    }
+
+    /** FUSED = sparse queue built during traversal; UNFUSED_* = dense mark
+     *  + compaction kernel. */
+    SimpleGPUSchedule &
+    configFrontierCreation(FrontierCreation creation)
+    {
+        _frontierCreation = creation;
+        return *this;
+    }
+
+    SimpleGPUSchedule &
+    configLoadBalance(GpuLoadBalance lb)
+    {
+        _loadBalance = lb;
+        return *this;
+    }
+
+    SimpleGPUSchedule &
+    configDeduplication(bool enable)
+    {
+        _deduplication = enable;
+        return *this;
+    }
+
+    SimpleGPUSchedule &
+    configDelta(int64_t delta)
+    {
+        _delta = delta;
+        return *this;
+    }
+
+    /** Fuse all kernels of the enclosing while loop into one launch. */
+    SimpleGPUSchedule &
+    configKernelFusion(bool enable)
+    {
+        _kernelFusion = enable;
+        return *this;
+    }
+
+    /** Tile edges by destination range to fit the L2 (EdgeBlocking). */
+    SimpleGPUSchedule &
+    configEdgeBlocking(bool enable, int block_vertices = 1 << 19)
+    {
+        _edgeBlocking = enable;
+        _blockVertices = block_vertices;
+        return *this;
+    }
+
+    // --- SimpleSchedule interface ------------------------------------------
+    Parallelization getParallelization() const override
+    {
+        return _loadBalance == GpuLoadBalance::EdgeOnly
+                   ? Parallelization::EdgeBased
+                   : Parallelization::VertexBased;
+    }
+    Direction getDirection() const override { return _direction; }
+    VertexSetFormat getPullFrontier() const override { return _pullFrontier; }
+    bool getDeduplication() const override { return _deduplication; }
+    int64_t getDelta() const override { return _delta; }
+
+    // --- GPU-GraphVM-specific queries ---------------------------------------
+    FrontierCreation frontierCreation() const { return _frontierCreation; }
+    GpuLoadBalance loadBalance() const { return _loadBalance; }
+    bool kernelFusion() const { return _kernelFusion; }
+    bool edgeBlocking() const { return _edgeBlocking; }
+    int blockVertices() const { return _blockVertices; }
+
+  private:
+    Direction _direction = Direction::Push;
+    VertexSetFormat _pullFrontier = VertexSetFormat::Bitmap;
+    FrontierCreation _frontierCreation = FrontierCreation::Fused;
+    GpuLoadBalance _loadBalance = GpuLoadBalance::VertexBased;
+    bool _deduplication = true;
+    int64_t _delta = 1;
+    bool _kernelFusion = false;
+    bool _edgeBlocking = false;
+    int _blockVertices = 1 << 19;
+};
+
+/** Hybrid GPU schedule: Fig 6a — runtime choice on INPUT_SET_SIZE. */
+class CompositeGPUSchedule : public CompositeSchedule
+{
+  public:
+    CompositeGPUSchedule(HybridCriteria criteria, double threshold,
+                         const SimpleGPUSchedule &first,
+                         const SimpleGPUSchedule &second)
+        : CompositeSchedule(criteria, threshold,
+                            std::make_shared<SimpleGPUSchedule>(first),
+                            std::make_shared<SimpleGPUSchedule>(second))
+    {
+    }
+};
+
+} // namespace ugc
+
+#endif // UGC_SCHED_GPU_SCHEDULE_H

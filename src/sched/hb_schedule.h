@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Scheduling language of the HammerBlade Manycore GraphVM (§III-C4):
+ * blocked scratchpad access, alignment-based partitioning, and hybrid
+ * traversal direction.
+ */
+#ifndef UGC_SCHED_HB_SCHEDULE_H
+#define UGC_SCHED_HB_SCHEDULE_H
+
+#include "sched/schedule.h"
+
+namespace ugc {
+
+/** Work partitioning / memory strategies on the manycore. */
+enum class HBLoadBalance {
+    VertexBased, ///< static vertex partitioning
+    EdgeBased,   ///< edge partitioning over the COO list
+    Blocked,     ///< blocked access: prefetch work blocks into scratchpad
+    Aligned,     ///< alignment-based partitioning on LLC-line boundaries
+};
+
+inline const char *
+hbLoadBalanceName(HBLoadBalance lb)
+{
+    switch (lb) {
+      case HBLoadBalance::VertexBased: return "VERTEX_BASED";
+      case HBLoadBalance::EdgeBased: return "EDGE_BASED";
+      case HBLoadBalance::Blocked: return "BLOCKED";
+      case HBLoadBalance::Aligned: return "ALIGNED";
+    }
+    return "?";
+}
+
+/** Direction choice including the runtime-hybrid option of Fig 6b. */
+enum class HBDirection { Push, Pull, Hybrid };
+
+class SimpleHBSchedule : public SimpleSchedule
+{
+  public:
+    SimpleHBSchedule &
+    configLoadBalance(HBLoadBalance lb)
+    {
+        _loadBalance = lb;
+        return *this;
+    }
+
+    SimpleHBSchedule &
+    configDirection(HBDirection direction)
+    {
+        _hbDirection = direction;
+        return *this;
+    }
+
+    /** Vertices per work block; ALIGNED rounds this to LLC lines. */
+    SimpleHBSchedule &
+    configBlockSize(int vertices)
+    {
+        _blockVertices = vertices;
+        return *this;
+    }
+
+    SimpleHBSchedule &
+    configDelta(int64_t delta)
+    {
+        _delta = delta;
+        return *this;
+    }
+
+    // --- SimpleSchedule interface ------------------------------------------
+    Direction getDirection() const override
+    {
+        return _hbDirection == HBDirection::Pull ? Direction::Pull
+                                                 : Direction::Push;
+    }
+    bool isHybridDirection() const override
+    {
+        return _hbDirection == HBDirection::Hybrid;
+    }
+    Parallelization getParallelization() const override
+    {
+        return _loadBalance == HBLoadBalance::EdgeBased
+                   ? Parallelization::EdgeBased
+                   : Parallelization::VertexBased;
+    }
+    int64_t getDelta() const override { return _delta; }
+
+    // --- HB-GraphVM-specific queries ------------------------------------------
+    HBLoadBalance loadBalance() const { return _loadBalance; }
+    HBDirection hbDirection() const { return _hbDirection; }
+    int blockVertices() const { return _blockVertices; }
+
+  private:
+    HBLoadBalance _loadBalance = HBLoadBalance::VertexBased;
+    HBDirection _hbDirection = HBDirection::Push;
+    int _blockVertices = 64;
+    int64_t _delta = 1;
+};
+
+} // namespace ugc
+
+#endif // UGC_SCHED_HB_SCHEDULE_H

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Extensible scheduling language (§III-D, Tables IV and V).
+ *
+ * Each GraphVM defines its own scheduling classes exposing that target's
+ * optimization space; the hardware-independent compiler queries what it
+ * needs (direction, parallelization, dedup, delta) through the abstract
+ * SimpleSchedule interface, so it never depends on a concrete backend.
+ */
+#ifndef UGC_SCHED_SCHEDULE_H
+#define UGC_SCHED_SCHEDULE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "ir/types.h"
+
+namespace ugc {
+
+/** Parallelization scheme of an edge traversal. */
+enum class Parallelization {
+    VertexBased,          ///< one task per active vertex
+    EdgeBased,            ///< one task per edge (COO style)
+    EdgeAwareVertexBased, ///< vertex tasks, chunked by degree (CPU)
+};
+
+/** How the output frontier is produced on GPUs (§III-C2). */
+enum class FrontierCreation {
+    Fused,          ///< enqueue during traversal into a sparse queue
+    UnfusedBitmap,  ///< mark a bitmap, compact afterwards
+    UnfusedBoolmap, ///< mark a boolmap, compact afterwards
+};
+
+/** Runtime criteria selecting between hybrid schedules (Fig 6a / Fig 7). */
+enum class HybridCriteria {
+    InputSetSize, ///< |input frontier| vs. fraction of |V|
+    InputSetSumDegree, ///< sum of frontier degrees vs. fraction of |E|
+};
+
+class AbstractSchedule;
+using SchedulePtr = std::shared_ptr<AbstractSchedule>;
+
+/** Root of the scheduling object hierarchy. */
+class AbstractSchedule
+{
+  public:
+    virtual ~AbstractSchedule() = default;
+    virtual bool isComposite() const { return false; }
+};
+
+/**
+ * Hardware-independent interface of simple (non-hybrid) schedules
+ * (Table IV). Backend schedule classes override these so the
+ * hardware-independent passes can query what they need.
+ */
+class SimpleSchedule : public AbstractSchedule
+{
+  public:
+    /** Parallelization scheme (VERTEX_BASED or EDGE_BASED). */
+    virtual Parallelization getParallelization() const
+    {
+        return Parallelization::VertexBased;
+    }
+
+    /** Direction of edge traversal (PUSH or PULL). */
+    virtual Direction getDirection() const { return Direction::Push; }
+
+    /** Representation used for the frontier consumed by PULL. */
+    virtual VertexSetFormat getPullFrontier() const
+    {
+        return VertexSetFormat::Boolmap;
+    }
+
+    /** Whether explicit deduplication is applied to the output frontier. */
+    virtual bool getDeduplication() const { return true; }
+
+    /** Δ used when creating PriorityQueue buckets. */
+    virtual int64_t getDelta() const { return 1; }
+
+    /**
+     * True when the schedule asks for direction to be chosen at runtime
+     * (e.g. HammerBlade's configDirection(HYBRID)); the direction-lowering
+     * pass expands this into a composite with a default threshold.
+     */
+    virtual bool isHybridDirection() const { return false; }
+};
+
+/**
+ * A schedule equal to @p inner except for the traversal direction. The
+ * direction-lowering pass uses this to expand isHybridDirection()
+ * schedules into push/pull branches without losing the backend-specific
+ * configuration; unwrap with scheduleAs<T>().
+ */
+class DirectionOverrideSchedule : public SimpleSchedule
+{
+  public:
+    DirectionOverrideSchedule(std::shared_ptr<SimpleSchedule> inner,
+                              Direction direction)
+        : _inner(std::move(inner)), _direction(direction)
+    {
+    }
+
+    Parallelization getParallelization() const override
+    {
+        return _inner->getParallelization();
+    }
+    Direction getDirection() const override { return _direction; }
+    VertexSetFormat getPullFrontier() const override
+    {
+        return _inner->getPullFrontier();
+    }
+    bool getDeduplication() const override
+    {
+        return _inner->getDeduplication();
+    }
+    int64_t getDelta() const override { return _inner->getDelta(); }
+
+    const std::shared_ptr<SimpleSchedule> &inner() const { return _inner; }
+
+  private:
+    std::shared_ptr<SimpleSchedule> _inner;
+    Direction _direction;
+};
+
+/**
+ * Downcast a schedule to a backend type, looking through direction
+ * overrides. Machine models use this instead of a bare dynamic cast.
+ */
+template <typename T>
+std::shared_ptr<T>
+scheduleAs(const std::shared_ptr<SimpleSchedule> &schedule)
+{
+    if (auto typed = std::dynamic_pointer_cast<T>(schedule))
+        return typed;
+    if (auto wrapper =
+            std::dynamic_pointer_cast<DirectionOverrideSchedule>(schedule))
+        return scheduleAs<T>(wrapper->inner());
+    return nullptr;
+}
+
+/**
+ * Hybrid schedule choosing between two schedules on a runtime condition
+ * (Table V). Generates the Fig 7 host-side if-then-else.
+ */
+class CompositeSchedule : public AbstractSchedule
+{
+  public:
+    CompositeSchedule(HybridCriteria criteria, double threshold,
+                      SchedulePtr first, SchedulePtr second)
+        : _criteria(criteria), _threshold(threshold),
+          _first(std::move(first)), _second(std::move(second))
+    {
+    }
+
+    bool isComposite() const override { return true; }
+
+    /** First schedule (used when the criteria holds). */
+    SchedulePtr getFirstSchedule() const { return _first; }
+
+    /** Second schedule (used otherwise). */
+    SchedulePtr getSecondSchedule() const { return _second; }
+
+    HybridCriteria getCriteria() const { return _criteria; }
+    double getThreshold() const { return _threshold; }
+
+  private:
+    HybridCriteria _criteria;
+    double _threshold;
+    SchedulePtr _first;
+    SchedulePtr _second;
+};
+
+} // namespace ugc
+
+#endif // UGC_SCHED_SCHEDULE_H

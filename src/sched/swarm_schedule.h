@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Scheduling language of the Swarm GraphVM (§III-C3): frontier-to-task
+ * conversion, task granularity, spatial hints, and the edge-shuffle
+ * optimization for high-in-degree graphs.
+ */
+#ifndef UGC_SCHED_SWARM_SCHEDULE_H
+#define UGC_SCHED_SWARM_SCHEDULE_H
+
+#include "sched/schedule.h"
+
+namespace ugc {
+
+/** Granularity of generated Swarm tasks. */
+enum class TaskGranularity {
+    Coarse,      ///< one task per active vertex (visits all its edges)
+    FineGrained, ///< per-destination subtasks with single-address access
+};
+
+/** How frontiers are realized on Swarm. */
+enum class SwarmFrontiers {
+    Queues,           ///< in-memory VertexSets with per-round barriers
+    VertexsetToTasks, ///< enqueue == spawn task at timestamp round+1
+};
+
+class SimpleSwarmSchedule : public SimpleSchedule
+{
+  public:
+    SimpleSwarmSchedule &
+    configDirection(Direction direction)
+    {
+        _direction = direction;
+        return *this;
+    }
+
+    SimpleSwarmSchedule &
+    taskGranularity(TaskGranularity granularity)
+    {
+        _granularity = granularity;
+        return *this;
+    }
+
+    SimpleSwarmSchedule &
+    configFrontiers(SwarmFrontiers frontiers)
+    {
+        _frontiers = frontiers;
+        return *this;
+    }
+
+    /** Attach per-cache-line spatial hints to fine-grained subtasks. */
+    SimpleSwarmSchedule &
+    configSpatialHints(bool enable)
+    {
+        _spatialHints = enable;
+        return *this;
+    }
+
+    /** Shuffle edge visitation order to reduce aborts on high in-degree
+     *  vertices (valid because results are order-independent per round). */
+    SimpleSwarmSchedule &
+    configShuffleEdges(bool enable)
+    {
+        _shuffleEdges = enable;
+        return *this;
+    }
+
+    SimpleSwarmSchedule &
+    configDelta(int64_t delta)
+    {
+        _delta = delta;
+        return *this;
+    }
+
+    // --- SimpleSchedule interface ------------------------------------------
+    Direction getDirection() const override { return _direction; }
+    int64_t getDelta() const override { return _delta; }
+    /** Swarm hardware executes tasks atomically; no dedup or atomics are
+     *  needed (§III-B: the Swarm GraphVM ignores is_atomic). */
+    bool getDeduplication() const override { return false; }
+
+    // --- Swarm-GraphVM-specific queries --------------------------------------
+    TaskGranularity granularity() const { return _granularity; }
+    SwarmFrontiers frontiers() const { return _frontiers; }
+    bool spatialHints() const { return _spatialHints; }
+    bool shuffleEdges() const { return _shuffleEdges; }
+
+  private:
+    Direction _direction = Direction::Push;
+    TaskGranularity _granularity = TaskGranularity::Coarse;
+    SwarmFrontiers _frontiers = SwarmFrontiers::Queues;
+    bool _spatialHints = false;
+    bool _shuffleEdges = false;
+    int64_t _delta = 1;
+};
+
+} // namespace ugc
+
+#endif // UGC_SCHED_SWARM_SCHEDULE_H

@@ -1,0 +1,24 @@
+#include "support/bitset.h"
+
+#include <cassert>
+
+namespace ugc {
+
+size_t
+Bitset::count() const
+{
+    size_t total = 0;
+    for (uint64_t word : _words)
+        total += static_cast<size_t>(__builtin_popcountll(word));
+    return total;
+}
+
+void
+Bitset::orWith(const Bitset &other)
+{
+    assert(_numBits == other._numBits);
+    for (size_t w = 0; w < _words.size(); ++w)
+        _words[w] |= other._words[w];
+}
+
+} // namespace ugc

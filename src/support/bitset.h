@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Dynamic bitset with atomic set support.
+ *
+ * Backs the BITMAP vertex-set representation (Table II of the paper) and the
+ * visited filters inside the GraphVM traversal engines.
+ */
+#ifndef UGC_SUPPORT_BITSET_H
+#define UGC_SUPPORT_BITSET_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ugc {
+
+/**
+ * Fixed-capacity dynamic bitset.
+ *
+ * Word-granular storage; `setAtomic` allows concurrent producers. The count
+ * of set bits is not cached — `count()` is O(words).
+ */
+class Bitset
+{
+  public:
+    Bitset() = default;
+
+    explicit Bitset(size_t num_bits) { resize(num_bits); }
+
+    /** Resize to hold @p num_bits bits; clears all bits. */
+    void
+    resize(size_t num_bits)
+    {
+        _numBits = num_bits;
+        _words.assign((num_bits + 63) / 64, 0);
+    }
+
+    size_t size() const { return _numBits; }
+
+    bool
+    test(size_t pos) const
+    {
+        return (_words[pos >> 6] >> (pos & 63)) & 1ULL;
+    }
+
+    void
+    set(size_t pos)
+    {
+        _words[pos >> 6] |= (1ULL << (pos & 63));
+    }
+
+    void
+    reset(size_t pos)
+    {
+        _words[pos >> 6] &= ~(1ULL << (pos & 63));
+    }
+
+    /**
+     * Atomically set a bit.
+     * @return true if this call changed the bit from 0 to 1.
+     */
+    bool
+    setAtomic(size_t pos)
+    {
+        auto *word = reinterpret_cast<std::atomic<uint64_t> *>(
+            &_words[pos >> 6]);
+        const uint64_t mask = 1ULL << (pos & 63);
+        const uint64_t old =
+            word->fetch_or(mask, std::memory_order_relaxed);
+        return !(old & mask);
+    }
+
+    /** Clear all bits, keeping the size. */
+    void
+    clear()
+    {
+        std::fill(_words.begin(), _words.end(), 0);
+    }
+
+    /** Number of set bits. */
+    size_t count() const;
+
+    /** Invoke @p fn(pos) for every set bit in ascending order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (size_t w = 0; w < _words.size(); ++w) {
+            uint64_t word = _words[w];
+            while (word) {
+                const int bit = __builtin_ctzll(word);
+                fn(w * 64 + bit);
+                word &= word - 1;
+            }
+        }
+    }
+
+    /** Bitwise-or @p other into this bitset. @pre same size. */
+    void orWith(const Bitset &other);
+
+    bool operator==(const Bitset &other) const = default;
+
+  private:
+    size_t _numBits = 0;
+    std::vector<uint64_t> _words;
+};
+
+} // namespace ugc
+
+#endif // UGC_SUPPORT_BITSET_H

@@ -1,0 +1,111 @@
+#include "support/parallel.h"
+
+#include <algorithm>
+
+namespace ugc {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : _numThreads(num_threads ? num_threads
+                              : std::max(1u, std::thread::hardware_concurrency()))
+{
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
+    }
+    _wakeWorkers.notify_all();
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::start()
+{
+    _started = true;
+    // Worker 0 is the calling thread; spawn the rest.
+    for (unsigned i = 1; i < _numThreads; ++i)
+        _workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(int64_t, int64_t)> *body;
+        int64_t begin, end;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wakeWorkers.wait(lock, [&] {
+                return _shutdown || _generation != seen_generation;
+            });
+            if (_shutdown)
+                return;
+            seen_generation = _generation;
+            body = _body;
+            begin = _jobBegin;
+            end = _jobEnd;
+        }
+        const int64_t span = end - begin;
+        const int64_t chunk = (span + _numThreads - 1) / _numThreads;
+        const int64_t lo = begin + chunk * index;
+        const int64_t hi = std::min<int64_t>(lo + chunk, end);
+        if (lo < hi)
+            (*body)(lo, hi);
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (--_remaining == 0)
+                _wakeMaster.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)> &body)
+{
+    if (end <= begin)
+        return;
+    if (_numThreads == 1 || end - begin == 1) {
+        body(begin, end);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (!_started)
+            start();
+        _body = &body;
+        _jobBegin = begin;
+        _jobEnd = end;
+        _remaining = _numThreads - 1;
+        ++_generation;
+    }
+    _wakeWorkers.notify_all();
+
+    // The calling thread takes chunk 0.
+    const int64_t span = end - begin;
+    const int64_t chunk = (span + _numThreads - 1) / _numThreads;
+    body(begin, std::min<int64_t>(begin + chunk, end));
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    _wakeMaster.wait(lock, [&] { return _remaining == 0; });
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+parallelFor(int64_t begin, int64_t end,
+            const std::function<void(int64_t, int64_t)> &body)
+{
+    ThreadPool::global().parallelFor(begin, end, body);
+}
+
+} // namespace ugc

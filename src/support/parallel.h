@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal thread pool and parallel-for used by the CPU GraphVM's native
+ * execution path.
+ *
+ * The simulated backends (GPU/Swarm/HammerBlade) model parallelism inside
+ * their machine models and do not use host threads; this pool exists so the
+ * CPU backend can execute for real, mirroring the Cilk/OpenMP runtimes the
+ * paper's CPU GraphVM generates calls into.
+ */
+#ifndef UGC_SUPPORT_PARALLEL_H
+#define UGC_SUPPORT_PARALLEL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ugc {
+
+/**
+ * A fork-join thread pool with a fixed worker count.
+ *
+ * Workers are lazily started on the first parallel call and joined on
+ * destruction. A pool of size 1 runs inline (important for deterministic
+ * test environments and single-core machines).
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads 0 means hardware_concurrency(). */
+    explicit ThreadPool(unsigned num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned numThreads() const { return _numThreads; }
+
+    /**
+     * Run @p body(chunk_begin, chunk_end) over [begin, end) split into
+     * roughly even contiguous chunks, one per worker, and wait for all.
+     */
+    void parallelFor(int64_t begin, int64_t end,
+                     const std::function<void(int64_t, int64_t)> &body);
+
+    /** Process-wide pool shared by callers that do not own one. */
+    static ThreadPool &global();
+
+  private:
+    void start();
+    void workerLoop(unsigned index);
+
+    unsigned _numThreads;
+    std::vector<std::thread> _workers;
+    std::mutex _mutex;
+    std::condition_variable _wakeWorkers;
+    std::condition_variable _wakeMaster;
+
+    // Current job, guarded by _mutex.
+    const std::function<void(int64_t, int64_t)> *_body = nullptr;
+    int64_t _jobBegin = 0;
+    int64_t _jobEnd = 0;
+    uint64_t _generation = 0;
+    unsigned _remaining = 0;
+    bool _shutdown = false;
+    bool _started = false;
+};
+
+/** Convenience wrapper over ThreadPool::global(). */
+void parallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)> &body);
+
+} // namespace ugc
+
+#endif // UGC_SUPPORT_PARALLEL_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lightweight counters and distribution summaries used by the machine
+ * models and the benchmark harnesses.
+ */
+#ifndef UGC_SUPPORT_STATS_H
+#define UGC_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ugc {
+
+/** Streaming summary of a scalar distribution (no sample storage). */
+class Summary
+{
+  public:
+    void
+    add(double value)
+    {
+        ++_count;
+        _sum += value;
+        _sumSq += value * value;
+        _min = std::min(_min, value);
+        _max = std::max(_max, value);
+    }
+
+    uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+
+    double
+    stddev() const
+    {
+        if (_count < 2)
+            return 0.0;
+        const double m = mean();
+        return std::sqrt(std::max(0.0, _sumSq / _count - m * m));
+    }
+
+  private:
+    uint64_t _count = 0;
+    double _sum = 0.0;
+    double _sumSq = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Named counter bag; used for ad-hoc machine-model statistics. */
+class CounterSet
+{
+  public:
+    void add(const std::string &name, double delta = 1.0)
+    {
+        _counters[name] += delta;
+    }
+
+    double get(const std::string &name) const
+    {
+        auto it = _counters.find(name);
+        return it == _counters.end() ? 0.0 : it->second;
+    }
+
+    const std::map<std::string, double> &all() const { return _counters; }
+
+    void
+    merge(const CounterSet &other)
+    {
+        for (const auto &[name, value] : other._counters)
+            _counters[name] += value;
+    }
+
+  private:
+    std::map<std::string, double> _counters;
+};
+
+/** Geometric mean of a vector of positive ratios (used by bench reports). */
+inline double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace ugc
+
+#endif // UGC_SUPPORT_STATS_H

@@ -1,0 +1,59 @@
+#include "support/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ugc {
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    for (;;) {
+        const size_t pos = text.find(sep, start);
+        if (pos == std::string::npos) {
+            fields.push_back(text.substr(start));
+            return fields;
+        }
+        fields.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+trim(const std::string &text)
+{
+    const char *ws = " \t\r\n";
+    const size_t first = text.find_first_not_of(ws);
+    if (first == std::string::npos)
+        return "";
+    const size_t last = text.find_last_not_of(ws);
+    return text.substr(first, last - first + 1);
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+
+    std::string result(needed > 0 ? needed : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return result;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace ugc

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Small string helpers shared by the frontend and the bench table printers.
+ */
+#ifndef UGC_SUPPORT_STRING_UTIL_H
+#define UGC_SUPPORT_STRING_UTIL_H
+
+#include <string>
+#include <vector>
+
+namespace ugc {
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** True if @p text starts with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+} // namespace ugc
+
+#endif // UGC_SUPPORT_STRING_UTIL_H

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every UGC module.
+ */
+#ifndef UGC_SUPPORT_TYPES_H
+#define UGC_SUPPORT_TYPES_H
+
+#include <cstdint>
+
+namespace ugc {
+
+/** Identifier of a vertex; graphs are limited to 2^31-1 vertices. */
+using VertexId = int32_t;
+
+/** Identifier/count of edges; 64-bit because |E| can exceed 2^31. */
+using EdgeId = int64_t;
+
+/** Edge weight. Integer weights (as in the DIMACS road graphs). */
+using Weight = int32_t;
+
+/** Logical byte address inside a machine model's address space. */
+using Addr = uint64_t;
+
+/** Simulated clock cycles. */
+using Cycles = uint64_t;
+
+/** Sentinel used for "not yet visited" vertex properties. */
+inline constexpr VertexId kNoVertex = -1;
+
+/** Sentinel "infinite" distance for shortest-path style algorithms. */
+inline constexpr int64_t kInfDist = (1LL << 60);
+
+} // namespace ugc
+
+#endif // UGC_SUPPORT_TYPES_H

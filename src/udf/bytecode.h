@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bytecode for user-defined functions (UDFs).
+ *
+ * GraphVMs in the paper generate native code for the UDFs applied by
+ * EdgeSetIterator / VertexSetIterator. Here every backend shares one
+ * portable lowering: UDF GraphIR is compiled to a compact register
+ * bytecode, and each machine model executes it while observing the memory
+ * traffic it produces (counts for the analytical models, exact addresses
+ * for Swarm's conflict detection).
+ */
+#ifndef UGC_UDF_BYTECODE_H
+#define UGC_UDF_BYTECODE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/types.h"
+#include "support/types.h"
+
+namespace ugc {
+
+/** One 64-bit register; typing is static (tracked by the compiler). */
+union Reg
+{
+    int64_t i;
+    double f;
+};
+
+inline Reg
+regOfInt(int64_t value)
+{
+    Reg r;
+    r.i = value;
+    return r;
+}
+
+inline Reg
+regOfFloat(double value)
+{
+    Reg r;
+    r.f = value;
+    return r;
+}
+
+enum class Op : uint8_t {
+    LoadImmI,   ///< r[a] = imms[b]
+    LoadImmF,   ///< r[a] = fimms[b]
+    Mov,        ///< r[a] = r[b]
+    LoadProp,   ///< r[a] = prop[b][ r[c].i ]
+    StoreProp,  ///< prop[a][ r[b].i ] = r[c]
+    CasProp,    ///< r[a] = CAS(prop[b][ r[c].i ], r[d], r[e]); flag=atomic
+    ReduceProp, ///< r[a] = (prop[b][ r[c].i ] op= r[d]) changed; e=op
+    LoadGlobal, ///< r[a] = globals[b]
+    StoreGlobal,///< globals[a] = r[b]
+    AddI, SubI, MulI, DivI, ModI, ///< r[a] = r[b] (op) r[c]
+    AddF, SubF, MulF, DivF,
+    LtI, LeI, EqI, NeI,
+    LtF, LeF, EqF, NeF,
+    AndB, OrB, NotB,
+    NegI, NegF,
+    I2F,        ///< r[a] = double(r[b].i)
+    F2I,        ///< r[a] = int64(r[b].f)
+    Jmp,        ///< pc = a
+    Jz,         ///< if (r[a].i == 0) pc = b
+    Enqueue,    ///< enqueue vertex r[a] to the output frontier
+    UpdatePrioMin, ///< r[a] = queue.updateMin(r[b], r[c])
+    Ret,        ///< return r[a] (a < 0: no value)
+};
+
+struct Insn
+{
+    Op op;
+    bool atomic = false; ///< CAS/reductions: use atomic RMW
+    int32_t a = -1, b = -1, c = -1, d = -1, e = -1;
+};
+
+/** A compiled UDF. */
+struct Chunk
+{
+    std::string name;
+    std::vector<Insn> code;
+    std::vector<int64_t> imms;
+    std::vector<double> fimms;
+    int numRegs = 0;
+    int numParams = 0;
+    ElemType resultType = ElemType::Bool;
+    bool hasResult = false;
+
+    /** Names of properties / globals by slot, for disassembly. */
+    std::vector<std::string> propNames;
+    std::vector<std::string> globalNames;
+};
+
+/** Human-readable disassembly (tests, debugging). */
+std::string disassemble(const Chunk &chunk);
+
+} // namespace ugc
+
+#endif // UGC_UDF_BYTECODE_H

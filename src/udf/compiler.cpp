@@ -1,0 +1,467 @@
+#include "udf/compiler.h"
+
+#include <stdexcept>
+
+namespace ugc {
+
+SymbolTables
+SymbolTables::fromProgram(const Program &program)
+{
+    SymbolTables tables;
+    int prop_slot = 0, global_slot = 0;
+    for (const auto &decl : program.globals) {
+        if (decl->type.kind == TypeDesc::Kind::VertexData) {
+            tables.propSlots[decl->name] = prop_slot++;
+            tables.propTypes[decl->name] = decl->type.elem;
+        } else if (decl->type.kind == TypeDesc::Kind::Scalar) {
+            tables.globalSlots[decl->name] = global_slot++;
+            tables.globalTypes[decl->name] = decl->type.elem;
+        }
+    }
+    return tables;
+}
+
+namespace {
+
+bool
+isFloatType(ElemType type)
+{
+    return type == ElemType::Float64;
+}
+
+/** Single-function bytecode emitter. */
+class UdfCompiler
+{
+  public:
+    UdfCompiler(const Function &func, const SymbolTables &symbols)
+        : _func(func), _symbols(symbols)
+    {
+    }
+
+    Chunk
+    compile()
+    {
+        _chunk.name = _func.name;
+        for (const Param &param : _func.params) {
+            if (param.type.kind != TypeDesc::Kind::Scalar)
+                throw std::runtime_error("UDF params must be scalars: " +
+                                         _func.name);
+            defineLocal(param.name, param.type.elem);
+        }
+        _chunk.numParams = static_cast<int>(_func.params.size());
+
+        if (_func.hasResult()) {
+            _chunk.hasResult = true;
+            _chunk.resultType = _func.resultType.elem;
+            const int reg = defineLocal(_func.resultName,
+                                        _func.resultType.elem);
+            // Results default to zero/false.
+            emit({Op::LoadImmI, false, reg, immI(0)});
+        }
+
+        compileBody(_func.body);
+
+        // Implicit return of the result variable.
+        const int result_reg =
+            _func.hasResult() ? _locals.at(_func.resultName).reg : -1;
+        emit({Op::Ret, false, result_reg});
+
+        for (const auto &[name, slot] : _symbols.propSlots) {
+            if (_chunk.propNames.size() <= static_cast<size_t>(slot))
+                _chunk.propNames.resize(slot + 1);
+            _chunk.propNames[slot] = name;
+        }
+        for (const auto &[name, slot] : _symbols.globalSlots) {
+            if (_chunk.globalNames.size() <= static_cast<size_t>(slot))
+                _chunk.globalNames.resize(slot + 1);
+            _chunk.globalNames[slot] = name;
+        }
+        _chunk.numRegs = _nextReg;
+        return std::move(_chunk);
+    }
+
+  private:
+    struct Local
+    {
+        int reg;
+        ElemType type;
+    };
+
+    struct Operand
+    {
+        int reg;
+        ElemType type;
+    };
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        throw std::runtime_error("UDF compile (" + _func.name +
+                                 "): " + message);
+    }
+
+    int
+    defineLocal(const std::string &name, ElemType type)
+    {
+        if (_locals.count(name))
+            fail("redefinition of " + name);
+        const int reg = _nextReg++;
+        _locals[name] = {reg, type};
+        return reg;
+    }
+
+    int newReg() { return _nextReg++; }
+
+    void emit(Insn insn) { _chunk.code.push_back(insn); }
+
+    size_t here() const { return _chunk.code.size(); }
+
+    int
+    immI(int64_t value)
+    {
+        _chunk.imms.push_back(value);
+        return static_cast<int>(_chunk.imms.size() - 1);
+    }
+
+    int
+    immF(double value)
+    {
+        _chunk.fimms.push_back(value);
+        return static_cast<int>(_chunk.fimms.size() - 1);
+    }
+
+    /** Insert an int→float conversion if needed. */
+    Operand
+    toFloat(Operand operand)
+    {
+        if (isFloatType(operand.type))
+            return operand;
+        const int reg = newReg();
+        emit({Op::I2F, false, reg, operand.reg});
+        return {reg, ElemType::Float64};
+    }
+
+    Operand
+    toType(Operand operand, ElemType want)
+    {
+        if (isFloatType(want) == isFloatType(operand.type))
+            return operand;
+        const int reg = newReg();
+        emit({isFloatType(want) ? Op::I2F : Op::F2I, false, reg,
+              operand.reg});
+        return {reg, want};
+    }
+
+    Operand
+    compileExpr(const ExprPtr &expr)
+    {
+        switch (expr->kind) {
+          case ExprKind::IntConst: {
+            const int reg = newReg();
+            emit({Op::LoadImmI, false, reg,
+                  immI(static_cast<const IntConstExpr &>(*expr).value)});
+            return {reg, ElemType::Int64};
+          }
+          case ExprKind::FloatConst: {
+            const int reg = newReg();
+            emit({Op::LoadImmF, false, reg,
+                  immF(static_cast<const FloatConstExpr &>(*expr).value)});
+            return {reg, ElemType::Float64};
+          }
+          case ExprKind::VarRef: {
+            const auto &name = static_cast<const VarRefExpr &>(*expr).name;
+            auto local = _locals.find(name);
+            if (local != _locals.end())
+                return {local->second.reg, local->second.type};
+            auto global = _symbols.globalSlots.find(name);
+            if (global != _symbols.globalSlots.end()) {
+                const int reg = newReg();
+                emit({Op::LoadGlobal, false, reg, global->second});
+                return {reg, _symbols.globalTypes.at(name)};
+            }
+            fail("unknown variable: " + name);
+          }
+          case ExprKind::PropRead: {
+            const auto &node = static_cast<const PropReadExpr &>(*expr);
+            const Operand index = compileExpr(node.index);
+            auto slot = _symbols.propSlots.find(node.prop);
+            if (slot == _symbols.propSlots.end())
+                fail("unknown property: " + node.prop);
+            const int reg = newReg();
+            emit({Op::LoadProp, false, reg, slot->second, index.reg});
+            return {reg, _symbols.propTypes.at(node.prop)};
+          }
+          case ExprKind::Binary:
+            return compileBinary(static_cast<const BinaryExpr &>(*expr));
+          case ExprKind::Unary: {
+            const auto &node = static_cast<const UnaryExpr &>(*expr);
+            const Operand operand = compileExpr(node.operand);
+            const int reg = newReg();
+            if (node.op == UnaryOp::Not) {
+                emit({Op::NotB, false, reg, operand.reg});
+                return {reg, ElemType::Bool};
+            }
+            emit({isFloatType(operand.type) ? Op::NegF : Op::NegI, false,
+                  reg, operand.reg});
+            return {reg, operand.type};
+          }
+          case ExprKind::CompareAndSwap: {
+            const auto &node =
+                static_cast<const CompareAndSwapExpr &>(*expr);
+            auto slot = _symbols.propSlots.find(node.prop);
+            if (slot == _symbols.propSlots.end())
+                fail("unknown property: " + node.prop);
+            const ElemType prop_type = _symbols.propTypes.at(node.prop);
+            if (isFloatType(prop_type))
+                fail("CompareAndSwap on float property");
+            const Operand index = compileExpr(node.index);
+            const Operand old_value =
+                toType(compileExpr(node.oldValue), prop_type);
+            const Operand new_value =
+                toType(compileExpr(node.newValue), prop_type);
+            const int reg = newReg();
+            const bool atomic = expr->getMetadataOr("is_atomic", false);
+            emit({Op::CasProp, atomic, reg, slot->second, index.reg,
+                  old_value.reg, new_value.reg});
+            return {reg, ElemType::Bool};
+          }
+          case ExprKind::VertexSetSize:
+            fail("VertexSetSize is not valid inside a UDF");
+          case ExprKind::Call:
+            fail("calls inside UDFs are not supported");
+        }
+        fail("unhandled expression kind");
+    }
+
+    Operand
+    compileBinary(const BinaryExpr &node)
+    {
+        // Short-circuit-free evaluation: UDF conditions are tiny and pure.
+        Operand lhs = compileExpr(node.lhs);
+        Operand rhs = compileExpr(node.rhs);
+        const bool float_op =
+            isFloatType(lhs.type) || isFloatType(rhs.type);
+        if (float_op) {
+            lhs = toFloat(lhs);
+            rhs = toFloat(rhs);
+        }
+        const int reg = newReg();
+
+        auto arith = [&](Op int_op, Op float_op_code) {
+            emit({float_op ? float_op_code : int_op, false, reg, lhs.reg,
+                  rhs.reg});
+            return Operand{
+                reg, float_op ? ElemType::Float64 : ElemType::Int64};
+        };
+        auto compare = [&](Op int_op, Op float_op_code) {
+            emit({float_op ? float_op_code : int_op, false, reg, lhs.reg,
+                  rhs.reg});
+            return Operand{reg, ElemType::Bool};
+        };
+
+        switch (node.op) {
+          case BinaryOp::Add: return arith(Op::AddI, Op::AddF);
+          case BinaryOp::Sub: return arith(Op::SubI, Op::SubF);
+          case BinaryOp::Mul: return arith(Op::MulI, Op::MulF);
+          case BinaryOp::Div: return arith(Op::DivI, Op::DivF);
+          case BinaryOp::Mod:
+            if (float_op)
+                fail("mod on floats");
+            emit({Op::ModI, false, reg, lhs.reg, rhs.reg});
+            return {reg, ElemType::Int64};
+          case BinaryOp::Lt: return compare(Op::LtI, Op::LtF);
+          case BinaryOp::Le: return compare(Op::LeI, Op::LeF);
+          case BinaryOp::Gt: {
+            // a > b == b < a
+            emit({float_op ? Op::LtF : Op::LtI, false, reg, rhs.reg,
+                  lhs.reg});
+            return {reg, ElemType::Bool};
+          }
+          case BinaryOp::Ge: {
+            emit({float_op ? Op::LeF : Op::LeI, false, reg, rhs.reg,
+                  lhs.reg});
+            return {reg, ElemType::Bool};
+          }
+          case BinaryOp::Eq: return compare(Op::EqI, Op::EqF);
+          case BinaryOp::Ne: return compare(Op::NeI, Op::NeF);
+          case BinaryOp::And:
+            emit({Op::AndB, false, reg, lhs.reg, rhs.reg});
+            return {reg, ElemType::Bool};
+          case BinaryOp::Or:
+            emit({Op::OrB, false, reg, lhs.reg, rhs.reg});
+            return {reg, ElemType::Bool};
+        }
+        fail("unhandled binary op");
+    }
+
+    void
+    compileBody(const std::vector<StmtPtr> &body)
+    {
+        for (const StmtPtr &stmt : body)
+            compileStmt(stmt);
+    }
+
+    void
+    compileStmt(const StmtPtr &stmt)
+    {
+        switch (stmt->kind) {
+          case StmtKind::VarDecl: {
+            const auto &node = static_cast<const VarDeclStmt &>(*stmt);
+            if (node.type.kind != TypeDesc::Kind::Scalar)
+                fail("only scalar locals are allowed in UDFs");
+            const int reg = defineLocal(node.name, node.type.elem);
+            if (node.init) {
+                const Operand init =
+                    toType(compileExpr(node.init), node.type.elem);
+                emit({Op::Mov, false, reg, init.reg});
+            } else {
+                emit({Op::LoadImmI, false, reg, immI(0)});
+            }
+            break;
+          }
+          case StmtKind::Assign: {
+            const auto &node = static_cast<const AssignStmt &>(*stmt);
+            auto local = _locals.find(node.name);
+            if (local != _locals.end()) {
+                const Operand value =
+                    toType(compileExpr(node.value), local->second.type);
+                emit({Op::Mov, false, local->second.reg, value.reg});
+                break;
+            }
+            auto global = _symbols.globalSlots.find(node.name);
+            if (global != _symbols.globalSlots.end()) {
+                const Operand value = toType(
+                    compileExpr(node.value),
+                    _symbols.globalTypes.at(node.name));
+                emit({Op::StoreGlobal, false, global->second, value.reg});
+                break;
+            }
+            fail("assignment to unknown variable: " + node.name);
+          }
+          case StmtKind::PropWrite: {
+            const auto &node = static_cast<const PropWriteStmt &>(*stmt);
+            auto slot = _symbols.propSlots.find(node.prop);
+            if (slot == _symbols.propSlots.end())
+                fail("unknown property: " + node.prop);
+            const Operand index = compileExpr(node.index);
+            const Operand value = toType(compileExpr(node.value),
+                                         _symbols.propTypes.at(node.prop));
+            emit({Op::StoreProp, false, slot->second, index.reg,
+                  value.reg});
+            break;
+          }
+          case StmtKind::Reduction: {
+            const auto &node = static_cast<const ReductionStmt &>(*stmt);
+            auto slot = _symbols.propSlots.find(node.prop);
+            if (slot == _symbols.propSlots.end())
+                fail("unknown property: " + node.prop);
+            const Operand index = compileExpr(node.index);
+            const Operand value = toType(compileExpr(node.value),
+                                         _symbols.propTypes.at(node.prop));
+            int result_reg = -1;
+            if (!node.resultVar.empty()) {
+                auto local = _locals.find(node.resultVar);
+                if (local == _locals.end())
+                    result_reg = defineLocal(node.resultVar,
+                                             ElemType::Bool);
+                else
+                    result_reg = local->second.reg;
+            }
+            const bool atomic = stmt->getMetadataOr("is_atomic", false);
+            emit({Op::ReduceProp, atomic, result_reg, slot->second,
+                  index.reg, value.reg, static_cast<int>(node.op)});
+            break;
+          }
+          case StmtKind::If: {
+            const auto &node = static_cast<const IfStmt &>(*stmt);
+            const Operand cond = compileExpr(node.cond);
+            const size_t jz_at = here();
+            emit({Op::Jz, false, cond.reg, -1});
+            compileBody(node.thenBody);
+            if (node.elseBody.empty()) {
+                _chunk.code[jz_at].b = static_cast<int32_t>(here());
+            } else {
+                const size_t jmp_at = here();
+                emit({Op::Jmp, false, -1});
+                _chunk.code[jz_at].b = static_cast<int32_t>(here());
+                compileBody(node.elseBody);
+                _chunk.code[jmp_at].a = static_cast<int32_t>(here());
+            }
+            break;
+          }
+          case StmtKind::While: {
+            const auto &node = static_cast<const WhileStmt &>(*stmt);
+            const size_t loop_top = here();
+            const Operand cond = compileExpr(node.cond);
+            const size_t jz_at = here();
+            emit({Op::Jz, false, cond.reg, -1});
+            _breakTargets.push_back({});
+            compileBody(node.body);
+            emit({Op::Jmp, false, static_cast<int32_t>(loop_top)});
+            const auto exit_pc = static_cast<int32_t>(here());
+            _chunk.code[jz_at].b = exit_pc;
+            for (size_t fixup : _breakTargets.back())
+                _chunk.code[fixup].a = exit_pc;
+            _breakTargets.pop_back();
+            break;
+          }
+          case StmtKind::Break: {
+            if (_breakTargets.empty())
+                fail("break outside loop");
+            _breakTargets.back().push_back(here());
+            emit({Op::Jmp, false, -1});
+            break;
+          }
+          case StmtKind::Return: {
+            const auto &node = static_cast<const ReturnStmt &>(*stmt);
+            int reg = -1;
+            if (node.value) {
+                reg = compileExpr(node.value).reg;
+            } else if (_func.hasResult()) {
+                reg = _locals.at(_func.resultName).reg;
+            }
+            emit({Op::Ret, false, reg});
+            break;
+          }
+          case StmtKind::EnqueueVertex: {
+            const auto &node = static_cast<const EnqueueVertexStmt &>(*stmt);
+            const Operand vertex = compileExpr(node.vertex);
+            emit({Op::Enqueue, false, vertex.reg});
+            break;
+          }
+          case StmtKind::UpdatePriority: {
+            const auto &node =
+                static_cast<const UpdatePriorityStmt &>(*stmt);
+            if (node.updateKind != UpdatePriorityStmt::Kind::Min)
+                fail("only UpdatePriorityMin is supported in UDFs");
+            const Operand vertex = compileExpr(node.vertex);
+            const Operand value = compileExpr(node.value);
+            emit({Op::UpdatePrioMin, false, newReg(), vertex.reg,
+                  value.reg});
+            break;
+          }
+          case StmtKind::ExprStmt:
+            compileExpr(static_cast<const ExprStmt &>(*stmt).expr);
+            break;
+          default:
+            fail("statement kind not allowed in a UDF");
+        }
+    }
+
+    const Function &_func;
+    const SymbolTables &_symbols;
+    Chunk _chunk;
+    std::map<std::string, Local> _locals;
+    std::vector<std::vector<size_t>> _breakTargets;
+    int _nextReg = 0;
+};
+
+} // namespace
+
+Chunk
+compileUdf(const Function &func, const SymbolTables &symbols)
+{
+    return UdfCompiler(func, symbols).compile();
+}
+
+} // namespace ugc

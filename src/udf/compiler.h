@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Compiles UDF GraphIR functions to bytecode (see bytecode.h).
+ */
+#ifndef UGC_UDF_COMPILER_H
+#define UGC_UDF_COMPILER_H
+
+#include <map>
+#include <string>
+
+#include "ir/program.h"
+#include "udf/bytecode.h"
+
+namespace ugc {
+
+/**
+ * Name→slot tables the compiler resolves symbols against.
+ *
+ * Properties are the program's VertexData globals; globals are its scalar
+ * globals (captured by reference, GraphIt-style).
+ */
+struct SymbolTables
+{
+    std::map<std::string, int> propSlots;
+    std::map<std::string, ElemType> propTypes;
+    std::map<std::string, int> globalSlots;
+    std::map<std::string, ElemType> globalTypes;
+
+    /** Build the tables from a program's global declarations. */
+    static SymbolTables fromProgram(const Program &program);
+};
+
+/**
+ * Compile @p func to bytecode.
+ *
+ * Supported statements: scalar VarDecl/Assign, PropWrite, Reduction,
+ * If/While/Break/Return, EnqueueVertex, UpdatePriority, ExprStmt.
+ * @throws std::runtime_error on unsupported constructs or unknown names.
+ */
+Chunk compileUdf(const Function &func, const SymbolTables &symbols);
+
+} // namespace ugc
+
+#endif // UGC_UDF_COMPILER_H

@@ -1,0 +1,296 @@
+#include "udf/interp.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ugc {
+
+namespace {
+
+/** Non-atomic reduction used when runtime.useAtomics is false. */
+bool
+reducePlain(VertexData &prop, VertexId index, ReductionType op, Reg value)
+{
+    if (prop.isFloat()) {
+        const double current = prop.getFloat(index);
+        switch (op) {
+          case ReductionType::Sum:
+            prop.setFloat(index, current + value.f);
+            return value.f != 0.0;
+          case ReductionType::Min:
+            if (value.f < current) {
+                prop.setFloat(index, value.f);
+                return true;
+            }
+            return false;
+          case ReductionType::Max:
+            if (value.f > current) {
+                prop.setFloat(index, value.f);
+                return true;
+            }
+            return false;
+        }
+    } else {
+        const int64_t current = prop.getInt(index);
+        switch (op) {
+          case ReductionType::Sum:
+            prop.setInt(index, current + value.i);
+            return value.i != 0;
+          case ReductionType::Min:
+            if (value.i < current) {
+                prop.setInt(index, value.i);
+                return true;
+            }
+            return false;
+          case ReductionType::Max:
+            if (value.i > current) {
+                prop.setInt(index, value.i);
+                return true;
+            }
+            return false;
+        }
+    }
+    return false;
+}
+
+bool
+reduceAtomic(VertexData &prop, VertexId index, ReductionType op, Reg value)
+{
+    if (prop.isFloat()) {
+        switch (op) {
+          case ReductionType::Sum:
+            prop.addFloat(index, value.f);
+            return value.f != 0.0;
+          case ReductionType::Min:
+            return prop.minFloat(index, value.f);
+          case ReductionType::Max:
+            // Float max is unused by our algorithms; plain emulation.
+            return reducePlain(prop, index, op, value);
+        }
+    } else {
+        switch (op) {
+          case ReductionType::Sum:
+            prop.addInt(index, value.i);
+            return value.i != 0;
+          case ReductionType::Min:
+            return prop.minInt(index, value.i);
+          case ReductionType::Max:
+            return prop.maxInt(index, value.i);
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+Reg
+runUdf(const Chunk &chunk, std::span<const Reg> args, UdfRuntime &runtime,
+       UdfStats &stats)
+{
+    assert(static_cast<int>(args.size()) == chunk.numParams);
+
+    // Register files for UDFs are tiny; a stack buffer avoids allocation.
+    constexpr int kMaxRegs = 256;
+    Reg regs[kMaxRegs];
+    if (chunk.numRegs > kMaxRegs)
+        throw std::runtime_error("UDF register file too large");
+    for (int i = 0; i < chunk.numParams; ++i)
+        regs[i] = args[i];
+
+    size_t pc = 0;
+    uint64_t executed = 0;
+    for (;;) {
+        assert(pc < chunk.code.size());
+        const Insn &insn = chunk.code[pc++];
+        ++executed;
+        switch (insn.op) {
+          case Op::LoadImmI:
+            regs[insn.a].i = chunk.imms[insn.b];
+            break;
+          case Op::LoadImmF:
+            regs[insn.a].f = chunk.fimms[insn.b];
+            break;
+          case Op::Mov:
+            regs[insn.a] = regs[insn.b];
+            break;
+          case Op::LoadProp: {
+            VertexData &prop = *runtime.props[insn.b];
+            const auto index = static_cast<VertexId>(regs[insn.c].i);
+            if (prop.isFloat())
+                regs[insn.a].f = prop.getFloat(index);
+            else
+                regs[insn.a].i = prop.getInt(index);
+            ++stats.propReads;
+            if (runtime.recorder)
+                runtime.recorder->record(prop.addrOf(index), false);
+            break;
+          }
+          case Op::StoreProp: {
+            VertexData &prop = *runtime.props[insn.a];
+            const auto index = static_cast<VertexId>(regs[insn.b].i);
+            if (prop.isFloat())
+                prop.setFloat(index, regs[insn.c].f);
+            else
+                prop.setInt(index, regs[insn.c].i);
+            ++stats.propWrites;
+            if (runtime.recorder)
+                runtime.recorder->record(prop.addrOf(index), true);
+            break;
+          }
+          case Op::CasProp: {
+            VertexData &prop = *runtime.props[insn.b];
+            const auto index = static_cast<VertexId>(regs[insn.c].i);
+            bool swapped;
+            if (insn.atomic && runtime.useAtomics) {
+                swapped = prop.casInt(index, regs[insn.d].i, regs[insn.e].i);
+                ++stats.atomics;
+            } else {
+                swapped = prop.getInt(index) == regs[insn.d].i;
+                if (swapped)
+                    prop.setInt(index, regs[insn.e].i);
+            }
+            regs[insn.a].i = swapped;
+            ++stats.propReads;
+            if (swapped) {
+                ++stats.propWrites;
+                ++stats.updates;
+            }
+            if (runtime.recorder)
+                runtime.recorder->record(prop.addrOf(index), swapped);
+            break;
+          }
+          case Op::ReduceProp: {
+            VertexData &prop = *runtime.props[insn.b];
+            const auto index = static_cast<VertexId>(regs[insn.c].i);
+            const auto op = static_cast<ReductionType>(insn.e);
+            bool changed;
+            if (insn.atomic && runtime.useAtomics) {
+                changed = reduceAtomic(prop, index, op, regs[insn.d]);
+                ++stats.atomics;
+            } else {
+                changed = reducePlain(prop, index, op, regs[insn.d]);
+            }
+            if (insn.a >= 0)
+                regs[insn.a].i = changed;
+            ++stats.propReads;
+            ++stats.propWrites;
+            if (changed)
+                ++stats.updates;
+            if (runtime.recorder)
+                runtime.recorder->record(prop.addrOf(index), true);
+            break;
+          }
+          case Op::LoadGlobal:
+            regs[insn.a] = (*runtime.globals)[insn.b];
+            break;
+          case Op::StoreGlobal:
+            (*runtime.globals)[insn.a] = regs[insn.b];
+            break;
+          case Op::AddI: regs[insn.a].i = regs[insn.b].i + regs[insn.c].i; break;
+          case Op::SubI: regs[insn.a].i = regs[insn.b].i - regs[insn.c].i; break;
+          case Op::MulI: regs[insn.a].i = regs[insn.b].i * regs[insn.c].i; break;
+          case Op::DivI:
+            if (regs[insn.c].i == 0)
+                throw std::runtime_error("UDF integer division by zero");
+            regs[insn.a].i = regs[insn.b].i / regs[insn.c].i;
+            break;
+          case Op::ModI:
+            if (regs[insn.c].i == 0)
+                throw std::runtime_error("UDF modulo by zero");
+            regs[insn.a].i = regs[insn.b].i % regs[insn.c].i;
+            break;
+          case Op::AddF: regs[insn.a].f = regs[insn.b].f + regs[insn.c].f; break;
+          case Op::SubF: regs[insn.a].f = regs[insn.b].f - regs[insn.c].f; break;
+          case Op::MulF: regs[insn.a].f = regs[insn.b].f * regs[insn.c].f; break;
+          case Op::DivF: regs[insn.a].f = regs[insn.b].f / regs[insn.c].f; break;
+          case Op::LtI: regs[insn.a].i = regs[insn.b].i < regs[insn.c].i; break;
+          case Op::LeI: regs[insn.a].i = regs[insn.b].i <= regs[insn.c].i; break;
+          case Op::EqI: regs[insn.a].i = regs[insn.b].i == regs[insn.c].i; break;
+          case Op::NeI: regs[insn.a].i = regs[insn.b].i != regs[insn.c].i; break;
+          case Op::LtF: regs[insn.a].i = regs[insn.b].f < regs[insn.c].f; break;
+          case Op::LeF: regs[insn.a].i = regs[insn.b].f <= regs[insn.c].f; break;
+          case Op::EqF: regs[insn.a].i = regs[insn.b].f == regs[insn.c].f; break;
+          case Op::NeF: regs[insn.a].i = regs[insn.b].f != regs[insn.c].f; break;
+          case Op::AndB:
+            regs[insn.a].i = (regs[insn.b].i != 0) && (regs[insn.c].i != 0);
+            break;
+          case Op::OrB:
+            regs[insn.a].i = (regs[insn.b].i != 0) || (regs[insn.c].i != 0);
+            break;
+          case Op::NotB: regs[insn.a].i = regs[insn.b].i == 0; break;
+          case Op::NegI: regs[insn.a].i = -regs[insn.b].i; break;
+          case Op::NegF: regs[insn.a].f = -regs[insn.b].f; break;
+          case Op::I2F:
+            regs[insn.a].f = static_cast<double>(regs[insn.b].i);
+            break;
+          case Op::F2I:
+            regs[insn.a].i = static_cast<int64_t>(regs[insn.b].f);
+            break;
+          case Op::Jmp:
+            pc = static_cast<size_t>(insn.a);
+            break;
+          case Op::Jz:
+            if (regs[insn.a].i == 0)
+                pc = static_cast<size_t>(insn.b);
+            break;
+          case Op::Enqueue:
+            ++stats.enqueues;
+            runtime.enqueue(static_cast<VertexId>(regs[insn.a].i));
+            break;
+          case Op::UpdatePrioMin: {
+            const bool changed = runtime.updatePriorityMin(
+                static_cast<VertexId>(regs[insn.b].i), regs[insn.c].i);
+            regs[insn.a].i = changed;
+            ++stats.propReads;
+            if (changed) {
+                ++stats.propWrites;
+                ++stats.updates;
+            }
+            break;
+          }
+          case Op::Ret: {
+            stats.instructions += executed;
+            return insn.a >= 0 ? regs[insn.a] : Reg{};
+          }
+        }
+    }
+}
+
+bool
+runUdfBool(const Chunk &chunk, std::span<const Reg> args,
+           UdfRuntime &runtime, UdfStats &stats)
+{
+    return runUdf(chunk, args, runtime, stats).i != 0;
+}
+
+std::string
+disassemble(const Chunk &chunk)
+{
+    static const char *names[] = {
+        "LoadImmI", "LoadImmF", "Mov", "LoadProp", "StoreProp", "CasProp",
+        "ReduceProp", "LoadGlobal", "StoreGlobal",
+        "AddI", "SubI", "MulI", "DivI", "ModI",
+        "AddF", "SubF", "MulF", "DivF",
+        "LtI", "LeI", "EqI", "NeI",
+        "LtF", "LeF", "EqF", "NeF",
+        "AndB", "OrB", "NotB", "NegI", "NegF",
+        "I2F", "F2I", "Jmp", "Jz", "Enqueue", "UpdatePrioMin", "Ret",
+    };
+    std::string out = chunk.name + " (" + std::to_string(chunk.numParams) +
+                      " params, " + std::to_string(chunk.numRegs) +
+                      " regs)\n";
+    for (size_t i = 0; i < chunk.code.size(); ++i) {
+        const Insn &insn = chunk.code[i];
+        out += "  " + std::to_string(i) + ": " +
+               names[static_cast<int>(insn.op)];
+        for (int operand : {insn.a, insn.b, insn.c, insn.d, insn.e})
+            if (operand != -1)
+                out += " " + std::to_string(operand);
+        if (insn.atomic)
+            out += " [atomic]";
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace ugc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bytecode interpreter for UDFs.
+ *
+ * The interpreter both computes real results and reports the memory traffic
+ * each invocation produced, which is how the GraphVM machine models observe
+ * program behaviour (DESIGN.md §5).
+ */
+#ifndef UGC_UDF_INTERP_H
+#define UGC_UDF_INTERP_H
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "runtime/prio_queue.h"
+#include "runtime/vertex_data.h"
+#include "udf/bytecode.h"
+
+namespace ugc {
+
+/** Traffic/effect counts for one or more UDF invocations. */
+struct UdfStats
+{
+    uint64_t instructions = 0;
+    uint64_t propReads = 0;
+    uint64_t propWrites = 0;  ///< includes RMW writes
+    uint64_t atomics = 0;     ///< atomic RMW operations executed
+    uint64_t enqueues = 0;
+    uint64_t updates = 0;     ///< CAS/reduction/prio updates that changed state
+
+    void
+    merge(const UdfStats &other)
+    {
+        instructions += other.instructions;
+        propReads += other.propReads;
+        propWrites += other.propWrites;
+        atomics += other.atomics;
+        enqueues += other.enqueues;
+        updates += other.updates;
+    }
+};
+
+/** Optional exact-address observer (Swarm's conflict detection). */
+class AccessRecorder
+{
+  public:
+    virtual ~AccessRecorder() = default;
+    virtual void record(Addr addr, bool is_write) = 0;
+};
+
+/**
+ * Execution environment for UDF invocations. Populated once per traversal;
+ * the interpreter is stateless across calls.
+ */
+struct UdfRuntime
+{
+    /** Property arrays, indexed by the compiler's prop slots. */
+    std::vector<VertexData *> props;
+
+    /** Program-scope scalar globals, indexed by global slots. */
+    std::vector<Reg> *globals = nullptr;
+
+    /** Sink for Enqueue; wired to the output frontier by the engine. */
+    std::function<void(VertexId)> enqueue;
+
+    /** Sink for UpdatePrioMin; returns true if the priority decreased. */
+    std::function<bool(VertexId, int64_t)> updatePriorityMin;
+
+    /** If set, receives every property access with its logical address. */
+    AccessRecorder *recorder = nullptr;
+
+    /**
+     * When false, CAS/reductions marked atomic run non-atomically (serial
+     * contexts like Swarm tasks, where hardware guarantees atomicity).
+     */
+    bool useAtomics = true;
+};
+
+/**
+ * Run @p chunk with @p args bound to its parameter registers.
+ * @return the result register value (zero Reg if the UDF has no result).
+ */
+Reg runUdf(const Chunk &chunk, std::span<const Reg> args,
+           UdfRuntime &runtime, UdfStats &stats);
+
+/** Convenience: result interpreted as a boolean. */
+bool runUdfBool(const Chunk &chunk, std::span<const Reg> args,
+                UdfRuntime &runtime, UdfStats &stats);
+
+} // namespace ugc
+
+#endif // UGC_UDF_INTERP_H

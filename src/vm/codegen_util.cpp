@@ -1,0 +1,279 @@
+#include "vm/codegen_util.h"
+
+#include <sstream>
+
+#include "support/string_util.h"
+
+namespace ugc::codegen {
+
+namespace {
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<size_t>(indent) * 4, ' ');
+}
+
+void
+bodyToCpp(std::ostringstream &out, const std::vector<StmtPtr> &body,
+          int indent)
+{
+    for (const StmtPtr &stmt : body)
+        out << stmtToCpp(stmt, indent);
+}
+
+} // namespace
+
+std::string
+scalarType(ElemType type)
+{
+    return elemTypeName(type);
+}
+
+std::string
+exprToCpp(const ExprPtr &expr)
+{
+    switch (expr->kind) {
+      case ExprKind::IntConst:
+        return std::to_string(
+            static_cast<const IntConstExpr &>(*expr).value);
+      case ExprKind::FloatConst:
+        return strprintf("%g",
+                         static_cast<const FloatConstExpr &>(*expr).value);
+      case ExprKind::VarRef:
+        return static_cast<const VarRefExpr &>(*expr).name;
+      case ExprKind::PropRead: {
+        const auto &node = static_cast<const PropReadExpr &>(*expr);
+        return node.prop + "[" + exprToCpp(node.index) + "]";
+      }
+      case ExprKind::Binary: {
+        const auto &node = static_cast<const BinaryExpr &>(*expr);
+        std::string op = binaryOpName(node.op);
+        if (op == "and")
+            op = "&&";
+        else if (op == "or")
+            op = "||";
+        return "(" + exprToCpp(node.lhs) + " " + op + " " +
+               exprToCpp(node.rhs) + ")";
+      }
+      case ExprKind::Unary: {
+        const auto &node = static_cast<const UnaryExpr &>(*expr);
+        return (node.op == UnaryOp::Neg ? "-" : "!") +
+               exprToCpp(node.operand);
+      }
+      case ExprKind::VertexSetSize:
+        return static_cast<const VertexSetSizeExpr &>(*expr).set +
+               ".size()";
+      case ExprKind::CompareAndSwap: {
+        const auto &node = static_cast<const CompareAndSwapExpr &>(*expr);
+        const bool atomic = node.getMetadataOr("is_atomic", false);
+        if (atomic) {
+            return "compare_and_swap(&" + node.prop + "[" +
+                   exprToCpp(node.index) + "], " +
+                   exprToCpp(node.oldValue) + ", " +
+                   exprToCpp(node.newValue) + ")";
+        }
+        return "check_and_set(&" + node.prop + "[" +
+               exprToCpp(node.index) + "], " + exprToCpp(node.oldValue) +
+               ", " + exprToCpp(node.newValue) + ")";
+      }
+      case ExprKind::Call: {
+        const auto &node = static_cast<const CallExpr &>(*expr);
+        std::string out = node.callee + "(";
+        for (size_t i = 0; i < node.args.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += exprToCpp(node.args[i]);
+        }
+        return out + ")";
+      }
+    }
+    return "/*?*/";
+}
+
+std::string
+stmtToCpp(const StmtPtr &stmt, int indent)
+{
+    std::ostringstream out;
+    switch (stmt->kind) {
+      case StmtKind::VarDecl: {
+        const auto &node = static_cast<const VarDeclStmt &>(*stmt);
+        if (node.type.kind == TypeDesc::Kind::Scalar) {
+            out << pad(indent) << scalarType(node.type.elem) << " "
+                << node.name;
+            if (node.init)
+                out << " = " << exprToCpp(node.init);
+            out << ";\n";
+        } else {
+            out << pad(indent) << "/* runtime object */ auto " << node.name
+                << " = runtime::make(";
+            if (node.init)
+                out << exprToCpp(node.init);
+            out << ");\n";
+        }
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto &node = static_cast<const AssignStmt &>(*stmt);
+        out << pad(indent) << node.name << " = " << exprToCpp(node.value)
+            << ";\n";
+        break;
+      }
+      case StmtKind::PropWrite: {
+        const auto &node = static_cast<const PropWriteStmt &>(*stmt);
+        out << pad(indent) << node.prop << "[" << exprToCpp(node.index)
+            << "] = " << exprToCpp(node.value) << ";\n";
+        break;
+      }
+      case StmtKind::Reduction: {
+        const auto &node = static_cast<const ReductionStmt &>(*stmt);
+        const bool atomic = node.getMetadataOr("is_atomic", false);
+        const char *fn = node.op == ReductionType::Sum
+                             ? "fetch_add"
+                             : node.op == ReductionType::Min ? "atomic_min"
+                                                             : "atomic_max";
+        out << pad(indent);
+        if (!node.resultVar.empty())
+            out << "bool " << node.resultVar << " = ";
+        if (atomic) {
+            out << fn << "(&" << node.prop << "[" << exprToCpp(node.index)
+                << "], " << exprToCpp(node.value) << ");\n";
+        } else {
+            out << "plain_" << fn << "(&" << node.prop << "["
+                << exprToCpp(node.index) << "], " << exprToCpp(node.value)
+                << ");\n";
+        }
+        break;
+      }
+      case StmtKind::If: {
+        const auto &node = static_cast<const IfStmt &>(*stmt);
+        out << pad(indent) << "if (" << exprToCpp(node.cond) << ") {\n";
+        bodyToCpp(out, node.thenBody, indent + 1);
+        if (!node.elseBody.empty()) {
+            out << pad(indent) << "} else {\n";
+            bodyToCpp(out, node.elseBody, indent + 1);
+        }
+        out << pad(indent) << "}\n";
+        break;
+      }
+      case StmtKind::While: {
+        const auto &node = static_cast<const WhileStmt &>(*stmt);
+        out << pad(indent) << "while (" << exprToCpp(node.cond) << ") {\n";
+        bodyToCpp(out, node.body, indent + 1);
+        out << pad(indent) << "}\n";
+        break;
+      }
+      case StmtKind::ForRange: {
+        const auto &node = static_cast<const ForRangeStmt &>(*stmt);
+        out << pad(indent) << "for (int64_t " << node.var << " = "
+            << exprToCpp(node.lo) << "; " << node.var << " < "
+            << exprToCpp(node.hi) << "; ++" << node.var << ") {\n";
+        bodyToCpp(out, node.body, indent + 1);
+        out << pad(indent) << "}\n";
+        break;
+      }
+      case StmtKind::ExprStmt:
+        out << pad(indent)
+            << exprToCpp(static_cast<const ExprStmt &>(*stmt).expr)
+            << ";\n";
+        break;
+      case StmtKind::EnqueueVertex: {
+        const auto &node = static_cast<const EnqueueVertexStmt &>(*stmt);
+        out << pad(indent) << node.output << ".enqueue("
+            << exprToCpp(node.vertex) << ");\n";
+        break;
+      }
+      case StmtKind::UpdatePriority: {
+        const auto &node = static_cast<const UpdatePriorityStmt &>(*stmt);
+        out << pad(indent) << node.queue << ".update_priority_min("
+            << exprToCpp(node.vertex) << ", " << exprToCpp(node.value)
+            << ");\n";
+        break;
+      }
+      case StmtKind::ListAppend: {
+        const auto &node = static_cast<const ListAppendStmt &>(*stmt);
+        out << pad(indent) << node.list << ".append(" << node.set
+            << ");\n";
+        break;
+      }
+      case StmtKind::ListRetrieve: {
+        const auto &node = static_cast<const ListRetrieveStmt &>(*stmt);
+        out << pad(indent) << "VertexSubset " << node.set << " = "
+            << node.list << ".retrieve();\n";
+        break;
+      }
+      case StmtKind::VertexSetDedup:
+        out << pad(indent)
+            << static_cast<const VertexSetDedupStmt &>(*stmt).set
+            << ".dedup();\n";
+        break;
+      case StmtKind::Delete:
+        out << pad(indent) << "deleteObject("
+            << static_cast<const DeleteStmt &>(*stmt).name << ");\n";
+        break;
+      case StmtKind::Return: {
+        const auto &node = static_cast<const ReturnStmt &>(*stmt);
+        out << pad(indent) << "return";
+        if (node.value)
+            out << " " << exprToCpp(node.value);
+        out << ";\n";
+        break;
+      }
+      case StmtKind::Break:
+        out << pad(indent) << "break;\n";
+        break;
+      case StmtKind::EdgeSetIterator: {
+        const auto &node = static_cast<const EdgeSetIteratorStmt &>(*stmt);
+        out << pad(indent) << "/* EdgeSetIterator */ edgeset_apply_"
+            << directionName(
+                   node.getMetadataOr("direction", Direction::Push))
+            << "(" << node.graph << ", "
+            << (node.inputSet.empty() ? "all_vertices" : node.inputSet)
+            << ", "
+            << node.getMetadataOr<std::string>("apply_variant",
+                                               node.applyFunc)
+            << ");\n";
+        break;
+      }
+      case StmtKind::VertexSetIterator: {
+        const auto &node =
+            static_cast<const VertexSetIteratorStmt &>(*stmt);
+        out << pad(indent) << "vertexset_apply("
+            << (node.inputSet.empty() ? "all_vertices" : node.inputSet)
+            << ", "
+            << (node.applyFunc.empty() ? node.filterFunc : node.applyFunc)
+            << ");\n";
+        break;
+      }
+    }
+    return out.str();
+}
+
+std::string
+udfToCpp(const Function &func, const std::string &qualifiers)
+{
+    std::ostringstream out;
+    out << qualifiers << (qualifiers.empty() ? "" : " ");
+    out << (func.hasResult() ? scalarType(func.resultType.elem)
+                             : std::string("void"));
+    out << "\n" << func.name << "(";
+    for (size_t i = 0; i < func.params.size(); ++i) {
+        if (i)
+            out << ", ";
+        out << scalarType(func.params[i].type.elem) << " "
+            << func.params[i].name;
+    }
+    out << ")\n{\n";
+    if (func.hasResult()) {
+        out << "    " << scalarType(func.resultType.elem) << " "
+            << func.resultName << " = 0;\n";
+    }
+    for (const StmtPtr &stmt : func.body)
+        out << stmtToCpp(stmt, 1);
+    if (func.hasResult())
+        out << "    return " << func.resultName << ";\n";
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace ugc::codegen

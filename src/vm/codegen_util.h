@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared code-generation helpers ("common routines to aid code
+ * generation", §III-C): render GraphIR expressions/statements as C++
+ * source text. Each GraphVM's code generator builds on these to emit its
+ * target dialect (host C++, CUDA, T4 task code, manycore kernels).
+ */
+#ifndef UGC_VM_CODEGEN_UTIL_H
+#define UGC_VM_CODEGEN_UTIL_H
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace ugc::codegen {
+
+/** Render an expression as C++ source. */
+std::string exprToCpp(const ExprPtr &expr);
+
+/** Render a statement (tree) as C++ source at @p indent levels. */
+std::string stmtToCpp(const StmtPtr &stmt, int indent);
+
+/** Render a UDF as a C++ function with the given qualifier prefix
+ *  (e.g. "__device__ inline" for CUDA). */
+std::string udfToCpp(const Function &func, const std::string &qualifiers);
+
+/** C++ type spelling of a GraphIR scalar type. */
+std::string scalarType(ElemType type);
+
+} // namespace ugc::codegen
+
+#endif // UGC_VM_CODEGEN_UTIL_H

@@ -1,0 +1,126 @@
+#include "vm/cpu/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/cpu_schedule.h"
+
+namespace ugc {
+
+Cycles
+CpuModel::onTraversal(const TraversalInfo &info)
+{
+    const auto cpu =
+        scheduleAs<SimpleCPUSchedule>(info.schedule);
+
+    // --- instruction work -------------------------------------------------
+    const double traversal_instr =
+        2.0 * static_cast<double>(info.edgesTraversed) +
+        4.0 * static_cast<double>(info.frontierSize);
+    const double instructions =
+        static_cast<double>(info.udf.instructions) + traversal_instr;
+    double compute = instructions * _params.cyclesPerInstruction;
+
+    // --- random property traffic through the cache model -------------------
+    const double random_accesses =
+        static_cast<double>(info.udf.propReads + info.udf.propWrites);
+    Addr working_set = static_cast<Addr>(info.propsTouched) *
+                       static_cast<Addr>(_graph->numVertices()) * 8;
+    double blocking_overhead = 0;
+    if (cpu && cpu->edgeBlocking() &&
+        info.kind == TraversalInfo::Kind::EdgeTraversal) {
+        // EdgeBlocking tiles destinations so the touched slice fits the
+        // LLC; each block adds a pass over the frontier/offset structures.
+        const Addr blocked = static_cast<Addr>(info.propsTouched) *
+                             static_cast<Addr>(cpu->blockVertices()) * 8;
+        if (blocked < working_set) {
+            const double num_blocks = std::ceil(
+                static_cast<double>(working_set) /
+                static_cast<double>(std::max<Addr>(blocked, 1)));
+            blocking_overhead =
+                num_blocks * 2000.0 +
+                0.12 * static_cast<double>(info.edgesTraversed);
+            working_set = blocked;
+        }
+    }
+    double miss_rate =
+        working_set <= _params.llcBytes
+            ? 0.02
+            : 1.0 - static_cast<double>(_params.llcBytes) /
+                        static_cast<double>(working_set);
+    miss_rate = std::clamp(miss_rate, 0.02, 1.0);
+
+    double misses = random_accesses * miss_rate;
+    // Array-of-structs layout: every property of a vertex shares one
+    // cache line, so the per-vertex miss is paid once, not per property.
+    if (cpu && cpu->layout() == VertexDataLayout::ArrayOfStructs &&
+        info.propsTouched > 1)
+        misses /= info.propsTouched;
+    const double hits = random_accesses - misses;
+    // Misses overlap across SMT contexts and MLP.
+    const double mlp = _params.memoryParallelism;
+    const double random_cycles =
+        misses * static_cast<double>(_params.dramLatency) / mlp +
+        hits * static_cast<double>(_params.llcHitLatency) / 4.0;
+
+    // --- streaming traffic (CSR scan) is bandwidth bound --------------------
+    const double seq_bytes =
+        static_cast<double>(info.edgesTraversed) *
+            (4.0 + (info.weighted ? 4.0 : 0.0)) +
+        static_cast<double>(info.frontierSize) * 12.0;
+    const double stream_cycles = seq_bytes / _params.dramBytesPerCycle;
+
+    // --- parallel execution with load balance --------------------------------
+    // Vertex-based parallelization cannot split one vertex's edge list;
+    // edge-aware/edge-based chunking (and pull's destination sweep) can.
+    double work_items = static_cast<double>(info.frontierSize);
+    if (info.kind == TraversalInfo::Kind::EdgeTraversal) {
+        if (info.direction == Direction::Pull)
+            work_items = static_cast<double>(_graph->numVertices());
+        else if (cpu && cpu->getParallelization() !=
+                            Parallelization::VertexBased)
+            work_items = std::max(
+                work_items, static_cast<double>(info.edgesTraversed));
+    }
+    const double parallelism =
+        std::min<double>(_params.threads, std::max(work_items, 1.0));
+    const double per_edge =
+        info.edgesTraversed > 0
+            ? (compute + random_cycles) /
+                  static_cast<double>(info.edgesTraversed)
+            : 0.0;
+    double balanced = (compute + random_cycles) / parallelism;
+    if (info.kind == TraversalInfo::Kind::EdgeTraversal && cpu &&
+        cpu->getParallelization() == Parallelization::VertexBased &&
+        info.direction == Direction::Push) {
+        // Vertex-based: the slowest thread serializes its heavy vertices
+        // on top of its share of the balanced work.
+        const double straggler =
+            static_cast<double>(info.frontierDegreeMax) * per_edge;
+        _counters.add("cpu.imbalance_cycles", straggler);
+        balanced += straggler;
+    }
+
+    double total = balanced + stream_cycles + blocking_overhead;
+
+    // NUMA-aware pull over all vertices avoids cross-socket traffic.
+    if (cpu && cpu->numa() && info.direction == Direction::Pull &&
+        info.isAllVertices)
+        total *= 0.82;
+
+    _counters.add("cpu.instructions", instructions);
+    _counters.add("cpu.llc_misses", misses);
+    _counters.add("cpu.random_accesses", random_accesses);
+    _counters.add("cpu.edges", static_cast<double>(info.edgesTraversed));
+    _counters.add("cpu.traversals");
+    return static_cast<Cycles>(total);
+}
+
+Cycles
+CpuModel::onLoopIteration(const Stmt &)
+{
+    _counters.add("cpu.rounds");
+    return _params.forkJoinOverhead;
+}
+
+} // namespace ugc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Multicore CPU machine model (§II-B1, §IV-A).
+ *
+ * Models the dual-socket Xeon E5-2695 v3 of the paper's evaluation:
+ * 24 cores / 48 threads, 60 MB aggregate LLC, DDR3 memory. The model is
+ * analytical: cycles are derived from the actual work the lowered program
+ * performed (edges scanned, property traffic, load distribution) through a
+ * cache-residency and load-balance model.
+ */
+#ifndef UGC_VM_CPU_CPU_MODEL_H
+#define UGC_VM_CPU_CPU_MODEL_H
+
+#include "vm/machine_model.h"
+
+namespace ugc {
+
+/** Table-I-style configuration of the modeled CPU. */
+struct CpuParams
+{
+    unsigned cores = 24;
+    unsigned threads = 48;          ///< SMT contexts
+    Cycles llcHitLatency = 40;
+    Cycles dramLatency = 220;
+    Addr llcBytes = 60ull << 20;    ///< 2 × 30 MB
+    double dramBytesPerCycle = 28;  ///< ~64 GB/s at 2.3 GHz
+    double cyclesPerInstruction = 0.4; ///< wide OoO core
+    Cycles forkJoinOverhead = 6000; ///< per parallel round
+    unsigned memoryParallelism = 10; ///< outstanding misses per core
+};
+
+class CpuModel : public MachineModel
+{
+  public:
+    explicit CpuModel(CpuParams params = {}) : _params(params) {}
+
+    void
+    reset(const Graph &graph) override
+    {
+        _graph = &graph;
+        _counters = {};
+    }
+
+    Cycles onTraversal(const TraversalInfo &info) override;
+    Cycles onLoopIteration(const Stmt &loop) override;
+    CounterSet counters() const override { return _counters; }
+
+    const CpuParams &params() const { return _params; }
+
+  private:
+    CpuParams _params;
+    const Graph *_graph = nullptr;
+    CounterSet _counters;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_CPU_CPU_MODEL_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multicore CPU GraphVM (§III-C1): the original GraphIt optimization space
+ * — hybrid traversal, edge-aware parallelism, edge blocking, bucket fusion
+ * — executing natively (optionally with real host threads) against the
+ * analytical multicore model.
+ */
+#ifndef UGC_VM_CPU_CPU_VM_H
+#define UGC_VM_CPU_CPU_VM_H
+
+#include "sched/cpu_schedule.h"
+#include "vm/cpu/cpu_model.h"
+#include "vm/graphvm.h"
+
+namespace ugc {
+
+class CpuVM : public GraphVM
+{
+  public:
+    explicit CpuVM(CpuParams params = {}) : _params(params) {}
+
+    std::string name() const override { return "cpu"; }
+
+    /** Baseline: push, vertex-based parallelism (§IV-B). */
+    SchedulePtr
+    defaultSchedule() const override
+    {
+        auto sched = std::make_shared<SimpleCPUSchedule>();
+        sched->configDirection(Direction::Push)
+            .configParallelization(Parallelization::VertexBased);
+        return sched;
+    }
+
+    /** Execute with real host threads (results stay valid; the timing
+     *  model is unaffected). 1 = serial deterministic execution. */
+    void setNumThreads(unsigned n) { _numThreads = n; }
+
+    RunResult
+    execute(Program &lowered, const RunInputs &inputs) override
+    {
+        CpuModel model(_params);
+        ExecEngine engine(lowered, inputs, model, _numThreads);
+        return engine.run();
+    }
+
+  protected:
+    std::string emitLoweredCode(const Program &lowered) override;
+
+  private:
+    CpuParams _params;
+    unsigned _numThreads = 1;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_CPU_CPU_VM_H

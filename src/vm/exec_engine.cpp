@@ -1,0 +1,1182 @@
+#include "vm/exec_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "ir/walk.h"
+#include "sched/swarm_schedule.h"
+#include "support/bitset.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+
+namespace ugc {
+
+namespace {
+
+/** Scalar value with a float/int tag (main-level expression evaluation). */
+struct Scalar
+{
+    int64_t i = 0;
+    double f = 0.0;
+    bool isFloat = false;
+
+    int64_t
+    asInt() const
+    {
+        return isFloat ? static_cast<int64_t>(f) : i;
+    }
+    double
+    asDouble() const
+    {
+        return isFloat ? f : static_cast<double>(i);
+    }
+    bool truthy() const { return isFloat ? f != 0.0 : i != 0; }
+
+    static Scalar ofInt(int64_t v) { return {v, 0.0, false}; }
+    static Scalar ofFloat(double v) { return {0, v, true}; }
+};
+
+/** Distinct property arrays referenced by a compiled UDF. */
+int
+propsTouchedBy(const Chunk &chunk)
+{
+    std::set<int> slots;
+    for (const Insn &insn : chunk.code) {
+        switch (insn.op) {
+          case Op::LoadProp:
+          case Op::CasProp:
+          case Op::ReduceProp:
+            slots.insert(insn.b);
+            break;
+          case Op::StoreProp:
+            slots.insert(insn.a);
+            break;
+          default:
+            break;
+        }
+    }
+    return static_cast<int>(slots.size());
+}
+
+/** Captures per-invocation property accesses for task-stream models. */
+class TaskAccessRecorder : public AccessRecorder
+{
+  public:
+    void
+    record(Addr addr, bool is_write) override
+    {
+        accesses.push_back({addr, is_write});
+    }
+
+    std::vector<std::pair<Addr, bool>> accesses;
+};
+
+} // namespace
+
+struct ExecEngine::Impl
+{
+    Impl(Program &program, const RunInputs &inputs, MachineModel &model,
+         unsigned num_threads)
+        : program(program), inputs(inputs), model(model),
+          numThreads(num_threads)
+    {
+        if (!inputs.graph)
+            throw std::invalid_argument("RunInputs.graph is null");
+        graph = inputs.graph;
+        taskStream = model.wantsTaskStream();
+        if (taskStream)
+            numThreads = 1;
+    }
+
+    // --- environment ------------------------------------------------------
+    Program &program;
+    const RunInputs &inputs;
+    MachineModel &model;
+    unsigned numThreads;
+    const Graph *graph = nullptr;
+    bool taskStream = false;
+
+    AddrSpace space;
+    SymbolTables symbols;
+    std::map<std::string, std::unique_ptr<VertexData>> props;
+    std::vector<VertexData *> propsBySlot;
+    std::vector<Reg> globals;
+    std::map<std::string, std::unique_ptr<VertexSet>> sets;
+    std::map<std::string, std::unique_ptr<PrioQueue>> queues;
+    std::map<std::string, std::unique_ptr<FrontierList>> lists;
+    std::map<std::string, bool> transposedEdgeSets;
+    std::map<std::string, Scalar> locals;
+    std::map<std::string, Chunk> chunks;
+
+    Cycles cycles = 0;
+    int64_t round = 0;
+    std::vector<IterationTrace> trace;
+    bool returned = false;
+
+    // --- setup ------------------------------------------------------------
+    void
+    setup()
+    {
+        symbols = SymbolTables::fromProgram(program);
+        propsBySlot.resize(symbols.propSlots.size());
+        globals.resize(symbols.globalSlots.size());
+
+        for (const auto &decl : program.globals) {
+            switch (decl->type.kind) {
+              case TypeDesc::Kind::VertexData: {
+                auto data = std::make_unique<VertexData>(
+                    decl->name, decl->type.elem, graph->numVertices(),
+                    space);
+                if (decl->init) {
+                    const Scalar init = evalScalar(decl->init);
+                    if (data->isFloat())
+                        data->fillFloat(init.asDouble());
+                    else
+                        data->fillInt(init.asInt());
+                } else if (decl->hasMetadata("out_degrees_of")) {
+                    for (VertexId v = 0; v < graph->numVertices(); ++v)
+                        data->setInt(v, graph->outDegree(v));
+                }
+                propsBySlot[symbols.propSlots.at(decl->name)] = data.get();
+                props[decl->name] = std::move(data);
+                break;
+              }
+              case TypeDesc::Kind::Scalar: {
+                const int slot = symbols.globalSlots.at(decl->name);
+                Scalar value;
+                if (decl->getMetadataOr("extern", false)) {
+                    const int index =
+                        decl->getMetadataOr("argv_index", -1);
+                    if (index >= 0 &&
+                        static_cast<size_t>(index) < inputs.args.size()) {
+                        value = Scalar::ofInt(inputs.args[index]);
+                    } else if (decl->name == "num_vertices") {
+                        value = Scalar::ofInt(graph->numVertices());
+                    } else if (decl->name == "num_edges") {
+                        value = Scalar::ofInt(graph->numEdges());
+                    }
+                } else if (decl->init) {
+                    value = evalScalar(decl->init);
+                }
+                if (decl->type.elem == ElemType::Float64)
+                    globals[slot] = regOfFloat(value.asDouble());
+                else
+                    globals[slot] = regOfInt(value.asInt());
+                break;
+              }
+              case TypeDesc::Kind::EdgeSet:
+                transposedEdgeSets[decl->name] =
+                    decl->hasMetadata("transpose_of");
+                break;
+              case TypeDesc::Kind::VertexSet:
+                // Program-level vertex sets are `edges.getVertices()`:
+                // the full set, materialized lazily at use.
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    const Chunk &
+    chunkFor(const std::string &name)
+    {
+        auto it = chunks.find(name);
+        if (it != chunks.end())
+            return it->second;
+        FunctionPtr func = program.findFunction(name);
+        if (!func)
+            throw std::runtime_error("engine: missing function " + name);
+        return chunks.emplace(name, compileUdf(*func, symbols))
+            .first->second;
+    }
+
+    bool
+    globalIsFloat(const std::string &name) const
+    {
+        auto it = symbols.globalTypes.find(name);
+        return it != symbols.globalTypes.end() &&
+               it->second == ElemType::Float64;
+    }
+
+    // --- scalar expression evaluation --------------------------------------
+    Scalar
+    evalScalar(const ExprPtr &expr)
+    {
+        switch (expr->kind) {
+          case ExprKind::IntConst:
+            return Scalar::ofInt(
+                static_cast<const IntConstExpr &>(*expr).value);
+          case ExprKind::FloatConst:
+            return Scalar::ofFloat(
+                static_cast<const FloatConstExpr &>(*expr).value);
+          case ExprKind::VarRef: {
+            const auto &name = static_cast<const VarRefExpr &>(*expr).name;
+            auto local = locals.find(name);
+            if (local != locals.end())
+                return local->second;
+            auto slot = symbols.globalSlots.find(name);
+            if (slot != symbols.globalSlots.end()) {
+                if (globalIsFloat(name))
+                    return Scalar::ofFloat(globals[slot->second].f);
+                return Scalar::ofInt(globals[slot->second].i);
+            }
+            throw std::runtime_error("engine: unknown scalar " + name);
+          }
+          case ExprKind::PropRead: {
+            const auto &node = static_cast<const PropReadExpr &>(*expr);
+            VertexData *prop = props.at(node.prop).get();
+            const auto v =
+                static_cast<VertexId>(evalScalar(node.index).asInt());
+            if (prop->isFloat())
+                return Scalar::ofFloat(prop->getFloat(v));
+            return Scalar::ofInt(prop->getInt(v));
+          }
+          case ExprKind::VertexSetSize: {
+            const auto &name =
+                static_cast<const VertexSetSizeExpr &>(*expr).set;
+            return Scalar::ofInt(setByName(name)->size());
+          }
+          case ExprKind::Binary:
+            return evalBinary(static_cast<const BinaryExpr &>(*expr));
+          case ExprKind::Unary: {
+            const auto &node = static_cast<const UnaryExpr &>(*expr);
+            const Scalar operand = evalScalar(node.operand);
+            if (node.op == UnaryOp::Not)
+                return Scalar::ofInt(!operand.truthy());
+            if (operand.isFloat)
+                return Scalar::ofFloat(-operand.f);
+            return Scalar::ofInt(-operand.i);
+          }
+          case ExprKind::Call:
+            return evalCall(static_cast<const CallExpr &>(*expr));
+          case ExprKind::CompareAndSwap:
+            throw std::runtime_error(
+                "engine: CompareAndSwap outside a UDF");
+        }
+        throw std::runtime_error("engine: unhandled expression");
+    }
+
+    Scalar
+    evalBinary(const BinaryExpr &node)
+    {
+        const Scalar lhs = evalScalar(node.lhs);
+        const Scalar rhs = evalScalar(node.rhs);
+        const bool float_op = lhs.isFloat || rhs.isFloat;
+        auto arith = [&](auto op) {
+            if (float_op)
+                return Scalar::ofFloat(op(lhs.asDouble(), rhs.asDouble()));
+            return Scalar::ofInt(op(lhs.i, rhs.i));
+        };
+        auto compare = [&](auto op) {
+            if (float_op)
+                return Scalar::ofInt(op(lhs.asDouble(), rhs.asDouble()));
+            return Scalar::ofInt(op(lhs.i, rhs.i));
+        };
+        switch (node.op) {
+          case BinaryOp::Add: return arith([](auto a, auto b) { return a + b; });
+          case BinaryOp::Sub: return arith([](auto a, auto b) { return a - b; });
+          case BinaryOp::Mul: return arith([](auto a, auto b) { return a * b; });
+          case BinaryOp::Div:
+            if (float_op)
+                return Scalar::ofFloat(lhs.asDouble() / rhs.asDouble());
+            if (rhs.i == 0)
+                throw std::runtime_error("engine: division by zero");
+            return Scalar::ofInt(lhs.i / rhs.i);
+          case BinaryOp::Mod:
+            if (rhs.asInt() == 0)
+                throw std::runtime_error("engine: modulo by zero");
+            return Scalar::ofInt(lhs.asInt() % rhs.asInt());
+          case BinaryOp::Lt: return compare([](auto a, auto b) { return a < b; });
+          case BinaryOp::Le: return compare([](auto a, auto b) { return a <= b; });
+          case BinaryOp::Gt: return compare([](auto a, auto b) { return a > b; });
+          case BinaryOp::Ge: return compare([](auto a, auto b) { return a >= b; });
+          case BinaryOp::Eq: return compare([](auto a, auto b) { return a == b; });
+          case BinaryOp::Ne: return compare([](auto a, auto b) { return a != b; });
+          case BinaryOp::And:
+            return Scalar::ofInt(lhs.truthy() && rhs.truthy());
+          case BinaryOp::Or:
+            return Scalar::ofInt(lhs.truthy() || rhs.truthy());
+        }
+        throw std::runtime_error("engine: unhandled binary op");
+    }
+
+    Scalar
+    evalCall(const CallExpr &call)
+    {
+        if (call.callee == "__pq_finished") {
+            PrioQueue *queue = queueOf(call.args[0]);
+            return Scalar::ofInt(queue->finished());
+        }
+        if (call.callee == "__hybrid_cond") {
+            const auto &name =
+                static_cast<const VarRefExpr &>(*call.args[0]).name;
+            const double threshold = evalScalar(call.args[1]).asDouble();
+            const auto criteria = static_cast<HybridCriteria>(
+                evalScalar(call.args[2]).asInt());
+            const VertexSet *frontier = setByName(name);
+            if (criteria == HybridCriteria::InputSetSize) {
+                return Scalar::ofInt(
+                    frontier->size() <
+                    threshold * graph->numVertices());
+            }
+            EdgeId degree_sum = 0;
+            frontier->forEach(
+                [&](VertexId v) { degree_sum += graph->outDegree(v); });
+            return Scalar::ofInt(degree_sum <
+                                 threshold * graph->numEdges());
+        }
+        throw std::runtime_error("engine: unknown intrinsic " +
+                                 call.callee);
+    }
+
+    PrioQueue *
+    queueOf(const ExprPtr &expr)
+    {
+        const auto &name = static_cast<const VarRefExpr &>(*expr).name;
+        auto it = queues.find(name);
+        if (it == queues.end())
+            throw std::runtime_error("engine: unknown queue " + name);
+        return it->second.get();
+    }
+
+    /** Resolve a vertex set; program-level "all vertices" sets and unknown
+     *  names used as full sets materialize lazily. */
+    VertexSet *
+    setByName(const std::string &name)
+    {
+        auto it = sets.find(name);
+        if (it != sets.end() && it->second)
+            return it->second.get();
+        // Program-level vertexset globals are edges.getVertices().
+        const VarDeclStmt *global = program.findGlobal(name);
+        if (global && global->type.kind == TypeDesc::Kind::VertexSet) {
+            auto all = std::make_unique<VertexSet>(
+                VertexSet::allOf(graph->numVertices()));
+            VertexSet *raw = all.get();
+            sets[name] = std::move(all);
+            return raw;
+        }
+        throw std::runtime_error("engine: unknown vertex set " + name);
+    }
+
+    // --- statement execution ----------------------------------------------
+    void
+    execBody(const std::vector<StmtPtr> &body)
+    {
+        for (const StmtPtr &stmt : body) {
+            if (returned)
+                return;
+            execStmt(stmt);
+        }
+    }
+
+    void
+    execStmt(const StmtPtr &stmt)
+    {
+        switch (stmt->kind) {
+          case StmtKind::VarDecl:
+            execVarDecl(static_cast<const VarDeclStmt &>(*stmt));
+            break;
+          case StmtKind::Assign:
+            execAssign(static_cast<const AssignStmt &>(*stmt));
+            break;
+          case StmtKind::PropWrite: {
+            const auto &node = static_cast<const PropWriteStmt &>(*stmt);
+            VertexData *prop = props.at(node.prop).get();
+            const auto v =
+                static_cast<VertexId>(evalScalar(node.index).asInt());
+            const Scalar value = evalScalar(node.value);
+            if (prop->isFloat())
+                prop->setFloat(v, value.asDouble());
+            else
+                prop->setInt(v, value.asInt());
+            break;
+          }
+          case StmtKind::If: {
+            const auto &node = static_cast<const IfStmt &>(*stmt);
+            if (evalScalar(node.cond).truthy())
+                execBody(node.thenBody);
+            else
+                execBody(node.elseBody);
+            break;
+          }
+          case StmtKind::While: {
+            const auto &node = static_cast<const WhileStmt &>(*stmt);
+            // Bucket fusion (CPU GraphVM, ordered algorithms): rounds that
+            // stay in the same priority bucket skip the global sync.
+            std::string fused_queue;
+            walkStmts(node.body,
+                      [&](const StmtPtr &inner, const std::string &) {
+                          if (inner->kind != StmtKind::EdgeSetIterator)
+                              return;
+                          const auto &iter =
+                              static_cast<const EdgeSetIteratorStmt &>(
+                                  *inner);
+                          if (iter.getMetadataOr("bucket_fusion", false))
+                              fused_queue = iter.queue;
+                      });
+            int64_t last_bucket = std::numeric_limits<int64_t>::min();
+            while (!returned && evalScalar(node.cond).truthy()) {
+                bool fused_round = false;
+                if (!fused_queue.empty() && queues.count(fused_queue)) {
+                    const int64_t bucket =
+                        queues.at(fused_queue)->currentBucket();
+                    fused_round = bucket == last_bucket;
+                    last_bucket = bucket;
+                }
+                if (!fused_round)
+                    cycles += model.onLoopIteration(node);
+                ++round;
+                execBody(node.body);
+            }
+            break;
+          }
+          case StmtKind::ForRange: {
+            const auto &node = static_cast<const ForRangeStmt &>(*stmt);
+            const int64_t lo = evalScalar(node.lo).asInt();
+            const int64_t hi = evalScalar(node.hi).asInt();
+            for (int64_t i = lo; i < hi && !returned; ++i) {
+                locals[node.var] = Scalar::ofInt(i);
+                cycles += model.onLoopIteration(node);
+                ++round;
+                execBody(node.body);
+            }
+            break;
+          }
+          case StmtKind::ExprStmt:
+            evalScalar(static_cast<const ExprStmt &>(*stmt).expr);
+            break;
+          case StmtKind::EdgeSetIterator:
+            execEdgeTraversal(
+                static_cast<const EdgeSetIteratorStmt &>(*stmt));
+            break;
+          case StmtKind::VertexSetIterator:
+            execVertexOps(
+                static_cast<const VertexSetIteratorStmt &>(*stmt));
+            break;
+          case StmtKind::EnqueueVertex: {
+            const auto &node = static_cast<const EnqueueVertexStmt &>(*stmt);
+            const auto v =
+                static_cast<VertexId>(evalScalar(node.vertex).asInt());
+            setByName(node.output)->add(v);
+            break;
+          }
+          case StmtKind::UpdatePriority: {
+            const auto &node =
+                static_cast<const UpdatePriorityStmt &>(*stmt);
+            PrioQueue *queue = queues.at(node.queue).get();
+            queue->updatePriorityMin(
+                static_cast<VertexId>(evalScalar(node.vertex).asInt()),
+                evalScalar(node.value).asInt());
+            break;
+          }
+          case StmtKind::ListAppend: {
+            const auto &node = static_cast<const ListAppendStmt &>(*stmt);
+            if (!lists.count(node.list))
+                lists[node.list] = std::make_unique<FrontierList>();
+            lists.at(node.list)->append(*setByName(node.set));
+            break;
+          }
+          case StmtKind::ListRetrieve: {
+            const auto &node = static_cast<const ListRetrieveStmt &>(*stmt);
+            sets[node.set] = std::make_unique<VertexSet>(
+                lists.at(node.list)->retrieve());
+            break;
+          }
+          case StmtKind::VertexSetDedup:
+            setByName(static_cast<const VertexSetDedupStmt &>(*stmt).set)
+                ->dedup();
+            break;
+          case StmtKind::Delete: {
+            const auto &node = static_cast<const DeleteStmt &>(*stmt);
+            sets.erase(node.name);
+            break;
+          }
+          case StmtKind::Return:
+            returned = true;
+            break;
+          default:
+            throw std::runtime_error("engine: unexpected statement kind");
+        }
+    }
+
+    void
+    execVarDecl(const VarDeclStmt &decl)
+    {
+        switch (decl.type.kind) {
+          case TypeDesc::Kind::Scalar: {
+            Scalar value;
+            if (decl.init)
+                value = evalScalar(decl.init);
+            if (decl.type.elem == ElemType::Float64 && !value.isFloat)
+                value = Scalar::ofFloat(value.asDouble());
+            locals[decl.name] = value;
+            break;
+          }
+          case TypeDesc::Kind::VertexSet: {
+            if (decl.init && decl.init->kind == ExprKind::Call) {
+                const auto &call = static_cast<const CallExpr &>(*decl.init);
+                if (call.callee == "__pq_dequeue") {
+                    sets[decl.name] = std::make_unique<VertexSet>(
+                        queueOf(call.args[0])->dequeueReadySet());
+                    return;
+                }
+            }
+            auto set = std::make_unique<VertexSet>(graph->numVertices());
+            if (decl.init) {
+                // GraphIt: `new vertexset{Vertex}(k)` holds vertices 0..k-1.
+                const auto k = static_cast<VertexId>(
+                    evalScalar(decl.init).asInt());
+                for (VertexId v = 0; v < std::min(k, graph->numVertices());
+                     ++v)
+                    set->add(v);
+            }
+            sets[decl.name] = std::move(set);
+            break;
+          }
+          case TypeDesc::Kind::PrioQueue:
+            execNewQueue(decl);
+            break;
+          case TypeDesc::Kind::FrontierList:
+            lists[decl.name] = std::make_unique<FrontierList>();
+            break;
+          default:
+            throw std::runtime_error("engine: cannot declare " + decl.name);
+        }
+    }
+
+    void
+    execNewQueue(const VarDeclStmt &decl)
+    {
+        if (!decl.init || decl.init->kind != ExprKind::Call)
+            throw std::runtime_error("engine: priority queue without init");
+        const auto &call = static_cast<const CallExpr &>(*decl.init);
+        const auto &prop_name =
+            static_cast<const VarRefExpr &>(*call.args[0]).name;
+        VertexData *priorities = props.at(prop_name).get();
+
+        // The schedule's delta (resolved by ordered lowering onto the
+        // traversal statement) overrides the program's default.
+        int64_t delta = evalScalar(call.args[1]).asInt();
+        walkStmts(program.mainFunction()->body,
+                  [&](const StmtPtr &stmt, const std::string &) {
+                      if (stmt->kind != StmtKind::EdgeSetIterator)
+                          return;
+                      const auto &node =
+                          static_cast<const EdgeSetIteratorStmt &>(*stmt);
+                      if (node.queue == decl.name &&
+                          node.hasMetadata("delta"))
+                          delta = node.getMetadata<int64_t>("delta");
+                  });
+        if (delta <= 0)
+            delta = 1;
+
+        auto queue = std::make_unique<PrioQueue>(priorities, delta);
+        const auto start =
+            static_cast<VertexId>(evalScalar(call.args[2]).asInt());
+        priorities->setInt(start, 0);
+        queue->enqueue(start);
+        queues[decl.name] = std::move(queue);
+    }
+
+    void
+    execAssign(const AssignStmt &node)
+    {
+        // Scalar targets first.
+        auto local = locals.find(node.name);
+        const bool is_global = symbols.globalSlots.count(node.name) != 0;
+        if (local != locals.end() || is_global) {
+            // Vertex-set moves also look like Assign; check the source.
+            if (node.value->kind == ExprKind::VarRef) {
+                const auto &src =
+                    static_cast<const VarRefExpr &>(*node.value).name;
+                if (sets.count(src)) {
+                    moveSet(node.name, src);
+                    return;
+                }
+            }
+            const Scalar value = evalScalar(node.value);
+            if (local != locals.end()) {
+                local->second = value;
+            } else {
+                const int slot = symbols.globalSlots.at(node.name);
+                if (globalIsFloat(node.name))
+                    globals[slot] = regOfFloat(value.asDouble());
+                else
+                    globals[slot] = regOfInt(value.asInt());
+            }
+            return;
+        }
+        // Set-to-set assignment (frontier = output) or dequeue.
+        if (node.value->kind == ExprKind::VarRef) {
+            moveSet(node.name,
+                    static_cast<const VarRefExpr &>(*node.value).name);
+            return;
+        }
+        if (node.value->kind == ExprKind::Call) {
+            const auto &call = static_cast<const CallExpr &>(*node.value);
+            if (call.callee == "__pq_dequeue") {
+                sets[node.name] = std::make_unique<VertexSet>(
+                    queueOf(call.args[0])->dequeueReadySet());
+                return;
+            }
+        }
+        // Fallback: new scalar local.
+        locals[node.name] = evalScalar(node.value);
+    }
+
+    void
+    moveSet(const std::string &dst, const std::string &src)
+    {
+        auto it = sets.find(src);
+        if (it == sets.end())
+            throw std::runtime_error("engine: unknown set " + src);
+        sets[dst] = std::move(it->second);
+        sets.erase(it);
+    }
+
+    // --- traversals ----------------------------------------------------------
+    std::shared_ptr<SimpleSchedule>
+    scheduleOf(const Stmt &stmt)
+    {
+        auto schedule =
+            stmt.getMetadataOr<SchedulePtr>("schedule", nullptr);
+        auto simple = std::dynamic_pointer_cast<SimpleSchedule>(schedule);
+        if (simple)
+            return simple;
+        return std::make_shared<SimpleSchedule>();
+    }
+
+    void
+    execEdgeTraversal(const EdgeSetIteratorStmt &stmt)
+    {
+        TraversalInfo info;
+        info.kind = TraversalInfo::Kind::EdgeTraversal;
+        info.stmt = &stmt;
+        info.schedule = scheduleOf(stmt);
+        info.direction = stmt.getMetadataOr("direction", Direction::Push);
+        info.weighted = stmt.getMetadataOr("needs_weight", false);
+
+        const bool transposed = transposedEdgeSets.count(stmt.graph)
+                                    ? transposedEdgeSets.at(stmt.graph)
+                                    : false;
+
+        // Input frontier.
+        VertexSet *input = nullptr;
+        info.isAllVertices = stmt.inputSet.empty();
+        if (!info.isAllVertices) {
+            input = setByName(stmt.inputSet);
+            info.frontierSize = input->size();
+            info.inputFormat = input->format();
+        } else {
+            info.frontierSize = graph->numVertices();
+        }
+
+        // Output frontier.
+        std::unique_ptr<VertexSet> output;
+        const bool wants_output = !stmt.outputSet.empty();
+        if (wants_output) {
+            output = std::make_unique<VertexSet>(graph->numVertices(),
+                                                 VertexSetFormat::Sparse);
+            info.producesOutput = true;
+        }
+        const bool dedup = stmt.getMetadataOr("apply_deduplication", false);
+
+        // UDF and filters.
+        const std::string variant = stmt.getMetadataOr<std::string>(
+            "apply_variant", stmt.applyFunc);
+        const Chunk &apply = chunkFor(variant);
+        info.propsTouched = propsTouchedBy(apply);
+        const Chunk *dst_filter = nullptr;
+        if (!stmt.dstFilter.empty() &&
+            !stmt.getMetadataOr("filter_fused", false))
+            dst_filter = &chunkFor(stmt.dstFilter);
+        const Chunk *src_filter = nullptr;
+        if (!stmt.srcFilter.empty())
+            src_filter = &chunkFor(stmt.srcFilter);
+
+        PrioQueue *queue =
+            stmt.queue.empty() ? nullptr : queues.at(stmt.queue).get();
+
+        if (info.direction == Direction::Push) {
+            runPush(stmt, info, input, output.get(), dedup, apply,
+                    dst_filter, src_filter, queue, transposed);
+        } else {
+            runPull(stmt, info, input, output.get(), dedup, apply,
+                    dst_filter, src_filter, queue, transposed);
+        }
+
+        if (wants_output) {
+            info.outputSize = output->size();
+            sets[stmt.outputSet] = std::move(output);
+        }
+
+        const Cycles charged = model.onTraversal(info);
+        cycles += charged;
+        trace.push_back({stmt.label, info.direction, info.frontierSize,
+                         info.edgesTraversed, charged});
+    }
+
+    /** Iterate the input frontier as a sorted vector of vertices. */
+    std::vector<VertexId>
+    frontierVertices(const VertexSet *input)
+    {
+        if (!input)
+            return {};
+        return input->toSorted();
+    }
+
+    void
+    runPush(const EdgeSetIteratorStmt &stmt, TraversalInfo &info,
+            VertexSet *input, VertexSet *output, bool dedup,
+            const Chunk &apply, const Chunk *dst_filter,
+            const Chunk *src_filter, PrioQueue *queue, bool transposed)
+    {
+        (void)stmt; // metadata is consumed via info.stmt
+        auto swarm_sched =
+            scheduleAs<SimpleSwarmSchedule>(info.schedule);
+        const bool fine_tasks =
+            taskStream && swarm_sched &&
+            swarm_sched->granularity() == TaskGranularity::FineGrained;
+        const bool hints = taskStream && swarm_sched &&
+                           swarm_sched->spatialHints();
+        const bool shuffle =
+            swarm_sched && swarm_sched->shuffleEdges();
+        const bool barrier_frontiers =
+            taskStream &&
+            (!swarm_sched ||
+             swarm_sched->frontiers() == SwarmFrontiers::Queues);
+
+        Bitset visited;
+        if (dedup && output)
+            visited.resize(static_cast<size_t>(graph->numVertices()));
+
+        std::vector<VertexId> frontier;
+        if (!info.isAllVertices)
+            frontier = frontierVertices(input);
+
+        auto degree = [&](VertexId v) {
+            return transposed ? graph->inDegree(v) : graph->outDegree(v);
+        };
+        auto neighbors = [&](VertexId v) {
+            return transposed ? graph->inNeighbors(v)
+                              : graph->outNeighbors(v);
+        };
+        auto weights = [&](VertexId v) {
+            return transposed ? graph->inWeights(v) : graph->outWeights(v);
+        };
+
+        const VertexId frontier_count =
+            info.isAllVertices ? graph->numVertices()
+                               : static_cast<VertexId>(frontier.size());
+
+        // Per-thread work: [lo, hi) over frontier indices.
+        const unsigned threads =
+            (numThreads > 1 && frontier_count > 256) ? numThreads : 1;
+        std::vector<std::vector<VertexId>> thread_outputs(threads);
+        std::vector<UdfStats> thread_stats(threads);
+        std::vector<EdgeId> thread_edges(threads, 0);
+        std::vector<EdgeId> thread_degsum(threads, 0);
+        std::vector<EdgeId> thread_maxdeg(threads, 0);
+
+        auto body = [&](unsigned tid, int64_t lo, int64_t hi) {
+            UdfRuntime runtime;
+            runtime.props = propsBySlot;
+            runtime.globals = &globals;
+            runtime.useAtomics = true;
+            TaskAccessRecorder recorder;
+            if (taskStream)
+                runtime.recorder = &recorder;
+            std::vector<VertexId> &out_buffer = thread_outputs[tid];
+            std::vector<VertexId> spawn_buffer;
+            runtime.enqueue = [&](VertexId x) {
+                if (taskStream)
+                    spawn_buffer.push_back(x);
+                if (!output)
+                    return;
+                if (!dedup || visited.setAtomic(static_cast<size_t>(x)))
+                    out_buffer.push_back(x);
+            };
+            runtime.updatePriorityMin = [&](VertexId x, int64_t priority) {
+                const bool changed =
+                    queue ? queue->updatePriorityMin(x, priority) : false;
+                if (changed && taskStream)
+                    spawn_buffer.push_back(x);
+                return changed;
+            };
+            UdfStats &stats = thread_stats[tid];
+
+            Rng shuffle_rng(0x5ca1ab1eULL);
+            std::vector<int> order;
+
+            for (int64_t i = lo; i < hi; ++i) {
+                const VertexId u = info.isAllVertices
+                                       ? static_cast<VertexId>(i)
+                                       : frontier[static_cast<size_t>(i)];
+                if (src_filter) {
+                    Reg arg = regOfInt(u);
+                    if (!runUdfBool(*src_filter, {&arg, 1}, runtime, stats))
+                        continue;
+                }
+                const EdgeId deg = degree(u);
+                thread_degsum[tid] += deg;
+                thread_maxdeg[tid] = std::max(thread_maxdeg[tid], deg);
+                const auto nbrs = neighbors(u);
+                const auto wts =
+                    info.weighted ? weights(u) : std::span<const Weight>{};
+
+                order.resize(nbrs.size());
+                for (size_t k = 0; k < nbrs.size(); ++k)
+                    order[k] = static_cast<int>(k);
+                if (shuffle && nbrs.size() > 2) {
+                    for (size_t k = nbrs.size() - 1; k > 0; --k) {
+                        std::swap(order[k],
+                                  order[shuffle_rng.nextBounded(k + 1)]);
+                    }
+                }
+
+                uint64_t coarse_instr = 0;
+                std::vector<std::pair<Addr, bool>> coarse_accesses;
+                std::vector<VertexId> coarse_spawns;
+
+                for (size_t oi = 0; oi < nbrs.size(); ++oi) {
+                    const size_t k = static_cast<size_t>(order[oi]);
+                    const VertexId v = nbrs[k];
+                    ++thread_edges[tid];
+                    if (dst_filter) {
+                        Reg arg = regOfInt(v);
+                        if (!runUdfBool(*dst_filter, {&arg, 1}, runtime,
+                                        stats))
+                            continue;
+                    }
+                    Reg args[3] = {regOfInt(u), regOfInt(v),
+                                   regOfInt(info.weighted ? wts[k] : 1)};
+                    const uint64_t instr_before = stats.instructions;
+                    recorder.accesses.clear();
+                    spawn_buffer.clear();
+                    runUdf(apply, {args, info.weighted ? 3u : 2u}, runtime,
+                           stats);
+                    if (taskStream) {
+                        const uint64_t instr =
+                            stats.instructions - instr_before;
+                        if (fine_tasks) {
+                            TaskRecord task;
+                            task.timestamp = round;
+                            // The task is gated by its source's spawn.
+                            task.vertex = u;
+                            task.instructions = instr;
+                            task.accesses = recorder.accesses;
+                            task.spawns = spawn_buffer;
+                            if (hints && !recorder.accesses.empty())
+                                task.hint = recorder.accesses.front().first;
+                            model.onTask(std::move(task));
+                        } else {
+                            coarse_instr += instr;
+                            coarse_accesses.insert(
+                                coarse_accesses.end(),
+                                recorder.accesses.begin(),
+                                recorder.accesses.end());
+                            coarse_spawns.insert(coarse_spawns.end(),
+                                                 spawn_buffer.begin(),
+                                                 spawn_buffer.end());
+                        }
+                    }
+                }
+                if (taskStream && !fine_tasks) {
+                    TaskRecord task;
+                    task.timestamp = round;
+                    task.vertex = u;
+                    task.instructions = coarse_instr + 10;
+                    task.accesses = std::move(coarse_accesses);
+                    task.spawns = std::move(coarse_spawns);
+                    model.onTask(std::move(task));
+                }
+            }
+        };
+
+        if (threads == 1) {
+            body(0, 0, frontier_count);
+        } else {
+            ThreadPool::global().parallelFor(
+                0, frontier_count, [&](int64_t lo, int64_t hi) {
+                    // Thread id derived from the chunk (chunks are
+                    // contiguous, one per worker).
+                    const int64_t chunk =
+                        (frontier_count + threads - 1) / threads;
+                    body(static_cast<unsigned>(lo / chunk), lo, hi);
+                });
+        }
+
+        for (unsigned t = 0; t < threads; ++t) {
+            info.udf.merge(thread_stats[t]);
+            info.edgesTraversed += thread_edges[t];
+            info.frontierDegreeSum += thread_degsum[t];
+            info.frontierDegreeMax =
+                std::max<EdgeId>(info.frontierDegreeMax, thread_maxdeg[t]);
+            if (output)
+                for (VertexId v : thread_outputs[t])
+                    output->add(v);
+        }
+        if (barrier_frontiers)
+            model.onRoundBarrier();
+    }
+
+    void
+    runPull(const EdgeSetIteratorStmt &stmt, TraversalInfo &info,
+            VertexSet *input, VertexSet *output, bool dedup,
+            const Chunk &apply, const Chunk *dst_filter,
+            const Chunk *src_filter, PrioQueue *queue, bool transposed)
+    {
+        // Pull swaps roles: iterate destinations, scan in-neighbors.
+        auto neighbors = [&](VertexId v) {
+            return transposed ? graph->outNeighbors(v)
+                              : graph->inNeighbors(v);
+        };
+        auto weights = [&](VertexId v) {
+            return transposed ? graph->outWeights(v) : graph->inWeights(v);
+        };
+
+        // Membership structure for the input frontier.
+        Bitset membership;
+        if (!info.isAllVertices) {
+            membership.resize(static_cast<size_t>(graph->numVertices()));
+            input->forEach([&](VertexId v) {
+                membership.set(static_cast<size_t>(v));
+            });
+        }
+
+        Bitset visited;
+        if (dedup && output)
+            visited.resize(static_cast<size_t>(graph->numVertices()));
+
+        const bool early_exit =
+            stmt.trackChanges &&
+            (stmt.getMetadataOr("filter_fused", false) ||
+             stmt.getMetadataOr("pull_early_exit", false));
+
+        const VertexId n = graph->numVertices();
+        const unsigned threads = (numThreads > 1 && n > 256) ? numThreads : 1;
+        std::vector<std::vector<VertexId>> thread_outputs(threads);
+        std::vector<UdfStats> thread_stats(threads);
+        std::vector<EdgeId> thread_edges(threads, 0);
+        std::vector<VertexId> thread_dsts(threads, 0);
+
+        auto body = [&](unsigned tid, int64_t lo, int64_t hi) {
+            UdfRuntime runtime;
+            runtime.props = propsBySlot;
+            runtime.globals = &globals;
+            runtime.useAtomics = false; // pull owns its destination
+            TaskAccessRecorder recorder;
+            if (taskStream)
+                runtime.recorder = &recorder;
+            std::vector<VertexId> &out_buffer = thread_outputs[tid];
+            bool enqueued_flag = false;
+            runtime.enqueue = [&](VertexId x) {
+                enqueued_flag = true;
+                if (!output)
+                    return;
+                if (!dedup || visited.setAtomic(static_cast<size_t>(x)))
+                    out_buffer.push_back(x);
+            };
+            runtime.updatePriorityMin = [&](VertexId x, int64_t priority) {
+                return queue ? queue->updatePriorityMin(x, priority)
+                             : false;
+            };
+            UdfStats &stats = thread_stats[tid];
+
+            for (int64_t i = lo; i < hi; ++i) {
+                const auto v = static_cast<VertexId>(i);
+                if (dst_filter) {
+                    Reg arg = regOfInt(v);
+                    if (!runUdfBool(*dst_filter, {&arg, 1}, runtime, stats))
+                        continue;
+                }
+                ++thread_dsts[tid];
+                const auto nbrs = neighbors(v);
+                const auto wts =
+                    info.weighted ? weights(v) : std::span<const Weight>{};
+                enqueued_flag = false;
+                uint64_t coarse_instr = 0;
+                std::vector<std::pair<Addr, bool>> coarse_accesses;
+                for (size_t k = 0; k < nbrs.size(); ++k) {
+                    const VertexId u = nbrs[k];
+                    ++thread_edges[tid];
+                    if (!info.isAllVertices &&
+                        !membership.test(static_cast<size_t>(u)))
+                        continue;
+                    if (src_filter) {
+                        Reg arg = regOfInt(u);
+                        if (!runUdfBool(*src_filter, {&arg, 1}, runtime,
+                                        stats))
+                            continue;
+                    }
+                    Reg args[3] = {regOfInt(u), regOfInt(v),
+                                   regOfInt(info.weighted ? wts[k] : 1)};
+                    const uint64_t instr_before = stats.instructions;
+                    recorder.accesses.clear();
+                    runUdf(apply, {args, info.weighted ? 3u : 2u}, runtime,
+                           stats);
+                    if (taskStream) {
+                        coarse_instr += stats.instructions - instr_before;
+                        coarse_accesses.insert(coarse_accesses.end(),
+                                               recorder.accesses.begin(),
+                                               recorder.accesses.end());
+                    }
+                    if (early_exit && enqueued_flag)
+                        break;
+                }
+                if (taskStream && !nbrs.empty()) {
+                    TaskRecord task;
+                    task.timestamp = round;
+                    task.vertex = v;
+                    task.instructions = coarse_instr + 10;
+                    task.accesses = std::move(coarse_accesses);
+                    model.onTask(std::move(task));
+                }
+            }
+        };
+
+        if (threads == 1) {
+            body(0, 0, n);
+        } else {
+            ThreadPool::global().parallelFor(0, n,
+                                             [&](int64_t lo, int64_t hi) {
+                const int64_t chunk = (n + threads - 1) / threads;
+                body(static_cast<unsigned>(lo / chunk), lo, hi);
+            });
+        }
+
+        for (unsigned t = 0; t < threads; ++t) {
+            info.udf.merge(thread_stats[t]);
+            info.edgesTraversed += thread_edges[t];
+            info.destinationsScanned += thread_dsts[t];
+            if (output)
+                for (VertexId v : thread_outputs[t])
+                    output->add(v);
+        }
+        info.frontierDegreeSum = info.edgesTraversed;
+        if (taskStream)
+            model.onRoundBarrier();
+    }
+
+    void
+    execVertexOps(const VertexSetIteratorStmt &stmt)
+    {
+        TraversalInfo info;
+        info.kind = TraversalInfo::Kind::VertexOps;
+        info.stmt = &stmt;
+        info.schedule = scheduleOf(stmt);
+
+        VertexSet *input = nullptr;
+        std::vector<VertexId> members;
+        if (stmt.inputSet.empty()) {
+            info.isAllVertices = true;
+        } else {
+            input = setByName(stmt.inputSet);
+            // Program-level "vertices" sets are the full set.
+            if (static_cast<VertexId>(input->size()) ==
+                graph->numVertices())
+                info.isAllVertices = true;
+            members = input->toSorted();
+        }
+        const VertexId count = info.isAllVertices
+                                   ? graph->numVertices()
+                                   : static_cast<VertexId>(members.size());
+        info.frontierSize = count;
+
+        std::unique_ptr<VertexSet> output;
+        if (!stmt.outputSet.empty()) {
+            output = std::make_unique<VertexSet>(graph->numVertices());
+            info.producesOutput = true;
+        }
+
+        const Chunk *apply =
+            stmt.applyFunc.empty() ? nullptr : &chunkFor(stmt.applyFunc);
+        const Chunk *filter =
+            stmt.filterFunc.empty() ? nullptr : &chunkFor(stmt.filterFunc);
+        if (apply)
+            info.propsTouched = propsTouchedBy(*apply);
+
+        UdfRuntime runtime;
+        runtime.props = propsBySlot;
+        runtime.globals = &globals;
+        runtime.useAtomics = false;
+        runtime.enqueue = [](VertexId) {};
+        runtime.updatePriorityMin = [](VertexId, int64_t) { return false; };
+
+        for (VertexId i = 0; i < count; ++i) {
+            const VertexId v =
+                info.isAllVertices ? i : members[static_cast<size_t>(i)];
+            Reg arg = regOfInt(v);
+            if (filter) {
+                if (runUdfBool(*filter, {&arg, 1}, runtime, info.udf) &&
+                    output)
+                    output->add(v);
+            }
+            if (apply) {
+                runUdf(*apply, {&arg, 1}, runtime, info.udf);
+                if (taskStream) {
+                    TaskRecord task;
+                    task.timestamp = round;
+                    task.vertex = v;
+                    task.instructions = 10;
+                    model.onTask(std::move(task));
+                }
+            }
+        }
+        if (output) {
+            info.outputSize = output->size();
+            sets[stmt.outputSet] = std::move(output);
+        }
+        if (taskStream)
+            model.onRoundBarrier();
+
+        const Cycles charged = model.onTraversal(info);
+        cycles += charged;
+        trace.push_back({stmt.label, Direction::Push, info.frontierSize, 0,
+                         charged});
+    }
+
+    RunResult
+    collectResult()
+    {
+        RunResult result;
+        for (const auto &[name, data] : props) {
+            std::vector<double> values(
+                static_cast<size_t>(data->size()));
+            for (VertexId v = 0; v < data->size(); ++v)
+                values[static_cast<size_t>(v)] = data->asDouble(v);
+            result.properties[name] = std::move(values);
+        }
+        result.cycles = model.finalCycles(cycles);
+        result.counters = model.counters();
+        result.trace = std::move(trace);
+        return result;
+    }
+};
+
+ExecEngine::ExecEngine(Program &program, const RunInputs &inputs,
+                       MachineModel &model, unsigned num_threads)
+    : _impl(std::make_unique<Impl>(program, inputs, model, num_threads))
+{
+}
+
+ExecEngine::~ExecEngine() = default;
+
+RunResult
+ExecEngine::run()
+{
+    _impl->model.reset(*_impl->graph);
+    _impl->setup();
+    FunctionPtr main = _impl->program.mainFunction();
+    if (!main)
+        throw std::runtime_error("engine: program has no main");
+    _impl->execBody(main->body);
+    return _impl->collectResult();
+}
+
+} // namespace ugc

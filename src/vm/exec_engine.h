@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared execution engine.
+ *
+ * Interprets the lowered GraphIR main function — allocating runtime data
+ * structures, evaluating control flow, and executing EdgeSetIterator /
+ * VertexSetIterator instructions — while reporting everything it does to
+ * the GraphVM's MachineModel (DESIGN.md §5). Every GraphVM computes real,
+ * validatable results; the models differ only in how they charge cycles.
+ */
+#ifndef UGC_VM_EXEC_ENGINE_H
+#define UGC_VM_EXEC_ENGINE_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "runtime/frontier_list.h"
+#include "runtime/prio_queue.h"
+#include "udf/compiler.h"
+#include "vm/machine_model.h"
+#include "vm/run_types.h"
+
+namespace ugc {
+
+class ExecEngine
+{
+  public:
+    /**
+     * @param program  lowered program (after the midend pipeline and the
+     *                 GraphVM's hardware passes)
+     * @param inputs   graph + argv bindings
+     * @param model    the GraphVM's machine model
+     * @param num_threads host threads for native-parallel execution
+     *                 (CPU GraphVM option); task-stream models always run
+     *                 single-threaded for exact access capture
+     */
+    ExecEngine(Program &program, const RunInputs &inputs,
+               MachineModel &model, unsigned num_threads = 1);
+    ~ExecEngine();
+
+    /** Execute main and return results + machine statistics. */
+    RunResult run();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_EXEC_ENGINE_H

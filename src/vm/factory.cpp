@@ -1,0 +1,54 @@
+#include "vm/factory.h"
+
+#include <stdexcept>
+
+#include "vm/cpu/cpu_vm.h"
+#include "vm/gpu/gpu_vm.h"
+#include "vm/hb/hb_vm.h"
+#include "vm/swarm/swarm_vm.h"
+
+namespace ugc {
+
+std::vector<std::string>
+graphVMNames()
+{
+    return {"cpu", "gpu", "swarm", "hb"};
+}
+
+std::unique_ptr<GraphVM>
+createGraphVM(const std::string &name, bool scale_memory_to_datasets)
+{
+    // Scaled configs shrink on-chip capacities AND fixed per-round costs
+    // (fork-join, kernel launch) in proportion to the ~100x-smaller
+    // synthetic datasets, preserving the overhead-to-work regime the
+    // paper's optimizations (fusion, bucket fusion, blocking) operate in.
+    if (name == "cpu") {
+        CpuParams params;
+        if (scale_memory_to_datasets) {
+            params.llcBytes = 64 << 10;
+            params.forkJoinOverhead = 600;
+        }
+        return std::make_unique<CpuVM>(params);
+    }
+    if (name == "gpu") {
+        GpuParams params;
+        if (scale_memory_to_datasets) {
+            params.l2Bytes = 64 << 10;
+            params.kernelLaunch = 1000;
+            params.gridSync = 160;
+        }
+        return std::make_unique<GpuVM>(params);
+    }
+    if (name == "swarm")
+        return std::make_unique<SwarmVM>(); // event-driven; costs are
+                                            // per task, not per round
+    if (name == "hb") {
+        HBParams params;
+        if (scale_memory_to_datasets)
+            params.hostLaunchOverhead = 500;
+        return std::make_unique<HBVM>(params);
+    }
+    throw std::out_of_range("unknown GraphVM: " + name);
+}
+
+} // namespace ugc

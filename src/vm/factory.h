@@ -1,0 +1,36 @@
+/**
+ * @file
+ * GraphVM factory: construct a backend by name.
+ */
+#ifndef UGC_VM_FACTORY_H
+#define UGC_VM_FACTORY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/graphvm.h"
+
+namespace ugc {
+
+/** Names of all available GraphVMs, in the paper's order. */
+std::vector<std::string> graphVMNames();
+
+/**
+ * Create a GraphVM ("cpu", "gpu", "swarm", "hb").
+ *
+ * @param scale_memory_to_datasets when true, on-chip capacities (CPU LLC,
+ *        GPU L2) are scaled down in proportion to the synthetic datasets
+ *        (which are ~100x smaller than the paper's inputs), preserving the
+ *        cache-pressure regime the paper's locality optimizations
+ *        (EdgeBlocking, NUMA, aligned partitioning) operate in. Used by
+ *        the figure-regeneration benches; see EXPERIMENTS.md.
+ * @throws std::out_of_range for unknown names.
+ */
+std::unique_ptr<GraphVM>
+createGraphVM(const std::string &name,
+              bool scale_memory_to_datasets = false);
+
+} // namespace ugc
+
+#endif // UGC_VM_FACTORY_H

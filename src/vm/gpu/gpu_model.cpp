@@ -1,0 +1,170 @@
+#include "vm/gpu/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/gpu_schedule.h"
+
+namespace ugc {
+
+namespace {
+
+/** Per-vertex straggler divisor and binning overhead of each strategy. */
+struct LbProfile
+{
+    double stragglerDivisor; ///< how many lanes share one vertex's edges
+    double perVertexOverhead;
+};
+
+LbProfile
+profileOf(GpuLoadBalance lb)
+{
+    switch (lb) {
+      case GpuLoadBalance::VertexBased: return {1.0, 2.0};
+      case GpuLoadBalance::Twc: return {32.0, 8.0};
+      case GpuLoadBalance::Cm: return {256.0, 12.0};
+      case GpuLoadBalance::Wm: return {32.0, 6.0};
+      case GpuLoadBalance::Etwc: return {128.0, 10.0};
+      case GpuLoadBalance::EdgeOnly: return {1e9, 4.0};
+    }
+    return {1.0, 2.0};
+}
+
+} // namespace
+
+Cycles
+GpuModel::onTraversal(const TraversalInfo &info)
+{
+    const auto gpu =
+        scheduleAs<SimpleGPUSchedule>(info.schedule);
+    const GpuLoadBalance lb =
+        gpu ? gpu->loadBalance() : GpuLoadBalance::VertexBased;
+    const LbProfile profile = profileOf(lb);
+    const bool in_fused_loop =
+        info.stmt && info.stmt->getMetadataOr("in_fused_kernel", false);
+
+    const double device_threads = _params.deviceThreads();
+    // Lanes available to spread the work over: edges for push (one lane
+    // per edge after load balancing), destinations for pull (the kernel
+    // scans every destination), vertices for vertex ops.
+    double work_items;
+    if (info.kind == TraversalInfo::Kind::EdgeTraversal) {
+        work_items = info.direction == Direction::Pull
+                         ? static_cast<double>(_graph->numVertices())
+                         : static_cast<double>(info.edgesTraversed);
+        work_items = std::max(work_items,
+                              static_cast<double>(info.frontierSize));
+    } else {
+        work_items = static_cast<double>(info.frontierSize);
+    }
+    const double parallelism =
+        std::min<double>(device_threads, std::max(work_items, 1.0));
+
+    // --- compute: SIMT threads, one lane per edge/vertex --------------------
+    const double instructions =
+        static_cast<double>(info.udf.instructions) +
+        profile.perVertexOverhead * static_cast<double>(info.frontierSize) +
+        2.0 * static_cast<double>(info.edgesTraversed);
+    double compute = instructions / parallelism *
+                     4.0; // ~4 cycles per warp instruction issue
+
+    // Straggler: longest-running lane group owns the max-degree vertex.
+    if (info.kind == TraversalInfo::Kind::EdgeTraversal &&
+        info.direction == Direction::Push && info.edgesTraversed > 0) {
+        const double per_edge =
+            instructions / static_cast<double>(info.edgesTraversed) * 4.0;
+        const double straggler =
+            static_cast<double>(info.frontierDegreeMax) /
+            profile.stragglerDivisor * per_edge;
+        if (straggler > compute) {
+            _counters.add("gpu.straggler_cycles", straggler - compute);
+            compute = straggler;
+        }
+    }
+
+    // --- memory traffic ------------------------------------------------------
+    // Random property accesses are uncoalesced: one 32 B transaction each.
+    double random_bytes =
+        static_cast<double>(info.udf.propReads + info.udf.propWrites) *
+        32.0;
+    const Addr working_set = static_cast<Addr>(info.propsTouched) *
+                             static_cast<Addr>(_graph->numVertices()) * 8;
+    const bool blocked = gpu && gpu->edgeBlocking();
+    if (working_set <= _params.l2Bytes) {
+        random_bytes *= 0.25; // L2-resident
+    } else if (blocked &&
+               info.kind == TraversalInfo::Kind::EdgeTraversal) {
+        random_bytes *= 0.35; // EdgeBlocking tiles into the L2
+        compute += 0.1 * static_cast<double>(info.edgesTraversed);
+        _counters.add("gpu.edge_blocking_passes",
+                      std::ceil(static_cast<double>(working_set) /
+                                static_cast<double>(_params.l2Bytes)));
+    }
+    // CSR scan is coalesced.
+    const double seq_bytes =
+        static_cast<double>(info.edgesTraversed) *
+            (4.0 + (info.weighted ? 4.0 : 0.0)) +
+        static_cast<double>(info.frontierSize) * 8.0;
+    // Pull reads the frontier membership structure.
+    double frontier_bytes = 0.0;
+    if (info.direction == Direction::Pull) {
+        frontier_bytes =
+            info.inputFormat == VertexSetFormat::Bitmap
+                ? static_cast<double>(_graph->numVertices()) / 8.0
+                : static_cast<double>(_graph->numVertices());
+    }
+    const double mem_cycles =
+        (random_bytes + seq_bytes + frontier_bytes) /
+        _params.bytesPerCycle;
+
+    // --- atomics and frontier creation ----------------------------------------
+    // Global-memory atomics serialize at the L2; they are far costlier
+    // than plain stores (push PageRank pays this, pull does not).
+    const double atomic_cycles =
+        static_cast<double>(info.udf.atomics) * 24.0 / parallelism +
+        static_cast<double>(info.udf.enqueues) * 6.0 / parallelism;
+
+    double total = std::max(compute, mem_cycles) + atomic_cycles;
+
+    // Kernel launches: one per traversal, plus a compaction kernel for
+    // unfused frontier creation; fused loops replace launches with a
+    // grid-wide barrier charged per loop iteration.
+    double launches = 0;
+    if (!in_fused_loop)
+        launches = 1;
+    if (info.producesOutput && gpu &&
+        gpu->frontierCreation() != FrontierCreation::Fused) {
+        // The dense-mark + compaction sweep runs in the kernel's tail.
+        total += static_cast<double>(_graph->numVertices()) /
+                     device_threads * 4.0 +
+                 static_cast<double>(_graph->numVertices()) /
+                     (gpu->frontierCreation() ==
+                              FrontierCreation::UnfusedBitmap
+                          ? 8.0
+                          : 1.0) /
+                     _params.bytesPerCycle;
+    }
+    total += launches * static_cast<double>(_params.kernelLaunch);
+
+    _counters.add("gpu.kernels", launches);
+    _counters.add("gpu.launch_cycles",
+                  launches * static_cast<double>(_params.kernelLaunch));
+    _counters.add("gpu.mem_cycles", mem_cycles);
+    _counters.add("gpu.compute_cycles", compute);
+    _counters.add("gpu.edges", static_cast<double>(info.edgesTraversed));
+    return static_cast<Cycles>(total);
+}
+
+Cycles
+GpuModel::onLoopIteration(const Stmt &loop)
+{
+    if (loop.getMetadataOr("needs_fusion", false)) {
+        // One fused kernel: per-iteration cost is a grid sync.
+        _counters.add("gpu.grid_syncs");
+        return _params.gridSync;
+    }
+    // Host-side loop bookkeeping between kernel launches.
+    return 200;
+}
+
+} // namespace ugc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * GPU machine model (§II-B2, §IV-A): an NVIDIA Tesla V100-class device —
+ * 80 SMs, massive multithreading, HBM2 bandwidth, per-kernel launch
+ * overhead. The model charges each traversal as one (or more) kernels and
+ * captures the effects the GPU GraphVM's schedule knobs control: load
+ * balancing (per-warp stragglers), fused vs. unfused frontier creation,
+ * kernel fusion (launch overhead vs. grid sync), and EdgeBlocking.
+ */
+#ifndef UGC_VM_GPU_GPU_MODEL_H
+#define UGC_VM_GPU_GPU_MODEL_H
+
+#include "vm/machine_model.h"
+
+namespace ugc {
+
+struct GpuParams
+{
+    unsigned sms = 80;
+    unsigned threadsPerSm = 2048;
+    double bytesPerCycle = 588;   ///< ~900 GB/s at 1.53 GHz
+    Cycles kernelLaunch = 7700;   ///< ~5 us at 1.53 GHz
+    Cycles gridSync = 1200;       ///< cooperative-groups grid barrier
+    Addr l2Bytes = 6ull << 20;
+    Cycles dramLatency = 400;
+    unsigned warpSize = 32;
+
+    unsigned deviceThreads() const { return sms * threadsPerSm; }
+};
+
+class GpuModel : public MachineModel
+{
+  public:
+    explicit GpuModel(GpuParams params = {}) : _params(params) {}
+
+    void
+    reset(const Graph &graph) override
+    {
+        _graph = &graph;
+        _counters = {};
+    }
+
+    Cycles onTraversal(const TraversalInfo &info) override;
+    Cycles onLoopIteration(const Stmt &loop) override;
+    CounterSet counters() const override { return _counters; }
+
+  private:
+    GpuParams _params;
+    const Graph *_graph = nullptr;
+    CounterSet _counters;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_GPU_GPU_MODEL_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GPU GraphVM (§III-C2): implements the GraphIt GPU backend's optimization
+ * space — load-balancing runtime library, fused/unfused frontier creation,
+ * kernel fusion, EdgeBlocking — over the SIMT machine model, and emits
+ * representative CUDA.
+ */
+#ifndef UGC_VM_GPU_GPU_VM_H
+#define UGC_VM_GPU_GPU_VM_H
+
+#include "sched/gpu_schedule.h"
+#include "vm/gpu/gpu_model.h"
+#include "vm/graphvm.h"
+
+namespace ugc {
+
+/**
+ * Kernel fusion pass (§III-C2, "Code generation for kernel fusion"): when
+ * a while loop's traversal schedule requests fusion, mark the loop
+ * needs_fusion and every contained operator in_fused_kernel, so codegen
+ * emits a single __global__ kernel with grid syncs and the model charges
+ * launch overhead once.
+ */
+class GpuKernelFusionPass : public Pass
+{
+  public:
+    std::string name() const override { return "gpu-kernel-fusion"; }
+    void run(Program &program) override;
+};
+
+class GpuVM : public GraphVM
+{
+  public:
+    explicit GpuVM(GpuParams params = {}) : _params(params) {}
+
+    std::string name() const override { return "gpu"; }
+
+    /** Baseline: push, vertex-based load balancing, fused frontier. */
+    SchedulePtr
+    defaultSchedule() const override
+    {
+        auto sched = std::make_shared<SimpleGPUSchedule>();
+        sched->configDirection(Direction::Push)
+            .configLoadBalance(GpuLoadBalance::VertexBased)
+            .configFrontierCreation(FrontierCreation::Fused);
+        return sched;
+    }
+
+    RunResult
+    execute(Program &lowered, const RunInputs &inputs) override
+    {
+        GpuModel model(_params);
+        ExecEngine engine(lowered, inputs, model);
+        return engine.run();
+    }
+
+  protected:
+    void
+    hardwarePasses(Program &lowered) override
+    {
+        GpuKernelFusionPass fusion;
+        fusion.run(lowered);
+    }
+
+    std::string emitLoweredCode(const Program &lowered) override;
+
+  private:
+    GpuParams _params;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_GPU_GPU_VM_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * GraphVM: the abstract machine each backend implements (§III-C).
+ *
+ * A GraphVM couples (1) hardware-specific passes over GraphIR, (2) a code
+ * generator emitting representative target source, and (3) a machine model
+ * that executes the program (via the shared engine) and accounts cycles.
+ */
+#ifndef UGC_VM_GRAPHVM_H
+#define UGC_VM_GRAPHVM_H
+
+#include <memory>
+#include <string>
+
+#include "midend/pipeline.h"
+#include "vm/exec_engine.h"
+#include "vm/machine_model.h"
+#include "vm/run_types.h"
+
+namespace ugc {
+
+class GraphVM
+{
+  public:
+    virtual ~GraphVM() = default;
+
+    /** Backend name ("cpu", "gpu", "swarm", "hb"). */
+    virtual std::string name() const = 0;
+
+    /** The baseline schedule used for unscheduled statements (§IV). */
+    virtual SchedulePtr defaultSchedule() const = 0;
+
+    /**
+     * Compile (midend pipeline + hardware passes) and execute.
+     * The input program is not modified.
+     */
+    RunResult
+    run(const Program &program, const RunInputs &inputs)
+    {
+        ProgramPtr lowered = compile(program);
+        return execute(*lowered, inputs);
+    }
+
+    /** Lower a program through the full pipeline for this backend. */
+    ProgramPtr
+    compile(const Program &program)
+    {
+        ProgramPtr lowered =
+            midend::runStandardPipeline(program, defaultSchedule());
+        hardwarePasses(*lowered);
+        return lowered;
+    }
+
+    /** Execute an already-lowered program. */
+    virtual RunResult execute(Program &lowered, const RunInputs &inputs) = 0;
+
+    /**
+     * Emit representative target source for the lowered program — what
+     * this backend would hand to its native toolchain (nvcc, T4, the
+     * manycore compiler). Illustrative output; execution runs on the
+     * machine model (see DESIGN.md §2).
+     */
+    virtual std::string
+    emitCode(const Program &program)
+    {
+        ProgramPtr lowered = compile(program);
+        return emitLoweredCode(*lowered);
+    }
+
+  protected:
+    /** Hardware-specific passes (kernel fusion, task conversion, ...). */
+    virtual void hardwarePasses(Program &lowered) { (void)lowered; }
+
+    virtual std::string emitLoweredCode(const Program &lowered) = 0;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_GRAPHVM_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * HammerBlade Manycore machine model (§II-B4, Table VII): 128 RISC-V-like
+ * cores in a 16×8 grid with 4 KB scratchpads, a 32-bank 128 KB LLC, and
+ * two HBM2 channels. Captures the memory-system tradeoffs the HB GraphVM's
+ * schedules control: naive vertex/edge partitioning vs. the blocked-access
+ * method (scratchpad prefetch of work blocks) vs. alignment-based
+ * partitioning (LLC-line-aligned work blocks), plus hybrid direction.
+ */
+#ifndef UGC_VM_HB_HB_MODEL_H
+#define UGC_VM_HB_HB_MODEL_H
+
+#include "vm/machine_model.h"
+
+namespace ugc {
+
+/** Table VII configuration. */
+struct HBParams
+{
+    unsigned cores = 128;          ///< 16 columns × 8 rows
+    Addr llcBytes = 128 << 10;
+    unsigned llcBanks = 32;
+    double hbmBytesPerCycle = 64;  ///< 2 channels × 32 GB/s at 1 GHz
+    Cycles dramLatency = 100;
+    Cycles llcLatency = 30;
+    Cycles scratchpadLatency = 2;
+    unsigned outstandingLoads = 4; ///< non-blocking loads per core
+    Cycles hostLaunchOverhead = 3000;
+    Addr scratchpadBytes = 4 << 10;
+};
+
+class HBModel : public MachineModel
+{
+  public:
+    explicit HBModel(HBParams params = {}) : _params(params) {}
+
+    void
+    reset(const Graph &graph) override
+    {
+        _graph = &graph;
+        _counters = {};
+    }
+
+    Cycles onTraversal(const TraversalInfo &info) override;
+    Cycles onLoopIteration(const Stmt &loop) override;
+    CounterSet counters() const override { return _counters; }
+
+  private:
+    HBParams _params;
+    const Graph *_graph = nullptr;
+    CounterSet _counters;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_HB_HB_MODEL_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * HammerBlade Manycore GraphVM (§III-C4): blocked-access and
+ * alignment-based partitioning over the manycore model; emits
+ * representative host + device (kernel) C++ in the manycore's
+ * CUDA-like kernel-centric style.
+ */
+#ifndef UGC_VM_HB_HB_VM_H
+#define UGC_VM_HB_HB_VM_H
+
+#include "sched/hb_schedule.h"
+#include "vm/graphvm.h"
+#include "vm/hb/hb_model.h"
+
+namespace ugc {
+
+class HBVM : public GraphVM
+{
+  public:
+    explicit HBVM(HBParams params = {}) : _params(params) {}
+
+    std::string name() const override { return "hb"; }
+
+    /** Baseline: push, static vertex partitioning.
+     *  (§IV-D uses hybrid baselines for BFS/BC/SSSP to bound RTL time;
+     *  benches opt into that explicitly.) */
+    SchedulePtr
+    defaultSchedule() const override
+    {
+        auto sched = std::make_shared<SimpleHBSchedule>();
+        sched->configLoadBalance(HBLoadBalance::VertexBased)
+            .configDirection(HBDirection::Push);
+        return sched;
+    }
+
+    RunResult
+    execute(Program &lowered, const RunInputs &inputs) override
+    {
+        HBModel model(_params);
+        ExecEngine engine(lowered, inputs, model);
+        return engine.run();
+    }
+
+  protected:
+    std::string emitLoweredCode(const Program &lowered) override;
+
+  private:
+    HBParams _params;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_HB_HB_VM_H

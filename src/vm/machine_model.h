@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Machine-model interface: how a GraphVM's simulator observes execution.
+ *
+ * The shared execution engine computes the *functional* result of the
+ * lowered GraphIR and reports what happened — aggregate traversal
+ * statistics for the analytical models (CPU/GPU/HammerBlade), and an exact
+ * per-task stream with read/write sets for the Swarm discrete-event
+ * simulator. Each model turns those observations into cycles and counters.
+ */
+#ifndef UGC_VM_MACHINE_MODEL_H
+#define UGC_VM_MACHINE_MODEL_H
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ir/stmt.h"
+#include "sched/schedule.h"
+#include "support/stats.h"
+#include "support/types.h"
+#include "udf/interp.h"
+
+namespace ugc {
+
+/** Aggregate statistics of one executed traversal. */
+struct TraversalInfo
+{
+    enum class Kind { EdgeTraversal, VertexOps };
+
+    Kind kind = Kind::EdgeTraversal;
+    const Stmt *stmt = nullptr;  ///< the iterator node (metadata access)
+    std::shared_ptr<SimpleSchedule> schedule; ///< resolved simple schedule
+    Direction direction = Direction::Push;
+
+    VertexId frontierSize = 0;    ///< |input frontier| (or |V| for all)
+    EdgeId frontierDegreeSum = 0; ///< sum of degrees over the frontier
+    EdgeId frontierDegreeMax = 0; ///< max degree within the frontier
+    EdgeId edgesTraversed = 0;    ///< edges actually scanned (early exit!)
+    VertexId destinationsScanned = 0; ///< pull: destinations considered
+    VertexId outputSize = 0;
+
+    VertexSetFormat inputFormat = VertexSetFormat::Sparse;
+    VertexSetFormat outputFormat = VertexSetFormat::Sparse;
+    bool isAllVertices = false;
+    bool producesOutput = false;
+    int propsTouched = 1;        ///< distinct property arrays in the UDF
+    bool weighted = false;
+
+    UdfStats udf; ///< memory traffic and instruction counts of UDF calls
+};
+
+/**
+ * One task observed by a task-stream model (Swarm). A task is the work a
+ * single active vertex (coarse) or a single edge (fine-grained) performs.
+ */
+struct TaskRecord
+{
+    int64_t timestamp = 0;  ///< round / priority order
+    VertexId vertex = kNoVertex;
+    Addr hint = 0;          ///< spatial hint address (0 = none)
+    uint64_t instructions = 0;
+    /** Property accesses: (logical address, is_write). */
+    std::vector<std::pair<Addr, bool>> accesses;
+    /** Vertices this task spawned (enqueued / priority-updated). Task-
+     *  stream models use these to build the spawn-dependence chain. */
+    std::vector<VertexId> spawns;
+};
+
+class MachineModel
+{
+  public:
+    virtual ~MachineModel() = default;
+
+    /** Called once before execution begins. */
+    virtual void reset(const Graph &graph) { (void)graph; }
+
+    /** Charge one traversal; returns the cycles it contributes. */
+    virtual Cycles onTraversal(const TraversalInfo &info) = 0;
+
+    /**
+     * Per-loop-iteration overhead (kernel launch, barrier, host sync).
+     * @param loop the WhileLoopStmt/ForRange node (for fusion metadata)
+     */
+    virtual Cycles
+    onLoopIteration(const Stmt &loop)
+    {
+        (void)loop;
+        return 0;
+    }
+
+    /** Task-stream models additionally receive every task. */
+    virtual bool wantsTaskStream() const { return false; }
+    virtual void onTask(TaskRecord task) { (void)task; }
+    /** Marks a synchronization barrier between task rounds (frontier
+     *  realized in memory rather than as task spawns). */
+    virtual void onRoundBarrier() {}
+
+    /** Final cycle count; @p engine_cycles is the sum of onTraversal /
+     *  onLoopIteration charges. Event-driven models override this. */
+    virtual Cycles
+    finalCycles(Cycles engine_cycles)
+    {
+        return engine_cycles;
+    }
+
+    /** Model-specific counters merged into the RunResult. */
+    virtual CounterSet counters() const { return {}; }
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_MACHINE_MODEL_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Inputs and results of a GraphVM execution.
+ */
+#ifndef UGC_VM_RUN_TYPES_H
+#define UGC_VM_RUN_TYPES_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ir/types.h"
+#include "support/stats.h"
+#include "support/types.h"
+
+namespace ugc {
+
+/** Runtime inputs of a compiled program (the paper's argv). */
+struct RunInputs
+{
+    const Graph *graph = nullptr;
+
+    /** argv-style integer arguments: args[k] backs `atoi(argv[k])`.
+     *  Index 1 is the graph path in GraphIt programs, so integer arguments
+     *  conventionally start at index 2 (start vertex, delta, ...). */
+    std::vector<int64_t> args = {0, 0, 0, 0};
+
+    /** Convenience: set args[2], the conventional start-vertex slot. */
+    RunInputs &
+    startVertex(VertexId v)
+    {
+        if (args.size() < 3)
+            args.resize(3, 0);
+        args[2] = v;
+        return *this;
+    }
+};
+
+/** Per-traversal trace entry (drives scaling/breakdown figures). */
+struct IterationTrace
+{
+    std::string stmtLabel;
+    Direction direction = Direction::Push;
+    VertexId frontierSize = 0;
+    EdgeId edgesTraversed = 0;
+    Cycles cycles = 0;
+};
+
+/** Result of running a program on a GraphVM. */
+struct RunResult
+{
+    /** Final value of every vertex property, as doubles. */
+    std::map<std::string, std::vector<double>> properties;
+
+    /** Total simulated cycles on the VM's machine model. */
+    Cycles cycles = 0;
+
+    /** Machine-model statistics (cache misses, aborts, DRAM stalls, ...). */
+    CounterSet counters;
+
+    /** One entry per executed traversal. */
+    std::vector<IterationTrace> trace;
+
+    const std::vector<double> &
+    property(const std::string &name) const
+    {
+        return properties.at(name);
+    }
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_RUN_TYPES_H

@@ -1,0 +1,195 @@
+#include "vm/swarm/swarm_model.h"
+
+#include <algorithm>
+
+#include "runtime/addr_space.h"
+
+namespace ugc {
+
+SwarmModel::SwarmModel(SwarmParams params) : _params(params) {}
+
+void
+SwarmModel::reset(const Graph &)
+{
+    _counters = {};
+    _coreFree.assign(_params.cores, 0);
+    _lines.clear();
+    _spawnReady.clear();
+    _inFlightFinish.clear();
+    _taskIndex = 0;
+    _roundStart = 0;
+    _lastFinish = 0;
+    _committedCycles = _abortedCycles = _idleCommitQueue = 0;
+    _spillCycles = _aborts = _tasks = 0;
+}
+
+unsigned
+SwarmModel::pickTile(const TaskRecord &task)
+{
+    if (task.hint != 0) {
+        // Spatial hints: same cache line → same tile, so conflicting
+        // updates serialize locally instead of aborting remotely.
+        return static_cast<unsigned>(lineOf(task.hint) % _params.tiles());
+    }
+    return static_cast<unsigned>(_taskIndex % _params.tiles());
+}
+
+Cycles
+SwarmModel::memoryCost(Addr line, unsigned tile)
+{
+    LineState &state = _lines[line];
+    Cycles cost;
+    if (!state.touched) {
+        cost = _params.dramLatency;
+    } else if (state.homeTile == tile &&
+               _taskIndex - state.lastTouch < _params.localityWindow) {
+        cost = _params.l1Latency;
+    } else {
+        cost = _params.l3Latency; // remote tile / shared L3
+    }
+    state.homeTile = tile;
+    state.lastTouch = _taskIndex;
+    state.touched = true;
+    return cost;
+}
+
+void
+SwarmModel::onTask(TaskRecord task)
+{
+    ++_taskIndex;
+    _tasks += 1;
+
+    const unsigned tile = pickTile(task);
+    // Earliest-available core on the tile.
+    const unsigned base = tile * _params.coresPerTile;
+    unsigned core = base;
+    for (unsigned c = base;
+         c < std::min<unsigned>(base + _params.coresPerTile,
+                                _params.cores);
+         ++c) {
+        if (_coreFree[c] < _coreFree[core])
+            core = c;
+    }
+
+    // Duration: dispatch + compute + memory.
+    Cycles duration = _params.dispatchOverhead +
+                      static_cast<Cycles>(
+                          static_cast<double>(task.instructions) *
+                          _params.cyclesPerInstruction);
+    Cycles last_conflicting_write = 0;
+    bool hinted_conflict = false;
+    for (const auto &[addr, is_write] : task.accesses) {
+        const Addr line = lineOf(addr);
+        duration += memoryCost(line, tile);
+        auto it = _lines.find(line);
+        if (it != _lines.end() &&
+            it->second.lastWriteFinish > last_conflicting_write) {
+            last_conflicting_write = it->second.lastWriteFinish;
+            hinted_conflict =
+                task.hint != 0 && lineOf(task.hint) == line;
+        }
+    }
+
+    // Start constraints: core availability, spawn dependence, and the
+    // commit-queue window (oldest uncommitted task bounds speculation).
+    Cycles start = std::max(_coreFree[core], _roundStart);
+    auto spawn = _spawnReady.find(task.vertex);
+    if (spawn != _spawnReady.end())
+        start = std::max(start, spawn->second);
+    if (_inFlightFinish.size() >= _params.commitWindow()) {
+        const Cycles window_bound =
+            _inFlightFinish[_inFlightFinish.size() -
+                            _params.commitWindow()];
+        if (window_bound > start) {
+            _idleCommitQueue +=
+                static_cast<double>(window_bound - start);
+            start = window_bound;
+        }
+    }
+    // Task-queue spills: too many not-yet-started spawned tasks.
+    if (_inFlightFinish.size() >= _params.taskQueueTotal()) {
+        _spillCycles += 50;
+        duration += 50;
+    }
+
+    // Conflict resolution against speculatively overlapping writers.
+    if (last_conflicting_write > start) {
+        if (hinted_conflict) {
+            // Same-tile, same-line: hardware serializes; no wasted work.
+            start = last_conflicting_write;
+            _counters.add("swarm.hint_serializations");
+        } else {
+            // Misspeculation: the early execution is wasted, the task
+            // re-executes after the conflicting writer commits.
+            const Cycles wasted =
+                std::min<Cycles>(duration, last_conflicting_write - start);
+            _abortedCycles += static_cast<double>(wasted);
+            _aborts += 1;
+            start = last_conflicting_write + _params.abortPenalty;
+        }
+    }
+
+    const Cycles finish = start + duration;
+    _coreFree[core] = finish;
+    _committedCycles += static_cast<double>(duration);
+    _lastFinish = std::max(_lastFinish, finish);
+    _inFlightFinish.push_back(finish);
+    if (_inFlightFinish.size() > 2 * _params.commitWindow())
+        _inFlightFinish.pop_front();
+
+    for (const auto &[addr, is_write] : task.accesses) {
+        if (is_write)
+            _lines[lineOf(addr)].lastWriteFinish = finish;
+    }
+    for (VertexId child : task.spawns) {
+        // A mid-task spawn would be slightly earlier; finish is a safe,
+        // simple bound.
+        _spawnReady[child] = finish;
+    }
+}
+
+void
+SwarmModel::onRoundBarrier()
+{
+    // Frontiers realized in memory: the next round starts after every
+    // task of this round has finished (plus the synchronization cost).
+    _barrierMode = true;
+    Cycles latest = _roundStart;
+    for (Cycles free_at : _coreFree)
+        latest = std::max(latest, free_at);
+    latest = std::max(latest, _lastFinish);
+    _roundStart = latest + _params.roundBarrierCost;
+    _counters.add("swarm.round_barriers");
+}
+
+Cycles
+SwarmModel::finalCycles(Cycles engine_cycles)
+{
+    (void)engine_cycles;
+    return std::max(_lastFinish, _roundStart);
+}
+
+CounterSet
+SwarmModel::counters() const
+{
+    CounterSet counters = _counters;
+    const double wall = static_cast<double>(
+        std::max(_lastFinish, _roundStart));
+    const double capacity = wall * _params.cores;
+    const double idle_total = std::max(
+        0.0, capacity - _committedCycles - _abortedCycles - _spillCycles);
+    const double idle_commit = std::min(_idleCommitQueue, idle_total);
+
+    counters.add("swarm.tasks", _tasks);
+    counters.add("swarm.aborts", _aborts);
+    counters.add("swarm.committed_cycles", _committedCycles);
+    counters.add("swarm.aborted_cycles", _abortedCycles);
+    counters.add("swarm.spill_cycles", _spillCycles);
+    counters.add("swarm.idle_commit_queue_cycles", idle_commit);
+    counters.add("swarm.idle_no_task_cycles", idle_total - idle_commit);
+    counters.add("swarm.wall_cycles", wall);
+    counters.add("swarm.cores", _params.cores);
+    return counters;
+}
+
+} // namespace ugc

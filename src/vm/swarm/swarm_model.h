@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Swarm machine model (§II-B3, Table VI): a discrete-event simulator of
+ * timestamp-ordered speculative tasks.
+ *
+ * The execution engine streams every task (active vertex or, under
+ * fine-grained splitting, every edge update) with its exact read/write
+ * sets and spawned children. The model dispatches tasks to tiles/cores,
+ * enforces the spawn-dependence chain and the commit-queue window, detects
+ * same-cache-line conflicts between speculatively overlapping tasks, and
+ * charges aborts + re-execution — or, with spatial hints, serializes
+ * same-line tasks on one tile without wasted work (§III-C3).
+ *
+ * Counters expose the Fig 11 breakdown: committed work, aborted work,
+ * idle (no tasks / commit-queue full), and task-queue spills.
+ */
+#ifndef UGC_VM_SWARM_SWARM_MODEL_H
+#define UGC_VM_SWARM_SWARM_MODEL_H
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/machine_model.h"
+
+namespace ugc {
+
+/** Table VI configuration. */
+struct SwarmParams
+{
+    unsigned cores = 64;
+    unsigned coresPerTile = 4;
+    unsigned taskQueuePerCore = 128;
+    unsigned commitQueuePerCore = 32;
+    Cycles dispatchOverhead = 8;
+    Cycles abortPenalty = 30;
+    Cycles roundBarrierCost = 150; ///< frontier-in-memory sync per round
+    Cycles l1Latency = 2;
+    Cycles l3Latency = 12;
+    Cycles dramLatency = 120;
+    double cyclesPerInstruction = 0.5; ///< wide OoO cores
+    /** Lines touched more recently than this stay tile-local. */
+    unsigned localityWindow = 4096;
+
+    unsigned tiles() const { return (cores + coresPerTile - 1) / coresPerTile; }
+    unsigned commitWindow() const { return cores * commitQueuePerCore; }
+    unsigned taskQueueTotal() const { return cores * taskQueuePerCore; }
+};
+
+class SwarmModel : public MachineModel
+{
+  public:
+    explicit SwarmModel(SwarmParams params = {});
+
+    void reset(const Graph &graph) override;
+
+    bool wantsTaskStream() const override { return true; }
+    void onTask(TaskRecord task) override;
+    void onRoundBarrier() override;
+
+    /** Traversal aggregates are informational only for Swarm. */
+    Cycles
+    onTraversal(const TraversalInfo &info) override
+    {
+        _counters.add("swarm.edges",
+                      static_cast<double>(info.edgesTraversed));
+        return 0;
+    }
+
+    Cycles finalCycles(Cycles engine_cycles) override;
+    CounterSet counters() const override;
+
+  private:
+    struct LineState
+    {
+        Cycles lastWriteFinish = 0;
+        unsigned homeTile = 0;
+        uint64_t lastTouch = 0; ///< task index of last access
+        bool touched = false;
+    };
+
+    Cycles memoryCost(Addr line, unsigned tile);
+    unsigned pickTile(const TaskRecord &task);
+
+    SwarmParams _params;
+    CounterSet _counters;
+
+    std::vector<Cycles> _coreFree;
+    std::unordered_map<Addr, LineState> _lines;
+    std::unordered_map<VertexId, Cycles> _spawnReady;
+    std::deque<Cycles> _inFlightFinish; ///< commit window ring
+    uint64_t _taskIndex = 0;
+    Cycles _roundStart = 0;
+    Cycles _lastFinish = 0;
+    bool _barrierMode = false;
+
+    // Fig 11 breakdown accumulators (cycles summed over cores).
+    double _committedCycles = 0;
+    double _abortedCycles = 0;
+    double _idleCommitQueue = 0;
+    double _spillCycles = 0;
+    double _aborts = 0;
+    double _tasks = 0;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_SWARM_SWARM_MODEL_H

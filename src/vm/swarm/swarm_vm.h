@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Swarm GraphVM (§III-C3): converts vertex sets to timestamped task
+ * spawns, splits updates into fine-grained single-address subtasks with
+ * spatial hints, and executes on the speculative-task simulator. Emits
+ * representative T4 task code (Fig 5).
+ */
+#ifndef UGC_VM_SWARM_SWARM_VM_H
+#define UGC_VM_SWARM_SWARM_VM_H
+
+#include "sched/swarm_schedule.h"
+#include "vm/graphvm.h"
+#include "vm/swarm/swarm_model.h"
+
+namespace ugc {
+
+/**
+ * Task-conversion pass: records on each traversal how its frontier is
+ * realized (task spawns vs. in-memory queues) and whether updates are
+ * split into fine-grained hinted subtasks — driving both codegen (Fig 5's
+ * `#pragma task hint(...)`) and the simulator.
+ */
+class SwarmTaskConversionPass : public Pass
+{
+  public:
+    std::string name() const override { return "swarm-task-conversion"; }
+    void run(Program &program) override;
+};
+
+/**
+ * Shared-to-private state conversion (§III-C3): a scalar global updated
+ * once per round (e.g. the BC round counter) would create a data
+ * dependence between every task of adjacent rounds and block cross-round
+ * speculation. This pass finds such per-round updates in loops whose
+ * traversals spawn tasks, records them as privatized_globals on the loop,
+ * and marks the traversals private_state — codegen then passes a private
+ * copy to each task and threads updates functionally into child spawns.
+ */
+class SwarmSharedToPrivatePass : public Pass
+{
+  public:
+    std::string name() const override { return "swarm-shared-to-private"; }
+    void run(Program &program) override;
+};
+
+class SwarmVM : public GraphVM
+{
+  public:
+    explicit SwarmVM(SwarmParams params = {}) : _params(params) {}
+
+    std::string name() const override { return "swarm"; }
+
+    /** Baseline: coarse tasks, frontiers as in-memory queues, no hints —
+     *  what T4 produces from straightforward serial code. */
+    SchedulePtr
+    defaultSchedule() const override
+    {
+        auto sched = std::make_shared<SimpleSwarmSchedule>();
+        sched->configDirection(Direction::Push)
+            .taskGranularity(TaskGranularity::Coarse)
+            .configFrontiers(SwarmFrontiers::Queues);
+        return sched;
+    }
+
+    RunResult
+    execute(Program &lowered, const RunInputs &inputs) override
+    {
+        SwarmModel model(_params);
+        ExecEngine engine(lowered, inputs, model);
+        return engine.run();
+    }
+
+  protected:
+    void
+    hardwarePasses(Program &lowered) override
+    {
+        SwarmTaskConversionPass conversion;
+        conversion.run(lowered);
+        SwarmSharedToPrivatePass privatization;
+        privatization.run(lowered);
+    }
+
+    std::string emitLoweredCode(const Program &lowered) override;
+
+  private:
+    static std::string firstProp(const Program &lowered);
+
+    SwarmParams _params;
+};
+
+} // namespace ugc
+
+#endif // UGC_VM_SWARM_SWARM_VM_H

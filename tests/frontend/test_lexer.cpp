@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+
+namespace ugc::frontend {
+namespace {
+
+std::vector<TokenKind>
+kindsOf(const std::string &source)
+{
+    std::vector<TokenKind> kinds;
+    for (const Token &token : tokenize(source))
+        kinds.push_back(token.kind);
+    return kinds;
+}
+
+TEST(Lexer, EmptySourceIsJustEof)
+{
+    const auto kinds = kindsOf("");
+    ASSERT_EQ(kinds.size(), 1u);
+    EXPECT_EQ(kinds[0], TokenKind::EndOfFile);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers)
+{
+    const auto tokens = tokenize("func main() end");
+    ASSERT_EQ(tokens.size(), 6u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::KwFunc);
+    EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[1].text, "main");
+    EXPECT_EQ(tokens[2].kind, TokenKind::LParen);
+    EXPECT_EQ(tokens[3].kind, TokenKind::RParen);
+    EXPECT_EQ(tokens[4].kind, TokenKind::KwEnd);
+}
+
+TEST(Lexer, NumbersIntAndFloat)
+{
+    const auto tokens = tokenize("42 0.85 1e3");
+    EXPECT_EQ(tokens[0].kind, TokenKind::IntLiteral);
+    EXPECT_EQ(tokens[0].intValue, 42);
+    EXPECT_EQ(tokens[1].kind, TokenKind::FloatLiteral);
+    EXPECT_DOUBLE_EQ(tokens[1].floatValue, 0.85);
+    EXPECT_EQ(tokens[2].kind, TokenKind::FloatLiteral);
+    EXPECT_DOUBLE_EQ(tokens[2].floatValue, 1000.0);
+}
+
+TEST(Lexer, OperatorsIncludingTwoChar)
+{
+    const auto kinds = kindsOf("== != <= >= -> += = < >");
+    const std::vector<TokenKind> expected{
+        TokenKind::Eq, TokenKind::Ne, TokenKind::Le, TokenKind::Ge,
+        TokenKind::Arrow, TokenKind::PlusAssign, TokenKind::Assign,
+        TokenKind::Lt, TokenKind::Gt, TokenKind::EndOfFile};
+    EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, LabelsAndComments)
+{
+    const auto tokens = tokenize("#s0# while % trailing comment\nx");
+    EXPECT_EQ(tokens[0].kind, TokenKind::Label);
+    EXPECT_EQ(tokens[0].text, "s0");
+    EXPECT_EQ(tokens[1].kind, TokenKind::KwWhile);
+    EXPECT_EQ(tokens[2].kind, TokenKind::Identifier);
+    EXPECT_EQ(tokens[2].text, "x");
+}
+
+TEST(Lexer, StringLiteral)
+{
+    const auto tokens = tokenize("\"hello\"");
+    EXPECT_EQ(tokens[0].kind, TokenKind::StringLiteral);
+    EXPECT_EQ(tokens[0].text, "hello");
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    const auto tokens = tokenize("a\nb\n  c");
+    EXPECT_EQ(tokens[0].line, 1);
+    EXPECT_EQ(tokens[1].line, 2);
+    EXPECT_EQ(tokens[2].line, 3);
+    EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(Lexer, UnterminatedLabelThrows)
+{
+    EXPECT_THROW(tokenize("#s0 while"), ParseError);
+}
+
+TEST(Lexer, UnterminatedStringThrows)
+{
+    EXPECT_THROW(tokenize("\"oops"), ParseError);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows)
+{
+    EXPECT_THROW(tokenize("a @ b"), ParseError);
+}
+
+} // namespace
+} // namespace ugc::frontend

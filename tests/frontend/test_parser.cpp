@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+#include "frontend/sema.h"
+#include "ir/printer.h"
+#include "ir/walk.h"
+
+namespace ugc::frontend {
+namespace {
+
+/** The paper's Fig 2 BFS, completed with the standard prologue. */
+const char *kBfsSource = R"(
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const parent : vector{Vertex}(int) = -1;
+
+func toFilter(v : Vertex) -> output : bool
+    output = (parent[v] == -1);
+end
+
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    var start_vertex : int = atoi(argv[2]);
+    frontier.addVertex(start_vertex);
+    parent[start_vertex] = start_vertex;
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} =
+            edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+    delete frontier;
+end
+)";
+
+TEST(Parser, BfsParses)
+{
+    ProgramPtr program = compileSource(kBfsSource, "bfs");
+    EXPECT_EQ(program->name, "bfs");
+    EXPECT_TRUE(program->findFunction("main"));
+    EXPECT_TRUE(program->findFunction("updateEdge"));
+    EXPECT_TRUE(program->findFunction("toFilter"));
+    EXPECT_TRUE(program->findGlobal("edges"));
+    EXPECT_TRUE(program->findGlobal("parent"));
+}
+
+TEST(Parser, BfsGlobalsHaveRightTypes)
+{
+    ProgramPtr program = compileSource(kBfsSource);
+    EXPECT_EQ(program->findGlobal("edges")->type.kind,
+              TypeDesc::Kind::EdgeSet);
+    EXPECT_FALSE(program->findGlobal("edges")->getMetadataOr("weighted",
+                                                             false));
+    EXPECT_EQ(program->findGlobal("vertices")->type.kind,
+              TypeDesc::Kind::VertexSet);
+    const VarDeclStmt *parent = program->findGlobal("parent");
+    EXPECT_EQ(parent->type.kind, TypeDesc::Kind::VertexData);
+    EXPECT_EQ(parent->type.elem, ElemType::Int32);
+    ASSERT_TRUE(parent->init);
+    // Initializer is -1 (unary minus on literal).
+    EXPECT_EQ(printExpr(parent->init), "-1");
+}
+
+TEST(Parser, BfsEdgeSetIteratorShape)
+{
+    ProgramPtr program = compileSource(kBfsSource);
+    const EdgeSetIteratorStmt *iter = nullptr;
+    std::string path;
+    walkStmts(program->mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &p) {
+                  if (stmt->kind == StmtKind::EdgeSetIterator) {
+                      iter = static_cast<const EdgeSetIteratorStmt *>(
+                          stmt.get());
+                      path = p;
+                  }
+              });
+    ASSERT_NE(iter, nullptr);
+    EXPECT_EQ(path, "s0:s1");
+    EXPECT_EQ(iter->graph, "edges");
+    EXPECT_EQ(iter->inputSet, "frontier");
+    EXPECT_EQ(iter->outputSet, "output");
+    EXPECT_EQ(iter->applyFunc, "updateEdge");
+    EXPECT_EQ(iter->dstFilter, "toFilter");
+    EXPECT_EQ(iter->trackedProp, "parent");
+    EXPECT_TRUE(iter->trackChanges);
+    EXPECT_TRUE(iter->getMetadataOr("apply_deduplication", false));
+    EXPECT_TRUE(iter->getMetadataOr("requires_output", false));
+    EXPECT_FALSE(iter->getMetadataOr("needs_weight", true));
+}
+
+TEST(Parser, ArgvBecomesExternGlobal)
+{
+    ProgramPtr program = compileSource(kBfsSource);
+    const VarDeclStmt *arg = program->findGlobal("__argv2");
+    ASSERT_NE(arg, nullptr);
+    EXPECT_TRUE(arg->getMetadataOr("extern", false));
+    EXPECT_EQ(arg->getMetadata<int>("argv_index"), 2);
+}
+
+TEST(Parser, WeightedEdgeSetAndWeightUdf)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);
+const dist : vector{Vertex}(int) = 0;
+func relax(src : Vertex, dst : Vertex, weight : int)
+    dist[dst] min= dist[src] + weight;
+end
+func main()
+    edges.apply(relax);
+end
+)";
+    ProgramPtr program = compileSource(source);
+    EXPECT_TRUE(program->findGlobal("edges")->getMetadata<bool>("weighted"));
+    const StmtPtr &stmt = program->mainFunction()->body[0];
+    ASSERT_EQ(stmt->kind, StmtKind::EdgeSetIterator);
+    EXPECT_TRUE(stmt->getMetadata<bool>("needs_weight"));
+    EXPECT_TRUE(stmt->getMetadataOr("is_all_edges", false));
+
+    // min= became a Min reduction in the UDF.
+    const auto relax = program->findFunction("relax");
+    ASSERT_EQ(relax->body.size(), 1u);
+    ASSERT_EQ(relax->body[0]->kind, StmtKind::Reduction);
+    EXPECT_EQ(static_cast<const ReductionStmt &>(*relax->body[0]).op,
+              ReductionType::Min);
+}
+
+TEST(Parser, PriorityQueueOperators)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);
+const dist : vector{Vertex}(int) = 0;
+func updateEdge(src : Vertex, dst : Vertex, weight : int)
+    var new_dist : int = dist[src] + weight;
+    pq.updatePriorityMin(dst, new_dist);
+end
+func main()
+    var start_vertex : int = atoi(argv[2]);
+    var pq : priority_queue{Vertex} = new priority_queue{Vertex}(dist, 2, start_vertex);
+    #s0# while (not pq.finished())
+        var frontier : vertexset{Vertex} = pq.dequeue_ready_set();
+        #s1# edges.from(frontier).applyUpdatePriority(updateEdge);
+        delete frontier;
+    end
+end
+)";
+    ProgramPtr program = compileSource(source);
+    const EdgeSetIteratorStmt *iter = nullptr;
+    walkStmts(program->mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  if (stmt->kind == StmtKind::EdgeSetIterator)
+                      iter = static_cast<const EdgeSetIteratorStmt *>(
+                          stmt.get());
+              });
+    ASSERT_NE(iter, nullptr);
+    EXPECT_TRUE(iter->getMetadataOr("ordered", false));
+    EXPECT_EQ(iter->queue, "pq"); // resolved by sema from the UDF body
+}
+
+TEST(Parser, VertexSetApplyAndFilter)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const rank : vector{Vertex}(float) = 0.0;
+func resetV(v : Vertex)
+    rank[v] = 0.25;
+end
+func isHot(v : Vertex) -> output : bool
+    output = rank[v] > 0.5;
+end
+func main()
+    vertices.apply(resetV);
+    var hot : vertexset{Vertex} = vertices.filter(isHot);
+end
+)";
+    ProgramPtr program = compileSource(source);
+    const auto &body = program->mainFunction()->body;
+    ASSERT_EQ(body[0]->kind, StmtKind::VertexSetIterator);
+    const auto &apply = static_cast<const VertexSetIteratorStmt &>(*body[0]);
+    EXPECT_EQ(apply.applyFunc, "resetV");
+    ASSERT_EQ(body[1]->kind, StmtKind::VertexSetIterator);
+    const auto &filter =
+        static_cast<const VertexSetIteratorStmt &>(*body[1]);
+    EXPECT_EQ(filter.filterFunc, "isHot");
+    EXPECT_EQ(filter.outputSet, "hot");
+}
+
+TEST(Parser, ForLoopAndReductions)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const rank : vector{Vertex}(float) = 0.0;
+func accumulate(src : Vertex, dst : Vertex)
+    rank[dst] += rank[src];
+end
+func main()
+    for i in 0 : 10
+        edges.apply(accumulate);
+    end
+end
+)";
+    ProgramPtr program = compileSource(source);
+    const auto &body = program->mainFunction()->body;
+    ASSERT_EQ(body[0]->kind, StmtKind::ForRange);
+    const auto &loop = static_cast<const ForRangeStmt &>(*body[0]);
+    EXPECT_EQ(loop.var, "i");
+    ASSERT_EQ(loop.body.size(), 1u);
+    EXPECT_EQ(loop.body[0]->kind, StmtKind::EdgeSetIterator);
+}
+
+TEST(Parser, FrontierListOperators)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+func main()
+    var trajectories : list{vertexset{Vertex}} = new list{vertexset{Vertex}}();
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    trajectories.append(frontier);
+    var back : vertexset{Vertex} = trajectories.retrieve();
+end
+)";
+    ProgramPtr program = compileSource(source);
+    const auto &body = program->mainFunction()->body;
+    ASSERT_EQ(body.size(), 4u);
+    EXPECT_EQ(body[0]->kind, StmtKind::VarDecl);
+    EXPECT_EQ(body[2]->kind, StmtKind::ListAppend);
+    EXPECT_EQ(body[3]->kind, StmtKind::ListRetrieve);
+    const auto &retrieve = static_cast<const ListRetrieveStmt &>(*body[3]);
+    EXPECT_EQ(retrieve.set, "back");
+    EXPECT_TRUE(retrieve.getMetadataOr("needs_allocation", false));
+}
+
+TEST(Parser, SyntaxErrorsCarryLocation)
+{
+    try {
+        compileSource("func main( end");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &error) {
+        EXPECT_GT(error.line, 0);
+    }
+}
+
+TEST(Parser, SemaRejectsUndefinedFunction)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+func main()
+    edges.apply(ghost);
+end
+)";
+    EXPECT_THROW(compileSource(source), SemaError);
+}
+
+TEST(Parser, SemaRejectsWeightUdfOnUnweightedGraph)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const dist : vector{Vertex}(int) = 0;
+func relax(src : Vertex, dst : Vertex, weight : int)
+    dist[dst] min= dist[src] + weight;
+end
+func main()
+    edges.apply(relax);
+end
+)";
+    EXPECT_THROW(compileSource(source), SemaError);
+}
+
+TEST(Parser, SemaRejectsMissingMain)
+{
+    EXPECT_THROW(compileSource("const x : int = 3;"), SemaError);
+}
+
+TEST(Parser, TransposeInitializer)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const t_edges : edgeset{Edge}(Vertex, Vertex) = edges.transpose();
+func noop(src : Vertex, dst : Vertex)
+end
+func main()
+    t_edges.apply(noop);
+end
+)";
+    ProgramPtr program = compileSource(source);
+    EXPECT_EQ(program->findGlobal("t_edges")->getMetadata<std::string>(
+                  "transpose_of"),
+              "edges");
+}
+
+} // namespace
+} // namespace ugc::frontend

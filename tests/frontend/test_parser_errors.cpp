@@ -1,0 +1,95 @@
+/** Frontend robustness: malformed programs must fail with diagnostics,
+ *  never crash or silently mis-lower. */
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+#include "frontend/sema.h"
+
+namespace ugc::frontend {
+namespace {
+
+class BadSource : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BadSource, IsRejected)
+{
+    EXPECT_ANY_THROW(compileSource(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SyntaxAndSema, BadSource,
+    ::testing::Values(
+        // syntax errors
+        "func main( end",
+        "func main() while end",
+        "func main() var x : int = ; end",
+        "func main() x = 1 end",            // missing semicolon
+        "const edges : edgeset{Edge",       // unterminated type
+        "func main() if 1 end end end",     // stray end
+        "func f(v : Vertex) -> : bool end", // missing result name
+        "func main() for i in 0 10 end end",// missing ':'
+        "#s0 func main() end",              // unterminated label
+        // semantic errors
+        "func f(v : Vertex) end",           // no main
+        R"(const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+           func main() edges.apply(missing); end)",
+        R"(const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+           func one(v : Vertex) end
+           func main() edges.apply(one); end)", // wrong arity
+        R"(const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+           func noBool(v : Vertex) end
+           func upd(a : Vertex, b : Vertex) end
+           func main()
+               var f : vertexset{Vertex} = new vertexset{Vertex}(0);
+               var o : vertexset{Vertex} =
+                   edges.from(f).to(noBool).applyModified(upd, x, true);
+           end)"), // filter without result
+    [](const auto &info) { return "case_" + std::to_string(info.index); });
+
+TEST(ParserRobustness, DuplicateGlobalRejected)
+{
+    EXPECT_THROW(compileSource("const x : int = 1;\nconst x : int = 2;\n"
+                               "func main() end"),
+                 std::invalid_argument);
+}
+
+TEST(ParserRobustness, DuplicateFunctionRejected)
+{
+    EXPECT_THROW(compileSource("func f(v : Vertex) end\n"
+                               "func f(v : Vertex) end\n"
+                               "func main() end"),
+                 std::invalid_argument);
+}
+
+TEST(ParserRobustness, DeeplyNestedExpressionsParse)
+{
+    std::string source = "const x : int = ";
+    for (int i = 0; i < 50; ++i)
+        source += "(1 + ";
+    source += "0";
+    for (int i = 0; i < 50; ++i)
+        source += ")";
+    source += ";\nfunc main() end";
+    EXPECT_NO_THROW(compileSource(source));
+}
+
+TEST(ParserRobustness, ErrorsNameTheOffendingLine)
+{
+    try {
+        compileSource("func main()\n    var x : int = ;\nend");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &error) {
+        EXPECT_EQ(error.line, 2);
+        EXPECT_NE(std::string(error.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(ParserRobustness, EmptyMainIsFine)
+{
+    EXPECT_NO_THROW(compileSource("func main() end"));
+}
+
+} // namespace
+} // namespace ugc::frontend

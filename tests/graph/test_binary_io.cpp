@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/loader.h"
+
+namespace ugc {
+namespace {
+
+TEST(BinaryIo, RoundTripsUnweighted)
+{
+    const Graph original = gen::rmat(8, 6);
+    std::stringstream buffer;
+    writeBinary(original, buffer);
+    const Graph loaded = loadBinary(buffer);
+    EXPECT_EQ(loaded.numVertices(), original.numVertices());
+    EXPECT_EQ(loaded.numEdges(), original.numEdges());
+    EXPECT_FALSE(loaded.isWeighted());
+    for (VertexId v = 0; v < original.numVertices(); ++v) {
+        ASSERT_EQ(loaded.outDegree(v), original.outDegree(v));
+        const auto a = original.outNeighbors(v);
+        const auto b = loaded.outNeighbors(v);
+        for (size_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(BinaryIo, RoundTripsWeights)
+{
+    const Graph original = gen::roadGrid(8, 9, true, 5);
+    std::stringstream buffer;
+    writeBinary(original, buffer);
+    const Graph loaded = loadBinary(buffer);
+    ASSERT_TRUE(loaded.isWeighted());
+    for (VertexId v = 0; v < original.numVertices(); ++v) {
+        const auto a = original.outWeights(v);
+        const auto b = loaded.outWeights(v);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            ASSERT_EQ(a[i], b[i]);
+    }
+}
+
+TEST(BinaryIo, RejectsBadMagic)
+{
+    std::stringstream buffer("not a ugc binary graph at all........");
+    EXPECT_THROW(loadBinary(buffer), std::runtime_error);
+}
+
+TEST(BinaryIo, RejectsTruncatedFile)
+{
+    const Graph original = gen::path(20);
+    std::stringstream buffer;
+    writeBinary(original, buffer);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream truncated(bytes);
+    EXPECT_THROW(loadBinary(truncated), std::runtime_error);
+}
+
+TEST(BinaryIo, FileRoundTrip)
+{
+    const Graph original = gen::cycle(30);
+    const std::string path = ::testing::TempDir() + "/ugc_graph.bin";
+    writeBinaryFile(original, path);
+    const Graph loaded = loadBinaryFile(path);
+    EXPECT_EQ(loaded.numEdges(), original.numEdges());
+    EXPECT_THROW(loadBinaryFile(path + ".missing"), std::runtime_error);
+}
+
+} // namespace
+} // namespace ugc

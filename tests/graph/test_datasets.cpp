@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+
+namespace ugc {
+namespace {
+
+TEST(Datasets, AllTenPresentInPaperOrder)
+{
+    const auto &list = datasets::all();
+    ASSERT_EQ(list.size(), 10u);
+    EXPECT_EQ(list[0].name, "RN");
+    EXPECT_EQ(list[9].name, "SW");
+}
+
+TEST(Datasets, RoadGraphsAreRoads)
+{
+    for (const auto &name : datasets::roadGraphs()) {
+        EXPECT_EQ(datasets::info(name).kind, datasets::GraphKind::Road)
+            << name;
+    }
+}
+
+TEST(Datasets, HammerBladeSubsetHasSix)
+{
+    EXPECT_EQ(datasets::hammerBladeSubset().size(), 6u);
+}
+
+TEST(Datasets, UnknownNameThrows)
+{
+    EXPECT_THROW(datasets::info("XX"), std::out_of_range);
+    EXPECT_THROW(
+        datasets::load("XX", datasets::Scale::Tiny, false),
+        std::out_of_range);
+}
+
+TEST(Datasets, LoadIsDeterministic)
+{
+    const Graph a = datasets::load("LJ", datasets::Scale::Tiny, false);
+    const Graph b = datasets::load("LJ", datasets::Scale::Tiny, false);
+    EXPECT_EQ(a.numEdges(), b.numEdges());
+    for (VertexId v = 0; v < a.numVertices(); ++v)
+        ASSERT_EQ(a.outDegree(v), b.outDegree(v));
+}
+
+TEST(Datasets, ScalesAreOrdered)
+{
+    const Graph tiny = datasets::load("PK", datasets::Scale::Tiny, false);
+    const Graph small = datasets::load("PK", datasets::Scale::Small, false);
+    const Graph medium =
+        datasets::load("PK", datasets::Scale::Medium, false);
+    EXPECT_LT(tiny.numEdges(), small.numEdges());
+    EXPECT_LT(small.numEdges(), medium.numEdges());
+}
+
+TEST(Datasets, WeightedVariantCarriesWeights)
+{
+    const Graph g = datasets::load("RN", datasets::Scale::Tiny, true);
+    EXPECT_TRUE(g.isWeighted());
+    const Graph u = datasets::load("RN", datasets::Scale::Tiny, false);
+    EXPECT_FALSE(u.isWeighted());
+}
+
+TEST(Datasets, SocialGraphsAreSkewed)
+{
+    const Graph g = datasets::load("TW", datasets::Scale::Small, false);
+    const double avg = static_cast<double>(g.numEdges()) / g.numVertices();
+    EXPECT_GT(static_cast<double>(g.maxOutDegree()), 5 * avg);
+}
+
+TEST(Datasets, RoadGraphsHaveBoundedDegree)
+{
+    const Graph g = datasets::load("RU", datasets::Scale::Small, true);
+    EXPECT_LE(g.maxOutDegree(), 8);
+}
+
+} // namespace
+} // namespace ugc

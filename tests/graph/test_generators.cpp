@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace ugc {
+namespace {
+
+/** Undirected symmetry: every edge has its reverse. */
+bool
+isSymmetric(const Graph &g)
+{
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (VertexId u : g.outNeighbors(v))
+            if (!g.hasEdge(u, v))
+                return false;
+    return true;
+}
+
+TEST(Generators, RmatIsDeterministic)
+{
+    const Graph a = gen::rmat(8, 8, 0.57, 0.19, 0.19, false, 99);
+    const Graph b = gen::rmat(8, 8, 0.57, 0.19, 0.19, false, 99);
+    EXPECT_EQ(a.numEdges(), b.numEdges());
+    for (VertexId v = 0; v < a.numVertices(); ++v)
+        ASSERT_EQ(a.outDegree(v), b.outDegree(v));
+}
+
+TEST(Generators, RmatDifferentSeedsDiffer)
+{
+    const Graph a = gen::rmat(8, 8, 0.57, 0.19, 0.19, false, 1);
+    const Graph b = gen::rmat(8, 8, 0.57, 0.19, 0.19, false, 2);
+    bool any_diff = a.numEdges() != b.numEdges();
+    for (VertexId v = 0; !any_diff && v < a.numVertices(); ++v)
+        any_diff = a.outDegree(v) != b.outDegree(v);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, RmatIsSymmetric)
+{
+    EXPECT_TRUE(isSymmetric(gen::rmat(7, 6)));
+}
+
+TEST(Generators, RmatHasSkewedDegrees)
+{
+    const Graph g = gen::rmat(10, 16);
+    // Power-law-ish: max degree far exceeds the average degree.
+    const double avg =
+        static_cast<double>(g.numEdges()) / g.numVertices();
+    EXPECT_GT(static_cast<double>(g.maxOutDegree()), 8 * avg);
+}
+
+TEST(Generators, RoadGridShapeAndBoundedDegree)
+{
+    const Graph g = gen::roadGrid(20, 30, true, 5);
+    EXPECT_EQ(g.numVertices(), 600);
+    EXPECT_TRUE(g.isWeighted());
+    EXPECT_LE(g.maxOutDegree(), 8); // grid + diagonals stays bounded
+    EXPECT_TRUE(isSymmetric(g));
+}
+
+TEST(Generators, RoadGridWeightsPositive)
+{
+    const Graph g = gen::roadGrid(10, 10, true, 5);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (Weight w : g.outWeights(v))
+            EXPECT_GT(w, 0);
+}
+
+TEST(Generators, UniformRandomSizes)
+{
+    const Graph g = gen::uniformRandom(500, 2000, false, 4);
+    EXPECT_EQ(g.numVertices(), 500);
+    EXPECT_GT(g.numEdges(), 3000); // ~2 * 2000 minus dedup/self-loops
+    EXPECT_TRUE(isSymmetric(g));
+}
+
+TEST(Generators, PathHasEndpointsOfDegreeOne)
+{
+    const Graph g = gen::path(10);
+    EXPECT_EQ(g.outDegree(0), 1);
+    EXPECT_EQ(g.outDegree(9), 1);
+    EXPECT_EQ(g.outDegree(5), 2);
+    EXPECT_EQ(g.numEdges(), 18);
+}
+
+TEST(Generators, CycleIsRegular)
+{
+    const Graph g = gen::cycle(8);
+    for (VertexId v = 0; v < 8; ++v)
+        EXPECT_EQ(g.outDegree(v), 2);
+}
+
+TEST(Generators, StarCenterDegree)
+{
+    const Graph g = gen::star(9);
+    EXPECT_EQ(g.numVertices(), 10);
+    EXPECT_EQ(g.outDegree(0), 9);
+    EXPECT_EQ(g.outDegree(5), 1);
+}
+
+TEST(Generators, CompleteGraphDegree)
+{
+    const Graph g = gen::complete(6);
+    for (VertexId v = 0; v < 6; ++v)
+        EXPECT_EQ(g.outDegree(v), 5);
+    EXPECT_EQ(g.numEdges(), 30);
+}
+
+TEST(Generators, BinaryTreeSizes)
+{
+    const Graph g = gen::binaryTree(4);
+    EXPECT_EQ(g.numVertices(), 31);
+    EXPECT_EQ(g.numEdges(), 60);
+    EXPECT_EQ(g.outDegree(0), 2);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/graph.h"
+
+namespace ugc {
+namespace {
+
+Graph
+triangle()
+{
+    return Graph::fromEdges(3, {{0, 1}, {1, 2}, {2, 0}}, false, true);
+}
+
+TEST(Graph, EmptyGraph)
+{
+    Graph g;
+    EXPECT_EQ(g.numVertices(), 0);
+    EXPECT_EQ(g.numEdges(), 0);
+}
+
+TEST(Graph, TriangleDegreesAndNeighbors)
+{
+    const Graph g = triangle();
+    EXPECT_EQ(g.numVertices(), 3);
+    EXPECT_EQ(g.numEdges(), 6); // symmetrized
+    for (VertexId v = 0; v < 3; ++v) {
+        EXPECT_EQ(g.outDegree(v), 2);
+        EXPECT_EQ(g.inDegree(v), 2);
+    }
+    const auto nbrs = g.outNeighbors(0);
+    ASSERT_EQ(nbrs.size(), 2u);
+    EXPECT_EQ(nbrs[0], 1);
+    EXPECT_EQ(nbrs[1], 2);
+}
+
+TEST(Graph, DropsSelfLoopsAndDuplicates)
+{
+    const Graph g = Graph::fromEdges(
+        3, {{0, 1}, {0, 1}, {1, 1}, {2, 2}}, false, false);
+    EXPECT_EQ(g.numEdges(), 1);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_FALSE(g.hasEdge(1, 1));
+}
+
+TEST(Graph, DirectedInOutCsrAgree)
+{
+    const Graph g =
+        Graph::fromEdges(4, {{0, 1}, {0, 2}, {3, 1}}, false, false);
+    EXPECT_EQ(g.outDegree(0), 2);
+    EXPECT_EQ(g.inDegree(1), 2);
+    EXPECT_EQ(g.inDegree(0), 0);
+    const auto in1 = g.inNeighbors(1);
+    ASSERT_EQ(in1.size(), 2u);
+    EXPECT_EQ(in1[0], 0);
+    EXPECT_EQ(in1[1], 3);
+}
+
+TEST(Graph, WeightsFollowNeighbors)
+{
+    const Graph g = Graph::fromEdges(
+        3, {{0, 1, 10}, {0, 2, 20}, {1, 2, 5}}, true, false);
+    ASSERT_TRUE(g.isWeighted());
+    const auto w0 = g.outWeights(0);
+    ASSERT_EQ(w0.size(), 2u);
+    EXPECT_EQ(w0[0], 10);
+    EXPECT_EQ(w0[1], 20);
+    const auto in2 = g.inNeighbors(2);
+    const auto win2 = g.inWeights(2);
+    ASSERT_EQ(in2.size(), 2u);
+    EXPECT_EQ(in2[0], 0);
+    EXPECT_EQ(win2[0], 20);
+    EXPECT_EQ(win2[1], 5);
+}
+
+TEST(Graph, DuplicateEdgesKeepMinWeight)
+{
+    const Graph g =
+        Graph::fromEdges(2, {{0, 1, 9}, {0, 1, 3}, {0, 1, 7}}, true, false);
+    EXPECT_EQ(g.numEdges(), 1);
+    EXPECT_EQ(g.outWeights(0)[0], 3);
+}
+
+TEST(Graph, SymmetrizeKeepsWeight)
+{
+    const Graph g = Graph::fromEdges(2, {{0, 1, 4}}, true, true);
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_EQ(g.outWeights(1)[0], 4);
+}
+
+TEST(Graph, OutOfRangeEndpointThrows)
+{
+    EXPECT_THROW(Graph::fromEdges(2, {{0, 2}}, false, false),
+                 std::out_of_range);
+    EXPECT_THROW(Graph::fromEdges(2, {{-1, 0}}, false, false),
+                 std::out_of_range);
+}
+
+TEST(Graph, MaxOutDegree)
+{
+    const Graph g =
+        Graph::fromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}}, false, false);
+    EXPECT_EQ(g.maxOutDegree(), 3);
+}
+
+TEST(Graph, ToCooRoundTrips)
+{
+    const Graph g = Graph::fromEdges(
+        3, {{0, 1, 2}, {1, 2, 3}, {2, 0, 4}}, true, false);
+    const auto coo = g.toCoo();
+    const Graph g2 = Graph::fromEdges(3, coo, true, false);
+    EXPECT_EQ(g2.numEdges(), g.numEdges());
+    for (VertexId v = 0; v < 3; ++v) {
+        EXPECT_EQ(g2.outDegree(v), g.outDegree(v));
+    }
+}
+
+TEST(Graph, SummaryMentionsSizes)
+{
+    const Graph g = triangle();
+    const std::string s = g.summary();
+    EXPECT_NE(s.find("|V|=3"), std::string::npos);
+    EXPECT_NE(s.find("|E|=6"), std::string::npos);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/loader.h"
+
+namespace ugc {
+namespace {
+
+TEST(Loader, EdgeListBasic)
+{
+    std::istringstream in("# comment\n0 1\n1 2\n\n2 0\n");
+    const Graph g = loadEdgeList(in, /*symmetrize=*/false);
+    EXPECT_EQ(g.numVertices(), 3);
+    EXPECT_EQ(g.numEdges(), 3);
+    EXPECT_FALSE(g.isWeighted());
+    EXPECT_TRUE(g.hasEdge(2, 0));
+}
+
+TEST(Loader, EdgeListWeighted)
+{
+    std::istringstream in("0 1 5\n1 2 9\n");
+    const Graph g = loadEdgeList(in, false);
+    ASSERT_TRUE(g.isWeighted());
+    EXPECT_EQ(g.outWeights(0)[0], 5);
+}
+
+TEST(Loader, EdgeListSymmetrize)
+{
+    std::istringstream in("0 1\n");
+    const Graph g = loadEdgeList(in, true);
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_TRUE(g.hasEdge(1, 0));
+}
+
+TEST(Loader, EdgeListMalformedThrows)
+{
+    std::istringstream in("0\n");
+    EXPECT_THROW(loadEdgeList(in), std::runtime_error);
+}
+
+TEST(Loader, DimacsBasic)
+{
+    std::istringstream in(
+        "c road graph\n"
+        "p sp 4 3\n"
+        "a 1 2 10\n"
+        "a 2 3 20\n"
+        "a 4 1 30\n");
+    const Graph g = loadDimacs(in);
+    EXPECT_EQ(g.numVertices(), 4);
+    EXPECT_EQ(g.numEdges(), 3);
+    ASSERT_TRUE(g.isWeighted());
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(3, 0));
+    EXPECT_EQ(g.outWeights(0)[0], 10);
+}
+
+TEST(Loader, DimacsMissingHeaderThrows)
+{
+    std::istringstream in("a 1 2 3\n");
+    EXPECT_THROW(loadDimacs(in), std::runtime_error);
+}
+
+TEST(Loader, MatrixMarketGeneralPattern)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% comment\n"
+        "3 3 2\n"
+        "1 2\n"
+        "3 1\n");
+    const Graph g = loadMatrixMarket(in);
+    EXPECT_EQ(g.numVertices(), 3);
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_FALSE(g.isWeighted());
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(2, 0));
+}
+
+TEST(Loader, MatrixMarketSymmetricValues)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 1\n"
+        "2 1 4.0\n");
+    const Graph g = loadMatrixMarket(in);
+    EXPECT_EQ(g.numEdges(), 2);
+    ASSERT_TRUE(g.isWeighted());
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+}
+
+TEST(Loader, MatrixMarketBadBannerThrows)
+{
+    std::istringstream in("not a banner\n");
+    EXPECT_THROW(loadMatrixMarket(in), std::runtime_error);
+}
+
+TEST(Loader, WriteEdgeListRoundTrip)
+{
+    std::istringstream in("0 1 7\n2 0 3\n");
+    const Graph g = loadEdgeList(in, false);
+    std::ostringstream out;
+    writeEdgeList(g, out);
+    std::istringstream in2(out.str());
+    const Graph g2 = loadEdgeList(in2, false);
+    EXPECT_EQ(g2.numEdges(), g.numEdges());
+    EXPECT_TRUE(g2.hasEdge(2, 0));
+    EXPECT_EQ(g2.outWeights(2)[0], 3);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "autotuner/autotuner.h"
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "reference/reference.h"
+#include "vm/cpu/cpu_vm.h"
+#include "vm/factory.h"
+#include "vm/swarm/swarm_vm.h"
+
+namespace ugc {
+namespace {
+
+RunInputs
+inputsFor(const Graph &graph)
+{
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, 0, 2};
+    return inputs;
+}
+
+TEST(Autotuner, CandidateSpacesAreNonTrivial)
+{
+    for (const std::string &target : graphVMNames()) {
+        EXPECT_GE(autotuner::candidatesFor(target, false).size(), 4u)
+            << target;
+        EXPECT_GE(autotuner::candidatesFor(target, true).size(), 3u)
+            << target;
+    }
+    EXPECT_THROW(autotuner::candidatesFor("fpga", false),
+                 std::out_of_range);
+}
+
+TEST(Autotuner, FindsHybridForSocialBfsOnCpu)
+{
+    const Graph graph = gen::rmat(10, 12);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    CpuVM vm;
+    const auto result =
+        autotuner::tune(*program, vm, inputsFor(graph), "s1");
+
+    ASSERT_FALSE(result.best.empty());
+    // The tuned winner must beat plain push (the baseline) and should be
+    // a hybrid (direction-optimizing) schedule on a power-law graph.
+    Cycles push_cycles = 0;
+    for (const auto &[name, cycles] : result.evaluated)
+        if (name == "cpu/PUSH/vertex")
+            push_cycles = cycles;
+    ASSERT_GT(push_cycles, 0u);
+    EXPECT_LT(result.bestCycles, push_cycles);
+    EXPECT_NE(result.best.find("HYBRID"), std::string::npos)
+        << "winner was " << result.best;
+}
+
+TEST(Autotuner, FindsTaskConversionForRoadBfsOnSwarm)
+{
+    const Graph graph = gen::roadGrid(20, 25, false, 3);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    SwarmVM vm;
+    const auto result =
+        autotuner::tune(*program, vm, inputsFor(graph), "s1");
+    EXPECT_NE(result.best.find("tasks"), std::string::npos)
+        << "winner was " << result.best;
+}
+
+TEST(Autotuner, OrderedSpaceFindsLargeDeltaOnRoads)
+{
+    const Graph graph = gen::roadGrid(20, 25, true, 3);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("sssp"));
+    CpuVM vm;
+    const auto result = autotuner::tune(*program, vm, inputsFor(graph),
+                                        "s1", /*ordered=*/true);
+    EXPECT_NE(result.best.find("delta8192"), std::string::npos)
+        << "winner was " << result.best;
+}
+
+TEST(Autotuner, ApplyBestReproducesTunedCycles)
+{
+    const Graph graph = gen::rmat(9, 8);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    CpuVM vm;
+    const RunInputs inputs = inputsFor(graph);
+    const auto result = autotuner::tune(*program, vm, inputs, "s1");
+
+    ProgramPtr winner = program->clone();
+    autotuner::applyBest(*winner, "cpu", result, "s1");
+    const RunResult rerun = vm.run(*winner, inputs);
+    EXPECT_EQ(rerun.cycles, result.bestCycles);
+    EXPECT_TRUE(
+        reference::validBfsParents(graph, 0, rerun.property("parent")));
+}
+
+TEST(Autotuner, EveryCandidateProducesValidResults)
+{
+    // Tuning must never trade correctness for speed: every point in the
+    // GPU space computes a valid BFS.
+    const Graph graph = gen::rmat(8, 8);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    auto vm = createGraphVM("gpu");
+    for (const auto &candidate : autotuner::candidatesFor("gpu", false)) {
+        ProgramPtr variant = program->clone();
+        candidate.apply(*variant, "s1");
+        RunInputs inputs = inputsFor(graph);
+        const RunResult result = vm->run(*variant, inputs);
+        EXPECT_TRUE(reference::validBfsParents(graph, 0,
+                                               result.property("parent")))
+            << candidate.description;
+    }
+}
+
+} // namespace
+} // namespace ugc

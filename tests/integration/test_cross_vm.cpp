@@ -1,0 +1,143 @@
+/**
+ * Cross-backend integration: every (algorithm × GraphVM × graph-class)
+ * combination computes results the serial references accept, from one
+ * shared algorithm source — the paper's portability claim end-to-end.
+ */
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/datasets.h"
+#include "reference/reference.h"
+#include "vm/factory.h"
+
+namespace ugc {
+namespace {
+
+struct Combo
+{
+    const char *vm;
+    const char *algorithm;
+    const char *dataset;
+};
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    return std::string(info.param.vm) + "_" + info.param.algorithm + "_" +
+           info.param.dataset;
+}
+
+class CrossVm : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(CrossVm, MatchesReference)
+{
+    const Combo combo = GetParam();
+    const auto &algorithm = algorithms::byName(combo.algorithm);
+    const auto kind = datasets::info(combo.dataset).kind;
+    const Graph graph = datasets::load(combo.dataset,
+                                       datasets::Scale::Tiny,
+                                       algorithm.needsWeights);
+
+    // A start vertex with outgoing edges (vertex ids are permuted).
+    VertexId start = 0;
+    while (start < graph.numVertices() - 1 && graph.outDegree(start) == 0)
+        ++start;
+
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    algorithms::applyTunedSchedule(*program, combo.algorithm, combo.vm,
+                                   kind);
+    auto vm = createGraphVM(combo.vm);
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, start,
+                   std::string(combo.algorithm) == "pr" ? 5 : 16};
+    const RunResult result = vm->run(*program, inputs);
+    EXPECT_GT(result.cycles, 0u);
+
+    const std::string alg = combo.algorithm;
+    if (alg == "bfs") {
+        EXPECT_TRUE(reference::validBfsParents(graph, start,
+                                               result.property("parent")));
+    } else if (alg == "sssp") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("dist"),
+            reference::ssspDistances(graph, start)));
+    } else if (alg == "pr") {
+        EXPECT_TRUE(reference::closeTo(result.property("old_rank"),
+                                       reference::pageRank(graph, 5),
+                                       1e-9));
+    } else if (alg == "cc") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("IDs"), reference::connectedComponents(graph)));
+    } else if (alg == "bc") {
+        EXPECT_TRUE(reference::closeTo(
+            result.property("dependences"),
+            reference::bcDependencies(graph, start), 1e-6));
+    }
+}
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> combos;
+    for (const char *vm : {"cpu", "gpu", "swarm", "hb"})
+        for (const char *alg : {"pr", "bfs", "sssp", "cc", "bc"})
+            for (const char *dataset : {"RN", "LJ"})
+                combos.push_back({vm, alg, dataset});
+    return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, CrossVm,
+                         ::testing::ValuesIn(allCombos()), comboName);
+
+TEST(CrossVmConsistency, IntegerResultsAgreeAcrossBackends)
+{
+    // Integer-exact algorithms must produce identical distances/labels on
+    // every backend (BFS parents may differ; levels are checked above).
+    const Graph graph = datasets::load("RC", datasets::Scale::Tiny, true);
+    for (const char *alg : {"sssp", "cc"}) {
+        const auto &algorithm = algorithms::byName(alg);
+        const Graph &g = algorithm.needsWeights
+                             ? graph
+                             : datasets::load("RC", datasets::Scale::Tiny,
+                                              false);
+        std::vector<double> first;
+        for (const std::string &vm_name : graphVMNames()) {
+            ProgramPtr program = algorithms::buildProgram(algorithm);
+            auto vm = createGraphVM(vm_name);
+            RunInputs inputs;
+            inputs.graph = &g;
+            inputs.args = {0, 0, 0, 8};
+            const RunResult result = vm->run(*program, inputs);
+            const auto &values =
+                result.property(algorithm.resultProp);
+            if (first.empty())
+                first = values;
+            else
+                EXPECT_EQ(values, first) << alg << " on " << vm_name;
+        }
+    }
+}
+
+TEST(CrossVmConsistency, EmitCodeWorksForAllBackends)
+{
+    const auto &bfs = algorithms::byName("bfs");
+    for (const std::string &vm_name : graphVMNames()) {
+        ProgramPtr program = algorithms::buildProgram(bfs);
+        auto vm = createGraphVM(vm_name);
+        const std::string code = vm->emitCode(*program);
+        EXPECT_GT(code.size(), 200u) << vm_name;
+        EXPECT_NE(code.find("UGC"), std::string::npos) << vm_name;
+    }
+}
+
+TEST(CrossVmConsistency, FactoryRejectsUnknownName)
+{
+    EXPECT_THROW(createGraphVM("tpu"), std::out_of_range);
+    EXPECT_EQ(graphVMNames().size(), 4u);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,128 @@
+/**
+ * Edge cases every layer must survive: trivial graphs, unreachable
+ * regions, isolated vertices, repeated runs on one program object.
+ */
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "reference/reference.h"
+#include "vm/cpu/cpu_vm.h"
+#include "vm/swarm/swarm_vm.h"
+
+namespace ugc {
+namespace {
+
+RunResult
+runCpu(const char *name, const Graph &graph, VertexId start = 0)
+{
+    const auto &algorithm = algorithms::byName(name);
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    CpuVM vm;
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, start, 4};
+    return vm.run(*program, inputs);
+}
+
+TEST(EdgeCases, SingleVertexGraph)
+{
+    const Graph graph = Graph::fromEdges(1, {}, false, false);
+    const RunResult bfs = runCpu("bfs", graph);
+    EXPECT_DOUBLE_EQ(bfs.property("parent")[0], 0.0);
+    const RunResult cc = runCpu("cc", graph);
+    EXPECT_DOUBLE_EQ(cc.property("IDs")[0], 0.0);
+}
+
+TEST(EdgeCases, TwoDisconnectedComponents)
+{
+    // 0-1-2 and 3-4.
+    const Graph graph =
+        Graph::fromEdges(5, {{0, 1}, {1, 2}, {3, 4}}, false, true);
+    const RunResult bfs = runCpu("bfs", graph);
+    EXPECT_DOUBLE_EQ(bfs.property("parent")[3], -1.0);
+    EXPECT_DOUBLE_EQ(bfs.property("parent")[4], -1.0);
+
+    const RunResult cc = runCpu("cc", graph);
+    EXPECT_DOUBLE_EQ(cc.property("IDs")[4], 3.0);
+    EXPECT_DOUBLE_EQ(cc.property("IDs")[2], 0.0);
+}
+
+TEST(EdgeCases, StartVertexWithNoEdges)
+{
+    const Graph graph =
+        Graph::fromEdges(4, {{1, 2}, {2, 3}}, false, true);
+    const RunResult bfs = runCpu("bfs", graph, 0);
+    // Only the start vertex itself is reached.
+    EXPECT_DOUBLE_EQ(bfs.property("parent")[0], 0.0);
+    for (VertexId v = 1; v < 4; ++v)
+        EXPECT_DOUBLE_EQ(bfs.property("parent")[v], -1.0);
+}
+
+TEST(EdgeCases, SsspUnreachableStaysInfinite)
+{
+    const Graph graph =
+        Graph::fromEdges(4, {{0, 1, 5}}, true, true);
+    const RunResult sssp = runCpu("sssp", graph);
+    EXPECT_DOUBLE_EQ(sssp.property("dist")[1], 5.0);
+    EXPECT_DOUBLE_EQ(sssp.property("dist")[2],
+                     static_cast<double>(reference::kUnreached));
+}
+
+TEST(EdgeCases, PageRankOnAllDanglingGraph)
+{
+    // Directed sinks only (after dedup the reverse edges are absent).
+    const Graph graph = Graph::fromEdges(3, {}, false, false);
+    const RunResult pr = runCpu("pr", graph);
+    for (double r : pr.property("old_rank"))
+        EXPECT_GT(r, 0.0);
+}
+
+TEST(EdgeCases, SameProgramObjectRunsRepeatedly)
+{
+    // Program objects are immutable inputs to GraphVM::run; back-to-back
+    // runs with different graphs must not leak state.
+    const auto &algorithm = algorithms::byName("bfs");
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    CpuVM vm;
+    const Graph small = gen::path(10);
+    const Graph big = gen::rmat(8, 6);
+    RunInputs a, b;
+    a.graph = &small;
+    a.startVertex(0);
+    b.graph = &big;
+    b.startVertex(1);
+    const RunResult first = vm.run(*program, a);
+    const RunResult second = vm.run(*program, b);
+    const RunResult again = vm.run(*program, a);
+    EXPECT_EQ(first.property("parent"), again.property("parent"));
+    EXPECT_EQ(second.property("parent").size(),
+              static_cast<size_t>(big.numVertices()));
+}
+
+TEST(EdgeCases, SwarmHandlesTinyGraphs)
+{
+    const Graph graph = gen::path(5);
+    const auto &algorithm = algorithms::byName("bfs");
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    SwarmVM vm;
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.startVertex(0);
+    const RunResult result = vm.run(*program, inputs);
+    EXPECT_TRUE(
+        reference::validBfsParents(graph, 0, result.property("parent")));
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(EdgeCases, MissingGraphInputThrows)
+{
+    const auto &algorithm = algorithms::byName("bfs");
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    CpuVM vm;
+    RunInputs inputs; // graph left null
+    EXPECT_THROW(vm.run(*program, inputs), std::invalid_argument);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,143 @@
+/**
+ * Property-based tests: algorithmic invariants that must hold on any
+ * graph, checked over a sweep of generated inputs (seeds × shapes).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "reference/reference.h"
+#include "vm/cpu/cpu_vm.h"
+
+namespace ugc {
+namespace {
+
+struct GraphCase
+{
+    const char *shape;
+    uint64_t seed;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<GraphCase> &info)
+{
+    return std::string(info.param.shape) + "_" +
+           std::to_string(info.param.seed);
+}
+
+Graph
+makeGraph(const GraphCase &c, bool weighted)
+{
+    const std::string shape = c.shape;
+    if (shape == "rmat")
+        return gen::rmat(8, 6, 0.57, 0.19, 0.19, weighted, c.seed);
+    if (shape == "road")
+        return gen::roadGrid(10 + static_cast<int>(c.seed % 5) * 3, 12,
+                             weighted, c.seed);
+    if (shape == "uniform")
+        return gen::uniformRandom(300, 900, weighted, c.seed);
+    if (shape == "star")
+        return gen::star(64, weighted);
+    return gen::binaryTree(6, weighted);
+}
+
+class AlgorithmProperties : public ::testing::TestWithParam<GraphCase>
+{
+  protected:
+    RunResult
+    run(const char *name, const Graph &graph, int64_t arg3 = 8)
+    {
+        const auto &algorithm = algorithms::byName(name);
+        ProgramPtr program = algorithms::buildProgram(algorithm);
+        CpuVM vm;
+        RunInputs inputs;
+        inputs.graph = &graph;
+        inputs.args = {0, 0, 0, arg3};
+        return vm.run(*program, inputs);
+    }
+};
+
+TEST_P(AlgorithmProperties, SsspDistancesSatisfyTriangleInequality)
+{
+    const Graph graph = makeGraph(GetParam(), true);
+    const RunResult result = run("sssp", graph);
+    const auto &dist = result.property("dist");
+    // Every edge (u,v,w): dist[v] <= dist[u] + w, and dist is achieved by
+    // some edge (or is the source / unreachable).
+    for (VertexId u = 0; u < graph.numVertices(); ++u) {
+        if (dist[u] >= reference::kUnreached)
+            continue;
+        const auto nbrs = graph.outNeighbors(u);
+        const auto wts = graph.outWeights(u);
+        for (size_t i = 0; i < nbrs.size(); ++i)
+            EXPECT_LE(dist[nbrs[i]], dist[u] + wts[i]);
+    }
+    EXPECT_DOUBLE_EQ(dist[0], 0.0);
+}
+
+TEST_P(AlgorithmProperties, PageRankIsAProbabilityDistribution)
+{
+    const Graph graph = makeGraph(GetParam(), false);
+    const RunResult result = run("pr", graph, 12);
+    const auto &rank = result.property("old_rank");
+    double sum = 0.0;
+    for (double r : rank) {
+        EXPECT_GT(r, 0.0);
+        sum += r;
+    }
+    // Dangling vertices leak mass, so the sum is in (0, 1].
+    EXPECT_LE(sum, 1.0 + 1e-9);
+    EXPECT_GT(sum, 0.1);
+}
+
+TEST_P(AlgorithmProperties, CcLabelsAreComponentMinima)
+{
+    const Graph graph = makeGraph(GetParam(), false);
+    const RunResult result = run("cc", graph);
+    const auto &labels = result.property("IDs");
+    // Endpoints of every edge share a label, and the label is the
+    // smallest vertex id carrying it.
+    for (VertexId u = 0; u < graph.numVertices(); ++u)
+        for (VertexId v : graph.outNeighbors(u))
+            EXPECT_EQ(labels[u], labels[v]);
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        EXPECT_LE(labels[v], v);
+        EXPECT_EQ(labels[static_cast<VertexId>(labels[v])], labels[v]);
+    }
+}
+
+TEST_P(AlgorithmProperties, BfsParentsFormValidTree)
+{
+    const Graph graph = makeGraph(GetParam(), false);
+    const RunResult result = run("bfs", graph);
+    const auto &parent = result.property("parent");
+    EXPECT_TRUE(reference::validBfsParents(graph, 0, parent));
+}
+
+TEST_P(AlgorithmProperties, BcDependenciesNonNegativeAndZeroOffTree)
+{
+    const Graph graph = makeGraph(GetParam(), false);
+    const RunResult result = run("bc", graph);
+    const auto &deps = result.property("dependences");
+    const auto levels = reference::bfsLevels(graph, 0);
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        EXPECT_GE(deps[v], 0.0);
+        if (levels[v] == reference::kUnreached) {
+            EXPECT_DOUBLE_EQ(deps[v], 0.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphSweep, AlgorithmProperties,
+    ::testing::Values(GraphCase{"rmat", 1}, GraphCase{"rmat", 2},
+                      GraphCase{"rmat", 3}, GraphCase{"road", 1},
+                      GraphCase{"road", 2}, GraphCase{"uniform", 1},
+                      GraphCase{"uniform", 2}, GraphCase{"star", 0},
+                      GraphCase{"tree", 0}),
+    caseName);
+
+} // namespace
+} // namespace ugc

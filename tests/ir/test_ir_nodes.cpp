@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "ir/printer.h"
+#include "ir/program.h"
+#include "ir/walk.h"
+#include "sched/schedule.h"
+
+namespace ugc {
+namespace {
+
+/** Build a small BFS-like function for clone/walk/print tests. */
+FunctionPtr
+makeUpdateEdge()
+{
+    auto func = std::make_shared<Function>();
+    func->name = "updateEdge";
+    func->params = {{"src", TypeDesc::scalar(ElemType::Int32)},
+                    {"dst", TypeDesc::scalar(ElemType::Int32)}};
+    auto cas = std::make_shared<CompareAndSwapExpr>(
+        "parent", varRef("dst"), intConst(-1), varRef("src"));
+    cas->setMetadata("is_atomic", true);
+    auto decl = std::make_shared<VarDeclStmt>(
+        "enqueue", TypeDesc::scalar(ElemType::Bool), cas);
+    auto enq = std::make_shared<EnqueueVertexStmt>("output", varRef("dst"));
+    auto branch = std::make_shared<IfStmt>(
+        varRef("enqueue"), std::vector<StmtPtr>{enq});
+    func->body = {decl, branch};
+    return func;
+}
+
+TEST(IRNodes, FunctionCloneIsDeep)
+{
+    FunctionPtr original = makeUpdateEdge();
+    FunctionPtr copy = original->clone();
+    ASSERT_EQ(copy->body.size(), 2u);
+    EXPECT_NE(copy->body[0].get(), original->body[0].get());
+
+    // Mutating the copy must not affect the original.
+    static_cast<VarDeclStmt &>(*copy->body[0]).name = "renamed";
+    EXPECT_EQ(static_cast<VarDeclStmt &>(*original->body[0]).name,
+              "enqueue");
+}
+
+TEST(IRNodes, CloneCopiesMetadata)
+{
+    FunctionPtr original = makeUpdateEdge();
+    original->body[0]->setMetadata("tag", 7);
+    FunctionPtr copy = original->clone();
+    EXPECT_EQ(copy->body[0]->getMetadata<int>("tag"), 7);
+    const auto &decl = static_cast<const VarDeclStmt &>(*copy->body[0]);
+    EXPECT_TRUE(decl.init->getMetadata<bool>("is_atomic"));
+}
+
+TEST(IRNodes, WalkStmtsVisitsNested)
+{
+    FunctionPtr func = makeUpdateEdge();
+    int count = 0;
+    bool saw_enqueue = false;
+    walkStmts(func->body, [&](const StmtPtr &stmt, const std::string &) {
+        ++count;
+        saw_enqueue |= stmt->kind == StmtKind::EnqueueVertex;
+    });
+    EXPECT_EQ(count, 3); // decl, if, enqueue
+    EXPECT_TRUE(saw_enqueue);
+}
+
+TEST(IRNodes, WalkTracksLabelPaths)
+{
+    auto inner = std::make_shared<EdgeSetIteratorStmt>();
+    inner->label = "s1";
+    auto loop = std::make_shared<WhileStmt>(
+        intConst(1), std::vector<StmtPtr>{inner});
+    loop->label = "s0";
+
+    std::string inner_path;
+    walkStmts({loop}, [&](const StmtPtr &stmt, const std::string &path) {
+        if (stmt->kind == StmtKind::EdgeSetIterator)
+            inner_path = path;
+    });
+    EXPECT_EQ(inner_path, "s0:s1");
+}
+
+TEST(IRNodes, ProgramGlobalAndFunctionLookup)
+{
+    Program program;
+    program.addGlobal(std::make_shared<VarDeclStmt>(
+        "parent", TypeDesc::vertexData(ElemType::Int32)));
+    program.addFunction(makeUpdateEdge());
+
+    EXPECT_NE(program.findGlobal("parent"), nullptr);
+    EXPECT_EQ(program.findGlobal("absent"), nullptr);
+    EXPECT_NE(program.findFunction("updateEdge"), nullptr);
+    EXPECT_EQ(program.findFunction("absent"), nullptr);
+    EXPECT_THROW(program.addGlobal(std::make_shared<VarDeclStmt>(
+                     "parent", TypeDesc::vertexData(ElemType::Int32))),
+                 std::invalid_argument);
+    EXPECT_THROW(program.addFunction(makeUpdateEdge()),
+                 std::invalid_argument);
+}
+
+TEST(IRNodes, ProgramScheduleLookupPrefersFullPath)
+{
+    Program program;
+    auto a = std::make_shared<AbstractSchedule>();
+    auto b = std::make_shared<AbstractSchedule>();
+    program.applySchedule("s0:s1", a);
+    program.applySchedule("s1", b);
+    EXPECT_EQ(program.scheduleFor("s0:s1"), a);
+    EXPECT_EQ(program.scheduleFor("s1"), b);
+    EXPECT_EQ(program.scheduleFor("sX:s1"), b); // falls back to last label
+    EXPECT_EQ(program.scheduleFor("s2"), nullptr);
+}
+
+TEST(IRNodes, ProgramCloneSharesSchedulesCopiesIR)
+{
+    Program program;
+    program.addGlobal(std::make_shared<VarDeclStmt>(
+        "parent", TypeDesc::vertexData(ElemType::Int32)));
+    program.addFunction(makeUpdateEdge());
+    program.applySchedule("s0", std::make_shared<AbstractSchedule>());
+
+    auto copy = program.clone();
+    EXPECT_EQ(copy->schedules().size(), 1u);
+    EXPECT_NE(copy->findFunction("updateEdge"),
+              program.findFunction("updateEdge"));
+    EXPECT_NE(copy->findGlobal("parent"), program.findGlobal("parent"));
+}
+
+TEST(IRNodes, PrinterRendersFig4Shapes)
+{
+    FunctionPtr func = makeUpdateEdge();
+    const std::string text = printFunction(*func);
+    EXPECT_NE(text.find("Function updateEdge"), std::string::npos);
+    EXPECT_NE(text.find("CompareAndSwap<is_atomic=true>"),
+              std::string::npos);
+    EXPECT_NE(text.find("EnqueueVertex"), std::string::npos);
+}
+
+TEST(IRNodes, PrinterRendersEdgeSetIteratorMetadata)
+{
+    auto iter = std::make_shared<EdgeSetIteratorStmt>();
+    iter->graph = "edges";
+    iter->inputSet = "frontier";
+    iter->outputSet = "output";
+    iter->applyFunc = "updateEdge";
+    iter->dstFilter = "toFilter";
+    iter->setMetadata("direction", std::string("PUSH"));
+    iter->setMetadata("requires_output", true);
+    const std::string text = printStmt(iter);
+    EXPECT_NE(text.find("EdgeSetIterator<"), std::string::npos);
+    EXPECT_NE(text.find("direction=PUSH"), std::string::npos);
+    EXPECT_NE(text.find("requires_output=true"), std::string::npos);
+    EXPECT_NE(text.find("to=toFilter"), std::string::npos);
+}
+
+TEST(IRNodes, PrinterRendersWhileWithLabel)
+{
+    auto loop = std::make_shared<WhileStmt>(
+        binary(BinaryOp::Ne, vertexSetSize("frontier"), intConst(0)),
+        std::vector<StmtPtr>{});
+    loop->label = "s0";
+    loop->setMetadata("needs_fusion", true);
+    const std::string text = printStmt(loop);
+    EXPECT_NE(text.find("#s0#"), std::string::npos);
+    EXPECT_NE(text.find("WhileLoopStmt<needs_fusion=true>"),
+              std::string::npos);
+    EXPECT_NE(text.find("VertexSetSize(frontier)"), std::string::npos);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ir/expr.h"
+#include "ir/stmt.h"
+
+namespace ugc {
+namespace {
+
+TEST(Metadata, SetAndGetTyped)
+{
+    MetadataMap meta;
+    meta.setMetadata("is_atomic", true);
+    meta.setMetadata("direction", std::string("PUSH"));
+    meta.setMetadata("threshold", 0.15);
+    EXPECT_TRUE(meta.getMetadata<bool>("is_atomic"));
+    EXPECT_EQ(meta.getMetadata<std::string>("direction"), "PUSH");
+    EXPECT_DOUBLE_EQ(meta.getMetadata<double>("threshold"), 0.15);
+}
+
+TEST(Metadata, MissingLabelThrows)
+{
+    MetadataMap meta;
+    EXPECT_THROW(meta.getMetadata<bool>("absent"), std::out_of_range);
+}
+
+TEST(Metadata, WrongTypeThrows)
+{
+    MetadataMap meta;
+    meta.setMetadata("x", 1);
+    EXPECT_THROW(meta.getMetadata<std::string>("x"), std::bad_any_cast);
+}
+
+TEST(Metadata, GetOrFallsBack)
+{
+    MetadataMap meta;
+    EXPECT_FALSE(meta.getMetadataOr("needs_fusion", false));
+    meta.setMetadata("needs_fusion", true);
+    EXPECT_TRUE(meta.getMetadataOr("needs_fusion", false));
+}
+
+TEST(Metadata, HasAndErase)
+{
+    MetadataMap meta;
+    meta.setMetadata("k", 7);
+    EXPECT_TRUE(meta.hasMetadata("k"));
+    meta.eraseMetadata("k");
+    EXPECT_FALSE(meta.hasMetadata("k"));
+}
+
+TEST(Metadata, ArbitraryLabelsStack)
+{
+    // GraphVMs attach their own labels without base-class changes; any
+    // number of labels may coexist (§III-B).
+    MetadataMap meta;
+    for (int i = 0; i < 50; ++i)
+        meta.setMetadata("label_" + std::to_string(i), i);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(meta.getMetadata<int>("label_" + std::to_string(i)), i);
+}
+
+TEST(Metadata, OverwriteReplacesValue)
+{
+    MetadataMap meta;
+    meta.setMetadata("x", 1);
+    meta.setMetadata("x", std::string("two"));
+    EXPECT_EQ(meta.getMetadata<std::string>("x"), "two");
+}
+
+TEST(Metadata, NodesCarryMetadata)
+{
+    auto expr = intConst(4);
+    expr->setMetadata("note", std::string("const"));
+    EXPECT_EQ(expr->getMetadata<std::string>("note"), "const");
+
+    auto stmt = std::make_shared<WhileStmt>(intConst(1),
+                                            std::vector<StmtPtr>{});
+    stmt->setMetadata("needs_fusion", true);
+    EXPECT_TRUE(stmt->getMetadata<bool>("needs_fusion"));
+}
+
+} // namespace
+} // namespace ugc

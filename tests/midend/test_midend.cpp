@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "frontend/sema.h"
+#include "ir/printer.h"
+#include "ir/walk.h"
+#include "midend/pipeline.h"
+#include "sched/apply.h"
+
+namespace ugc {
+namespace {
+
+const char *kBfsSource = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const parent : vector{Vertex}(int) = -1;
+
+func toFilter(v : Vertex) -> output : bool
+    output = (parent[v] == -1);
+end
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    var start_vertex : int = atoi(argv[2]);
+    frontier.addVertex(start_vertex);
+    parent[start_vertex] = start_vertex;
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} =
+            edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+    delete frontier;
+end
+)";
+
+const EdgeSetIteratorStmt *
+findIterator(const Program &program, Direction wanted)
+{
+    const EdgeSetIteratorStmt *found = nullptr;
+    walkStmts(program.mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  if (stmt->kind != StmtKind::EdgeSetIterator)
+                      return;
+                  const auto &node =
+                      static_cast<const EdgeSetIteratorStmt &>(*stmt);
+                  if (node.getMetadataOr("direction", Direction::Push) ==
+                      wanted)
+                      found = &node;
+              });
+    return found;
+}
+
+TEST(Midend, DefaultScheduleLowersPushWithCas)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+
+    const EdgeSetIteratorStmt *iter =
+        findIterator(*lowered, Direction::Push);
+    ASSERT_NE(iter, nullptr);
+    EXPECT_TRUE(iter->getMetadataOr("filter_fused", false));
+
+    // The push variant must contain an atomic CAS followed by an enqueue
+    // (the Fig 4 shape).
+    FunctionPtr variant = lowered->findFunction(
+        iter->getMetadata<std::string>("apply_variant"));
+    ASSERT_TRUE(variant);
+    const std::string text = printFunction(*variant);
+    EXPECT_NE(text.find("CompareAndSwap<is_atomic=true>"),
+              std::string::npos);
+    EXPECT_NE(text.find("EnqueueVertex"), std::string::npos);
+    // The original algorithm UDF is untouched.
+    const std::string original =
+        printFunction(*lowered->findFunction("updateEdge"));
+    EXPECT_EQ(original.find("CompareAndSwap"), std::string::npos);
+}
+
+TEST(Midend, PullVariantKeepsFilterAndEarlyExits)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    auto pull = std::make_shared<SimpleCPUSchedule>();
+    pull->configDirection(Direction::Pull);
+    ProgramPtr lowered = midend::runStandardPipeline(*program, pull);
+
+    const EdgeSetIteratorStmt *iter =
+        findIterator(*lowered, Direction::Pull);
+    ASSERT_NE(iter, nullptr);
+    // Pull keeps the destination filter as a pre-check and gets the
+    // pull-BFS early exit instead of a fused CAS.
+    EXPECT_FALSE(iter->getMetadataOr("filter_fused", false));
+    EXPECT_TRUE(iter->getMetadataOr("pull_early_exit", false));
+    EXPECT_EQ(iter->dstFilter, "toFilter");
+
+    FunctionPtr variant = lowered->findFunction(
+        iter->getMetadata<std::string>("apply_variant"));
+    ASSERT_TRUE(variant);
+    const std::string text = printFunction(*variant);
+    EXPECT_EQ(text.find("CompareAndSwap"), std::string::npos);
+    EXPECT_NE(text.find("EnqueueVertex"), std::string::npos);
+}
+
+TEST(Midend, CompositeScheduleGeneratesFig7Condition)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    SimpleGPUSchedule sched1;
+    sched1.configDirection(Direction::Push);
+    SimpleGPUSchedule sched2;
+    sched2.configDirection(Direction::Pull, VertexSetFormat::Bitmap);
+    applyGPUSchedule(*program, "s0:s1",
+                     CompositeGPUSchedule(HybridCriteria::InputSetSize,
+                                          0.15, sched1, sched2));
+
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+
+    // The labeled statement became an if-then-else with a push branch and
+    // a pull branch.
+    const IfStmt *hybrid = nullptr;
+    walkStmts(lowered->mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  if (stmt->kind == StmtKind::If &&
+                      stmt->getMetadataOr("hybrid_direction", false))
+                      hybrid = static_cast<const IfStmt *>(stmt.get());
+              });
+    ASSERT_NE(hybrid, nullptr);
+    ASSERT_EQ(hybrid->thenBody.size(), 1u);
+    ASSERT_EQ(hybrid->elseBody.size(), 1u);
+    EXPECT_EQ(hybrid->thenBody[0]->getMetadata<Direction>("direction"),
+              Direction::Push);
+    EXPECT_EQ(hybrid->elseBody[0]->getMetadata<Direction>("direction"),
+              Direction::Pull);
+    EXPECT_EQ(static_cast<const EdgeSetIteratorStmt &>(*hybrid->elseBody[0])
+                  .getMetadata<VertexSetFormat>("pull_input_frontier"),
+              VertexSetFormat::Bitmap);
+    // Both branches got their own UDF variants.
+    EXPECT_NE(hybrid->thenBody[0]->getMetadata<std::string>("apply_variant"),
+              hybrid->elseBody[0]->getMetadata<std::string>("apply_variant"));
+}
+
+TEST(Midend, HybridDirectionFlagExpandsToComposite)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    auto hb = std::make_shared<SimpleHBSchedule>();
+    hb->configDirection(HBDirection::Hybrid);
+    ProgramPtr lowered = midend::runStandardPipeline(*program, hb);
+
+    bool found_hybrid = false;
+    walkStmts(lowered->mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  found_hybrid |= stmt->getMetadataOr("hybrid_direction",
+                                                      false);
+              });
+    EXPECT_TRUE(found_hybrid);
+}
+
+TEST(Midend, FrontierReuseDetected)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+    const EdgeSetIteratorStmt *iter =
+        findIterator(*lowered, Direction::Push);
+    ASSERT_NE(iter, nullptr);
+    EXPECT_TRUE(iter->getMetadataOr("can_reuse_frontier", false));
+}
+
+TEST(Midend, ReductionTrackingLowersToTrackedReduce)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const label : vector{Vertex}(int) = 0;
+func propagate(src : Vertex, dst : Vertex)
+    label[dst] min= label[src];
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    while (frontier.getVertexSetSize() != 0)
+        var output : vertexset{Vertex} =
+            edges.from(frontier).applyModified(propagate, label, true);
+        delete frontier;
+        frontier = output;
+    end
+end
+)";
+    ProgramPtr program = frontend::compileSource(source, "cc");
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+    const EdgeSetIteratorStmt *iter =
+        findIterator(*lowered, Direction::Push);
+    ASSERT_NE(iter, nullptr);
+    FunctionPtr variant = lowered->findFunction(
+        iter->getMetadata<std::string>("apply_variant"));
+    const std::string text = printFunction(*variant);
+    EXPECT_NE(text.find("ReductionOp<is_atomic=true>"), std::string::npos);
+    EXPECT_NE(text.find("EnqueueVertex"), std::string::npos);
+}
+
+TEST(Midend, OrderedLoweringResolvesDelta)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);
+const dist : vector{Vertex}(int) = 0;
+func updateEdge(src : Vertex, dst : Vertex, weight : int)
+    var new_dist : int = dist[src] + weight;
+    pq.updatePriorityMin(dst, new_dist);
+end
+func main()
+    var start_vertex : int = atoi(argv[2]);
+    var pq : priority_queue{Vertex} = new priority_queue{Vertex}(dist, 1, start_vertex);
+    while (not pq.finished())
+        var frontier : vertexset{Vertex} = pq.dequeue_ready_set();
+        #s1# edges.from(frontier).applyUpdatePriority(updateEdge);
+        delete frontier;
+    end
+end
+)";
+    ProgramPtr program = frontend::compileSource(source, "sssp");
+    auto sched = std::make_shared<SimpleCPUSchedule>();
+    sched->configDelta(18);
+    sched->configBucketFusion(true);
+    program->applySchedule("s1", sched);
+
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+    const EdgeSetIteratorStmt *iter =
+        findIterator(*lowered, Direction::Push);
+    ASSERT_NE(iter, nullptr);
+    EXPECT_EQ(iter->getMetadata<int64_t>("delta"), 18);
+    EXPECT_TRUE(iter->getMetadataOr("bucket_fusion", false));
+    EXPECT_EQ(iter->getMetadata<std::string>("queue_updated"), "pq");
+}
+
+TEST(Midend, PipelinePassOrder)
+{
+    PassManager manager =
+        midend::standardPipeline(std::make_shared<SimpleSchedule>());
+    const auto names = manager.passNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "direction-lowering");
+    EXPECT_EQ(names[1], "atomics-insertion");
+    EXPECT_EQ(names[2], "frontier-reuse");
+    EXPECT_EQ(names[3], "ordered-lowering");
+}
+
+TEST(Midend, PipelineDoesNotMutateInput)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    const size_t functions_before = program->functions().size();
+    midend::runStandardPipeline(*program, std::make_shared<SimpleSchedule>());
+    EXPECT_EQ(program->functions().size(), functions_before);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "runtime/frontier_list.h"
+
+namespace ugc {
+namespace {
+
+VertexSet
+makeSet(std::initializer_list<VertexId> members)
+{
+    VertexSet set(100, VertexSetFormat::Sparse);
+    for (VertexId v : members)
+        set.add(v);
+    return set;
+}
+
+TEST(FrontierList, AppendRetrieveIsLifo)
+{
+    FrontierList list;
+    list.append(makeSet({1}));
+    list.append(makeSet({2, 3}));
+    EXPECT_EQ(list.size(), 2u);
+
+    const VertexSet top = list.retrieve();
+    EXPECT_EQ(top.toSorted(), (std::vector<VertexId>{2, 3}));
+    const VertexSet bottom = list.retrieve();
+    EXPECT_EQ(bottom.toSorted(), (std::vector<VertexId>{1}));
+    EXPECT_TRUE(list.empty());
+}
+
+TEST(FrontierList, RetrieveEmptyThrows)
+{
+    FrontierList list;
+    EXPECT_THROW(list.retrieve(), std::out_of_range);
+}
+
+TEST(FrontierList, AtIndexesFromBottom)
+{
+    FrontierList list;
+    list.append(makeSet({1}));
+    list.append(makeSet({2}));
+    EXPECT_EQ(list.at(0).toSorted(), (std::vector<VertexId>{1}));
+    EXPECT_EQ(list.at(1).toSorted(), (std::vector<VertexId>{2}));
+    EXPECT_THROW(list.at(2), std::out_of_range);
+}
+
+} // namespace
+} // namespace ugc

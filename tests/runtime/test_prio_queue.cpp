@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "runtime/prio_queue.h"
+#include "support/types.h"
+
+namespace ugc {
+namespace {
+
+class PrioQueueTest : public ::testing::Test
+{
+  protected:
+    PrioQueueTest() : dist("dist", ElemType::Int64, 16, space)
+    {
+        dist.fillInt(kInfDist);
+    }
+
+    AddrSpace space;
+    VertexData dist;
+};
+
+TEST_F(PrioQueueTest, StartsFinished)
+{
+    PrioQueue q(&dist, 2);
+    EXPECT_TRUE(q.finished());
+    EXPECT_EQ(q.currentBucket(), -1);
+}
+
+TEST_F(PrioQueueTest, RejectsBadConfig)
+{
+    EXPECT_THROW(PrioQueue(&dist, 0), std::invalid_argument);
+    VertexData fdist("f", ElemType::Float64, 4, space);
+    EXPECT_THROW(PrioQueue(&fdist, 1), std::invalid_argument);
+}
+
+TEST_F(PrioQueueTest, DequeuesLowestBucketFirst)
+{
+    PrioQueue q(&dist, 10);
+    dist.setInt(1, 25); // bucket 2
+    dist.setInt(2, 5);  // bucket 0
+    dist.setInt(3, 7);  // bucket 0
+    q.enqueue(1);
+    q.enqueue(2);
+    q.enqueue(3);
+
+    const VertexSet first = q.dequeueReadySet();
+    EXPECT_EQ(first.toSorted(), (std::vector<VertexId>{2, 3}));
+    const VertexSet second = q.dequeueReadySet();
+    EXPECT_EQ(second.toSorted(), (std::vector<VertexId>{1}));
+    EXPECT_TRUE(q.finished());
+}
+
+TEST_F(PrioQueueTest, UpdatePriorityMinOnlyImproves)
+{
+    PrioQueue q(&dist, 10);
+    dist.setInt(4, 50);
+    q.enqueue(4);
+    EXPECT_FALSE(q.updatePriorityMin(4, 60));
+    EXPECT_TRUE(q.updatePriorityMin(4, 15));
+    EXPECT_EQ(dist.getInt(4), 15);
+
+    // The stale bucket-5 entry must be skipped; v4 pops from bucket 1.
+    const VertexSet frontier = q.dequeueReadySet();
+    EXPECT_EQ(frontier.toSorted(), (std::vector<VertexId>{4}));
+    EXPECT_TRUE(q.finished());
+}
+
+TEST_F(PrioQueueTest, DuplicateEnqueueDequeuesOnce)
+{
+    PrioQueue q(&dist, 10);
+    dist.setInt(2, 3);
+    q.enqueue(2);
+    q.enqueue(2);
+    const VertexSet frontier = q.dequeueReadySet();
+    EXPECT_EQ(frontier.size(), 1);
+}
+
+TEST_F(PrioQueueTest, InfinitePriorityNeverEnters)
+{
+    PrioQueue q(&dist, 10);
+    q.enqueue(5); // dist[5] == kInfDist
+    EXPECT_TRUE(q.finished());
+}
+
+TEST_F(PrioQueueTest, RoundsCountDequeues)
+{
+    PrioQueue q(&dist, 1);
+    dist.setInt(0, 0);
+    dist.setInt(1, 1);
+    q.enqueue(0);
+    q.enqueue(1);
+    EXPECT_EQ(q.roundsProcessed(), 0);
+    q.dequeueReadySet();
+    q.dequeueReadySet();
+    EXPECT_EQ(q.roundsProcessed(), 2);
+}
+
+TEST_F(PrioQueueTest, ReinsertionIntoCurrentBucketIsVisible)
+{
+    // Bucket fusion relies on re-popping the same bucket.
+    PrioQueue q(&dist, 100);
+    dist.setInt(0, 10);
+    q.enqueue(0);
+    VertexSet first = q.dequeueReadySet();
+    EXPECT_EQ(first.size(), 1);
+    // Relax a neighbor into the same bucket.
+    EXPECT_TRUE(q.updatePriorityMin(1, 20));
+    EXPECT_FALSE(q.finished());
+    EXPECT_EQ(q.currentBucket(), 0);
+    VertexSet second = q.dequeueReadySet();
+    EXPECT_EQ(second.toSorted(), (std::vector<VertexId>{1}));
+}
+
+TEST_F(PrioQueueTest, ManyBucketsProcessInOrder)
+{
+    PrioQueue q(&dist, 3);
+    for (VertexId v = 0; v < 10; ++v) {
+        dist.setInt(v, (9 - v) * 4); // descending priorities
+        q.enqueue(v);
+    }
+    int64_t last_bucket = -1;
+    while (!q.finished()) {
+        const int64_t bucket = q.currentBucket();
+        EXPECT_GT(bucket, last_bucket);
+        last_bucket = bucket;
+        q.dequeueReadySet();
+    }
+    EXPECT_EQ(q.roundsProcessed(), 10); // each vertex in its own bucket pop
+}
+
+} // namespace
+} // namespace ugc

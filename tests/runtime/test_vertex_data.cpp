@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "runtime/vertex_data.h"
+
+namespace ugc {
+namespace {
+
+TEST(VertexData, IntInitAndFill)
+{
+    AddrSpace space;
+    VertexData parent("parent", ElemType::Int32, 10, space);
+    EXPECT_EQ(parent.getInt(5), 0);
+    parent.fillInt(-1);
+    EXPECT_EQ(parent.getInt(0), -1);
+    EXPECT_EQ(parent.getInt(9), -1);
+}
+
+TEST(VertexData, FloatStore)
+{
+    AddrSpace space;
+    VertexData rank("rank", ElemType::Float64, 4, space);
+    rank.fillFloat(0.25);
+    EXPECT_DOUBLE_EQ(rank.getFloat(3), 0.25);
+    rank.setFloat(1, 1.5);
+    EXPECT_DOUBLE_EQ(rank.getFloat(1), 1.5);
+    EXPECT_DOUBLE_EQ(rank.asDouble(1), 1.5);
+}
+
+TEST(VertexData, AsDoubleForInts)
+{
+    AddrSpace space;
+    VertexData d("d", ElemType::Int64, 2, space);
+    d.setInt(0, 42);
+    EXPECT_DOUBLE_EQ(d.asDouble(0), 42.0);
+}
+
+TEST(VertexData, CasSucceedsOnceOnExpected)
+{
+    AddrSpace space;
+    VertexData parent("parent", ElemType::Int32, 4, space);
+    parent.fillInt(-1);
+    EXPECT_TRUE(parent.casInt(2, -1, 7));
+    EXPECT_EQ(parent.getInt(2), 7);
+    EXPECT_FALSE(parent.casInt(2, -1, 9));
+    EXPECT_EQ(parent.getInt(2), 7);
+}
+
+TEST(VertexData, AtomicMinIntTracksMinimum)
+{
+    AddrSpace space;
+    VertexData dist("dist", ElemType::Int64, 2, space);
+    dist.setInt(0, 100);
+    EXPECT_TRUE(dist.minInt(0, 50));
+    EXPECT_FALSE(dist.minInt(0, 70));
+    EXPECT_EQ(dist.getInt(0), 50);
+}
+
+TEST(VertexData, AtomicMinFloat)
+{
+    AddrSpace space;
+    VertexData d("d", ElemType::Float64, 1, space);
+    d.setFloat(0, 2.0);
+    EXPECT_TRUE(d.minFloat(0, 1.0));
+    EXPECT_FALSE(d.minFloat(0, 1.5));
+    EXPECT_DOUBLE_EQ(d.getFloat(0), 1.0);
+}
+
+TEST(VertexData, AtomicMaxInt)
+{
+    AddrSpace space;
+    VertexData d("d", ElemType::Int64, 1, space);
+    EXPECT_TRUE(d.maxInt(0, 5));
+    EXPECT_FALSE(d.maxInt(0, 3));
+    EXPECT_EQ(d.getInt(0), 5);
+}
+
+TEST(VertexData, AtomicAdds)
+{
+    AddrSpace space;
+    VertexData i("i", ElemType::Int64, 1, space);
+    VertexData f("f", ElemType::Float64, 1, space);
+    i.addInt(0, 3);
+    i.addInt(0, 4);
+    EXPECT_EQ(i.getInt(0), 7);
+    f.addFloat(0, 0.5);
+    f.addFloat(0, 0.25);
+    EXPECT_DOUBLE_EQ(f.getFloat(0), 0.75);
+}
+
+TEST(VertexData, AddressesAreLineAlignedAndDisjoint)
+{
+    AddrSpace space;
+    VertexData a("a", ElemType::Int64, 16, space);
+    VertexData b("b", ElemType::Int32, 16, space);
+    EXPECT_EQ(a.addrOf(0) % kCacheLineBytes, 0u);
+    EXPECT_EQ(b.addrOf(0) % kCacheLineBytes, 0u);
+    // Ranges must not overlap.
+    EXPECT_GE(b.addrOf(0), a.addrOf(15) + 8);
+    // Element stride matches the type size.
+    EXPECT_EQ(a.addrOf(1) - a.addrOf(0), 8u);
+    EXPECT_EQ(b.addrOf(1) - b.addrOf(0), 4u);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "runtime/vertex_set.h"
+
+namespace ugc {
+namespace {
+
+class VertexSetFormats
+    : public ::testing::TestWithParam<VertexSetFormat>
+{
+};
+
+TEST_P(VertexSetFormats, StartsEmpty)
+{
+    VertexSet set(50, GetParam());
+    EXPECT_EQ(set.size(), 0);
+    EXPECT_TRUE(set.empty());
+    EXPECT_FALSE(set.contains(10));
+}
+
+TEST_P(VertexSetFormats, AddAndContains)
+{
+    VertexSet set(50, GetParam());
+    set.add(3);
+    set.add(49);
+    EXPECT_EQ(set.size(), 2);
+    EXPECT_TRUE(set.contains(3));
+    EXPECT_TRUE(set.contains(49));
+    EXPECT_FALSE(set.contains(4));
+}
+
+TEST_P(VertexSetFormats, ClearEmpties)
+{
+    VertexSet set(20, GetParam());
+    set.add(1);
+    set.add(2);
+    set.clear();
+    EXPECT_EQ(set.size(), 0);
+    EXPECT_FALSE(set.contains(1));
+}
+
+TEST_P(VertexSetFormats, AllOfContainsEverything)
+{
+    const VertexSet set = VertexSet::allOf(30, GetParam());
+    EXPECT_EQ(set.size(), 30);
+    for (VertexId v = 0; v < 30; ++v)
+        EXPECT_TRUE(set.contains(v));
+}
+
+TEST_P(VertexSetFormats, ToSortedAscending)
+{
+    VertexSet set(100, GetParam());
+    for (VertexId v : {42, 7, 99, 7, 0})
+        if (!set.contains(v))
+            set.add(v);
+    const auto sorted = set.toSorted();
+    const std::vector<VertexId> expected{0, 7, 42, 99};
+    EXPECT_EQ(sorted, expected);
+}
+
+TEST_P(VertexSetFormats, ForEachVisitsAllMembers)
+{
+    VertexSet set(64, GetParam());
+    set.add(5);
+    set.add(63);
+    int count = 0;
+    set.forEach([&](VertexId) { ++count; });
+    EXPECT_EQ(count, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, VertexSetFormats,
+                         ::testing::Values(VertexSetFormat::Sparse,
+                                           VertexSetFormat::Bitmap,
+                                           VertexSetFormat::Boolmap),
+                         [](const auto &info) {
+                             return formatName(info.param);
+                         });
+
+TEST(VertexSet, ConversionPreservesMembers)
+{
+    VertexSet set(40, VertexSetFormat::Sparse);
+    set.add(1);
+    set.add(20);
+    set.add(39);
+    const auto before = set.toSorted();
+    for (auto format : {VertexSetFormat::Bitmap, VertexSetFormat::Boolmap,
+                        VertexSetFormat::Sparse}) {
+        set.convertTo(format);
+        EXPECT_EQ(set.format(), format);
+        EXPECT_EQ(set.toSorted(), before);
+        EXPECT_EQ(set.size(), 3);
+    }
+}
+
+TEST(VertexSet, SparseAllowsDuplicatesUntilDedup)
+{
+    VertexSet set(10, VertexSetFormat::Sparse);
+    set.add(4);
+    set.add(4);
+    EXPECT_EQ(set.size(), 2); // raw insertion count
+    set.dedup();
+    EXPECT_EQ(set.size(), 1);
+}
+
+TEST(VertexSet, DenseAddIsIdempotent)
+{
+    VertexSet set(10, VertexSetFormat::Bitmap);
+    set.add(4);
+    set.add(4);
+    EXPECT_EQ(set.size(), 1);
+}
+
+TEST(VertexSet, AddAtomicReportsNewness)
+{
+    VertexSet set(10, VertexSetFormat::Boolmap);
+    EXPECT_TRUE(set.addAtomic(2));
+    EXPECT_FALSE(set.addAtomic(2));
+    EXPECT_EQ(set.size(), 1);
+
+    VertexSet bitmap_set(10, VertexSetFormat::Bitmap);
+    EXPECT_TRUE(bitmap_set.addAtomic(9));
+    EXPECT_FALSE(bitmap_set.addAtomic(9));
+}
+
+TEST(VertexSet, FootprintDependsOnFormat)
+{
+    VertexSet sparse(1024, VertexSetFormat::Sparse);
+    sparse.add(0);
+    sparse.add(1);
+    const VertexSet bitmap(1024, VertexSetFormat::Bitmap);
+    const VertexSet boolmap(1024, VertexSetFormat::Boolmap);
+    EXPECT_EQ(sparse.footprintBytes(), 2 * sizeof(VertexId));
+    EXPECT_EQ(bitmap.footprintBytes(), 128u);
+    EXPECT_EQ(boolmap.footprintBytes(), 1024u);
+}
+
+TEST(VertexSet, EqualityIsFormatAgnostic)
+{
+    VertexSet a(16, VertexSetFormat::Sparse);
+    VertexSet b(16, VertexSetFormat::Bitmap);
+    a.add(3);
+    a.add(12);
+    b.add(12);
+    b.add(3);
+    EXPECT_EQ(a, b);
+    b.add(1);
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace ugc

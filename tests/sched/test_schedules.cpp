@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "ir/program.h"
+#include "sched/apply.h"
+
+namespace ugc {
+namespace {
+
+TEST(Schedules, CpuDefaults)
+{
+    SimpleCPUSchedule sched;
+    EXPECT_EQ(sched.getDirection(), Direction::Push);
+    EXPECT_EQ(sched.getParallelization(), Parallelization::VertexBased);
+    EXPECT_TRUE(sched.getDeduplication());
+    EXPECT_EQ(sched.getDelta(), 1);
+    EXPECT_FALSE(sched.isHybridDirection());
+    EXPECT_FALSE(sched.bucketFusion());
+    EXPECT_FALSE(sched.edgeBlocking());
+}
+
+TEST(Schedules, CpuConfigChains)
+{
+    SimpleCPUSchedule sched;
+    sched.configDirection(Direction::Pull, VertexSetFormat::Bitmap)
+        .configParallelization(Parallelization::EdgeAwareVertexBased, 512)
+        .configDelta(16)
+        .configBucketFusion(true)
+        .configEdgeBlocking(true, 4096)
+        .configNuma(true);
+    EXPECT_EQ(sched.getDirection(), Direction::Pull);
+    EXPECT_EQ(sched.getPullFrontier(), VertexSetFormat::Bitmap);
+    EXPECT_EQ(sched.getParallelization(),
+              Parallelization::EdgeAwareVertexBased);
+    EXPECT_EQ(sched.grainSize(), 512);
+    EXPECT_EQ(sched.getDelta(), 16);
+    EXPECT_TRUE(sched.bucketFusion());
+    EXPECT_TRUE(sched.edgeBlocking());
+    EXPECT_EQ(sched.blockVertices(), 4096);
+    EXPECT_TRUE(sched.numa());
+}
+
+TEST(Schedules, GpuFig6aShape)
+{
+    SimpleGPUSchedule sched1;
+    sched1.configDirection(Direction::Push);
+    sched1.configFrontierCreation(FrontierCreation::Fused);
+
+    SimpleGPUSchedule sched2;
+    sched2.configDirection(Direction::Pull, VertexSetFormat::Bitmap);
+    sched2.configFrontierCreation(FrontierCreation::UnfusedBitmap);
+
+    CompositeGPUSchedule comp1(HybridCriteria::InputSetSize, 0.15, sched1,
+                               sched2);
+    EXPECT_TRUE(comp1.isComposite());
+    EXPECT_DOUBLE_EQ(comp1.getThreshold(), 0.15);
+
+    auto first = std::dynamic_pointer_cast<SimpleGPUSchedule>(
+        comp1.getFirstSchedule());
+    auto second = std::dynamic_pointer_cast<SimpleGPUSchedule>(
+        comp1.getSecondSchedule());
+    ASSERT_TRUE(first && second);
+    EXPECT_EQ(first->getDirection(), Direction::Push);
+    EXPECT_EQ(second->getDirection(), Direction::Pull);
+    EXPECT_EQ(second->frontierCreation(), FrontierCreation::UnfusedBitmap);
+}
+
+TEST(Schedules, GpuEdgeOnlyImpliesEdgeParallel)
+{
+    SimpleGPUSchedule sched;
+    sched.configLoadBalance(GpuLoadBalance::EdgeOnly);
+    EXPECT_EQ(sched.getParallelization(), Parallelization::EdgeBased);
+    sched.configLoadBalance(GpuLoadBalance::Etwc);
+    EXPECT_EQ(sched.getParallelization(), Parallelization::VertexBased);
+}
+
+TEST(Schedules, SwarmFig6cShape)
+{
+    SimpleSwarmSchedule sched1;
+    sched1.configDirection(Direction::Push);
+    sched1.taskGranularity(TaskGranularity::FineGrained);
+    sched1.configFrontiers(SwarmFrontiers::VertexsetToTasks);
+    EXPECT_EQ(sched1.granularity(), TaskGranularity::FineGrained);
+    EXPECT_EQ(sched1.frontiers(), SwarmFrontiers::VertexsetToTasks);
+    // Swarm ignores atomics/dedup: tasks are hardware-atomic.
+    EXPECT_FALSE(sched1.getDeduplication());
+}
+
+TEST(Schedules, HbFig6bShape)
+{
+    SimpleHBSchedule sched1;
+    sched1.configLoadBalance(HBLoadBalance::Aligned);
+    sched1.configDirection(HBDirection::Hybrid);
+    EXPECT_EQ(sched1.loadBalance(), HBLoadBalance::Aligned);
+    EXPECT_TRUE(sched1.isHybridDirection());
+    sched1.configDirection(HBDirection::Pull);
+    EXPECT_EQ(sched1.getDirection(), Direction::Pull);
+    EXPECT_FALSE(sched1.isHybridDirection());
+}
+
+TEST(Schedules, ApplyHelpersAttachToProgram)
+{
+    Program program;
+    SimpleGPUSchedule gpu;
+    gpu.configKernelFusion(true);
+    applyGPUSchedule(program, "s0:s1", gpu);
+
+    SimpleSwarmSchedule swarm;
+    applySwarmSchedule(program, "s2", swarm);
+
+    auto fetched = std::dynamic_pointer_cast<SimpleGPUSchedule>(
+        program.scheduleFor("s0:s1"));
+    ASSERT_TRUE(fetched);
+    EXPECT_TRUE(fetched->kernelFusion());
+    EXPECT_TRUE(std::dynamic_pointer_cast<SimpleSwarmSchedule>(
+        program.scheduleFor("s2")));
+}
+
+TEST(Schedules, AbstractQueriesWorkThroughBasePointer)
+{
+    // The hardware-independent compiler only sees SimpleSchedule.
+    SimpleHBSchedule hb;
+    hb.configLoadBalance(HBLoadBalance::EdgeBased);
+    const SimpleSchedule &base = hb;
+    EXPECT_EQ(base.getParallelization(), Parallelization::EdgeBased);
+
+    SimpleGPUSchedule gpu;
+    gpu.configDirection(Direction::Pull, VertexSetFormat::Boolmap);
+    const SimpleSchedule &gpu_base = gpu;
+    EXPECT_EQ(gpu_base.getDirection(), Direction::Pull);
+    EXPECT_EQ(gpu_base.getPullFrontier(), VertexSetFormat::Boolmap);
+}
+
+TEST(Schedules, LoadBalanceNames)
+{
+    EXPECT_STREQ(gpuLoadBalanceName(GpuLoadBalance::Etwc), "ETWC");
+    EXPECT_STREQ(hbLoadBalanceName(HBLoadBalance::Aligned), "ALIGNED");
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "support/bitset.h"
+
+namespace ugc {
+namespace {
+
+TEST(Bitset, StartsEmpty)
+{
+    Bitset bits(100);
+    EXPECT_EQ(bits.size(), 100u);
+    EXPECT_EQ(bits.count(), 0u);
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(bits.test(i));
+}
+
+TEST(Bitset, SetAndReset)
+{
+    Bitset bits(130);
+    bits.set(0);
+    bits.set(63);
+    bits.set(64);
+    bits.set(129);
+    EXPECT_TRUE(bits.test(0));
+    EXPECT_TRUE(bits.test(63));
+    EXPECT_TRUE(bits.test(64));
+    EXPECT_TRUE(bits.test(129));
+    EXPECT_FALSE(bits.test(1));
+    EXPECT_EQ(bits.count(), 4u);
+
+    bits.reset(63);
+    EXPECT_FALSE(bits.test(63));
+    EXPECT_EQ(bits.count(), 3u);
+}
+
+TEST(Bitset, SetAtomicReportsFirstSetter)
+{
+    Bitset bits(64);
+    EXPECT_TRUE(bits.setAtomic(7));
+    EXPECT_FALSE(bits.setAtomic(7));
+    EXPECT_TRUE(bits.test(7));
+}
+
+TEST(Bitset, ForEachVisitsAscending)
+{
+    Bitset bits(200);
+    const std::vector<size_t> expected{3, 64, 65, 127, 128, 199};
+    for (size_t pos : expected)
+        bits.set(pos);
+    std::vector<size_t> seen;
+    bits.forEach([&](size_t pos) { seen.push_back(pos); });
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(Bitset, ClearKeepsSize)
+{
+    Bitset bits(70);
+    bits.set(69);
+    bits.clear();
+    EXPECT_EQ(bits.size(), 70u);
+    EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(Bitset, OrWithUnions)
+{
+    Bitset a(128), b(128);
+    a.set(1);
+    a.set(100);
+    b.set(2);
+    b.set(100);
+    a.orWith(b);
+    EXPECT_TRUE(a.test(1));
+    EXPECT_TRUE(a.test(2));
+    EXPECT_TRUE(a.test(100));
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Bitset, ResizeClears)
+{
+    Bitset bits(10);
+    bits.set(5);
+    bits.resize(20);
+    EXPECT_EQ(bits.count(), 0u);
+    EXPECT_EQ(bits.size(), 20u);
+}
+
+TEST(Bitset, ConcurrentSetAtomicCountsEachBitOnce)
+{
+    constexpr size_t kBits = 4096;
+    Bitset bits(kBits);
+    std::atomic<size_t> first_setters{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            size_t local = 0;
+            for (size_t i = 0; i < kBits; ++i)
+                if (bits.setAtomic(i))
+                    ++local;
+            first_setters += local;
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(first_setters.load(), kBits);
+    EXPECT_EQ(bits.count(), kBits);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/parallel.h"
+
+namespace ugc {
+namespace {
+
+TEST(ThreadPool, CoversWholeRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, 1000, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(5, 5, [&](int64_t, int64_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.numThreads(), 1u);
+    const auto main_id = std::this_thread::get_id();
+    pool.parallelFor(0, 10, [&](int64_t, int64_t) {
+        EXPECT_EQ(std::this_thread::get_id(), main_id);
+    });
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int64_t> sum{0};
+        pool.parallelFor(0, 100, [&](int64_t lo, int64_t hi) {
+            int64_t local = 0;
+            for (int64_t i = lo; i < hi; ++i)
+                local += i;
+            sum += local;
+        });
+        EXPECT_EQ(sum.load(), 4950);
+    }
+}
+
+TEST(ThreadPool, RangeSmallerThanThreads)
+{
+    ThreadPool pool(8);
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 3, [&](int64_t lo, int64_t hi) {
+        count += static_cast<int>(hi - lo);
+    });
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelForGlobal, Works)
+{
+    std::atomic<int64_t> sum{0};
+    parallelFor(1, 101, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i)
+            sum += i;
+    });
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+} // namespace
+} // namespace ugc

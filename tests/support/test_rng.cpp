@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace ugc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = rng.nextBounded(37);
+        EXPECT_LT(v, 37u);
+    }
+}
+
+TEST(Rng, NextBoundedCoversRange)
+{
+    Rng rng(11);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.nextBounded(8)] = true;
+    for (bool hit : seen)
+        EXPECT_TRUE(hit);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of U[0,1) should be near 0.5.
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitMix64KnownStream)
+{
+    // Reference values from the public-domain splitmix64 implementation.
+    uint64_t state = 0;
+    const uint64_t first = splitMix64(state);
+    EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "support/stats.h"
+
+namespace ugc {
+namespace {
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.stddev(), 1.1180, 1e-3);
+}
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(CounterSet, AddAndGet)
+{
+    CounterSet c;
+    c.add("reads");
+    c.add("reads", 4);
+    c.add("writes", 2.5);
+    EXPECT_DOUBLE_EQ(c.get("reads"), 5.0);
+    EXPECT_DOUBLE_EQ(c.get("writes"), 2.5);
+    EXPECT_DOUBLE_EQ(c.get("absent"), 0.0);
+}
+
+TEST(CounterSet, Merge)
+{
+    CounterSet a, b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 3);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(GeoMean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_NEAR(geoMean({4.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace ugc

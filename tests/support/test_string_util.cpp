@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "support/string_util.h"
+
+namespace ugc {
+namespace {
+
+TEST(Split, BasicFields)
+{
+    const auto fields = split("a:b:c", ':');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields)
+{
+    const auto fields = split(":x:", ':');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "");
+    EXPECT_EQ(fields[1], "x");
+    EXPECT_EQ(fields[2], "");
+}
+
+TEST(Trim, StripsWhitespace)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(strprintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("%s", "plain"), "plain");
+}
+
+TEST(StartsWith, Basic)
+{
+    EXPECT_TRUE(startsWith("s0:s1", "s0"));
+    EXPECT_FALSE(startsWith("s0", "s0:s1"));
+    EXPECT_TRUE(startsWith("anything", ""));
+}
+
+} // namespace
+} // namespace ugc

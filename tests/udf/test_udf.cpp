@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include "ir/program.h"
+#include "udf/compiler.h"
+#include "udf/interp.h"
+
+namespace ugc {
+namespace {
+
+/** Test fixture with a program declaring common properties/globals. */
+class UdfTest : public ::testing::Test
+{
+  protected:
+    UdfTest()
+    {
+        program.addGlobal(std::make_shared<VarDeclStmt>(
+            "parent", TypeDesc::vertexData(ElemType::Int32)));
+        program.addGlobal(std::make_shared<VarDeclStmt>(
+            "rank", TypeDesc::vertexData(ElemType::Float64)));
+        program.addGlobal(std::make_shared<VarDeclStmt>(
+            "damp", TypeDesc::scalar(ElemType::Float64),
+            floatConst(0.85)));
+        symbols = SymbolTables::fromProgram(program);
+
+        parent = std::make_unique<VertexData>("parent", ElemType::Int32, 16,
+                                              space);
+        rank = std::make_unique<VertexData>("rank", ElemType::Float64, 16,
+                                            space);
+        parent->fillInt(-1);
+        globals.resize(1);
+        globals[0].f = 0.85;
+
+        runtime.props = {parent.get(), rank.get()};
+        runtime.globals = &globals;
+        runtime.enqueue = [this](VertexId v) { enqueued.push_back(v); };
+        runtime.updatePriorityMin = [](VertexId, int64_t) { return false; };
+    }
+
+    Reg
+    run(const Chunk &chunk, std::initializer_list<int64_t> int_args)
+    {
+        std::vector<Reg> args;
+        for (int64_t a : int_args)
+            args.push_back(regOfInt(a));
+        return runUdf(chunk, args, runtime, stats);
+    }
+
+    Program program;
+    SymbolTables symbols;
+    AddrSpace space;
+    std::unique_ptr<VertexData> parent;
+    std::unique_ptr<VertexData> rank;
+    std::vector<Reg> globals;
+    std::vector<VertexId> enqueued;
+    UdfRuntime runtime;
+    UdfStats stats;
+};
+
+/** The canonical lowered BFS updateEdge (Fig 4). */
+FunctionPtr
+bfsUpdateEdge()
+{
+    auto func = std::make_shared<Function>();
+    func->name = "updateEdge";
+    func->params = {{"src", TypeDesc::scalar(ElemType::Int32)},
+                    {"dst", TypeDesc::scalar(ElemType::Int32)}};
+    auto cas = std::make_shared<CompareAndSwapExpr>(
+        "parent", varRef("dst"), intConst(-1), varRef("src"));
+    cas->setMetadata("is_atomic", true);
+    auto decl = std::make_shared<VarDeclStmt>(
+        "enqueue", TypeDesc::scalar(ElemType::Bool), cas);
+    auto branch = std::make_shared<IfStmt>(
+        varRef("enqueue"),
+        std::vector<StmtPtr>{
+            std::make_shared<EnqueueVertexStmt>("output", varRef("dst"))});
+    func->body = {decl, branch};
+    return func;
+}
+
+TEST_F(UdfTest, BfsUpdateEdgeFirstVisitEnqueues)
+{
+    const Chunk chunk = compileUdf(*bfsUpdateEdge(), symbols);
+    run(chunk, {3, 7});
+    EXPECT_EQ(parent->getInt(7), 3);
+    ASSERT_EQ(enqueued.size(), 1u);
+    EXPECT_EQ(enqueued[0], 7);
+    EXPECT_EQ(stats.atomics, 1u);
+    EXPECT_EQ(stats.updates, 1u);
+}
+
+TEST_F(UdfTest, BfsUpdateEdgeSecondVisitDoesNot)
+{
+    const Chunk chunk = compileUdf(*bfsUpdateEdge(), symbols);
+    run(chunk, {3, 7});
+    run(chunk, {5, 7});
+    EXPECT_EQ(parent->getInt(7), 3); // first writer wins
+    EXPECT_EQ(enqueued.size(), 1u);
+}
+
+TEST_F(UdfTest, NonAtomicModeSkipsAtomics)
+{
+    const Chunk chunk = compileUdf(*bfsUpdateEdge(), symbols);
+    runtime.useAtomics = false;
+    run(chunk, {3, 7});
+    EXPECT_EQ(parent->getInt(7), 3);
+    EXPECT_EQ(stats.atomics, 0u);
+}
+
+TEST_F(UdfTest, ResultValueReturned)
+{
+    // func toFilter(v) -> output: bool { output = (parent[v] == -1); }
+    auto func = std::make_shared<Function>();
+    func->name = "toFilter";
+    func->params = {{"v", TypeDesc::scalar(ElemType::Int32)}};
+    func->resultName = "output";
+    func->resultType = TypeDesc::scalar(ElemType::Bool);
+    func->body = {std::make_shared<AssignStmt>(
+        "output",
+        binary(BinaryOp::Eq, propRead("parent", varRef("v")),
+               intConst(-1)))};
+    const Chunk chunk = compileUdf(*func, symbols);
+
+    std::vector<Reg> args{regOfInt(5)};
+    EXPECT_TRUE(runUdfBool(chunk, args, runtime, stats));
+    parent->setInt(5, 2);
+    EXPECT_FALSE(runUdfBool(chunk, args, runtime, stats));
+}
+
+TEST_F(UdfTest, FloatArithmeticAndGlobals)
+{
+    // rank[v] = rank[v] * damp + 0.15
+    auto func = std::make_shared<Function>();
+    func->name = "scaleRank";
+    func->params = {{"v", TypeDesc::scalar(ElemType::Int32)}};
+    func->body = {std::make_shared<PropWriteStmt>(
+        "rank", varRef("v"),
+        binary(BinaryOp::Add,
+               binary(BinaryOp::Mul, propRead("rank", varRef("v")),
+                      varRef("damp")),
+               floatConst(0.15)))};
+    const Chunk chunk = compileUdf(*func, symbols);
+    rank->setFloat(2, 1.0);
+    run(chunk, {2});
+    EXPECT_DOUBLE_EQ(rank->getFloat(2), 1.0 * 0.85 + 0.15);
+}
+
+TEST_F(UdfTest, ReductionSumAtomic)
+{
+    auto func = std::make_shared<Function>();
+    func->name = "accumulate";
+    func->params = {{"src", TypeDesc::scalar(ElemType::Int32)},
+                    {"dst", TypeDesc::scalar(ElemType::Int32)}};
+    auto reduction = std::make_shared<ReductionStmt>(
+        "rank", varRef("dst"), ReductionType::Sum, floatConst(0.5));
+    reduction->setMetadata("is_atomic", true);
+    func->body = {reduction};
+    const Chunk chunk = compileUdf(*func, symbols);
+    run(chunk, {0, 3});
+    run(chunk, {1, 3});
+    EXPECT_DOUBLE_EQ(rank->getFloat(3), 1.0);
+    EXPECT_EQ(stats.atomics, 2u);
+}
+
+TEST_F(UdfTest, ReductionMinTracksResultVar)
+{
+    program.addGlobal(std::make_shared<VarDeclStmt>(
+        "dist", TypeDesc::vertexData(ElemType::Int64)));
+    symbols = SymbolTables::fromProgram(program);
+    VertexData dist("dist", ElemType::Int64, 16, space);
+    dist.fillInt(100);
+    runtime.props = {parent.get(), rank.get(), &dist};
+
+    // changed = (dist[dst] min= src); if changed enqueue(dst)
+    auto func = std::make_shared<Function>();
+    func->name = "relax";
+    func->params = {{"src", TypeDesc::scalar(ElemType::Int64)},
+                    {"dst", TypeDesc::scalar(ElemType::Int32)}};
+    auto reduction = std::make_shared<ReductionStmt>(
+        "dist", varRef("dst"), ReductionType::Min, varRef("src"));
+    reduction->resultVar = "changed";
+    auto branch = std::make_shared<IfStmt>(
+        varRef("changed"),
+        std::vector<StmtPtr>{
+            std::make_shared<EnqueueVertexStmt>("out", varRef("dst"))});
+    func->body = {reduction, branch};
+    const Chunk chunk = compileUdf(*func, symbols);
+
+    run(chunk, {42, 5});
+    EXPECT_EQ(dist.getInt(5), 42);
+    EXPECT_EQ(enqueued.size(), 1u);
+    run(chunk, {60, 5}); // no improvement
+    EXPECT_EQ(dist.getInt(5), 42);
+    EXPECT_EQ(enqueued.size(), 1u);
+}
+
+TEST_F(UdfTest, WhileLoopAndLocals)
+{
+    // out = sum of 0..v-1 via a loop
+    auto func = std::make_shared<Function>();
+    func->name = "sumTo";
+    func->params = {{"v", TypeDesc::scalar(ElemType::Int64)}};
+    func->resultName = "out";
+    func->resultType = TypeDesc::scalar(ElemType::Int64);
+    func->body = {
+        std::make_shared<VarDeclStmt>("i", TypeDesc::scalar(ElemType::Int64),
+                                      intConst(0)),
+        std::make_shared<WhileStmt>(
+            binary(BinaryOp::Lt, varRef("i"), varRef("v")),
+            std::vector<StmtPtr>{
+                std::make_shared<AssignStmt>(
+                    "out", binary(BinaryOp::Add, varRef("out"),
+                                  varRef("i"))),
+                std::make_shared<AssignStmt>(
+                    "i", binary(BinaryOp::Add, varRef("i"), intConst(1))),
+            }),
+    };
+    const Chunk chunk = compileUdf(*func, symbols);
+    EXPECT_EQ(run(chunk, {5}).i, 10);
+    EXPECT_EQ(run(chunk, {0}).i, 0);
+}
+
+TEST_F(UdfTest, ComparisonAndLogicOps)
+{
+    auto check = [&](ExprPtr expr, bool expected) {
+        auto func = std::make_shared<Function>();
+        func->name = "check";
+        func->resultName = "out";
+        func->resultType = TypeDesc::scalar(ElemType::Bool);
+        func->body = {std::make_shared<AssignStmt>("out", expr)};
+        const Chunk chunk = compileUdf(*func, symbols);
+        EXPECT_EQ(run(chunk, {}).i != 0, expected);
+    };
+    check(binary(BinaryOp::Gt, intConst(3), intConst(2)), true);
+    check(binary(BinaryOp::Ge, intConst(2), intConst(2)), true);
+    check(binary(BinaryOp::Ne, intConst(2), intConst(2)), false);
+    check(binary(BinaryOp::And, intConst(1), intConst(0)), false);
+    check(binary(BinaryOp::Or, intConst(1), intConst(0)), true);
+    check(unary(UnaryOp::Not, intConst(0)), true);
+    check(binary(BinaryOp::Lt, floatConst(1.5), floatConst(2.0)), true);
+    check(binary(BinaryOp::Mod,
+                 intConst(7), intConst(4)),
+          true); // 3 != 0
+}
+
+TEST_F(UdfTest, MixedIntFloatPromotion)
+{
+    auto func = std::make_shared<Function>();
+    func->name = "mixed";
+    func->resultName = "out";
+    func->resultType = TypeDesc::scalar(ElemType::Float64);
+    func->body = {std::make_shared<AssignStmt>(
+        "out", binary(BinaryOp::Add, intConst(1), floatConst(0.5)))};
+    const Chunk chunk = compileUdf(*func, symbols);
+    EXPECT_DOUBLE_EQ(run(chunk, {}).f, 1.5);
+}
+
+TEST_F(UdfTest, DivisionByZeroThrows)
+{
+    auto func = std::make_shared<Function>();
+    func->name = "boom";
+    func->resultName = "out";
+    func->resultType = TypeDesc::scalar(ElemType::Int64);
+    func->body = {std::make_shared<AssignStmt>(
+        "out", binary(BinaryOp::Div, intConst(1), intConst(0)))};
+    const Chunk chunk = compileUdf(*func, symbols);
+    EXPECT_THROW(run(chunk, {}), std::runtime_error);
+}
+
+TEST_F(UdfTest, UnknownVariableFailsAtCompile)
+{
+    auto func = std::make_shared<Function>();
+    func->name = "bad";
+    func->body = {std::make_shared<AssignStmt>("nope", intConst(1))};
+    EXPECT_THROW(compileUdf(*func, symbols), std::runtime_error);
+}
+
+TEST_F(UdfTest, UnknownPropertyFailsAtCompile)
+{
+    auto func = std::make_shared<Function>();
+    func->name = "bad";
+    func->params = {{"v", TypeDesc::scalar(ElemType::Int32)}};
+    func->body = {std::make_shared<PropWriteStmt>("ghost", varRef("v"),
+                                                  intConst(0))};
+    EXPECT_THROW(compileUdf(*func, symbols), std::runtime_error);
+}
+
+TEST_F(UdfTest, AccessRecorderSeesAddresses)
+{
+    struct Recorder : AccessRecorder
+    {
+        std::vector<std::pair<Addr, bool>> accesses;
+        void
+        record(Addr addr, bool is_write) override
+        {
+            accesses.push_back({addr, is_write});
+        }
+    } recorder;
+    runtime.recorder = &recorder;
+
+    const Chunk chunk = compileUdf(*bfsUpdateEdge(), symbols);
+    run(chunk, {3, 7});
+    ASSERT_EQ(recorder.accesses.size(), 1u);
+    EXPECT_EQ(recorder.accesses[0].first, parent->addrOf(7));
+    EXPECT_TRUE(recorder.accesses[0].second); // successful CAS = write
+}
+
+TEST_F(UdfTest, StatsCountInstructions)
+{
+    const Chunk chunk = compileUdf(*bfsUpdateEdge(), symbols);
+    run(chunk, {3, 7});
+    EXPECT_GT(stats.instructions, 3u);
+    EXPECT_EQ(stats.enqueues, 1u);
+}
+
+TEST_F(UdfTest, DisassembleMentionsOps)
+{
+    const Chunk chunk = compileUdf(*bfsUpdateEdge(), symbols);
+    const std::string text = disassemble(chunk);
+    EXPECT_NE(text.find("CasProp"), std::string::npos);
+    EXPECT_NE(text.find("Enqueue"), std::string::npos);
+    EXPECT_NE(text.find("[atomic]"), std::string::npos);
+}
+
+} // namespace
+} // namespace ugc

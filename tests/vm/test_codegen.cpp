@@ -1,0 +1,108 @@
+/**
+ * Code-generation unit tests: the shared C++ renderer and each backend's
+ * emitted dialect.
+ */
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "vm/codegen_util.h"
+#include "vm/factory.h"
+
+namespace ugc {
+namespace {
+
+TEST(CodegenUtil, ExprRendering)
+{
+    EXPECT_EQ(codegen::exprToCpp(intConst(42)), "42");
+    EXPECT_EQ(codegen::exprToCpp(floatConst(0.85)), "0.85");
+    EXPECT_EQ(codegen::exprToCpp(varRef("x")), "x");
+    EXPECT_EQ(codegen::exprToCpp(propRead("parent", varRef("v"))),
+              "parent[v]");
+    EXPECT_EQ(codegen::exprToCpp(
+                  binary(BinaryOp::And, varRef("a"), varRef("b"))),
+              "(a && b)");
+    EXPECT_EQ(codegen::exprToCpp(unary(UnaryOp::Not, varRef("a"))), "!a");
+    EXPECT_EQ(codegen::exprToCpp(vertexSetSize("frontier")),
+              "frontier.size()");
+}
+
+TEST(CodegenUtil, CasRendersAtomicOrPlain)
+{
+    auto cas = std::make_shared<CompareAndSwapExpr>(
+        "parent", varRef("dst"), intConst(-1), varRef("src"));
+    EXPECT_NE(codegen::exprToCpp(cas).find("check_and_set"),
+              std::string::npos);
+    cas->setMetadata("is_atomic", true);
+    EXPECT_NE(codegen::exprToCpp(cas).find("compare_and_swap"),
+              std::string::npos);
+}
+
+TEST(CodegenUtil, ReductionRendering)
+{
+    auto sum = std::make_shared<ReductionStmt>(
+        "rank", varRef("dst"), ReductionType::Sum, varRef("c"));
+    sum->setMetadata("is_atomic", true);
+    EXPECT_NE(codegen::stmtToCpp(sum, 0).find("fetch_add"),
+              std::string::npos);
+    auto min_plain = std::make_shared<ReductionStmt>(
+        "dist", varRef("dst"), ReductionType::Min, varRef("d"));
+    min_plain->resultVar = "changed";
+    const std::string text = codegen::stmtToCpp(min_plain, 0);
+    EXPECT_NE(text.find("bool changed = "), std::string::npos);
+    EXPECT_NE(text.find("plain_atomic_min"), std::string::npos);
+}
+
+TEST(CodegenUtil, ControlFlowIndentation)
+{
+    auto branch = std::make_shared<IfStmt>(
+        varRef("c"),
+        std::vector<StmtPtr>{std::make_shared<AssignStmt>("x",
+                                                          intConst(1))},
+        std::vector<StmtPtr>{std::make_shared<AssignStmt>("x",
+                                                          intConst(2))});
+    const std::string text = codegen::stmtToCpp(branch, 1);
+    EXPECT_NE(text.find("    if (c) {"), std::string::npos);
+    EXPECT_NE(text.find("        x = 1;"), std::string::npos);
+    EXPECT_NE(text.find("    } else {"), std::string::npos);
+}
+
+TEST(CodegenUtil, UdfSignature)
+{
+    Function func;
+    func.name = "toFilter";
+    func.params = {{"v", TypeDesc::scalar(ElemType::Int32)}};
+    func.resultName = "output";
+    func.resultType = TypeDesc::scalar(ElemType::Bool);
+    func.body = {std::make_shared<AssignStmt>("output", intConst(1))};
+    const std::string text = codegen::udfToCpp(func, "__device__ inline");
+    EXPECT_NE(text.find("__device__ inline bool"), std::string::npos);
+    EXPECT_NE(text.find("toFilter(int32_t v)"), std::string::npos);
+    EXPECT_NE(text.find("return output;"), std::string::npos);
+}
+
+class BackendCodegen : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BackendCodegen, EmitsAllFiveAlgorithms)
+{
+    auto vm = createGraphVM(GetParam());
+    for (const auto &algorithm : algorithms::all()) {
+        ProgramPtr program = algorithms::buildProgram(algorithm);
+        const std::string code = vm->emitCode(*program);
+        EXPECT_GT(code.size(), 300u)
+            << GetParam() << "/" << algorithm.name;
+        // Every backend names the direction-lowered UDF variant.
+        EXPECT_NE(code.find("_push"), std::string::npos)
+            << GetParam() << "/" << algorithm.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendCodegen,
+                         ::testing::Values("cpu", "gpu", "swarm", "hb"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace ugc

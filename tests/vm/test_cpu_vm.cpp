@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "reference/reference.h"
+#include "vm/cpu/cpu_vm.h"
+
+namespace ugc {
+namespace {
+
+RunInputs
+inputsFor(const Graph &graph, VertexId start = 0, int64_t arg3 = 10)
+{
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, start, arg3};
+    return inputs;
+}
+
+class CpuAlgorithms : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CpuAlgorithms, MatchesReferenceOnRmat)
+{
+    const std::string name = GetParam();
+    const auto &algorithm = algorithms::byName(name);
+    const Graph graph = gen::rmat(9, 8, 0.57, 0.19, 0.19,
+                                  algorithm.needsWeights, 7);
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    CpuVM vm;
+    // args[3]: PR iteration count / SSSP delta.
+    const RunResult result =
+        vm.run(*program, inputsFor(graph, 3, name == "pr" ? 10 : 4));
+
+    if (name == "bfs") {
+        EXPECT_TRUE(
+            reference::validBfsParents(graph, 3, result.property("parent")));
+    } else if (name == "sssp") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("dist"), reference::ssspDistances(graph, 3)));
+    } else if (name == "pr") {
+        EXPECT_TRUE(reference::closeTo(result.property("old_rank"),
+                                       reference::pageRank(graph, 10),
+                                       1e-9));
+    } else if (name == "cc") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("IDs"), reference::connectedComponents(graph)));
+    } else if (name == "bc") {
+        EXPECT_TRUE(reference::closeTo(result.property("dependences"),
+                                       reference::bcDependencies(graph, 3),
+                                       1e-6));
+    }
+}
+
+TEST_P(CpuAlgorithms, MatchesReferenceOnRoadGrid)
+{
+    const std::string name = GetParam();
+    const auto &algorithm = algorithms::byName(name);
+    const Graph graph = gen::roadGrid(15, 20, algorithm.needsWeights, 11);
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    algorithms::applyTunedSchedule(*program, name, "cpu",
+                                   datasets::GraphKind::Road);
+    CpuVM vm;
+    const RunResult result =
+        vm.run(*program, inputsFor(graph, 0, name == "pr" ? 5 : 64));
+
+    if (name == "bfs") {
+        EXPECT_TRUE(
+            reference::validBfsParents(graph, 0, result.property("parent")));
+    } else if (name == "sssp") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("dist"), reference::ssspDistances(graph, 0)));
+    } else if (name == "pr") {
+        EXPECT_TRUE(reference::closeTo(result.property("old_rank"),
+                                       reference::pageRank(graph, 5),
+                                       1e-9));
+    } else if (name == "cc") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("IDs"), reference::connectedComponents(graph)));
+    } else if (name == "bc") {
+        EXPECT_TRUE(reference::closeTo(result.property("dependences"),
+                                       reference::bcDependencies(graph, 0),
+                                       1e-6));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CpuAlgorithms,
+                         ::testing::Values("pr", "bfs", "sssp", "cc", "bc"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(CpuVm, DeterministicCycles)
+{
+    const Graph graph = gen::rmat(8, 8);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    CpuVM vm;
+    const RunResult a = vm.run(*program, inputsFor(graph));
+    const RunResult b = vm.run(*program, inputsFor(graph));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_GT(a.cycles, 0u);
+    EXPECT_EQ(a.property("parent"), b.property("parent"));
+}
+
+TEST(CpuVm, HybridScheduleReducesWorkOnSocialGraphs)
+{
+    const Graph graph = gen::rmat(11, 16);
+    const auto &bfs = algorithms::byName("bfs");
+
+    ProgramPtr baseline = algorithms::buildProgram(bfs);
+    CpuVM vm;
+    const RunResult base = vm.run(*baseline, inputsFor(graph));
+
+    ProgramPtr tuned = algorithms::buildProgram(bfs);
+    algorithms::applyTunedSchedule(*tuned, "bfs", "cpu",
+                                   datasets::GraphKind::Social);
+    const RunResult opt = vm.run(*tuned, inputsFor(graph));
+
+    // Identical answers; hybrid traversal scans fewer edges and runs
+    // faster on the model.
+    EXPECT_TRUE(
+        reference::validBfsParents(graph, 0, opt.property("parent")));
+    EdgeId base_edges = 0, opt_edges = 0;
+    for (const auto &it : base.trace)
+        base_edges += it.edgesTraversed;
+    for (const auto &it : opt.trace)
+        opt_edges += it.edgesTraversed;
+    EXPECT_LT(opt_edges, base_edges);
+    EXPECT_LT(opt.cycles, base.cycles);
+}
+
+TEST(CpuVm, BucketFusionReducesRoundsOnRoadSssp)
+{
+    const Graph graph = gen::roadGrid(30, 30, true, 3);
+    const auto &sssp = algorithms::byName("sssp");
+
+    ProgramPtr baseline = algorithms::buildProgram(sssp);
+    CpuVM vm;
+    const RunResult base = vm.run(*baseline, inputsFor(graph, 0, 1));
+
+    ProgramPtr tuned = algorithms::buildProgram(sssp);
+    algorithms::applyTunedSchedule(*tuned, "sssp", "cpu",
+                                   datasets::GraphKind::Road);
+    const RunResult opt = vm.run(*tuned, inputsFor(graph, 0, 1));
+
+    EXPECT_TRUE(reference::equalInt(opt.property("dist"),
+                                    reference::ssspDistances(graph, 0)));
+    EXPECT_LT(opt.cycles, base.cycles);
+}
+
+TEST(CpuVm, ParallelExecutionStaysValid)
+{
+    const Graph graph = gen::rmat(10, 8);
+    const auto &bfs = algorithms::byName("bfs");
+    ProgramPtr program = algorithms::buildProgram(bfs);
+    CpuVM vm;
+    vm.setNumThreads(4);
+    const RunResult result = vm.run(*program, inputsFor(graph, 1));
+    EXPECT_TRUE(
+        reference::validBfsParents(graph, 1, result.property("parent")));
+}
+
+TEST(CpuVm, ParallelCcMatchesSerial)
+{
+    const Graph graph = gen::rmat(9, 6);
+    const auto &cc = algorithms::byName("cc");
+    ProgramPtr program = algorithms::buildProgram(cc);
+    CpuVM serial_vm, parallel_vm;
+    parallel_vm.setNumThreads(4);
+    const RunResult serial = serial_vm.run(*program, inputsFor(graph));
+    const RunResult parallel = parallel_vm.run(*program, inputsFor(graph));
+    // Min-label propagation converges to the same fixpoint regardless of
+    // interleaving.
+    EXPECT_EQ(serial.property("IDs"), parallel.property("IDs"));
+}
+
+TEST(CpuVm, EmitCodeLooksLikeGraphItOutput)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    CpuVM vm;
+    const std::string code = vm.emitCode(*program);
+    EXPECT_NE(code.find("cpu_runtime.h"), std::string::npos);
+    EXPECT_NE(code.find("updateEdge_push_tracked"), std::string::npos);
+    EXPECT_NE(code.find("compare_and_swap"), std::string::npos);
+    EXPECT_NE(code.find("int\nmain"), std::string::npos);
+}
+
+TEST(CpuVm, TraceRecordsIterations)
+{
+    const Graph graph = gen::path(50);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    CpuVM vm;
+    const RunResult result = vm.run(*program, inputsFor(graph));
+    // A path from vertex 0 has ~n BFS rounds.
+    EXPECT_GT(result.trace.size(), 40u);
+    for (const auto &it : result.trace)
+        EXPECT_GE(it.frontierSize, 1);
+}
+
+TEST(CpuVm, CountersPopulated)
+{
+    const Graph graph = gen::rmat(8, 8);
+    ProgramPtr program = algorithms::buildProgram(algorithms::byName("cc"));
+    CpuVM vm;
+    const RunResult result = vm.run(*program, inputsFor(graph));
+    EXPECT_GT(result.counters.get("cpu.instructions"), 0.0);
+    EXPECT_GT(result.counters.get("cpu.edges"), 0.0);
+    EXPECT_GT(result.counters.get("cpu.rounds"), 0.0);
+}
+
+} // namespace
+} // namespace ugc

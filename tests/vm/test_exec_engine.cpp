@@ -1,0 +1,196 @@
+/**
+ * Execution-engine specifics not covered by the algorithm suites:
+ * transposed edge sets, hybrid runtime conditions, set moves, and the
+ * AoS/SoA layout knob.
+ */
+#include <gtest/gtest.h>
+
+#include "frontend/sema.h"
+#include "graph/generators.h"
+#include "sched/apply.h"
+#include "vm/cpu/cpu_vm.h"
+
+namespace ugc {
+namespace {
+
+RunResult
+runSource(const char *source, const Graph &graph,
+          const std::function<void(Program &)> &configure = {})
+{
+    ProgramPtr program = frontend::compileSource(source, "test");
+    if (configure)
+        configure(*program);
+    CpuVM vm;
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, 0, 4};
+    return vm.run(*program, inputs);
+}
+
+TEST(ExecEngine, TransposedEdgeSetIteratesInNeighbors)
+{
+    // Directed chain 0 -> 1 -> 2; pushing over the transpose walks
+    // backwards from each source's in-edges.
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const t_edges : edgeset{Edge}(Vertex, Vertex) = edges.transpose();
+const hits : vector{Vertex}(int) = 0;
+func countEdge(src : Vertex, dst : Vertex)
+    hits[dst] += 1;
+end
+func main()
+    t_edges.apply(countEdge);
+end
+)";
+    const Graph graph =
+        Graph::fromEdges(3, {{0, 1}, {1, 2}}, false, false);
+    const RunResult result = runSource(source, graph);
+    // Transposed edges are (1,0) and (2,1): dst hits at 0 and 1.
+    EXPECT_DOUBLE_EQ(result.property("hits")[0], 1.0);
+    EXPECT_DOUBLE_EQ(result.property("hits")[1], 1.0);
+    EXPECT_DOUBLE_EQ(result.property("hits")[2], 0.0);
+}
+
+const char *kCountSource = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const hits : vector{Vertex}(int) = 0;
+func countEdge(src : Vertex, dst : Vertex)
+    hits[dst] += 1;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(3);
+    #s1# edges.from(frontier).apply(countEdge);
+end
+)";
+
+TEST(ExecEngine, HybridConditionSelectsBySetSize)
+{
+    const Graph graph = gen::complete(10);
+    // Frontier = {0,1,2} (30% of vertices). Threshold 0.5 -> "small" ->
+    // first (push) branch; threshold 0.1 -> second (pull) branch.
+    for (double threshold : {0.5, 0.1}) {
+        const RunResult result = runSource(
+            kCountSource, graph, [&](Program &program) {
+                SimpleCPUSchedule push, pull;
+                push.configDirection(Direction::Push);
+                pull.configDirection(Direction::Pull);
+                applyCPUSchedule(program, "s1",
+                                 CompositeCPUSchedule(
+                                     HybridCriteria::InputSetSize,
+                                     threshold, push, pull));
+            });
+        ASSERT_EQ(result.trace.size(), 1u);
+        EXPECT_EQ(result.trace[0].direction,
+                  threshold > 0.3 ? Direction::Push : Direction::Pull);
+        // Either direction counts each frontier out-edge exactly once.
+        double total = 0;
+        for (double h : result.property("hits"))
+            total += h;
+        EXPECT_DOUBLE_EQ(total, 27.0); // 3 vertices x degree 9
+    }
+}
+
+TEST(ExecEngine, HybridSumDegreeCriteria)
+{
+    const Graph graph = gen::star(9); // vertex 0 has degree 9
+    const RunResult result = runSource(
+        kCountSource, graph, [&](Program &program) {
+            SimpleCPUSchedule push, pull;
+            push.configDirection(Direction::Push);
+            pull.configDirection(Direction::Pull);
+            // Frontier {0,1,2} covers 11 of 18 directed edges (61%):
+            // above the 0.5 fraction -> dense -> pull branch.
+            applyCPUSchedule(program, "s1",
+                             CompositeCPUSchedule(
+                                 HybridCriteria::InputSetSumDegree, 0.5,
+                                 push, pull));
+        });
+    ASSERT_EQ(result.trace.size(), 1u);
+    EXPECT_EQ(result.trace[0].direction, Direction::Pull);
+}
+
+TEST(ExecEngine, AosLayoutReducesModeledMisses)
+{
+    // PageRank touches several properties per vertex; with a small LLC,
+    // interleaving them (AoS) must reduce modeled cycles.
+    const Graph graph = gen::rmat(10, 10);
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const a : vector{Vertex}(float) = 0.0;
+const b : vector{Vertex}(float) = 1.0;
+func touchBoth(src : Vertex, dst : Vertex)
+    a[dst] += b[dst] + b[src];
+end
+func main()
+    #s1# edges.apply(touchBoth);
+end
+)";
+    CpuParams params;
+    params.llcBytes = 16 << 10;
+    auto run_with = [&](VertexDataLayout layout) {
+        ProgramPtr program = frontend::compileSource(source, "layout");
+        SimpleCPUSchedule sched;
+        sched.configLayout(layout);
+        applyCPUSchedule(*program, "s1", sched);
+        CpuVM vm(params);
+        RunInputs inputs;
+        inputs.graph = &graph;
+        return vm.run(*program, inputs).cycles;
+    };
+    EXPECT_LT(run_with(VertexDataLayout::ArrayOfStructs),
+              run_with(VertexDataLayout::StructOfArrays));
+}
+
+TEST(ExecEngine, GlobalScalarsSharedBetweenMainAndUdfs)
+{
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const scale : int = 1;
+const out : vector{Vertex}(int) = 0;
+func apply(v : Vertex)
+    out[v] = scale;
+end
+const vertices : vertexset{Vertex} = edges.getVertices();
+func main()
+    scale = 7;
+    vertices.apply(apply);
+    scale = scale + 1;
+    vertices.apply(apply);
+end
+)";
+    const Graph graph = gen::path(4);
+    const RunResult result = runSource(source, graph);
+    EXPECT_DOUBLE_EQ(result.property("out")[0], 8.0);
+}
+
+TEST(ExecEngine, DeleteThenReassignFrontier)
+{
+    // The BFS idiom `delete frontier; frontier = output;` must move the
+    // output set without copying or leaking.
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const seen : vector{Vertex}(int) = -1;
+func mark(src : Vertex, dst : Vertex)
+    seen[dst] = src;
+end
+func unseen(v : Vertex) -> output : bool
+    output = (seen[v] == -1);
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(1);
+    seen[0] = 0;
+    var output : vertexset{Vertex} =
+        edges.from(frontier).to(unseen).applyModified(mark, seen, true);
+    delete frontier;
+    frontier = output;
+    var next : vertexset{Vertex} =
+        edges.from(frontier).to(unseen).applyModified(mark, seen, true);
+end
+)";
+    const Graph graph = gen::path(6);
+    const RunResult result = runSource(source, graph);
+    EXPECT_DOUBLE_EQ(result.property("seen")[2], 1.0);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "reference/reference.h"
+#include "vm/gpu/gpu_vm.h"
+
+namespace ugc {
+namespace {
+
+RunInputs
+inputsFor(const Graph &graph, VertexId start = 0, int64_t arg3 = 10)
+{
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, start, arg3};
+    return inputs;
+}
+
+class GpuAlgorithms : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GpuAlgorithms, TunedScheduleMatchesReference)
+{
+    const std::string name = GetParam();
+    const auto &algorithm = algorithms::byName(name);
+    const Graph graph = gen::rmat(9, 8, 0.57, 0.19, 0.19,
+                                  algorithm.needsWeights, 21);
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    algorithms::applyTunedSchedule(*program, name, "gpu",
+                                   datasets::GraphKind::Social);
+    GpuVM vm;
+    const RunResult result =
+        vm.run(*program, inputsFor(graph, 5, name == "pr" ? 8 : 4));
+
+    if (name == "bfs") {
+        EXPECT_TRUE(
+            reference::validBfsParents(graph, 5, result.property("parent")));
+    } else if (name == "sssp") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("dist"), reference::ssspDistances(graph, 5)));
+    } else if (name == "pr") {
+        EXPECT_TRUE(reference::closeTo(result.property("old_rank"),
+                                       reference::pageRank(graph, 8),
+                                       1e-9));
+    } else if (name == "cc") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("IDs"), reference::connectedComponents(graph)));
+    } else if (name == "bc") {
+        EXPECT_TRUE(reference::closeTo(result.property("dependences"),
+                                       reference::bcDependencies(graph, 5),
+                                       1e-6));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, GpuAlgorithms,
+                         ::testing::Values("pr", "bfs", "sssp", "cc", "bc"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(GpuVm, KernelFusionHelpsRoadBfs)
+{
+    // Road graphs: thousands of tiny frontiers — launch overhead
+    // dominates, fusion amortizes it (§III-C2).
+    const Graph graph = gen::roadGrid(40, 40, false, 9);
+    const auto &bfs = algorithms::byName("bfs");
+
+    GpuVM vm;
+    ProgramPtr baseline = algorithms::buildProgram(bfs);
+    const RunResult base = vm.run(*baseline, inputsFor(graph));
+
+    ProgramPtr tuned = algorithms::buildProgram(bfs);
+    algorithms::applyTunedSchedule(*tuned, "bfs", "gpu",
+                                   datasets::GraphKind::Road);
+    const RunResult opt = vm.run(*tuned, inputsFor(graph));
+
+    EXPECT_TRUE(
+        reference::validBfsParents(graph, 0, opt.property("parent")));
+    EXPECT_LT(opt.cycles, base.cycles);
+    // Fused execution launches far fewer kernels.
+    EXPECT_LT(opt.counters.get("gpu.kernels"),
+              base.counters.get("gpu.kernels") / 4);
+    EXPECT_GT(opt.counters.get("gpu.grid_syncs"), 0.0);
+}
+
+TEST(GpuVm, EtwcBeatsVertexBasedOnSkewedGraphs)
+{
+    const Graph graph = gen::rmat(11, 16);
+    const auto &cc = algorithms::byName("cc");
+
+    GpuVM vm;
+    ProgramPtr baseline = algorithms::buildProgram(cc);
+    const RunResult base = vm.run(*baseline, inputsFor(graph));
+
+    ProgramPtr tuned = algorithms::buildProgram(cc);
+    algorithms::applyTunedSchedule(*tuned, "cc", "gpu",
+                                   datasets::GraphKind::Social);
+    const RunResult opt = vm.run(*tuned, inputsFor(graph));
+
+    EXPECT_TRUE(reference::equalInt(opt.property("IDs"),
+                                    reference::connectedComponents(graph)));
+    EXPECT_LT(opt.cycles, base.cycles);
+    // The vertex-based baseline pays straggler cycles on skewed degrees.
+    EXPECT_GT(base.counters.get("gpu.straggler_cycles"),
+              opt.counters.get("gpu.straggler_cycles"));
+}
+
+TEST(GpuVm, HybridBfsMatchesAndBeatsBaselineOnSocial)
+{
+    const Graph graph = gen::rmat(11, 16);
+    const auto &bfs = algorithms::byName("bfs");
+
+    GpuVM vm;
+    ProgramPtr baseline = algorithms::buildProgram(bfs);
+    const RunResult base = vm.run(*baseline, inputsFor(graph, 2));
+
+    ProgramPtr tuned = algorithms::buildProgram(bfs);
+    algorithms::applyTunedSchedule(*tuned, "bfs", "gpu",
+                                   datasets::GraphKind::Social);
+    const RunResult opt = vm.run(*tuned, inputsFor(graph, 2));
+
+    EXPECT_TRUE(
+        reference::validBfsParents(graph, 2, opt.property("parent")));
+    EXPECT_LT(opt.cycles, base.cycles);
+}
+
+TEST(GpuVm, EmitCodeLooksLikeCuda)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    algorithms::applyTunedSchedule(*program, "bfs", "gpu",
+                                   datasets::GraphKind::Road);
+    GpuVM vm;
+    const std::string code = vm.emitCode(*program);
+    EXPECT_NE(code.find("__global__"), std::string::npos);
+    EXPECT_NE(code.find("__device__"), std::string::npos);
+    EXPECT_NE(code.find("fused_kernel_"), std::string::npos);
+    EXPECT_NE(code.find("grid.sync()"), std::string::npos);
+    EXPECT_NE(code.find("cooperative_groups"), std::string::npos);
+}
+
+TEST(GpuVm, EmitCodeNamesLoadBalanceStrategy)
+{
+    ProgramPtr program = algorithms::buildProgram(algorithms::byName("cc"));
+    algorithms::applyTunedSchedule(*program, "cc", "gpu",
+                                   datasets::GraphKind::Social);
+    GpuVM vm;
+    const std::string code = vm.emitCode(*program);
+    EXPECT_NE(code.find("ETWC_load_balance"), std::string::npos);
+}
+
+TEST(GpuVm, DeterministicCycles)
+{
+    const Graph graph = gen::rmat(8, 8);
+    ProgramPtr program = algorithms::buildProgram(algorithms::byName("cc"));
+    GpuVM vm;
+    const RunResult a = vm.run(*program, inputsFor(graph));
+    const RunResult b = vm.run(*program, inputsFor(graph));
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "reference/reference.h"
+#include "vm/hb/hb_vm.h"
+
+namespace ugc {
+namespace {
+
+RunInputs
+inputsFor(const Graph &graph, VertexId start = 0, int64_t arg3 = 10)
+{
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, start, arg3};
+    return inputs;
+}
+
+class HbAlgorithms : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(HbAlgorithms, TunedScheduleMatchesReference)
+{
+    const std::string name = GetParam();
+    const auto &algorithm = algorithms::byName(name);
+    const Graph graph = gen::rmat(9, 8, 0.57, 0.19, 0.19,
+                                  algorithm.needsWeights, 41);
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    algorithms::applyTunedSchedule(*program, name, "hb",
+                                   datasets::GraphKind::Social);
+    HBVM vm;
+    const RunResult result =
+        vm.run(*program, inputsFor(graph, 1, name == "pr" ? 6 : 4));
+
+    if (name == "bfs") {
+        EXPECT_TRUE(
+            reference::validBfsParents(graph, 1, result.property("parent")));
+    } else if (name == "sssp") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("dist"), reference::ssspDistances(graph, 1)));
+    } else if (name == "pr") {
+        EXPECT_TRUE(reference::closeTo(result.property("old_rank"),
+                                       reference::pageRank(graph, 6),
+                                       1e-9));
+    } else if (name == "cc") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("IDs"), reference::connectedComponents(graph)));
+    } else if (name == "bc") {
+        EXPECT_TRUE(reference::closeTo(result.property("dependences"),
+                                       reference::bcDependencies(graph, 1),
+                                       1e-6));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, HbAlgorithms,
+                         ::testing::Values("pr", "bfs", "sssp", "cc", "bc"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(HbVm, BlockedAccessHelpsSssp)
+{
+    // Table IX: the blocked access method trades extra traffic for far
+    // fewer exposed DRAM stalls on compute-intensive kernels.
+    const Graph graph = gen::rmat(11, 12, 0.57, 0.19, 0.19, true, 13);
+    const auto &sssp = algorithms::byName("sssp");
+
+    HBVM vm;
+    ProgramPtr baseline = algorithms::buildProgram(sssp);
+    const RunResult base = vm.run(*baseline, inputsFor(graph, 0, 2));
+
+    ProgramPtr tuned = algorithms::buildProgram(sssp);
+    algorithms::applyTunedSchedule(*tuned, "sssp", "hb",
+                                   datasets::GraphKind::Social);
+    const RunResult opt = vm.run(*tuned, inputsFor(graph, 0, 2));
+
+    EXPECT_TRUE(reference::equalInt(opt.property("dist"),
+                                    reference::ssspDistances(graph, 0)));
+    EXPECT_LT(opt.cycles, base.cycles);
+    EXPECT_LT(opt.counters.get("hb.dram_stall_cycles"),
+              base.counters.get("hb.dram_stall_cycles"));
+}
+
+TEST(HbVm, AlignedPartitioningHelpsBfs)
+{
+    const Graph graph = gen::rmat(11, 12);
+    const auto &bfs = algorithms::byName("bfs");
+
+    HBVM vm;
+    ProgramPtr baseline = algorithms::buildProgram(bfs);
+    const RunResult base = vm.run(*baseline, inputsFor(graph));
+
+    ProgramPtr tuned = algorithms::buildProgram(bfs);
+    algorithms::applyTunedSchedule(*tuned, "bfs", "hb",
+                                   datasets::GraphKind::Social);
+    const RunResult opt = vm.run(*tuned, inputsFor(graph));
+
+    EXPECT_TRUE(
+        reference::validBfsParents(graph, 0, opt.property("parent")));
+    EXPECT_LT(opt.cycles, base.cycles);
+}
+
+TEST(HbVm, ScalesWithCores)
+{
+    const Graph graph = gen::rmat(10, 10);
+    const auto &bfs = algorithms::byName("bfs");
+    ProgramPtr program = algorithms::buildProgram(bfs);
+    algorithms::applyTunedSchedule(*program, "bfs", "hb",
+                                   datasets::GraphKind::Social);
+
+    auto cycles_with = [&](unsigned cores) {
+        HBParams params;
+        params.cores = cores;
+        HBVM vm(params);
+        return vm.run(*program, inputsFor(graph)).cycles;
+    };
+    const Cycles c32 = cycles_with(32);
+    const Cycles c128 = cycles_with(128);
+    const Cycles c256 = cycles_with(256);
+    EXPECT_LT(c128, c32);
+    EXPECT_LE(c256, c128);
+    // Strong scaling is sublinear: LLC and bandwidth stay fixed (Fig 10a).
+    EXPECT_LT(static_cast<double>(c32) / c256, 8.0);
+}
+
+TEST(HbVm, EmitCodeShowsKernelCentricStyle)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("pr"));
+    algorithms::applyTunedSchedule(*program, "pr", "hb",
+                                   datasets::GraphKind::Social);
+    HBVM vm;
+    const std::string code = vm.emitCode(*program);
+    EXPECT_NE(code.find("bsg_manycore.h"), std::string::npos);
+    EXPECT_NE(code.find("BLOCKED_partition"), std::string::npos);
+    EXPECT_NE(code.find("scratchpad"), std::string::npos);
+    EXPECT_NE(code.find("host_main"), std::string::npos);
+}
+
+TEST(HbVm, DeterministicCycles)
+{
+    const Graph graph = gen::rmat(8, 8);
+    ProgramPtr program = algorithms::buildProgram(algorithms::byName("cc"));
+    HBVM vm;
+    const RunResult a = vm.run(*program, inputsFor(graph));
+    const RunResult b = vm.run(*program, inputsFor(graph));
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+} // namespace
+} // namespace ugc

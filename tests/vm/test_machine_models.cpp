@@ -1,0 +1,245 @@
+/**
+ * Direct unit tests of the machine models: feed synthetic TraversalInfo /
+ * TaskRecord streams and check the charging rules the figures depend on.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "sched/cpu_schedule.h"
+#include "sched/gpu_schedule.h"
+#include "sched/hb_schedule.h"
+#include "vm/cpu/cpu_model.h"
+#include "vm/gpu/gpu_model.h"
+#include "vm/hb/hb_model.h"
+#include "vm/swarm/swarm_model.h"
+
+namespace ugc {
+namespace {
+
+TraversalInfo
+makeInfo(std::shared_ptr<SimpleSchedule> schedule)
+{
+    TraversalInfo info;
+    info.kind = TraversalInfo::Kind::EdgeTraversal;
+    info.schedule = std::move(schedule);
+    info.direction = Direction::Push;
+    info.frontierSize = 1000;
+    info.frontierDegreeSum = 50000;
+    info.frontierDegreeMax = 5000;
+    info.edgesTraversed = 50000;
+    info.udf.instructions = 500000;
+    info.udf.propReads = 50000;
+    info.udf.propWrites = 10000;
+    return info;
+}
+
+// --- CPU model ------------------------------------------------------------
+
+TEST(CpuModelUnit, EdgeAwareBeatsVertexBasedOnSkew)
+{
+    const Graph graph = gen::star(8);
+    CpuModel model;
+    model.reset(graph);
+
+    auto vertex_based = std::make_shared<SimpleCPUSchedule>();
+    vertex_based->configParallelization(Parallelization::VertexBased);
+    auto edge_aware = std::make_shared<SimpleCPUSchedule>();
+    edge_aware->configParallelization(
+        Parallelization::EdgeAwareVertexBased);
+
+    const Cycles vb = model.onTraversal(makeInfo(vertex_based));
+    const Cycles ea = model.onTraversal(makeInfo(edge_aware));
+    EXPECT_LT(ea, vb);
+}
+
+TEST(CpuModelUnit, LargerWorkingSetCostsMore)
+{
+    CpuParams params;
+    params.llcBytes = 256 << 10; // force the huge graph out of cache
+    CpuModel model(params);
+    const Graph small = gen::path(100);
+    const Graph huge = gen::path(500000); // 4 MB property working set
+
+    auto sched = std::make_shared<SimpleCPUSchedule>();
+    model.reset(small);
+    const Cycles cached = model.onTraversal(makeInfo(sched));
+    model.reset(huge);
+    const Cycles uncached = model.onTraversal(makeInfo(sched));
+    EXPECT_GT(uncached, cached);
+}
+
+// --- GPU model ------------------------------------------------------------
+
+TEST(GpuModelUnit, KernelLaunchChargedOnlyOutsideFusedLoops)
+{
+    const Graph graph = gen::path(100);
+    GpuModel model;
+    model.reset(graph);
+    auto sched = std::make_shared<SimpleGPUSchedule>();
+
+    TraversalInfo unfused = makeInfo(sched);
+    auto stmt = std::make_shared<EdgeSetIteratorStmt>();
+    unfused.stmt = stmt.get();
+    const Cycles outside = model.onTraversal(unfused);
+
+    stmt->setMetadata("in_fused_kernel", true);
+    const Cycles inside = model.onTraversal(unfused);
+    EXPECT_GT(outside, inside + 500);
+}
+
+TEST(GpuModelUnit, LoadBalanceReducesStragglerCost)
+{
+    const Graph graph = gen::path(100);
+    GpuModel model;
+    model.reset(graph);
+
+    auto vertex_based = std::make_shared<SimpleGPUSchedule>();
+    vertex_based->configLoadBalance(GpuLoadBalance::VertexBased);
+    auto etwc = std::make_shared<SimpleGPUSchedule>();
+    etwc->configLoadBalance(GpuLoadBalance::Etwc);
+
+    EXPECT_GT(model.onTraversal(makeInfo(vertex_based)),
+              model.onTraversal(makeInfo(etwc)));
+}
+
+TEST(GpuModelUnit, FusedLoopIterationIsGridSync)
+{
+    GpuParams params;
+    GpuModel model(params);
+    WhileStmt loop(intConst(1), {});
+    EXPECT_EQ(model.onLoopIteration(loop), 200u);
+    loop.setMetadata("needs_fusion", true);
+    EXPECT_EQ(model.onLoopIteration(loop), params.gridSync);
+}
+
+// --- HB model -------------------------------------------------------------
+
+TEST(HbModelUnit, BlockedReducesStallsButAddsTraffic)
+{
+    const Graph graph = gen::rmat(10, 8);
+    auto naive = std::make_shared<SimpleHBSchedule>();
+    naive->configLoadBalance(HBLoadBalance::VertexBased);
+    auto blocked = std::make_shared<SimpleHBSchedule>();
+    blocked->configLoadBalance(HBLoadBalance::Blocked);
+
+    HBModel naive_model, blocked_model;
+    naive_model.reset(graph);
+    blocked_model.reset(graph);
+    naive_model.onTraversal(makeInfo(naive));
+    blocked_model.onTraversal(makeInfo(blocked));
+
+    EXPECT_LT(blocked_model.counters().get("hb.dram_stall_cycles"),
+              naive_model.counters().get("hb.dram_stall_cycles"));
+    EXPECT_GT(blocked_model.counters().get("hb.traffic_bytes"),
+              naive_model.counters().get("hb.traffic_bytes"));
+}
+
+// --- Swarm model ----------------------------------------------------------
+
+TaskRecord
+task(int64_t timestamp, VertexId vertex, uint64_t instructions,
+     std::vector<std::pair<Addr, bool>> accesses = {},
+     std::vector<VertexId> spawns = {}, Addr hint = 0)
+{
+    TaskRecord record;
+    record.timestamp = timestamp;
+    record.vertex = vertex;
+    record.instructions = instructions;
+    record.accesses = std::move(accesses);
+    record.spawns = std::move(spawns);
+    record.hint = hint;
+    return record;
+}
+
+TEST(SwarmModelUnit, IndependentTasksRunInParallel)
+{
+    const Graph graph = gen::path(10);
+    SwarmModel model;
+    model.reset(graph);
+    // 64 independent tasks of 100 instructions on 64 cores.
+    for (int i = 0; i < 64; ++i)
+        model.onTask(task(0, i, 100));
+    const Cycles wall = model.finalCycles(0);
+    // Far less than the serial 64 * ~58 cycles.
+    EXPECT_LT(wall, 600u);
+    EXPECT_GT(wall, 20u);
+}
+
+TEST(SwarmModelUnit, SpawnDependenceSerializesChains)
+{
+    const Graph graph = gen::path(10);
+    SwarmModel parallel_model, chained_model;
+    parallel_model.reset(graph);
+    chained_model.reset(graph);
+
+    for (int i = 0; i < 32; ++i)
+        parallel_model.onTask(task(i, 100 + i, 100));
+    for (int i = 0; i < 32; ++i) {
+        // Task i spawns vertex i+1; task i+1 is gated on it.
+        chained_model.onTask(
+            task(i, i, 100, {}, {static_cast<VertexId>(i + 1)}));
+    }
+    EXPECT_GT(chained_model.finalCycles(0),
+              4 * parallel_model.finalCycles(0));
+}
+
+TEST(SwarmModelUnit, ConflictingWritesAbortWithoutHints)
+{
+    const Graph graph = gen::path(10);
+    SwarmModel model;
+    model.reset(graph);
+    // Many tasks writing the same cache line, no hints.
+    for (int i = 0; i < 32; ++i)
+        model.onTask(task(0, i, 200, {{0x1000, true}}));
+    model.finalCycles(0);
+    EXPECT_GT(model.counters().get("swarm.aborts"), 0.0);
+}
+
+TEST(SwarmModelUnit, HintsSerializeInsteadOfAborting)
+{
+    const Graph graph = gen::path(10);
+    SwarmModel model;
+    model.reset(graph);
+    for (int i = 0; i < 32; ++i)
+        model.onTask(task(0, i, 200, {{0x1000, true}}, {}, 0x1000));
+    model.finalCycles(0);
+    EXPECT_DOUBLE_EQ(model.counters().get("swarm.aborts"), 0.0);
+    EXPECT_GT(model.counters().get("swarm.hint_serializations"), 0.0);
+}
+
+TEST(SwarmModelUnit, RoundBarriersIncreaseWallTime)
+{
+    const Graph graph = gen::path(10);
+    SwarmModel with_barriers, without;
+    with_barriers.reset(graph);
+    without.reset(graph);
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 8; ++i) {
+            with_barriers.onTask(task(round, round * 8 + i, 50));
+            without.onTask(task(round, round * 8 + i, 50));
+        }
+        with_barriers.onRoundBarrier();
+    }
+    EXPECT_GT(with_barriers.finalCycles(0), without.finalCycles(0));
+    EXPECT_DOUBLE_EQ(
+        with_barriers.counters().get("swarm.round_barriers"), 10.0);
+}
+
+TEST(SwarmModelUnit, FewerCoresRaiseWallTime)
+{
+    const Graph graph = gen::path(10);
+    SwarmParams one_core;
+    one_core.cores = 1;
+    one_core.coresPerTile = 1;
+    SwarmModel small(one_core), big;
+    small.reset(graph);
+    big.reset(graph);
+    for (int i = 0; i < 128; ++i) {
+        small.onTask(task(0, i, 100));
+        big.onTask(task(0, i, 100));
+    }
+    EXPECT_GT(small.finalCycles(0), 8 * big.finalCycles(0));
+}
+
+} // namespace
+} // namespace ugc

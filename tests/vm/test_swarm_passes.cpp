@@ -1,0 +1,105 @@
+/** Swarm GraphVM hardware passes: task conversion and shared-to-private
+ *  state (§III-C3). */
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "ir/walk.h"
+#include "midend/pipeline.h"
+#include "sched/apply.h"
+#include "vm/swarm/swarm_vm.h"
+
+namespace ugc {
+namespace {
+
+ProgramPtr
+lowerForSwarm(const char *algorithm, bool to_tasks)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName(algorithm));
+    SimpleSwarmSchedule sched;
+    sched.configFrontiers(to_tasks ? SwarmFrontiers::VertexsetToTasks
+                                   : SwarmFrontiers::Queues);
+    applySwarmSchedule(*program, "s1", sched);
+
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSwarmSchedule>());
+    SwarmTaskConversionPass conversion;
+    conversion.run(*lowered);
+    SwarmSharedToPrivatePass privatization;
+    privatization.run(*lowered);
+    return lowered;
+}
+
+TEST(SwarmPasses, TaskConversionDropsAtomics)
+{
+    ProgramPtr lowered = lowerForSwarm("bfs", true);
+    // The push variant's CAS must be non-atomic: Swarm tasks are
+    // hardware-atomic (§III-B).
+    FunctionPtr variant = lowered->findFunction("updateEdge_push_tracked");
+    ASSERT_TRUE(variant);
+    bool saw_cas = false;
+    walkStmts(variant->body, [&](const StmtPtr &stmt, const std::string &) {
+        stmtExprs(stmt, [&](const ExprPtr &expr) {
+            if (expr->kind == ExprKind::CompareAndSwap) {
+                saw_cas = true;
+                EXPECT_FALSE(expr->getMetadataOr("is_atomic", true));
+            }
+        });
+    });
+    EXPECT_TRUE(saw_cas);
+}
+
+TEST(SwarmPasses, SharedToPrivateFindsBcRoundCounter)
+{
+    // BC's forward loop increments the global `round` every level — the
+    // exact shared-state hazard §III-C3 describes.
+    ProgramPtr lowered = lowerForSwarm("bc", true);
+    bool found_loop = false;
+    walkStmts(lowered->mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  if (!stmt->hasMetadata("privatized_globals"))
+                      return;
+                  found_loop = true;
+                  const auto globals =
+                      stmt->getMetadata<std::vector<std::string>>(
+                          "privatized_globals");
+                  EXPECT_EQ(globals,
+                            std::vector<std::string>{"round"});
+              });
+    EXPECT_TRUE(found_loop);
+}
+
+TEST(SwarmPasses, SharedToPrivateSkipsBarrieredLoops)
+{
+    // Without vertexset→tasks there is no cross-round speculation to
+    // protect; the pass must leave the loop alone.
+    ProgramPtr lowered = lowerForSwarm("bc", false);
+    walkStmts(lowered->mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  EXPECT_FALSE(stmt->hasMetadata("privatized_globals"));
+              });
+}
+
+TEST(SwarmPasses, SharedToPrivateIgnoresLoopsWithoutGlobals)
+{
+    // BFS has no per-round global updates.
+    ProgramPtr lowered = lowerForSwarm("bfs", true);
+    walkStmts(lowered->mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  EXPECT_FALSE(stmt->hasMetadata("privatized_globals"));
+              });
+}
+
+TEST(SwarmPasses, CodegenMentionsPrivatization)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bc"));
+    algorithms::applyTunedSchedule(*program, "bc", "swarm",
+                                   datasets::GraphKind::Road);
+    SwarmVM vm;
+    const std::string code = vm.emitCode(*program);
+    EXPECT_NE(code.find("shared-to-private"), std::string::npos);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "reference/reference.h"
+#include "sched/apply.h"
+#include "vm/swarm/swarm_vm.h"
+
+namespace ugc {
+namespace {
+
+RunInputs
+inputsFor(const Graph &graph, VertexId start = 0, int64_t arg3 = 10)
+{
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, start, arg3};
+    return inputs;
+}
+
+class SwarmAlgorithms : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SwarmAlgorithms, TunedScheduleMatchesReference)
+{
+    const std::string name = GetParam();
+    const auto &algorithm = algorithms::byName(name);
+    const Graph graph =
+        gen::roadGrid(12, 15, algorithm.needsWeights, 31);
+    ProgramPtr program = algorithms::buildProgram(algorithm);
+    algorithms::applyTunedSchedule(*program, name, "swarm",
+                                   datasets::GraphKind::Road);
+    SwarmVM vm;
+    const RunResult result =
+        vm.run(*program, inputsFor(graph, 0, name == "pr" ? 5 : 128));
+
+    if (name == "bfs") {
+        EXPECT_TRUE(
+            reference::validBfsParents(graph, 0, result.property("parent")));
+    } else if (name == "sssp") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("dist"), reference::ssspDistances(graph, 0)));
+    } else if (name == "pr") {
+        EXPECT_TRUE(reference::closeTo(result.property("old_rank"),
+                                       reference::pageRank(graph, 5),
+                                       1e-9));
+    } else if (name == "cc") {
+        EXPECT_TRUE(reference::equalInt(
+            result.property("IDs"), reference::connectedComponents(graph)));
+    } else if (name == "bc") {
+        EXPECT_TRUE(reference::closeTo(result.property("dependences"),
+                                       reference::bcDependencies(graph, 0),
+                                       1e-6));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SwarmAlgorithms,
+                         ::testing::Values("pr", "bfs", "sssp", "cc", "bc"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(SwarmVm, VertexsetToTasksBeatsBarriersOnRoadBfs)
+{
+    // Cross-round speculation removes per-level synchronization — the
+    // majority of the road-graph improvement (§IV-E).
+    const Graph graph = gen::roadGrid(30, 35, false, 17);
+    const auto &bfs = algorithms::byName("bfs");
+
+    SwarmVM vm;
+    ProgramPtr baseline = algorithms::buildProgram(bfs);
+    const RunResult base = vm.run(*baseline, inputsFor(graph));
+
+    ProgramPtr tuned = algorithms::buildProgram(bfs);
+    algorithms::applyTunedSchedule(*tuned, "bfs", "swarm",
+                                   datasets::GraphKind::Road);
+    const RunResult opt = vm.run(*tuned, inputsFor(graph));
+
+    EXPECT_TRUE(
+        reference::validBfsParents(graph, 0, opt.property("parent")));
+    EXPECT_LT(opt.cycles, base.cycles);
+    // The baseline synchronizes every BFS level; the tuned version spawns
+    // tasks across rounds.
+    EXPECT_GT(base.counters.get("swarm.round_barriers"), 30.0);
+}
+
+TEST(SwarmVm, BreakdownAccountsAllCoreTime)
+{
+    const Graph graph = gen::rmat(9, 8);
+    ProgramPtr program = algorithms::buildProgram(algorithms::byName("cc"));
+    algorithms::applyTunedSchedule(*program, "cc", "swarm",
+                                   datasets::GraphKind::Social);
+    SwarmVM vm;
+    const RunResult result = vm.run(*program, inputsFor(graph));
+
+    const auto &c = result.counters;
+    const double capacity =
+        c.get("swarm.wall_cycles") * c.get("swarm.cores");
+    const double accounted =
+        c.get("swarm.committed_cycles") + c.get("swarm.aborted_cycles") +
+        c.get("swarm.spill_cycles") +
+        c.get("swarm.idle_commit_queue_cycles") +
+        c.get("swarm.idle_no_task_cycles");
+    ASSERT_GT(capacity, 0.0);
+    EXPECT_NEAR(accounted / capacity, 1.0, 0.01);
+    // Most time should be useful committed work (§IV-E / Fig 11).
+    EXPECT_GT(c.get("swarm.committed_cycles"), 0.0);
+    EXPECT_GT(c.get("swarm.tasks"), 0.0);
+}
+
+TEST(SwarmVm, SpatialHintsReduceAborts)
+{
+    const Graph graph = gen::rmat(10, 12);
+    const auto &cc = algorithms::byName("cc");
+
+    auto run_with = [&](bool hints) {
+        ProgramPtr program = algorithms::buildProgram(cc);
+        SimpleSwarmSchedule sched;
+        sched.taskGranularity(TaskGranularity::FineGrained)
+            .configSpatialHints(hints);
+        applySwarmSchedule(*program, "s1", sched);
+        SwarmVM vm;
+        return vm.run(*program, inputsFor(graph));
+    };
+
+    const RunResult without = run_with(false);
+    const RunResult with = run_with(true);
+    EXPECT_LT(with.counters.get("swarm.aborts"),
+              without.counters.get("swarm.aborts"));
+    EXPECT_GT(with.counters.get("swarm.hint_serializations"), 0.0);
+}
+
+TEST(SwarmVm, ScalesWithCores)
+{
+    const Graph graph = gen::roadGrid(25, 25, false, 5);
+    const auto &bfs = algorithms::byName("bfs");
+    ProgramPtr program = algorithms::buildProgram(bfs);
+    algorithms::applyTunedSchedule(*program, "bfs", "swarm",
+                                   datasets::GraphKind::Road);
+
+    auto cycles_with = [&](unsigned cores) {
+        SwarmParams params;
+        params.cores = cores;
+        SwarmVM vm(params);
+        return vm.run(*program, inputsFor(graph)).cycles;
+    };
+    const Cycles one = cycles_with(1);
+    const Cycles sixteen = cycles_with(16);
+    const Cycles sixty_four = cycles_with(64);
+    EXPECT_LT(sixteen, one);
+    EXPECT_LE(sixty_four, sixteen);
+    EXPECT_GT(static_cast<double>(one) / sixteen, 2.0);
+}
+
+TEST(SwarmVm, EmitCodeShowsFig5Shape)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    algorithms::applyTunedSchedule(*program, "bfs", "swarm",
+                                   datasets::GraphKind::Road);
+    SwarmVM vm;
+    const std::string code = vm.emitCode(*program);
+    EXPECT_NE(code.find("for_each_prio"), std::string::npos);
+    EXPECT_NE(code.find("#pragma task hint"), std::string::npos);
+    EXPECT_NE(code.find("push(round + 1, dst)"), std::string::npos);
+}
+
+TEST(SwarmVm, DeterministicCycles)
+{
+    const Graph graph = gen::roadGrid(10, 10, false, 2);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    SwarmVM vm;
+    const RunResult a = vm.run(*program, inputsFor(graph));
+    const RunResult b = vm.run(*program, inputsFor(graph));
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+} // namespace
+} // namespace ugc

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * ugcc — the UGC compiler driver.
+ *
+ * Usage:
+ *   ugcc <algorithm.gt> --target cpu|gpu|swarm|hb [options]
+ *
+ * Options:
+ *   --target <name>     backend GraphVM (default cpu)
+ *   --emit-ir           print the lowered GraphIR instead of target code
+ *   --run <dataset>     execute on a named synthetic dataset and report
+ *                       cycles (RN, RC, RU, PK, HW, LJ, OK, IC, TW, SW)
+ *   --tune              autotune the s1 schedule before emitting/running
+ *   --start <v>         start vertex for --run (default 0)
+ *   --arg3 <n>          argv[3] binding (PR iterations / SSSP delta)
+ *
+ * Compiles a GraphIt algorithm file through the full stack: frontend →
+ * GraphIR → hardware-independent passes → GraphVM passes → code
+ * generation (and optionally execution on the backend's machine model).
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "autotuner/autotuner.h"
+#include "frontend/lexer.h"
+#include "frontend/sema.h"
+#include "graph/datasets.h"
+#include "ir/printer.h"
+#include "ir/walk.h"
+#include "vm/factory.h"
+
+using namespace ugc;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ugcc <algorithm.gt> [--target cpu|gpu|swarm|hb]\n"
+        "            [--emit-ir] [--run <dataset>] [--tune]\n"
+        "            [--start <v>] [--arg3 <n>]\n");
+    return 2;
+}
+
+bool
+programIsOrdered(const Program &program)
+{
+    bool ordered = false;
+    walkStmts(program.mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  ordered |= stmt->getMetadataOr("ordered", false);
+              });
+    return ordered;
+}
+
+bool
+programNeedsWeights(const Program &program)
+{
+    for (const auto &global : program.globals)
+        if (global->type.kind == TypeDesc::Kind::EdgeSet &&
+            global->getMetadataOr("weighted", false))
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char *argv[])
+{
+    if (argc < 2)
+        return usage();
+    const std::string source_path = argv[1];
+    std::string target = "cpu";
+    std::string run_dataset;
+    bool emit_ir = false;
+    bool tune = false;
+    VertexId start = 0;
+    int64_t arg3 = 10;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        if (flag == "--target")
+            target = next();
+        else if (flag == "--emit-ir")
+            emit_ir = true;
+        else if (flag == "--run")
+            run_dataset = next();
+        else if (flag == "--tune")
+            tune = true;
+        else if (flag == "--start")
+            start = static_cast<VertexId>(std::atoi(next()));
+        else if (flag == "--arg3")
+            arg3 = std::atoll(next());
+        else
+            return usage();
+    }
+
+    std::ifstream in(source_path);
+    if (!in) {
+        std::fprintf(stderr, "ugcc: cannot open %s\n", source_path.c_str());
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    ProgramPtr program;
+    try {
+        program = frontend::compileSource(buffer.str(), source_path);
+    } catch (const frontend::ParseError &error) {
+        std::fprintf(stderr, "ugcc: parse error: %s\n", error.what());
+        return 1;
+    } catch (const frontend::SemaError &error) {
+        std::fprintf(stderr, "ugcc: %s\n", error.what());
+        return 1;
+    }
+
+    auto vm = createGraphVM(target);
+
+    if (tune || !run_dataset.empty()) {
+        const bool weighted = programNeedsWeights(*program);
+        const std::string dataset =
+            run_dataset.empty() ? "LJ" : run_dataset;
+        const Graph graph =
+            datasets::load(dataset, datasets::Scale::Small, weighted);
+        RunInputs inputs;
+        inputs.graph = &graph;
+        inputs.args = {0, 0, start, arg3};
+
+        if (tune) {
+            const auto result = autotuner::tune(
+                *program, *vm, inputs, "s1", programIsOrdered(*program));
+            std::fprintf(stderr, "ugcc: tuned %zu candidates; best: %s "
+                         "(%llu cycles)\n",
+                         result.evaluated.size(), result.best.c_str(),
+                         static_cast<unsigned long long>(
+                             result.bestCycles));
+            autotuner::applyBest(*program, target, result, "s1",
+                                 programIsOrdered(*program));
+        }
+        if (!run_dataset.empty()) {
+            const RunResult result = vm->run(*program, inputs);
+            std::printf("ran '%s' on %s (%s GraphVM): %llu cycles, "
+                        "%zu traversals\n",
+                        source_path.c_str(), graph.summary().c_str(),
+                        target.c_str(),
+                        static_cast<unsigned long long>(result.cycles),
+                        result.trace.size());
+            for (const auto &[name, value] : result.counters.all())
+                std::printf("  %-34s %.0f\n", name.c_str(), value);
+            return 0;
+        }
+    }
+
+    if (emit_ir) {
+        ProgramPtr lowered = vm->compile(*program);
+        std::printf("%s", printProgram(*lowered).c_str());
+    } else {
+        std::printf("%s", vm->emitCode(*program).c_str());
+    }
+    return 0;
+}
