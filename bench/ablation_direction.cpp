@@ -4,6 +4,7 @@
  * hybrid threshold (the Fig 7 condition).
  */
 #include <cstdio>
+#include <functional>
 
 #include "common.h"
 #include "sched/apply.h"

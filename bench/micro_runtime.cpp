@@ -5,10 +5,16 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
 #include "algorithms/algorithms.h"
 #include "graph/generators.h"
 #include "runtime/prio_queue.h"
 #include "runtime/vertex_set.h"
+#include "support/parallel.h"
 #include "udf/compiler.h"
 #include "udf/interp.h"
 
@@ -63,8 +69,10 @@ BM_UdfDispatch(benchmark::State &state)
     UdfRuntime runtime;
     runtime.props = {&parent};
     runtime.globals = &globals;
-    runtime.enqueue = [](VertexId) {};
-    runtime.updatePriorityMin = [](VertexId, int64_t) { return false; };
+    auto enqueue_sink = [](VertexId) {};
+    auto update_min_sink = [](VertexId, int64_t) { return false; };
+    runtime.bindEnqueue(enqueue_sink);
+    runtime.bindUpdatePriorityMin(update_min_sink);
 
     UdfStats stats;
     VertexId dst = 0;
@@ -104,6 +112,132 @@ BM_PrioQueueChurn(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PrioQueueChurn);
+
+// --- Skewed-frontier load balancing ---------------------------------------
+//
+// A frontier whose first 64 vertices carry ~half the total edge work (a
+// power-law head) processed three ways:
+//   0 vertex-static: one contiguous equal-*count* slice per thread — the
+//     thread owning the head serializes it,
+//   1 edge-static:   one contiguous equal-*work* slice per thread,
+//   2 work-stealing: ThreadPool::parallelFor with small vertex chunks;
+//     idle workers steal the head's chunks.
+// Wall-clock only separates these with >= 4 hardware threads; the
+// per-edge work and totals are identical across strategies.
+
+enum SkewStrategy
+{
+    kVertexStatic = 0,
+    kEdgeStatic = 1,
+    kWorkStealing = 2,
+};
+
+constexpr unsigned kSkewThreads = 8;
+constexpr VertexId kSkewVertices = 65536;
+constexpr VertexId kSkewHeavy = 64;
+
+std::vector<int64_t>
+skewedDegrees()
+{
+    std::vector<int64_t> degrees(kSkewVertices, 4);
+    for (VertexId v = 0; v < kSkewHeavy; ++v)
+        degrees[v] = 4096;
+    return degrees;
+}
+
+int64_t
+visitVertex(VertexId v, int64_t degree)
+{
+    // Stand-in for relaxing `degree` out-edges of v.
+    int64_t acc = 0;
+    for (int64_t e = 0; e < degree; ++e)
+        acc += (static_cast<int64_t>(v) * 2654435761LL + e) & 0xff;
+    return acc;
+}
+
+int64_t
+runSlicedOnThreads(const std::vector<int64_t> &degrees,
+                   const std::vector<VertexId> &bounds)
+{
+    std::atomic<int64_t> sum{0};
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t + 1 < bounds.size(); ++t) {
+        threads.emplace_back([&, t] {
+            int64_t local = 0;
+            for (VertexId v = bounds[t]; v < bounds[t + 1]; ++v)
+                local += visitVertex(v, degrees[v]);
+            sum += local;
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    return sum.load();
+}
+
+void
+BM_SkewedFrontier(benchmark::State &state)
+{
+    const auto strategy = static_cast<SkewStrategy>(state.range(0));
+    const std::vector<int64_t> degrees = skewedDegrees();
+    const int64_t total_work =
+        std::accumulate(degrees.begin(), degrees.end(), int64_t{0});
+
+    // Equal-count and equal-work static slice boundaries.
+    std::vector<VertexId> vertex_bounds, edge_bounds{0};
+    for (unsigned t = 0; t <= kSkewThreads; ++t)
+        vertex_bounds.push_back(static_cast<VertexId>(
+            static_cast<int64_t>(kSkewVertices) * t / kSkewThreads));
+    int64_t acc = 0;
+    for (VertexId v = 0; v < kSkewVertices; ++v) {
+        acc += degrees[v];
+        if (acc >= total_work * static_cast<int64_t>(edge_bounds.size()) /
+                       kSkewThreads)
+            edge_bounds.push_back(v + 1);
+    }
+    edge_bounds.resize(kSkewThreads + 1, kSkewVertices);
+
+    ThreadPool pool(kSkewThreads);
+    int64_t checksum = 0;
+    for (auto _ : state) {
+        int64_t sum = 0;
+        switch (strategy) {
+        case kVertexStatic:
+            sum = runSlicedOnThreads(degrees, vertex_bounds);
+            break;
+        case kEdgeStatic:
+            sum = runSlicedOnThreads(degrees, edge_bounds);
+            break;
+        case kWorkStealing: {
+            std::atomic<int64_t> shared{0};
+            pool.parallelFor(
+                0, kSkewVertices, /*grain=*/64,
+                [&](unsigned, int64_t lo, int64_t hi) {
+                    int64_t local = 0;
+                    for (int64_t v = lo; v < hi; ++v)
+                        local += visitVertex(static_cast<VertexId>(v),
+                                             degrees[static_cast<size_t>(
+                                                 v)]);
+                    shared += local;
+                });
+            sum = shared.load();
+            break;
+        }
+        }
+        benchmark::DoNotOptimize(sum);
+        checksum = sum;
+    }
+    state.counters["edges"] = static_cast<double>(total_work);
+    state.counters["checksum"] = static_cast<double>(checksum);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            total_work);
+}
+BENCHMARK(BM_SkewedFrontier)
+    ->Arg(kVertexStatic)
+    ->Arg(kEdgeStatic)
+    ->Arg(kWorkStealing)
+    ->ArgNames({"strategy"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_GraphTraversal(benchmark::State &state)

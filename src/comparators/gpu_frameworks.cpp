@@ -1,5 +1,7 @@
 #include "comparators/gpu_frameworks.h"
 
+#include <functional>
+
 #include "algorithms/algorithms.h"
 #include "sched/apply.h"
 #include "vm/factory.h"

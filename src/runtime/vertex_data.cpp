@@ -5,18 +5,6 @@
 
 namespace ugc {
 
-namespace {
-
-template <typename T>
-std::atomic<T> &
-asAtomic(T &ref)
-{
-    static_assert(sizeof(std::atomic<T>) == sizeof(T));
-    return reinterpret_cast<std::atomic<T> &>(ref);
-}
-
-} // namespace
-
 VertexData::VertexData(std::string name, ElemType type, VertexId size,
                        AddrSpace &space)
     : _name(std::move(name)), _type(type), _size(size),
@@ -47,6 +35,14 @@ VertexData::casInt(VertexId v, int64_t expected, int64_t desired)
 {
     return asAtomic(_ints[v]).compare_exchange_strong(
         expected, desired, std::memory_order_relaxed);
+}
+
+bool
+VertexData::casIntRelease(VertexId v, int64_t expected, int64_t desired)
+{
+    return asAtomic(_ints[v]).compare_exchange_strong(
+        expected, desired, std::memory_order_release,
+        std::memory_order_relaxed);
 }
 
 bool

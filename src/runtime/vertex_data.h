@@ -10,6 +10,7 @@
 #ifndef UGC_RUNTIME_VERTEX_DATA_H
 #define UGC_RUNTIME_VERTEX_DATA_H
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -44,10 +45,38 @@ class VertexData
     }
 
     // --- plain accessors -------------------------------------------------
-    int64_t getInt(VertexId v) const { return _ints[v]; }
-    double getFloat(VertexId v) const { return _floats[v]; }
-    void setInt(VertexId v, int64_t value) { _ints[v] = value; }
-    void setFloat(VertexId v, double value) { _floats[v] = value; }
+    // Relaxed atomics rather than raw loads/stores: parallel traversals read
+    // properties that other workers update through the atomic RMW entry
+    // points below, and mixing those with non-atomic accesses is a data race
+    // (flagged by ThreadSanitizer). Relaxed int64/double accesses compile to
+    // the same single mov as the plain versions did.
+    int64_t
+    getInt(VertexId v) const
+    {
+        return asAtomic(_ints[v]).load(std::memory_order_relaxed);
+    }
+    double
+    getFloat(VertexId v) const
+    {
+        return asAtomic(_floats[v]).load(std::memory_order_relaxed);
+    }
+    void
+    setInt(VertexId v, int64_t value)
+    {
+        asAtomic(_ints[v]).store(value, std::memory_order_relaxed);
+    }
+    void
+    setFloat(VertexId v, double value)
+    {
+        asAtomic(_floats[v]).store(value, std::memory_order_relaxed);
+    }
+
+    /** Acquire-ordered read; pairs with casIntRelease (deterministic CAS). */
+    int64_t
+    getIntAcquire(VertexId v) const
+    {
+        return asAtomic(_ints[v]).load(std::memory_order_acquire);
+    }
 
     /** Read as double regardless of type (for reporting/validation). */
     double
@@ -63,6 +92,9 @@ class VertexData
     // --- atomic read-modify-write ----------------------------------------
     /** CAS; @return true if the swap happened. */
     bool casInt(VertexId v, int64_t expected, int64_t desired);
+
+    /** Release-ordered CAS; pairs with getIntAcquire (deterministic CAS). */
+    bool casIntRelease(VertexId v, int64_t expected, int64_t desired);
 
     /** Atomic min; @return true if the stored value decreased. */
     bool minInt(VertexId v, int64_t value);
@@ -80,6 +112,21 @@ class VertexData
     const std::vector<double> &floats() const { return _floats; }
 
   private:
+    template <typename T>
+    static std::atomic<T> &
+    asAtomic(T &ref)
+    {
+        static_assert(sizeof(std::atomic<T>) == sizeof(T));
+        return reinterpret_cast<std::atomic<T> &>(ref);
+    }
+    template <typename T>
+    static const std::atomic<T> &
+    asAtomic(const T &ref)
+    {
+        static_assert(sizeof(std::atomic<T>) == sizeof(T));
+        return reinterpret_cast<const std::atomic<T> &>(ref);
+    }
+
     std::string _name;
     ElemType _type;
     VertexId _size;

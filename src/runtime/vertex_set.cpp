@@ -101,6 +101,34 @@ VertexSet::addAtomic(VertexId v)
 }
 
 void
+VertexSet::addBulk(std::span<const VertexId> vertices)
+{
+    switch (_format) {
+      case VertexSetFormat::Sparse:
+        _sparse.insert(_sparse.end(), vertices.begin(), vertices.end());
+        break;
+      case VertexSetFormat::Bitmap:
+        for (VertexId v : vertices) {
+            assert(v >= 0 && v < _numVertices);
+            if (!_bitmap.test(static_cast<size_t>(v))) {
+                _bitmap.set(static_cast<size_t>(v));
+                ++_denseCount;
+            }
+        }
+        break;
+      case VertexSetFormat::Boolmap:
+        for (VertexId v : vertices) {
+            assert(v >= 0 && v < _numVertices);
+            if (!_boolmap[v]) {
+                _boolmap[v] = 1;
+                ++_denseCount;
+            }
+        }
+        break;
+    }
+}
+
+void
 VertexSet::dedup()
 {
     if (_format != VertexSetFormat::Sparse)

@@ -12,6 +12,7 @@
 #ifndef UGC_RUNTIME_VERTEX_SET_H
 #define UGC_RUNTIME_VERTEX_SET_H
 
+#include <span>
 #include <vector>
 
 #include "ir/types.h"
@@ -55,6 +56,13 @@ class VertexSet
      * @return true if the vertex was newly inserted.
      */
     bool addAtomic(VertexId v);
+
+    /**
+     * Insert a batch of vertices, resolving the representation once instead
+     * of per element (the per-worker output-buffer merge path). Sparse
+     * insertion appends without deduplicating, like add().
+     */
+    void addBulk(std::span<const VertexId> vertices);
 
     /** Remove duplicate sparse entries (keeps ascending order). */
     void dedup();

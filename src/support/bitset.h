@@ -71,6 +71,18 @@ class Bitset
         return !(old & mask);
     }
 
+    /**
+     * Atomically test a bit (race-free against concurrent setAtomic calls).
+     */
+    bool
+    testAtomic(size_t pos) const
+    {
+        const auto *word = reinterpret_cast<const std::atomic<uint64_t> *>(
+            &_words[pos >> 6]);
+        const uint64_t mask = 1ULL << (pos & 63);
+        return word->load(std::memory_order_relaxed) & mask;
+    }
+
     /** Clear all bits, keeping the size. */
     void
     clear()

@@ -25,6 +25,7 @@ void
 ThreadPool::start()
 {
     _started = true;
+    _deques = std::vector<WorkDeque>(_numThreads);
     // Worker 0 is the calling thread; spawn the rest.
     for (unsigned i = 1; i < _numThreads; ++i)
         _workers.emplace_back([this, i] { workerLoop(i); });
@@ -35,8 +36,6 @@ ThreadPool::workerLoop(unsigned index)
 {
     uint64_t seen_generation = 0;
     for (;;) {
-        const std::function<void(int64_t, int64_t)> *body;
-        int64_t begin, end;
         {
             std::unique_lock<std::mutex> lock(_mutex);
             _wakeWorkers.wait(lock, [&] {
@@ -45,22 +44,94 @@ ThreadPool::workerLoop(unsigned index)
             if (_shutdown)
                 return;
             seen_generation = _generation;
-            body = _body;
-            begin = _jobBegin;
-            end = _jobEnd;
         }
-        const int64_t span = end - begin;
-        const int64_t chunk = (span + _numThreads - 1) / _numThreads;
-        const int64_t lo = begin + chunk * index;
-        const int64_t hi = std::min<int64_t>(lo + chunk, end);
-        if (lo < hi)
-            (*body)(lo, hi);
+        runWorker(index);
         {
             std::lock_guard<std::mutex> lock(_mutex);
             if (--_remaining == 0)
                 _wakeMaster.notify_one();
         }
     }
+}
+
+/** Drain the own deque, then steal until every deque is empty. */
+void
+ThreadPool::runWorker(unsigned index)
+{
+    const WorkerBody &body = *_body;
+    const int64_t begin = _jobBegin;
+    const int64_t end = _jobEnd;
+    const int64_t grain = _jobGrain;
+    auto exec = [&](int64_t chunk) {
+        const int64_t lo = begin + chunk * grain;
+        body(index, lo, std::min<int64_t>(lo + grain, end));
+    };
+
+    WorkDeque &own = _deques[index];
+    int64_t chunk;
+    for (;;) {
+        while (own.take(chunk))
+            exec(chunk);
+        // Own deque drained: sweep the victims. Stolen chunks are executed
+        // directly (never re-enqueued), so deques only ever drain.
+        bool executed = false;
+        bool saw_abort = false;
+        for (unsigned k = 1; k < _numThreads; ++k) {
+            WorkDeque &victim = _deques[(index + k) % _numThreads];
+            const WorkDeque::Steal result = victim.steal(chunk);
+            if (result == WorkDeque::Steal::Success) {
+                exec(chunk);
+                executed = true;
+                break;
+            }
+            if (result == WorkDeque::Steal::Abort)
+                saw_abort = true;
+        }
+        if (executed)
+            continue;
+        if (!saw_abort)
+            return; // every deque observed empty — job done for this worker
+        std::this_thread::yield(); // lost a steal race; try again
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const WorkerBody &body)
+{
+    if (end <= begin)
+        return;
+    const int64_t span = end - begin;
+    if (grain <= 0)
+        grain = std::max<int64_t>(1, span / (static_cast<int64_t>(_numThreads) * 8));
+    const int64_t num_chunks = (span + grain - 1) / grain;
+    if (_numThreads == 1 || num_chunks == 1) {
+        body(0, begin, end);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (!_started)
+            start();
+        // Seed each worker's deque with a contiguous run of chunks.
+        for (unsigned w = 0; w < _numThreads; ++w) {
+            const int64_t first = num_chunks * w / _numThreads;
+            const int64_t last = num_chunks * (w + 1) / _numThreads;
+            _deques[w].fill(first, last - first);
+        }
+        _body = &body;
+        _jobBegin = begin;
+        _jobEnd = end;
+        _jobGrain = grain;
+        _remaining = _numThreads - 1;
+        ++_generation;
+    }
+    _wakeWorkers.notify_all();
+
+    runWorker(0);
+
+    std::unique_lock<std::mutex> lock(_mutex);
+    _wakeMaster.wait(lock, [&] { return _remaining == 0; });
 }
 
 void
@@ -73,25 +144,12 @@ ThreadPool::parallelFor(int64_t begin, int64_t end,
         body(begin, end);
         return;
     }
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        if (!_started)
-            start();
-        _body = &body;
-        _jobBegin = begin;
-        _jobEnd = end;
-        _remaining = _numThreads - 1;
-        ++_generation;
-    }
-    _wakeWorkers.notify_all();
-
-    // The calling thread takes chunk 0.
-    const int64_t span = end - begin;
-    const int64_t chunk = (span + _numThreads - 1) / _numThreads;
-    body(begin, std::min<int64_t>(begin + chunk, end));
-
-    std::unique_lock<std::mutex> lock(_mutex);
-    _wakeMaster.wait(lock, [&] { return _remaining == 0; });
+    const int64_t chunk =
+        (end - begin + _numThreads - 1) / _numThreads;
+    const WorkerBody wrapped = [&body](unsigned, int64_t lo, int64_t hi) {
+        body(lo, hi);
+    };
+    parallelFor(begin, end, chunk, wrapped);
 }
 
 ThreadPool &
@@ -106,6 +164,13 @@ parallelFor(int64_t begin, int64_t end,
             const std::function<void(int64_t, int64_t)> &body)
 {
     ThreadPool::global().parallelFor(begin, end, body);
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const ThreadPool::WorkerBody &body)
+{
+    ThreadPool::global().parallelFor(begin, end, grain, body);
 }
 
 } // namespace ugc

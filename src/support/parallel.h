@@ -1,16 +1,25 @@
 /**
  * @file
- * Minimal thread pool and parallel-for used by the CPU GraphVM's native
- * execution path.
+ * Work-stealing thread pool and parallel-for used by the CPU GraphVM's
+ * native execution path.
  *
  * The simulated backends (GPU/Swarm/HammerBlade) model parallelism inside
  * their machine models and do not use host threads; this pool exists so the
  * CPU backend can execute for real, mirroring the Cilk/OpenMP runtimes the
  * paper's CPU GraphVM generates calls into.
+ *
+ * The pool divides an iteration range into grain-sized chunks, seeds each
+ * worker's Chase–Lev-style deque with a contiguous run of chunks, and lets
+ * idle workers steal from the far end of a victim's run. Chunks therefore
+ * migrate under load imbalance (one heavy chunk no longer serializes the
+ * round) while the common case keeps each worker on a contiguous,
+ * cache-friendly span. Bodies receive an explicit worker index so callers
+ * can keep per-worker state without deriving thread ids from chunk bounds.
  */
 #ifndef UGC_SUPPORT_PARALLEL_H
 #define UGC_SUPPORT_PARALLEL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -21,15 +30,96 @@
 namespace ugc {
 
 /**
+ * A Chase–Lev-style deque of chunk indices: the owner pushes/pops at the
+ * bottom, thieves race on the top via CAS.
+ *
+ * The pool pre-fills every deque before a job is published (workers are
+ * released by the job mutex/condvar, which orders the fill), so the buffer
+ * never grows concurrently; only the top/bottom cursors are contended.
+ * All cursor operations are seq_cst: chunk executions are coarse, and the
+ * simple memory order keeps the take/steal race obviously correct (and
+ * ThreadSanitizer-friendly — standalone fences are not modeled by TSan).
+ */
+class alignas(64) WorkDeque
+{
+  public:
+    enum class Steal { Success, Empty, Abort };
+
+    /** Replace the contents with @p count chunk ids starting at @p first,
+     *  stored so the owner pops them in ascending order. Owner-side setup
+     *  only; must not race with take/steal. */
+    void
+    fill(int64_t first, int64_t count)
+    {
+        _buf.resize(static_cast<size_t>(count));
+        // Descending storage: the owner's bottom end yields the lowest id
+        // (preserving ascending traversal order), thieves take the highest.
+        for (int64_t k = 0; k < count; ++k)
+            _buf[static_cast<size_t>(k)] = first + count - 1 - k;
+        _top.store(0);
+        _bottom.store(count);
+    }
+
+    /** Owner-side pop. @return false when the deque is empty. */
+    bool
+    take(int64_t &out)
+    {
+        const int64_t b = _bottom.load() - 1;
+        _bottom.store(b);
+        int64_t t = _top.load();
+        if (t <= b) {
+            out = _buf[static_cast<size_t>(b)];
+            if (t == b) {
+                // Last element: race the thieves for it.
+                const bool won = _top.compare_exchange_strong(t, t + 1);
+                _bottom.store(b + 1);
+                return won;
+            }
+            return true;
+        }
+        _bottom.store(b + 1);
+        return false;
+    }
+
+    /** Thief-side pop from the top. Abort means a race was lost and the
+     *  victim may still have work — retry. */
+    Steal
+    steal(int64_t &out)
+    {
+        int64_t t = _top.load();
+        const int64_t b = _bottom.load();
+        if (t >= b)
+            return Steal::Empty;
+        out = _buf[static_cast<size_t>(t)];
+        if (!_top.compare_exchange_strong(t, t + 1))
+            return Steal::Abort;
+        return Steal::Success;
+    }
+
+  private:
+    std::atomic<int64_t> _top{0};
+    std::atomic<int64_t> _bottom{0};
+    std::vector<int64_t> _buf;
+};
+
+/**
  * A fork-join thread pool with a fixed worker count.
  *
  * Workers are lazily started on the first parallel call and joined on
  * destruction. A pool of size 1 runs inline (important for deterministic
- * test environments and single-core machines).
+ * test environments and single-core machines). Nested parallelFor calls
+ * from inside a body are not supported.
  */
 class ThreadPool
 {
   public:
+    /** Body of a work-stealing loop: (worker, chunk_begin, chunk_end).
+     *  The worker index identifies which of the pool's numThreads()
+     *  workers executes the chunk; chunks migrate between workers under
+     *  stealing, but no two workers ever run the same chunk, and a worker
+     *  runs one chunk at a time. */
+    using WorkerBody = std::function<void(unsigned, int64_t, int64_t)>;
+
     /** @param num_threads 0 means hardware_concurrency(). */
     explicit ThreadPool(unsigned num_threads = 0);
     ~ThreadPool();
@@ -40,8 +130,18 @@ class ThreadPool
     unsigned numThreads() const { return _numThreads; }
 
     /**
-     * Run @p body(chunk_begin, chunk_end) over [begin, end) split into
-     * roughly even contiguous chunks, one per worker, and wait for all.
+     * Run @p body over [begin, end) split into chunks of at most @p grain
+     * iterations, distributed over the workers' deques and rebalanced by
+     * stealing. @p grain <= 0 selects an automatic grain (several chunks
+     * per worker). With one thread (or a single chunk) the whole range
+     * runs inline as body(0, begin, end).
+     */
+    void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                     const WorkerBody &body);
+
+    /**
+     * Worker-index-free convenience: split [begin, end) into one chunk per
+     * worker (rebalanced by stealing like the grained overload).
      */
     void parallelFor(int64_t begin, int64_t end,
                      const std::function<void(int64_t, int64_t)> &body);
@@ -52,26 +152,32 @@ class ThreadPool
   private:
     void start();
     void workerLoop(unsigned index);
+    void runWorker(unsigned index);
 
     unsigned _numThreads;
     std::vector<std::thread> _workers;
+    std::vector<WorkDeque> _deques;
     std::mutex _mutex;
     std::condition_variable _wakeWorkers;
     std::condition_variable _wakeMaster;
 
-    // Current job, guarded by _mutex.
-    const std::function<void(int64_t, int64_t)> *_body = nullptr;
+    // Current job. The scalar fields are written under _mutex before the
+    // generation bump and only read by workers woken by it.
+    const WorkerBody *_body = nullptr;
     int64_t _jobBegin = 0;
     int64_t _jobEnd = 0;
+    int64_t _jobGrain = 1;
     uint64_t _generation = 0;
     unsigned _remaining = 0;
     bool _shutdown = false;
     bool _started = false;
 };
 
-/** Convenience wrapper over ThreadPool::global(). */
+/** Convenience wrappers over ThreadPool::global(). */
 void parallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)> &body);
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const ThreadPool::WorkerBody &body);
 
 } // namespace ugc
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <thread>
 
 namespace ugc {
 
@@ -81,7 +82,57 @@ reduceAtomic(VertexData &prop, VertexId index, ReductionType op, Reg value)
     return false;
 }
 
+/**
+ * Deterministic parallel CAS (see UdfRuntime::casRound).
+ *
+ * The first thread to claim the round bit publishes its value and reports
+ * the swap (matching the serial path's single successful CAS per vertex
+ * per round); same-round losers atomically lower the published value to
+ * the minimum desired, so the final value equals the serial outcome — the
+ * lowest-index writer of the sorted frontier — for the monotone UDFs the
+ * midend generates. The acquire/release pairing on the property value
+ * makes the round bit's visibility track the published value, so a value
+ * that already left `expected` with the bit clear was written by an
+ * earlier round and is never refined.
+ */
+bool
+detCasInt(VertexData &prop, VertexId index, int64_t expected,
+          int64_t desired, Bitset &round)
+{
+    if (prop.getIntAcquire(index) == expected) {
+        if (round.setAtomic(static_cast<size_t>(index))) {
+            // Designated round winner. Nobody writes before the winner
+            // publishes, so the property still holds `expected`.
+            prop.casIntRelease(index, expected, desired);
+            return true;
+        }
+        // A same-round winner claimed the bit first; refine below.
+    } else if (!round.testAtomic(static_cast<size_t>(index))) {
+        return false; // written in an earlier round; serial CAS fails too
+    }
+    for (;;) {
+        const int64_t current = prop.getIntAcquire(index);
+        if (current == expected) {
+            if (current == desired)
+                break; // degenerate no-op CAS: publish is invisible
+            std::this_thread::yield(); // winner has not published yet
+            continue;
+        }
+        if (desired >= current ||
+            prop.casIntRelease(index, current, desired))
+            break;
+    }
+    return false;
+}
+
 } // namespace
+
+// Direct-threaded dispatch: one indirect branch per instruction, from the
+// instruction's own slot, instead of a shared switch branch — measurably
+// better branch prediction on the per-edge UDFs that dominate traversal.
+#if defined(__GNUC__) || defined(__clang__)
+#define UGC_DIRECT_THREADED 1
+#endif
 
 Reg
 runUdf(const Chunk &chunk, std::span<const Reg> args, UdfRuntime &runtime,
@@ -97,163 +148,240 @@ runUdf(const Chunk &chunk, std::span<const Reg> args, UdfRuntime &runtime,
     for (int i = 0; i < chunk.numParams; ++i)
         regs[i] = args[i];
 
+    const Insn *const code = chunk.code.data();
+    [[maybe_unused]] const size_t code_size = chunk.code.size();
+    const Insn *insn = nullptr;
     size_t pc = 0;
     uint64_t executed = 0;
+
+#ifdef UGC_DIRECT_THREADED
+    // Must stay in sync with the Op enum order (bytecode.h).
+    static const void *kDispatch[] = {
+        &&vm_LoadImmI, &&vm_LoadImmF, &&vm_Mov, &&vm_LoadProp,
+        &&vm_StoreProp, &&vm_CasProp, &&vm_ReduceProp, &&vm_LoadGlobal,
+        &&vm_StoreGlobal,
+        &&vm_AddI, &&vm_SubI, &&vm_MulI, &&vm_DivI, &&vm_ModI,
+        &&vm_AddF, &&vm_SubF, &&vm_MulF, &&vm_DivF,
+        &&vm_LtI, &&vm_LeI, &&vm_EqI, &&vm_NeI,
+        &&vm_LtF, &&vm_LeF, &&vm_EqF, &&vm_NeF,
+        &&vm_AndB, &&vm_OrB, &&vm_NotB, &&vm_NegI, &&vm_NegF,
+        &&vm_I2F, &&vm_F2I, &&vm_Jmp, &&vm_Jz, &&vm_Enqueue,
+        &&vm_UpdatePrioMin, &&vm_Ret,
+    };
+#define VM_CASE(name) vm_##name
+#define VM_NEXT()                                                            \
+    do {                                                                     \
+        assert(pc < code_size);                                              \
+        insn = &code[pc++];                                                  \
+        ++executed;                                                          \
+        goto *kDispatch[static_cast<size_t>(insn->op)];                      \
+    } while (0)
+    VM_NEXT();
+#else
+#define VM_CASE(name) case Op::name
+#define VM_NEXT() continue
     for (;;) {
-        assert(pc < chunk.code.size());
-        const Insn &insn = chunk.code[pc++];
+        assert(pc < code_size);
+        insn = &code[pc++];
         ++executed;
-        switch (insn.op) {
-          case Op::LoadImmI:
-            regs[insn.a].i = chunk.imms[insn.b];
-            break;
-          case Op::LoadImmF:
-            regs[insn.a].f = chunk.fimms[insn.b];
-            break;
-          case Op::Mov:
-            regs[insn.a] = regs[insn.b];
-            break;
-          case Op::LoadProp: {
-            VertexData &prop = *runtime.props[insn.b];
-            const auto index = static_cast<VertexId>(regs[insn.c].i);
-            if (prop.isFloat())
-                regs[insn.a].f = prop.getFloat(index);
+        switch (insn->op) {
+#endif
+
+    VM_CASE(LoadImmI):
+        regs[insn->a].i = chunk.imms[insn->b];
+        VM_NEXT();
+    VM_CASE(LoadImmF):
+        regs[insn->a].f = chunk.fimms[insn->b];
+        VM_NEXT();
+    VM_CASE(Mov):
+        regs[insn->a] = regs[insn->b];
+        VM_NEXT();
+    VM_CASE(LoadProp): {
+        VertexData &prop = *runtime.props[insn->b];
+        const auto index = static_cast<VertexId>(regs[insn->c].i);
+        if (prop.isFloat())
+            regs[insn->a].f = prop.getFloat(index);
+        else
+            regs[insn->a].i = prop.getInt(index);
+        ++stats.propReads;
+        if (runtime.recorder)
+            runtime.recorder->record(prop.addrOf(index), false);
+        VM_NEXT();
+    }
+    VM_CASE(StoreProp): {
+        VertexData &prop = *runtime.props[insn->a];
+        const auto index = static_cast<VertexId>(regs[insn->b].i);
+        if (prop.isFloat())
+            prop.setFloat(index, regs[insn->c].f);
+        else
+            prop.setInt(index, regs[insn->c].i);
+        ++stats.propWrites;
+        if (runtime.recorder)
+            runtime.recorder->record(prop.addrOf(index), true);
+        VM_NEXT();
+    }
+    VM_CASE(CasProp): {
+        VertexData &prop = *runtime.props[insn->b];
+        const auto index = static_cast<VertexId>(regs[insn->c].i);
+        bool swapped;
+        if (insn->atomic && runtime.useAtomics) {
+            if (runtime.casRound)
+                swapped = detCasInt(prop, index, regs[insn->d].i,
+                                    regs[insn->e].i, *runtime.casRound);
             else
-                regs[insn.a].i = prop.getInt(index);
-            ++stats.propReads;
-            if (runtime.recorder)
-                runtime.recorder->record(prop.addrOf(index), false);
-            break;
-          }
-          case Op::StoreProp: {
-            VertexData &prop = *runtime.props[insn.a];
-            const auto index = static_cast<VertexId>(regs[insn.b].i);
-            if (prop.isFloat())
-                prop.setFloat(index, regs[insn.c].f);
-            else
-                prop.setInt(index, regs[insn.c].i);
+                swapped =
+                    prop.casInt(index, regs[insn->d].i, regs[insn->e].i);
+            ++stats.atomics;
+        } else {
+            swapped = prop.getInt(index) == regs[insn->d].i;
+            if (swapped)
+                prop.setInt(index, regs[insn->e].i);
+        }
+        regs[insn->a].i = swapped;
+        ++stats.propReads;
+        if (swapped) {
             ++stats.propWrites;
-            if (runtime.recorder)
-                runtime.recorder->record(prop.addrOf(index), true);
-            break;
-          }
-          case Op::CasProp: {
-            VertexData &prop = *runtime.props[insn.b];
-            const auto index = static_cast<VertexId>(regs[insn.c].i);
-            bool swapped;
-            if (insn.atomic && runtime.useAtomics) {
-                swapped = prop.casInt(index, regs[insn.d].i, regs[insn.e].i);
-                ++stats.atomics;
-            } else {
-                swapped = prop.getInt(index) == regs[insn.d].i;
-                if (swapped)
-                    prop.setInt(index, regs[insn.e].i);
-            }
-            regs[insn.a].i = swapped;
-            ++stats.propReads;
-            if (swapped) {
-                ++stats.propWrites;
-                ++stats.updates;
-            }
-            if (runtime.recorder)
-                runtime.recorder->record(prop.addrOf(index), swapped);
-            break;
-          }
-          case Op::ReduceProp: {
-            VertexData &prop = *runtime.props[insn.b];
-            const auto index = static_cast<VertexId>(regs[insn.c].i);
-            const auto op = static_cast<ReductionType>(insn.e);
-            bool changed;
-            if (insn.atomic && runtime.useAtomics) {
-                changed = reduceAtomic(prop, index, op, regs[insn.d]);
-                ++stats.atomics;
-            } else {
-                changed = reducePlain(prop, index, op, regs[insn.d]);
-            }
-            if (insn.a >= 0)
-                regs[insn.a].i = changed;
-            ++stats.propReads;
+            ++stats.updates;
+        }
+        if (runtime.recorder)
+            runtime.recorder->record(prop.addrOf(index), swapped);
+        VM_NEXT();
+    }
+    VM_CASE(ReduceProp): {
+        VertexData &prop = *runtime.props[insn->b];
+        const auto index = static_cast<VertexId>(regs[insn->c].i);
+        const auto op = static_cast<ReductionType>(insn->e);
+        bool changed;
+        if (insn->atomic && runtime.useAtomics) {
+            changed = reduceAtomic(prop, index, op, regs[insn->d]);
+            ++stats.atomics;
+        } else {
+            changed = reducePlain(prop, index, op, regs[insn->d]);
+        }
+        if (insn->a >= 0)
+            regs[insn->a].i = changed;
+        ++stats.propReads;
+        ++stats.propWrites;
+        if (changed)
+            ++stats.updates;
+        if (runtime.recorder)
+            runtime.recorder->record(prop.addrOf(index), true);
+        VM_NEXT();
+    }
+    VM_CASE(LoadGlobal):
+        regs[insn->a] = (*runtime.globals)[insn->b];
+        VM_NEXT();
+    VM_CASE(StoreGlobal):
+        (*runtime.globals)[insn->a] = regs[insn->b];
+        VM_NEXT();
+    VM_CASE(AddI):
+        regs[insn->a].i = regs[insn->b].i + regs[insn->c].i;
+        VM_NEXT();
+    VM_CASE(SubI):
+        regs[insn->a].i = regs[insn->b].i - regs[insn->c].i;
+        VM_NEXT();
+    VM_CASE(MulI):
+        regs[insn->a].i = regs[insn->b].i * regs[insn->c].i;
+        VM_NEXT();
+    VM_CASE(DivI):
+        if (regs[insn->c].i == 0)
+            throw std::runtime_error("UDF integer division by zero");
+        regs[insn->a].i = regs[insn->b].i / regs[insn->c].i;
+        VM_NEXT();
+    VM_CASE(ModI):
+        if (regs[insn->c].i == 0)
+            throw std::runtime_error("UDF modulo by zero");
+        regs[insn->a].i = regs[insn->b].i % regs[insn->c].i;
+        VM_NEXT();
+    VM_CASE(AddF):
+        regs[insn->a].f = regs[insn->b].f + regs[insn->c].f;
+        VM_NEXT();
+    VM_CASE(SubF):
+        regs[insn->a].f = regs[insn->b].f - regs[insn->c].f;
+        VM_NEXT();
+    VM_CASE(MulF):
+        regs[insn->a].f = regs[insn->b].f * regs[insn->c].f;
+        VM_NEXT();
+    VM_CASE(DivF):
+        regs[insn->a].f = regs[insn->b].f / regs[insn->c].f;
+        VM_NEXT();
+    VM_CASE(LtI):
+        regs[insn->a].i = regs[insn->b].i < regs[insn->c].i;
+        VM_NEXT();
+    VM_CASE(LeI):
+        regs[insn->a].i = regs[insn->b].i <= regs[insn->c].i;
+        VM_NEXT();
+    VM_CASE(EqI):
+        regs[insn->a].i = regs[insn->b].i == regs[insn->c].i;
+        VM_NEXT();
+    VM_CASE(NeI):
+        regs[insn->a].i = regs[insn->b].i != regs[insn->c].i;
+        VM_NEXT();
+    VM_CASE(LtF):
+        regs[insn->a].i = regs[insn->b].f < regs[insn->c].f;
+        VM_NEXT();
+    VM_CASE(LeF):
+        regs[insn->a].i = regs[insn->b].f <= regs[insn->c].f;
+        VM_NEXT();
+    VM_CASE(EqF):
+        regs[insn->a].i = regs[insn->b].f == regs[insn->c].f;
+        VM_NEXT();
+    VM_CASE(NeF):
+        regs[insn->a].i = regs[insn->b].f != regs[insn->c].f;
+        VM_NEXT();
+    VM_CASE(AndB):
+        regs[insn->a].i = (regs[insn->b].i != 0) && (regs[insn->c].i != 0);
+        VM_NEXT();
+    VM_CASE(OrB):
+        regs[insn->a].i = (regs[insn->b].i != 0) || (regs[insn->c].i != 0);
+        VM_NEXT();
+    VM_CASE(NotB):
+        regs[insn->a].i = regs[insn->b].i == 0;
+        VM_NEXT();
+    VM_CASE(NegI):
+        regs[insn->a].i = -regs[insn->b].i;
+        VM_NEXT();
+    VM_CASE(NegF):
+        regs[insn->a].f = -regs[insn->b].f;
+        VM_NEXT();
+    VM_CASE(I2F):
+        regs[insn->a].f = static_cast<double>(regs[insn->b].i);
+        VM_NEXT();
+    VM_CASE(F2I):
+        regs[insn->a].i = static_cast<int64_t>(regs[insn->b].f);
+        VM_NEXT();
+    VM_CASE(Jmp):
+        pc = static_cast<size_t>(insn->a);
+        VM_NEXT();
+    VM_CASE(Jz):
+        if (regs[insn->a].i == 0)
+            pc = static_cast<size_t>(insn->b);
+        VM_NEXT();
+    VM_CASE(Enqueue):
+        ++stats.enqueues;
+        runtime.enqueue(static_cast<VertexId>(regs[insn->a].i));
+        VM_NEXT();
+    VM_CASE(UpdatePrioMin): {
+        const bool changed = runtime.updatePriorityMin(
+            static_cast<VertexId>(regs[insn->b].i), regs[insn->c].i);
+        regs[insn->a].i = changed;
+        ++stats.propReads;
+        if (changed) {
             ++stats.propWrites;
-            if (changed)
-                ++stats.updates;
-            if (runtime.recorder)
-                runtime.recorder->record(prop.addrOf(index), true);
-            break;
-          }
-          case Op::LoadGlobal:
-            regs[insn.a] = (*runtime.globals)[insn.b];
-            break;
-          case Op::StoreGlobal:
-            (*runtime.globals)[insn.a] = regs[insn.b];
-            break;
-          case Op::AddI: regs[insn.a].i = regs[insn.b].i + regs[insn.c].i; break;
-          case Op::SubI: regs[insn.a].i = regs[insn.b].i - regs[insn.c].i; break;
-          case Op::MulI: regs[insn.a].i = regs[insn.b].i * regs[insn.c].i; break;
-          case Op::DivI:
-            if (regs[insn.c].i == 0)
-                throw std::runtime_error("UDF integer division by zero");
-            regs[insn.a].i = regs[insn.b].i / regs[insn.c].i;
-            break;
-          case Op::ModI:
-            if (regs[insn.c].i == 0)
-                throw std::runtime_error("UDF modulo by zero");
-            regs[insn.a].i = regs[insn.b].i % regs[insn.c].i;
-            break;
-          case Op::AddF: regs[insn.a].f = regs[insn.b].f + regs[insn.c].f; break;
-          case Op::SubF: regs[insn.a].f = regs[insn.b].f - regs[insn.c].f; break;
-          case Op::MulF: regs[insn.a].f = regs[insn.b].f * regs[insn.c].f; break;
-          case Op::DivF: regs[insn.a].f = regs[insn.b].f / regs[insn.c].f; break;
-          case Op::LtI: regs[insn.a].i = regs[insn.b].i < regs[insn.c].i; break;
-          case Op::LeI: regs[insn.a].i = regs[insn.b].i <= regs[insn.c].i; break;
-          case Op::EqI: regs[insn.a].i = regs[insn.b].i == regs[insn.c].i; break;
-          case Op::NeI: regs[insn.a].i = regs[insn.b].i != regs[insn.c].i; break;
-          case Op::LtF: regs[insn.a].i = regs[insn.b].f < regs[insn.c].f; break;
-          case Op::LeF: regs[insn.a].i = regs[insn.b].f <= regs[insn.c].f; break;
-          case Op::EqF: regs[insn.a].i = regs[insn.b].f == regs[insn.c].f; break;
-          case Op::NeF: regs[insn.a].i = regs[insn.b].f != regs[insn.c].f; break;
-          case Op::AndB:
-            regs[insn.a].i = (regs[insn.b].i != 0) && (regs[insn.c].i != 0);
-            break;
-          case Op::OrB:
-            regs[insn.a].i = (regs[insn.b].i != 0) || (regs[insn.c].i != 0);
-            break;
-          case Op::NotB: regs[insn.a].i = regs[insn.b].i == 0; break;
-          case Op::NegI: regs[insn.a].i = -regs[insn.b].i; break;
-          case Op::NegF: regs[insn.a].f = -regs[insn.b].f; break;
-          case Op::I2F:
-            regs[insn.a].f = static_cast<double>(regs[insn.b].i);
-            break;
-          case Op::F2I:
-            regs[insn.a].i = static_cast<int64_t>(regs[insn.b].f);
-            break;
-          case Op::Jmp:
-            pc = static_cast<size_t>(insn.a);
-            break;
-          case Op::Jz:
-            if (regs[insn.a].i == 0)
-                pc = static_cast<size_t>(insn.b);
-            break;
-          case Op::Enqueue:
-            ++stats.enqueues;
-            runtime.enqueue(static_cast<VertexId>(regs[insn.a].i));
-            break;
-          case Op::UpdatePrioMin: {
-            const bool changed = runtime.updatePriorityMin(
-                static_cast<VertexId>(regs[insn.b].i), regs[insn.c].i);
-            regs[insn.a].i = changed;
-            ++stats.propReads;
-            if (changed) {
-                ++stats.propWrites;
-                ++stats.updates;
-            }
-            break;
-          }
-          case Op::Ret: {
-            stats.instructions += executed;
-            return insn.a >= 0 ? regs[insn.a] : Reg{};
-          }
+            ++stats.updates;
+        }
+        VM_NEXT();
+    }
+    VM_CASE(Ret):
+        stats.instructions += executed;
+        return insn->a >= 0 ? regs[insn->a] : Reg{};
+
+#ifndef UGC_DIRECT_THREADED
         }
     }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
 }
 
 bool

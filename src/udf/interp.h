@@ -9,12 +9,12 @@
 #ifndef UGC_UDF_INTERP_H
 #define UGC_UDF_INTERP_H
 
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "runtime/prio_queue.h"
 #include "runtime/vertex_data.h"
+#include "support/bitset.h"
 #include "udf/bytecode.h"
 
 namespace ugc {
@@ -50,11 +50,20 @@ class AccessRecorder
 };
 
 /**
- * Execution environment for UDF invocations. Populated once per traversal;
- * the interpreter is stateless across calls.
+ * Execution environment for UDF invocations. Populated once per traversal
+ * (or per worker); the interpreter is stateless across calls.
+ *
+ * The enqueue / priority sinks are raw function pointers with a context
+ * object rather than std::function: the interpreter invokes them per edge,
+ * and the type-erased call through std::function dominated dispatch cost
+ * in traversal-heavy profiles. Bind a callable lvalue (whose lifetime
+ * covers every runUdf call) with bindEnqueue / bindUpdatePriorityMin.
  */
 struct UdfRuntime
 {
+    using EnqueueFn = void (*)(void *, VertexId);
+    using UpdateMinFn = bool (*)(void *, VertexId, int64_t);
+
     /** Property arrays, indexed by the compiler's prop slots. */
     std::vector<VertexData *> props;
 
@@ -62,10 +71,12 @@ struct UdfRuntime
     std::vector<Reg> *globals = nullptr;
 
     /** Sink for Enqueue; wired to the output frontier by the engine. */
-    std::function<void(VertexId)> enqueue;
+    EnqueueFn enqueueFn = nullptr;
+    void *enqueueCtx = nullptr;
 
     /** Sink for UpdatePrioMin; returns true if the priority decreased. */
-    std::function<bool(VertexId, int64_t)> updatePriorityMin;
+    UpdateMinFn updateMinFn = nullptr;
+    void *updateMinCtx = nullptr;
 
     /** If set, receives every property access with its logical address. */
     AccessRecorder *recorder = nullptr;
@@ -75,6 +86,46 @@ struct UdfRuntime
      * contexts like Swarm tasks, where hardware guarantees atomicity).
      */
     bool useAtomics = true;
+
+    /**
+     * Deterministic parallel CAS. When set (parallel traversals only), an
+     * atomic CasProp resolves concurrent same-round writers to the minimum
+     * desired value: the bitset marks vertices whose property left its
+     * expected value this round, and losers atomically lower the winner's
+     * value. With a sorted frontier this reproduces the serial outcome
+     * (the lowest-index writer wins) for the monotone transition UDFs the
+     * midend generates, making multi-threaded runs bit-identical to
+     * single-threaded ones. Reported swap counts match the serial path:
+     * exactly one writer per vertex per round observes swapped == true.
+     */
+    Bitset *casRound = nullptr;
+
+    template <typename Fn>
+    void
+    bindEnqueue(Fn &fn)
+    {
+        enqueueCtx = &fn;
+        enqueueFn = [](void *ctx, VertexId v) {
+            (*static_cast<Fn *>(ctx))(v);
+        };
+    }
+
+    template <typename Fn>
+    void
+    bindUpdatePriorityMin(Fn &fn)
+    {
+        updateMinCtx = &fn;
+        updateMinFn = [](void *ctx, VertexId v, int64_t priority) {
+            return (*static_cast<Fn *>(ctx))(v, priority);
+        };
+    }
+
+    void enqueue(VertexId v) const { enqueueFn(enqueueCtx, v); }
+    bool
+    updatePriorityMin(VertexId v, int64_t priority) const
+    {
+        return updateMinFn(updateMinCtx, v, priority);
+    }
 };
 
 /**

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 
 #include "ir/walk.h"
+#include "sched/cpu_schedule.h"
 #include "sched/swarm_schedule.h"
 #include "support/bitset.h"
 #include "support/parallel.h"
@@ -74,6 +76,17 @@ class TaskAccessRecorder : public AccessRecorder
     std::vector<std::pair<Addr, bool>> accesses;
 };
 
+/** True if the UDF contains an atomic CAS (needs the deterministic-CAS
+ *  protocol when executed by concurrent workers). */
+bool
+hasAtomicCas(const Chunk &chunk)
+{
+    for (const Insn &insn : chunk.code)
+        if (insn.op == Op::CasProp && insn.atomic)
+            return true;
+    return false;
+}
+
 } // namespace
 
 struct ExecEngine::Impl
@@ -115,6 +128,121 @@ struct ExecEngine::Impl
     int64_t round = 0;
     std::vector<IterationTrace> trace;
     bool returned = false;
+
+    // --- host-parallel runtime state --------------------------------------
+    /**
+     * Per-worker scratch reused across traversal rounds so the hot loop
+     * performs no per-vertex (or per-round) allocation: output and spawn
+     * buffers, UDF stats, traversal counters, and the UDF runtime itself
+     * (whose prop table is populated once). Indexed by the worker id the
+     * thread pool passes to the body.
+     */
+    struct WorkerCtx
+    {
+        UdfRuntime runtime;
+        TaskAccessRecorder recorder;
+        UdfStats stats;
+        std::vector<VertexId> outBuffer;
+        std::vector<VertexId> spawnBuffer;
+        std::vector<int> order; // shuffled edge order (Swarm)
+        std::vector<std::pair<Addr, bool>> coarseAccesses;
+        std::vector<VertexId> coarseSpawns;
+        EdgeId edges = 0;
+        EdgeId degSum = 0;
+        EdgeId maxDeg = 0;
+        VertexId dsts = 0;
+        bool enqueuedFlag = false;
+
+        void
+        reset()
+        {
+            stats = UdfStats{};
+            recorder.accesses.clear();
+            outBuffer.clear();
+            spawnBuffer.clear();
+            edges = 0;
+            degSum = 0;
+            maxDeg = 0;
+            dsts = 0;
+            enqueuedFlag = false;
+        }
+    };
+
+    std::unique_ptr<ThreadPool> pool; // created on first parallel round
+    std::vector<WorkerCtx> workerCtxs;
+    std::vector<int64_t> blockStarts; // work-block boundaries (reused)
+    Bitset visitedScratch;            // dedup filter (reused)
+    Bitset casRoundScratch;           // deterministic-CAS round marks
+    Bitset membershipScratch;         // pull input-frontier membership
+    std::mutex queueMutex; // PrioQueue is not thread-safe; serialize updates
+
+    ThreadPool &
+    hostPool()
+    {
+        if (!pool)
+            pool = std::make_unique<ThreadPool>(numThreads);
+        return *pool;
+    }
+
+    /** Reset the first @p threads worker contexts for a new round. */
+    void
+    prepareWorkers(unsigned threads, bool use_atomics, Bitset *cas_round)
+    {
+        if (workerCtxs.size() < threads)
+            workerCtxs.resize(threads);
+        for (unsigned w = 0; w < threads; ++w) {
+            WorkerCtx &ctx = workerCtxs[w];
+            ctx.reset();
+            if (ctx.runtime.props.empty())
+                ctx.runtime.props = propsBySlot;
+            ctx.runtime.globals = &globals;
+            ctx.runtime.useAtomics = use_atomics;
+            ctx.runtime.recorder = taskStream ? &ctx.recorder : nullptr;
+            ctx.runtime.casRound = cas_round;
+        }
+    }
+
+    /** Size (or clear) a per-round bitset over the vertex universe. */
+    Bitset &
+    roundBitset(Bitset &bits)
+    {
+        const auto n = static_cast<size_t>(graph->numVertices());
+        if (bits.size() != n)
+            bits.resize(n);
+        else
+            bits.clear();
+        return bits;
+    }
+
+    /**
+     * Partition @p count work items into blocks of roughly equal weight
+     * (the edge-aware grain of SimpleCPUSchedule): boundaries are cut
+     * wherever the running weight reaches the grain, so a skewed frontier
+     * yields many light blocks around its heavy vertices and the
+     * work-stealing pool can rebalance them. Boundaries land in
+     * blockStarts; returns the number of blocks.
+     */
+    int64_t
+    buildBlocks(int64_t count, EdgeId total_work, int grain_hint,
+                auto &&workOf)
+    {
+        const auto target_blocks = static_cast<EdgeId>(numThreads) * 16;
+        const EdgeId grain =
+            std::max<EdgeId>(static_cast<EdgeId>(std::max(grain_hint, 1)),
+                             total_work / target_blocks + 1);
+        blockStarts.clear();
+        blockStarts.push_back(0);
+        EdgeId acc = 0;
+        for (int64_t i = 0; i < count; ++i) {
+            acc += workOf(i);
+            if (acc >= grain && i + 1 < count) {
+                blockStarts.push_back(i + 1);
+                acc = 0;
+            }
+        }
+        blockStarts.push_back(count);
+        return static_cast<int64_t>(blockStarts.size()) - 1;
+    }
 
     // --- setup ------------------------------------------------------------
     void
@@ -751,10 +879,6 @@ struct ExecEngine::Impl
             (!swarm_sched ||
              swarm_sched->frontiers() == SwarmFrontiers::Queues);
 
-        Bitset visited;
-        if (dedup && output)
-            visited.resize(static_cast<size_t>(graph->numVertices()));
-
         std::vector<VertexId> frontier;
         if (!info.isAllVertices)
             frontier = frontierVertices(input);
@@ -774,46 +898,99 @@ struct ExecEngine::Impl
             info.isAllVertices ? graph->numVertices()
                                : static_cast<VertexId>(frontier.size());
 
-        // Per-thread work: [lo, hi) over frontier indices.
-        const unsigned threads =
-            (numThreads > 1 && frontier_count > 256) ? numThreads : 1;
-        std::vector<std::vector<VertexId>> thread_outputs(threads);
-        std::vector<UdfStats> thread_stats(threads);
-        std::vector<EdgeId> thread_edges(threads, 0);
-        std::vector<EdgeId> thread_degsum(threads, 0);
-        std::vector<EdgeId> thread_maxdeg(threads, 0);
+        // Total traversal work (edges + per-vertex constant) gates the
+        // parallel path and sets the edge-balanced block grain.
+        EdgeId total_work = frontier_count;
+        if (info.isAllVertices) {
+            total_work += graph->numEdges();
+        } else {
+            for (VertexId u : frontier)
+                total_work += degree(u);
+        }
 
-        auto body = [&](unsigned tid, int64_t lo, int64_t hi) {
-            UdfRuntime runtime;
-            runtime.props = propsBySlot;
-            runtime.globals = &globals;
-            runtime.useAtomics = true;
-            TaskAccessRecorder recorder;
-            if (taskStream)
-                runtime.recorder = &recorder;
-            std::vector<VertexId> &out_buffer = thread_outputs[tid];
-            std::vector<VertexId> spawn_buffer;
-            runtime.enqueue = [&](VertexId x) {
+        const unsigned threads =
+            (numThreads > 1 && (frontier_count > 256 || total_work > 4096))
+                ? numThreads
+                : 1;
+
+        Bitset *visited = nullptr;
+        if (dedup && output)
+            visited = &roundBitset(visitedScratch);
+
+        // Deterministic CAS resolution, so concurrent workers produce the
+        // same property values (and the same swap counts) as a serial run.
+        Bitset *cas_round = nullptr;
+        if (threads > 1 && hasAtomicCas(apply))
+            cas_round = &roundBitset(casRoundScratch);
+
+        // Work blocks. Edge-aware / edge-based schedules weight vertices by
+        // degree; vertex-based ones get uniform blocks. Serial runs take
+        // the whole range as one block.
+        const Parallelization par = info.schedule
+                                        ? info.schedule->getParallelization()
+                                        : Parallelization::VertexBased;
+        auto cpu_sched = scheduleAs<SimpleCPUSchedule>(info.schedule);
+        const int grain_hint = cpu_sched ? cpu_sched->grainSize() : 256;
+        int64_t num_blocks = 1;
+        if (threads > 1) {
+            if (par == Parallelization::VertexBased) {
+                num_blocks = buildBlocks(frontier_count, frontier_count,
+                                         grain_hint,
+                                         [](int64_t) { return EdgeId{1}; });
+            } else {
+                num_blocks = buildBlocks(
+                    frontier_count, total_work, grain_hint, [&](int64_t i) {
+                        const VertexId u =
+                            info.isAllVertices
+                                ? static_cast<VertexId>(i)
+                                : frontier[static_cast<size_t>(i)];
+                        return degree(u) + 1;
+                    });
+            }
+        } else {
+            blockStarts.clear();
+            blockStarts.push_back(0);
+            blockStarts.push_back(frontier_count);
+        }
+
+        prepareWorkers(threads, /*use_atomics=*/true, cas_round);
+
+        auto worker_body = [&](unsigned w, int64_t blo, int64_t bhi) {
+            WorkerCtx &ctx = workerCtxs[w];
+            UdfRuntime &runtime = ctx.runtime;
+            UdfStats &stats = ctx.stats;
+
+            auto enqueue_sink = [&](VertexId x) {
                 if (taskStream)
-                    spawn_buffer.push_back(x);
+                    ctx.spawnBuffer.push_back(x);
                 if (!output)
                     return;
-                if (!dedup || visited.setAtomic(static_cast<size_t>(x)))
-                    out_buffer.push_back(x);
+                if (!visited || visited->setAtomic(static_cast<size_t>(x)))
+                    ctx.outBuffer.push_back(x);
             };
-            runtime.updatePriorityMin = [&](VertexId x, int64_t priority) {
-                const bool changed =
-                    queue ? queue->updatePriorityMin(x, priority) : false;
+            auto update_min_sink = [&](VertexId x, int64_t priority) {
+                bool changed = false;
+                if (queue) {
+                    if (threads > 1) {
+                        std::lock_guard<std::mutex> lock(queueMutex);
+                        changed = queue->updatePriorityMin(x, priority);
+                    } else {
+                        changed = queue->updatePriorityMin(x, priority);
+                    }
+                }
                 if (changed && taskStream)
-                    spawn_buffer.push_back(x);
+                    ctx.spawnBuffer.push_back(x);
                 return changed;
             };
-            UdfStats &stats = thread_stats[tid];
+            runtime.bindEnqueue(enqueue_sink);
+            runtime.bindUpdatePriorityMin(update_min_sink);
 
             Rng shuffle_rng(0x5ca1ab1eULL);
-            std::vector<int> order;
 
-            for (int64_t i = lo; i < hi; ++i) {
+            for (int64_t b = blo; b < bhi; ++b) {
+              for (int64_t i = blockStarts[static_cast<size_t>(b)],
+                           hi = blockStarts[static_cast<size_t>(b) + 1];
+                   i < hi; ++i) {
                 const VertexId u = info.isAllVertices
                                        ? static_cast<VertexId>(i)
                                        : frontier[static_cast<size_t>(i)];
@@ -823,30 +1000,32 @@ struct ExecEngine::Impl
                         continue;
                 }
                 const EdgeId deg = degree(u);
-                thread_degsum[tid] += deg;
-                thread_maxdeg[tid] = std::max(thread_maxdeg[tid], deg);
+                ctx.degSum += deg;
+                ctx.maxDeg = std::max(ctx.maxDeg, deg);
                 const auto nbrs = neighbors(u);
                 const auto wts =
                     info.weighted ? weights(u) : std::span<const Weight>{};
 
-                order.resize(nbrs.size());
-                for (size_t k = 0; k < nbrs.size(); ++k)
-                    order[k] = static_cast<int>(k);
-                if (shuffle && nbrs.size() > 2) {
+                const bool shuffled = shuffle && nbrs.size() > 2;
+                if (shuffled) {
+                    ctx.order.resize(nbrs.size());
+                    for (size_t k = 0; k < nbrs.size(); ++k)
+                        ctx.order[k] = static_cast<int>(k);
                     for (size_t k = nbrs.size() - 1; k > 0; --k) {
-                        std::swap(order[k],
-                                  order[shuffle_rng.nextBounded(k + 1)]);
+                        std::swap(ctx.order[k],
+                                  ctx.order[shuffle_rng.nextBounded(k + 1)]);
                     }
                 }
 
                 uint64_t coarse_instr = 0;
-                std::vector<std::pair<Addr, bool>> coarse_accesses;
-                std::vector<VertexId> coarse_spawns;
+                ctx.coarseAccesses.clear();
+                ctx.coarseSpawns.clear();
 
                 for (size_t oi = 0; oi < nbrs.size(); ++oi) {
-                    const size_t k = static_cast<size_t>(order[oi]);
+                    const size_t k =
+                        shuffled ? static_cast<size_t>(ctx.order[oi]) : oi;
                     const VertexId v = nbrs[k];
-                    ++thread_edges[tid];
+                    ++ctx.edges;
                     if (dst_filter) {
                         Reg arg = regOfInt(v);
                         if (!runUdfBool(*dst_filter, {&arg, 1}, runtime,
@@ -856,8 +1035,8 @@ struct ExecEngine::Impl
                     Reg args[3] = {regOfInt(u), regOfInt(v),
                                    regOfInt(info.weighted ? wts[k] : 1)};
                     const uint64_t instr_before = stats.instructions;
-                    recorder.accesses.clear();
-                    spawn_buffer.clear();
+                    ctx.recorder.accesses.clear();
+                    ctx.spawnBuffer.clear();
                     runUdf(apply, {args, info.weighted ? 3u : 2u}, runtime,
                            stats);
                     if (taskStream) {
@@ -869,20 +1048,21 @@ struct ExecEngine::Impl
                             // The task is gated by its source's spawn.
                             task.vertex = u;
                             task.instructions = instr;
-                            task.accesses = recorder.accesses;
-                            task.spawns = spawn_buffer;
-                            if (hints && !recorder.accesses.empty())
-                                task.hint = recorder.accesses.front().first;
+                            task.accesses = ctx.recorder.accesses;
+                            task.spawns = ctx.spawnBuffer;
+                            if (hints && !ctx.recorder.accesses.empty())
+                                task.hint =
+                                    ctx.recorder.accesses.front().first;
                             model.onTask(std::move(task));
                         } else {
                             coarse_instr += instr;
-                            coarse_accesses.insert(
-                                coarse_accesses.end(),
-                                recorder.accesses.begin(),
-                                recorder.accesses.end());
-                            coarse_spawns.insert(coarse_spawns.end(),
-                                                 spawn_buffer.begin(),
-                                                 spawn_buffer.end());
+                            ctx.coarseAccesses.insert(
+                                ctx.coarseAccesses.end(),
+                                ctx.recorder.accesses.begin(),
+                                ctx.recorder.accesses.end());
+                            ctx.coarseSpawns.insert(ctx.coarseSpawns.end(),
+                                                    ctx.spawnBuffer.begin(),
+                                                    ctx.spawnBuffer.end());
                         }
                     }
                 }
@@ -891,35 +1071,34 @@ struct ExecEngine::Impl
                     task.timestamp = round;
                     task.vertex = u;
                     task.instructions = coarse_instr + 10;
-                    task.accesses = std::move(coarse_accesses);
-                    task.spawns = std::move(coarse_spawns);
+                    task.accesses = std::move(ctx.coarseAccesses);
+                    task.spawns = std::move(ctx.coarseSpawns);
                     model.onTask(std::move(task));
+                    ctx.coarseAccesses.clear();
+                    ctx.coarseSpawns.clear();
                 }
+              }
             }
         };
 
-        if (threads == 1) {
-            body(0, 0, frontier_count);
-        } else {
-            ThreadPool::global().parallelFor(
-                0, frontier_count, [&](int64_t lo, int64_t hi) {
-                    // Thread id derived from the chunk (chunks are
-                    // contiguous, one per worker).
-                    const int64_t chunk =
-                        (frontier_count + threads - 1) / threads;
-                    body(static_cast<unsigned>(lo / chunk), lo, hi);
-                });
-        }
+        if (threads == 1)
+            worker_body(0, 0, 1);
+        else
+            hostPool().parallelFor(0, num_blocks, /*grain=*/1, worker_body);
 
+        // Merge in worker order. Which worker ran which block is
+        // schedule-dependent, but every merged quantity is a commutative
+        // reduction (sums, max, set insertions of deterministic content),
+        // so the result is identical across runs and thread counts.
         for (unsigned t = 0; t < threads; ++t) {
-            info.udf.merge(thread_stats[t]);
-            info.edgesTraversed += thread_edges[t];
-            info.frontierDegreeSum += thread_degsum[t];
+            const WorkerCtx &ctx = workerCtxs[t];
+            info.udf.merge(ctx.stats);
+            info.edgesTraversed += ctx.edges;
+            info.frontierDegreeSum += ctx.degSum;
             info.frontierDegreeMax =
-                std::max<EdgeId>(info.frontierDegreeMax, thread_maxdeg[t]);
+                std::max<EdgeId>(info.frontierDegreeMax, ctx.maxDeg);
             if (output)
-                for (VertexId v : thread_outputs[t])
-                    output->add(v);
+                output->addBulk(ctx.outBuffer);
         }
         if (barrier_frontiers)
             model.onRoundBarrier();
@@ -941,17 +1120,17 @@ struct ExecEngine::Impl
         };
 
         // Membership structure for the input frontier.
-        Bitset membership;
+        Bitset *membership = nullptr;
         if (!info.isAllVertices) {
-            membership.resize(static_cast<size_t>(graph->numVertices()));
+            membership = &roundBitset(membershipScratch);
             input->forEach([&](VertexId v) {
-                membership.set(static_cast<size_t>(v));
+                membership->set(static_cast<size_t>(v));
             });
         }
 
-        Bitset visited;
+        Bitset *visited = nullptr;
         if (dedup && output)
-            visited.resize(static_cast<size_t>(graph->numVertices()));
+            visited = &roundBitset(visitedScratch);
 
         const bool early_exit =
             stmt.trackChanges &&
@@ -960,53 +1139,84 @@ struct ExecEngine::Impl
 
         const VertexId n = graph->numVertices();
         const unsigned threads = (numThreads > 1 && n > 256) ? numThreads : 1;
-        std::vector<std::vector<VertexId>> thread_outputs(threads);
-        std::vector<UdfStats> thread_stats(threads);
-        std::vector<EdgeId> thread_edges(threads, 0);
-        std::vector<VertexId> thread_dsts(threads, 0);
 
-        auto body = [&](unsigned tid, int64_t lo, int64_t hi) {
-            UdfRuntime runtime;
-            runtime.props = propsBySlot;
-            runtime.globals = &globals;
-            runtime.useAtomics = false; // pull owns its destination
-            TaskAccessRecorder recorder;
-            if (taskStream)
-                runtime.recorder = &recorder;
-            std::vector<VertexId> &out_buffer = thread_outputs[tid];
-            bool enqueued_flag = false;
-            runtime.enqueue = [&](VertexId x) {
-                enqueued_flag = true;
+        // Pull iterates every destination; weight blocks by in-degree
+        // straight from the CSR offset array (edge-aware schedules).
+        const Parallelization par = info.schedule
+                                        ? info.schedule->getParallelization()
+                                        : Parallelization::VertexBased;
+        auto cpu_sched = scheduleAs<SimpleCPUSchedule>(info.schedule);
+        const int grain_hint = cpu_sched ? cpu_sched->grainSize() : 256;
+        int64_t num_blocks = 1;
+        if (threads > 1) {
+            if (par == Parallelization::VertexBased) {
+                num_blocks =
+                    buildBlocks(n, n, grain_hint,
+                                [](int64_t) { return EdgeId{1}; });
+            } else {
+                const std::vector<EdgeId> &offsets =
+                    transposed ? graph->outOffsets() : graph->inOffsets();
+                num_blocks = buildBlocks(
+                    n, graph->numEdges() + n, grain_hint, [&](int64_t i) {
+                        const auto idx = static_cast<size_t>(i);
+                        return offsets[idx + 1] - offsets[idx] + 1;
+                    });
+            }
+        } else {
+            blockStarts.clear();
+            blockStarts.push_back(0);
+            blockStarts.push_back(n);
+        }
+
+        // Pull owns its destination, so UDF writes need no atomics.
+        prepareWorkers(threads, /*use_atomics=*/false, nullptr);
+
+        auto worker_body = [&](unsigned w, int64_t blo, int64_t bhi) {
+            WorkerCtx &ctx = workerCtxs[w];
+            UdfRuntime &runtime = ctx.runtime;
+            UdfStats &stats = ctx.stats;
+
+            auto enqueue_sink = [&](VertexId x) {
+                ctx.enqueuedFlag = true;
                 if (!output)
                     return;
-                if (!dedup || visited.setAtomic(static_cast<size_t>(x)))
-                    out_buffer.push_back(x);
+                if (!visited || visited->setAtomic(static_cast<size_t>(x)))
+                    ctx.outBuffer.push_back(x);
             };
-            runtime.updatePriorityMin = [&](VertexId x, int64_t priority) {
-                return queue ? queue->updatePriorityMin(x, priority)
-                             : false;
+            auto update_min_sink = [&](VertexId x, int64_t priority) {
+                if (!queue)
+                    return false;
+                if (threads > 1) {
+                    std::lock_guard<std::mutex> lock(queueMutex);
+                    return queue->updatePriorityMin(x, priority);
+                }
+                return queue->updatePriorityMin(x, priority);
             };
-            UdfStats &stats = thread_stats[tid];
+            runtime.bindEnqueue(enqueue_sink);
+            runtime.bindUpdatePriorityMin(update_min_sink);
 
-            for (int64_t i = lo; i < hi; ++i) {
+            for (int64_t b = blo; b < bhi; ++b) {
+              for (int64_t i = blockStarts[static_cast<size_t>(b)],
+                           hi = blockStarts[static_cast<size_t>(b) + 1];
+                   i < hi; ++i) {
                 const auto v = static_cast<VertexId>(i);
                 if (dst_filter) {
                     Reg arg = regOfInt(v);
                     if (!runUdfBool(*dst_filter, {&arg, 1}, runtime, stats))
                         continue;
                 }
-                ++thread_dsts[tid];
+                ++ctx.dsts;
                 const auto nbrs = neighbors(v);
                 const auto wts =
                     info.weighted ? weights(v) : std::span<const Weight>{};
-                enqueued_flag = false;
+                ctx.enqueuedFlag = false;
                 uint64_t coarse_instr = 0;
-                std::vector<std::pair<Addr, bool>> coarse_accesses;
+                ctx.coarseAccesses.clear();
                 for (size_t k = 0; k < nbrs.size(); ++k) {
                     const VertexId u = nbrs[k];
-                    ++thread_edges[tid];
-                    if (!info.isAllVertices &&
-                        !membership.test(static_cast<size_t>(u)))
+                    ++ctx.edges;
+                    if (membership &&
+                        !membership->test(static_cast<size_t>(u)))
                         continue;
                     if (src_filter) {
                         Reg arg = regOfInt(u);
@@ -1017,16 +1227,17 @@ struct ExecEngine::Impl
                     Reg args[3] = {regOfInt(u), regOfInt(v),
                                    regOfInt(info.weighted ? wts[k] : 1)};
                     const uint64_t instr_before = stats.instructions;
-                    recorder.accesses.clear();
+                    ctx.recorder.accesses.clear();
                     runUdf(apply, {args, info.weighted ? 3u : 2u}, runtime,
                            stats);
                     if (taskStream) {
                         coarse_instr += stats.instructions - instr_before;
-                        coarse_accesses.insert(coarse_accesses.end(),
-                                               recorder.accesses.begin(),
-                                               recorder.accesses.end());
+                        ctx.coarseAccesses.insert(
+                            ctx.coarseAccesses.end(),
+                            ctx.recorder.accesses.begin(),
+                            ctx.recorder.accesses.end());
                     }
-                    if (early_exit && enqueued_flag)
+                    if (early_exit && ctx.enqueuedFlag)
                         break;
                 }
                 if (taskStream && !nbrs.empty()) {
@@ -1034,29 +1245,27 @@ struct ExecEngine::Impl
                     task.timestamp = round;
                     task.vertex = v;
                     task.instructions = coarse_instr + 10;
-                    task.accesses = std::move(coarse_accesses);
+                    task.accesses = std::move(ctx.coarseAccesses);
                     model.onTask(std::move(task));
+                    ctx.coarseAccesses.clear();
                 }
+              }
             }
         };
 
-        if (threads == 1) {
-            body(0, 0, n);
-        } else {
-            ThreadPool::global().parallelFor(0, n,
-                                             [&](int64_t lo, int64_t hi) {
-                const int64_t chunk = (n + threads - 1) / threads;
-                body(static_cast<unsigned>(lo / chunk), lo, hi);
-            });
-        }
+        if (threads == 1)
+            worker_body(0, 0, 1);
+        else
+            hostPool().parallelFor(0, n ? num_blocks : 0, /*grain=*/1,
+                                   worker_body);
 
         for (unsigned t = 0; t < threads; ++t) {
-            info.udf.merge(thread_stats[t]);
-            info.edgesTraversed += thread_edges[t];
-            info.destinationsScanned += thread_dsts[t];
+            const WorkerCtx &ctx = workerCtxs[t];
+            info.udf.merge(ctx.stats);
+            info.edgesTraversed += ctx.edges;
+            info.destinationsScanned += ctx.dsts;
             if (output)
-                for (VertexId v : thread_outputs[t])
-                    output->add(v);
+                output->addBulk(ctx.outBuffer);
         }
         info.frontierDegreeSum = info.edgesTraversed;
         if (taskStream)
@@ -1105,8 +1314,10 @@ struct ExecEngine::Impl
         runtime.props = propsBySlot;
         runtime.globals = &globals;
         runtime.useAtomics = false;
-        runtime.enqueue = [](VertexId) {};
-        runtime.updatePriorityMin = [](VertexId, int64_t) { return false; };
+        auto noop_enqueue = [](VertexId) {};
+        auto noop_update_min = [](VertexId, int64_t) { return false; };
+        runtime.bindEnqueue(noop_enqueue);
+        runtime.bindUpdatePriorityMin(noop_update_min);
 
         for (VertexId i = 0; i < count; ++i) {
             const VertexId v =

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -62,6 +64,126 @@ TEST(ThreadPool, RangeSmallerThanThreads)
         count += static_cast<int>(hi - lo);
     });
     EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, GrainedCoversWholeRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1537);
+    pool.parallelFor(0, 1537, /*grain=*/64,
+                     [&](unsigned, int64_t lo, int64_t hi) {
+                         EXPECT_LE(hi - lo, 64);
+                         for (int64_t i = lo; i < hi; ++i)
+                             hits[i].fetch_add(1);
+                     });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WorkerIndexIsInRangeAndStable)
+{
+    constexpr unsigned kThreads = 4;
+    ThreadPool pool(kThreads);
+    // Each worker records which chunks it ran; worker ids must index the
+    // pool's workers, and a chunk must be executed by exactly one worker.
+    std::vector<std::vector<int64_t>> per_worker(kThreads);
+    std::mutex mutex;
+    pool.parallelFor(0, 640, 16, [&](unsigned w, int64_t lo, int64_t hi) {
+        ASSERT_LT(w, kThreads);
+        std::lock_guard<std::mutex> lock(mutex);
+        for (int64_t i = lo; i < hi; ++i)
+            per_worker[w].push_back(i);
+    });
+    std::vector<int64_t> all;
+    for (auto &chunk_ids : per_worker)
+        all.insert(all.end(), chunk_ids.begin(), chunk_ids.end());
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), 640u);
+    for (int64_t i = 0; i < 640; ++i)
+        EXPECT_EQ(all[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, StealingRebalancesSkewedWork)
+{
+    // One heavy chunk at the front: without stealing, the worker that owns
+    // the leading chunks serializes everything; with stealing every chunk
+    // still runs exactly once and the sum is correct.
+    ThreadPool pool(8);
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(0, 256, 1, [&](unsigned, int64_t lo, int64_t hi) {
+        int64_t local = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+            // Chunk 0 is ~1000x heavier than the rest.
+            const int64_t reps = i == 0 ? 100000 : 100;
+            for (int64_t r = 0; r < reps; ++r)
+                local += (i + r) % 7 == 0;
+        }
+        sum += local;
+    });
+    int64_t expected = 0;
+    for (int64_t i = 0; i < 256; ++i) {
+        const int64_t reps = i == 0 ? 100000 : 100;
+        for (int64_t r = 0; r < reps; ++r)
+            expected += (i + r) % 7 == 0;
+    }
+    EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, GrainedSingleChunkRunsInline)
+{
+    ThreadPool pool(4);
+    const auto main_id = std::this_thread::get_id();
+    unsigned seen_worker = 99;
+    pool.parallelFor(0, 10, 16, [&](unsigned w, int64_t lo, int64_t hi) {
+        EXPECT_EQ(std::this_thread::get_id(), main_id);
+        EXPECT_EQ(lo, 0);
+        EXPECT_EQ(hi, 10);
+        seen_worker = w;
+    });
+    EXPECT_EQ(seen_worker, 0u);
+}
+
+TEST(ThreadPool, AutoGrainCoversRange)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> sum{0};
+    pool.parallelFor(0, 10000, /*grain=*/0,
+                     [&](unsigned, int64_t lo, int64_t hi) {
+                         int64_t local = 0;
+                         for (int64_t i = lo; i < hi; ++i)
+                             local += i;
+                         sum += local;
+                     });
+    EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(WorkDeque, OwnerTakesInAscendingOrder)
+{
+    WorkDeque deque;
+    deque.fill(10, 5);
+    int64_t chunk;
+    for (int64_t expected = 10; expected < 15; ++expected) {
+        ASSERT_TRUE(deque.take(chunk));
+        EXPECT_EQ(chunk, expected);
+    }
+    EXPECT_FALSE(deque.take(chunk));
+}
+
+TEST(WorkDeque, ThiefStealsFromOppositeEnd)
+{
+    WorkDeque deque;
+    deque.fill(0, 4);
+    int64_t stolen;
+    ASSERT_EQ(deque.steal(stolen), WorkDeque::Steal::Success);
+    EXPECT_EQ(stolen, 3); // thieves take the highest chunk id
+    int64_t own;
+    ASSERT_TRUE(deque.take(own));
+    EXPECT_EQ(own, 0);
+    ASSERT_TRUE(deque.take(own));
+    EXPECT_EQ(own, 1);
+    ASSERT_TRUE(deque.take(own));
+    EXPECT_EQ(own, 2);
+    EXPECT_EQ(deque.steal(stolen), WorkDeque::Steal::Empty);
 }
 
 TEST(ParallelForGlobal, Works)

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "ir/program.h"
 #include "udf/compiler.h"
 #include "udf/interp.h"
@@ -32,8 +34,10 @@ class UdfTest : public ::testing::Test
 
         runtime.props = {parent.get(), rank.get()};
         runtime.globals = &globals;
-        runtime.enqueue = [this](VertexId v) { enqueued.push_back(v); };
-        runtime.updatePriorityMin = [](VertexId, int64_t) { return false; };
+        enqueueSink = [this](VertexId v) { enqueued.push_back(v); };
+        updateMinSink = [](VertexId, int64_t) { return false; };
+        runtime.bindEnqueue(enqueueSink);
+        runtime.bindUpdatePriorityMin(updateMinSink);
     }
 
     Reg
@@ -52,6 +56,8 @@ class UdfTest : public ::testing::Test
     std::unique_ptr<VertexData> rank;
     std::vector<Reg> globals;
     std::vector<VertexId> enqueued;
+    std::function<void(VertexId)> enqueueSink;
+    std::function<bool(VertexId, int64_t)> updateMinSink;
     UdfRuntime runtime;
     UdfStats stats;
 };

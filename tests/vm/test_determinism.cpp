@@ -1,0 +1,108 @@
+/**
+ * Determinism regression tests for the host-side parallel runtime: the
+ * results (and the traversal counters the cycle models consume) of a
+ * multi-threaded run must be bit-identical to a single-threaded run,
+ * regardless of how the work-stealing pool interleaves blocks.
+ */
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "vm/cpu/cpu_vm.h"
+
+namespace ugc {
+namespace {
+
+RunResult
+runWith(const Graph &graph, const std::string &name,
+        datasets::GraphKind kind, unsigned threads, VertexId start,
+        int64_t arg3)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName(name));
+    // The tuned CPU schedules select the edge-aware parallel variants
+    // (hybrid push/pull BFS, pull PR, delta-stepping SSSP).
+    algorithms::applyTunedSchedule(*program, name, "cpu", kind);
+    CpuVM vm;
+    vm.setNumThreads(threads);
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, start, arg3};
+    return vm.run(*program, inputs);
+}
+
+/**
+ * Property values and per-round traversal counters must match exactly.
+ * Cycle counts are compared only when @p compare_cycles: SSSP's UDF
+ * update counts depend on the order concurrent priority updates land
+ * (the dist values and traversal counters do not).
+ */
+void
+expectSameRun(const RunResult &serial, const RunResult &parallel,
+              bool compare_cycles)
+{
+    EXPECT_EQ(serial.properties, parallel.properties);
+    ASSERT_EQ(serial.trace.size(), parallel.trace.size());
+    for (size_t i = 0; i < serial.trace.size(); ++i) {
+        const IterationTrace &a = serial.trace[i];
+        const IterationTrace &b = parallel.trace[i];
+        EXPECT_EQ(a.stmtLabel, b.stmtLabel) << "round " << i;
+        EXPECT_EQ(a.direction, b.direction) << "round " << i;
+        EXPECT_EQ(a.frontierSize, b.frontierSize) << "round " << i;
+        EXPECT_EQ(a.edgesTraversed, b.edgesTraversed) << "round " << i;
+        if (compare_cycles) {
+            EXPECT_EQ(a.cycles, b.cycles) << "round " << i;
+        }
+    }
+    if (compare_cycles) {
+        EXPECT_EQ(serial.cycles, parallel.cycles);
+    }
+}
+
+class Determinism : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(Determinism, ThreadCountInvariantOnRmat)
+{
+    const std::string name = GetParam();
+    const auto &algorithm = algorithms::byName(name);
+    const Graph graph =
+        gen::rmat(10, 8, 0.57, 0.19, 0.19, algorithm.needsWeights, 5);
+    const int64_t arg3 = name == "pr" ? 10 : 4;
+    const bool compare_cycles = name != "sssp";
+
+    const RunResult serial =
+        runWith(graph, name, datasets::GraphKind::Social, 1, 3, arg3);
+    for (unsigned threads : {2u, 8u}) {
+        const RunResult parallel = runWith(
+            graph, name, datasets::GraphKind::Social, threads, 3, arg3);
+        expectSameRun(serial, parallel, compare_cycles);
+    }
+}
+
+TEST_P(Determinism, ThreadCountInvariantOnRoadGrid)
+{
+    const std::string name = GetParam();
+    const auto &algorithm = algorithms::byName(name);
+    const Graph graph = gen::roadGrid(32, 32, algorithm.needsWeights, 11);
+    const int64_t arg3 = name == "pr" ? 5 : 64;
+    const bool compare_cycles = name != "sssp";
+
+    const RunResult serial =
+        runWith(graph, name, datasets::GraphKind::Road, 1, 0, arg3);
+    for (unsigned threads : {2u, 8u}) {
+        const RunResult parallel = runWith(
+            graph, name, datasets::GraphKind::Road, threads, 0, arg3);
+        expectSameRun(serial, parallel, compare_cycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, Determinism,
+                         ::testing::Values("bfs", "sssp", "pr"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace ugc
