@@ -42,18 +42,18 @@ main()
         const Cycles push = bfsWith(inputs, [](Program &p) {
             SimpleCPUSchedule s;
             s.configDirection(Direction::Push);
-            applyCPUSchedule(p, "s1", s);
+            applySchedule(p, "s1", s);
         });
         const Cycles pull = bfsWith(inputs, [](Program &p) {
             SimpleCPUSchedule s;
             s.configDirection(Direction::Pull);
-            applyCPUSchedule(p, "s1", s);
+            applySchedule(p, "s1", s);
         });
         const Cycles hybrid = bfsWith(inputs, [](Program &p) {
             SimpleCPUSchedule push_s, pull_s;
             push_s.configDirection(Direction::Push);
             pull_s.configDirection(Direction::Pull);
-            applyCPUSchedule(p, "s1",
+            applySchedule(p, "s1",
                              CompositeCPUSchedule(
                                  HybridCriteria::InputSetSize, 0.15,
                                  push_s, pull_s));
@@ -73,7 +73,7 @@ main()
             SimpleCPUSchedule push_s, pull_s;
             push_s.configDirection(Direction::Push);
             pull_s.configDirection(Direction::Pull);
-            applyCPUSchedule(p, "s1",
+            applySchedule(p, "s1",
                              CompositeCPUSchedule(
                                  HybridCriteria::InputSetSize, threshold,
                                  push_s, pull_s));

@@ -26,7 +26,7 @@ main()
         ProgramPtr program = algorithms::buildProgram(bfs);
         SimpleGPUSchedule sched;
         sched.configDirection(Direction::Pull, format);
-        applyGPUSchedule(*program, "s1", sched);
+        applySchedule(*program, "s1", sched);
         GpuVM vm;
         std::printf("pull_input_frontier=%-8s %14llu cycles\n",
                     formatName(format).c_str(),
@@ -48,7 +48,7 @@ main()
         ProgramPtr program = algorithms::buildProgram(bfs);
         SimpleGPUSchedule sched;
         sched.configFrontierCreation(entry.creation);
-        applyGPUSchedule(*program, "s1", sched);
+        applySchedule(*program, "s1", sched);
         GpuVM vm;
         std::printf("%-16s %14llu cycles\n", entry.label,
                     static_cast<unsigned long long>(

@@ -36,7 +36,7 @@ main()
             ProgramPtr program = algorithms::buildProgram(cc);
             SimpleGPUSchedule sched;
             sched.configLoadBalance(lb);
-            applyGPUSchedule(*program, "s1", sched);
+            applySchedule(*program, "s1", sched);
             GpuVM vm;
             const Cycles cycles = vm.run(*program, inputs).cycles;
             if (base == 0)

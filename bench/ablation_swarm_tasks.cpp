@@ -20,7 +20,7 @@ bfsWith(const RunInputs &inputs, SwarmFrontiers f,
         algorithms::buildProgram(algorithms::byName("bfs"));
     SimpleSwarmSchedule sched;
     sched.configFrontiers(f).taskGranularity(g).configSpatialHints(hints);
-    applySwarmSchedule(*program, "s1", sched);
+    applySchedule(*program, "s1", sched);
     SwarmVM vm;
     return vm.run(*program, inputs);
 }

@@ -3,12 +3,15 @@
  *  (a) HammerBlade Manycore at 32/64/128/256 cores (LLC held constant),
  *  (b) Swarm from 1 to 64 cores (tiles add queue + cache capacity).
  * Reported as speedup over the smallest configuration, per graph.
+ *
+ * Core counts are set through BackendOptions.cores (the factory's Fig 10
+ * knob) and cycles are read from each run's profile.
  */
 #include <cstdio>
 
 #include "common.h"
-#include "vm/hb/hb_vm.h"
-#include "vm/swarm/swarm_vm.h"
+#include "support/prof.h"
+#include "vm/factory.h"
 
 using namespace ugc;
 
@@ -17,29 +20,30 @@ namespace {
 const std::vector<std::string> kGraphs = {"RN", "RC", "PK", "HW", "LJ"};
 
 Cycles
-hbBfs(unsigned cores, const RunInputs &inputs, datasets::GraphKind kind)
+scaledBfs(const std::string &backend, unsigned cores,
+          const RunInputs &inputs, datasets::GraphKind kind)
 {
-    HBParams params;
-    params.cores = cores;
-    HBVM vm(params);
+    BackendOptions options;
+    options.cores = cores;
+    options.profiling = true;
+    auto vm = makeGraphVM(backend, options);
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName("bfs"));
-    algorithms::applyTunedSchedule(*program, "bfs", "hb", kind);
-    return vm.run(*program, inputs).cycles;
+    algorithms::applyTunedSchedule(*program, "bfs", backend, kind);
+    return vm->run(*program, inputs).profile->totalCycles();
+}
+
+Cycles
+hbBfs(unsigned cores, const RunInputs &inputs, datasets::GraphKind kind)
+{
+    return scaledBfs("hb", cores, inputs, kind);
 }
 
 Cycles
 swarmBfs(unsigned cores, const RunInputs &inputs,
          datasets::GraphKind kind)
 {
-    SwarmParams params;
-    params.cores = cores;
-    params.coresPerTile = cores < 4 ? cores : 4;
-    SwarmVM vm(params);
-    ProgramPtr program =
-        algorithms::buildProgram(algorithms::byName("bfs"));
-    algorithms::applyTunedSchedule(*program, "bfs", "swarm", kind);
-    return vm.run(*program, inputs).cycles;
+    return scaledBfs("swarm", cores, inputs, kind);
 }
 
 } // namespace

@@ -3,11 +3,15 @@
  * schedules, averaged over the 64 cores — committed work, aborted work,
  * idle (commit queue full / no tasks), and task-queue spills. The paper's
  * shape: committed work dominates across all five algorithms.
+ *
+ * The breakdown is read from the run's profile (makeGraphVM with
+ * profiling on), exercising the same path `ugcc --profile` uses.
  */
 #include <cstdio>
 
 #include "common.h"
-#include "vm/swarm/swarm_vm.h"
+#include "support/prof.h"
+#include "vm/factory.h"
 
 using namespace ugc;
 
@@ -16,6 +20,9 @@ main()
 {
     const std::vector<std::string> algs = {"pr", "bfs", "sssp", "cc", "bc"};
     const std::vector<std::string> graphs = {"RN", "LJ"};
+
+    BackendOptions options;
+    options.profiling = true;
 
     bench::printHeading("Fig 11: Swarm core-time breakdown (percent)");
     std::printf("%-12s%10s%10s%10s%10s%10s\n", "", "commit", "abort",
@@ -26,18 +33,19 @@ main()
             const auto &algorithm = algorithms::byName(alg);
             const Graph &graph = bench::getGraph(
                 graph_name, datasets::Scale::Small, algorithm.needsWeights);
-            SwarmVM vm;
+            auto vm = makeGraphVM("swarm", options);
             ProgramPtr program = algorithms::buildProgram(algorithm);
             algorithms::applyTunedSchedule(*program, alg, "swarm", kind);
             const RunResult result =
-                vm.run(*program,
-                       bench::makeInputs(graph, algorithm, 2, kind));
+                vm->run(*program,
+                        bench::makeInputs(graph, algorithm, 2, kind));
 
-            const auto &c = result.counters;
+            const prof::Profile &profile = *result.profile;
             const double capacity =
-                c.get("swarm.wall_cycles") * c.get("swarm.cores");
+                profile.totalCounter("swarm.wall_cycles") *
+                profile.totalCounter("swarm.cores");
             auto pct = [&](const char *key) {
-                return 100.0 * c.get(key) / capacity;
+                return 100.0 * profile.totalCounter(key) / capacity;
             };
             std::printf("%-4s/%-7s%9.1f%%%9.1f%%%9.1f%%%9.1f%%%9.1f%%\n",
                         graph_name.c_str(), alg.c_str(),

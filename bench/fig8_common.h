@@ -30,7 +30,7 @@ runFig8(const std::string &target, datasets::Scale scale,
     const std::vector<std::string> algs = {"pr", "bfs", "sssp", "cc", "bc"};
     std::vector<std::vector<double>> speedups;
 
-    auto vm = createGraphVM(target, /*scale_memory_to_datasets=*/true);
+    auto vm = makeGraphVM(target, {.scaleMemoryToDatasets = true});
     for (const std::string &graph_name : graph_names) {
         std::vector<double> row;
         const datasets::GraphKind kind = datasets::info(graph_name).kind;
@@ -51,9 +51,9 @@ runFig8(const std::string &target, datasets::Scale scale,
                     .configDirection(HBDirection::Hybrid)
                     .configDelta(kind == datasets::GraphKind::Road ? 8192
                                                                    : 2);
-                applyHBSchedule(*program, "s1", baseline);
+                applySchedule(*program, "s1", baseline);
                 if (alg == "bc")
-                    applyHBSchedule(*program, "s3", baseline);
+                    applySchedule(*program, "s3", baseline);
                 base = vm->run(*program,
                                makeInputs(graph, algorithm, pr_iterations,
                                           kind))

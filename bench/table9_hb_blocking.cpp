@@ -4,27 +4,33 @@
  * bandwidth utilization, and overall speedup, on LJ / HW / PK.
  * Paper values: stalls ratio ~0.78-0.83, bandwidth x2.2-3.0,
  * speedup x1.19-1.53.
+ *
+ * All quantities come from the run's profile — stalls and traffic from
+ * the machine-model counters folded into it, cycles from its root scope.
  */
 #include <cstdio>
 
 #include "common.h"
 #include "sched/apply.h"
-#include "vm/hb/hb_vm.h"
+#include "support/prof.h"
+#include "vm/factory.h"
 
 using namespace ugc;
 
 namespace {
 
-RunResult
+std::shared_ptr<prof::Profile>
 runSssp(const RunInputs &inputs, HBLoadBalance lb)
 {
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName("sssp"));
     SimpleHBSchedule sched;
     sched.configLoadBalance(lb).configDelta(2);
-    applyHBSchedule(*program, "s1", sched);
-    HBVM vm;
-    return vm.run(*program, inputs);
+    applySchedule(*program, "s1", sched);
+    BackendOptions options;
+    options.profiling = true;
+    auto vm = makeGraphVM("hb", options);
+    return vm->run(*program, inputs).profile;
 }
 
 } // namespace
@@ -42,25 +48,23 @@ main()
             bench::getGraph(name, datasets::Scale::Small, true);
         const RunInputs inputs = bench::makeInputs(graph, sssp, 1);
 
-        const RunResult naive =
-            runSssp(inputs, HBLoadBalance::VertexBased);
-        const RunResult blocked =
-            runSssp(inputs, HBLoadBalance::Blocked);
+        const auto naive = runSssp(inputs, HBLoadBalance::VertexBased);
+        const auto blocked = runSssp(inputs, HBLoadBalance::Blocked);
 
         // Bandwidth utilization = bytes moved per wall cycle.
         const double bw_naive =
-            naive.counters.get("hb.traffic_bytes") /
-            static_cast<double>(naive.cycles);
+            naive->totalCounter("hb.traffic_bytes") /
+            static_cast<double>(naive->totalCycles());
         const double bw_blocked =
-            blocked.counters.get("hb.traffic_bytes") /
-            static_cast<double>(blocked.cycles);
+            blocked->totalCounter("hb.traffic_bytes") /
+            static_cast<double>(blocked->totalCycles());
 
         std::printf("%-6s%13.2f%13.2fx%11.2fx\n", name,
-                    blocked.counters.get("hb.dram_stall_cycles") /
-                        naive.counters.get("hb.dram_stall_cycles"),
+                    blocked->totalCounter("hb.dram_stall_cycles") /
+                        naive->totalCounter("hb.dram_stall_cycles"),
                     bw_blocked / bw_naive,
-                    static_cast<double>(naive.cycles) /
-                        static_cast<double>(blocked.cycles));
+                    static_cast<double>(naive->totalCycles()) /
+                        static_cast<double>(blocked->totalCycles()));
     }
     std::printf("(paper: stalls 0.78-0.83, bandwidth 2.17-3.03x, "
                 "speedup 1.19-1.53x)\n");

@@ -32,7 +32,7 @@ main()
                     .c_str());
 
     for (const std::string &target : graphVMNames()) {
-        auto vm = createGraphVM(target);
+        auto vm = makeGraphVM(target);
         ProgramPtr tuned = algorithms::buildProgram(bfs);
         algorithms::applyTunedSchedule(*tuned, "bfs", target,
                                        datasets::GraphKind::Road);

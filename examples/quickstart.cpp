@@ -58,7 +58,7 @@ main()
     SimpleCPUSchedule push, pull;
     push.configDirection(Direction::Push);
     pull.configDirection(Direction::Pull);
-    applyCPUSchedule(*program, "s1",
+    applySchedule(*program, "s1",
                      CompositeCPUSchedule(HybridCriteria::InputSetSize,
                                           0.15, push, pull));
 

@@ -33,7 +33,7 @@ main()
         SimpleCPUSchedule sched;
         sched.configDelta(delta).configBucketFusion(true).
             configParallelization(Parallelization::EdgeAwareVertexBased);
-        applyCPUSchedule(*program, "s1", sched);
+        applySchedule(*program, "s1", sched);
         CpuVM vm;
         const RunResult result = vm.run(*program, inputs);
         std::printf("  delta %6lld : %12llu cycles, %4zu rounds\n",

@@ -311,7 +311,7 @@ tuneCpu(Program &program, const std::string &algorithm,
         SimpleCPUSchedule pull;
         pull.configDirection(Direction::Pull, VertexSetFormat::Bitmap)
             .configParallelization(Parallelization::EdgeAwareVertexBased);
-        applyCPUSchedule(program, "s1",
+        applySchedule(program, "s1",
                          CompositeCPUSchedule(HybridCriteria::InputSetSize,
                                               road ? 0.5 : 0.15, push,
                                               pull));
@@ -323,19 +323,19 @@ tuneCpu(Program &program, const std::string &algorithm,
             .configParallelization(Parallelization::EdgeAwareVertexBased)
             .configEdgeBlocking(true, 4096)
             .configNuma(true);
-        applyCPUSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
     } else if (algorithm == "sssp") {
         SimpleCPUSchedule sched;
         sched.configDirection(Direction::Push)
             .configParallelization(Parallelization::EdgeAwareVertexBased)
             .configDelta(road ? 8192 : 2)
             .configBucketFusion(road);
-        applyCPUSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
     } else if (algorithm == "cc" || algorithm == "prd") {
         SimpleCPUSchedule sched;
         sched.configDirection(Direction::Push)
             .configParallelization(Parallelization::EdgeAwareVertexBased);
-        applyCPUSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
     }
 }
 
@@ -353,9 +353,9 @@ tuneGpu(Program &program, const std::string &algorithm,
                 .configLoadBalance(GpuLoadBalance::Twc)
                 .configFrontierCreation(FrontierCreation::Fused)
                 .configKernelFusion(true);
-            applyGPUSchedule(program, "s1", sched);
+            applySchedule(program, "s1", sched);
             if (algorithm == "bc")
-                applyGPUSchedule(program, "s3", sched);
+                applySchedule(program, "s3", sched);
         } else {
             SimpleGPUSchedule push;
             push.configDirection(Direction::Push)
@@ -365,19 +365,19 @@ tuneGpu(Program &program, const std::string &algorithm,
             pull.configDirection(Direction::Pull, VertexSetFormat::Bitmap)
                 .configLoadBalance(GpuLoadBalance::Cm)
                 .configFrontierCreation(FrontierCreation::UnfusedBitmap);
-            applyGPUSchedule(
+            applySchedule(
                 program, "s1",
                 CompositeGPUSchedule(HybridCriteria::InputSetSize, 0.15,
                                      push, pull));
             if (algorithm == "bc")
-                applyGPUSchedule(program, "s3", push);
+                applySchedule(program, "s3", push);
         }
     } else if (algorithm == "pr") {
         SimpleGPUSchedule sched;
         sched.configDirection(Direction::Pull)
             .configLoadBalance(GpuLoadBalance::Etwc)
             .configEdgeBlocking(true, 4096);
-        applyGPUSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
     } else if (algorithm == "sssp") {
         SimpleGPUSchedule sched;
         sched.configDirection(Direction::Push)
@@ -385,7 +385,7 @@ tuneGpu(Program &program, const std::string &algorithm,
                                     : GpuLoadBalance::Etwc)
             .configDelta(road ? 8192 : 2)
             .configKernelFusion(road);
-        applyGPUSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
     } else if (algorithm == "cc") {
         SimpleGPUSchedule sched;
         sched.configDirection(Direction::Push)
@@ -393,7 +393,7 @@ tuneGpu(Program &program, const std::string &algorithm,
             // Label propagation on high-diameter graphs runs many
             // near-empty rounds; fuse them into one kernel.
             .configKernelFusion(road);
-        applyGPUSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
     }
 }
 
@@ -418,19 +418,19 @@ tuneSwarm(Program &program, const std::string &algorithm,
         }
         if (algorithm == "sssp")
             sched.configDelta(road ? 8192 : 2);
-        applySwarmSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
     } else if (algorithm == "bc") {
         sched.configFrontiers(SwarmFrontiers::VertexsetToTasks);
         sched.taskGranularity(TaskGranularity::FineGrained);
         sched.configSpatialHints(true);
-        applySwarmSchedule(program, "s1", sched);
-        applySwarmSchedule(program, "s3", sched);
+        applySchedule(program, "s1", sched);
+        applySchedule(program, "s3", sched);
     } else if (algorithm == "cc" || algorithm == "pr") {
         sched.taskGranularity(TaskGranularity::FineGrained);
         sched.configSpatialHints(true);
         // High in-degree graphs: shuffle edge order to reduce aborts.
         sched.configShuffleEdges(!road);
-        applySwarmSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
     }
 }
 
@@ -446,16 +446,16 @@ tuneHb(Program &program, const std::string &algorithm,
         sched.configLoadBalance(HBLoadBalance::Aligned);
         sched.configDirection(algorithm == "cc" ? HBDirection::Push
                                                 : HBDirection::Hybrid);
-        applyHBSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
         if (algorithm == "bc")
-            applyHBSchedule(program, "s3", sched);
+            applySchedule(program, "s3", sched);
     } else if (algorithm == "pr" || algorithm == "sssp") {
         // Compute-intensive kernels use the blocked access method.
         sched.configLoadBalance(HBLoadBalance::Blocked);
         sched.configDirection(HBDirection::Push);
         if (algorithm == "sssp")
             sched.configDelta(kind == datasets::GraphKind::Road ? 8192 : 2);
-        applyHBSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
     }
 }
 

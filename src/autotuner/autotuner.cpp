@@ -29,7 +29,7 @@ addCpuCandidates(std::vector<Candidate> &candidates, bool ordered)
                          SimpleCPUSchedule sched;
                          sched.configDirection(direction)
                              .configParallelization(par.parallelization);
-                         applyCPUSchedule(program, label, sched);
+                         applySchedule(program, label, sched);
                      }});
             }
             candidates.push_back(
@@ -40,7 +40,7 @@ addCpuCandidates(std::vector<Candidate> &candidates, bool ordered)
                          .configParallelization(par.parallelization);
                      pull.configDirection(Direction::Pull)
                          .configParallelization(par.parallelization);
-                     applyCPUSchedule(
+                     applySchedule(
                          program, label,
                          CompositeCPUSchedule(HybridCriteria::InputSetSize,
                                               0.15, push, pull));
@@ -58,7 +58,7 @@ addCpuCandidates(std::vector<Candidate> &candidates, bool ordered)
                                  .configParallelization(par.parallelization)
                                  .configDelta(delta)
                                  .configBucketFusion(fusion);
-                             applyCPUSchedule(program, label, sched);
+                             applySchedule(program, label, sched);
                          }});
                 }
             }
@@ -75,7 +75,7 @@ addCpuCandidates(std::vector<Candidate> &candidates, bool ordered)
                          Parallelization::EdgeAwareVertexBased)
                      .configEdgeBlocking(true, 4096)
                      .configNuma(true);
-                 applyCPUSchedule(program, label, sched);
+                 applySchedule(program, label, sched);
              }});
     }
 }
@@ -97,7 +97,7 @@ addGpuCandidates(std::vector<Candidate> &candidates, bool ordered)
                          .configKernelFusion(fusion);
                      if (ordered)
                          sched.configDelta(8192);
-                     applyGPUSchedule(program, label, sched);
+                     applySchedule(program, label, sched);
                  }});
         }
     }
@@ -113,7 +113,7 @@ addGpuCandidates(std::vector<Candidate> &candidates, bool ordered)
                      .configLoadBalance(GpuLoadBalance::Cm)
                      .configFrontierCreation(
                          FrontierCreation::UnfusedBitmap);
-                 applyGPUSchedule(program, label,
+                 applySchedule(program, label,
                                   CompositeGPUSchedule(
                                       HybridCriteria::InputSetSize, 0.15,
                                       push, pull));
@@ -147,7 +147,7 @@ addSwarmCandidates(std::vector<Candidate> &candidates, bool ordered)
                              .configSpatialHints(hints);
                          if (ordered)
                              sched.configDelta(8192);
-                         applySwarmSchedule(program, label, sched);
+                         applySchedule(program, label, sched);
                      }});
             }
         }
@@ -174,7 +174,7 @@ addHbCandidates(std::vector<Candidate> &candidates, bool ordered)
                      sched.configLoadBalance(lb).configDirection(direction);
                      if (ordered)
                          sched.configDelta(8192);
-                     applyHBSchedule(program, label, sched);
+                     applySchedule(program, label, sched);
                  }});
         }
     }

@@ -20,8 +20,8 @@ runWithSchedule(const std::string &algorithm, const RunInputs &inputs,
         algorithms::buildProgram(algorithms::byName(algorithm));
     schedule(*program);
     // Same scaled GPU configuration the Fig 8/9 harnesses use for the
-    // GPU GraphVM itself (see createGraphVM).
-    auto vm = createGraphVM("gpu", /*scale_memory_to_datasets=*/true);
+    // GPU GraphVM itself (see makeGraphVM).
+    auto vm = makeGraphVM("gpu", {.scaleMemoryToDatasets = true});
     RunResult result = vm->run(*program, inputs);
     result.cycles =
         static_cast<Cycles>(static_cast<double>(result.cycles) *
@@ -45,9 +45,9 @@ runGunrock(const std::string &algorithm, const Graph &,
             .configFrontierCreation(FrontierCreation::Fused);
         if (algorithm == "sssp")
             sched.configDelta(1); // Gunrock's SSSP is Bellman-Ford style
-        applyGPUSchedule(program, "s1", sched);
+        applySchedule(program, "s1", sched);
         if (algorithm == "bc")
-            applyGPUSchedule(program, "s3", sched);
+            applySchedule(program, "s3", sched);
     });
 }
 
@@ -66,7 +66,7 @@ runGSwitch(const std::string &algorithm, const Graph &,
             .configLoadBalance(GpuLoadBalance::Cm)
             .configFrontierCreation(FrontierCreation::UnfusedBitmap);
         if (algorithm == "bfs" || algorithm == "bc" || algorithm == "cc") {
-            applyGPUSchedule(program, "s1",
+            applySchedule(program, "s1",
                              CompositeGPUSchedule(
                                  HybridCriteria::InputSetSize, 0.2, push,
                                  pull));
@@ -74,10 +74,10 @@ runGSwitch(const std::string &algorithm, const Graph &,
             if (algorithm == "sssp")
                 push.configDelta(kind == datasets::GraphKind::Road ? 4096
                                                                    : 2);
-            applyGPUSchedule(program, "s1", push);
+            applySchedule(program, "s1", push);
         }
         if (algorithm == "bc")
-            applyGPUSchedule(program, "s3", push);
+            applySchedule(program, "s3", push);
     });
 }
 
@@ -107,9 +107,9 @@ runSepGraph(const std::string &algorithm, const Graph &,
             if (algorithm == "sssp")
                 sched.configDelta(kind == datasets::GraphKind::Road ? 8192
                                                                     : 2);
-            applyGPUSchedule(program, "s1", sched);
+            applySchedule(program, "s1", sched);
             if (algorithm == "bc")
-                applyGPUSchedule(program, "s3", sched);
+                applySchedule(program, "s3", sched);
         },
         async_factor);
 }

@@ -25,9 +25,9 @@ runSwarmHandTuned(const std::string &algorithm, const Graph &graph,
         .taskGranularity(TaskGranularity::FineGrained)
         .configSpatialHints(true)
         .configDelta(8192); // road-tailored regardless of input
-    applySwarmSchedule(*program, "s1", sched);
+    applySchedule(*program, "s1", sched);
     if (algorithm == "bc")
-        applySwarmSchedule(*program, "s3", sched);
+        applySchedule(*program, "s3", sched);
 
     // Hand-written assembly-level task bodies dispatch slightly cheaper
     // than compiler-generated code.
@@ -56,9 +56,9 @@ runCpuCodeOnSwarm(const std::string &algorithm, const Graph &graph,
         .taskGranularity(TaskGranularity::Coarse);
     if (algorithm == "sssp")
         cpu_style.configDelta(kind == datasets::GraphKind::Road ? 8192 : 2);
-    applySwarmSchedule(*program, "s1", cpu_style);
+    applySchedule(*program, "s1", cpu_style);
     if (algorithm == "bc")
-        applySwarmSchedule(*program, "s3", cpu_style);
+        applySchedule(*program, "s3", cpu_style);
 
     SwarmVM vm(params);
     return vm.run(*program, inputs);

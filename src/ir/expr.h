@@ -9,6 +9,7 @@
 #ifndef UGC_IR_EXPR_H
 #define UGC_IR_EXPR_H
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

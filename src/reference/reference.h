@@ -7,6 +7,7 @@
 #ifndef UGC_REFERENCE_REFERENCE_H
 #define UGC_REFERENCE_REFERENCE_H
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"

@@ -11,6 +11,7 @@
 #define UGC_RUNTIME_VERTEX_DATA_H
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 

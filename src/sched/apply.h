@@ -1,9 +1,17 @@
 /**
  * @file
  * Fig 6 entry points: attach backend schedules to labeled statements.
+ *
+ * One templated applySchedule covers every schedule type of every
+ * GraphVM — the paper's unified scheduling interface. The per-backend
+ * applyXSchedule names remain as deprecated aliases.
  */
 #ifndef UGC_SCHED_APPLY_H
 #define UGC_SCHED_APPLY_H
+
+#include <memory>
+#include <string>
+#include <type_traits>
 
 #include "ir/program.h"
 #include "sched/cpu_schedule.h"
@@ -13,52 +21,53 @@
 
 namespace ugc {
 
+/**
+ * Attach a copy of @p schedule to the statement labeled @p label. Accepts
+ * any concrete AbstractSchedule descendant (simple or composite, any
+ * backend) — the GraphVM consuming the program decides how to interpret
+ * it.
+ */
+template <typename ScheduleT>
+    requires std::is_base_of_v<AbstractSchedule, ScheduleT>
 inline void
+applySchedule(Program &program, const std::string &label,
+              const ScheduleT &schedule)
+{
+    program.applySchedule(label, std::make_shared<ScheduleT>(schedule));
+}
+
+// --- deprecated per-backend aliases ---------------------------------------
+
+template <typename ScheduleT>
+[[deprecated("use applySchedule()")]] inline void
 applyCPUSchedule(Program &program, const std::string &label,
-                 const SimpleCPUSchedule &schedule)
+                 const ScheduleT &schedule)
 {
-    program.applySchedule(label,
-                          std::make_shared<SimpleCPUSchedule>(schedule));
+    applySchedule(program, label, schedule);
 }
 
-inline void
-applyCPUSchedule(Program &program, const std::string &label,
-                 const CompositeCPUSchedule &schedule)
-{
-    program.applySchedule(label,
-                          std::make_shared<CompositeCPUSchedule>(schedule));
-}
-
-inline void
+template <typename ScheduleT>
+[[deprecated("use applySchedule()")]] inline void
 applyGPUSchedule(Program &program, const std::string &label,
-                 const SimpleGPUSchedule &schedule)
+                 const ScheduleT &schedule)
 {
-    program.applySchedule(label,
-                          std::make_shared<SimpleGPUSchedule>(schedule));
+    applySchedule(program, label, schedule);
 }
 
-inline void
-applyGPUSchedule(Program &program, const std::string &label,
-                 const CompositeGPUSchedule &schedule)
-{
-    program.applySchedule(label,
-                          std::make_shared<CompositeGPUSchedule>(schedule));
-}
-
-inline void
+template <typename ScheduleT>
+[[deprecated("use applySchedule()")]] inline void
 applySwarmSchedule(Program &program, const std::string &label,
-                   const SimpleSwarmSchedule &schedule)
+                   const ScheduleT &schedule)
 {
-    program.applySchedule(label,
-                          std::make_shared<SimpleSwarmSchedule>(schedule));
+    applySchedule(program, label, schedule);
 }
 
-inline void
+template <typename ScheduleT>
+[[deprecated("use applySchedule()")]] inline void
 applyHBSchedule(Program &program, const std::string &label,
-                const SimpleHBSchedule &schedule)
+                const ScheduleT &schedule)
 {
-    program.applySchedule(label,
-                          std::make_shared<SimpleHBSchedule>(schedule));
+    applySchedule(program, label, schedule);
 }
 
 } // namespace ugc

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/prof.h"
+
 namespace ugc {
 
 ThreadPool::ThreadPool(unsigned num_threads)
@@ -26,6 +28,7 @@ ThreadPool::start()
 {
     _started = true;
     _deques = std::vector<WorkDeque>(_numThreads);
+    _stats.assign(_numThreads, WorkerStats{});
     // Worker 0 is the calling thread; spawn the rest.
     for (unsigned i = 1; i < _numThreads; ++i)
         _workers.emplace_back([this, i] { workerLoop(i); });
@@ -68,10 +71,13 @@ ThreadPool::runWorker(unsigned index)
     };
 
     WorkDeque &own = _deques[index];
+    WorkerStats &stats = _stats[index];
     int64_t chunk;
     for (;;) {
-        while (own.take(chunk))
+        while (own.take(chunk)) {
             exec(chunk);
+            ++stats.chunksExecuted;
+        }
         // Own deque drained: sweep the victims. Stolen chunks are executed
         // directly (never re-enqueued), so deques only ever drain.
         bool executed = false;
@@ -81,11 +87,15 @@ ThreadPool::runWorker(unsigned index)
             const WorkDeque::Steal result = victim.steal(chunk);
             if (result == WorkDeque::Steal::Success) {
                 exec(chunk);
+                ++stats.chunksExecuted;
+                ++stats.steals;
                 executed = true;
                 break;
             }
-            if (result == WorkDeque::Steal::Abort)
+            if (result == WorkDeque::Steal::Abort) {
                 saw_abort = true;
+                ++stats.stealAborts;
+            }
         }
         if (executed)
             continue;
@@ -118,6 +128,7 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
             const int64_t first = num_chunks * w / _numThreads;
             const int64_t last = num_chunks * (w + 1) / _numThreads;
             _deques[w].fill(first, last - first);
+            _stats[w] = WorkerStats{};
         }
         _body = &body;
         _jobBegin = begin;
@@ -130,8 +141,29 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
 
     runWorker(0);
 
-    std::unique_lock<std::mutex> lock(_mutex);
-    _wakeMaster.wait(lock, [&] { return _remaining == 0; });
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _wakeMaster.wait(lock, [&] { return _remaining == 0; });
+    }
+
+    // The join above orders every worker's stats writes before these
+    // reads. Host-runtime statistics vary with thread count and steal
+    // races, so they live under the host.* prefix that the deterministic
+    // exporter excludes.
+    if (prof::active()) {
+        uint64_t chunks = 0, steals = 0, aborts = 0;
+        for (const WorkerStats &stats : _stats) {
+            chunks += stats.chunksExecuted;
+            steals += stats.steals;
+            aborts += stats.stealAborts;
+            prof::sample("host.worker_chunks",
+                         static_cast<double>(stats.chunksExecuted));
+        }
+        prof::counter("host.chunks", static_cast<double>(chunks));
+        prof::counter("host.steals", static_cast<double>(steals));
+        prof::counter("host.steal_aborts", static_cast<double>(aborts));
+        prof::counter("host.parallel_jobs");
+    }
 }
 
 void

@@ -113,6 +113,17 @@ class alignas(64) WorkDeque
 class ThreadPool
 {
   public:
+    /** Per-worker execution statistics for one parallelFor job. Each entry
+     *  is written only by its owning worker; the master reads them after
+     *  the join (ordered by the _remaining handshake) and reports them to
+     *  the active profile under host.* names. */
+    struct WorkerStats
+    {
+        uint64_t chunksExecuted = 0;
+        uint64_t steals = 0;      ///< chunks taken from another deque
+        uint64_t stealAborts = 0; ///< lost steal races
+    };
+
     /** Body of a work-stealing loop: (worker, chunk_begin, chunk_end).
      *  The worker index identifies which of the pool's numThreads()
      *  workers executes the chunk; chunks migrate between workers under
@@ -157,6 +168,7 @@ class ThreadPool
     unsigned _numThreads;
     std::vector<std::thread> _workers;
     std::vector<WorkDeque> _deques;
+    std::vector<WorkerStats> _stats;
     std::mutex _mutex;
     std::condition_variable _wakeWorkers;
     std::condition_variable _wakeMaster;

@@ -1,0 +1,341 @@
+#include "support/prof.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ugc::prof {
+
+namespace detail {
+bool g_enabled = false;
+Profile *g_current = nullptr;
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled = on;
+}
+
+CounterSet
+counterDelta(const CounterSet &after, const CounterSet &before)
+{
+    CounterSet delta;
+    for (const auto &[name, value] : after.all()) {
+        const double change = value - before.get(name);
+        if (change != 0.0)
+            delta.add(name, change);
+    }
+    return delta;
+}
+
+// --- Profile --------------------------------------------------------------
+
+Cycles
+Profile::Scope::inclusiveCycles() const
+{
+    Cycles total = selfCycles;
+    for (const auto &child : children)
+        total += child->inclusiveCycles();
+    return total;
+}
+
+Profile::Scope *
+Profile::Scope::findChild(const std::string &child_name) const
+{
+    for (const auto &child : children)
+        if (child->name == child_name)
+            return child.get();
+    return nullptr;
+}
+
+Profile::Profile()
+{
+    _root.name = "total";
+    _current = &_root;
+}
+
+void
+Profile::setMeta(const std::string &key, const std::string &value)
+{
+    _meta[key] = value;
+}
+
+void
+Profile::enterScope(const std::string &name)
+{
+    Scope *child = _current->findChild(name);
+    if (!child) {
+        auto fresh = std::make_unique<Scope>();
+        fresh->name = name;
+        fresh->parent = _current;
+        child = fresh.get();
+        _current->children.push_back(std::move(fresh));
+    }
+    ++child->count;
+    _current = child;
+}
+
+void
+Profile::exitScope(int64_t wall_ns)
+{
+    _current->wallNs += wall_ns;
+    if (_current->parent)
+        _current = _current->parent;
+}
+
+void
+Profile::addCounter(const std::string &name, double delta)
+{
+    _current->counters.add(name, delta);
+}
+
+void
+Profile::addSample(const std::string &name, double value)
+{
+    _current->summaries[name].add(value);
+}
+
+void
+Profile::addEvent(TraversalEvent event)
+{
+    _events.push_back(std::move(event));
+}
+
+namespace {
+
+double
+sumCounter(const Profile::Scope &scope, const std::string &name)
+{
+    double total = scope.counters.get(name);
+    for (const auto &child : scope.children)
+        total += sumCounter(*child, name);
+    return total;
+}
+
+const Profile::Scope *
+findScope(const Profile::Scope &scope, const std::string &name)
+{
+    if (scope.name == name)
+        return &scope;
+    for (const auto &child : scope.children)
+        if (const Profile::Scope *found = findScope(*child, name))
+            return found;
+    return nullptr;
+}
+
+} // namespace
+
+double
+Profile::totalCounter(const std::string &name) const
+{
+    return sumCounter(_root, name);
+}
+
+const Profile::Scope *
+Profile::find(const std::string &name) const
+{
+    return findScope(_root, name);
+}
+
+// --- JSON export ----------------------------------------------------------
+
+namespace {
+
+/** Deterministic number formatting: integers print without a fraction,
+ *  everything else as shortest round-trippable decimal. */
+std::string
+fmtNumber(double value)
+{
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(value));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c; break;
+        }
+    }
+    return out;
+}
+
+bool
+isHostEntry(const std::string &name)
+{
+    return name.rfind("host.", 0) == 0;
+}
+
+void
+writeCounters(std::ostringstream &out, const CounterSet &counters,
+              bool deterministic)
+{
+    out << '{';
+    bool first = true;
+    for (const auto &[name, value] : counters.all()) {
+        if (deterministic && isHostEntry(name))
+            continue;
+        if (!first)
+            out << ',';
+        first = false;
+        out << '"' << jsonEscape(name) << "\":" << fmtNumber(value);
+    }
+    out << '}';
+}
+
+void
+writeSummaries(std::ostringstream &out,
+               const std::map<std::string, Summary> &summaries,
+               bool deterministic)
+{
+    out << '{';
+    bool first = true;
+    for (const auto &[name, summary] : summaries) {
+        if (deterministic && isHostEntry(name))
+            continue;
+        if (!first)
+            out << ',';
+        first = false;
+        out << '"' << jsonEscape(name) << "\":{\"count\":"
+            << summary.count() << ",\"sum\":" << fmtNumber(summary.sum())
+            << ",\"mean\":" << fmtNumber(summary.mean())
+            << ",\"min\":" << fmtNumber(summary.min())
+            << ",\"max\":" << fmtNumber(summary.max()) << '}';
+    }
+    out << '}';
+}
+
+void
+writeScope(std::ostringstream &out, const Profile::Scope &scope,
+           bool deterministic)
+{
+    out << "{\"name\":\"" << jsonEscape(scope.name)
+        << "\",\"count\":" << scope.count
+        << ",\"cycles\":" << scope.inclusiveCycles()
+        << ",\"self_cycles\":" << scope.selfCycles;
+    if (!deterministic)
+        out << ",\"wall_ns\":" << scope.wallNs;
+    out << ",\"counters\":";
+    writeCounters(out, scope.counters, deterministic);
+    out << ",\"summaries\":";
+    writeSummaries(out, scope.summaries, deterministic);
+    out << ",\"children\":[";
+    for (size_t i = 0; i < scope.children.size(); ++i) {
+        if (i)
+            out << ',';
+        writeScope(out, *scope.children[i], deterministic);
+    }
+    out << "]}";
+}
+
+void
+writeEvent(std::ostringstream &out, const TraversalEvent &event,
+           bool deterministic)
+{
+    out << "{\"round\":" << event.round << ",\"label\":\""
+        << jsonEscape(event.label) << "\",\"direction\":\""
+        << (event.direction == Direction::Push ? "push" : "pull")
+        << "\",\"input_format\":\"" << formatName(event.inputFormat)
+        << "\",\"frontier\":" << event.frontierSize
+        << ",\"output\":" << event.outputSize
+        << ",\"edges\":" << event.edgesTraversed
+        << ",\"cycles\":" << event.cycles << ",\"detail\":";
+    writeCounters(out, event.detail, deterministic);
+    out << '}';
+}
+
+} // namespace
+
+std::string
+toJson(const Profile &profile, const JsonOptions &options)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"ugc.profile.v1\",\"meta\":{";
+    bool first = true;
+    for (const auto &[key, value] : profile.meta()) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << '"' << jsonEscape(key) << "\":\"" << jsonEscape(value)
+            << '"';
+    }
+    out << "},\"total_cycles\":" << profile.totalCycles() << ",\"root\":";
+    writeScope(out, profile.root(), options.deterministic);
+    out << ",\"events\":[";
+    for (size_t i = 0; i < profile.events().size(); ++i) {
+        if (i)
+            out << ',';
+        writeEvent(out, profile.events()[i], options.deterministic);
+    }
+    out << "]}";
+    return out.str();
+}
+
+// --- Chrome trace export --------------------------------------------------
+
+namespace {
+
+void
+writeTraceScope(std::ostringstream &out, const Profile::Scope &scope,
+                Cycles start, bool &first)
+{
+    if (!first)
+        out << ',';
+    first = false;
+    out << "{\"name\":\"" << jsonEscape(scope.name)
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":" << start
+        << ",\"dur\":" << scope.inclusiveCycles()
+        << ",\"args\":{\"count\":" << scope.count
+        << ",\"self_cycles\":" << scope.selfCycles << "}}";
+    // Children laid out sequentially after the scope's own work.
+    Cycles cursor = start + scope.selfCycles;
+    for (const auto &child : scope.children) {
+        writeTraceScope(out, *child, cursor, first);
+        cursor += child->inclusiveCycles();
+    }
+}
+
+} // namespace
+
+std::string
+toChromeTrace(const Profile &profile)
+{
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    writeTraceScope(out, profile.root(), 0, first);
+    Cycles cursor = 0;
+    for (const TraversalEvent &event : profile.events()) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << "{\"name\":\""
+            << jsonEscape(event.label.empty() ? "traversal" : event.label)
+            << "\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":" << cursor
+            << ",\"dur\":" << event.cycles << ",\"args\":{\"round\":"
+            << event.round << ",\"direction\":\""
+            << (event.direction == Direction::Push ? "push" : "pull")
+            << "\",\"frontier\":" << event.frontierSize
+            << ",\"edges\":" << event.edgesTraversed << "}}";
+        cursor += event.cycles;
+    }
+    out << "]}";
+    return out.str();
+}
+
+} // namespace ugc::prof

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * ugc::prof — hierarchical, low-overhead profiling and tracing
+ * (DESIGN.md §6).
+ *
+ * A Profile is a tree of named scopes. Scopes are opened with RAII
+ * ScopeTimer objects and accumulate simulated cycles (charged explicitly
+ * via addCycles), host wall time, labeled counters, and Summary
+ * distributions. The execution engine additionally records one
+ * TraversalEvent per executed traversal — direction chosen, frontier size
+ * and format, edges traversed, and the delta of the machine model's
+ * counters across the traversal (kernel launches, task spawns/aborts,
+ * DRAM vs. scratchpad accesses, ...).
+ *
+ * Contracts:
+ *  - Zero-cost when off: every recording helper is a single branch on the
+ *    active-profile pointer when no profile is installed. Nothing is
+ *    allocated, formatted, or locked.
+ *  - Deterministic content: exporters can omit the host-volatile fields —
+ *    wall time and any counter/summary whose name starts with "host."
+ *    (the work-stealing runtime's steal/execute statistics live there) —
+ *    so profiles of the same run are bit-identical across thread counts.
+ *  - Single-writer: a profile is recorded from the coordinating thread
+ *    only. Parallel workers accumulate privately and their owner reports
+ *    merged values after the join (see ThreadPool::parallelFor and
+ *    ExecEngine's worker contexts).
+ *
+ * Exporters: structured JSON (golden-testable) and the Chrome
+ * chrome://tracing / Perfetto trace-event format, with simulated cycles
+ * as the timeline.
+ */
+#ifndef UGC_SUPPORT_PROF_H
+#define UGC_SUPPORT_PROF_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/types.h"
+#include "support/stats.h"
+#include "support/types.h"
+
+namespace ugc::prof {
+
+class Profile;
+
+namespace detail {
+/** Process-wide default-enable flag (drives profile creation in the VM
+ *  layer; see GraphVM::execute). */
+extern bool g_enabled;
+/** Profile currently recording, or nullptr. The single branch every
+ *  recording helper takes. */
+extern Profile *g_current;
+} // namespace detail
+
+/** Should runs create a profile even when the VM was not configured for
+ *  profiling? (ugcc --profile, bench harnesses.) */
+inline bool
+enabled()
+{
+    return detail::g_enabled;
+}
+
+void setEnabled(bool on);
+
+/** True while a profile is installed and recording. */
+inline bool
+active()
+{
+    return detail::g_current != nullptr;
+}
+
+inline Profile *
+current()
+{
+    return detail::g_current;
+}
+
+/** One executed traversal (edge apply or vertex ops), as the engine saw
+ *  it. `detail` holds the machine model's counter delta across the
+ *  traversal. */
+struct TraversalEvent
+{
+    int64_t round = 0;       ///< loop-iteration index at execution time
+    std::string label;       ///< statement label ("s1") or apply function
+    Direction direction = Direction::Push;
+    VertexSetFormat inputFormat = VertexSetFormat::Sparse;
+    VertexId frontierSize = 0;
+    VertexId outputSize = 0;
+    EdgeId edgesTraversed = 0;
+    Cycles cycles = 0;       ///< simulated cycles charged by the model
+    CounterSet detail;       ///< backend-specific per-traversal counters
+};
+
+/** Delta of two counter snapshots (after - before); used to attribute
+ *  machine-model counters to individual traversals. */
+CounterSet counterDelta(const CounterSet &after, const CounterSet &before);
+
+class Profile
+{
+  public:
+    struct Scope
+    {
+        std::string name;
+        int64_t count = 0;    ///< times entered
+        Cycles selfCycles = 0; ///< charged here, excluding children
+        int64_t wallNs = 0;   ///< host wall time (inclusive; volatile)
+        CounterSet counters;
+        std::map<std::string, Summary> summaries;
+        std::vector<std::unique_ptr<Scope>> children; ///< first-entry order
+        Scope *parent = nullptr;
+
+        /** selfCycles plus all descendants (child time ⊆ parent time). */
+        Cycles inclusiveCycles() const;
+
+        Scope *findChild(const std::string &child_name) const;
+    };
+
+    Profile();
+
+    const Scope &root() const { return _root; }
+    const std::vector<TraversalEvent> &events() const { return _events; }
+
+    void setMeta(const std::string &key, const std::string &value);
+    const std::map<std::string, std::string> &meta() const { return _meta; }
+
+    // --- recording (normally reached through the free helpers) -----------
+    /** Open the named child of the current scope, merging with a previous
+     *  same-named sibling (counters/cycles accumulate on re-entry). */
+    void enterScope(const std::string &name);
+    /** Close the current scope, attributing @p wall_ns of host time. */
+    void exitScope(int64_t wall_ns);
+    void addCycles(Cycles delta) { _current->selfCycles += delta; }
+    void addCounter(const std::string &name, double delta);
+    void addSample(const std::string &name, double value);
+    void addEvent(TraversalEvent event);
+
+    // --- queries ----------------------------------------------------------
+    /** Total simulated cycles of the run (root's inclusive time). */
+    Cycles totalCycles() const { return _root.inclusiveCycles(); }
+    /** Sum of a counter over every scope in the tree. */
+    double totalCounter(const std::string &name) const;
+    /** First scope with this name, depth-first; nullptr when absent. */
+    const Scope *find(const std::string &name) const;
+
+  private:
+    Scope _root;
+    Scope *_current;
+    std::vector<TraversalEvent> _events;
+    std::map<std::string, std::string> _meta;
+};
+
+// --- recording helpers (single-branch no-ops when no profile is active) ---
+
+inline void
+addCycles(Cycles delta)
+{
+    if (Profile *p = detail::g_current)
+        p->addCycles(delta);
+}
+
+inline void
+counter(const std::string &name, double delta = 1.0)
+{
+    if (Profile *p = detail::g_current)
+        p->addCounter(name, delta);
+}
+
+/** Literal-name overload: no std::string is built when inactive. */
+inline void
+counter(const char *name, double delta = 1.0)
+{
+    if (Profile *p = detail::g_current)
+        p->addCounter(name, delta);
+}
+
+inline void
+sample(const std::string &name, double value)
+{
+    if (Profile *p = detail::g_current)
+        p->addSample(name, value);
+}
+
+inline void
+sample(const char *name, double value)
+{
+    if (Profile *p = detail::g_current)
+        p->addSample(name, value);
+}
+
+inline void
+traversalEvent(TraversalEvent event)
+{
+    if (Profile *p = detail::g_current)
+        p->addEvent(std::move(event));
+}
+
+/** RAII: install @p profile as the recording target. */
+class ActiveProfile
+{
+  public:
+    explicit ActiveProfile(Profile *profile) : _prev(detail::g_current)
+    {
+        detail::g_current = profile;
+    }
+    ~ActiveProfile() { detail::g_current = _prev; }
+
+    ActiveProfile(const ActiveProfile &) = delete;
+    ActiveProfile &operator=(const ActiveProfile &) = delete;
+
+  private:
+    Profile *_prev;
+};
+
+/** RAII: set the process-wide enable flag for a region. */
+class EnabledGuard
+{
+  public:
+    explicit EnabledGuard(bool on) : _prev(detail::g_enabled)
+    {
+        detail::g_enabled = on;
+    }
+    ~EnabledGuard() { detail::g_enabled = _prev; }
+
+    EnabledGuard(const EnabledGuard &) = delete;
+    EnabledGuard &operator=(const EnabledGuard &) = delete;
+
+  private:
+    bool _prev;
+};
+
+/** RAII nested scope: enters on construction, exits (attributing wall
+ *  time) on destruction. No-op when no profile is active. */
+class ScopeTimer
+{
+  public:
+    explicit ScopeTimer(std::string name) : _profile(detail::g_current)
+    {
+        if (!_profile)
+            return;
+        _profile->enterScope(name);
+        _start = std::chrono::steady_clock::now();
+    }
+    ~ScopeTimer()
+    {
+        if (!_profile)
+            return;
+        const auto elapsed = std::chrono::steady_clock::now() - _start;
+        _profile->exitScope(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count());
+    }
+
+    ScopeTimer(const ScopeTimer &) = delete;
+    ScopeTimer &operator=(const ScopeTimer &) = delete;
+
+  private:
+    Profile *_profile;
+    std::chrono::steady_clock::time_point _start;
+};
+
+// --- exporters ------------------------------------------------------------
+
+struct JsonOptions
+{
+    /** Omit host-volatile content: wall_ns fields and every counter or
+     *  summary whose name starts with "host.". With this set, profiles of
+     *  the same run are bit-identical across host thread counts. */
+    bool deterministic = false;
+};
+
+/** Structured JSON: {"schema":"ugc.profile.v1", meta, root scope tree,
+ *  traversal events}. Key order and number formatting are deterministic. */
+std::string toJson(const Profile &profile, const JsonOptions &options = {});
+
+/** Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+ *  Simulated cycles serve as microsecond timestamps: scopes become
+ *  complete ("X") slices on tid 0, traversal events slices on tid 1. */
+std::string toChromeTrace(const Profile &profile);
+
+} // namespace ugc::prof
+
+#endif // UGC_SUPPORT_PROF_H

@@ -9,6 +9,7 @@
 #ifndef UGC_UDF_INTERP_H
 #define UGC_UDF_INTERP_H
 
+#include <cstdint>
 #include <span>
 #include <vector>
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sched/cpu_schedule.h"
+#include "support/prof.h"
 
 namespace ugc {
 
@@ -111,8 +112,11 @@ CpuModel::onTraversal(const TraversalInfo &info)
     _counters.add("cpu.instructions", instructions);
     _counters.add("cpu.llc_misses", misses);
     _counters.add("cpu.random_accesses", random_accesses);
+    _counters.add("cpu.stream_cycles", stream_cycles);
     _counters.add("cpu.edges", static_cast<double>(info.edgesTraversed));
     _counters.add("cpu.traversals");
+    prof::sample("cpu.llc_miss_rate", miss_rate);
+    prof::sample("cpu.parallelism", parallelism);
     return static_cast<Cycles>(total);
 }
 

@@ -35,15 +35,15 @@ class CpuVM : public GraphVM
      *  model is unaffected). 1 = serial deterministic execution. */
     void setNumThreads(unsigned n) { _numThreads = n; }
 
+  protected:
     RunResult
-    execute(Program &lowered, const RunInputs &inputs) override
+    executeLowered(Program &lowered, const RunInputs &inputs) override
     {
         CpuModel model(_params);
         ExecEngine engine(lowered, inputs, model, _numThreads);
         return engine.run();
     }
 
-  protected:
     std::string emitLoweredCode(const Program &lowered) override;
 
   private:

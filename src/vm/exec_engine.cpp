@@ -12,6 +12,7 @@
 #include "sched/swarm_schedule.h"
 #include "support/bitset.h"
 #include "support/parallel.h"
+#include "support/prof.h"
 #include "support/rng.h"
 
 namespace ugc {
@@ -549,6 +550,7 @@ struct ExecEngine::Impl
                       });
             int64_t last_bucket = std::numeric_limits<int64_t>::min();
             while (!returned && evalScalar(node.cond).truthy()) {
+                prof::ScopeTimer round_scope("round");
                 bool fused_round = false;
                 if (!fused_queue.empty() && queues.count(fused_queue)) {
                     const int64_t bucket =
@@ -556,8 +558,11 @@ struct ExecEngine::Impl
                     fused_round = bucket == last_bucket;
                     last_bucket = bucket;
                 }
-                if (!fused_round)
-                    cycles += model.onLoopIteration(node);
+                if (!fused_round) {
+                    const Cycles charged = model.onLoopIteration(node);
+                    cycles += charged;
+                    prof::addCycles(charged);
+                }
                 ++round;
                 execBody(node.body);
             }
@@ -568,8 +573,11 @@ struct ExecEngine::Impl
             const int64_t lo = evalScalar(node.lo).asInt();
             const int64_t hi = evalScalar(node.hi).asInt();
             for (int64_t i = lo; i < hi && !returned; ++i) {
+                prof::ScopeTimer round_scope("round");
                 locals[node.var] = Scalar::ofInt(i);
-                cycles += model.onLoopIteration(node);
+                const Cycles charged = model.onLoopIteration(node);
+                cycles += charged;
+                prof::addCycles(charged);
                 ++round;
                 execBody(node.body);
             }
@@ -779,9 +787,54 @@ struct ExecEngine::Impl
         return std::make_shared<SimpleSchedule>();
     }
 
+    /** Record one TraversalEvent: what the engine decided (direction,
+     *  frontier) plus the machine model's counter delta and UDF work. */
+    void
+    emitTraversalEvent(const std::string &label, const TraversalInfo &info,
+                       Cycles charged, const CounterSet &counters_before)
+    {
+        prof::TraversalEvent event;
+        event.round = round;
+        event.label = label;
+        event.direction = info.direction;
+        event.inputFormat = info.inputFormat;
+        event.frontierSize = info.frontierSize;
+        event.outputSize = info.outputSize;
+        event.edgesTraversed = info.edgesTraversed;
+        event.cycles = charged;
+        event.detail =
+            prof::counterDelta(model.counters(), counters_before);
+        if (info.udf.instructions)
+            event.detail.add("udf.instructions",
+                             static_cast<double>(info.udf.instructions));
+        if (info.udf.propReads)
+            event.detail.add("udf.prop_reads",
+                             static_cast<double>(info.udf.propReads));
+        if (info.udf.propWrites)
+            event.detail.add("udf.prop_writes",
+                             static_cast<double>(info.udf.propWrites));
+        if (info.udf.atomics)
+            event.detail.add("udf.atomics",
+                             static_cast<double>(info.udf.atomics));
+        if (info.udf.enqueues)
+            event.detail.add("udf.enqueues",
+                             static_cast<double>(info.udf.enqueues));
+        if (info.udf.updates)
+            event.detail.add("udf.updates",
+                             static_cast<double>(info.udf.updates));
+        prof::traversalEvent(std::move(event));
+    }
+
     void
     execEdgeTraversal(const EdgeSetIteratorStmt &stmt)
     {
+        const bool profiling = prof::active();
+        prof::ScopeTimer scope(profiling ? "apply:" + stmt.label
+                                         : std::string());
+        CounterSet counters_before;
+        if (profiling)
+            counters_before = model.counters();
+
         TraversalInfo info;
         info.kind = TraversalInfo::Kind::EdgeTraversal;
         info.stmt = &stmt;
@@ -845,8 +898,11 @@ struct ExecEngine::Impl
 
         const Cycles charged = model.onTraversal(info);
         cycles += charged;
+        prof::addCycles(charged);
         trace.push_back({stmt.label, info.direction, info.frontierSize,
                          info.edgesTraversed, charged});
+        if (profiling)
+            emitTraversalEvent(stmt.label, info, charged, counters_before);
     }
 
     /** Iterate the input frontier as a sorted vector of vertices. */
@@ -1275,6 +1331,13 @@ struct ExecEngine::Impl
     void
     execVertexOps(const VertexSetIteratorStmt &stmt)
     {
+        const bool profiling = prof::active();
+        prof::ScopeTimer scope(profiling ? "vertex:" + stmt.label
+                                         : std::string());
+        CounterSet counters_before;
+        if (profiling)
+            counters_before = model.counters();
+
         TraversalInfo info;
         info.kind = TraversalInfo::Kind::VertexOps;
         info.stmt = &stmt;
@@ -1348,8 +1411,11 @@ struct ExecEngine::Impl
 
         const Cycles charged = model.onTraversal(info);
         cycles += charged;
+        prof::addCycles(charged);
         trace.push_back({stmt.label, Direction::Push, info.frontierSize, 0,
                          charged});
+        if (profiling)
+            emitTraversalEvent(stmt.label, info, charged, counters_before);
     }
 
     RunResult
@@ -1366,6 +1432,17 @@ struct ExecEngine::Impl
         result.cycles = model.finalCycles(cycles);
         result.counters = model.counters();
         result.trace = std::move(trace);
+        if (prof::active()) {
+            // Fold the model's final statistics into the profile exactly
+            // once, so Profile::totalCounter matches RunResult.counters.
+            for (const auto &[name, value] : result.counters.all())
+                prof::counter(name, value);
+            // Task-stream models account wall time themselves (finalCycles
+            // exceeds the engine's per-statement charges); attribute the
+            // difference so the profile total equals the reported cycles.
+            if (result.cycles > cycles)
+                prof::addCycles(result.cycles - cycles);
+        }
         return result;
     }
 };

@@ -1,5 +1,6 @@
 #include "vm/factory.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "vm/cpu/cpu_vm.h"
@@ -16,39 +17,57 @@ graphVMNames()
 }
 
 std::unique_ptr<GraphVM>
-createGraphVM(const std::string &name, bool scale_memory_to_datasets)
+makeGraphVM(const std::string &name, const BackendOptions &options)
 {
     // Scaled configs shrink on-chip capacities AND fixed per-round costs
     // (fork-join, kernel launch) in proportion to the ~100x-smaller
     // synthetic datasets, preserving the overhead-to-work regime the
     // paper's optimizations (fusion, bucket fusion, blocking) operate in.
+    std::unique_ptr<GraphVM> vm;
     if (name == "cpu") {
         CpuParams params;
-        if (scale_memory_to_datasets) {
+        if (options.scaleMemoryToDatasets) {
             params.llcBytes = 64 << 10;
             params.forkJoinOverhead = 600;
         }
-        return std::make_unique<CpuVM>(params);
-    }
-    if (name == "gpu") {
+        if (options.cores) {
+            params.cores = options.cores;
+            params.threads = options.cores * 2; // 2 SMT contexts per core
+        }
+        auto cpu = std::make_unique<CpuVM>(params);
+        cpu->setNumThreads(options.numThreads ? options.numThreads : 1);
+        vm = std::move(cpu);
+    } else if (name == "gpu") {
         GpuParams params;
-        if (scale_memory_to_datasets) {
+        if (options.scaleMemoryToDatasets) {
             params.l2Bytes = 64 << 10;
             params.kernelLaunch = 1000;
             params.gridSync = 160;
         }
-        return std::make_unique<GpuVM>(params);
-    }
-    if (name == "swarm")
-        return std::make_unique<SwarmVM>(); // event-driven; costs are
-                                            // per task, not per round
-    if (name == "hb") {
+        if (options.cores)
+            params.sms = options.cores;
+        vm = std::make_unique<GpuVM>(params);
+    } else if (name == "swarm") {
+        // Event-driven; costs are per task, not per round, so dataset
+        // scaling needs no adjustment.
+        SwarmParams params;
+        if (options.cores) {
+            params.cores = options.cores;
+            params.coresPerTile = std::min(4u, options.cores);
+        }
+        vm = std::make_unique<SwarmVM>(params);
+    } else if (name == "hb") {
         HBParams params;
-        if (scale_memory_to_datasets)
+        if (options.scaleMemoryToDatasets)
             params.hostLaunchOverhead = 500;
-        return std::make_unique<HBVM>(params);
+        if (options.cores)
+            params.cores = options.cores;
+        vm = std::make_unique<HBVM>(params);
+    } else {
+        throw std::out_of_range("unknown GraphVM: " + name);
     }
-    throw std::out_of_range("unknown GraphVM: " + name);
+    vm->setProfiling(options.profiling);
+    return vm;
 }
 
 } // namespace ugc

@@ -1,6 +1,6 @@
 /**
  * @file
- * GraphVM factory: construct a backend by name.
+ * GraphVM factory: construct a configured backend by name.
  */
 #ifndef UGC_VM_FACTORY_H
 #define UGC_VM_FACTORY_H
@@ -17,19 +17,50 @@ namespace ugc {
 std::vector<std::string> graphVMNames();
 
 /**
- * Create a GraphVM ("cpu", "gpu", "swarm", "hb").
- *
- * @param scale_memory_to_datasets when true, on-chip capacities (CPU LLC,
- *        GPU L2) are scaled down in proportion to the synthetic datasets
- *        (which are ~100x smaller than the paper's inputs), preserving the
- *        cache-pressure regime the paper's locality optimizations
- *        (EdgeBlocking, NUMA, aligned partitioning) operate in. Used by
- *        the figure-regeneration benches; see EXPERIMENTS.md.
+ * Backend-independent construction knobs. One options struct covers every
+ * GraphVM so harnesses (ugcc, benches, tests) configure all four targets
+ * through a single call instead of per-VM setters and param structs.
+ */
+struct BackendOptions
+{
+    /** Host threads for native execution (CPU VM only; 1 = serial,
+     *  deterministic). Simulated backends model parallelism internally. */
+    unsigned numThreads = 1;
+
+    /** Attach a prof::Profile to every RunResult of this VM. */
+    bool profiling = false;
+
+    /** Scale on-chip capacities (CPU LLC, GPU L2) and fixed per-round
+     *  costs down in proportion to the synthetic datasets (which are
+     *  ~100x smaller than the paper's inputs), preserving the
+     *  cache-pressure regime the locality optimizations operate in. Used
+     *  by the figure-regeneration benches; see EXPERIMENTS.md. */
+    bool scaleMemoryToDatasets = false;
+
+    /** Machine-model core count override; 0 keeps the backend's default
+     *  (Table VI / §IV configurations). Maps onto CPU cores (SMT x2),
+     *  GPU SMs, Swarm cores, and HammerBlade cores — the Fig 10 scaling
+     *  knob. */
+    unsigned cores = 0;
+};
+
+/**
+ * Create a GraphVM ("cpu", "gpu", "swarm", "hb") configured by @p options.
  * @throws std::out_of_range for unknown names.
  */
 std::unique_ptr<GraphVM>
+makeGraphVM(const std::string &name, const BackendOptions &options = {});
+
+/** @deprecated Use makeGraphVM(name, BackendOptions). */
+[[deprecated("use makeGraphVM(name, BackendOptions)")]]
+inline std::unique_ptr<GraphVM>
 createGraphVM(const std::string &name,
-              bool scale_memory_to_datasets = false);
+              bool scale_memory_to_datasets = false)
+{
+    BackendOptions options;
+    options.scaleMemoryToDatasets = scale_memory_to_datasets;
+    return makeGraphVM(name, options);
+}
 
 } // namespace ugc
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sched/gpu_schedule.h"
+#include "support/prof.h"
 
 namespace ugc {
 
@@ -151,7 +152,9 @@ GpuModel::onTraversal(const TraversalInfo &info)
                   launches * static_cast<double>(_params.kernelLaunch));
     _counters.add("gpu.mem_cycles", mem_cycles);
     _counters.add("gpu.compute_cycles", compute);
+    _counters.add("gpu.atomic_cycles", atomic_cycles);
     _counters.add("gpu.edges", static_cast<double>(info.edgesTraversed));
+    prof::sample("gpu.parallelism", parallelism);
     return static_cast<Cycles>(total);
 }
 

@@ -46,15 +46,15 @@ class GpuVM : public GraphVM
         return sched;
     }
 
+  protected:
     RunResult
-    execute(Program &lowered, const RunInputs &inputs) override
+    executeLowered(Program &lowered, const RunInputs &inputs) override
     {
         GpuModel model(_params);
         ExecEngine engine(lowered, inputs, model);
         return engine.run();
     }
 
-  protected:
     void
     hardwarePasses(Program &lowered) override
     {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "midend/pipeline.h"
+#include "support/prof.h"
 #include "vm/exec_engine.h"
 #include "vm/machine_model.h"
 #include "vm/run_types.h"
@@ -51,8 +52,36 @@ class GraphVM
         return lowered;
     }
 
-    /** Execute an already-lowered program. */
-    virtual RunResult execute(Program &lowered, const RunInputs &inputs) = 0;
+    /** Profile every run of this VM (RunResult.profile is attached). The
+     *  process-wide prof::setEnabled switch has the same effect for all
+     *  VMs; with both off, runs pay a single branch (DESIGN.md §6). */
+    void setProfiling(bool on) { _profiling = on; }
+    bool profilingEnabled() const { return _profiling; }
+
+    /**
+     * Execute an already-lowered program. When profiling is enabled (for
+     * this VM or process-wide), records a prof::Profile — backend name in
+     * the metadata, a "run" root scope, and everything the engine and the
+     * machine model report beneath it — and attaches it to the result.
+     */
+    RunResult
+    execute(Program &lowered, const RunInputs &inputs)
+    {
+        if (!_profiling && !prof::enabled())
+            return executeLowered(lowered, inputs);
+        prof::EnabledGuard enable(true);
+        auto profile = std::make_shared<prof::Profile>();
+        profile->setMeta("backend", name());
+        profile->setMeta("program", lowered.name);
+        prof::ActiveProfile activate(profile.get());
+        RunResult result;
+        {
+            prof::ScopeTimer scope("run");
+            result = executeLowered(lowered, inputs);
+        }
+        result.profile = std::move(profile);
+        return result;
+    }
 
     /**
      * Emit representative target source for the lowered program — what
@@ -71,7 +100,14 @@ class GraphVM
     /** Hardware-specific passes (kernel fusion, task conversion, ...). */
     virtual void hardwarePasses(Program &lowered) { (void)lowered; }
 
+    /** Backend execution proper; execute() wraps this with profiling. */
+    virtual RunResult executeLowered(Program &lowered,
+                                     const RunInputs &inputs) = 0;
+
     virtual std::string emitLoweredCode(const Program &lowered) = 0;
+
+  private:
+    bool _profiling = false;
 };
 
 } // namespace ugc

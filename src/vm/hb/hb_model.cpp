@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sched/hb_schedule.h"
+#include "support/prof.h"
 
 namespace ugc {
 
@@ -82,6 +83,7 @@ HBModel::onTraversal(const TraversalInfo &info)
         bandwidth_derate = 0.95; // bursts use the channels efficiently
         _counters.add("hb.blocked_prefetches",
                       random_accesses / 8.0);
+        _counters.add("hb.scratchpad_accesses", random_accesses);
         break;
       }
       case HBLoadBalance::Aligned: {
@@ -95,6 +97,7 @@ HBModel::onTraversal(const TraversalInfo &info)
                 _params.outstandingLoads;
         traffic_bytes += random_accesses * 8.0;
         bandwidth_derate = 0.9;
+        _counters.add("hb.dram_accesses", random_accesses);
         break;
       }
       case HBLoadBalance::EdgeBased:
@@ -110,6 +113,7 @@ HBModel::onTraversal(const TraversalInfo &info)
         traffic_bytes +=
             random_accesses * static_cast<double>(kCacheLineBytes) * 0.5;
         bandwidth_derate = 0.6;
+        _counters.add("hb.dram_accesses", random_accesses);
         break;
       }
     }
@@ -127,6 +131,8 @@ HBModel::onTraversal(const TraversalInfo &info)
     _counters.add("hb.compute_cycles", compute);
     _counters.add("hb.edges", static_cast<double>(info.edgesTraversed));
     _counters.add("hb.total_cycles", total);
+    prof::sample("hb.llc_hit_rate", llc_hit_rate);
+    prof::sample("hb.parallelism", parallelism);
     return static_cast<Cycles>(total);
 }
 

@@ -33,15 +33,15 @@ class HBVM : public GraphVM
         return sched;
     }
 
+  protected:
     RunResult
-    execute(Program &lowered, const RunInputs &inputs) override
+    executeLowered(Program &lowered, const RunInputs &inputs) override
     {
         HBModel model(_params);
         ExecEngine engine(lowered, inputs, model);
         return engine.run();
     }
 
-  protected:
     std::string emitLoweredCode(const Program &lowered) override;
 
   private:

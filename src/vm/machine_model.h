@@ -11,6 +11,7 @@
 #ifndef UGC_VM_MACHINE_MODEL_H
 #define UGC_VM_MACHINE_MODEL_H
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

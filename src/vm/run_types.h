@@ -5,12 +5,15 @@
 #ifndef UGC_VM_RUN_TYPES_H
 #define UGC_VM_RUN_TYPES_H
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "ir/types.h"
+#include "support/prof.h"
 #include "support/stats.h"
 #include "support/types.h"
 
@@ -61,6 +64,11 @@ struct RunResult
 
     /** One entry per executed traversal. */
     std::vector<IterationTrace> trace;
+
+    /** Hierarchical profile of the run (scopes, counters, per-round
+     *  traversal events). Null unless profiling was enabled for the VM
+     *  (BackendOptions.profiling / prof::setEnabled). */
+    std::shared_ptr<prof::Profile> profile;
 
     const std::vector<double> &
     property(const std::string &name) const

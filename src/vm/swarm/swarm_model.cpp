@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/addr_space.h"
+#include "support/prof.h"
 
 namespace ugc {
 
@@ -20,7 +21,7 @@ SwarmModel::reset(const Graph &)
     _roundStart = 0;
     _lastFinish = 0;
     _committedCycles = _abortedCycles = _idleCommitQueue = 0;
-    _spillCycles = _aborts = _tasks = 0;
+    _spillCycles = _aborts = _tasks = _spawns = 0;
 }
 
 unsigned
@@ -146,6 +147,9 @@ SwarmModel::onTask(TaskRecord task)
         // simple bound.
         _spawnReady[child] = finish;
     }
+    _spawns += static_cast<double>(task.spawns.size());
+    prof::sample("swarm.task_instructions",
+                 static_cast<double>(task.instructions));
 }
 
 void
@@ -181,6 +185,7 @@ SwarmModel::counters() const
     const double idle_commit = std::min(_idleCommitQueue, idle_total);
 
     counters.add("swarm.tasks", _tasks);
+    counters.add("swarm.task_spawns", _spawns);
     counters.add("swarm.aborts", _aborts);
     counters.add("swarm.committed_cycles", _committedCycles);
     counters.add("swarm.aborted_cycles", _abortedCycles);

@@ -17,6 +17,7 @@
 #ifndef UGC_VM_SWARM_SWARM_MODEL_H
 #define UGC_VM_SWARM_SWARM_MODEL_H
 
+#include <cstdint>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -101,6 +102,7 @@ class SwarmModel : public MachineModel
     double _spillCycles = 0;
     double _aborts = 0;
     double _tasks = 0;
+    double _spawns = 0;
 };
 
 } // namespace ugc

@@ -62,15 +62,15 @@ class SwarmVM : public GraphVM
         return sched;
     }
 
+  protected:
     RunResult
-    execute(Program &lowered, const RunInputs &inputs) override
+    executeLowered(Program &lowered, const RunInputs &inputs) override
     {
         SwarmModel model(_params);
         ExecEngine engine(lowered, inputs, model);
         return engine.run();
     }
 
-  protected:
     void
     hardwarePasses(Program &lowered) override
     {

@@ -102,7 +102,7 @@ TEST(Autotuner, EveryCandidateProducesValidResults)
     const Graph graph = gen::rmat(8, 8);
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName("bfs"));
-    auto vm = createGraphVM("gpu");
+    auto vm = makeGraphVM("gpu");
     for (const auto &candidate : autotuner::candidatesFor("gpu", false)) {
         ProgramPtr variant = program->clone();
         candidate.apply(*variant, "s1");

@@ -48,7 +48,7 @@ TEST_P(CrossVm, MatchesReference)
     ProgramPtr program = algorithms::buildProgram(algorithm);
     algorithms::applyTunedSchedule(*program, combo.algorithm, combo.vm,
                                    kind);
-    auto vm = createGraphVM(combo.vm);
+    auto vm = makeGraphVM(combo.vm);
     RunInputs inputs;
     inputs.graph = &graph;
     inputs.args = {0, 0, start,
@@ -106,7 +106,7 @@ TEST(CrossVmConsistency, IntegerResultsAgreeAcrossBackends)
         std::vector<double> first;
         for (const std::string &vm_name : graphVMNames()) {
             ProgramPtr program = algorithms::buildProgram(algorithm);
-            auto vm = createGraphVM(vm_name);
+            auto vm = makeGraphVM(vm_name);
             RunInputs inputs;
             inputs.graph = &g;
             inputs.args = {0, 0, 0, 8};
@@ -126,7 +126,7 @@ TEST(CrossVmConsistency, EmitCodeWorksForAllBackends)
     const auto &bfs = algorithms::byName("bfs");
     for (const std::string &vm_name : graphVMNames()) {
         ProgramPtr program = algorithms::buildProgram(bfs);
-        auto vm = createGraphVM(vm_name);
+        auto vm = makeGraphVM(vm_name);
         const std::string code = vm->emitCode(*program);
         EXPECT_GT(code.size(), 200u) << vm_name;
         EXPECT_NE(code.find("UGC"), std::string::npos) << vm_name;
@@ -135,7 +135,7 @@ TEST(CrossVmConsistency, EmitCodeWorksForAllBackends)
 
 TEST(CrossVmConsistency, FactoryRejectsUnknownName)
 {
-    EXPECT_THROW(createGraphVM("tpu"), std::out_of_range);
+    EXPECT_THROW(makeGraphVM("tpu"), std::out_of_range);
     EXPECT_EQ(graphVMNames().size(), 4u);
 }
 

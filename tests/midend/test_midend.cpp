@@ -108,7 +108,7 @@ TEST(Midend, CompositeScheduleGeneratesFig7Condition)
     sched1.configDirection(Direction::Push);
     SimpleGPUSchedule sched2;
     sched2.configDirection(Direction::Pull, VertexSetFormat::Bitmap);
-    applyGPUSchedule(*program, "s0:s1",
+    applySchedule(*program, "s0:s1",
                      CompositeGPUSchedule(HybridCriteria::InputSetSize,
                                           0.15, sched1, sched2));
 

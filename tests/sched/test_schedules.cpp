@@ -102,10 +102,10 @@ TEST(Schedules, ApplyHelpersAttachToProgram)
     Program program;
     SimpleGPUSchedule gpu;
     gpu.configKernelFusion(true);
-    applyGPUSchedule(program, "s0:s1", gpu);
+    applySchedule(program, "s0:s1", gpu);
 
     SimpleSwarmSchedule swarm;
-    applySwarmSchedule(program, "s2", swarm);
+    applySchedule(program, "s2", swarm);
 
     auto fetched = std::dynamic_pointer_cast<SimpleGPUSchedule>(
         program.scheduleFor("s0:s1"));

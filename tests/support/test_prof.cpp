@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/prof.h"
+
+namespace ugc {
+namespace {
+
+using prof::Profile;
+using prof::TraversalEvent;
+
+TEST(Prof, InactiveByDefault)
+{
+    EXPECT_FALSE(prof::active());
+    EXPECT_EQ(prof::current(), nullptr);
+    // Recording helpers are no-ops without an active profile.
+    prof::addCycles(5);
+    prof::counter("x", 2.0);
+    prof::sample("y", 1.0);
+    prof::traversalEvent(TraversalEvent{});
+    {
+        prof::ScopeTimer scope("nothing");
+    }
+    EXPECT_FALSE(prof::active());
+}
+
+TEST(Prof, NestedScopeAccounting)
+{
+    Profile profile;
+    {
+        prof::ActiveProfile activate(&profile);
+        EXPECT_TRUE(prof::active());
+        prof::ScopeTimer run("run");
+        prof::addCycles(10);
+        {
+            prof::ScopeTimer round("round");
+            prof::addCycles(7);
+            {
+                prof::ScopeTimer apply("apply:s1");
+                prof::addCycles(3);
+            }
+        }
+    }
+    EXPECT_FALSE(prof::active());
+
+    const Profile::Scope &root = profile.root();
+    EXPECT_EQ(root.name, "total");
+    ASSERT_EQ(root.children.size(), 1u);
+
+    const Profile::Scope &run = *root.children[0];
+    EXPECT_EQ(run.name, "run");
+    EXPECT_EQ(run.count, 1);
+    EXPECT_EQ(run.selfCycles, 10u);
+    EXPECT_EQ(run.inclusiveCycles(), 20u);
+
+    const Profile::Scope *round = run.findChild("round");
+    ASSERT_NE(round, nullptr);
+    EXPECT_EQ(round->selfCycles, 7u);
+    EXPECT_EQ(round->inclusiveCycles(), 10u);
+    EXPECT_EQ(round->parent, &run);
+
+    // Child time is contained in parent time.
+    EXPECT_LE(round->inclusiveCycles(), run.inclusiveCycles());
+    EXPECT_EQ(profile.totalCycles(), 20u);
+
+    const Profile::Scope *apply = profile.find("apply:s1");
+    ASSERT_NE(apply, nullptr);
+    EXPECT_EQ(apply->inclusiveCycles(), 3u);
+}
+
+TEST(Prof, ScopeReentryMerges)
+{
+    Profile profile;
+    prof::ActiveProfile activate(&profile);
+    for (int round = 0; round < 3; ++round) {
+        prof::ScopeTimer scope("round");
+        prof::addCycles(4);
+        prof::counter("edges", 10.0);
+        prof::sample("frontier", static_cast<double>(round));
+    }
+    // Same-named sibling scopes merge: one child, accumulated stats.
+    ASSERT_EQ(profile.root().children.size(), 1u);
+    const Profile::Scope &round = *profile.root().children[0];
+    EXPECT_EQ(round.count, 3);
+    EXPECT_EQ(round.selfCycles, 12u);
+    EXPECT_DOUBLE_EQ(round.counters.get("edges"), 30.0);
+    const Summary &frontier = round.summaries.at("frontier");
+    EXPECT_EQ(frontier.count(), 3u);
+    EXPECT_DOUBLE_EQ(frontier.min(), 0.0);
+    EXPECT_DOUBLE_EQ(frontier.max(), 2.0);
+}
+
+TEST(Prof, TotalCounterSumsTree)
+{
+    Profile profile;
+    prof::ActiveProfile activate(&profile);
+    prof::counter("edges", 1.0);
+    {
+        prof::ScopeTimer run("run");
+        prof::counter("edges", 2.0);
+        {
+            prof::ScopeTimer round("round");
+            prof::counter("edges", 4.0);
+        }
+    }
+    EXPECT_DOUBLE_EQ(profile.totalCounter("edges"), 7.0);
+    EXPECT_DOUBLE_EQ(profile.totalCounter("absent"), 0.0);
+}
+
+TEST(Prof, CounterDeltaSkipsUnchanged)
+{
+    CounterSet before, after;
+    before.add("a", 3.0);
+    before.add("b", 2.0);
+    after.add("a", 5.0);
+    after.add("b", 2.0);
+    after.add("c", 1.0);
+    const CounterSet delta = prof::counterDelta(after, before);
+    EXPECT_DOUBLE_EQ(delta.get("a"), 2.0);
+    EXPECT_DOUBLE_EQ(delta.get("c"), 1.0);
+    // Unchanged counters are omitted entirely.
+    EXPECT_EQ(delta.all().count("b"), 0u);
+}
+
+TEST(Prof, GoldenDeterministicJson)
+{
+    Profile profile;
+    profile.setMeta("backend", "cpu");
+    profile.setMeta("program", "bfs");
+    {
+        prof::ActiveProfile activate(&profile);
+        prof::ScopeTimer run("run");
+        prof::addCycles(10);
+        prof::counter("edges", 5.0);
+        {
+            prof::ScopeTimer round("round");
+            prof::addCycles(7);
+            prof::sample("frontier", 3.0);
+        }
+        TraversalEvent event;
+        event.round = 0;
+        event.label = "s1";
+        event.direction = Direction::Push;
+        event.inputFormat = VertexSetFormat::Sparse;
+        event.frontierSize = 1;
+        event.outputSize = 4;
+        event.edgesTraversed = 8;
+        event.cycles = 7;
+        event.detail.add("udf.instructions", 24.0);
+        prof::traversalEvent(std::move(event));
+    }
+
+    const std::string json =
+        prof::toJson(profile, {.deterministic = true});
+    EXPECT_EQ(
+        json,
+        "{\"schema\":\"ugc.profile.v1\","
+        "\"meta\":{\"backend\":\"cpu\",\"program\":\"bfs\"},"
+        "\"total_cycles\":17,"
+        "\"root\":{\"name\":\"total\",\"count\":0,\"cycles\":17,"
+        "\"self_cycles\":0,\"counters\":{},\"summaries\":{},"
+        "\"children\":["
+        "{\"name\":\"run\",\"count\":1,\"cycles\":17,\"self_cycles\":10,"
+        "\"counters\":{\"edges\":5},\"summaries\":{},"
+        "\"children\":["
+        "{\"name\":\"round\",\"count\":1,\"cycles\":7,\"self_cycles\":7,"
+        "\"counters\":{},"
+        "\"summaries\":{\"frontier\":{\"count\":1,\"sum\":3,\"mean\":3,"
+        "\"min\":3,\"max\":3}},"
+        "\"children\":[]}]}]},"
+        "\"events\":[{\"round\":0,\"label\":\"s1\","
+        "\"direction\":\"push\",\"input_format\":\"SPARSE\","
+        "\"frontier\":1,\"output\":4,\"edges\":8,\"cycles\":7,"
+        "\"detail\":{\"udf.instructions\":24}}]}");
+}
+
+TEST(Prof, DeterministicJsonOmitsHostEntries)
+{
+    Profile profile;
+    prof::ActiveProfile activate(&profile);
+    {
+        prof::ScopeTimer run("run");
+        prof::addCycles(1);
+        prof::counter("host.steals", 9.0);
+        prof::counter("cpu.stream_cycles", 5.0);
+        prof::sample("host.worker_chunks", 3.0);
+        prof::sample("cpu.parallelism", 2.0);
+    }
+
+    const std::string det = prof::toJson(profile, {.deterministic = true});
+    EXPECT_EQ(det.find("host."), std::string::npos);
+    EXPECT_EQ(det.find("wall_ns"), std::string::npos);
+    EXPECT_NE(det.find("cpu.stream_cycles"), std::string::npos);
+    EXPECT_NE(det.find("cpu.parallelism"), std::string::npos);
+
+    // The default export keeps everything.
+    const std::string full = prof::toJson(profile);
+    EXPECT_NE(full.find("host.steals"), std::string::npos);
+    EXPECT_NE(full.find("host.worker_chunks"), std::string::npos);
+    EXPECT_NE(full.find("wall_ns"), std::string::npos);
+}
+
+TEST(Prof, ChromeTraceSmoke)
+{
+    Profile profile;
+    {
+        prof::ActiveProfile activate(&profile);
+        prof::ScopeTimer run("run");
+        prof::addCycles(6);
+        TraversalEvent event;
+        event.label = "s1";
+        event.cycles = 6;
+        prof::traversalEvent(std::move(event));
+    }
+    const std::string trace = prof::toChromeTrace(profile);
+    EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(trace.find("\"name\":\"total\""), std::string::npos);
+    EXPECT_NE(trace.find("\"name\":\"run\""), std::string::npos);
+    EXPECT_NE(trace.find("\"name\":\"s1\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(trace.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(Prof, EnabledGuardRestores)
+{
+    EXPECT_FALSE(prof::enabled());
+    {
+        prof::EnabledGuard enable(true);
+        EXPECT_TRUE(prof::enabled());
+        {
+            prof::EnabledGuard disable(false);
+            EXPECT_FALSE(prof::enabled());
+        }
+        EXPECT_TRUE(prof::enabled());
+    }
+    EXPECT_FALSE(prof::enabled());
+}
+
+} // namespace
+} // namespace ugc

@@ -86,7 +86,7 @@ class BackendCodegen : public ::testing::TestWithParam<const char *>
 
 TEST_P(BackendCodegen, EmitsAllFiveAlgorithms)
 {
-    auto vm = createGraphVM(GetParam());
+    auto vm = makeGraphVM(GetParam());
     for (const auto &algorithm : algorithms::all()) {
         ProgramPtr program = algorithms::buildProgram(algorithm);
         const std::string code = vm->emitCode(*program);

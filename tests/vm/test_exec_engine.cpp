@@ -74,7 +74,7 @@ TEST(ExecEngine, HybridConditionSelectsBySetSize)
                 SimpleCPUSchedule push, pull;
                 push.configDirection(Direction::Push);
                 pull.configDirection(Direction::Pull);
-                applyCPUSchedule(program, "s1",
+                applySchedule(program, "s1",
                                  CompositeCPUSchedule(
                                      HybridCriteria::InputSetSize,
                                      threshold, push, pull));
@@ -100,7 +100,7 @@ TEST(ExecEngine, HybridSumDegreeCriteria)
             pull.configDirection(Direction::Pull);
             // Frontier {0,1,2} covers 11 of 18 directed edges (61%):
             // above the 0.5 fraction -> dense -> pull branch.
-            applyCPUSchedule(program, "s1",
+            applySchedule(program, "s1",
                              CompositeCPUSchedule(
                                  HybridCriteria::InputSetSumDegree, 0.5,
                                  push, pull));
@@ -131,7 +131,7 @@ end
         ProgramPtr program = frontend::compileSource(source, "layout");
         SimpleCPUSchedule sched;
         sched.configLayout(layout);
-        applyCPUSchedule(*program, "s1", sched);
+        applySchedule(*program, "s1", sched);
         CpuVM vm(params);
         RunInputs inputs;
         inputs.graph = &graph;

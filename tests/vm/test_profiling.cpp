@@ -1,0 +1,178 @@
+/**
+ * End-to-end profiling across the GraphVMs: profiles appear only when
+ * requested, mirror the run's cycle/counter totals, carry
+ * backend-specific events, and their deterministic JSON export is
+ * bit-identical across host thread counts.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "algorithms/algorithms.h"
+#include "graph/generators.h"
+#include "support/prof.h"
+#include "vm/factory.h"
+
+namespace ugc {
+namespace {
+
+RunInputs
+bfsInputs(const Graph &graph)
+{
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, 0, 16};
+    return inputs;
+}
+
+RunResult
+runBfs(const std::string &backend, const BackendOptions &options,
+       const Graph &graph)
+{
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    auto vm = makeGraphVM(backend, options);
+    return vm->run(*program, bfsInputs(graph));
+}
+
+TEST(Profiling, NoProfileWhenOff)
+{
+    const Graph graph = gen::rmat(8, 8);
+    const RunResult result = runBfs("cpu", {}, graph);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_EQ(result.profile, nullptr);
+}
+
+TEST(Profiling, GlobalEnableCreatesProfile)
+{
+    // ugcc --profile and the bench harnesses flip the process-wide flag
+    // instead of reconfiguring each VM.
+    const Graph graph = gen::rmat(8, 8);
+    prof::EnabledGuard enable(true);
+    const RunResult result = runBfs("cpu", {}, graph);
+    ASSERT_NE(result.profile, nullptr);
+    EXPECT_EQ(result.profile->meta().at("backend"), "cpu");
+}
+
+TEST(Profiling, ScopeTreeMirrorsRun)
+{
+    const Graph graph = gen::rmat(8, 8);
+    const RunResult result =
+        runBfs("cpu", {.profiling = true}, graph);
+    ASSERT_NE(result.profile, nullptr);
+    const prof::Profile &profile = *result.profile;
+
+    EXPECT_EQ(profile.meta().at("backend"), "cpu");
+    EXPECT_FALSE(profile.meta().at("program").empty());
+
+    // total -> run -> round -> apply:<label>.
+    const auto *run = profile.find("run");
+    ASSERT_NE(run, nullptr);
+    const auto *round = run->findChild("round");
+    ASSERT_NE(round, nullptr);
+    EXPECT_GT(round->count, 1); // BFS takes several rounds
+    bool has_apply = false;
+    for (const auto &child : round->children)
+        has_apply |= child->name.rfind("apply:", 0) == 0;
+    EXPECT_TRUE(has_apply);
+
+    // The profile accounts for every simulated cycle and the final
+    // machine-model counters exactly once.
+    EXPECT_EQ(profile.totalCycles(), result.cycles);
+    for (const char *key : {"cpu.instructions", "cpu.edges"})
+        EXPECT_DOUBLE_EQ(profile.totalCounter(key),
+                         result.counters.get(key))
+            << key;
+
+    // One traversal event per executed apply, with work attributed.
+    ASSERT_FALSE(profile.events().empty());
+    EdgeId event_edges = 0;
+    for (const auto &event : profile.events()) {
+        EXPECT_FALSE(event.label.empty());
+        event_edges += event.edgesTraversed;
+    }
+    EXPECT_GT(event_edges, 0);
+}
+
+TEST(Profiling, AllBackendsEmitBackendSpecificData)
+{
+    const Graph graph = gen::rmat(8, 8);
+    const struct
+    {
+        const char *backend;
+        const char *counter;
+        const char *summary;
+    } expectations[] = {
+        {"cpu", "cpu.traversals", "cpu.llc_miss_rate"},
+        {"gpu", "gpu.kernels", "gpu.parallelism"},
+        {"swarm", "swarm.tasks", "swarm.task_instructions"},
+        {"hb", "hb.kernel_launches", "hb.llc_hit_rate"},
+    };
+    for (const auto &expect : expectations) {
+        const RunResult result =
+            runBfs(expect.backend, {.profiling = true}, graph);
+        ASSERT_NE(result.profile, nullptr) << expect.backend;
+        const prof::Profile &profile = *result.profile;
+        EXPECT_EQ(profile.meta().at("backend"), expect.backend);
+        EXPECT_EQ(profile.totalCycles(), result.cycles)
+            << expect.backend;
+        EXPECT_GT(profile.totalCounter(expect.counter), 0.0)
+            << expect.backend << ": " << expect.counter;
+
+        // The model's per-traversal samples land on the active scope.
+        bool found_summary = false;
+        const std::function<void(const prof::Profile::Scope &)> visit =
+            [&](const prof::Profile::Scope &scope) {
+                found_summary |= scope.summaries.count(expect.summary) > 0;
+                for (const auto &child : scope.children)
+                    visit(*child);
+            };
+        visit(profile.root());
+        EXPECT_TRUE(found_summary)
+            << expect.backend << ": " << expect.summary;
+
+        EXPECT_FALSE(profile.events().empty()) << expect.backend;
+    }
+}
+
+TEST(Profiling, DeterministicAcrossThreadCounts)
+{
+    // The acceptance bar for the deterministic export: profiles of the
+    // same CPU run are bit-identical at 1, 2, and 8 host threads.
+    const Graph graph = gen::rmat(10, 8);
+    std::string baseline;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        BackendOptions options;
+        options.numThreads = threads;
+        options.profiling = true;
+        const RunResult result = runBfs("cpu", options, graph);
+        ASSERT_NE(result.profile, nullptr);
+        const std::string json =
+            prof::toJson(*result.profile, {.deterministic = true});
+        if (baseline.empty())
+            baseline = json;
+        else
+            EXPECT_EQ(json, baseline) << threads << " threads";
+    }
+}
+
+TEST(Profiling, ExportersProduceParseableShape)
+{
+    const Graph graph = gen::rmat(8, 8);
+    const RunResult result =
+        runBfs("gpu", {.profiling = true}, graph);
+    ASSERT_NE(result.profile, nullptr);
+
+    const std::string json = prof::toJson(*result.profile);
+    EXPECT_EQ(json.rfind("{\"schema\":\"ugc.profile.v1\"", 0), 0u);
+    EXPECT_NE(json.find("\"meta\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"events\":["), std::string::npos);
+
+    const std::string trace = prof::toChromeTrace(*result.profile);
+    EXPECT_EQ(trace.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+    EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+}
+
+} // namespace
+} // namespace ugc

@@ -19,7 +19,7 @@ lowerForSwarm(const char *algorithm, bool to_tasks)
     SimpleSwarmSchedule sched;
     sched.configFrontiers(to_tasks ? SwarmFrontiers::VertexsetToTasks
                                    : SwarmFrontiers::Queues);
-    applySwarmSchedule(*program, "s1", sched);
+    applySchedule(*program, "s1", sched);
 
     ProgramPtr lowered = midend::runStandardPipeline(
         *program, std::make_shared<SimpleSwarmSchedule>());

@@ -119,7 +119,7 @@ TEST(SwarmVm, SpatialHintsReduceAborts)
         SimpleSwarmSchedule sched;
         sched.taskGranularity(TaskGranularity::FineGrained)
             .configSpatialHints(hints);
-        applySwarmSchedule(*program, "s1", sched);
+        applySchedule(*program, "s1", sched);
         SwarmVM vm;
         return vm.run(*program, inputsFor(graph));
     };

@@ -13,6 +13,9 @@
  *   --tune              autotune the s1 schedule before emitting/running
  *   --start <v>         start vertex for --run (default 0)
  *   --arg3 <n>          argv[3] binding (PR iterations / SSSP delta)
+ *   --threads <n>       host threads for CPU execution (default 1)
+ *   --profile <file>    with --run: write a JSON profile of the run
+ *   --trace <file>      with --run: write a Chrome trace-event file
  *
  * Compiles a GraphIt algorithm file through the full stack: frontend →
  * GraphIR → hardware-independent passes → GraphVM passes → code
@@ -30,6 +33,7 @@
 #include "graph/datasets.h"
 #include "ir/printer.h"
 #include "ir/walk.h"
+#include "support/prof.h"
 #include "vm/factory.h"
 
 using namespace ugc;
@@ -43,7 +47,8 @@ usage()
         stderr,
         "usage: ugcc <algorithm.gt> [--target cpu|gpu|swarm|hb]\n"
         "            [--emit-ir] [--run <dataset>] [--tune]\n"
-        "            [--start <v>] [--arg3 <n>]\n");
+        "            [--start <v>] [--arg3 <n>] [--threads <n>]\n"
+        "            [--profile <file>] [--trace <file>]\n");
     return 2;
 }
 
@@ -82,6 +87,9 @@ main(int argc, char *argv[])
     bool tune = false;
     VertexId start = 0;
     int64_t arg3 = 10;
+    unsigned threads = 1;
+    std::string profile_path;
+    std::string trace_path;
 
     for (int i = 2; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -103,6 +111,16 @@ main(int argc, char *argv[])
             start = static_cast<VertexId>(std::atoi(next()));
         else if (flag == "--arg3")
             arg3 = std::atoll(next());
+        else if (flag == "--threads")
+            threads = static_cast<unsigned>(std::atoi(next()));
+        else if (flag == "--profile")
+            profile_path = next();
+        else if (flag == "--trace")
+            trace_path = next();
+        else if (flag.rfind("--profile=", 0) == 0)
+            profile_path = flag.substr(10);
+        else if (flag.rfind("--trace=", 0) == 0)
+            trace_path = flag.substr(8);
         else
             return usage();
     }
@@ -126,7 +144,17 @@ main(int argc, char *argv[])
         return 1;
     }
 
-    auto vm = createGraphVM(target);
+    const bool profiling = !profile_path.empty() || !trace_path.empty();
+    if (profiling && run_dataset.empty()) {
+        std::fprintf(stderr,
+                     "ugcc: --profile/--trace require --run <dataset>\n");
+        return 2;
+    }
+
+    BackendOptions options;
+    options.numThreads = threads;
+    options.profiling = profiling;
+    auto vm = makeGraphVM(target, options);
 
     if (tune || !run_dataset.empty()) {
         const bool weighted = programNeedsWeights(*program);
@@ -159,6 +187,20 @@ main(int argc, char *argv[])
                         result.trace.size());
             for (const auto &[name, value] : result.counters.all())
                 std::printf("  %-34s %.0f\n", name.c_str(), value);
+            if (result.profile) {
+                if (!profile_path.empty()) {
+                    std::ofstream out(profile_path);
+                    out << prof::toJson(*result.profile);
+                    std::fprintf(stderr, "ugcc: profile written to %s\n",
+                                 profile_path.c_str());
+                }
+                if (!trace_path.empty()) {
+                    std::ofstream out(trace_path);
+                    out << prof::toChromeTrace(*result.profile);
+                    std::fprintf(stderr, "ugcc: trace written to %s\n",
+                                 trace_path.c_str());
+                }
+            }
             return 0;
         }
     }
