@@ -1,5 +1,5 @@
 /**
- * Ablation (DESIGN.md §6): push vs. pull vs. hybrid traversal for BFS on
+ * Ablation (DESIGN.md §8): push vs. pull vs. hybrid traversal for BFS on
  * a social and a road graph, on the CPU GraphVM, plus a sweep of the
  * hybrid threshold (the Fig 7 condition).
  */

@@ -1,5 +1,5 @@
 /**
- * Ablation (DESIGN.md §6): frontier representation — SPARSE vs BITMAP vs
+ * Ablation (DESIGN.md §8): frontier representation — SPARSE vs BITMAP vs
  * BOOLMAP for the pull input frontier, and fused vs unfused frontier
  * creation on the GPU.
  */

@@ -1,5 +1,5 @@
 /**
- * Ablation (DESIGN.md §6): the GPU load-balancing strategy zoo on CC over
+ * Ablation (DESIGN.md §8): the GPU load-balancing strategy zoo on CC over
  * a skewed social graph and a bounded-degree road graph.
  */
 #include <cstdio>

@@ -1,5 +1,5 @@
 /**
- * Ablation (DESIGN.md §6): Swarm task granularity x spatial hints x
+ * Ablation (DESIGN.md §8): Swarm task granularity x spatial hints x
  * frontier realization, on BFS over a road graph.
  */
 #include <cstdio>

@@ -1,0 +1,648 @@
+#include "ir/verifier.h"
+
+#include <any>
+#include <map>
+#include <set>
+
+#include "ir/walk.h"
+#include "sched/schedule.h"
+#include "support/string_util.h"
+
+namespace ugc {
+
+std::string
+VerifierReport::toString() const
+{
+    std::string out;
+    for (const VerifierError &error : _errors) {
+        out += "  - ";
+        out += error.where;
+        out += ": ";
+        out += error.message;
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+const char *
+stmtKindName(StmtKind kind)
+{
+    switch (kind) {
+      case StmtKind::VarDecl: return "VarDecl";
+      case StmtKind::Assign: return "Assign";
+      case StmtKind::PropWrite: return "PropWrite";
+      case StmtKind::Reduction: return "ReductionOp";
+      case StmtKind::If: return "If";
+      case StmtKind::While: return "WhileLoop";
+      case StmtKind::ForRange: return "ForRange";
+      case StmtKind::ExprStmt: return "ExprStmt";
+      case StmtKind::EdgeSetIterator: return "EdgeSetIterator";
+      case StmtKind::VertexSetIterator: return "VertexSetIterator";
+      case StmtKind::EnqueueVertex: return "EnqueueVertex";
+      case StmtKind::UpdatePriority: return "UpdatePriority";
+      case StmtKind::ListAppend: return "ListAppend";
+      case StmtKind::ListRetrieve: return "ListRetrieve";
+      case StmtKind::VertexSetDedup: return "VertexSetDedup";
+      case StmtKind::Delete: return "Delete";
+      case StmtKind::Return: return "Return";
+      case StmtKind::Break: return "Break";
+    }
+    return "Stmt";
+}
+
+const char *
+typeKindName(TypeDesc::Kind kind)
+{
+    switch (kind) {
+      case TypeDesc::Kind::Scalar: return "scalar";
+      case TypeDesc::Kind::VertexSet: return "vertexset";
+      case TypeDesc::Kind::EdgeSet: return "edgeset";
+      case TypeDesc::Kind::PrioQueue: return "priority queue";
+      case TypeDesc::Kind::FrontierList: return "frontier list";
+      case TypeDesc::Kind::VertexData: return "vertex data";
+    }
+    return "?";
+}
+
+/** Compiler- or runtime-introduced names ("__output", "__all", ...) that
+ *  have no declaration site in the IR. */
+bool
+isCompilerIntroduced(const std::string &name)
+{
+    return name.rfind("__", 0) == 0;
+}
+
+class Verifier
+{
+  public:
+    Verifier(const Program &program, const VerifyOptions &options,
+             VerifierReport &report)
+        : _program(program), _options(options), _report(report)
+    {
+    }
+
+    void
+    run()
+    {
+        collectSymbols();
+        for (const FunctionPtr &func : _program.functions()) {
+            if (!func) {
+                _report.addError("program '" + _program.name + "'",
+                                 "null function entry");
+                continue;
+            }
+            verifyBody(*func, func->body, "");
+        }
+        verifyScheduleAttachments();
+        if (_options.requireLowered && !_program.mainFunction())
+            _report.addError("program '" + _program.name + "'",
+                             "lowered program has no main function");
+    }
+
+  private:
+    // --- symbol collection ------------------------------------------------
+
+    void
+    declare(const std::string &name, TypeDesc type)
+    {
+        _symbols.emplace(name, type); // first declaration wins
+    }
+
+    /** Declaration introduced implicitly by an instruction (a traversal's
+     *  output frontier, a ListRetrieve target). */
+    void
+    declareImplicit(const std::string &name)
+    {
+        if (!name.empty())
+            _implicit.insert(name);
+    }
+
+    /**
+     * One program-wide symbol table: globals plus every function's params
+     * and local declarations. UDFs legitimately reference main's runtime
+     * objects (the priority queue of applyUpdatePriority), so resolution
+     * is program-wide; a dangling operand is a name declared nowhere.
+     */
+    void
+    collectSymbols()
+    {
+        for (const auto &global : _program.globals)
+            if (global)
+                declare(global->name, global->type);
+        for (const FunctionPtr &func : _program.functions()) {
+            if (!func)
+                continue;
+            for (const Param &param : func->params)
+                declare(param.name, param.type);
+            if (func->hasResult())
+                declare(func->resultName, func->resultType);
+            walkStmts(func->body, [&](const StmtPtr &stmt,
+                                      const std::string &) {
+                if (!stmt)
+                    return;
+                switch (stmt->kind) {
+                  case StmtKind::VarDecl: {
+                    const auto &decl =
+                        static_cast<const VarDeclStmt &>(*stmt);
+                    declare(decl.name, decl.type);
+                    break;
+                  }
+                  case StmtKind::ForRange:
+                    declare(static_cast<const ForRangeStmt &>(*stmt).var,
+                            TypeDesc::scalar(ElemType::Int64));
+                    break;
+                  case StmtKind::EdgeSetIterator:
+                    declareImplicit(
+                        static_cast<const EdgeSetIteratorStmt &>(*stmt)
+                            .outputSet);
+                    break;
+                  case StmtKind::VertexSetIterator:
+                    declareImplicit(
+                        static_cast<const VertexSetIteratorStmt &>(*stmt)
+                            .outputSet);
+                    break;
+                  case StmtKind::ListRetrieve:
+                    declareImplicit(
+                        static_cast<const ListRetrieveStmt &>(*stmt).set);
+                    break;
+                  default:
+                    break;
+                }
+            });
+        }
+    }
+
+    bool
+    isDeclared(const std::string &name) const
+    {
+        return _symbols.count(name) || _implicit.count(name) ||
+               isCompilerIntroduced(name);
+    }
+
+    /** Declared type of @p name; nullptr when unknown (implicit or
+     *  compiler-introduced names have no recorded TypeDesc). */
+    const TypeDesc *
+    declaredType(const std::string &name) const
+    {
+        auto it = _symbols.find(name);
+        return it == _symbols.end() ? nullptr : &it->second;
+    }
+
+    // --- error helpers ----------------------------------------------------
+
+    std::string
+    where(const Function &func, const std::string &path,
+          const Stmt *stmt) const
+    {
+        std::string out = "function '" + func.name + "'";
+        if (!path.empty())
+            out += ", statement '" + path + "'";
+        if (stmt)
+            out += std::string(" (") + stmtKindName(stmt->kind) + ")";
+        return out;
+    }
+
+    void
+    error(const Function &func, const std::string &path, const Stmt *stmt,
+          std::string message)
+    {
+        _report.addError(where(func, path, stmt), std::move(message));
+    }
+
+    /** Operand must resolve to a declaration of @p kind. */
+    void
+    checkOperand(const Function &func, const std::string &path,
+                 const Stmt &stmt, const std::string &role,
+                 const std::string &name, TypeDesc::Kind kind)
+    {
+        if (name.empty())
+            return;
+        if (!isDeclared(name)) {
+            error(func, path, &stmt,
+                  "dangling " + role + " operand '" + name +
+                      "': no such declaration");
+            return;
+        }
+        // Implicit declarations (a traversal's output frontier) carry no
+        // TypeDesc and may shadow an unrelated declared name (a UDF's
+        // scalar result is commonly also called "output") — skip the type
+        // check for them.
+        if (_implicit.count(name) || isCompilerIntroduced(name))
+            return;
+        if (const TypeDesc *type = declaredType(name);
+            type && type->kind != kind) {
+            error(func, path, &stmt,
+                  role + " operand '" + name + "' is a " +
+                      typeKindName(type->kind) + ", expected " +
+                      typeKindName(kind));
+        }
+    }
+
+    void
+    checkFunctionRef(const Function &func, const std::string &path,
+                     const Stmt &stmt, const std::string &role,
+                     const std::string &name)
+    {
+        if (name.empty())
+            return;
+        if (!_program.findFunction(name))
+            error(func, path, &stmt,
+                  role + " function '" + name + "' does not exist");
+    }
+
+    // --- expression checks ------------------------------------------------
+
+    void
+    checkExpr(const Function &func, const std::string &path,
+              const Stmt &stmt, const ExprPtr &expr,
+              const std::string &role)
+    {
+        if (!expr) {
+            error(func, path, &stmt,
+                  "dangling operand: null " + role + " expression");
+            return;
+        }
+        walkExprs(expr, [&](const ExprPtr &node) {
+            switch (node->kind) {
+              case ExprKind::PropRead: {
+                const auto &read = static_cast<const PropReadExpr &>(*node);
+                checkProp(func, path, stmt, "PropRead", read.prop);
+                if (!read.index)
+                    error(func, path, &stmt,
+                          "PropRead of '" + read.prop +
+                              "' has a null index");
+                break;
+              }
+              case ExprKind::CompareAndSwap: {
+                const auto &cas =
+                    static_cast<const CompareAndSwapExpr &>(*node);
+                checkProp(func, path, stmt, "CompareAndSwap", cas.prop);
+                if (!cas.index || !cas.oldValue || !cas.newValue)
+                    error(func, path, &stmt,
+                          "CompareAndSwap on '" + cas.prop +
+                              "' has a null operand");
+                break;
+              }
+              case ExprKind::Binary: {
+                const auto &binary =
+                    static_cast<const BinaryExpr &>(*node);
+                if (!binary.lhs || !binary.rhs)
+                    error(func, path, &stmt,
+                          "binary expression has a null operand");
+                break;
+              }
+              case ExprKind::Unary:
+                if (!static_cast<const UnaryExpr &>(*node).operand)
+                    error(func, path, &stmt,
+                          "unary expression has a null operand");
+                break;
+              case ExprKind::VertexSetSize:
+                checkOperand(func, path, stmt, "VertexSetSize",
+                             static_cast<const VertexSetSizeExpr &>(*node)
+                                 .set,
+                             TypeDesc::Kind::VertexSet);
+                break;
+              default:
+                break;
+            }
+        });
+    }
+
+    void
+    checkProp(const Function &func, const std::string &path,
+              const Stmt &stmt, const std::string &role,
+              const std::string &prop)
+    {
+        if (prop.empty()) {
+            error(func, path, &stmt, role + " has an empty property name");
+            return;
+        }
+        checkOperand(func, path, stmt, role + " property", prop,
+                     TypeDesc::Kind::VertexData);
+    }
+
+    // --- statement checks -------------------------------------------------
+
+    void
+    verifyBody(const Function &func, const std::vector<StmtPtr> &body,
+               const std::string &enclosing_path)
+    {
+        for (const StmtPtr &stmt : body) {
+            if (!stmt) {
+                _report.addError("function '" + func.name + "'",
+                                 "null statement in body");
+                continue;
+            }
+            std::string path = enclosing_path;
+            if (!stmt->label.empty()) {
+                if (!path.empty())
+                    path += ':';
+                path += stmt->label;
+                _labelPaths.insert(path);
+                _labels.insert(stmt->label);
+            }
+            verifyStmt(func, *stmt, path);
+            switch (stmt->kind) {
+              case StmtKind::If: {
+                const auto &branch = static_cast<const IfStmt &>(*stmt);
+                verifyBody(func, branch.thenBody, path);
+                verifyBody(func, branch.elseBody, path);
+                break;
+              }
+              case StmtKind::While:
+                verifyBody(func, static_cast<const WhileStmt &>(*stmt).body,
+                           path);
+                break;
+              case StmtKind::ForRange:
+                verifyBody(func,
+                           static_cast<const ForRangeStmt &>(*stmt).body,
+                           path);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    void
+    verifyStmt(const Function &func, const Stmt &stmt,
+               const std::string &path)
+    {
+        switch (stmt.kind) {
+          case StmtKind::VarDecl: {
+            const auto &decl = static_cast<const VarDeclStmt &>(stmt);
+            if (decl.init)
+                checkExpr(func, path, stmt, decl.init, "initializer");
+            break;
+          }
+          case StmtKind::Assign:
+            checkExpr(func, path, stmt,
+                      static_cast<const AssignStmt &>(stmt).value, "value");
+            break;
+          case StmtKind::PropWrite: {
+            const auto &write = static_cast<const PropWriteStmt &>(stmt);
+            checkProp(func, path, stmt, "PropWrite", write.prop);
+            checkExpr(func, path, stmt, write.index, "index");
+            checkExpr(func, path, stmt, write.value, "value");
+            break;
+          }
+          case StmtKind::Reduction: {
+            const auto &reduce = static_cast<const ReductionStmt &>(stmt);
+            checkProp(func, path, stmt, "ReductionOp", reduce.prop);
+            checkExpr(func, path, stmt, reduce.index, "index");
+            checkExpr(func, path, stmt, reduce.value, "value");
+            break;
+          }
+          case StmtKind::If:
+            checkExpr(func, path, stmt,
+                      static_cast<const IfStmt &>(stmt).cond, "condition");
+            break;
+          case StmtKind::While:
+            checkExpr(func, path, stmt,
+                      static_cast<const WhileStmt &>(stmt).cond,
+                      "condition");
+            break;
+          case StmtKind::ForRange: {
+            const auto &loop = static_cast<const ForRangeStmt &>(stmt);
+            checkExpr(func, path, stmt, loop.lo, "range lower bound");
+            checkExpr(func, path, stmt, loop.hi, "range upper bound");
+            break;
+          }
+          case StmtKind::ExprStmt:
+            checkExpr(func, path, stmt,
+                      static_cast<const ExprStmt &>(stmt).expr,
+                      "expression");
+            break;
+          case StmtKind::EdgeSetIterator:
+            verifyEdgeIterator(
+                func, static_cast<const EdgeSetIteratorStmt &>(stmt), path);
+            break;
+          case StmtKind::VertexSetIterator: {
+            const auto &iter =
+                static_cast<const VertexSetIteratorStmt &>(stmt);
+            checkOperand(func, path, stmt, "input frontier", iter.inputSet,
+                         TypeDesc::Kind::VertexSet);
+            checkFunctionRef(func, path, stmt, "vertex apply",
+                             iter.applyFunc);
+            checkFunctionRef(func, path, stmt, "vertex filter",
+                             iter.filterFunc);
+            break;
+          }
+          case StmtKind::EnqueueVertex: {
+            const auto &enqueue =
+                static_cast<const EnqueueVertexStmt &>(stmt);
+            checkOperand(func, path, stmt, "output frontier",
+                         enqueue.output, TypeDesc::Kind::VertexSet);
+            checkExpr(func, path, stmt, enqueue.vertex, "vertex");
+            break;
+          }
+          case StmtKind::UpdatePriority: {
+            const auto &update =
+                static_cast<const UpdatePriorityStmt &>(stmt);
+            checkOperand(func, path, stmt, "priority queue", update.queue,
+                         TypeDesc::Kind::PrioQueue);
+            checkExpr(func, path, stmt, update.vertex, "vertex");
+            checkExpr(func, path, stmt, update.value, "priority value");
+            break;
+          }
+          case StmtKind::ListAppend: {
+            const auto &append = static_cast<const ListAppendStmt &>(stmt);
+            checkOperand(func, path, stmt, "frontier list", append.list,
+                         TypeDesc::Kind::FrontierList);
+            checkOperand(func, path, stmt, "appended set", append.set,
+                         TypeDesc::Kind::VertexSet);
+            break;
+          }
+          case StmtKind::ListRetrieve: {
+            const auto &retrieve =
+                static_cast<const ListRetrieveStmt &>(stmt);
+            checkOperand(func, path, stmt, "frontier list", retrieve.list,
+                         TypeDesc::Kind::FrontierList);
+            break;
+          }
+          case StmtKind::VertexSetDedup:
+            checkOperand(func, path, stmt, "deduplicated set",
+                         static_cast<const VertexSetDedupStmt &>(stmt).set,
+                         TypeDesc::Kind::VertexSet);
+            break;
+          case StmtKind::Delete:
+            if (!isDeclared(static_cast<const DeleteStmt &>(stmt).name))
+                error(func, path, &stmt,
+                      "dangling delete operand '" +
+                          static_cast<const DeleteStmt &>(stmt).name +
+                          "': no such declaration");
+            break;
+          case StmtKind::Return: {
+            const auto &ret = static_cast<const ReturnStmt &>(stmt);
+            if (ret.value)
+                checkExpr(func, path, stmt, ret.value, "return value");
+            break;
+          }
+          case StmtKind::Break:
+            break;
+        }
+    }
+
+    void
+    verifyEdgeIterator(const Function &func,
+                       const EdgeSetIteratorStmt &iter,
+                       const std::string &path)
+    {
+        if (iter.graph.empty())
+            error(func, path, &iter, "EdgeSetIterator has no edgeset");
+        else
+            checkOperand(func, path, iter, "edgeset", iter.graph,
+                         TypeDesc::Kind::EdgeSet);
+        checkOperand(func, path, iter, "input frontier", iter.inputSet,
+                     TypeDesc::Kind::VertexSet);
+        checkFunctionRef(func, path, iter, "edge apply", iter.applyFunc);
+        checkFunctionRef(func, path, iter, "destination filter",
+                         iter.dstFilter);
+        checkFunctionRef(func, path, iter, "source filter", iter.srcFilter);
+        if (iter.trackChanges && iter.trackedProp.empty())
+            error(func, path, &iter,
+                  "applyModified traversal has no tracked property");
+        if (!iter.trackedProp.empty())
+            checkOperand(func, path, iter, "tracked property",
+                         iter.trackedProp, TypeDesc::Kind::VertexData);
+        checkOperand(func, path, iter, "priority queue", iter.queue,
+                     TypeDesc::Kind::PrioQueue);
+
+        verifyIteratorMetadata(func, iter, path);
+    }
+
+    /** Metadata consistency + post-lowering invariants. */
+    void
+    verifyIteratorMetadata(const Function &func,
+                           const EdgeSetIteratorStmt &iter,
+                           const std::string &path)
+    {
+        const bool lowered = iter.hasMetadata("direction") ||
+                             iter.hasMetadata("apply_variant");
+
+        if (iter.hasMetadata("apply_variant")) {
+            try {
+                const auto variant =
+                    iter.getMetadata<std::string>("apply_variant");
+                if (!_program.findFunction(variant))
+                    error(func, path, &iter,
+                          "apply_variant metadata names missing function '" +
+                              variant + "'");
+            } catch (const std::bad_any_cast &) {
+                error(func, path, &iter,
+                      "apply_variant metadata is not a string");
+            }
+        }
+        if (iter.hasMetadata("direction")) {
+            try {
+                (void)iter.getMetadata<Direction>("direction");
+            } catch (const std::bad_any_cast &) {
+                error(func, path, &iter,
+                      "direction metadata is not a Direction");
+            }
+        }
+
+        SchedulePtr schedule;
+        if (iter.hasMetadata("schedule")) {
+            try {
+                schedule = iter.getMetadata<SchedulePtr>("schedule");
+            } catch (const std::bad_any_cast &) {
+                error(func, path, &iter,
+                      "schedule metadata is not a SchedulePtr");
+            }
+        }
+
+        if (!_options.requireLowered && !lowered)
+            return;
+
+        if (_options.requireLowered) {
+            if (!iter.hasMetadata("direction"))
+                error(func, path, &iter,
+                      "lowered traversal has no resolved direction");
+            if (!iter.hasMetadata("apply_variant"))
+                error(func, path, &iter,
+                      "lowered traversal has no apply_variant UDF");
+        }
+
+        // direction_lowering must leave no unresolved hybrid traversals:
+        // attached schedules are simple, with the direction decided.
+        if (schedule) {
+            if (schedule->isComposite()) {
+                error(func, path, &iter,
+                      "unexpanded composite schedule on lowered traversal");
+            } else if (auto simple =
+                           std::dynamic_pointer_cast<SimpleSchedule>(
+                               schedule);
+                       simple && simple->isHybridDirection()) {
+                error(func, path, &iter,
+                      "unresolved hybrid-direction schedule survived "
+                      "direction lowering");
+            }
+        }
+
+        if (iter.getMetadataOr("ordered", false) &&
+            iter.hasMetadata("direction")) {
+            try {
+                if (iter.getMetadata<Direction>("direction") !=
+                    Direction::Push)
+                    error(func, path, &iter,
+                          "ordered traversal lowered to a non-push "
+                          "direction");
+            } catch (const std::bad_any_cast &) {
+                // already reported above
+            }
+        }
+    }
+
+    // --- schedule attachments ---------------------------------------------
+
+    /**
+     * Every applySchedule label must address a labeled statement: a
+     * multi-component key ("s0:s1") must equal a statement's full label
+     * path, a bare key ("s1") must match some statement label (the same
+     * resolution Program::scheduleFor performs).
+     */
+    void
+    verifyScheduleAttachments()
+    {
+        for (const auto &[key, schedule] : _program.schedules()) {
+            if (!schedule) {
+                _report.addError("schedule '" + key + "'",
+                                 "null schedule attached");
+                continue;
+            }
+            const auto components = split(key, ':');
+            const bool resolves =
+                components.size() > 1
+                    ? _labelPaths.count(key) != 0
+                    : _labels.count(key) != 0;
+            if (!resolves)
+                _report.addError(
+                    "schedule '" + key + "'",
+                    "label does not match any labeled statement");
+        }
+    }
+
+    const Program &_program;
+    const VerifyOptions &_options;
+    VerifierReport &_report;
+
+    std::map<std::string, TypeDesc> _symbols;
+    std::set<std::string> _implicit;
+    std::set<std::string> _labelPaths;
+    std::set<std::string> _labels;
+};
+
+} // namespace
+
+VerifierReport
+verify(const Program &program, const VerifyOptions &options)
+{
+    VerifierReport report;
+    Verifier(program, options, report).run();
+    return report;
+}
+
+} // namespace ugc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GraphIR verifier (DESIGN.md §7).
+ *
+ * Structural well-formedness checks over a Program: operand and type
+ * well-formedness (every traversal names a declared edgeset, every
+ * referenced UDF exists, property accesses hit vertex data), metadata
+ * consistency (apply_variant / direction / schedule entries carry the
+ * right types and point at real functions), schedule-attachment validity
+ * (every applySchedule label resolves to a labeled statement), and — for
+ * lowered programs — the post-lowering invariants the GraphVMs rely on
+ * (every traversal carries a resolved direction and UDF variant;
+ * direction lowering leaves no unresolved hybrid traversals).
+ *
+ * The PassManager runs the verifier after every pass that changed the IR
+ * when verification is enabled (ugcc --verify-ir); GraphVM::compile runs
+ * the post-lowering form once at the end of the pipeline. Diagnostics
+ * name the offending function and statement.
+ */
+#ifndef UGC_IR_VERIFIER_H
+#define UGC_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace ugc {
+
+struct VerifyOptions
+{
+    /** Additionally require the post-lowering invariants: every
+     *  EdgeSetIterator has a resolved direction and apply_variant, no
+     *  hybrid-direction schedule is left unexpanded, and ordered
+     *  traversals are push-only. */
+    bool requireLowered = false;
+};
+
+struct VerifierError
+{
+    std::string where;   ///< "main: s0:s1 (EdgeSetIterator)"
+    std::string message; ///< what is wrong
+};
+
+class VerifierReport
+{
+  public:
+    bool ok() const { return _errors.empty(); }
+    const std::vector<VerifierError> &errors() const { return _errors; }
+
+    void
+    addError(std::string where, std::string message)
+    {
+        _errors.push_back({std::move(where), std::move(message)});
+    }
+
+    /** One "  - <where>: <message>" line per error. */
+    std::string toString() const;
+
+  private:
+    std::vector<VerifierError> _errors;
+};
+
+/** Verify @p program; the report is empty when the IR is well-formed. */
+VerifierReport verify(const Program &program,
+                      const VerifyOptions &options = {});
+
+} // namespace ugc
+
+#endif // UGC_IR_VERIFIER_H

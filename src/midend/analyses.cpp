@@ -1,0 +1,53 @@
+#include "midend/analyses.h"
+
+#include "ir/walk.h"
+
+namespace ugc::midend {
+
+TraversalInfo
+TraversalIndexAnalysis::run(Program &program)
+{
+    TraversalInfo info;
+    for (const FunctionPtr &func : program.functions()) {
+        walkStmts(func->body,
+                  [&](const StmtPtr &stmt, const std::string &path) {
+                      if (stmt->kind != StmtKind::EdgeSetIterator &&
+                          stmt->kind != StmtKind::VertexSetIterator)
+                          return;
+                      TraversalInfo::Entry entry;
+                      entry.stmt = stmt.get();
+                      entry.path = path;
+                      entry.function = func->name;
+                      if (stmt->kind == StmtKind::EdgeSetIterator) {
+                          entry.edgeIter =
+                              static_cast<EdgeSetIteratorStmt *>(stmt.get());
+                          ++info.edgeTraversals;
+                          if (stmt->getMetadataOr("ordered", false))
+                              ++info.orderedTraversals;
+                      }
+                      if (!path.empty())
+                          info.byLabelPath.emplace(path, stmt.get());
+                      info.traversals.push_back(std::move(entry));
+                  });
+    }
+    return info;
+}
+
+IRStats
+computeIRStats(const Program &program)
+{
+    IRStats stats;
+    stats.functions = program.functions().size();
+    for (const FunctionPtr &func : program.functions()) {
+        walkStmts(func->body,
+                  [&](const StmtPtr &stmt, const std::string &) {
+                      ++stats.statements;
+                      if (stmt->kind == StmtKind::EdgeSetIterator ||
+                          stmt->kind == StmtKind::VertexSetIterator)
+                          ++stats.traversals;
+                  });
+    }
+    return stats;
+}
+
+} // namespace ugc::midend

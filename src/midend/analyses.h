@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared midend analyses cached by the AnalysisManager (DESIGN.md §7).
+ *
+ * An analysis computes a summary over a Program once; metadata-only passes
+ * preserve it (Pass::preservedAnalyses) so later passes reuse the cached
+ * result instead of re-walking the IR.
+ */
+#ifndef UGC_MIDEND_ANALYSES_H
+#define UGC_MIDEND_ANALYSES_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace ugc::midend {
+
+/**
+ * Index of every traversal in the program: the EdgeSetIterator /
+ * VertexSetIterator statements of main with their schedule label paths —
+ * the statements the schedule-attachment addressing of
+ * Program::applySchedule resolves against. Pointers stay valid until a
+ * pass replaces statements (such a pass must not preserve this analysis).
+ */
+struct TraversalInfo
+{
+    struct Entry
+    {
+        Stmt *stmt = nullptr; ///< the traversal statement
+        EdgeSetIteratorStmt *edgeIter = nullptr; ///< null for vertex iters
+        std::string path;     ///< schedule label path ("s0:s1")
+        std::string function; ///< enclosing function name
+    };
+
+    std::vector<Entry> traversals; ///< program order
+    /** Schedule-attachment index: label path -> traversal statement. */
+    std::map<std::string, Stmt *> byLabelPath;
+    std::size_t edgeTraversals = 0;
+    std::size_t orderedTraversals = 0; ///< priority-queue-driven iterators
+};
+
+/** Cached traversal/schedule-attachment index. */
+struct TraversalIndexAnalysis
+{
+    static const char *key() { return "traversal-index"; }
+    using Result = TraversalInfo;
+    static Result run(Program &program);
+};
+
+/** IR size summary — the counters PassInstrumentation reports per pass. */
+struct IRStats
+{
+    std::size_t functions = 0;
+    std::size_t statements = 0; ///< across every function body, recursive
+    std::size_t traversals = 0;
+};
+
+IRStats computeIRStats(const Program &program);
+
+/** Cached IR size summary. */
+struct IRStatsAnalysis
+{
+    static const char *key() { return "ir-stats"; }
+    using Result = IRStats;
+    static Result
+    run(Program &program)
+    {
+        return computeIRStats(program);
+    }
+};
+
+} // namespace ugc::midend
+
+#endif // UGC_MIDEND_ANALYSES_H

@@ -1,48 +1,59 @@
 #include "midend/atomics.h"
 
 #include "ir/walk.h"
+#include "midend/analyses.h"
 
 namespace ugc {
 
 namespace {
 
-/** Mark every CAS/reduction in @p func with is_atomic = @p atomic. */
-void
+/** Mark every CAS/reduction in @p func with is_atomic = @p atomic.
+ *  @return number of nodes marked. */
+int
 markFunction(Function &func, bool atomic)
 {
+    int marked = 0;
     walkStmts(func.body, [&](const StmtPtr &stmt, const std::string &) {
-        if (stmt->kind == StmtKind::Reduction)
+        if (stmt->kind == StmtKind::Reduction) {
             stmt->setMetadata("is_atomic", atomic);
+            ++marked;
+        }
         stmtExprs(stmt, [&](const ExprPtr &expr) {
-            if (expr->kind == ExprKind::CompareAndSwap)
+            if (expr->kind == ExprKind::CompareAndSwap) {
                 expr->setMetadata("is_atomic", atomic);
+                ++marked;
+            }
         });
-        if (stmt->kind == StmtKind::UpdatePriority)
+        if (stmt->kind == StmtKind::UpdatePriority) {
             stmt->setMetadata("needs_atomic", atomic);
+            ++marked;
+        }
     });
+    return marked;
 }
 
 } // namespace
 
-void
-AtomicsInsertionPass::run(Program &program)
+PassResult
+AtomicsInsertionPass::run(Program &program, AnalysisManager &analyses)
 {
-    FunctionPtr main = program.mainFunction();
-    if (!main)
-        return;
-    walkStmts(main->body, [&](const StmtPtr &stmt, const std::string &) {
-        if (stmt->kind != StmtKind::EdgeSetIterator)
-            return;
-        const auto &node = static_cast<const EdgeSetIteratorStmt &>(*stmt);
+    const midend::TraversalInfo &info =
+        analyses.get<midend::TraversalIndexAnalysis>(program);
+    int marked = 0;
+    for (const auto &entry : info.traversals) {
+        if (!entry.edgeIter)
+            continue;
+        const EdgeSetIteratorStmt &node = *entry.edgeIter;
         if (!node.hasMetadata("apply_variant"))
-            return; // direction lowering has not run on this node
+            continue; // direction lowering has not run on this node
         const auto direction =
             node.getMetadataOr("direction", Direction::Push);
         FunctionPtr variant = program.findFunction(
             node.getMetadata<std::string>("apply_variant"));
         if (variant)
-            markFunction(*variant, direction == Direction::Push);
-    });
+            marked += markFunction(*variant, direction == Direction::Push);
+    }
+    return PassResult::changedIf(marked > 0);
 }
 
 } // namespace ugc

@@ -12,6 +12,7 @@
 #ifndef UGC_MIDEND_ATOMICS_H
 #define UGC_MIDEND_ATOMICS_H
 
+#include "midend/analyses.h"
 #include "midend/pass.h"
 
 namespace ugc {
@@ -20,7 +21,17 @@ class AtomicsInsertionPass : public Pass
 {
   public:
     std::string name() const override { return "atomics-insertion"; }
-    void run(Program &program) override;
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+
+    /** Metadata-only: statement structure is untouched, so the cached
+     *  traversal index and IR statistics stay valid. */
+    PreservedAnalyses
+    preservedAnalyses() const override
+    {
+        return PreservedAnalyses::none()
+            .preserve(midend::TraversalIndexAnalysis::key())
+            .preserve(midend::IRStatsAnalysis::key());
+    }
 };
 
 } // namespace ugc

@@ -198,13 +198,15 @@ class Lowering
     {
     }
 
-    void
+    /** @return number of traversal statements lowered. */
+    int
     run()
     {
         FunctionPtr main = _program.mainFunction();
         if (!main)
-            return;
+            return 0;
         lowerBody(main->body, "");
+        return _lowered;
     }
 
   private:
@@ -247,9 +249,11 @@ class Lowering
                 stmt = lowerEdgeTraversal(
                     std::static_pointer_cast<EdgeSetIteratorStmt>(stmt),
                     stmt_path);
+                ++_lowered;
                 break;
               case StmtKind::VertexSetIterator:
                 stmt->setMetadata("is_parallel", true);
+                ++_lowered;
                 break;
               default:
                 break;
@@ -458,14 +462,17 @@ class Lowering
 
     Program &_program;
     SchedulePtr _defaultSchedule;
+    int _lowered = 0;
 };
 
 } // namespace
 
-void
-DirectionLoweringPass::run(Program &program)
+PassResult
+DirectionLoweringPass::run(Program &program, AnalysisManager &analyses)
 {
-    Lowering(program, _defaultSchedule).run();
+    (void)analyses;
+    return PassResult::changedIf(Lowering(program, _defaultSchedule).run() >
+                                 0);
 }
 
 } // namespace ugc

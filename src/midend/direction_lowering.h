@@ -32,7 +32,8 @@ class DirectionLoweringPass : public Pass
     }
 
     std::string name() const override { return "direction-lowering"; }
-    void run(Program &program) override;
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+    // Replaces statements and creates UDF variants: nothing survives.
 
   private:
     SchedulePtr _defaultSchedule;

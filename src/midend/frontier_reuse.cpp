@@ -17,7 +17,7 @@ collectIterators(const std::vector<StmtPtr> &body,
     });
 }
 
-void
+int
 analyzeLoop(WhileStmt &loop)
 {
     // Look for the `delete X; X = Y;` (or `X = Y; delete ...`) idiom where
@@ -25,8 +25,9 @@ analyzeLoop(WhileStmt &loop)
     std::vector<EdgeSetIteratorStmt *> iterators;
     collectIterators(loop.body, iterators);
     if (iterators.empty())
-        return;
+        return 0;
 
+    int marked = 0;
     for (size_t i = 0; i < loop.body.size(); ++i) {
         if (loop.body[i]->kind != StmtKind::Delete)
             continue;
@@ -43,25 +44,31 @@ analyzeLoop(WhileStmt &loop)
                 static_cast<const VarRefExpr &>(*assign.value).name;
             for (EdgeSetIteratorStmt *iter : iterators) {
                 if (iter->inputSet == del.name &&
-                    iter->outputSet == source)
+                    iter->outputSet == source) {
                     iter->setMetadata("can_reuse_frontier", true);
+                    ++marked;
+                }
             }
         }
     }
+    return marked;
 }
 
 } // namespace
 
-void
-FrontierReusePass::run(Program &program)
+PassResult
+FrontierReusePass::run(Program &program, AnalysisManager &analyses)
 {
+    (void)analyses;
     FunctionPtr main = program.mainFunction();
     if (!main)
-        return;
+        return PassResult::unchanged();
+    int marked = 0;
     walkStmts(main->body, [&](const StmtPtr &stmt, const std::string &) {
         if (stmt->kind == StmtKind::While)
-            analyzeLoop(static_cast<WhileStmt &>(*stmt));
+            marked += analyzeLoop(static_cast<WhileStmt &>(*stmt));
     });
+    return PassResult::changedIf(marked > 0);
 }
 
 } // namespace ugc

@@ -12,6 +12,7 @@
 #ifndef UGC_MIDEND_FRONTIER_REUSE_H
 #define UGC_MIDEND_FRONTIER_REUSE_H
 
+#include "midend/analyses.h"
 #include "midend/pass.h"
 
 namespace ugc {
@@ -20,7 +21,16 @@ class FrontierReusePass : public Pass
 {
   public:
     std::string name() const override { return "frontier-reuse"; }
-    void run(Program &program) override;
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+
+    /** Metadata-only: statement structure is untouched. */
+    PreservedAnalyses
+    preservedAnalyses() const override
+    {
+        return PreservedAnalyses::none()
+            .preserve(midend::TraversalIndexAnalysis::key())
+            .preserve(midend::IRStatsAnalysis::key());
+    }
 };
 
 } // namespace ugc

@@ -1,22 +1,21 @@
 #include "midend/ordered.h"
 
-#include "ir/walk.h"
 #include "sched/cpu_schedule.h"
 
 namespace ugc {
 
-void
-OrderedLoweringPass::run(Program &program)
+PassResult
+OrderedLoweringPass::run(Program &program, AnalysisManager &analyses)
 {
-    FunctionPtr main = program.mainFunction();
-    if (!main)
-        return;
-    walkStmts(main->body, [&](const StmtPtr &stmt, const std::string &) {
-        if (stmt->kind != StmtKind::EdgeSetIterator)
-            return;
-        auto &node = static_cast<EdgeSetIteratorStmt &>(*stmt);
+    const midend::TraversalInfo &info =
+        analyses.get<midend::TraversalIndexAnalysis>(program);
+    int annotated = 0;
+    for (const auto &entry : info.traversals) {
+        if (!entry.edgeIter)
+            continue;
+        EdgeSetIteratorStmt &node = *entry.edgeIter;
         if (!node.getMetadataOr("ordered", false))
-            return;
+            continue;
 
         auto schedule = node.getMetadataOr<SchedulePtr>("schedule", nullptr);
         auto simple = std::dynamic_pointer_cast<SimpleSchedule>(schedule);
@@ -30,7 +29,9 @@ OrderedLoweringPass::run(Program &program)
                 node.setMetadata("bucket_fusion", cpu->bucketFusion());
         }
         node.setMetadata("queue_updated", node.queue);
-    });
+        ++annotated;
+    }
+    return PassResult::changedIf(annotated > 0);
 }
 
 } // namespace ugc

@@ -8,6 +8,7 @@
 #ifndef UGC_MIDEND_ORDERED_H
 #define UGC_MIDEND_ORDERED_H
 
+#include "midend/analyses.h"
 #include "midend/pass.h"
 
 namespace ugc {
@@ -16,7 +17,16 @@ class OrderedLoweringPass : public Pass
 {
   public:
     std::string name() const override { return "ordered-lowering"; }
-    void run(Program &program) override;
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+
+    /** Metadata-only: statement structure is untouched. */
+    PreservedAnalyses
+    preservedAnalyses() const override
+    {
+        return PreservedAnalyses::none()
+            .preserve(midend::TraversalIndexAnalysis::key())
+            .preserve(midend::IRStatsAnalysis::key());
+    }
 };
 
 } // namespace ugc

@@ -1,0 +1,118 @@
+#include "midend/pass.h"
+
+#include <ostream>
+
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "midend/analyses.h"
+#include "support/prof.h"
+
+namespace ugc {
+
+namespace {
+
+const char *
+statusName(PassStatus status)
+{
+    switch (status) {
+      case PassStatus::Unchanged:
+        return "unchanged";
+      case PassStatus::Changed:
+        return "changed";
+      case PassStatus::Error:
+        return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+// --- ProfInstrumentation --------------------------------------------------
+
+void
+ProfInstrumentation::beforePass(const Pass &pass, const Program &program)
+{
+    (void)program;
+    const bool record = prof::active();
+    _entered.push_back(record);
+    _starts.push_back(std::chrono::steady_clock::now());
+    if (record)
+        prof::current()->enterScope("pass:" + pass.name());
+}
+
+void
+ProfInstrumentation::afterPass(const Pass &pass, const Program &program,
+                               const PassResult &result)
+{
+    (void)pass;
+    const bool entered = !_entered.empty() && _entered.back();
+    const auto start = _starts.empty()
+                           ? std::chrono::steady_clock::time_point()
+                           : _starts.back();
+    if (!_entered.empty()) {
+        _entered.pop_back();
+        _starts.pop_back();
+    }
+    if (!entered || !prof::active())
+        return;
+    const midend::IRStats stats = midend::computeIRStats(program);
+    prof::counter("ir.functions", static_cast<double>(stats.functions));
+    prof::counter("ir.statements", static_cast<double>(stats.statements));
+    if (result.changedIR())
+        prof::counter("ir.changed", 1.0);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    prof::current()->exitScope(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+}
+
+// --- PrintIRInstrumentation -----------------------------------------------
+
+void
+PrintIRInstrumentation::afterPass(const Pass &pass, const Program &program,
+                                  const PassResult &result)
+{
+    _out << "// *** IR dump after pass '" << pass.name() << "' ("
+         << statusName(result.status) << ") ***\n"
+         << printProgram(program) << '\n';
+}
+
+// --- PassManager ----------------------------------------------------------
+
+PipelineResult
+PassManager::run(Program &program)
+{
+    for (const PassPtr &pass : _passes) {
+        for (auto &instrumentation : _instrumentations)
+            instrumentation->beforePass(*pass, program);
+
+        PassResult result;
+        try {
+            result = pass->run(program, _analyses);
+        } catch (const std::exception &error) {
+            result = PassResult::error(error.what());
+        }
+
+        for (auto it = _instrumentations.rbegin();
+             it != _instrumentations.rend(); ++it)
+            (*it)->afterPass(*pass, program, result);
+
+        if (result.failed())
+            return {false, pass->name(), result.diagnostic};
+
+        if (result.changedIR()) {
+            _analyses.invalidateAllExcept(pass->preservedAnalyses());
+            if (_verifyEach) {
+                const VerifierReport report = verify(program);
+                if (!report.ok()) {
+                    return {false, pass->name(),
+                            "IR verifier failed after pass '" +
+                                pass->name() + "':\n" + report.toString()};
+                }
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace ugc

@@ -1,14 +1,34 @@
 /**
  * @file
- * Pass interface of the hardware-independent compiler (§III-A).
+ * Pass framework of the hardware-independent compiler (§III-A).
  *
  * Passes are IR-to-IR transformations over GraphIR, LLVM-style; GraphVMs
- * append their own hardware-specific passes to the shared pipeline.
+ * register their own hardware-specific passes into the shared pipeline.
+ *
+ * v2 framework (DESIGN.md §7):
+ *  - Pass::run returns a PassResult (changed / unchanged / error with a
+ *    diagnostic) instead of mutating silently.
+ *  - An AnalysisManager caches analyses shared between passes
+ *    (midend/analyses.h); passes declare which cached analyses survive
+ *    their changes via preservedAnalyses(), and the manager invalidates
+ *    the rest whenever a pass reports PassStatus::Changed.
+ *  - PassInstrumentation hooks observe every pass execution; the built-in
+ *    ProfInstrumentation records a "pass:<name>" prof scope with wall time
+ *    and IR-size counters, and PrintIRInstrumentation dumps the IR after
+ *    each pass (ugcc --print-after-all).
+ *  - The manager can run the GraphIR verifier (ir/verifier.h) after every
+ *    pass that changed the IR (ugcc --verify-ir).
  */
 #ifndef UGC_MIDEND_PASS_H
 #define UGC_MIDEND_PASS_H
 
+#include <any>
+#include <chrono>
+#include <iosfwd>
+#include <map>
 #include <memory>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,32 +36,301 @@
 
 namespace ugc {
 
+// --- pass results ---------------------------------------------------------
+
+enum class PassStatus {
+    Unchanged, ///< the pass ran and left the IR exactly as it found it
+    Changed,   ///< the pass transformed the IR (or its metadata)
+    Error,     ///< the pass failed; diagnostic explains why
+};
+
+/** What a pass did to the program. */
+struct PassResult
+{
+    PassStatus status = PassStatus::Unchanged;
+    std::string diagnostic; ///< non-empty for Error
+
+    static PassResult unchanged() { return {PassStatus::Unchanged, {}}; }
+    static PassResult changed() { return {PassStatus::Changed, {}}; }
+    /** Changed iff @p did_change — for passes that count their edits. */
+    static PassResult
+    changedIf(bool did_change)
+    {
+        return did_change ? changed() : unchanged();
+    }
+    static PassResult
+    error(std::string message)
+    {
+        return {PassStatus::Error, std::move(message)};
+    }
+
+    bool changedIR() const { return status == PassStatus::Changed; }
+    bool failed() const { return status == PassStatus::Error; }
+};
+
+// --- analysis caching -----------------------------------------------------
+
+/**
+ * The set of cached analyses a pass keeps valid when it reports Changed.
+ * (A pass reporting Unchanged implicitly preserves everything.)
+ */
+class PreservedAnalyses
+{
+  public:
+    /** Every analysis survives (metadata-only passes that do not touch
+     *  what any registered analysis computed). */
+    static PreservedAnalyses
+    all()
+    {
+        PreservedAnalyses preserved;
+        preserved._all = true;
+        return preserved;
+    }
+
+    /** No analysis survives (the conservative default). */
+    static PreservedAnalyses none() { return {}; }
+
+    PreservedAnalyses &
+    preserve(std::string analysis_key)
+    {
+        _keys.insert(std::move(analysis_key));
+        return *this;
+    }
+
+    bool isAllPreserved() const { return _all; }
+
+    bool
+    preserves(const std::string &analysis_key) const
+    {
+        return _all || _keys.count(analysis_key) != 0;
+    }
+
+  private:
+    bool _all = false;
+    std::set<std::string> _keys;
+};
+
+/**
+ * Caches analysis results computed over a Program and shares them between
+ * passes. An analysis is any type providing:
+ *
+ *   static const char *key();            // stable cache key
+ *   using Result = ...;                  // the computed summary
+ *   static Result run(Program &program); // compute from scratch
+ *
+ * Invalidation: after a pass reports Changed, the PassManager calls
+ * invalidateAllExcept(pass.preservedAnalyses()); a pass that reports
+ * Unchanged leaves the cache intact.
+ */
+class AnalysisManager
+{
+  public:
+    struct Stats
+    {
+        int computes = 0;      ///< cache misses (analysis ran)
+        int hits = 0;          ///< cache hits (result reused)
+        int invalidations = 0; ///< cached results dropped
+    };
+
+    /** Result of @p AnalysisT over @p program, computing it on a miss.
+     *  The reference stays valid until the analysis is invalidated. */
+    template <typename AnalysisT>
+    const typename AnalysisT::Result &
+    get(Program &program)
+    {
+        using Result = typename AnalysisT::Result;
+        auto it = _cache.find(AnalysisT::key());
+        if (it != _cache.end()) {
+            ++_stats.hits;
+            return *std::static_pointer_cast<Result>(it->second);
+        }
+        ++_stats.computes;
+        auto result = std::make_shared<Result>(AnalysisT::run(program));
+        _cache[AnalysisT::key()] = result;
+        return *result;
+    }
+
+    template <typename AnalysisT>
+    bool
+    isCached() const
+    {
+        return _cache.count(AnalysisT::key()) != 0;
+    }
+
+    void
+    invalidateAllExcept(const PreservedAnalyses &preserved)
+    {
+        if (preserved.isAllPreserved())
+            return;
+        for (auto it = _cache.begin(); it != _cache.end();) {
+            if (preserved.preserves(it->first)) {
+                ++it;
+            } else {
+                ++_stats.invalidations;
+                it = _cache.erase(it);
+            }
+        }
+    }
+
+    void
+    clear()
+    {
+        _stats.invalidations += static_cast<int>(_cache.size());
+        _cache.clear();
+    }
+
+    const Stats &stats() const { return _stats; }
+
+  private:
+    std::map<std::string, std::shared_ptr<void>> _cache;
+    Stats _stats;
+};
+
+// --- passes ---------------------------------------------------------------
+
 class Pass
 {
   public:
     virtual ~Pass() = default;
 
-    /** Stable name used in diagnostics and pipeline dumps. */
+    /** Stable name used in diagnostics, profiles, and pipeline dumps. */
     virtual std::string name() const = 0;
 
-    /** Transform @p program in place. */
-    virtual void run(Program &program) = 0;
+    /** Transform @p program in place, reporting what happened. Shared
+     *  analyses are available through @p analyses. */
+    virtual PassResult run(Program &program, AnalysisManager &analyses) = 0;
+
+    /** Cached analyses that stay valid even when this pass reports
+     *  Changed. Default: none (conservative). */
+    virtual PreservedAnalyses
+    preservedAnalyses() const
+    {
+        return PreservedAnalyses::none();
+    }
 };
 
 using PassPtr = std::unique_ptr<Pass>;
 
-/** Ordered list of passes applied to a program. */
+// --- instrumentation ------------------------------------------------------
+
+/**
+ * Observes pass execution. beforePass hooks run in registration order,
+ * afterPass hooks in reverse; the pair is always balanced, including when
+ * the pass throws (the manager converts the exception to a PassResult
+ * error first).
+ */
+class PassInstrumentation
+{
+  public:
+    virtual ~PassInstrumentation() = default;
+
+    virtual void
+    beforePass(const Pass &pass, const Program &program)
+    {
+        (void)pass;
+        (void)program;
+    }
+
+    virtual void
+    afterPass(const Pass &pass, const Program &program,
+              const PassResult &result)
+    {
+        (void)pass;
+        (void)program;
+        (void)result;
+    }
+};
+
+/**
+ * Records a "pass:<name>" scope in the active prof::Profile per executed
+ * pass — host wall time plus IR-size counters (ir.functions,
+ * ir.statements) and an ir.changed flag. No-op when no profile is active
+ * (the usual zero-cost-when-off contract of ugc::prof).
+ */
+class ProfInstrumentation : public PassInstrumentation
+{
+  public:
+    void beforePass(const Pass &pass, const Program &program) override;
+    void afterPass(const Pass &pass, const Program &program,
+                   const PassResult &result) override;
+
+  private:
+    /** Open-scope stack; pairs with afterPass even if a profile is
+     *  (de)activated mid-pipeline. */
+    std::vector<std::chrono::steady_clock::time_point> _starts;
+    std::vector<bool> _entered;
+};
+
+/** Dumps the IR to a stream after every pass (ugcc --print-after-all). */
+class PrintIRInstrumentation : public PassInstrumentation
+{
+  public:
+    explicit PrintIRInstrumentation(std::ostream &out) : _out(out) {}
+
+    void afterPass(const Pass &pass, const Program &program,
+                   const PassResult &result) override;
+
+  private:
+    std::ostream &_out;
+};
+
+// --- the manager ----------------------------------------------------------
+
+/** Outcome of running a pipeline. */
+struct PipelineResult
+{
+    bool ok = true;
+    std::string failedPass; ///< name of the pass that failed, if any
+    std::string diagnostic; ///< why it failed
+
+    explicit operator bool() const { return ok; }
+};
+
+/** Thrown by pipeline entry points that cannot return a PipelineResult;
+ *  names the failing pass. */
+class PipelineError : public std::runtime_error
+{
+  public:
+    PipelineError(std::string pass_name, const std::string &diagnostic)
+        : std::runtime_error("pass '" + pass_name + "' failed: " +
+                             diagnostic),
+          _passName(std::move(pass_name))
+    {
+    }
+
+    const std::string &passName() const { return _passName; }
+
+  private:
+    std::string _passName;
+};
+
+/**
+ * Ordered list of passes applied to a program — the one pipeline both the
+ * hardware-independent midend and every GraphVM's hardware passes run in
+ * (GraphVM::registerHardwarePasses).
+ */
 class PassManager
 {
   public:
     void addPass(PassPtr pass) { _passes.push_back(std::move(pass)); }
 
     void
-    run(Program &program)
+    addInstrumentation(std::unique_ptr<PassInstrumentation> instrumentation)
     {
-        for (const PassPtr &pass : _passes)
-            pass->run(program);
+        _instrumentations.push_back(std::move(instrumentation));
     }
+
+    /** Run the GraphIR verifier after every pass that reports Changed;
+     *  a verifier diagnostic fails the pipeline at that pass. */
+    void setVerifyEach(bool on) { _verifyEach = on; }
+    bool verifyEach() const { return _verifyEach; }
+
+    /**
+     * Run every pass in order. Stops at the first pass error (or verifier
+     * diagnostic when verifyEach is on) and reports the failing pass by
+     * name; exceptions escaping a pass are captured as that pass's error.
+     */
+    PipelineResult run(Program &program);
 
     std::vector<std::string>
     passNames() const
@@ -52,8 +341,13 @@ class PassManager
         return names;
     }
 
+    AnalysisManager &analyses() { return _analyses; }
+
   private:
     std::vector<PassPtr> _passes;
+    std::vector<std::unique_ptr<PassInstrumentation>> _instrumentations;
+    AnalysisManager _analyses;
+    bool _verifyEach = false;
 };
 
 } // namespace ugc

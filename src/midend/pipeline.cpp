@@ -7,15 +7,21 @@
 
 namespace ugc::midend {
 
-PassManager
-standardPipeline(SchedulePtr default_schedule)
+void
+registerStandardPasses(PassManager &manager, SchedulePtr default_schedule)
 {
-    PassManager manager;
     manager.addPass(
         std::make_unique<DirectionLoweringPass>(std::move(default_schedule)));
     manager.addPass(std::make_unique<AtomicsInsertionPass>());
     manager.addPass(std::make_unique<FrontierReusePass>());
     manager.addPass(std::make_unique<OrderedLoweringPass>());
+}
+
+PassManager
+standardPipeline(SchedulePtr default_schedule)
+{
+    PassManager manager;
+    registerStandardPasses(manager, std::move(default_schedule));
     return manager;
 }
 
@@ -24,7 +30,9 @@ runStandardPipeline(const Program &program, SchedulePtr default_schedule)
 {
     ProgramPtr lowered = program.clone();
     PassManager manager = standardPipeline(std::move(default_schedule));
-    manager.run(*lowered);
+    PipelineResult result = manager.run(*lowered);
+    if (!result)
+        throw PipelineError(result.failedPass, result.diagnostic);
     return lowered;
 }
 

@@ -12,13 +12,28 @@
 namespace ugc::midend {
 
 /**
+ * Append the standard hardware-independent passes to @p manager.
+ * GraphVMs call this first, then append their own hardware passes, so one
+ * PassManager runs the whole pipeline with shared analyses and
+ * instrumentation.
+ * @param default_schedule schedule used for unscheduled statements
+ *        (each GraphVM passes its baseline schedule here)
+ */
+void registerStandardPasses(PassManager &manager,
+                            SchedulePtr default_schedule);
+
+/**
  * Build the standard pipeline.
  * @param default_schedule schedule used for unscheduled statements
  *        (each GraphVM passes its baseline schedule here)
  */
 PassManager standardPipeline(SchedulePtr default_schedule);
 
-/** Clone @p program and run the standard pipeline over the clone. */
+/**
+ * Clone @p program and run the standard pipeline over the clone.
+ * @throws PipelineError naming the failing pass if any pass reports an
+ *         error.
+ */
 ProgramPtr runStandardPipeline(const Program &program,
                                SchedulePtr default_schedule);
 

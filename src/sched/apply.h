@@ -3,8 +3,7 @@
  * Fig 6 entry points: attach backend schedules to labeled statements.
  *
  * One templated applySchedule covers every schedule type of every
- * GraphVM — the paper's unified scheduling interface. The per-backend
- * applyXSchedule names remain as deprecated aliases.
+ * GraphVM — the paper's unified scheduling interface.
  */
 #ifndef UGC_SCHED_APPLY_H
 #define UGC_SCHED_APPLY_H
@@ -34,40 +33,6 @@ applySchedule(Program &program, const std::string &label,
               const ScheduleT &schedule)
 {
     program.applySchedule(label, std::make_shared<ScheduleT>(schedule));
-}
-
-// --- deprecated per-backend aliases ---------------------------------------
-
-template <typename ScheduleT>
-[[deprecated("use applySchedule()")]] inline void
-applyCPUSchedule(Program &program, const std::string &label,
-                 const ScheduleT &schedule)
-{
-    applySchedule(program, label, schedule);
-}
-
-template <typename ScheduleT>
-[[deprecated("use applySchedule()")]] inline void
-applyGPUSchedule(Program &program, const std::string &label,
-                 const ScheduleT &schedule)
-{
-    applySchedule(program, label, schedule);
-}
-
-template <typename ScheduleT>
-[[deprecated("use applySchedule()")]] inline void
-applySwarmSchedule(Program &program, const std::string &label,
-                   const ScheduleT &schedule)
-{
-    applySchedule(program, label, schedule);
-}
-
-template <typename ScheduleT>
-[[deprecated("use applySchedule()")]] inline void
-applyHBSchedule(Program &program, const std::string &label,
-                const ScheduleT &schedule)
-{
-    applySchedule(program, label, schedule);
 }
 
 } // namespace ugc

@@ -36,6 +36,10 @@ class CpuVM : public GraphVM
     void setNumThreads(unsigned n) { _numThreads = n; }
 
   protected:
+    // No registerHardwarePasses override: every CPU optimization is
+    // already expressed by the standard pipeline plus the schedule
+    // (§III-C1) — the base class registers nothing.
+
     RunResult
     executeLowered(Program &lowered, const RunInputs &inputs) override
     {

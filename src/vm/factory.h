@@ -51,17 +51,6 @@ struct BackendOptions
 std::unique_ptr<GraphVM>
 makeGraphVM(const std::string &name, const BackendOptions &options = {});
 
-/** @deprecated Use makeGraphVM(name, BackendOptions). */
-[[deprecated("use makeGraphVM(name, BackendOptions)")]]
-inline std::unique_ptr<GraphVM>
-createGraphVM(const std::string &name,
-              bool scale_memory_to_datasets = false)
-{
-    BackendOptions options;
-    options.scaleMemoryToDatasets = scale_memory_to_datasets;
-    return makeGraphVM(name, options);
-}
-
 } // namespace ugc
 
 #endif // UGC_VM_FACTORY_H

@@ -8,6 +8,7 @@
 #ifndef UGC_VM_GPU_GPU_VM_H
 #define UGC_VM_GPU_GPU_VM_H
 
+#include "midend/analyses.h"
 #include "sched/gpu_schedule.h"
 #include "vm/gpu/gpu_model.h"
 #include "vm/graphvm.h"
@@ -25,7 +26,16 @@ class GpuKernelFusionPass : public Pass
 {
   public:
     std::string name() const override { return "gpu-kernel-fusion"; }
-    void run(Program &program) override;
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+
+    /** Metadata-only: statement structure is untouched. */
+    PreservedAnalyses
+    preservedAnalyses() const override
+    {
+        return PreservedAnalyses::none()
+            .preserve(midend::TraversalIndexAnalysis::key())
+            .preserve(midend::IRStatsAnalysis::key());
+    }
 };
 
 class GpuVM : public GraphVM
@@ -56,10 +66,9 @@ class GpuVM : public GraphVM
     }
 
     void
-    hardwarePasses(Program &lowered) override
+    registerHardwarePasses(PassManager &manager) override
     {
-        GpuKernelFusionPass fusion;
-        fusion.run(lowered);
+        manager.addPass(std::make_unique<GpuKernelFusionPass>());
     }
 
     std::string emitLoweredCode(const Program &lowered) override;

@@ -5,13 +5,22 @@
  * A GraphVM couples (1) hardware-specific passes over GraphIR, (2) a code
  * generator emitting representative target source, and (3) a machine model
  * that executes the program (via the shared engine) and accounts cycles.
+ *
+ * Compilation builds ONE unified pipeline: the standard hardware-independent
+ * passes followed by whatever the backend registers in
+ * registerHardwarePasses(). Analyses, instrumentation (per-pass prof scopes,
+ * IR dumping), and per-pass verification are shared across the whole
+ * pipeline.
  */
 #ifndef UGC_VM_GRAPHVM_H
 #define UGC_VM_GRAPHVM_H
 
 #include <memory>
+#include <ostream>
 #include <string>
+#include <vector>
 
+#include "ir/verifier.h"
 #include "midend/pipeline.h"
 #include "support/prof.h"
 #include "vm/exec_engine.h"
@@ -19,6 +28,16 @@
 #include "vm/run_types.h"
 
 namespace ugc {
+
+/** Options controlling the compile() pipeline (ugcc flags map onto these). */
+struct CompileOptions
+{
+    /** Run the GraphIR verifier after every pass that changed the IR, and
+     *  once more (with post-lowering invariants) after the pipeline. */
+    bool verifyIR = false;
+    /** When set, dump the IR to this stream after every pass. */
+    std::ostream *printAfterAll = nullptr;
+};
 
 class GraphVM
 {
@@ -33,23 +52,66 @@ class GraphVM
 
     /**
      * Compile (midend pipeline + hardware passes) and execute.
-     * The input program is not modified.
+     * The input program is not modified. When profiling is enabled the
+     * attached profile has a "compile" scope (with one "pass:<name>" child
+     * per executed pass) next to the "run" scope.
      */
     RunResult
     run(const Program &program, const RunInputs &inputs)
     {
-        ProgramPtr lowered = compile(program);
-        return execute(*lowered, inputs);
+        if (!_profiling && !prof::enabled()) {
+            ProgramPtr lowered = compile(program);
+            return executeLowered(*lowered, inputs);
+        }
+        prof::EnabledGuard enable(true);
+        auto profile = std::make_shared<prof::Profile>();
+        profile->setMeta("backend", name());
+        profile->setMeta("program", program.name);
+        prof::ActiveProfile activate(profile.get());
+        ProgramPtr lowered;
+        {
+            prof::ScopeTimer scope("compile");
+            lowered = compile(program);
+        }
+        RunResult result;
+        {
+            prof::ScopeTimer scope("run");
+            result = executeLowered(*lowered, inputs);
+        }
+        result.profile = std::move(profile);
+        return result;
     }
 
-    /** Lower a program through the full pipeline for this backend. */
+    /**
+     * Lower a program through the full pipeline for this backend.
+     * @throws PipelineError naming the failing pass if any pass (or the
+     *         per-pass verifier, under CompileOptions::verifyIR) fails.
+     */
     ProgramPtr
     compile(const Program &program)
     {
-        ProgramPtr lowered =
-            midend::runStandardPipeline(program, defaultSchedule());
-        hardwarePasses(*lowered);
+        ProgramPtr lowered = program.clone();
+        PassManager manager = buildPipeline();
+        PipelineResult result = manager.run(*lowered);
+        if (!result)
+            throw PipelineError(result.failedPass, result.diagnostic);
+        if (_options.verifyIR) {
+            VerifierReport report =
+                verify(*lowered, VerifyOptions{.requireLowered = true});
+            if (!report.ok())
+                throw PipelineError(
+                    "post-pipeline-verify",
+                    "IR verifier failed after the '" + name() +
+                        "' pipeline:\n" + report.toString());
+        }
         return lowered;
+    }
+
+    /** Names of every pass compile() would run, pipeline order. */
+    std::vector<std::string>
+    pipelinePassNames()
+    {
+        return buildPipeline().passNames();
     }
 
     /** Profile every run of this VM (RunResult.profile is attached). The
@@ -57,6 +119,12 @@ class GraphVM
      *  VMs; with both off, runs pay a single branch (DESIGN.md §6). */
     void setProfiling(bool on) { _profiling = on; }
     bool profilingEnabled() const { return _profiling; }
+
+    void setCompileOptions(const CompileOptions &options)
+    {
+        _options = options;
+    }
+    const CompileOptions &compileOptions() const { return _options; }
 
     /**
      * Execute an already-lowered program. When profiling is enabled (for
@@ -97,8 +165,16 @@ class GraphVM
     }
 
   protected:
-    /** Hardware-specific passes (kernel fusion, task conversion, ...). */
-    virtual void hardwarePasses(Program &lowered) { (void)lowered; }
+    /**
+     * Register hardware-specific passes (kernel fusion, task conversion,
+     * ...) onto the unified pipeline. They run after the standard passes
+     * and share the same AnalysisManager and instrumentation. The default
+     * registers nothing (the CPU GraphVM needs no hardware passes).
+     */
+    virtual void registerHardwarePasses(PassManager &manager)
+    {
+        (void)manager;
+    }
 
     /** Backend execution proper; execute() wraps this with profiling. */
     virtual RunResult executeLowered(Program &lowered,
@@ -107,7 +183,23 @@ class GraphVM
     virtual std::string emitLoweredCode(const Program &lowered) = 0;
 
   private:
+    PassManager
+    buildPipeline()
+    {
+        PassManager manager;
+        midend::registerStandardPasses(manager, defaultSchedule());
+        registerHardwarePasses(manager);
+        manager.addInstrumentation(
+            std::make_unique<ProfInstrumentation>());
+        if (_options.printAfterAll)
+            manager.addInstrumentation(std::make_unique<PrintIRInstrumentation>(
+                *_options.printAfterAll));
+        manager.setVerifyEach(_options.verifyIR);
+        return manager;
+    }
+
     bool _profiling = false;
+    CompileOptions _options;
 };
 
 } // namespace ugc

@@ -8,11 +8,34 @@
 #ifndef UGC_VM_HB_HB_VM_H
 #define UGC_VM_HB_HB_VM_H
 
+#include "midend/analyses.h"
 #include "sched/hb_schedule.h"
 #include "vm/graphvm.h"
 #include "vm/hb/hb_model.h"
 
 namespace ugc {
+
+/**
+ * Blocked-access lowering (§III-C4): when a traversal's schedule selects
+ * the blocked load-balance method, mark the traversal hb_blocked so
+ * codegen stages work blocks through the core-local scratchpad and the
+ * model charges scratchpad (not network) latency for block accesses.
+ */
+class HBBlockedAccessPass : public Pass
+{
+  public:
+    std::string name() const override { return "hb-blocked-access"; }
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+
+    /** Metadata-only: statement structure is untouched. */
+    PreservedAnalyses
+    preservedAnalyses() const override
+    {
+        return PreservedAnalyses::none()
+            .preserve(midend::TraversalIndexAnalysis::key())
+            .preserve(midend::IRStatsAnalysis::key());
+    }
+};
 
 class HBVM : public GraphVM
 {
@@ -40,6 +63,12 @@ class HBVM : public GraphVM
         HBModel model(_params);
         ExecEngine engine(lowered, inputs, model);
         return engine.run();
+    }
+
+    void
+    registerHardwarePasses(PassManager &manager) override
+    {
+        manager.addPass(std::make_unique<HBBlockedAccessPass>());
     }
 
     std::string emitLoweredCode(const Program &lowered) override;

@@ -8,6 +8,7 @@
 #ifndef UGC_VM_SWARM_SWARM_VM_H
 #define UGC_VM_SWARM_SWARM_VM_H
 
+#include "midend/analyses.h"
 #include "sched/swarm_schedule.h"
 #include "vm/graphvm.h"
 #include "vm/swarm/swarm_model.h"
@@ -24,7 +25,16 @@ class SwarmTaskConversionPass : public Pass
 {
   public:
     std::string name() const override { return "swarm-task-conversion"; }
-    void run(Program &program) override;
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+
+    /** Metadata-only: statement structure is untouched. */
+    PreservedAnalyses
+    preservedAnalyses() const override
+    {
+        return PreservedAnalyses::none()
+            .preserve(midend::TraversalIndexAnalysis::key())
+            .preserve(midend::IRStatsAnalysis::key());
+    }
 };
 
 /**
@@ -40,7 +50,16 @@ class SwarmSharedToPrivatePass : public Pass
 {
   public:
     std::string name() const override { return "swarm-shared-to-private"; }
-    void run(Program &program) override;
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+
+    /** Metadata-only: statement structure is untouched. */
+    PreservedAnalyses
+    preservedAnalyses() const override
+    {
+        return PreservedAnalyses::none()
+            .preserve(midend::TraversalIndexAnalysis::key())
+            .preserve(midend::IRStatsAnalysis::key());
+    }
 };
 
 class SwarmVM : public GraphVM
@@ -72,12 +91,10 @@ class SwarmVM : public GraphVM
     }
 
     void
-    hardwarePasses(Program &lowered) override
+    registerHardwarePasses(PassManager &manager) override
     {
-        SwarmTaskConversionPass conversion;
-        conversion.run(lowered);
-        SwarmSharedToPrivatePass privatization;
-        privatization.run(lowered);
+        manager.addPass(std::make_unique<SwarmTaskConversionPass>());
+        manager.addPass(std::make_unique<SwarmSharedToPrivatePass>());
     }
 
     std::string emitLoweredCode(const Program &lowered) override;

@@ -1,0 +1,24 @@
+# Golden-file check for `ugcc --print-passes`: run the driver for one
+# target and compare its stdout byte-for-byte against the checked-in
+# pipeline listing. Invoked by ctest (see tests/CMakeLists.txt) with
+#   -DUGCC=<driver> -DAPP=<algorithm.gt> -DUGC_TARGET=<backend>
+#   -DGOLDEN=<expected.txt>
+execute_process(
+    COMMAND ${UGCC} ${APP} --target ${UGC_TARGET} --print-passes
+    OUTPUT_VARIABLE actual
+    ERROR_VARIABLE errors
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR
+        "ugcc --print-passes failed for target '${UGC_TARGET}' "
+        "(exit ${status}):\n${errors}")
+endif()
+
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+    message(FATAL_ERROR
+        "pass pipeline for target '${UGC_TARGET}' does not match "
+        "${GOLDEN}.\n--- expected ---\n${expected}\n--- actual ---\n"
+        "${actual}\nIf the pipeline change is intentional, update the "
+        "golden file.")
+endif()

@@ -1,0 +1,276 @@
+/**
+ * Pass framework v2: PassResult plumbing, failing-pass diagnostics, and
+ * AnalysisManager caching/invalidation semantics.
+ */
+#include <gtest/gtest.h>
+
+#include "frontend/sema.h"
+#include "ir/walk.h"
+#include "midend/analyses.h"
+#include "midend/pipeline.h"
+#include "sched/apply.h"
+
+namespace ugc {
+namespace {
+
+const char *kBfsSource = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const parent : vector{Vertex}(int) = -1;
+
+func toFilter(v : Vertex) -> output : bool
+    output = (parent[v] == -1);
+end
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    var start_vertex : int = atoi(argv[2]);
+    frontier.addVertex(start_vertex);
+    parent[start_vertex] = start_vertex;
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} =
+            edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+    delete frontier;
+end
+)";
+
+ProgramPtr
+compileBfs()
+{
+    return frontend::compileSource(kBfsSource, "bfs");
+}
+
+/** Test double: computes the traversal index, then reports a fixed
+ *  result with a fixed preservation set. */
+class ProbePass : public Pass
+{
+  public:
+    ProbePass(PassResult result, PreservedAnalyses preserved)
+        : _result(std::move(result)), _preserved(std::move(preserved))
+    {
+    }
+
+    std::string name() const override { return "probe"; }
+
+    PassResult
+    run(Program &program, AnalysisManager &analyses) override
+    {
+        (void)analyses.get<midend::TraversalIndexAnalysis>(program);
+        return _result;
+    }
+
+    PreservedAnalyses preservedAnalyses() const override
+    {
+        return _preserved;
+    }
+
+  private:
+    PassResult _result;
+    PreservedAnalyses _preserved;
+};
+
+/** Test double that always fails with a diagnostic. */
+class FailingPass : public Pass
+{
+  public:
+    std::string name() const override { return "always-fails"; }
+    PassResult
+    run(Program &, AnalysisManager &) override
+    {
+        return PassResult::error("deliberate test failure");
+    }
+};
+
+/** Records whether it ran (to prove the manager stops at an error). */
+class RecordingPass : public Pass
+{
+  public:
+    explicit RecordingPass(bool &ran) : _ran(ran) {}
+    std::string name() const override { return "recorder"; }
+    PassResult
+    run(Program &, AnalysisManager &) override
+    {
+        _ran = true;
+        return PassResult::unchanged();
+    }
+
+  private:
+    bool &_ran;
+};
+
+TEST(PassFramework, ManagerNamesFailingPassAndStops)
+{
+    ProgramPtr program = compileBfs();
+    bool later_ran = false;
+    PassManager manager;
+    manager.addPass(std::make_unique<FailingPass>());
+    manager.addPass(std::make_unique<RecordingPass>(later_ran));
+
+    const PipelineResult result = manager.run(*program);
+    EXPECT_FALSE(result);
+    EXPECT_EQ(result.failedPass, "always-fails");
+    EXPECT_EQ(result.diagnostic, "deliberate test failure");
+    EXPECT_FALSE(later_ran);
+}
+
+TEST(PassFramework, ExceptionsBecomeThatPassesError)
+{
+    class ThrowingPass : public Pass
+    {
+      public:
+        std::string name() const override { return "throws"; }
+        PassResult
+        run(Program &, AnalysisManager &) override
+        {
+            throw std::runtime_error("boom");
+        }
+    };
+
+    ProgramPtr program = compileBfs();
+    PassManager manager;
+    manager.addPass(std::make_unique<ThrowingPass>());
+    const PipelineResult result = manager.run(*program);
+    EXPECT_FALSE(result);
+    EXPECT_EQ(result.failedPass, "throws");
+    EXPECT_EQ(result.diagnostic, "boom");
+}
+
+TEST(PassFramework, RunStandardPipelineReportsFailingPass)
+{
+    // A traversal whose apply UDF does not exist makes direction lowering
+    // fail; the pipeline must say so by pass name, not leak a raw
+    // exception with no attribution.
+    ProgramPtr program = compileBfs();
+    walkStmts(program->mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  if (stmt->kind == StmtKind::EdgeSetIterator)
+                      static_cast<EdgeSetIteratorStmt &>(*stmt).applyFunc =
+                          "no_such_udf";
+              });
+    try {
+        midend::runStandardPipeline(*program,
+                                    std::make_shared<SimpleSchedule>());
+        FAIL() << "expected PipelineError";
+    } catch (const PipelineError &error) {
+        EXPECT_EQ(error.passName(), "direction-lowering");
+        EXPECT_NE(std::string(error.what()).find("no_such_udf"),
+                  std::string::npos);
+    }
+}
+
+TEST(PassFramework, StandardPipelineComputesTraversalIndexOnce)
+{
+    // atomics-insertion computes the traversal index; frontier-reuse and
+    // ordered-lowering preserve it, so ordered-lowering's lookup is a
+    // cache hit — the index is computed exactly once per compilation.
+    ProgramPtr program = compileBfs();
+    PassManager manager =
+        midend::standardPipeline(std::make_shared<SimpleSchedule>());
+    ASSERT_TRUE(manager.run(*program));
+
+    const AnalysisManager::Stats &stats = manager.analyses().stats();
+    EXPECT_EQ(stats.computes, 1);
+    EXPECT_GE(stats.hits, 1);
+    EXPECT_TRUE(
+        manager.analyses().isCached<midend::TraversalIndexAnalysis>());
+}
+
+TEST(PassFramework, ChangedPassInvalidatesUnpreservedAnalyses)
+{
+    ProgramPtr program = compileBfs();
+    PassManager manager;
+    manager.addPass(std::make_unique<ProbePass>(
+        PassResult::changed(), PreservedAnalyses::none()));
+    ASSERT_TRUE(manager.run(*program));
+
+    EXPECT_FALSE(
+        manager.analyses().isCached<midend::TraversalIndexAnalysis>());
+    EXPECT_EQ(manager.analyses().stats().computes, 1);
+    EXPECT_EQ(manager.analyses().stats().invalidations, 1);
+}
+
+TEST(PassFramework, UnchangedPassKeepsCache)
+{
+    ProgramPtr program = compileBfs();
+    PassManager manager;
+    manager.addPass(std::make_unique<ProbePass>(
+        PassResult::unchanged(), PreservedAnalyses::none()));
+    manager.addPass(std::make_unique<ProbePass>(
+        PassResult::unchanged(), PreservedAnalyses::none()));
+    ASSERT_TRUE(manager.run(*program));
+
+    // Second probe's lookup hits the first probe's computation.
+    EXPECT_TRUE(
+        manager.analyses().isCached<midend::TraversalIndexAnalysis>());
+    EXPECT_EQ(manager.analyses().stats().computes, 1);
+    EXPECT_EQ(manager.analyses().stats().hits, 1);
+    EXPECT_EQ(manager.analyses().stats().invalidations, 0);
+}
+
+TEST(PassFramework, ChangedPassKeepsExplicitlyPreservedAnalyses)
+{
+    ProgramPtr program = compileBfs();
+    PassManager manager;
+    manager.addPass(std::make_unique<ProbePass>(
+        PassResult::changed(),
+        PreservedAnalyses::none().preserve(
+            midend::TraversalIndexAnalysis::key())));
+    ASSERT_TRUE(manager.run(*program));
+
+    EXPECT_TRUE(
+        manager.analyses().isCached<midend::TraversalIndexAnalysis>());
+    EXPECT_EQ(manager.analyses().stats().invalidations, 0);
+}
+
+TEST(PassFramework, TraversalIndexFindsLabeledTraversal)
+{
+    ProgramPtr program = compileBfs();
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+
+    AnalysisManager analyses;
+    const midend::TraversalInfo &info =
+        analyses.get<midend::TraversalIndexAnalysis>(*lowered);
+    EXPECT_EQ(info.edgeTraversals, 1u);
+    ASSERT_TRUE(info.byLabelPath.count("s0:s1"));
+    EXPECT_EQ(info.byLabelPath.at("s0:s1")->kind,
+              StmtKind::EdgeSetIterator);
+}
+
+TEST(PassFramework, VerifyEachCatchesCorruptingPass)
+{
+    // A pass that dangles an operand and honestly reports Changed is
+    // caught by the per-pass verifier under setVerifyEach.
+    class CorruptingPass : public Pass
+    {
+      public:
+        std::string name() const override { return "corruptor"; }
+        PassResult
+        run(Program &program, AnalysisManager &) override
+        {
+            walkStmts(program.mainFunction()->body,
+                      [&](const StmtPtr &stmt, const std::string &) {
+                          if (stmt->kind == StmtKind::EdgeSetIterator)
+                              static_cast<EdgeSetIteratorStmt &>(*stmt)
+                                  .graph = "vanished_edges";
+                      });
+            return PassResult::changed();
+        }
+    };
+
+    ProgramPtr program = compileBfs();
+    PassManager manager;
+    manager.addPass(std::make_unique<CorruptingPass>());
+    manager.setVerifyEach(true);
+    const PipelineResult result = manager.run(*program);
+    EXPECT_FALSE(result);
+    EXPECT_EQ(result.failedPass, "corruptor");
+    EXPECT_NE(result.diagnostic.find("vanished_edges"), std::string::npos);
+}
+
+} // namespace
+} // namespace ugc

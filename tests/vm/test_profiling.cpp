@@ -95,6 +95,32 @@ TEST(Profiling, ScopeTreeMirrorsRun)
     EXPECT_GT(event_edges, 0);
 }
 
+TEST(Profiling, CompileScopeHasOnePassScopePerExecutedPass)
+{
+    const Graph graph = gen::rmat(8, 8);
+    for (const std::string &backend : graphVMNames()) {
+        ProgramPtr program =
+            algorithms::buildProgram(algorithms::byName("bfs"));
+        auto vm = makeGraphVM(backend, {.profiling = true});
+        const std::vector<std::string> passes = vm->pipelinePassNames();
+        const RunResult result = vm->run(*program, bfsInputs(graph));
+        ASSERT_NE(result.profile, nullptr) << backend;
+
+        const auto *compile = result.profile->find("compile");
+        ASSERT_NE(compile, nullptr) << backend;
+        ASSERT_EQ(compile->children.size(), passes.size()) << backend;
+        for (size_t i = 0; i < passes.size(); ++i) {
+            const auto &scope = *compile->children[i];
+            EXPECT_EQ(scope.name, "pass:" + passes[i]) << backend;
+            EXPECT_EQ(scope.count, 1) << backend << ": " << scope.name;
+            EXPECT_GT(scope.counters.get("ir.functions"), 0.0)
+                << backend << ": " << scope.name;
+            EXPECT_GT(scope.counters.get("ir.statements"), 0.0)
+                << backend << ": " << scope.name;
+        }
+    }
+}
+
 TEST(Profiling, AllBackendsEmitBackendSpecificData)
 {
     const Graph graph = gen::rmat(8, 8);

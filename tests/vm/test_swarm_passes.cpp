@@ -23,10 +23,11 @@ lowerForSwarm(const char *algorithm, bool to_tasks)
 
     ProgramPtr lowered = midend::runStandardPipeline(
         *program, std::make_shared<SimpleSwarmSchedule>());
+    AnalysisManager analyses;
     SwarmTaskConversionPass conversion;
-    conversion.run(*lowered);
+    conversion.run(*lowered, analyses);
     SwarmSharedToPrivatePass privatization;
-    privatization.run(*lowered);
+    privatization.run(*lowered, analyses);
     return lowered;
 }
 

@@ -16,6 +16,10 @@
  *   --threads <n>       host threads for CPU execution (default 1)
  *   --profile <file>    with --run: write a JSON profile of the run
  *   --trace <file>      with --run: write a Chrome trace-event file
+ *   --print-passes      list the pass pipeline for the target and exit
+ *   --print-after-all   dump the IR to stderr after every pass
+ *   --verify-ir         run the GraphIR verifier after each changed pass
+ *                       and once more (post-lowering invariants) at the end
  *
  * Compiles a GraphIt algorithm file through the full stack: frontend →
  * GraphIR → hardware-independent passes → GraphVM passes → code
@@ -24,6 +28,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -48,7 +53,8 @@ usage()
         "usage: ugcc <algorithm.gt> [--target cpu|gpu|swarm|hb]\n"
         "            [--emit-ir] [--run <dataset>] [--tune]\n"
         "            [--start <v>] [--arg3 <n>] [--threads <n>]\n"
-        "            [--profile <file>] [--trace <file>]\n");
+        "            [--profile <file>] [--trace <file>]\n"
+        "            [--print-passes] [--print-after-all] [--verify-ir]\n");
     return 2;
 }
 
@@ -90,6 +96,9 @@ main(int argc, char *argv[])
     unsigned threads = 1;
     std::string profile_path;
     std::string trace_path;
+    bool print_passes = false;
+    bool print_after_all = false;
+    bool verify_ir = false;
 
     for (int i = 2; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -121,6 +130,12 @@ main(int argc, char *argv[])
             profile_path = flag.substr(10);
         else if (flag.rfind("--trace=", 0) == 0)
             trace_path = flag.substr(8);
+        else if (flag == "--print-passes")
+            print_passes = true;
+        else if (flag == "--print-after-all")
+            print_after_all = true;
+        else if (flag == "--verify-ir")
+            verify_ir = true;
         else
             return usage();
     }
@@ -156,60 +171,82 @@ main(int argc, char *argv[])
     options.profiling = profiling;
     auto vm = makeGraphVM(target, options);
 
-    if (tune || !run_dataset.empty()) {
-        const bool weighted = programNeedsWeights(*program);
-        const std::string dataset =
-            run_dataset.empty() ? "LJ" : run_dataset;
-        const Graph graph =
-            datasets::load(dataset, datasets::Scale::Small, weighted);
-        RunInputs inputs;
-        inputs.graph = &graph;
-        inputs.args = {0, 0, start, arg3};
+    CompileOptions compile_options;
+    compile_options.verifyIR = verify_ir;
+    if (print_after_all)
+        compile_options.printAfterAll = &std::cerr;
+    vm->setCompileOptions(compile_options);
 
-        if (tune) {
-            const auto result = autotuner::tune(
-                *program, *vm, inputs, "s1", programIsOrdered(*program));
-            std::fprintf(stderr, "ugcc: tuned %zu candidates; best: %s "
-                         "(%llu cycles)\n",
-                         result.evaluated.size(), result.best.c_str(),
-                         static_cast<unsigned long long>(
-                             result.bestCycles));
-            autotuner::applyBest(*program, target, result, "s1",
-                                 programIsOrdered(*program));
-        }
-        if (!run_dataset.empty()) {
-            const RunResult result = vm->run(*program, inputs);
-            std::printf("ran '%s' on %s (%s GraphVM): %llu cycles, "
-                        "%zu traversals\n",
-                        source_path.c_str(), graph.summary().c_str(),
-                        target.c_str(),
-                        static_cast<unsigned long long>(result.cycles),
-                        result.trace.size());
-            for (const auto &[name, value] : result.counters.all())
-                std::printf("  %-34s %.0f\n", name.c_str(), value);
-            if (result.profile) {
-                if (!profile_path.empty()) {
-                    std::ofstream out(profile_path);
-                    out << prof::toJson(*result.profile);
-                    std::fprintf(stderr, "ugcc: profile written to %s\n",
-                                 profile_path.c_str());
-                }
-                if (!trace_path.empty()) {
-                    std::ofstream out(trace_path);
-                    out << prof::toChromeTrace(*result.profile);
-                    std::fprintf(stderr, "ugcc: trace written to %s\n",
-                                 trace_path.c_str());
-                }
-            }
-            return 0;
-        }
+    if (print_passes) {
+        std::printf("pass pipeline for target '%s':\n", target.c_str());
+        for (const std::string &name : vm->pipelinePassNames())
+            std::printf("  %s\n", name.c_str());
+        return 0;
     }
 
-    if (emit_ir) {
-        ProgramPtr lowered = vm->compile(*program);
-        std::printf("%s", printProgram(*lowered).c_str());
-    } else {
-        std::printf("%s", vm->emitCode(*program).c_str());
+    try {
+        if (tune || !run_dataset.empty()) {
+            const bool weighted = programNeedsWeights(*program);
+            const std::string dataset =
+                run_dataset.empty() ? "LJ" : run_dataset;
+            const Graph graph =
+                datasets::load(dataset, datasets::Scale::Small, weighted);
+            RunInputs inputs;
+            inputs.graph = &graph;
+            inputs.args = {0, 0, start, arg3};
+
+            if (tune) {
+                const auto result = autotuner::tune(
+                    *program, *vm, inputs, "s1",
+                    programIsOrdered(*program));
+                std::fprintf(stderr,
+                             "ugcc: tuned %zu candidates; best: %s "
+                             "(%llu cycles)\n",
+                             result.evaluated.size(), result.best.c_str(),
+                             static_cast<unsigned long long>(
+                                 result.bestCycles));
+                autotuner::applyBest(*program, target, result, "s1",
+                                     programIsOrdered(*program));
+            }
+            if (!run_dataset.empty()) {
+                const RunResult result = vm->run(*program, inputs);
+                std::printf("ran '%s' on %s (%s GraphVM): %llu cycles, "
+                            "%zu traversals\n",
+                            source_path.c_str(), graph.summary().c_str(),
+                            target.c_str(),
+                            static_cast<unsigned long long>(result.cycles),
+                            result.trace.size());
+                for (const auto &[name, value] : result.counters.all())
+                    std::printf("  %-34s %.0f\n", name.c_str(), value);
+                if (result.profile) {
+                    if (!profile_path.empty()) {
+                        std::ofstream out(profile_path);
+                        out << prof::toJson(*result.profile);
+                        std::fprintf(stderr,
+                                     "ugcc: profile written to %s\n",
+                                     profile_path.c_str());
+                    }
+                    if (!trace_path.empty()) {
+                        std::ofstream out(trace_path);
+                        out << prof::toChromeTrace(*result.profile);
+                        std::fprintf(stderr,
+                                     "ugcc: trace written to %s\n",
+                                     trace_path.c_str());
+                    }
+                }
+                return 0;
+            }
+        }
+
+        if (emit_ir) {
+            ProgramPtr lowered = vm->compile(*program);
+            std::printf("%s", printProgram(*lowered).c_str());
+        } else {
+            std::printf("%s", vm->emitCode(*program).c_str());
+        }
+    } catch (const PipelineError &error) {
+        std::fprintf(stderr, "ugcc: %s\n", error.what());
+        return 1;
     }
     return 0;
 }
