@@ -51,6 +51,17 @@ recipes()
     return table;
 }
 
+/** "unknown dataset 'X'; known datasets: RN RC ..." — kept as
+ *  std::out_of_range for compatibility with existing catch sites. */
+[[noreturn]] void
+throwUnknownDataset(const std::string &name)
+{
+    std::string msg = "unknown dataset '" + name + "'; known datasets:";
+    for (const DatasetInfo &d : all())
+        msg += " " + d.name;
+    throw std::out_of_range(msg);
+}
+
 } // namespace
 
 const std::vector<DatasetInfo> &
@@ -87,7 +98,7 @@ info(const std::string &name)
     for (const DatasetInfo &d : all())
         if (d.name == name)
             return d;
-    throw std::out_of_range("unknown dataset: " + name);
+    throwUnknownDataset(name);
 }
 
 Graph
@@ -95,7 +106,7 @@ load(const std::string &name, Scale scale, bool weighted)
 {
     auto it = recipes().find(name);
     if (it == recipes().end())
-        throw std::out_of_range("unknown dataset: " + name);
+        throwUnknownDataset(name);
     const Recipe &r = it->second;
     int p1, p2;
     switch (scale) {

@@ -3,41 +3,83 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
 
+#include "support/faults.h"
 #include "support/string_util.h"
 
 namespace ugc {
 
 namespace {
 
+// Lines longer than this are certainly not a valid record of any of our
+// text formats; bail out instead of buffering an unbounded corrupt line.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
 std::ifstream
-openOrThrow(const std::string &path)
+openOrThrow(const std::string &path,
+            std::ios::openmode mode = std::ios::in)
 {
-    std::ifstream in(path);
+    if (faults::anyArmed() && faults::shouldFail("loader.io_error"))
+        throw LoaderError(path, 0, "injected I/O error (loader.io_error)");
+    std::ifstream in(path, mode);
     if (!in)
-        throw std::runtime_error("cannot open graph file: " + path);
+        throw LoaderError(path, 0, "cannot open graph file");
     return in;
+}
+
+/** getline + line accounting + overlong-line guard, shared by all text
+ *  loaders so their diagnostics are uniform. */
+bool
+nextLine(std::istream &in, std::string &line, int64_t &line_no,
+         const std::string &filename)
+{
+    if (!std::getline(in, line))
+        return false;
+    ++line_no;
+    if (line.size() > kMaxLineBytes)
+        throw LoaderError(filename, line_no,
+                          "line exceeds " + std::to_string(kMaxLineBytes) +
+                              " bytes (corrupt or non-text input?)");
+    return true;
+}
+
+void
+checkVertexId(long long id, long long num_vertices, int64_t line_no,
+              const std::string &filename, const std::string &line)
+{
+    if (id < 0 || (num_vertices > 0 && id >= num_vertices))
+        throw LoaderError(filename, line_no,
+                          "vertex id " + std::to_string(id) +
+                              " out of range in: " + line);
 }
 
 } // namespace
 
 Graph
-loadEdgeList(std::istream &in, bool symmetrize)
+loadEdgeList(std::istream &in, bool symmetrize, const std::string &filename)
 {
     std::vector<RawEdge> edges;
     VertexId max_id = -1;
     bool weighted = false;
     std::string line;
-    while (std::getline(in, line)) {
+    int64_t line_no = 0;
+    while (nextLine(in, line, line_no, filename)) {
         line = trim(line);
         if (line.empty() || line[0] == '#' || line[0] == '%')
             continue;
         std::istringstream fields(line);
         long long src, dst;
         if (!(fields >> src >> dst))
-            throw std::runtime_error("malformed edge list line: " + line);
+            throw LoaderError(filename, line_no,
+                              "malformed edge list line: " + line);
+        checkVertexId(src, 0, line_no, filename, line);
+        checkVertexId(dst, 0, line_no, filename, line);
+        if (src > std::numeric_limits<VertexId>::max() ||
+            dst > std::numeric_limits<VertexId>::max())
+            throw LoaderError(filename, line_no,
+                              "vertex id overflows 32-bit range in: " + line);
         long long weight;
         RawEdge edge{static_cast<VertexId>(src), static_cast<VertexId>(dst),
                      1};
@@ -56,17 +98,18 @@ Graph
 loadEdgeListFile(const std::string &path, bool symmetrize)
 {
     auto in = openOrThrow(path);
-    return loadEdgeList(in, symmetrize);
+    return loadEdgeList(in, symmetrize, path);
 }
 
 Graph
-loadDimacs(std::istream &in)
+loadDimacs(std::istream &in, const std::string &filename)
 {
     std::vector<RawEdge> edges;
-    VertexId num_vertices = 0;
+    long long num_vertices = 0;
     bool saw_header = false;
     std::string line;
-    while (std::getline(in, line)) {
+    int64_t line_no = 0;
+    while (nextLine(in, line, line_no, filename)) {
         line = trim(line);
         if (line.empty() || line[0] == 'c')
             continue;
@@ -77,22 +120,39 @@ loadDimacs(std::istream &in)
             std::string kind;
             long long n, m;
             if (!(fields >> kind >> n >> m) || kind != "sp")
-                throw std::runtime_error("bad DIMACS header: " + line);
-            num_vertices = static_cast<VertexId>(n);
+                throw LoaderError(filename, line_no,
+                                  "bad DIMACS header: " + line);
+            if (n < 0 || m < 0)
+                throw LoaderError(filename, line_no,
+                                  "negative counts in DIMACS header: " + line);
+            if (n > std::numeric_limits<VertexId>::max())
+                throw LoaderError(filename, line_no,
+                                  "vertex count overflows 32-bit range: " +
+                                      line);
+            num_vertices = n;
             edges.reserve(static_cast<size_t>(m));
             saw_header = true;
         } else if (tag == 'a') {
+            if (!saw_header)
+                throw LoaderError(filename, line_no,
+                                  "DIMACS arc before 'p sp' header: " + line);
             long long src, dst, weight;
             if (!(fields >> src >> dst >> weight))
-                throw std::runtime_error("bad DIMACS arc: " + line);
+                throw LoaderError(filename, line_no,
+                                  "bad DIMACS arc: " + line);
+            // DIMACS ids are 1-based.
+            checkVertexId(src - 1, num_vertices, line_no, filename, line);
+            checkVertexId(dst - 1, num_vertices, line_no, filename, line);
             edges.push_back({static_cast<VertexId>(src - 1),
                              static_cast<VertexId>(dst - 1),
                              static_cast<Weight>(weight)});
         }
     }
     if (!saw_header)
-        throw std::runtime_error("DIMACS file missing 'p sp' header");
-    return Graph::fromEdges(num_vertices, std::move(edges),
+        throw LoaderError(filename, line_no,
+                          "DIMACS file missing 'p sp' header");
+    return Graph::fromEdges(static_cast<VertexId>(num_vertices),
+                            std::move(edges),
                             /*weighted=*/true, /*symmetrize=*/false);
 }
 
@@ -100,41 +160,63 @@ Graph
 loadDimacsFile(const std::string &path)
 {
     auto in = openOrThrow(path);
-    return loadDimacs(in);
+    return loadDimacs(in, path);
 }
 
 Graph
-loadMatrixMarket(std::istream &in)
+loadMatrixMarket(std::istream &in, const std::string &filename)
 {
     std::string line;
-    if (!std::getline(in, line) || !startsWith(line, "%%MatrixMarket"))
-        throw std::runtime_error("missing MatrixMarket banner");
+    int64_t line_no = 0;
+    if (!nextLine(in, line, line_no, filename) ||
+        !startsWith(line, "%%MatrixMarket"))
+        throw LoaderError(filename, line_no ? line_no : 1,
+                          "missing MatrixMarket banner (got: " +
+                              line.substr(0, 64) + ")");
     const bool symmetric = line.find("symmetric") != std::string::npos;
     const bool pattern = line.find("pattern") != std::string::npos;
 
     // Skip remaining comments, then the size line.
-    while (std::getline(in, line)) {
+    bool saw_size = false;
+    while (nextLine(in, line, line_no, filename)) {
         line = trim(line);
-        if (!line.empty() && line[0] != '%')
+        if (!line.empty() && line[0] != '%') {
+            saw_size = true;
             break;
+        }
     }
+    if (!saw_size)
+        throw LoaderError(filename, line_no,
+                          "MatrixMarket file missing size line");
     std::istringstream size_fields(line);
     long long n_rows, n_cols, n_entries;
     if (!(size_fields >> n_rows >> n_cols >> n_entries))
-        throw std::runtime_error("bad MatrixMarket size line: " + line);
-    const VertexId n = static_cast<VertexId>(std::max(n_rows, n_cols));
+        throw LoaderError(filename, line_no,
+                          "bad MatrixMarket size line: " + line);
+    if (n_rows < 0 || n_cols < 0 || n_entries < 0)
+        throw LoaderError(filename, line_no,
+                          "negative counts in MatrixMarket size line: " +
+                              line);
+    if (std::max(n_rows, n_cols) > std::numeric_limits<VertexId>::max())
+        throw LoaderError(filename, line_no,
+                          "matrix dimension overflows 32-bit range: " + line);
+    const long long n = std::max(n_rows, n_cols);
 
     std::vector<RawEdge> edges;
     edges.reserve(static_cast<size_t>(n_entries));
     bool weighted = !pattern;
-    while (std::getline(in, line)) {
+    while (nextLine(in, line, line_no, filename)) {
         line = trim(line);
         if (line.empty() || line[0] == '%')
             continue;
         std::istringstream fields(line);
         long long row, col;
         if (!(fields >> row >> col))
-            throw std::runtime_error("bad MatrixMarket entry: " + line);
+            throw LoaderError(filename, line_no,
+                              "bad MatrixMarket entry: " + line);
+        // MatrixMarket ids are 1-based.
+        checkVertexId(row - 1, n, line_no, filename, line);
+        checkVertexId(col - 1, n, line_no, filename, line);
         RawEdge edge{static_cast<VertexId>(row - 1),
                      static_cast<VertexId>(col - 1), 1};
         double value;
@@ -143,14 +225,15 @@ loadMatrixMarket(std::istream &in)
                 std::max(1.0, std::llround(std::abs(value)) * 1.0));
         edges.push_back(edge);
     }
-    return Graph::fromEdges(n, std::move(edges), weighted, symmetric);
+    return Graph::fromEdges(static_cast<VertexId>(n), std::move(edges),
+                            weighted, symmetric);
 }
 
 Graph
 loadMatrixMarketFile(const std::string &path)
 {
     auto in = openOrThrow(path);
-    return loadMatrixMarket(in);
+    return loadMatrixMarket(in, path);
 }
 
 void
@@ -177,12 +260,15 @@ writePod(std::ostream &out, const T &value)
 
 template <typename T>
 T
-readPod(std::istream &in)
+readPod(std::istream &in, const std::string &filename, const char *what)
 {
     T value{};
     in.read(reinterpret_cast<char *>(&value), sizeof(T));
     if (!in)
-        throw std::runtime_error("binary graph: truncated file");
+        throw LoaderError(filename, 0,
+                          std::string("binary graph: truncated file while "
+                                      "reading ") +
+                              what);
     return value;
 }
 
@@ -204,23 +290,39 @@ writeBinary(const Graph &graph, std::ostream &out)
 }
 
 Graph
-loadBinary(std::istream &in)
+loadBinary(std::istream &in, const std::string &filename)
 {
-    if (readPod<uint64_t>(in) != kBinaryMagic)
-        throw std::runtime_error("binary graph: bad magic");
-    const auto num_vertices = readPod<int64_t>(in);
-    const auto num_edges = readPod<int64_t>(in);
-    const bool weighted = readPod<uint8_t>(in) != 0;
+    if (readPod<uint64_t>(in, filename, "magic") != kBinaryMagic)
+        throw LoaderError(filename, 0, "binary graph: bad magic");
+    const auto num_vertices = readPod<int64_t>(in, filename, "vertex count");
+    const auto num_edges = readPod<int64_t>(in, filename, "edge count");
+    const bool weighted = readPod<uint8_t>(in, filename, "weighted flag") != 0;
     if (num_vertices < 0 || num_edges < 0)
-        throw std::runtime_error("binary graph: negative counts");
+        throw LoaderError(filename, 0,
+                          "binary graph: negative counts (vertices=" +
+                              std::to_string(num_vertices) +
+                              ", edges=" + std::to_string(num_edges) + ")");
+    if (num_vertices > std::numeric_limits<VertexId>::max())
+        throw LoaderError(filename, 0,
+                          "binary graph: vertex count " +
+                              std::to_string(num_vertices) +
+                              " overflows 32-bit vertex ids");
 
     std::vector<RawEdge> edges;
     edges.reserve(static_cast<size_t>(num_edges));
     for (int64_t i = 0; i < num_edges; ++i) {
         RawEdge e;
-        e.src = readPod<VertexId>(in);
-        e.dst = readPod<VertexId>(in);
-        e.weight = weighted ? readPod<Weight>(in) : 1;
+        e.src = readPod<VertexId>(in, filename, "edge source");
+        e.dst = readPod<VertexId>(in, filename, "edge destination");
+        e.weight = weighted ? readPod<Weight>(in, filename, "edge weight") : 1;
+        if (e.src < 0 || e.src >= num_vertices || e.dst < 0 ||
+            e.dst >= num_vertices)
+            throw LoaderError(filename, 0,
+                              "binary graph: edge " + std::to_string(i) +
+                                  " endpoint (" + std::to_string(e.src) +
+                                  ", " + std::to_string(e.dst) +
+                                  ") out of range [0, " +
+                                  std::to_string(num_vertices) + ")");
         edges.push_back(e);
     }
     return Graph::fromEdges(static_cast<VertexId>(num_vertices),
@@ -233,17 +335,15 @@ writeBinaryFile(const Graph &graph, const std::string &path)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        throw std::runtime_error("cannot write graph file: " + path);
+        throw LoaderError(path, 0, "cannot write graph file");
     writeBinary(graph, out);
 }
 
 Graph
 loadBinaryFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        throw std::runtime_error("cannot open graph file: " + path);
-    return loadBinary(in);
+    auto in = openOrThrow(path, std::ios::in | std::ios::binary);
+    return loadBinary(in, path);
 }
 
 } // namespace ugc

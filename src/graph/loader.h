@@ -3,11 +3,17 @@
  * Graph file loaders: plain edge lists (.el/.wel), DIMACS shortest-path
  * (.gr), and MatrixMarket coordinate (.mtx) formats — the formats the
  * paper's datasets ship in.
+ *
+ * All loaders report malformed input as LoaderError, which carries the
+ * file name and the 1-based line number (or byte offset / edge index for
+ * binary snapshots) of the offending input alongside the reason.
  */
 #ifndef UGC_GRAPH_LOADER_H
 #define UGC_GRAPH_LOADER_H
 
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/graph.h"
@@ -15,24 +21,61 @@
 namespace ugc {
 
 /**
- * Load a whitespace-separated edge list: one `src dst [weight]` per line,
- * `#`-prefixed comment lines ignored. Vertex ids are 0-based.
+ * Structured loader diagnostic: `file:line: reason`. For binary files
+ * `line` is 0 and the position (byte offset or edge index) is folded into
+ * the reason text. Derives from std::runtime_error so existing catch
+ * sites keep working.
  */
-Graph loadEdgeList(std::istream &in, bool symmetrize = true);
+class LoaderError : public std::runtime_error
+{
+  public:
+    LoaderError(std::string file, int64_t line, std::string reason)
+        : std::runtime_error(format(file, line, reason)),
+          _file(std::move(file)), _line(line), _reason(std::move(reason))
+    {
+    }
+
+    const std::string &file() const { return _file; }
+    int64_t line() const { return _line; }
+    const std::string &reason() const { return _reason; }
+
+  private:
+    static std::string
+    format(const std::string &file, int64_t line, const std::string &reason)
+    {
+        std::string out = file;
+        if (line > 0)
+            out += ":" + std::to_string(line);
+        return out + ": " + reason;
+    }
+
+    std::string _file;
+    int64_t _line;
+    std::string _reason;
+};
+
+/**
+ * Load a whitespace-separated edge list: one `src dst [weight]` per line,
+ * `#`-prefixed comment lines ignored. Vertex ids are 0-based. The
+ * @p filename only labels diagnostics for the stream overloads.
+ */
+Graph loadEdgeList(std::istream &in, bool symmetrize = true,
+                   const std::string &filename = "<stream>");
 Graph loadEdgeListFile(const std::string &path, bool symmetrize = true);
 
 /**
  * Load the DIMACS 9th-challenge .gr format used by the road graphs:
  * `p sp N M` header, `a src dst weight` arc lines, 1-based ids.
  */
-Graph loadDimacs(std::istream &in);
+Graph loadDimacs(std::istream &in, const std::string &filename = "<stream>");
 Graph loadDimacsFile(const std::string &path);
 
 /**
  * Load MatrixMarket `coordinate` format (general or symmetric, pattern or
  * integer/real values), 1-based ids. Real weights are rounded to int.
  */
-Graph loadMatrixMarket(std::istream &in);
+Graph loadMatrixMarket(std::istream &in,
+                       const std::string &filename = "<stream>");
 Graph loadMatrixMarketFile(const std::string &path);
 
 /** Serialize as a `src dst [weight]` edge list (for round-trip tests). */
@@ -41,10 +84,12 @@ void writeEdgeList(const Graph &graph, std::ostream &out);
 /**
  * Binary serialization (the `.bin` snapshots graph frameworks use to skip
  * re-parsing): a fixed header (magic, counts, weighted flag) followed by
- * the raw CSR arrays. Loading is O(read), with full validation.
+ * the raw CSR arrays. Loading is O(read), with full validation: counts
+ * are checked against the VertexId range and every endpoint against
+ * [0, num_vertices).
  */
 void writeBinary(const Graph &graph, std::ostream &out);
-Graph loadBinary(std::istream &in);
+Graph loadBinary(std::istream &in, const std::string &filename = "<stream>");
 void writeBinaryFile(const Graph &graph, const std::string &path);
 Graph loadBinaryFile(const std::string &path);
 

@@ -68,6 +68,14 @@ class Program
         return _schedules;
     }
 
+    /**
+     * Detach every schedule, reverting all statements to the backend's
+     * default schedule at the next compile. This is the degradation lever
+     * of GraphVM::runGuarded(): the default schedules are the paper's
+     * baselines (push instead of hybrid, unfused kernels, unit-Δ buckets).
+     */
+    void clearSchedules() { _schedules.clear(); }
+
     /** Deep-copy (globals, functions); schedules are shared. */
     std::shared_ptr<Program> clone() const;
 

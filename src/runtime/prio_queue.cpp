@@ -81,6 +81,21 @@ PrioQueue::currentBucket()
     return advanceToNonEmpty() ? _minBucket : -1;
 }
 
+uint64_t
+PrioQueue::stateHash() const
+{
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(_minBucket);
+    auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    for (const auto &bucket : _buckets) {
+        mix(bucket.size());
+        for (VertexId v : bucket)
+            mix(static_cast<uint64_t>(v));
+    }
+    return h;
+}
+
 VertexSet
 PrioQueue::dequeueReadySet()
 {

@@ -60,6 +60,14 @@ class PrioQueue
     /** Number of dequeue rounds performed (drives sync-cost models). */
     int64_t roundsProcessed() const { return _rounds; }
 
+    /**
+     * Hash of the live queue state (current bucket + pending entries) for
+     * the engine's convergence watchdog. Monotonic bookkeeping (_rounds,
+     * dedup stamps) is excluded so a genuinely repeating state hashes
+     * identically.
+     */
+    uint64_t stateHash() const;
+
   private:
     int64_t bucketOf(int64_t priority) const { return priority / _delta; }
 

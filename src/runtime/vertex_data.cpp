@@ -3,6 +3,9 @@
 #include <atomic>
 #include <cassert>
 
+#include "support/faults.h"
+#include "support/guard.h"
+
 namespace ugc {
 
 VertexData::VertexData(std::string name, ElemType type, VertexId size,
@@ -10,6 +13,14 @@ VertexData::VertexData(std::string name, ElemType type, VertexId size,
     : _name(std::move(name)), _type(type), _size(size),
       _base(space.allocate(static_cast<Addr>(size) * elemSize(type)))
 {
+    if (faults::anyArmed() && faults::shouldFail("runtime.alloc_fail"))
+        throw GuardError({RunError::Kind::AllocFailed, 0,
+                          "runtime.alloc_fail",
+                          "injected allocation failure for property '" +
+                              _name + "' (" +
+                              std::to_string(static_cast<Addr>(size) *
+                                             elemSize(type)) +
+                              " bytes)"});
     if (isFloat())
         _floats.assign(static_cast<size_t>(size), 0.0);
     else

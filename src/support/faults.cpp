@@ -1,0 +1,181 @@
+#include "support/faults.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "support/rng.h"
+
+namespace ugc {
+namespace faults {
+
+namespace {
+
+struct SiteState
+{
+    FaultPlan plan;
+    Rng rng{1};
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+};
+
+// Armed sites. Kept deliberately tiny and unsynchronized: instrumented
+// sites run on the coordinating thread only (see header).
+std::map<std::string, SiteState> &
+registry()
+{
+    static std::map<std::string, SiteState> sites;
+    return sites;
+}
+
+// Fast-path gate read by the inline-ish shouldFail; avoids a map lookup
+// per instrumented hit when nothing is armed (the common case).
+bool g_any_armed = false;
+
+uint64_t
+hashName(const std::string &name)
+{
+    // FNV-1a, mixed into the user seed so distinct sites armed with the
+    // same seed draw from distinct streams.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name)
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    return h;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+knownSites()
+{
+    static const std::vector<std::string> sites = {
+        "swarm.task_abort", "gpu.kernel_launch", "hb.dma_error",
+        "runtime.alloc_fail", "loader.io_error",
+    };
+    return sites;
+}
+
+bool
+isKnownSite(const std::string &site)
+{
+    for (const auto &known : knownSites())
+        if (known == site)
+            return true;
+    return false;
+}
+
+void
+arm(const FaultPlan &plan)
+{
+    if (!isKnownSite(plan.site)) {
+        std::string msg = "unknown fault site '" + plan.site + "'; known sites:";
+        for (const auto &known : knownSites())
+            msg += " " + known;
+        throw std::invalid_argument(msg);
+    }
+    if (plan.nthHit == 0 && !(plan.probability > 0.0 && plan.probability <= 1.0))
+        throw std::invalid_argument(
+            "fault plan for '" + plan.site +
+            "' needs nth>=1 or a probability in (0,1]");
+
+    SiteState state;
+    state.plan = plan;
+    uint64_t sm = plan.seed ^ hashName(plan.site);
+    state.rng = Rng(splitMix64(sm));
+    registry()[plan.site] = std::move(state);
+    g_any_armed = true;
+}
+
+void
+disarm(const std::string &site)
+{
+    registry().erase(site);
+    g_any_armed = !registry().empty();
+}
+
+void
+clearAll()
+{
+    registry().clear();
+    g_any_armed = false;
+}
+
+bool
+anyArmed()
+{
+    return g_any_armed;
+}
+
+bool
+shouldFail(const char *site)
+{
+    if (!g_any_armed)
+        return false;
+    auto it = registry().find(site);
+    if (it == registry().end())
+        return false;
+
+    SiteState &state = it->second;
+    state.hits += 1;
+    bool fail = false;
+    if (state.plan.nthHit > 0)
+        fail = state.hits % state.plan.nthHit == 0;
+    else
+        fail = state.rng.nextBool(state.plan.probability);
+    if (fail)
+        state.fired += 1;
+    return fail;
+}
+
+uint64_t
+firedCount(const std::string &site)
+{
+    auto it = registry().find(site);
+    return it == registry().end() ? 0 : it->second.fired;
+}
+
+FaultPlan
+parsePlan(const std::string &spec)
+{
+    FaultPlan plan;
+    size_t pos = spec.find(':');
+    plan.site = spec.substr(0, pos);
+    if (plan.site.empty())
+        throw std::invalid_argument("fault plan '" + spec + "' has no site name");
+
+    while (pos != std::string::npos) {
+        const size_t start = pos + 1;
+        pos = spec.find(':', start);
+        const std::string part = spec.substr(
+            start, pos == std::string::npos ? std::string::npos : pos - start);
+        const size_t eq = part.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "fault plan component '" + part + "' is not key=value");
+        const std::string key = part.substr(0, eq);
+        const std::string value = part.substr(eq + 1);
+        if (key != "p" && key != "nth" && key != "seed")
+            throw std::invalid_argument("unknown fault plan key '" + key +
+                                        "' (expected p, nth, or seed)");
+        try {
+            if (key == "p")
+                plan.probability = std::stod(value);
+            else if (key == "nth")
+                plan.nthHit = std::stoull(value);
+            else
+                plan.seed = std::stoull(value);
+        } catch (const std::exception &) {
+            throw std::invalid_argument(
+                "fault plan value '" + value + "' for key '" + key +
+                "' is not a number");
+        }
+    }
+    if (plan.nthHit == 0 &&
+        !(plan.probability > 0.0 && plan.probability <= 1.0))
+        throw std::invalid_argument(
+            "fault plan '" + spec +
+            "' needs p=<prob in (0,1]> or nth=<hit count >= 1>");
+    return plan;
+}
+
+} // namespace faults
+} // namespace ugc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic fault injection (DESIGN.md §8).
+ *
+ * A small global registry of *named fault sites*. Code that can plausibly
+ * fail on real hardware asks `faults::shouldFail("gpu.kernel_launch")` at
+ * the point where the failure would occur; the call is a single predicted
+ * branch when no plan is armed, so instrumented sites cost nothing in
+ * normal runs.
+ *
+ * A site fires according to an armed FaultPlan: either every Nth hit
+ * (`nthHit`) or with a given probability drawn from a per-site
+ * deterministic Rng seeded from `seed` mixed with the site name. Arming a
+ * plan resets the site's hit counter and Rng state, so two runs armed with
+ * the same plan see bit-identical fault streams — the property the
+ * determinism tests (tests/vm/test_determinism.cpp) rely on.
+ *
+ * Threading: the registry is intentionally unsynchronized. Every
+ * instrumented site executes on the coordinating thread (graph loading,
+ * engine setup, machine-model callbacks — the task-stream models force a
+ * single-threaded engine), and keeping the fast path a plain load is the
+ * point. Do not call shouldFail from worker-pool lambdas.
+ */
+#ifndef UGC_SUPPORT_FAULTS_H
+#define UGC_SUPPORT_FAULTS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ugc {
+namespace faults {
+
+/**
+ * Arming description of one fault site. Exactly one of `probability` /
+ * `nthHit` should be set: probability in (0, 1] makes each hit fail with
+ * that chance (seeded, deterministic); nthHit >= 1 makes exactly every
+ * Nth hit fail.
+ */
+struct FaultPlan
+{
+    std::string site;
+    double probability = 0.0;
+    uint64_t nthHit = 0;
+    uint64_t seed = 1;
+};
+
+/** The sites instrumented across the codebase, for --help and errors. */
+const std::vector<std::string> &knownSites();
+
+/** True if @p site names an instrumented fault site. */
+bool isKnownSite(const std::string &site);
+
+/**
+ * Arm @p plan, replacing any plan on the same site and resetting that
+ * site's hit counter and random stream. Throws std::invalid_argument for
+ * an unknown site or a plan with neither probability nor nthHit.
+ */
+void arm(const FaultPlan &plan);
+
+/** Disarm one site (no-op if it is not armed). */
+void disarm(const std::string &site);
+
+/** Disarm all sites and reset all counters. */
+void clearAll();
+
+/** True if any site is armed (fast inline gate for instrumented code). */
+bool anyArmed();
+
+/**
+ * Record a hit on @p site and return true if the armed plan says this hit
+ * fails. Returns false when nothing is armed for the site. The caller
+ * decides what failure *means* (retry, abort, throw).
+ */
+bool shouldFail(const char *site);
+
+/** Total failures fired on @p site since it was last armed. */
+uint64_t firedCount(const std::string &site);
+
+/**
+ * Parse a ugcc-style plan spec: `site:p=0.1:seed=7` or `site:nth=3:seed=7`
+ * (seed optional, defaults to 1). Throws std::invalid_argument with a
+ * message naming the bad component on malformed input.
+ */
+FaultPlan parsePlan(const std::string &spec);
+
+/** RAII helper for tests: arms a plan, disarms the site on destruction. */
+class ScopedPlan
+{
+  public:
+    explicit ScopedPlan(const FaultPlan &plan) : _site(plan.site)
+    {
+        arm(plan);
+    }
+    ~ScopedPlan() { disarm(_site); }
+    ScopedPlan(const ScopedPlan &) = delete;
+    ScopedPlan &operator=(const ScopedPlan &) = delete;
+
+  private:
+    std::string _site;
+};
+
+} // namespace faults
+} // namespace ugc
+
+#endif // UGC_SUPPORT_FAULTS_H

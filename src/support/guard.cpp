@@ -1,0 +1,65 @@
+#include "support/guard.h"
+
+namespace ugc {
+
+const char *
+runErrorKindName(RunError::Kind kind)
+{
+    switch (kind) {
+    case RunError::Kind::None:
+        return "none";
+    case RunError::Kind::IterationLimit:
+        return "iteration_limit";
+    case RunError::Kind::CycleBudget:
+        return "cycle_budget";
+    case RunError::Kind::WallTimeout:
+        return "wall_timeout";
+    case RunError::Kind::MemoryBudget:
+        return "memory_budget";
+    case RunError::Kind::Oscillation:
+        return "oscillation";
+    case RunError::Kind::RetryExhausted:
+        return "retry_exhausted";
+    case RunError::Kind::AllocFailed:
+        return "alloc_failed";
+    case RunError::Kind::IoError:
+        return "io_error";
+    }
+    return "unknown";
+}
+
+bool
+recoverable(RunError::Kind kind)
+{
+    switch (kind) {
+    case RunError::Kind::IterationLimit:
+    case RunError::Kind::CycleBudget:
+    case RunError::Kind::WallTimeout:
+    case RunError::Kind::MemoryBudget:
+    case RunError::Kind::Oscillation:
+    case RunError::Kind::RetryExhausted:
+        return true;
+    case RunError::Kind::None:
+    case RunError::Kind::AllocFailed:
+    case RunError::Kind::IoError:
+        return false;
+    }
+    return false;
+}
+
+std::string
+RunError::toString() const
+{
+    std::string out = "run error [";
+    out += runErrorKindName(kind);
+    out += "]";
+    if (round > 0)
+        out += " at round " + std::to_string(round);
+    if (!site.empty())
+        out += " (site " + site + ")";
+    if (!detail.empty())
+        out += ": " + detail;
+    return out;
+}
+
+} // namespace ugc

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Run-time execution guardrails (DESIGN.md §8): budgets, watchdog errors,
+ * and retry policies shared by the execution engine, the machine models,
+ * and the GraphVM recovery layer.
+ *
+ * The philosophy mirrors the compile-time verifier (§7): anomalies become
+ * *structured* errors — a RunError names what tripped, in which round, and
+ * at which fault site — so harnesses can react (GraphVM::runGuarded falls
+ * back to the default schedule; ugcc maps kinds onto its exit-code
+ * contract) instead of parsing ad-hoc exception strings.
+ */
+#ifndef UGC_SUPPORT_GUARD_H
+#define UGC_SUPPORT_GUARD_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "support/types.h"
+
+namespace ugc {
+
+/**
+ * Budgets and watchdog knobs of one execution. A zero field means
+ * "unlimited / disabled"; RunLimits{} guards nothing and costs nothing.
+ * Limits can be set per-VM (BackendOptions::limits) and per-run
+ * (RunInputs::limits); a nonzero per-run field wins (see
+ * RunLimits::merged).
+ */
+struct RunLimits
+{
+    /** Maximum iterations of any single while loop (rounds). */
+    int64_t maxIterations = 0;
+
+    /** Maximum total simulated cycles charged by the machine model. */
+    Cycles cycleBudget = 0;
+
+    /** Maximum host wall-clock time of the engine run. The only
+     *  host-volatile guard: it never alters results or profiles of runs
+     *  that stay under it, so the determinism contract is unaffected. */
+    int64_t wallTimeoutMs = 0;
+
+    /** Maximum logical bytes of runtime allocations (property arrays in
+     *  the machine-model address space). */
+    Addr memoryBudgetBytes = 0;
+
+    /**
+     * Convergence watchdog: depth of the per-loop state-hash history. If
+     * the hash of the engine's complete mutable state (frontiers, scalars,
+     * queues, properties) repeats within this many rounds, the run cannot
+     * ever terminate (execution is deterministic in that state) and is
+     * stopped with RunError::Kind::Oscillation. 0 disables the check.
+     */
+    int oscillationWindow = 0;
+
+    /** True if any budget or watchdog is configured. */
+    bool
+    any() const
+    {
+        return maxIterations > 0 || cycleBudget > 0 || wallTimeoutMs > 0 ||
+               memoryBudgetBytes > 0 || oscillationWindow > 0;
+    }
+
+    /** Field-wise merge: a nonzero field of @p over rides @p base. */
+    static RunLimits
+    merged(const RunLimits &base, const RunLimits &over)
+    {
+        RunLimits out = base;
+        if (over.maxIterations)
+            out.maxIterations = over.maxIterations;
+        if (over.cycleBudget)
+            out.cycleBudget = over.cycleBudget;
+        if (over.wallTimeoutMs)
+            out.wallTimeoutMs = over.wallTimeoutMs;
+        if (over.memoryBudgetBytes)
+            out.memoryBudgetBytes = over.memoryBudgetBytes;
+        if (over.oscillationWindow)
+            out.oscillationWindow = over.oscillationWindow;
+        return out;
+    }
+};
+
+/** Watchdog window used when a harness asks for guarding without tuning
+ *  the history depth (ugcc --max-iters/--timeout-ms). */
+inline constexpr int kDefaultOscillationWindow = 8;
+
+/** Structured description of why a run was terminated. */
+struct RunError
+{
+    enum class Kind {
+        None,           ///< no error
+        IterationLimit, ///< a while loop exceeded RunLimits::maxIterations
+        CycleBudget,    ///< simulated cycles exceeded the budget
+        WallTimeout,    ///< host wall clock exceeded the timeout
+        MemoryBudget,   ///< runtime allocations exceeded the budget
+        Oscillation,    ///< frontier/state hash repeated (stuck loop)
+        RetryExhausted, ///< a fault site failed more than RetryPolicy allows
+        AllocFailed,    ///< runtime allocation failure (runtime.alloc_fail)
+        IoError,        ///< I/O failure (loader.io_error)
+    };
+
+    Kind kind = Kind::None;
+    int64_t round = 0;  ///< engine round counter when the guard tripped
+    std::string site;   ///< fault site, for retry/alloc/io kinds
+    std::string detail; ///< human-readable explanation
+
+    std::string toString() const;
+};
+
+/** Stable lower-case name of a RunError kind ("iteration_limit", ...). */
+const char *runErrorKindName(RunError::Kind kind);
+
+/**
+ * True for kinds a schedule fallback can plausibly rescue: watchdog trips,
+ * budget exhaustion, and retry exhaustion — the triggers GraphVM::
+ * runGuarded degrades on. Allocation and I/O failures are not schedule
+ * problems; they propagate to the caller.
+ */
+bool recoverable(RunError::Kind kind);
+
+/** Exception wrapper carrying a RunError through the engine/model stack. */
+class GuardError : public std::runtime_error
+{
+  public:
+    explicit GuardError(RunError error)
+        : std::runtime_error(error.toString()), _error(std::move(error))
+    {
+    }
+
+    const RunError &error() const { return _error; }
+
+  private:
+    RunError _error;
+};
+
+/**
+ * How a machine model reacts to a transient fault at one of its sites
+ * (failed GPU kernel launch, HammerBlade DMA error, injected Swarm task
+ * abort): retry up to maxRetries times, charging an exponentially growing
+ * backoff each attempt. Exhausting the retries throws GuardError with
+ * Kind::RetryExhausted, which runGuarded() treats as a fallback trigger.
+ */
+struct RetryPolicy
+{
+    unsigned maxRetries = 3;
+    Cycles backoffBase = 64; ///< cycles charged on the first retry
+
+    /** Backoff cycles of retry @p attempt (1-based), doubling per attempt
+     *  and saturating to keep charges bounded. */
+    Cycles
+    backoff(unsigned attempt) const
+    {
+        const unsigned shift = attempt > 16 ? 16 : (attempt ? attempt - 1 : 0);
+        return backoffBase << shift;
+    }
+};
+
+} // namespace ugc
+
+#endif // UGC_SUPPORT_GUARD_H

@@ -44,7 +44,8 @@ class CpuVM : public GraphVM
     executeLowered(Program &lowered, const RunInputs &inputs) override
     {
         CpuModel model(_params);
-        ExecEngine engine(lowered, inputs, model, _numThreads);
+        ExecEngine engine(lowered, inputs, model, _numThreads,
+                          effectiveLimits(inputs));
         return engine.run();
     }
 

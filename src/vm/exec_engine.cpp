@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstring>
 #include <limits>
 #include <mutex>
 #include <set>
@@ -93,9 +95,9 @@ hasAtomicCas(const Chunk &chunk)
 struct ExecEngine::Impl
 {
     Impl(Program &program, const RunInputs &inputs, MachineModel &model,
-         unsigned num_threads)
+         unsigned num_threads, const RunLimits &limits)
         : program(program), inputs(inputs), model(model),
-          numThreads(num_threads)
+          numThreads(num_threads), limits(limits)
     {
         if (!inputs.graph)
             throw std::invalid_argument("RunInputs.graph is null");
@@ -110,6 +112,8 @@ struct ExecEngine::Impl
     const RunInputs &inputs;
     MachineModel &model;
     unsigned numThreads;
+    RunLimits limits;
+    std::chrono::steady_clock::time_point startTime;
     const Graph *graph = nullptr;
     bool taskStream = false;
 
@@ -307,6 +311,124 @@ struct ExecEngine::Impl
               default:
                 break;
             }
+        }
+        if (limits.memoryBudgetBytes && space.used() > limits.memoryBudgetBytes)
+            throw GuardError(
+                {RunError::Kind::MemoryBudget, round, "",
+                 "runtime allocations (" + std::to_string(space.used()) +
+                     " bytes) exceed the memory budget (" +
+                     std::to_string(limits.memoryBudgetBytes) + " bytes)"});
+    }
+
+    // --- guardrails (DESIGN.md §8) ----------------------------------------
+
+    /** Cycle + wall-clock budgets; called once per loop round when any
+     *  limit is armed. */
+    void
+    checkBudgets()
+    {
+        if (limits.cycleBudget) {
+            const Cycles simulated = model.finalCycles(cycles);
+            if (simulated > limits.cycleBudget)
+                throw GuardError(
+                    {RunError::Kind::CycleBudget, round, "",
+                     "simulated cycles (" + std::to_string(simulated) +
+                         ") exceed the cycle budget (" +
+                         std::to_string(limits.cycleBudget) + ")"});
+        }
+        if (limits.wallTimeoutMs) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - startTime)
+                    .count();
+            if (elapsed > limits.wallTimeoutMs)
+                throw GuardError(
+                    {RunError::Kind::WallTimeout, round, "",
+                     "wall clock (" + std::to_string(elapsed) +
+                         " ms) exceeded the timeout (" +
+                         std::to_string(limits.wallTimeoutMs) + " ms)"});
+        }
+    }
+
+    /**
+     * Hash of the engine's complete mutable state: property arrays, global
+     * and local scalars, vertex sets (order-independent over members, so
+     * sparse insertion order cannot split identical sets), priority-queue
+     * buckets, and frontier-list depths. Execution is deterministic in
+     * this state, so a repeated hash across rounds means the loop can
+     * never terminate — the basis of the oscillation watchdog.
+     */
+    uint64_t
+    stateHash() const
+    {
+        uint64_t h = 0x9e3779b97f4a7c15ULL;
+        auto mix = [&h](uint64_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        };
+        auto mixDouble = [&](double d) {
+            uint64_t bits;
+            std::memcpy(&bits, &d, sizeof(bits));
+            mix(bits);
+        };
+        for (const auto &[name, data] : props) {
+            mix(static_cast<uint64_t>(data->size()));
+            if (data->isFloat())
+                for (VertexId v = 0; v < data->size(); ++v)
+                    mixDouble(data->getFloat(v));
+            else
+                for (VertexId v = 0; v < data->size(); ++v)
+                    mix(static_cast<uint64_t>(data->getInt(v)));
+        }
+        for (const Reg &reg : globals)
+            mix(static_cast<uint64_t>(reg.i)); // raw bits either way
+        for (const auto &[name, value] : locals) {
+            mix(value.isFloat);
+            value.isFloat ? mixDouble(value.f)
+                          : mix(static_cast<uint64_t>(value.i));
+        }
+        for (const auto &[name, set] : sets) {
+            mix(static_cast<uint64_t>(set->size()));
+            uint64_t members = 0;
+            set->forEach([&members](VertexId v) {
+                uint64_t sm = static_cast<uint64_t>(v) + 1;
+                members ^= splitMix64(sm);
+            });
+            mix(members);
+        }
+        for (const auto &[name, queue] : queues)
+            mix(queue->stateHash());
+        for (const auto &[name, list] : lists)
+            mix(list->size());
+        return h;
+    }
+
+    /**
+     * Per-round watchdog of one while loop. @p loop_round counts this
+     * loop's completed iterations; @p hash_ring holds the last
+     * oscillationWindow state hashes of this loop.
+     */
+    void
+    guardLoopRound(int64_t loop_round, std::vector<uint64_t> &hash_ring)
+    {
+        if (limits.maxIterations && loop_round >= limits.maxIterations)
+            throw GuardError(
+                {RunError::Kind::IterationLimit, round, "",
+                 "loop exceeded max_iterations (" +
+                     std::to_string(limits.maxIterations) + ")"});
+        checkBudgets();
+        if (limits.oscillationWindow) {
+            const uint64_t h = stateHash();
+            for (const uint64_t seen : hash_ring)
+                if (seen == h)
+                    throw GuardError(
+                        {RunError::Kind::Oscillation, round, "",
+                         "frontier/state hash repeated within " +
+                             std::to_string(limits.oscillationWindow) +
+                             " rounds; the loop cannot converge"});
+            hash_ring.push_back(h);
+            if (hash_ring.size() >
+                static_cast<size_t>(limits.oscillationWindow))
+                hash_ring.erase(hash_ring.begin());
         }
     }
 
@@ -549,7 +671,15 @@ struct ExecEngine::Impl
                               fused_queue = iter.queue;
                       });
             int64_t last_bucket = std::numeric_limits<int64_t>::min();
+            const bool guarded = limits.any();
+            int64_t loop_round = 0;
+            std::vector<uint64_t> hash_ring;
             while (!returned && evalScalar(node.cond).truthy()) {
+                // Guard at the loop top, after the condition: it fires only
+                // when another iteration is actually coming, so a loop that
+                // converges in exactly max_iterations rounds is untouched.
+                if (guarded)
+                    guardLoopRound(loop_round++, hash_ring);
                 prof::ScopeTimer round_scope("round");
                 bool fused_round = false;
                 if (!fused_queue.empty() && queues.count(fused_queue)) {
@@ -572,6 +702,10 @@ struct ExecEngine::Impl
             const auto &node = static_cast<const ForRangeStmt &>(*stmt);
             const int64_t lo = evalScalar(node.lo).asInt();
             const int64_t hi = evalScalar(node.hi).asInt();
+            // Statically bounded: no iteration/oscillation watchdog, but
+            // cycle/wall budgets still apply.
+            const bool guarded =
+                limits.cycleBudget != 0 || limits.wallTimeoutMs != 0;
             for (int64_t i = lo; i < hi && !returned; ++i) {
                 prof::ScopeTimer round_scope("round");
                 locals[node.var] = Scalar::ofInt(i);
@@ -580,6 +714,8 @@ struct ExecEngine::Impl
                 prof::addCycles(charged);
                 ++round;
                 execBody(node.body);
+                if (guarded)
+                    checkBudgets();
             }
             break;
           }
@@ -1448,8 +1584,10 @@ struct ExecEngine::Impl
 };
 
 ExecEngine::ExecEngine(Program &program, const RunInputs &inputs,
-                       MachineModel &model, unsigned num_threads)
-    : _impl(std::make_unique<Impl>(program, inputs, model, num_threads))
+                       MachineModel &model, unsigned num_threads,
+                       const RunLimits &limits)
+    : _impl(std::make_unique<Impl>(program, inputs, model, num_threads,
+                                   limits))
 {
 }
 
@@ -1458,6 +1596,7 @@ ExecEngine::~ExecEngine() = default;
 RunResult
 ExecEngine::run()
 {
+    _impl->startTime = std::chrono::steady_clock::now();
     _impl->model.reset(*_impl->graph);
     _impl->setup();
     FunctionPtr main = _impl->program.mainFunction();

@@ -34,9 +34,14 @@ class ExecEngine
      * @param num_threads host threads for native-parallel execution
      *                 (CPU GraphVM option); task-stream models always run
      *                 single-threaded for exact access capture
+     * @param limits   budgets + watchdogs to enforce (DESIGN.md §8); the
+     *                 default RunLimits{} enforces nothing and costs one
+     *                 branch per loop round. A tripped guard aborts the
+     *                 run with a GuardError carrying a structured RunError.
      */
     ExecEngine(Program &program, const RunInputs &inputs,
-               MachineModel &model, unsigned num_threads = 1);
+               MachineModel &model, unsigned num_threads = 1,
+               const RunLimits &limits = {});
     ~ExecEngine();
 
     /** Execute main and return results + machine statistics. */

@@ -46,6 +46,7 @@ makeGraphVM(const std::string &name, const BackendOptions &options)
         }
         if (options.cores)
             params.sms = options.cores;
+        params.retry = options.retry;
         vm = std::make_unique<GpuVM>(params);
     } else if (name == "swarm") {
         // Event-driven; costs are per task, not per round, so dataset
@@ -55,6 +56,7 @@ makeGraphVM(const std::string &name, const BackendOptions &options)
             params.cores = options.cores;
             params.coresPerTile = std::min(4u, options.cores);
         }
+        params.retry = options.retry;
         vm = std::make_unique<SwarmVM>(params);
     } else if (name == "hb") {
         HBParams params;
@@ -62,11 +64,13 @@ makeGraphVM(const std::string &name, const BackendOptions &options)
             params.hostLaunchOverhead = 500;
         if (options.cores)
             params.cores = options.cores;
+        params.retry = options.retry;
         vm = std::make_unique<HBVM>(params);
     } else {
         throw std::out_of_range("unknown GraphVM: " + name);
     }
     vm->setProfiling(options.profiling);
+    vm->setRunLimits(options.limits);
     return vm;
 }
 

@@ -42,6 +42,16 @@ struct BackendOptions
      *  GPU SMs, Swarm cores, and HammerBlade cores — the Fig 10 scaling
      *  knob. */
     unsigned cores = 0;
+
+    /** Budgets + watchdogs applied to every run of the VM (DESIGN.md §8).
+     *  Zero fields are unlimited; per-run RunInputs::limits override
+     *  field-wise. */
+    RunLimits limits;
+
+    /** Retry policy for the backend fault sites (gpu.kernel_launch,
+     *  hb.dma_error, swarm.task_abort); meaningful only when a fault plan
+     *  is armed (faults::arm / ugcc --fault). */
+    RetryPolicy retry;
 };
 
 /**

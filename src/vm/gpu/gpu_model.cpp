@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sched/gpu_schedule.h"
+#include "support/faults.h"
 #include "support/prof.h"
 
 namespace ugc {
@@ -146,6 +147,30 @@ GpuModel::onTraversal(const TraversalInfo &info)
                      _params.bytesPerCycle;
     }
     total += launches * static_cast<double>(_params.kernelLaunch);
+
+    // Fault injection (gpu.kernel_launch): each failed launch attempt is
+    // retried with backoff, charging a fresh launch per attempt; results
+    // are unaffected — only cycles and counters change. Exhausting the
+    // retry policy aborts the run (recoverable via runGuarded).
+    if (launches > 0 && faults::anyArmed()) {
+        unsigned failures = 0;
+        while (faults::shouldFail("gpu.kernel_launch")) {
+            ++failures;
+            if (failures > _params.retry.maxRetries)
+                throw GuardError(
+                    {RunError::Kind::RetryExhausted, 0, "gpu.kernel_launch",
+                     "kernel launch failed " + std::to_string(failures) +
+                         " times (policy allows " +
+                         std::to_string(_params.retry.maxRetries) +
+                         " retries)"});
+            total += static_cast<double>(_params.kernelLaunch) +
+                     static_cast<double>(_params.retry.backoff(failures));
+        }
+        if (failures > 0) {
+            _counters.add("gpu.launch_failures", failures);
+            _counters.add("gpu.launch_retries", failures);
+        }
+    }
 
     _counters.add("gpu.kernels", launches);
     _counters.add("gpu.launch_cycles",

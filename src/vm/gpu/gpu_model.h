@@ -10,6 +10,7 @@
 #ifndef UGC_VM_GPU_GPU_MODEL_H
 #define UGC_VM_GPU_GPU_MODEL_H
 
+#include "support/guard.h"
 #include "vm/machine_model.h"
 
 namespace ugc {
@@ -24,6 +25,11 @@ struct GpuParams
     Addr l2Bytes = 6ull << 20;
     Cycles dramLatency = 400;
     unsigned warpSize = 32;
+
+    /** Reaction to launch failures injected at the `gpu.kernel_launch`
+     *  fault site: re-launch with backoff, throwing RetryExhausted past
+     *  maxRetries (DESIGN.md §8). */
+    RetryPolicy retry;
 
     unsigned deviceThreads() const { return sms * threadsPerSm; }
 };

@@ -1,0 +1,43 @@
+#include "vm/graphvm.h"
+
+#include "support/faults.h"
+#include "support/guard.h"
+
+namespace ugc {
+
+RunResult
+GraphVM::runGuarded(const Program &program, const RunInputs &inputs)
+{
+    RunError trigger;
+    try {
+        return run(program, inputs);
+    } catch (const GuardError &err) {
+        if (!recoverable(err.error().kind))
+            throw;
+        trigger = err.error();
+    }
+
+    // A fault site that exhausted its retry policy would fail the rescue
+    // run identically (same armed plan); disarming it models taking the
+    // faulty unit out of rotation.
+    if (trigger.kind == RunError::Kind::RetryExhausted && !trigger.site.empty())
+        faults::disarm(trigger.site);
+
+    // Degrade to this backend's default schedule: detach every schedule so
+    // the midend re-attaches defaultSchedule() everywhere (hybrid→push,
+    // fused→unfused, Δ→1 bucket). A failure of the fallback run propagates.
+    ProgramPtr fallback = program.clone();
+    fallback->clearSchedules();
+    RunResult result = run(*fallback, inputs);
+    result.degraded = true;
+    result.guardError = trigger;
+    if (result.profile) {
+        result.profile->addCounter("guard.fallbacks", 1);
+        result.profile->setMeta("degraded", "true");
+        result.profile->setMeta("guard.trigger",
+                                runErrorKindName(trigger.kind));
+    }
+    return result;
+}
+
+} // namespace ugc

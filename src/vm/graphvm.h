@@ -114,11 +114,30 @@ class GraphVM
         return buildPipeline().passNames();
     }
 
+    /**
+     * Guarded execution with graceful degradation (DESIGN.md §8): run the
+     * program normally; if a recoverable guard trips (watchdog, budget
+     * exhaustion, or a fault site exhausting its RetryPolicy), strip all
+     * attached schedules — reverting to this backend's default schedule,
+     * the paper's baseline (hybrid→push, fused→unfused, Δ→1) — and re-run.
+     * The rescued result carries degraded=true, the triggering RunError,
+     * and a `guard.fallbacks` counter in its profile (when profiling).
+     * Unrecoverable errors (alloc/I/O failures) and a failure of the
+     * fallback run itself propagate to the caller.
+     */
+    RunResult runGuarded(const Program &program, const RunInputs &inputs);
+
     /** Profile every run of this VM (RunResult.profile is attached). The
      *  process-wide prof::setEnabled switch has the same effect for all
      *  VMs; with both off, runs pay a single branch (DESIGN.md §6). */
     void setProfiling(bool on) { _profiling = on; }
     bool profilingEnabled() const { return _profiling; }
+
+    /** Budgets/watchdogs applied to every run of this VM
+     *  (BackendOptions::limits lands here); per-run RunInputs::limits
+     *  override field-wise. */
+    void setRunLimits(const RunLimits &limits) { _limits = limits; }
+    const RunLimits &runLimits() const { return _limits; }
 
     void setCompileOptions(const CompileOptions &options)
     {
@@ -182,6 +201,14 @@ class GraphVM
 
     virtual std::string emitLoweredCode(const Program &lowered) = 0;
 
+    /** The limits executeLowered should enforce: the VM's own limits with
+     *  nonzero per-run fields of @p inputs overriding. */
+    RunLimits
+    effectiveLimits(const RunInputs &inputs) const
+    {
+        return RunLimits::merged(_limits, inputs.limits);
+    }
+
   private:
     PassManager
     buildPipeline()
@@ -200,6 +227,7 @@ class GraphVM
 
     bool _profiling = false;
     CompileOptions _options;
+    RunLimits _limits;
 };
 
 } // namespace ugc

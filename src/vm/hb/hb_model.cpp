@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sched/hb_schedule.h"
+#include "support/faults.h"
 #include "support/prof.h"
 
 namespace ugc {
@@ -122,8 +123,32 @@ HBModel::onTraversal(const TraversalInfo &info)
     const double bandwidth_cycles =
         traffic_bytes / (_params.hbmBytesPerCycle * bandwidth_derate);
 
-    const double total =
+    double total =
         std::max(compute + stall_cycles / parallelism, bandwidth_cycles);
+
+    // Fault injection (hb.dma_error): the traversal's host↔device work
+    // transfer fails and is re-issued with backoff; only cycles/counters
+    // change. Exhausting the retry policy aborts the run (recoverable via
+    // runGuarded).
+    if (faults::anyArmed()) {
+        unsigned failures = 0;
+        while (faults::shouldFail("hb.dma_error")) {
+            ++failures;
+            if (failures > _params.retry.maxRetries)
+                throw GuardError(
+                    {RunError::Kind::RetryExhausted, 0, "hb.dma_error",
+                     "DMA transfer failed " + std::to_string(failures) +
+                         " times (policy allows " +
+                         std::to_string(_params.retry.maxRetries) +
+                         " retries)"});
+            total += static_cast<double>(_params.dramLatency) +
+                     static_cast<double>(_params.retry.backoff(failures));
+        }
+        if (failures > 0) {
+            _counters.add("hb.dma_errors", failures);
+            _counters.add("hb.dma_retries", failures);
+        }
+    }
 
     _counters.add("hb.dram_stall_cycles", stall_cycles);
     _counters.add("hb.traffic_bytes", traffic_bytes);

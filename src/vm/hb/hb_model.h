@@ -10,6 +10,7 @@
 #ifndef UGC_VM_HB_HB_MODEL_H
 #define UGC_VM_HB_HB_MODEL_H
 
+#include "support/guard.h"
 #include "vm/machine_model.h"
 
 namespace ugc {
@@ -27,6 +28,11 @@ struct HBParams
     unsigned outstandingLoads = 4; ///< non-blocking loads per core
     Cycles hostLaunchOverhead = 3000;
     Addr scratchpadBytes = 4 << 10;
+
+    /** Reaction to host↔device transfer failures injected at the
+     *  `hb.dma_error` fault site: re-issue the DMA with backoff, throwing
+     *  RetryExhausted past maxRetries (DESIGN.md §8). */
+    RetryPolicy retry;
 };
 
 class HBModel : public MachineModel

@@ -61,7 +61,8 @@ class HBVM : public GraphVM
     executeLowered(Program &lowered, const RunInputs &inputs) override
     {
         HBModel model(_params);
-        ExecEngine engine(lowered, inputs, model);
+        ExecEngine engine(lowered, inputs, model, /*num_threads=*/1,
+                          effectiveLimits(inputs));
         return engine.run();
     }
 

@@ -13,6 +13,7 @@
 
 #include "graph/graph.h"
 #include "ir/types.h"
+#include "support/guard.h"
 #include "support/prof.h"
 #include "support/stats.h"
 #include "support/types.h"
@@ -28,6 +29,10 @@ struct RunInputs
      *  Index 1 is the graph path in GraphIt programs, so integer arguments
      *  conventionally start at index 2 (start vertex, delta, ...). */
     std::vector<int64_t> args = {0, 0, 0, 0};
+
+    /** Per-run budgets and watchdogs; merged over the VM's own limits
+     *  (BackendOptions::limits), nonzero per-run fields winning. */
+    RunLimits limits;
 
     /** Convenience: set args[2], the conventional start-vertex slot. */
     RunInputs &
@@ -69,6 +74,13 @@ struct RunResult
      *  traversal events). Null unless profiling was enabled for the VM
      *  (BackendOptions.profiling / prof::setEnabled). */
     std::shared_ptr<prof::Profile> profile;
+
+    /** True when GraphVM::runGuarded() rescued this run by re-executing
+     *  under the backend's default schedule. */
+    bool degraded = false;
+
+    /** The guard trip that triggered degradation (kind None otherwise). */
+    RunError guardError;
 
     const std::vector<double> &
     property(const std::string &name) const

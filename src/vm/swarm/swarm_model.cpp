@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/addr_space.h"
+#include "support/faults.h"
 #include "support/prof.h"
 
 namespace ugc {
@@ -22,6 +23,7 @@ SwarmModel::reset(const Graph &)
     _lastFinish = 0;
     _committedCycles = _abortedCycles = _idleCommitQueue = 0;
     _spillCycles = _aborts = _tasks = _spawns = 0;
+    _injectedAborts = _retries = 0;
 }
 
 unsigned
@@ -130,6 +132,26 @@ SwarmModel::onTask(TaskRecord task)
         }
     }
 
+    // Fault injection (swarm.task_abort): extra speculative aborts beyond
+    // natural conflicts. Each abort wastes the task's execution and delays
+    // its restart by the abort penalty plus a doubling backoff. Bounded
+    // re-execution: after maxRetries attempts the task commits regardless,
+    // so forward progress is guaranteed and only timing/counters change —
+    // results stay bit-identical to the fault-free run.
+    if (faults::anyArmed()) {
+        unsigned attempts = 0;
+        while (attempts < _params.retry.maxRetries &&
+               faults::shouldFail("swarm.task_abort")) {
+            ++attempts;
+            _abortedCycles += static_cast<double>(duration);
+            _aborts += 1;
+            _injectedAborts += 1;
+            start += duration + _params.abortPenalty +
+                     _params.retry.backoff(attempts);
+        }
+        _retries += attempts;
+    }
+
     const Cycles finish = start + duration;
     _coreFree[core] = finish;
     _committedCycles += static_cast<double>(duration);
@@ -187,6 +209,10 @@ SwarmModel::counters() const
     counters.add("swarm.tasks", _tasks);
     counters.add("swarm.task_spawns", _spawns);
     counters.add("swarm.aborts", _aborts);
+    if (_injectedAborts > 0) {
+        counters.add("swarm.injected_aborts", _injectedAborts);
+        counters.add("swarm.retries", _retries);
+    }
     counters.add("swarm.committed_cycles", _committedCycles);
     counters.add("swarm.aborted_cycles", _abortedCycles);
     counters.add("swarm.spill_cycles", _spillCycles);

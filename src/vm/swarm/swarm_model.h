@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/guard.h"
 #include "vm/machine_model.h"
 
 namespace ugc {
@@ -42,6 +43,12 @@ struct SwarmParams
     double cyclesPerInstruction = 0.5; ///< wide OoO cores
     /** Lines touched more recently than this stay tile-local. */
     unsigned localityWindow = 4096;
+
+    /** Bound on injected speculative aborts per task (`swarm.task_abort`
+     *  fault site): each re-execution wastes the task's duration and pays
+     *  abortPenalty + backoff; after maxRetries the task commits anyway,
+     *  so forward progress is guaranteed (DESIGN.md §8). */
+    RetryPolicy retry;
 
     unsigned tiles() const { return (cores + coresPerTile - 1) / coresPerTile; }
     unsigned commitWindow() const { return cores * commitQueuePerCore; }
@@ -103,6 +110,8 @@ class SwarmModel : public MachineModel
     double _aborts = 0;
     double _tasks = 0;
     double _spawns = 0;
+    double _injectedAborts = 0;
+    double _retries = 0;
 };
 
 } // namespace ugc

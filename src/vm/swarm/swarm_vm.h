@@ -86,7 +86,8 @@ class SwarmVM : public GraphVM
     executeLowered(Program &lowered, const RunInputs &inputs) override
     {
         SwarmModel model(_params);
-        ExecEngine engine(lowered, inputs, model);
+        ExecEngine engine(lowered, inputs, model, /*num_threads=*/1,
+                          effectiveLimits(inputs));
         return engine.run();
     }
 

@@ -1,0 +1,220 @@
+/**
+ * Malformed-input corpus for the graph loaders (DESIGN.md §8): every
+ * rejection must be a LoaderError naming the file and offending line, and
+ * the corrupt-binary checks must fire before any oversized allocation.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "graph/datasets.h"
+#include "graph/loader.h"
+#include "support/faults.h"
+
+namespace ugc {
+namespace {
+
+/** Run @p fn, require a LoaderError, and return it for inspection. */
+template <typename Fn>
+LoaderError
+expectLoaderError(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const LoaderError &error) {
+        return error;
+    } catch (const std::exception &error) {
+        ADD_FAILURE() << "threw non-LoaderError: " << error.what();
+        return LoaderError("", 0, "");
+    }
+    ADD_FAILURE() << "expected a LoaderError, nothing thrown";
+    return LoaderError("", 0, "");
+}
+
+TEST(LoaderErrors, EdgeListReportsFileAndLine)
+{
+    std::istringstream in("0 1\n2 1\nbogus\n");
+    const LoaderError error = expectLoaderError(
+        [&] { loadEdgeList(in, false, "toy.el"); });
+    EXPECT_EQ(error.file(), "toy.el");
+    EXPECT_EQ(error.line(), 3);
+    EXPECT_NE(std::string(error.what()).find("toy.el:3"), std::string::npos);
+}
+
+TEST(LoaderErrors, EdgeListNegativeVertexThrows)
+{
+    std::istringstream in("0 1\n-3 2\n");
+    const LoaderError error =
+        expectLoaderError([&] { loadEdgeList(in, false, "neg.el"); });
+    EXPECT_EQ(error.line(), 2);
+    EXPECT_NE(error.reason().find("-3"), std::string::npos);
+}
+
+TEST(LoaderErrors, EdgeListOverlongLineThrows)
+{
+    std::string line(2 << 20, 'x'); // 2 MB of junk on one line
+    std::istringstream in("0 1\n" + line + "\n");
+    const LoaderError error =
+        expectLoaderError([&] { loadEdgeList(in, false, "long.el"); });
+    EXPECT_NE(error.reason().find("line"), std::string::npos);
+}
+
+TEST(LoaderErrors, DimacsNegativeCountsThrow)
+{
+    std::istringstream in("p sp -4 3\n");
+    const LoaderError error =
+        expectLoaderError([&] { loadDimacs(in, "bad.gr"); });
+    EXPECT_EQ(error.file(), "bad.gr");
+    EXPECT_EQ(error.line(), 1);
+}
+
+TEST(LoaderErrors, DimacsArcBeforeHeaderNamesTheProblem)
+{
+    std::istringstream in("a 1 2 3\n");
+    const LoaderError error =
+        expectLoaderError([&] { loadDimacs(in, "no_header.gr"); });
+    EXPECT_NE(error.reason().find("p sp"), std::string::npos);
+}
+
+TEST(LoaderErrors, DimacsEndpointOutOfRangeThrows)
+{
+    std::istringstream in("p sp 2 1\na 1 5 10\n");
+    const LoaderError error =
+        expectLoaderError([&] { loadDimacs(in, "range.gr"); });
+    EXPECT_EQ(error.line(), 2);
+}
+
+TEST(LoaderErrors, MatrixMarketJunkBannerQuoted)
+{
+    std::istringstream in("%%NotMatrixMarket whatever\n1 1 0\n");
+    const LoaderError error =
+        expectLoaderError([&] { loadMatrixMarket(in, "junk.mtx"); });
+    // The diagnostic quotes (a prefix of) the offending banner.
+    EXPECT_NE(error.reason().find("NotMatrixMarket"), std::string::npos);
+}
+
+TEST(LoaderErrors, MatrixMarketMissingSizeLineThrows)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "% only comments follow\n");
+    const LoaderError error =
+        expectLoaderError([&] { loadMatrixMarket(in, "empty.mtx"); });
+    EXPECT_NE(error.reason().find("size"), std::string::npos);
+}
+
+TEST(LoaderErrors, MatrixMarketEndpointOutOfRangeThrows)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 1\n"
+        "1 9\n");
+    const LoaderError error =
+        expectLoaderError([&] { loadMatrixMarket(in, "oob.mtx"); });
+    EXPECT_EQ(error.line(), 3);
+}
+
+TEST(LoaderErrors, BinaryTruncatedHeaderThrows)
+{
+    std::ostringstream out;
+    writeBinary(Graph::fromEdges(3, {{0, 1}, {1, 2}}, false, false), out);
+    const std::string bytes = out.str();
+    // Chop the stream inside the header and inside the edge array.
+    for (size_t keep : {size_t{4}, size_t{12}, bytes.size() - 3}) {
+        std::istringstream in(bytes.substr(0, keep));
+        const LoaderError error =
+            expectLoaderError([&] { loadBinary(in, "trunc.bin"); });
+        EXPECT_NE(error.reason().find("truncated"), std::string::npos)
+            << "keep=" << keep << ": " << error.reason();
+        EXPECT_EQ(error.line(), 0); // binary: no line numbers
+    }
+}
+
+TEST(LoaderErrors, BinaryBadMagicThrows)
+{
+    std::istringstream in(std::string(32, '\0'));
+    const LoaderError error =
+        expectLoaderError([&] { loadBinary(in, "magic.bin"); });
+    EXPECT_NE(error.reason().find("magic"), std::string::npos);
+}
+
+TEST(LoaderErrors, BinaryNegativeCountsRejectedBeforeAllocation)
+{
+    // Hand-craft a header claiming -1 vertices and a huge edge count; the
+    // loader must reject it from the header alone.
+    std::ostringstream out;
+    const uint64_t magic = 0x55474331;
+    const int64_t num_vertices = -1;
+    const int64_t num_edges = int64_t{1} << 40;
+    const uint8_t weighted = 0;
+    out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char *>(&num_vertices),
+              sizeof(num_vertices));
+    out.write(reinterpret_cast<const char *>(&num_edges), sizeof(num_edges));
+    out.write(reinterpret_cast<const char *>(&weighted), sizeof(weighted));
+    std::istringstream in(out.str());
+    const LoaderError error =
+        expectLoaderError([&] { loadBinary(in, "counts.bin"); });
+    EXPECT_NE(error.reason().find("negative"), std::string::npos);
+}
+
+TEST(LoaderErrors, BinaryEndpointOutOfRangeNamesEdgeIndex)
+{
+    std::ostringstream out;
+    const uint64_t magic = 0x55474331;
+    const int64_t num_vertices = 2;
+    const int64_t num_edges = 1;
+    const uint8_t weighted = 0;
+    const int32_t src = 0, dst = 7; // dst out of [0, 2)
+    out.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char *>(&num_vertices),
+              sizeof(num_vertices));
+    out.write(reinterpret_cast<const char *>(&num_edges), sizeof(num_edges));
+    out.write(reinterpret_cast<const char *>(&weighted), sizeof(weighted));
+    out.write(reinterpret_cast<const char *>(&src), sizeof(src));
+    out.write(reinterpret_cast<const char *>(&dst), sizeof(dst));
+    std::istringstream in(out.str());
+    const LoaderError error =
+        expectLoaderError([&] { loadBinary(in, "edge.bin"); });
+    EXPECT_NE(error.reason().find("edge 0"), std::string::npos);
+    EXPECT_NE(error.reason().find("7"), std::string::npos);
+}
+
+TEST(LoaderErrors, MissingFileIsLoaderError)
+{
+    const LoaderError error = expectLoaderError(
+        [] { loadEdgeListFile("/nonexistent/definitely_missing.el"); });
+    EXPECT_EQ(error.file(), "/nonexistent/definitely_missing.el");
+    EXPECT_NE(error.reason().find("cannot open"), std::string::npos);
+}
+
+TEST(LoaderErrors, InjectedIoErrorFiresOnOpen)
+{
+    faults::ScopedPlan plan(
+        faults::FaultPlan{"loader.io_error", 0.0, /*nthHit=*/1, 1});
+    // The site fires before the file is even touched, so a bogus path is
+    // fine — but the error must be the injected one, not "cannot open".
+    const LoaderError error =
+        expectLoaderError([] { loadEdgeListFile("/tmp/any.el"); });
+    EXPECT_NE(error.reason().find("injected"), std::string::npos);
+    EXPECT_EQ(faults::firedCount("loader.io_error"), 1u);
+}
+
+TEST(LoaderErrors, UnknownDatasetListsKnownCodes)
+{
+    try {
+        datasets::load("NOPE", datasets::Scale::Small, false);
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range &error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("NOPE"), std::string::npos);
+        // The message enumerates the known codes to aid typo recovery.
+        EXPECT_NE(message.find("RN"), std::string::npos);
+        EXPECT_NE(message.find("LJ"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace ugc

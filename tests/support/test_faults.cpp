@@ -1,0 +1,169 @@
+/**
+ * Fault-injection registry and guardrail plumbing (DESIGN.md §8):
+ * deterministic fault streams, plan parsing, and the RunLimits /
+ * RetryPolicy helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/faults.h"
+#include "support/guard.h"
+
+namespace ugc {
+namespace {
+
+class Faults : public ::testing::Test
+{
+  protected:
+    void TearDown() override { faults::clearAll(); }
+};
+
+TEST_F(Faults, KnownSitesCoverAllBackends)
+{
+    for (const char *site :
+         {"swarm.task_abort", "gpu.kernel_launch", "hb.dma_error",
+          "runtime.alloc_fail", "loader.io_error"}) {
+        EXPECT_TRUE(faults::isKnownSite(site)) << site;
+    }
+    EXPECT_FALSE(faults::isKnownSite("fpga.bitstream"));
+}
+
+TEST_F(Faults, NothingArmedNeverFails)
+{
+    EXPECT_FALSE(faults::anyArmed());
+    EXPECT_FALSE(faults::shouldFail("gpu.kernel_launch"));
+    EXPECT_EQ(faults::firedCount("gpu.kernel_launch"), 0u);
+}
+
+TEST_F(Faults, NthHitFiresExactlyEveryNth)
+{
+    faults::arm({"gpu.kernel_launch", 0.0, /*nthHit=*/3, 1});
+    std::vector<bool> fired;
+    for (int i = 0; i < 9; ++i)
+        fired.push_back(faults::shouldFail("gpu.kernel_launch"));
+    const std::vector<bool> expected = {false, false, true,  false, false,
+                                        true,  false, false, true};
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(faults::firedCount("gpu.kernel_launch"), 3u);
+}
+
+TEST_F(Faults, ProbabilityStreamIsSeededAndReplayable)
+{
+    auto draw = [](uint64_t seed) {
+        faults::arm({"hb.dma_error", 0.5, 0, seed});
+        std::vector<bool> stream;
+        for (int i = 0; i < 64; ++i)
+            stream.push_back(faults::shouldFail("hb.dma_error"));
+        return stream;
+    };
+    const auto a = draw(42);
+    const auto b = draw(42); // re-arm resets the stream
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, draw(43)); // different seed, different stream
+}
+
+TEST_F(Faults, SitesDrawIndependentStreams)
+{
+    // The per-site Rng mixes the site name into the seed, so two sites
+    // armed with the same plan do not fail in lockstep.
+    faults::arm({"gpu.kernel_launch", 0.5, 0, 7});
+    faults::arm({"hb.dma_error", 0.5, 0, 7});
+    std::vector<bool> gpu, hb;
+    for (int i = 0; i < 64; ++i) {
+        gpu.push_back(faults::shouldFail("gpu.kernel_launch"));
+        hb.push_back(faults::shouldFail("hb.dma_error"));
+    }
+    EXPECT_NE(gpu, hb);
+}
+
+TEST_F(Faults, ArmRejectsBadPlans)
+{
+    EXPECT_THROW(faults::arm({"fpga.bitstream", 0.5, 0, 1}),
+                 std::invalid_argument);
+    EXPECT_THROW(faults::arm({"gpu.kernel_launch", 0.0, 0, 1}),
+                 std::invalid_argument); // neither p nor nth
+    EXPECT_THROW(faults::arm({"gpu.kernel_launch", 1.5, 0, 1}),
+                 std::invalid_argument); // p out of (0, 1]
+}
+
+TEST_F(Faults, ScopedPlanDisarmsOnExit)
+{
+    {
+        faults::ScopedPlan plan({"loader.io_error", 0.0, 1, 1});
+        EXPECT_TRUE(faults::anyArmed());
+        EXPECT_TRUE(faults::shouldFail("loader.io_error"));
+    }
+    EXPECT_FALSE(faults::anyArmed());
+    EXPECT_FALSE(faults::shouldFail("loader.io_error"));
+}
+
+TEST_F(Faults, ParsePlanAcceptsUgccSpecs)
+{
+    const faults::FaultPlan p = faults::parsePlan("swarm.task_abort:p=0.1:seed=7");
+    EXPECT_EQ(p.site, "swarm.task_abort");
+    EXPECT_DOUBLE_EQ(p.probability, 0.1);
+    EXPECT_EQ(p.nthHit, 0u);
+    EXPECT_EQ(p.seed, 7u);
+
+    const faults::FaultPlan n = faults::parsePlan("gpu.kernel_launch:nth=3");
+    EXPECT_EQ(n.nthHit, 3u);
+    EXPECT_EQ(n.seed, 1u); // seed defaults to 1
+}
+
+TEST_F(Faults, ParsePlanRejectsMalformedSpecs)
+{
+    for (const char *spec :
+         {"", "gpu.kernel_launch", "gpu.kernel_launch:frequency=2",
+          "gpu.kernel_launch:p=banana", "gpu.kernel_launch:nth="}) {
+        EXPECT_THROW(faults::parsePlan(spec), std::invalid_argument)
+            << "spec: '" << spec << "'";
+    }
+}
+
+TEST(RunLimitsTest, MergedIsFieldWise)
+{
+    RunLimits base;
+    base.maxIterations = 100;
+    base.cycleBudget = 5000;
+    RunLimits over;
+    over.maxIterations = 7; // override
+    over.wallTimeoutMs = 250; // new field
+    const RunLimits merged = RunLimits::merged(base, over);
+    EXPECT_EQ(merged.maxIterations, 7);
+    EXPECT_EQ(merged.cycleBudget, 5000u); // kept from base
+    EXPECT_EQ(merged.wallTimeoutMs, 250);
+    EXPECT_FALSE(RunLimits{}.any());
+    EXPECT_TRUE(merged.any());
+}
+
+TEST(RetryPolicyTest, BackoffDoublesAndSaturates)
+{
+    RetryPolicy policy;
+    policy.backoffBase = 64;
+    EXPECT_EQ(policy.backoff(1), 64u);
+    EXPECT_EQ(policy.backoff(2), 128u);
+    EXPECT_EQ(policy.backoff(3), 256u);
+    EXPECT_EQ(policy.backoff(60), policy.backoff(17)); // saturated
+}
+
+TEST(RunErrorTest, KindsNameAndRecoverability)
+{
+    EXPECT_STREQ(runErrorKindName(RunError::Kind::IterationLimit),
+                 "iteration_limit");
+    EXPECT_STREQ(runErrorKindName(RunError::Kind::AllocFailed),
+                 "alloc_failed");
+    EXPECT_TRUE(recoverable(RunError::Kind::IterationLimit));
+    EXPECT_TRUE(recoverable(RunError::Kind::RetryExhausted));
+    EXPECT_FALSE(recoverable(RunError::Kind::AllocFailed));
+    EXPECT_FALSE(recoverable(RunError::Kind::IoError));
+
+    const RunError error{RunError::Kind::CycleBudget, 4, "", "over budget"};
+    const GuardError wrapped(error);
+    EXPECT_EQ(wrapped.error().kind, RunError::Kind::CycleBudget);
+    EXPECT_NE(std::string(wrapped.what()).find("cycle_budget"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace ugc

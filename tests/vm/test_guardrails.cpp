@@ -1,0 +1,282 @@
+/**
+ * Execution guardrails end-to-end (DESIGN.md §8): watchdogs and budgets
+ * terminate stuck or over-budget runs with structured errors, injected
+ * faults never change results (only cycles and counters, deterministically
+ * per seed), and runGuarded() degrades to the default schedule instead of
+ * failing when a recoverable guard trips.
+ */
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "frontend/sema.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "reference/reference.h"
+#include "support/faults.h"
+#include "support/guard.h"
+#include "vm/cpu/cpu_vm.h"
+#include "vm/factory.h"
+
+namespace ugc {
+namespace {
+
+class Guardrails : public ::testing::Test
+{
+  protected:
+    void TearDown() override { faults::clearAll(); }
+};
+
+/** A loop that makes progress forever: every round bumps a counter and a
+ *  property, so the state hash never repeats and only budget/iteration
+ *  guards can stop it. */
+const char *kRunawaySource = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const x : vector{Vertex}(int) = 0;
+const vertices : vertexset{Vertex} = edges.getVertices();
+func bump(v : Vertex)
+    x[v] += 1;
+end
+func main()
+    var n : int = 0;
+    while (n != -1)
+        vertices.apply(bump);
+        n = n + 1;
+    end
+end
+)";
+
+/** A loop that is stuck without progressing: the body is idempotent, so
+ *  the engine state repeats exactly from round two onward. */
+const char *kStuckSource = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const x : vector{Vertex}(int) = 0;
+const vertices : vertexset{Vertex} = edges.getVertices();
+func setOne(v : Vertex)
+    x[v] = 1;
+end
+func main()
+    var n : int = 0;
+    while (n != -1)
+        vertices.apply(setOne);
+    end
+end
+)";
+
+RunError
+runExpectingGuardError(const char *source, const RunLimits &limits)
+{
+    ProgramPtr program = frontend::compileSource(source, "guard_test");
+    CpuVM vm;
+    const Graph graph = gen::path(8);
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.limits = limits;
+    try {
+        vm.run(*program, inputs);
+    } catch (const GuardError &error) {
+        return error.error();
+    }
+    ADD_FAILURE() << "expected a GuardError";
+    return {};
+}
+
+TEST_F(Guardrails, IterationLimitStopsRunawayLoop)
+{
+    RunLimits limits;
+    limits.maxIterations = 5;
+    const RunError error = runExpectingGuardError(kRunawaySource, limits);
+    EXPECT_EQ(error.kind, RunError::Kind::IterationLimit);
+    EXPECT_EQ(error.round, 5);
+}
+
+TEST_F(Guardrails, OscillationDetectedWithinWindow)
+{
+    RunLimits limits;
+    limits.oscillationWindow = 4;
+    const RunError error = runExpectingGuardError(kStuckSource, limits);
+    EXPECT_EQ(error.kind, RunError::Kind::Oscillation);
+    // The idempotent body repeats its state from round two; the watchdog
+    // must catch it immediately, not burn the window first.
+    EXPECT_LE(error.round, 3);
+}
+
+TEST_F(Guardrails, CycleBudgetStopsRunawayLoop)
+{
+    RunLimits limits;
+    limits.cycleBudget = 10000;
+    const RunError error = runExpectingGuardError(kRunawaySource, limits);
+    EXPECT_EQ(error.kind, RunError::Kind::CycleBudget);
+}
+
+TEST_F(Guardrails, MemoryBudgetTripsAtSetup)
+{
+    RunLimits limits;
+    limits.memoryBudgetBytes = 16; // smaller than any property array
+    const RunError error = runExpectingGuardError(kRunawaySource, limits);
+    EXPECT_EQ(error.kind, RunError::Kind::MemoryBudget);
+}
+
+TEST_F(Guardrails, ConvergingLoopRunsUntouchedUnderGenerousLimits)
+{
+    const Graph graph = datasets::load("RN", datasets::Scale::Tiny, false);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    CpuVM vm;
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, 0, 16};
+    inputs.limits.maxIterations = 10000;
+    inputs.limits.cycleBudget = 0; // unlimited
+    inputs.limits.oscillationWindow = kDefaultOscillationWindow;
+    const RunResult result = vm.run(*program, inputs);
+    EXPECT_TRUE(reference::validBfsParents(graph, 0,
+                                           result.property("parent")));
+}
+
+TEST_F(Guardrails, PerRunLimitsOverrideVmLimits)
+{
+    const Graph graph = gen::path(64); // BFS needs ~63 rounds
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    BackendOptions options;
+    options.limits.maxIterations = 2;
+    auto vm = makeGraphVM("cpu", options);
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, 0, 16};
+    EXPECT_THROW(vm->run(*program, inputs), GuardError);
+
+    inputs.limits.maxIterations = 1000; // per-run override wins
+    const RunResult result = vm->run(*program, inputs);
+    EXPECT_TRUE(reference::validBfsParents(graph, 0,
+                                           result.property("parent")));
+}
+
+TEST_F(Guardrails, SwarmAbortInjectionKeepsResultsChangesTiming)
+{
+    const Graph graph = datasets::load("RN", datasets::Scale::Tiny, true);
+    const auto &sssp = algorithms::byName("sssp");
+    auto run_once = [&]() {
+        ProgramPtr program = algorithms::buildProgram(sssp);
+        auto vm = makeGraphVM("swarm");
+        RunInputs inputs;
+        inputs.graph = &graph;
+        inputs.args = {0, 0, 0, 16};
+        return vm->run(*program, inputs);
+    };
+
+    const RunResult clean = run_once();
+    // Fault-free profiles carry no injection counters at all.
+    EXPECT_EQ(clean.counters.get("swarm.injected_aborts"), 0.0);
+
+    faults::arm({"swarm.task_abort", 0.3, 0, 42});
+    const RunResult faulty = run_once();
+    faults::arm({"swarm.task_abort", 0.3, 0, 42}); // re-arm = same stream
+    const RunResult replay = run_once();
+
+    // Results are bit-identical to the fault-free run: aborted tasks
+    // re-execute, they never lose work.
+    EXPECT_EQ(faulty.property("dist"), clean.property("dist"));
+    EXPECT_TRUE(reference::equalInt(faulty.property("dist"),
+                                    reference::ssspDistances(graph, 0)));
+
+    // Timing is perturbed, deterministically per seed.
+    EXPECT_GT(faulty.counters.get("swarm.injected_aborts"), 0.0);
+    EXPECT_GT(faulty.counters.get("swarm.retries"), 0.0);
+    EXPECT_GT(faulty.cycles, clean.cycles);
+    EXPECT_EQ(faulty.cycles, replay.cycles);
+    EXPECT_EQ(faulty.counters.all(), replay.counters.all());
+}
+
+TEST_F(Guardrails, GpuRetryExhaustionDegradesGracefully)
+{
+    const Graph graph = datasets::load("RN", datasets::Scale::Tiny, false);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    BackendOptions options;
+    options.profiling = true;
+    auto vm = makeGraphVM("gpu", options);
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, 0, 16};
+
+    // Every launch fails: the retry policy exhausts on the first
+    // traversal and the plain run aborts...
+    faults::arm({"gpu.kernel_launch", 1.0, 0, 7});
+    EXPECT_THROW(vm->run(*program, inputs), GuardError);
+
+    // ...while the guarded run takes the faulty unit out of rotation,
+    // falls back to the default schedule, and still produces a valid
+    // result, marked degraded.
+    faults::arm({"gpu.kernel_launch", 1.0, 0, 7});
+    const RunResult result = vm->runGuarded(*program, inputs);
+    EXPECT_TRUE(result.degraded);
+    EXPECT_EQ(result.guardError.kind, RunError::Kind::RetryExhausted);
+    EXPECT_EQ(result.guardError.site, "gpu.kernel_launch");
+    EXPECT_FALSE(faults::anyArmed()); // site disarmed by the fallback
+    EXPECT_TRUE(reference::validBfsParents(graph, 0,
+                                           result.property("parent")));
+    ASSERT_TRUE(result.profile);
+    EXPECT_EQ(result.profile->root().counters.get("guard.fallbacks"), 1.0);
+    EXPECT_EQ(result.profile->meta().at("degraded"), "true");
+    EXPECT_EQ(result.profile->meta().at("guard.trigger"), "retry_exhausted");
+}
+
+TEST_F(Guardrails, HbDmaErrorsRetryTransparently)
+{
+    const Graph graph = datasets::load("RN", datasets::Scale::Tiny, false);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    auto vm = makeGraphVM("hb");
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, 0, 16};
+
+    // Isolated failures (never two in a row) stay under the retry policy:
+    // the run succeeds and only the counters betray the faults.
+    faults::arm({"hb.dma_error", 0.0, /*nthHit=*/5, 3});
+    const RunResult result = vm->run(*program, inputs);
+    EXPECT_GT(result.counters.get("hb.dma_retries"), 0.0);
+    EXPECT_TRUE(reference::validBfsParents(graph, 0,
+                                           result.property("parent")));
+}
+
+TEST_F(Guardrails, AllocFailureIsNotRecoverable)
+{
+    const Graph graph = gen::path(8);
+    ProgramPtr program =
+        frontend::compileSource(kRunawaySource, "alloc_test");
+    CpuVM vm;
+    RunInputs inputs;
+    inputs.graph = &graph;
+
+    faults::arm({"runtime.alloc_fail", 0.0, /*nthHit=*/1, 1});
+    try {
+        vm.runGuarded(*program, inputs);
+        FAIL() << "expected GuardError";
+    } catch (const GuardError &error) {
+        // Not a schedule problem: runGuarded must rethrow, not degrade.
+        EXPECT_EQ(error.error().kind, RunError::Kind::AllocFailed);
+        EXPECT_EQ(error.error().site, "runtime.alloc_fail");
+    }
+}
+
+TEST_F(Guardrails, GuardedRunIsPlainRunWhenNothingTrips)
+{
+    const Graph graph = datasets::load("RN", datasets::Scale::Tiny, false);
+    ProgramPtr program =
+        algorithms::buildProgram(algorithms::byName("bfs"));
+    auto vm = makeGraphVM("swarm");
+    RunInputs inputs;
+    inputs.graph = &graph;
+    inputs.args = {0, 0, 0, 16};
+    const RunResult plain = vm->run(*program, inputs);
+    const RunResult guarded = vm->runGuarded(*program, inputs);
+    EXPECT_FALSE(guarded.degraded);
+    EXPECT_EQ(guarded.guardError.kind, RunError::Kind::None);
+    EXPECT_EQ(guarded.cycles, plain.cycles);
+    EXPECT_EQ(guarded.property("parent"), plain.property("parent"));
+}
+
+} // namespace
+} // namespace ugc

@@ -21,6 +21,33 @@
  *   --verify-ir         run the GraphIR verifier after each changed pass
  *                       and once more (post-lowering invariants) at the end
  *
+ * Guardrail options (DESIGN.md §8):
+ *   --max-iters <n>     watchdog: abort any while loop after n rounds
+ *                       (also arms the oscillating-frontier detector)
+ *   --timeout-ms <n>    watchdog: abort the run after n ms of wall clock
+ *   --cycle-budget <n>  abort when simulated cycles exceed n
+ *   --memory-budget <n> abort when runtime allocations exceed n bytes
+ *   --fault <spec>      arm a deterministic fault plan; repeatable. Spec:
+ *                       site:p=0.1:seed=7 (probabilistic) or
+ *                       site:nth=3:seed=7 (every 3rd hit). Sites:
+ *                       swarm.task_abort, gpu.kernel_launch, hb.dma_error,
+ *                       runtime.alloc_fail, loader.io_error
+ *   --validate <algo>   with --run: check results against the serial
+ *                       reference (bfs, sssp, cc, pr); mismatch exits 4
+ *
+ * Exit codes:
+ *   0  success
+ *   2  usage / parse / semantic error
+ *   3  pipeline or IR-verifier failure
+ *   4  runtime error (including result-validation mismatch and
+ *      unrecovered faults)
+ *   5  budget exceeded / watchdog trip that degradation could not rescue
+ *
+ * With guardrails armed, --run executes through GraphVM::runGuarded(): a
+ * recoverable guard trip falls back to the backend's default schedule and
+ * reports `degraded` on stderr instead of failing. Fault plans are seeded:
+ * the same --fault spec reproduces the same fault stream bit-for-bit.
+ *
  * Compiles a GraphIt algorithm file through the full stack: frontend →
  * GraphIR → hardware-independent passes → GraphVM passes → code
  * generation (and optionally execution on the backend's machine model).
@@ -31,6 +58,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "autotuner/autotuner.h"
 #include "frontend/lexer.h"
@@ -38,12 +66,22 @@
 #include "graph/datasets.h"
 #include "ir/printer.h"
 #include "ir/walk.h"
+#include "reference/reference.h"
+#include "support/faults.h"
+#include "support/guard.h"
 #include "support/prof.h"
 #include "vm/factory.h"
 
 using namespace ugc;
 
 namespace {
+
+// Exit-code contract (documented above and in README).
+constexpr int kExitOk = 0;
+constexpr int kExitParse = 2;
+constexpr int kExitVerify = 3;
+constexpr int kExitRuntime = 4;
+constexpr int kExitBudget = 5;
 
 int
 usage()
@@ -54,8 +92,13 @@ usage()
         "            [--emit-ir] [--run <dataset>] [--tune]\n"
         "            [--start <v>] [--arg3 <n>] [--threads <n>]\n"
         "            [--profile <file>] [--trace <file>]\n"
-        "            [--print-passes] [--print-after-all] [--verify-ir]\n");
-    return 2;
+        "            [--print-passes] [--print-after-all] [--verify-ir]\n"
+        "            [--max-iters <n>] [--timeout-ms <n>]\n"
+        "            [--cycle-budget <n>] [--memory-budget <bytes>]\n"
+        "            [--fault site:p=<prob>|nth=<n>[:seed=<s>]]...\n"
+        "            [--validate bfs|sssp|cc|pr]\n"
+        "exit codes: 0 ok, 2 parse, 3 verify, 4 runtime, 5 budget\n");
+    return kExitParse;
 }
 
 bool
@@ -79,6 +122,29 @@ programNeedsWeights(const Program &program)
     return false;
 }
 
+/** Check @p result against the serial reference for @p algo.
+ *  @return true if the results validate. */
+bool
+validateResult(const std::string &algo, const Graph &graph, VertexId start,
+               int64_t arg3, const RunResult &result)
+{
+    if (algo == "bfs")
+        return reference::validBfsParents(graph, start,
+                                          result.property("parent"));
+    if (algo == "sssp")
+        return reference::equalInt(result.property("dist"),
+                                   reference::ssspDistances(graph, start));
+    if (algo == "cc")
+        return reference::equalInt(result.property("IDs"),
+                                   reference::connectedComponents(graph));
+    if (algo == "pr")
+        return reference::closeTo(
+            result.property("old_rank"),
+            reference::pageRank(graph, static_cast<int>(arg3)));
+    throw std::invalid_argument("unknown --validate algorithm '" + algo +
+                                "' (expected bfs, sssp, cc, or pr)");
+}
+
 } // namespace
 
 int
@@ -99,6 +165,9 @@ main(int argc, char *argv[])
     bool print_passes = false;
     bool print_after_all = false;
     bool verify_ir = false;
+    RunLimits limits;
+    std::vector<std::string> fault_specs;
+    std::string validate_algo;
 
     for (int i = 2; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -136,14 +205,39 @@ main(int argc, char *argv[])
             print_after_all = true;
         else if (flag == "--verify-ir")
             verify_ir = true;
+        else if (flag == "--max-iters")
+            limits.maxIterations = std::atoll(next());
+        else if (flag == "--timeout-ms")
+            limits.wallTimeoutMs = std::atoll(next());
+        else if (flag == "--cycle-budget")
+            limits.cycleBudget = static_cast<Cycles>(std::atoll(next()));
+        else if (flag == "--memory-budget")
+            limits.memoryBudgetBytes = static_cast<Addr>(std::atoll(next()));
+        else if (flag == "--fault")
+            fault_specs.push_back(next());
+        else if (flag == "--validate")
+            validate_algo = next();
         else
             return usage();
+    }
+
+    // An iteration watchdog implies the oscillation detector: a stuck
+    // frontier is reported as such instead of burning the full budget.
+    if (limits.maxIterations || limits.wallTimeoutMs)
+        limits.oscillationWindow = kDefaultOscillationWindow;
+
+    try {
+        for (const std::string &spec : fault_specs)
+            faults::arm(faults::parsePlan(spec));
+    } catch (const std::invalid_argument &error) {
+        std::fprintf(stderr, "ugcc: %s\n", error.what());
+        return kExitParse;
     }
 
     std::ifstream in(source_path);
     if (!in) {
         std::fprintf(stderr, "ugcc: cannot open %s\n", source_path.c_str());
-        return 1;
+        return kExitParse;
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
@@ -153,22 +247,27 @@ main(int argc, char *argv[])
         program = frontend::compileSource(buffer.str(), source_path);
     } catch (const frontend::ParseError &error) {
         std::fprintf(stderr, "ugcc: parse error: %s\n", error.what());
-        return 1;
+        return kExitParse;
     } catch (const frontend::SemaError &error) {
         std::fprintf(stderr, "ugcc: %s\n", error.what());
-        return 1;
+        return kExitParse;
     }
 
     const bool profiling = !profile_path.empty() || !trace_path.empty();
     if (profiling && run_dataset.empty()) {
         std::fprintf(stderr,
                      "ugcc: --profile/--trace require --run <dataset>\n");
-        return 2;
+        return kExitParse;
+    }
+    if (!validate_algo.empty() && run_dataset.empty()) {
+        std::fprintf(stderr, "ugcc: --validate requires --run <dataset>\n");
+        return kExitParse;
     }
 
     BackendOptions options;
     options.numThreads = threads;
     options.profiling = profiling;
+    options.limits = limits;
     auto vm = makeGraphVM(target, options);
 
     CompileOptions compile_options;
@@ -181,7 +280,7 @@ main(int argc, char *argv[])
         std::printf("pass pipeline for target '%s':\n", target.c_str());
         for (const std::string &name : vm->pipelinePassNames())
             std::printf("  %s\n", name.c_str());
-        return 0;
+        return kExitOk;
     }
 
     try {
@@ -209,7 +308,13 @@ main(int argc, char *argv[])
                                      programIsOrdered(*program));
             }
             if (!run_dataset.empty()) {
-                const RunResult result = vm->run(*program, inputs);
+                const RunResult result = vm->runGuarded(*program, inputs);
+                if (result.degraded)
+                    std::fprintf(
+                        stderr,
+                        "ugcc: degraded to the default '%s' schedule (%s)\n",
+                        target.c_str(),
+                        result.guardError.toString().c_str());
                 std::printf("ran '%s' on %s (%s GraphVM): %llu cycles, "
                             "%zu traversals\n",
                             source_path.c_str(), graph.summary().c_str(),
@@ -234,7 +339,22 @@ main(int argc, char *argv[])
                                      trace_path.c_str());
                     }
                 }
-                return 0;
+                if (!validate_algo.empty()) {
+                    if (!validateResult(validate_algo, graph, start, arg3,
+                                        result)) {
+                        std::fprintf(
+                            stderr,
+                            "ugcc: %s results FAILED validation against "
+                            "the serial reference\n",
+                            validate_algo.c_str());
+                        return kExitRuntime;
+                    }
+                    std::fprintf(stderr,
+                                 "ugcc: %s results validate against the "
+                                 "serial reference\n",
+                                 validate_algo.c_str());
+                }
+                return kExitOk;
             }
         }
 
@@ -246,7 +366,13 @@ main(int argc, char *argv[])
         }
     } catch (const PipelineError &error) {
         std::fprintf(stderr, "ugcc: %s\n", error.what());
-        return 1;
+        return kExitVerify;
+    } catch (const GuardError &error) {
+        std::fprintf(stderr, "ugcc: %s\n", error.what());
+        return recoverable(error.error().kind) ? kExitBudget : kExitRuntime;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "ugcc: runtime error: %s\n", error.what());
+        return kExitRuntime;
     }
-    return 0;
+    return kExitOk;
 }
