@@ -22,15 +22,22 @@ namespace ugc::bench {
  * @param graph_names   datasets to run (HB uses its 6-graph subset)
  * @param pr_iterations PageRank iterations (the paper reduces them for
  *                      expensive simulators, §IV-D)
+ * @param udf_tier      UDF execution tier (CPU only; the tiers are
+ *                      observationally identical, so the modeled speedups
+ *                      do not depend on this — only host wall time does)
+ * @param print         emit the speedup table to stdout
+ * @return speedup matrix, graphs × algorithms
  */
-inline void
+inline std::vector<std::vector<double>>
 runFig8(const std::string &target, datasets::Scale scale,
-        const std::vector<std::string> &graph_names, int pr_iterations)
+        const std::vector<std::string> &graph_names, int pr_iterations,
+        udf::UdfTier udf_tier = udf::UdfTier::Auto, bool print = true)
 {
     const std::vector<std::string> algs = {"pr", "bfs", "sssp", "cc", "bc"};
     std::vector<std::vector<double>> speedups;
 
-    auto vm = makeGraphVM(target, {.scaleMemoryToDatasets = true});
+    auto vm = makeGraphVM(
+        target, {.scaleMemoryToDatasets = true, .udfTier = udf_tier});
     for (const std::string &graph_name : graph_names) {
         std::vector<double> row;
         const datasets::GraphKind kind = datasets::info(graph_name).kind;
@@ -69,10 +76,12 @@ runFig8(const std::string &target, datasets::Scale scale,
         }
         speedups.push_back(std::move(row));
     }
-    printSpeedupTable(
-        "Fig 8 (" + target +
-            "): tuned-schedule speedup over default-schedule baseline",
-        graph_names, algs, speedups);
+    if (print)
+        printSpeedupTable(
+            "Fig 8 (" + target +
+                "): tuned-schedule speedup over default-schedule baseline",
+            graph_names, algs, speedups);
+    return speedups;
 }
 
 } // namespace ugc::bench

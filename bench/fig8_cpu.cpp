@@ -1,13 +1,93 @@
-/** Regenerates the CPU row-block of Fig 8 (see DESIGN.md §4). */
+/**
+ * Regenerates the CPU row-block of Fig 8 (see DESIGN.md §4), timing the
+ * full grid under both UDF tiers. The tiers are observationally identical
+ * — same modeled cycles, hence the same speedup table — so the interesting
+ * delta is host wall time, written machine-readably to
+ * bench/BENCH_fig8_cpu.json (path overridable via argv[1]) alongside the
+ * speedup matrix.
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
 #include "fig8_common.h"
 
+namespace {
+
+double
+gridSeconds(const std::vector<std::string> &graphs, ugc::udf::UdfTier tier,
+            std::vector<std::vector<double>> *speedups)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    auto matrix = ugc::bench::runFig8(
+        "cpu", ugc::datasets::Scale::Small, graphs, /*pr_iterations=*/10,
+        tier, /*print=*/tier == ugc::udf::UdfTier::Auto);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - begin;
+    if (speedups)
+        *speedups = std::move(matrix);
+    return wall.count();
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char *argv[])
 {
     std::vector<std::string> graphs;
     for (const auto &info : ugc::datasets::all())
         graphs.push_back(info.name);
-    ugc::bench::runFig8("cpu", ugc::datasets::Scale::Small, graphs,
-                        /*pr_iterations=*/10);
-    return 0;
+
+    std::vector<std::vector<double>> interp_speedups;
+    std::vector<std::vector<double>> speedups;
+    const double interp_wall =
+        gridSeconds(graphs, ugc::udf::UdfTier::Interp, &interp_speedups);
+    const double compiled_wall =
+        gridSeconds(graphs, ugc::udf::UdfTier::Auto, &speedups);
+
+    // The compiled tier must not disturb the modeled results.
+    const bool identical = interp_speedups == speedups;
+    std::printf("\nwall: interp %.3fs, compiled %.3fs (%.2fx), "
+                "speedup tables %s\n",
+                interp_wall, compiled_wall, interp_wall / compiled_wall,
+                identical ? "identical" : "DIVERGED");
+
+    const char *json_path =
+        argc > 1 ? argv[1] : "bench/BENCH_fig8_cpu.json";
+    FILE *out = std::fopen(json_path, "w");
+    if (!out) {
+        std::fprintf(stderr, "fig8_cpu: cannot write %s\n", json_path);
+        return 1;
+    }
+    const std::vector<std::string> algs = {"pr", "bfs", "sssp", "cc",
+                                           "bc"};
+    std::fprintf(out, "{\n  \"benchmark\": \"fig8_cpu\",\n");
+    std::fprintf(out,
+                 "  \"wall_seconds\": {\"interp\": %.4f, "
+                 "\"compiled\": %.4f},\n",
+                 interp_wall, compiled_wall);
+    std::fprintf(out, "  \"interp_over_compiled\": %.3f,\n",
+                 interp_wall / compiled_wall);
+    std::fprintf(out, "  \"tiers_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(out, "  \"algorithms\": [");
+    for (size_t a = 0; a < algs.size(); ++a)
+        std::fprintf(out, "%s\"%s\"", a ? ", " : "", algs[a].c_str());
+    std::fprintf(out, "],\n  \"speedup\": {\n");
+    double log_sum = 0.0;
+    size_t cells = 0;
+    for (size_t g = 0; g < graphs.size(); ++g) {
+        std::fprintf(out, "    \"%s\": [", graphs[g].c_str());
+        for (size_t a = 0; a < speedups[g].size(); ++a) {
+            std::fprintf(out, "%s%.3f", a ? ", " : "", speedups[g][a]);
+            log_sum += std::log(speedups[g][a]);
+            ++cells;
+        }
+        std::fprintf(out, "]%s\n", g + 1 < graphs.size() ? "," : "");
+    }
+    std::fprintf(out, "  },\n  \"geomean\": %.3f\n}\n",
+                 std::exp(log_sum / static_cast<double>(cells)));
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+    return identical ? 0 : 1;
 }

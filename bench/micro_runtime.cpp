@@ -18,6 +18,8 @@
 #include "support/prof.h"
 #include "udf/compiler.h"
 #include "udf/interp.h"
+#include "udf/kernels.h"
+#include "udf/registry.h"
 #include "vm/factory.h"
 
 using namespace ugc;
@@ -56,7 +58,11 @@ BENCHMARK(BM_VertexSetConvert);
 void
 BM_UdfDispatch(benchmark::State &state)
 {
-    // The lowered BFS updateEdge: CAS + branch + enqueue.
+    // The BFS updateEdge body executed per edge two ways: per-edge
+    // bytecode dispatch with Span<Reg> marshalling (arg 0) vs the
+    // compiled kernel tier running a whole 16-neighbor adjacency list in
+    // one call (arg 1). Items processed are edges, so items/s compares
+    // the per-edge UDF cost of the two tiers directly.
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName("bfs"));
     Program lowered = *program; // unlowered UDF is fine for dispatch cost
@@ -76,16 +82,45 @@ BM_UdfDispatch(benchmark::State &state)
     runtime.bindEnqueue(enqueue_sink);
     runtime.bindUpdatePriorityMin(update_min_sink);
 
+    constexpr size_t kFan = 16;
+    std::vector<VertexId> nbrs(kFan);
+    std::iota(nbrs.begin(), nbrs.end(), VertexId{1});
+
     UdfStats stats;
-    VertexId dst = 0;
-    for (auto _ : state) {
-        Reg args[2] = {regOfInt(1), regOfInt(dst)};
-        runUdf(chunk, {args, 2}, runtime, stats);
-        dst = (dst + 1) & 0xffff;
+    const bool use_kernel = state.range(0) != 0;
+    if (use_kernel) {
+        static const auto spec = udf::matchUdfKernel(chunk);
+        if (!spec) {
+            state.SkipWithError("BFS updateEdge did not match a kernel");
+            return;
+        }
+        udf::KernelQuery query; // serial, unweighted, no filter
+        udf::PushKernelFn kernel = udf::selectPushKernel(*spec, query);
+        if (!kernel) {
+            state.SkipWithError("no kernel instantiation selected");
+            return;
+        }
+        udf::KernelCtx ctx{};
+        ctx.spec = &*spec;
+        ctx.props[0] = &parent;
+        ctx.stats = &stats;
+        for (auto _ : state) {
+            kernel(ctx, 0, nbrs.data(), nullptr, kFan);
+        }
+    } else {
+        Reg args[2];
+        args[0] = regOfInt(0);
+        for (auto _ : state) {
+            for (size_t k = 0; k < kFan; ++k) {
+                args[1] = regOfInt(nbrs[k]);
+                runUdf(chunk, {args, 2}, runtime, stats);
+            }
+        }
     }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(kFan));
 }
-BENCHMARK(BM_UdfDispatch);
+BENCHMARK(BM_UdfDispatch)->Arg(0)->Arg(1);
 
 void
 BM_PrioQueueChurn(benchmark::State &state)

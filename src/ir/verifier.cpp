@@ -7,6 +7,7 @@
 #include "ir/walk.h"
 #include "sched/schedule.h"
 #include "support/string_util.h"
+#include "udf/registry.h"
 
 namespace ugc {
 
@@ -541,6 +542,19 @@ class Verifier
             } catch (const std::bad_any_cast &) {
                 error(func, path, &iter,
                       "direction metadata is not a Direction");
+            }
+        }
+        if (iter.hasMetadata("udf_kernel")) {
+            try {
+                const auto kernel =
+                    iter.getMetadata<std::string>("udf_kernel");
+                if (!udf::isKernelName(kernel))
+                    error(func, path, &iter,
+                          "udf_kernel metadata names unknown kernel '" +
+                              kernel + "'");
+            } catch (const std::bad_any_cast &) {
+                error(func, path, &iter,
+                      "udf_kernel metadata is not a string");
             }
         }
 

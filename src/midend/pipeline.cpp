@@ -4,6 +4,7 @@
 #include "midend/direction_lowering.h"
 #include "midend/frontier_reuse.h"
 #include "midend/ordered.h"
+#include "midend/udf_kernel_select.h"
 
 namespace ugc::midend {
 
@@ -15,6 +16,9 @@ registerStandardPasses(PassManager &manager, SchedulePtr default_schedule)
     manager.addPass(std::make_unique<AtomicsInsertionPass>());
     manager.addPass(std::make_unique<FrontierReusePass>());
     manager.addPass(std::make_unique<OrderedLoweringPass>());
+    // Runs last so it sees the final per-variant UDFs (post direction /
+    // atomics / ordered lowering) before backend-specific passes.
+    manager.addPass(std::make_unique<UdfKernelSelectPass>());
 }
 
 PassManager

@@ -1,0 +1,61 @@
+#include "midend/udf_kernel_select.h"
+
+#include "ir/walk.h"
+#include "udf/compiler.h"
+#include "udf/registry.h"
+
+namespace ugc {
+
+namespace midend {
+
+UdfKernelInfo
+UdfKernelAnalysis::run(Program &program)
+{
+    UdfKernelInfo info;
+    const SymbolTables symbols = SymbolTables::fromProgram(program);
+    for (const FunctionPtr &func : program.functions()) {
+        walkStmts(func->body, [&](const StmtPtr &stmt, const std::string &) {
+            if (stmt->kind != StmtKind::EdgeSetIterator)
+                return;
+            auto *iter = static_cast<EdgeSetIteratorStmt *>(stmt.get());
+            ++info.traversals;
+            const std::string variant =
+                iter->getMetadataOr<std::string>("apply_variant",
+                                                 iter->applyFunc);
+            const FunctionPtr udf = program.findFunction(variant);
+            if (!udf)
+                return;
+            try {
+                const Chunk chunk = compileUdf(*udf, symbols);
+                const auto spec = udf::matchUdfKernel(chunk);
+                if (!spec)
+                    return;
+                info.matches.push_back({stmt.get(), variant, spec->name});
+            } catch (const std::exception &) {
+                // Bytecode compilation failures mean the interpreter tier
+                // would reject this UDF too; nothing to select here.
+            }
+        });
+    }
+    return info;
+}
+
+} // namespace midend
+
+PassResult
+UdfKernelSelectPass::run(Program &program, AnalysisManager &analyses)
+{
+    const midend::UdfKernelInfo &info =
+        analyses.get<midend::UdfKernelAnalysis>(program);
+    bool changed = false;
+    for (const auto &entry : info.matches) {
+        if (entry.stmt->getMetadataOr<std::string>("udf_kernel", "") ==
+            entry.kernel)
+            continue;
+        entry.stmt->setMetadata<std::string>("udf_kernel", entry.kernel);
+        changed = true;
+    }
+    return PassResult::changedIf(changed);
+}
+
+} // namespace ugc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * udf-kernel-select: compiled-kernel selection for lowered UDFs.
+ *
+ * After direction lowering, atomics insertion, and ordered lowering have
+ * produced the final per-variant UDFs, this pass compiles each edge
+ * traversal's apply UDF to bytecode and pattern-matches it against the
+ * compiled-kernel catalog (udf/registry.h). A match attaches
+ * `udf_kernel = "<catalog name>"` metadata to the traversal statement;
+ * backends whose machine model supports the compiled tier (currently the
+ * CPU) use that as the green light to run the specialized kernel instead
+ * of the bytecode interpreter. Traversals that do not match carry no
+ * metadata and always interpret — fallback is the absence of a claim,
+ * never an error.
+ *
+ * The matching itself lives in UdfKernelAnalysis so repeated pipeline
+ * runs (verify-each, autotuning sweeps) reuse the cached result until a
+ * pass invalidates it.
+ */
+#ifndef UGC_MIDEND_UDF_KERNEL_SELECT_H
+#define UGC_MIDEND_UDF_KERNEL_SELECT_H
+
+#include <string>
+#include <vector>
+
+#include "midend/analyses.h"
+#include "midend/pass.h"
+
+namespace ugc {
+
+namespace midend {
+
+/** Result of matching every edge traversal against the kernel catalog. */
+struct UdfKernelInfo
+{
+    struct Entry
+    {
+        Stmt *stmt = nullptr;     ///< the EdgeSetIterator node
+        std::string variant;      ///< resolved apply variant name
+        std::string kernel;       ///< catalog kernel name
+    };
+
+    std::vector<Entry> matches;  ///< traversals with a recognized shape
+    std::size_t traversals = 0;  ///< edge traversals inspected
+};
+
+struct UdfKernelAnalysis
+{
+    static const char *key() { return "udf-kernel-catalog"; }
+    using Result = UdfKernelInfo;
+    static Result run(Program &program);
+};
+
+} // namespace midend
+
+class UdfKernelSelectPass : public Pass
+{
+  public:
+    std::string name() const override { return "udf-kernel-select"; }
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+
+    /** Metadata-only: statement structure is untouched. */
+    PreservedAnalyses
+    preservedAnalyses() const override
+    {
+        return PreservedAnalyses::none()
+            .preserve(midend::TraversalIndexAnalysis::key())
+            .preserve(midend::IRStatsAnalysis::key())
+            .preserve(midend::UdfKernelAnalysis::key());
+    }
+};
+
+} // namespace ugc
+
+#endif // UGC_MIDEND_UDF_KERNEL_SELECT_H

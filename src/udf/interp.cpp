@@ -2,130 +2,16 @@
 
 #include <cassert>
 #include <stdexcept>
-#include <thread>
+
+#include "udf/rmw.h"
 
 namespace ugc {
 
-namespace {
-
-/** Non-atomic reduction used when runtime.useAtomics is false. */
-bool
-reducePlain(VertexData &prop, VertexId index, ReductionType op, Reg value)
-{
-    if (prop.isFloat()) {
-        const double current = prop.getFloat(index);
-        switch (op) {
-          case ReductionType::Sum:
-            prop.setFloat(index, current + value.f);
-            return value.f != 0.0;
-          case ReductionType::Min:
-            if (value.f < current) {
-                prop.setFloat(index, value.f);
-                return true;
-            }
-            return false;
-          case ReductionType::Max:
-            if (value.f > current) {
-                prop.setFloat(index, value.f);
-                return true;
-            }
-            return false;
-        }
-    } else {
-        const int64_t current = prop.getInt(index);
-        switch (op) {
-          case ReductionType::Sum:
-            prop.setInt(index, current + value.i);
-            return value.i != 0;
-          case ReductionType::Min:
-            if (value.i < current) {
-                prop.setInt(index, value.i);
-                return true;
-            }
-            return false;
-          case ReductionType::Max:
-            if (value.i > current) {
-                prop.setInt(index, value.i);
-                return true;
-            }
-            return false;
-        }
-    }
-    return false;
-}
-
-bool
-reduceAtomic(VertexData &prop, VertexId index, ReductionType op, Reg value)
-{
-    if (prop.isFloat()) {
-        switch (op) {
-          case ReductionType::Sum:
-            prop.addFloat(index, value.f);
-            return value.f != 0.0;
-          case ReductionType::Min:
-            return prop.minFloat(index, value.f);
-          case ReductionType::Max:
-            // Float max is unused by our algorithms; plain emulation.
-            return reducePlain(prop, index, op, value);
-        }
-    } else {
-        switch (op) {
-          case ReductionType::Sum:
-            prop.addInt(index, value.i);
-            return value.i != 0;
-          case ReductionType::Min:
-            return prop.minInt(index, value.i);
-          case ReductionType::Max:
-            return prop.maxInt(index, value.i);
-        }
-    }
-    return false;
-}
-
-/**
- * Deterministic parallel CAS (see UdfRuntime::casRound).
- *
- * The first thread to claim the round bit publishes its value and reports
- * the swap (matching the serial path's single successful CAS per vertex
- * per round); same-round losers atomically lower the published value to
- * the minimum desired, so the final value equals the serial outcome — the
- * lowest-index writer of the sorted frontier — for the monotone UDFs the
- * midend generates. The acquire/release pairing on the property value
- * makes the round bit's visibility track the published value, so a value
- * that already left `expected` with the bit clear was written by an
- * earlier round and is never refined.
- */
-bool
-detCasInt(VertexData &prop, VertexId index, int64_t expected,
-          int64_t desired, Bitset &round)
-{
-    if (prop.getIntAcquire(index) == expected) {
-        if (round.setAtomic(static_cast<size_t>(index))) {
-            // Designated round winner. Nobody writes before the winner
-            // publishes, so the property still holds `expected`.
-            prop.casIntRelease(index, expected, desired);
-            return true;
-        }
-        // A same-round winner claimed the bit first; refine below.
-    } else if (!round.testAtomic(static_cast<size_t>(index))) {
-        return false; // written in an earlier round; serial CAS fails too
-    }
-    for (;;) {
-        const int64_t current = prop.getIntAcquire(index);
-        if (current == expected) {
-            if (current == desired)
-                break; // degenerate no-op CAS: publish is invisible
-            std::this_thread::yield(); // winner has not published yet
-            continue;
-        }
-        if (desired >= current ||
-            prop.casIntRelease(index, current, desired))
-            break;
-    }
-    return false;
-}
-
-} // namespace
+// Reduction and deterministic-CAS semantics are shared with the compiled
+// kernel tier (kernels.cpp) via rmw.h so the tiers cannot drift.
+using udf::detCasInt;
+using udf::reduceAtomic;
+using udf::reducePlain;
 
 // Direct-threaded dispatch: one indirect branch per instruction, from the
 // instruction's own slot, instead of a shared switch branch — measurably

@@ -1,0 +1,376 @@
+#include "udf/kernels.h"
+
+#include <type_traits>
+
+#include "udf/rmw.h"
+
+namespace ugc::udf {
+
+namespace {
+
+/**
+ * Stat parity, once per edge: the interpreter charges every fetched
+ * instruction plus the per-op read/write counters; the matcher folded
+ * those into per-path costs, and the kernels add the outcome-conditional
+ * pieces (swap/change writes, atomics, enqueues) dynamically. Keep every
+ * charge here in lockstep with interp.cpp.
+ */
+inline void
+chargePath(UdfStats &st, const PathCost &pc)
+{
+    st.instructions += pc.instructions;
+    st.propReads += pc.propReads;
+    st.propWrites += pc.propWrites;
+}
+
+/** Inlined destination filter; true = edge survives. */
+template <bool HasFilter>
+inline bool
+passesFilter(const KernelCtx &ctx, UdfStats &st, VertexId v)
+{
+    if constexpr (HasFilter) {
+        st.instructions += ctx.filter->instructions;
+        ++st.propReads;
+        return ctx.filterProp->getInt(v) == ctx.filter->imm;
+    } else {
+        (void)ctx;
+        (void)st;
+        (void)v;
+        return true;
+    }
+}
+
+/** The engine's push/pull enqueue sink: count, dedup, buffer. */
+inline void
+sinkEnqueue(const KernelCtx &ctx, UdfStats &st, VertexId x)
+{
+    ++st.enqueues;
+    if (ctx.outBuffer &&
+        (!ctx.visited || ctx.visited->setAtomic(static_cast<size_t>(x))))
+        ctx.outBuffer->push_back(x);
+}
+
+// ---------------------------------------------------------------- push
+
+template <bool Atomic, bool Det, bool HasFilter>
+void
+casEnqueuePush(const KernelCtx &ctx, VertexId u, const VertexId *nbrs,
+               const Weight *, size_t deg)
+{
+    const KernelSpec &spec = *ctx.spec;
+    VertexData &prop = *ctx.props[0];
+    UdfStats &st = *ctx.stats;
+    const int64_t expected = spec.imm;
+    for (size_t k = 0; k < deg; ++k) {
+        const VertexId v = nbrs[k];
+        if (!passesFilter<HasFilter>(ctx, st, v))
+            continue;
+        bool swapped;
+        if constexpr (Atomic) {
+            if constexpr (Det)
+                swapped = detCasInt(prop, v, expected, u, *ctx.casRound);
+            else
+                swapped = prop.casInt(v, expected, u);
+            ++st.atomics;
+        } else {
+            swapped = prop.getInt(v) == expected;
+            if (swapped)
+                prop.setInt(v, u);
+        }
+        chargePath(st, swapped ? spec.taken : spec.notTaken);
+        if (swapped) {
+            ++st.propWrites;
+            ++st.updates;
+            sinkEnqueue(ctx, st, v);
+        }
+    }
+}
+
+template <bool HasEnqueue, bool HasFilter>
+void
+storePush(const KernelCtx &ctx, VertexId u, const VertexId *nbrs,
+          const Weight *, size_t deg)
+{
+    const KernelSpec &spec = *ctx.spec;
+    VertexData &prop = *ctx.props[0];
+    UdfStats &st = *ctx.stats;
+    for (size_t k = 0; k < deg; ++k) {
+        const VertexId v = nbrs[k];
+        if (!passesFilter<HasFilter>(ctx, st, v))
+            continue;
+        prop.setInt(v, u);
+        chargePath(st, spec.notTaken); // single path
+        if constexpr (HasEnqueue)
+            sinkEnqueue(ctx, st, v);
+    }
+}
+
+template <bool Float, bool Atomic, bool HasEnqueue, bool HasFilter>
+void
+reducePush(const KernelCtx &ctx, VertexId u, const VertexId *nbrs,
+           const Weight *, size_t deg)
+{
+    const KernelSpec &spec = *ctx.spec;
+    VertexData &target = *ctx.props[0];
+    VertexData &source = *ctx.props[1];
+    UdfStats &st = *ctx.stats;
+    const ReductionType rop = spec.rop;
+    for (size_t k = 0; k < deg; ++k) {
+        const VertexId v = nbrs[k];
+        if (!passesFilter<HasFilter>(ctx, st, v))
+            continue;
+        // Load per edge: the source may alias the target (CC reduces IDs
+        // with IDs, self-loops included), exactly like the interpreter.
+        Reg value;
+        if constexpr (Float)
+            value.f = source.getFloat(u);
+        else
+            value.i = source.getInt(u);
+        bool changed;
+        if constexpr (Atomic) {
+            changed = reduceAtomic(target, v, rop, value);
+            ++st.atomics;
+        } else {
+            changed = reducePlain(target, v, rop, value);
+        }
+        chargePath(st, (HasEnqueue && changed) ? spec.taken : spec.notTaken);
+        if (changed)
+            ++st.updates;
+        if constexpr (HasEnqueue) {
+            if (changed)
+                sinkEnqueue(ctx, st, v);
+        }
+    }
+}
+
+template <bool Locked>
+void
+relaxMinPush(const KernelCtx &ctx, VertexId u, const VertexId *nbrs,
+             const Weight *wts, size_t deg)
+{
+    const KernelSpec &spec = *ctx.spec;
+    VertexData &dist = *ctx.props[0];
+    UdfStats &st = *ctx.stats;
+    for (size_t k = 0; k < deg; ++k) {
+        const VertexId v = nbrs[k];
+        // dist[src] can drop mid-traversal (self-relaxations); reload per
+        // edge like the interpreter's LoadProp.
+        const int64_t prio = dist.getInt(u) + wts[k];
+        bool changed;
+        if constexpr (Locked) {
+            std::lock_guard<std::mutex> lock(*ctx.queueMutex);
+            changed = ctx.queue->updatePriorityMin(v, prio);
+        } else {
+            changed = ctx.queue->updatePriorityMin(v, prio);
+        }
+        chargePath(st, spec.notTaken); // single path
+        if (changed) {
+            ++st.propWrites;
+            ++st.updates;
+        }
+    }
+}
+
+template <bool Atomic>
+void
+bcBackwardPush(const KernelCtx &ctx, VertexId u, const VertexId *nbrs,
+               const Weight *, size_t deg)
+{
+    const KernelSpec &spec = *ctx.spec;
+    VertexData &dep = *ctx.props[0];
+    VertexData &np = *ctx.props[1];
+    VertexData &vis = *ctx.props[2];
+    VertexData &lev = *ctx.props[3];
+    UdfStats &st = *ctx.stats;
+    for (size_t k = 0; k < deg; ++k) {
+        const VertexId v = nbrs[k];
+        if (vis.getInt(v) == spec.imm &&
+            lev.getInt(v) == lev.getInt(u) - spec.imm2) {
+            Reg value;
+            value.f = (np.getFloat(v) / np.getFloat(u)) *
+                      (spec.fimm + dep.getFloat(u));
+            bool changed;
+            if constexpr (Atomic) {
+                changed = reduceAtomic(dep, v, ReductionType::Sum, value);
+                ++st.atomics;
+            } else {
+                changed = reducePlain(dep, v, ReductionType::Sum, value);
+            }
+            chargePath(st, spec.taken);
+            if (changed)
+                ++st.updates;
+        } else {
+            chargePath(st, spec.notTaken);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- pull
+
+template <bool HasEnqueue, bool HasMember>
+EdgeId
+storePull(const KernelCtx &ctx, VertexId v, const VertexId *nbrs,
+          const Weight *, size_t deg)
+{
+    const KernelSpec &spec = *ctx.spec;
+    VertexData &prop = *ctx.props[0];
+    UdfStats &st = *ctx.stats;
+    EdgeId scanned = 0;
+    for (size_t k = 0; k < deg; ++k) {
+        const VertexId u = nbrs[k];
+        ++scanned; // the engine counts edges before the membership test
+        if constexpr (HasMember) {
+            if (!ctx.membership->test(static_cast<size_t>(u)))
+                continue;
+        }
+        prop.setInt(v, u);
+        chargePath(st, spec.notTaken); // single path
+        if constexpr (HasEnqueue) {
+            sinkEnqueue(ctx, st, v);
+            if (ctx.earlyExit)
+                break;
+        }
+    }
+    return scanned;
+}
+
+template <bool Float, bool HasEnqueue, bool HasMember>
+EdgeId
+reducePull(const KernelCtx &ctx, VertexId v, const VertexId *nbrs,
+           const Weight *, size_t deg)
+{
+    const KernelSpec &spec = *ctx.spec;
+    VertexData &target = *ctx.props[0];
+    VertexData &source = *ctx.props[1];
+    UdfStats &st = *ctx.stats;
+    const ReductionType rop = spec.rop;
+    EdgeId scanned = 0;
+    for (size_t k = 0; k < deg; ++k) {
+        const VertexId u = nbrs[k];
+        ++scanned;
+        if constexpr (HasMember) {
+            if (!ctx.membership->test(static_cast<size_t>(u)))
+                continue;
+        }
+        Reg value;
+        if constexpr (Float)
+            value.f = source.getFloat(u);
+        else
+            value.i = source.getInt(u);
+        // Pull traversals run without atomics (each destination has one
+        // owner), matching runtime.useAtomics = false in the interpreter.
+        const bool changed = reducePlain(target, v, rop, value);
+        chargePath(st, (HasEnqueue && changed) ? spec.taken : spec.notTaken);
+        if (changed)
+            ++st.updates;
+        if constexpr (HasEnqueue) {
+            if (changed) {
+                sinkEnqueue(ctx, st, v);
+                if (ctx.earlyExit)
+                    break;
+            }
+        }
+    }
+    return scanned;
+}
+
+} // namespace
+
+PushKernelFn
+selectPushKernel(const KernelSpec &spec, const KernelQuery &q)
+{
+    switch (spec.kind) {
+      case KernelKind::CasEnqueue: {
+        if (q.isFloat)
+            return nullptr;
+        const bool atomic = spec.atomicRMW && q.useAtomics;
+        const bool det = atomic && q.detCas;
+        if (det)
+            return q.hasFilter ? casEnqueuePush<true, true, true>
+                               : casEnqueuePush<true, true, false>;
+        if (atomic)
+            return q.hasFilter ? casEnqueuePush<true, false, true>
+                               : casEnqueuePush<true, false, false>;
+        return q.hasFilter ? casEnqueuePush<false, false, true>
+                           : casEnqueuePush<false, false, false>;
+      }
+      case KernelKind::StoreEnqueue:
+        if (q.isFloat)
+            return nullptr;
+        if (spec.hasEnqueue)
+            return q.hasFilter ? storePush<true, true>
+                               : storePush<true, false>;
+        return q.hasFilter ? storePush<false, true> : storePush<false, false>;
+      case KernelKind::Reduce: {
+        if (q.isFloat != q.sourceIsFloat)
+            return nullptr;
+        const bool atomic = spec.atomicRMW && q.useAtomics;
+        // 4 boolean axes; expand the float axis by hand, dispatch the rest.
+        auto pick = [&](auto float_tag) -> PushKernelFn {
+            constexpr bool F = decltype(float_tag)::value;
+            if (atomic) {
+                if (spec.hasEnqueue)
+                    return q.hasFilter ? reducePush<F, true, true, true>
+                                       : reducePush<F, true, true, false>;
+                return q.hasFilter ? reducePush<F, true, false, true>
+                                   : reducePush<F, true, false, false>;
+            }
+            if (spec.hasEnqueue)
+                return q.hasFilter ? reducePush<F, false, true, true>
+                                   : reducePush<F, false, true, false>;
+            return q.hasFilter ? reducePush<F, false, false, true>
+                               : reducePush<F, false, false, false>;
+        };
+        return q.isFloat ? pick(std::true_type{}) : pick(std::false_type{});
+      }
+      case KernelKind::RelaxMin:
+        if (q.hasFilter || q.isFloat || !q.weighted)
+            return nullptr;
+        return q.locked ? relaxMinPush<true> : relaxMinPush<false>;
+      case KernelKind::BcBackward:
+        if (q.hasFilter || !q.isFloat)
+            return nullptr;
+        return (spec.atomicRMW && q.useAtomics) ? bcBackwardPush<true>
+                                                : bcBackwardPush<false>;
+      case KernelKind::None:
+        break;
+    }
+    return nullptr;
+}
+
+PullKernelFn
+selectPullKernel(const KernelSpec &spec, const KernelQuery &q)
+{
+    const bool member = q.hasMembership;
+    switch (spec.kind) {
+      case KernelKind::StoreEnqueue:
+        if (q.isFloat)
+            return nullptr;
+        if (spec.hasEnqueue)
+            return member ? storePull<true, true> : storePull<true, false>;
+        return member ? storePull<false, true> : storePull<false, false>;
+      case KernelKind::Reduce: {
+        if (q.isFloat != q.sourceIsFloat)
+            return nullptr;
+        auto pick = [&](auto float_tag) -> PullKernelFn {
+            constexpr bool F = decltype(float_tag)::value;
+            if (spec.hasEnqueue)
+                return member ? reducePull<F, true, true>
+                              : reducePull<F, true, false>;
+            return member ? reducePull<F, false, true>
+                          : reducePull<F, false, false>;
+        };
+        return q.isFloat ? pick(std::true_type{}) : pick(std::false_type{});
+      }
+      // CAS rewrites, priority relaxations, and the BC backward sweep are
+      // push-only in the midend's lowering.
+      case KernelKind::CasEnqueue:
+      case KernelKind::RelaxMin:
+      case KernelKind::BcBackward:
+      case KernelKind::None:
+        break;
+    }
+    return nullptr;
+}
+
+} // namespace ugc::udf

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Compiled UDF kernels: the specialized edge-visit inner loops.
+ *
+ * Each kernel is a compiled-in C++ template instantiation covering one
+ * catalog shape (registry.h) × the schedule axes that change the inner
+ * loop: atomic vs plain RMW, deterministic casRound CAS, weighted edges,
+ * an inlined destination filter, and the enqueue sink. A kernel processes
+ * one source's (push) or one destination's (pull) whole adjacency list
+ * per call, so the per-edge indirect dispatch and Span<Reg> marshalling
+ * of the interpreter disappear; filter and apply are inlined into a
+ * single loop.
+ *
+ * Kernels feed the exact same UdfStats the interpreter would produce —
+ * including per-path instruction counts from the matched chunk — so
+ * `udf.*` profile events, cycle models, and determinism tests cannot
+ * tell the tiers apart.
+ */
+#ifndef UGC_UDF_KERNELS_H
+#define UGC_UDF_KERNELS_H
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "runtime/prio_queue.h"
+#include "runtime/vertex_data.h"
+#include "support/bitset.h"
+#include "support/types.h"
+#include "udf/interp.h"
+#include "udf/registry.h"
+
+namespace ugc::udf {
+
+/** Everything a kernel needs at run time. The spec/props/filter part is
+ *  resolved once per traversal; the per-worker part (stats, buffers) is
+ *  filled in by each worker before its first block. */
+struct KernelCtx
+{
+    const KernelSpec *spec = nullptr;
+    VertexData *props[4] = {nullptr, nullptr, nullptr, nullptr};
+
+    /** Inlined destination filter (push only); null = no filter. */
+    const FilterSpec *filter = nullptr;
+    VertexData *filterProp = nullptr;
+
+    UdfStats *stats = nullptr;
+
+    // enqueue sink (mirrors the engine's push/pull enqueue lambdas)
+    Bitset *visited = nullptr;               ///< dedup bitset, may be null
+    std::vector<VertexId> *outBuffer = nullptr; ///< null = no output set
+
+    // priority sink (relax-min)
+    PrioQueue *queue = nullptr;
+    std::mutex *queueMutex = nullptr; ///< null = unlocked updates
+
+    Bitset *casRound = nullptr; ///< deterministic CAS round bit, may be null
+
+    // pull-only state
+    const Bitset *membership = nullptr; ///< frontier membership, null = all
+    bool earlyExit = false; ///< stop scanning after the first enqueue
+};
+
+/** Push: visit every out-edge of source @p u. */
+using PushKernelFn = void (*)(const KernelCtx &ctx, VertexId u,
+                              const VertexId *nbrs, const Weight *wts,
+                              size_t deg);
+
+/** Pull: visit in-edges of destination @p v; returns edges scanned
+ *  (early exit stops short, and the engine counts scanned edges). */
+using PullKernelFn = EdgeId (*)(const KernelCtx &ctx, VertexId v,
+                                const VertexId *nbrs, const Weight *wts,
+                                size_t deg);
+
+/** Traversal-time facts that pick the template instantiation. */
+struct KernelQuery
+{
+    bool useAtomics = false; ///< traversal runs with atomics (push)
+    bool detCas = false;     ///< casRound armed (deterministic CAS)
+    bool weighted = false;   ///< traversal passes edge weights
+    bool locked = false;     ///< priority updates need the queue mutex
+    bool isFloat = false;    ///< props[0] element type
+    bool sourceIsFloat = false; ///< Reduce: props[1] element type
+    bool hasFilter = false;  ///< an inlined destination filter is present
+    bool hasMembership = false; ///< pull: a frontier membership bitset
+};
+
+/** Returns the kernel for @p spec under @p query, or null when no
+ *  instantiation covers this combination (caller falls back to interp). */
+PushKernelFn selectPushKernel(const KernelSpec &spec,
+                              const KernelQuery &query);
+PullKernelFn selectPullKernel(const KernelSpec &spec,
+                              const KernelQuery &query);
+
+} // namespace ugc::udf
+
+#endif // UGC_UDF_KERNELS_H

@@ -1,0 +1,663 @@
+#include "udf/registry.h"
+
+#include <array>
+#include <cstddef>
+
+namespace ugc::udf {
+
+const char *
+udfTierName(UdfTier tier)
+{
+    switch (tier) {
+      case UdfTier::Auto:
+        return "auto";
+      case UdfTier::Interp:
+        return "interp";
+      case UdfTier::Compiled:
+        return "compiled";
+    }
+    return "auto";
+}
+
+std::optional<UdfTier>
+parseUdfTier(const std::string &name)
+{
+    if (name == "auto")
+        return UdfTier::Auto;
+    if (name == "interp")
+        return UdfTier::Interp;
+    if (name == "compiled")
+        return UdfTier::Compiled;
+    return std::nullopt;
+}
+
+bool
+isKernelName(const std::string &name)
+{
+    static const std::array<const char *, 11> kNames = {
+        "cas-enqueue",    "store",          "store-enqueue",
+        "reduce-sum",     "reduce-min",     "reduce-max",
+        "reduce-sum-enq", "reduce-min-enq", "reduce-max-enq",
+        "relax-min",      "bc-backward",
+    };
+    for (const char *n : kNames)
+        if (name == n)
+            return true;
+    return false;
+}
+
+namespace {
+
+/**
+ * Symbolic execution of a lowered chunk. Every register holds a node of a
+ * small value graph; side effects (stores, CAS, reductions, enqueues,
+ * priority updates) are recorded in program order together with whether
+ * they sit inside the chunk's single forward-branch region. The pattern
+ * matchers below then test the effect list and the guard/value trees
+ * against the catalog shapes.
+ */
+struct Node
+{
+    enum class K {
+        Param,
+        ConstI,
+        ConstF,
+        Load,          ///< a = slot, l = index node
+        CasResult,     ///< a = effect index
+        ReduceResult,  ///< a = effect index
+        UpdateMinResult,
+        Bin,           ///< op = opcode, l/r = operands (r = -1 for unary)
+    };
+    K k = K::Param;
+    Op op = Op::Mov;
+    int a = 0;
+    int64_t iv = 0;
+    double fv = 0.0;
+    int l = -1, r = -1;
+};
+
+struct Effect
+{
+    enum class K { Store, Cas, Reduce, Enqueue, UpdateMin };
+    K k = K::Store;
+    bool guarded = false;
+    int slot = -1;
+    bool atomic = false;
+    ReductionType rop = ReductionType::Sum;
+    int index = -1;    ///< node: vertex operand
+    int value = -1;    ///< node: stored / reduced / desired / priority value
+    int expected = -1; ///< node: CAS expected value
+};
+
+struct SymResult
+{
+    std::vector<Node> nodes;
+    std::vector<Effect> effects;
+    int guard = -1;  ///< node guarding the Jz region (-1: straight-line)
+    int result = -1; ///< Ret value node (-1: no result)
+    PathCost taken, notTaken;
+};
+
+std::optional<SymResult>
+symExec(const Chunk &chunk)
+{
+    constexpr int kMaxRegs = 256;
+    if (chunk.numRegs > kMaxRegs || chunk.code.empty())
+        return std::nullopt;
+
+    std::array<int, kMaxRegs> reg;
+    reg.fill(-1);
+
+    SymResult out;
+    auto push = [&out](Node n) {
+        out.nodes.push_back(n);
+        return static_cast<int>(out.nodes.size()) - 1;
+    };
+    for (int i = 0; i < chunk.numParams; ++i) {
+        Node n;
+        n.k = Node::K::Param;
+        n.a = i;
+        reg[static_cast<size_t>(i)] = push(n);
+    }
+
+    bool have_region = false;
+    size_t region_end = 0;
+    PathCost both;      // charged on every path
+    PathCost in_region; // charged only when the guard is true
+    bool saw_ret = false;
+
+    for (size_t pc = 0; pc < chunk.code.size(); ++pc) {
+        const Insn &in = chunk.code[pc];
+        const bool guarded = have_region && pc < region_end;
+        PathCost &cost = guarded ? in_region : both;
+        ++cost.instructions; // interp charges every fetched insn, Ret too
+
+        auto use = [&](int r_idx) { return reg[static_cast<size_t>(r_idx)]; };
+        auto def = [&](int r_idx, int node) {
+            reg[static_cast<size_t>(r_idx)] = node;
+        };
+
+        switch (in.op) {
+          case Op::LoadImmI: {
+            Node n;
+            n.k = Node::K::ConstI;
+            n.iv = chunk.imms[static_cast<size_t>(in.b)];
+            def(in.a, push(n));
+            break;
+          }
+          case Op::LoadImmF: {
+            Node n;
+            n.k = Node::K::ConstF;
+            n.fv = chunk.fimms[static_cast<size_t>(in.b)];
+            def(in.a, push(n));
+            break;
+          }
+          case Op::Mov:
+            if (use(in.b) < 0)
+                return std::nullopt;
+            def(in.a, use(in.b));
+            break;
+          case Op::LoadProp: {
+            if (use(in.c) < 0)
+                return std::nullopt;
+            ++cost.propReads;
+            Node n;
+            n.k = Node::K::Load;
+            n.a = in.b;
+            n.l = use(in.c);
+            def(in.a, push(n));
+            break;
+          }
+          case Op::StoreProp: {
+            if (use(in.b) < 0 || use(in.c) < 0)
+                return std::nullopt;
+            ++cost.propWrites;
+            Effect e;
+            e.k = Effect::K::Store;
+            e.guarded = guarded;
+            e.slot = in.a;
+            e.index = use(in.b);
+            e.value = use(in.c);
+            out.effects.push_back(e);
+            break;
+          }
+          case Op::CasProp: {
+            if (use(in.c) < 0 || use(in.d) < 0 || use(in.e) < 0)
+                return std::nullopt;
+            ++cost.propReads;
+            Effect e;
+            e.k = Effect::K::Cas;
+            e.guarded = guarded;
+            e.slot = in.b;
+            e.atomic = in.atomic;
+            e.index = use(in.c);
+            e.expected = use(in.d);
+            e.value = use(in.e);
+            out.effects.push_back(e);
+            Node n;
+            n.k = Node::K::CasResult;
+            n.a = static_cast<int>(out.effects.size()) - 1;
+            def(in.a, push(n));
+            break;
+          }
+          case Op::ReduceProp: {
+            if (use(in.c) < 0 || use(in.d) < 0)
+                return std::nullopt;
+            ++cost.propReads;
+            ++cost.propWrites;
+            Effect e;
+            e.k = Effect::K::Reduce;
+            e.guarded = guarded;
+            e.slot = in.b;
+            e.atomic = in.atomic;
+            e.rop = static_cast<ReductionType>(in.e);
+            e.index = use(in.c);
+            e.value = use(in.d);
+            out.effects.push_back(e);
+            if (in.a >= 0) {
+                Node n;
+                n.k = Node::K::ReduceResult;
+                n.a = static_cast<int>(out.effects.size()) - 1;
+                def(in.a, push(n));
+            }
+            break;
+          }
+          case Op::UpdatePrioMin: {
+            if (use(in.b) < 0 || use(in.c) < 0)
+                return std::nullopt;
+            ++cost.propReads;
+            Effect e;
+            e.k = Effect::K::UpdateMin;
+            e.guarded = guarded;
+            e.index = use(in.b);
+            e.value = use(in.c);
+            out.effects.push_back(e);
+            Node n;
+            n.k = Node::K::UpdateMinResult;
+            n.a = static_cast<int>(out.effects.size()) - 1;
+            def(in.a, push(n));
+            break;
+          }
+          case Op::Enqueue: {
+            if (use(in.a) < 0)
+                return std::nullopt;
+            Effect e;
+            e.k = Effect::K::Enqueue;
+            e.guarded = guarded;
+            e.index = use(in.a);
+            out.effects.push_back(e);
+            break;
+          }
+          // Pure arithmetic: record the tree. DivI/ModI can throw, so a
+          // chunk containing one (even dead) must stay interpreted.
+          case Op::AddI:
+          case Op::SubI:
+          case Op::MulI:
+          case Op::AddF:
+          case Op::SubF:
+          case Op::MulF:
+          case Op::DivF:
+          case Op::LtI:
+          case Op::LeI:
+          case Op::EqI:
+          case Op::NeI:
+          case Op::LtF:
+          case Op::LeF:
+          case Op::EqF:
+          case Op::NeF:
+          case Op::AndB:
+          case Op::OrB: {
+            if (use(in.b) < 0 || use(in.c) < 0)
+                return std::nullopt;
+            Node n;
+            n.k = Node::K::Bin;
+            n.op = in.op;
+            n.l = use(in.b);
+            n.r = use(in.c);
+            def(in.a, push(n));
+            break;
+          }
+          case Op::NotB:
+          case Op::NegI:
+          case Op::NegF:
+          case Op::I2F:
+          case Op::F2I: {
+            if (use(in.b) < 0)
+                return std::nullopt;
+            Node n;
+            n.k = Node::K::Bin;
+            n.op = in.op;
+            n.l = use(in.b);
+            def(in.a, push(n));
+            break;
+          }
+          case Op::Jz: {
+            // A single forward branch region ending before the Ret.
+            if (have_region || guarded || use(in.a) < 0)
+                return std::nullopt;
+            const auto target = static_cast<size_t>(in.b);
+            if (target <= pc + 1 || target >= chunk.code.size())
+                return std::nullopt;
+            out.guard = use(in.a);
+            have_region = true;
+            region_end = target;
+            break;
+          }
+          case Op::Ret:
+            if (guarded || pc + 1 != chunk.code.size())
+                return std::nullopt;
+            if (in.a >= 0) {
+                if (use(in.a) < 0)
+                    return std::nullopt;
+                out.result = use(in.a);
+            }
+            saw_ret = true;
+            break;
+          default:
+            // LoadGlobal/StoreGlobal/DivI/ModI/Jmp: not kernel material.
+            return std::nullopt;
+        }
+    }
+    if (!saw_ret)
+        return std::nullopt;
+
+    out.notTaken = both;
+    out.taken = both;
+    out.taken.instructions += in_region.instructions;
+    out.taken.propReads += in_region.propReads;
+    out.taken.propWrites += in_region.propWrites;
+    return out;
+}
+
+bool
+isParam(const SymResult &s, int node, int which)
+{
+    return node >= 0 && s.nodes[static_cast<size_t>(node)].k == Node::K::Param &&
+           s.nodes[static_cast<size_t>(node)].a == which;
+}
+
+bool
+isConstI(const SymResult &s, int node, int64_t *value)
+{
+    if (node < 0 || s.nodes[static_cast<size_t>(node)].k != Node::K::ConstI)
+        return false;
+    *value = s.nodes[static_cast<size_t>(node)].iv;
+    return true;
+}
+
+bool
+isConstF(const SymResult &s, int node, double *value)
+{
+    if (node < 0 || s.nodes[static_cast<size_t>(node)].k != Node::K::ConstF)
+        return false;
+    *value = s.nodes[static_cast<size_t>(node)].fv;
+    return true;
+}
+
+/** Load of @p param's vertex from any slot; reports the slot. */
+bool
+isLoadOfParam(const SymResult &s, int node, int param, int *slot)
+{
+    if (node < 0)
+        return false;
+    const Node &n = s.nodes[static_cast<size_t>(node)];
+    if (n.k != Node::K::Load || !isParam(s, n.l, param))
+        return false;
+    *slot = n.a;
+    return true;
+}
+
+bool
+isBin(const SymResult &s, int node, Op op, int *l, int *r)
+{
+    if (node < 0)
+        return false;
+    const Node &n = s.nodes[static_cast<size_t>(node)];
+    if (n.k != Node::K::Bin || n.op != op)
+        return false;
+    *l = n.l;
+    *r = n.r;
+    return true;
+}
+
+std::optional<KernelSpec>
+matchCasEnqueue(const SymResult &s)
+{
+    if (s.effects.size() != 2 || s.guard < 0)
+        return std::nullopt;
+    const Effect &cas = s.effects[0];
+    const Effect &enq = s.effects[1];
+    KernelSpec spec;
+    if (cas.k != Effect::K::Cas || cas.guarded ||
+        !isParam(s, cas.index, 1) || !isConstI(s, cas.expected, &spec.imm) ||
+        !isParam(s, cas.value, 0))
+        return std::nullopt;
+    if (enq.k != Effect::K::Enqueue || !enq.guarded ||
+        !isParam(s, enq.index, 1))
+        return std::nullopt;
+    const Node &g = s.nodes[static_cast<size_t>(s.guard)];
+    if (g.k != Node::K::CasResult || g.a != 0)
+        return std::nullopt;
+    spec.kind = KernelKind::CasEnqueue;
+    spec.name = "cas-enqueue";
+    spec.slots[0] = cas.slot;
+    spec.atomicRMW = cas.atomic;
+    spec.hasEnqueue = true;
+    return spec;
+}
+
+std::optional<KernelSpec>
+matchStore(const SymResult &s)
+{
+    if (s.guard >= 0 || s.effects.empty() || s.effects.size() > 2)
+        return std::nullopt;
+    const Effect &st = s.effects[0];
+    if (st.k != Effect::K::Store || !isParam(s, st.index, 1) ||
+        !isParam(s, st.value, 0))
+        return std::nullopt;
+    KernelSpec spec;
+    spec.kind = KernelKind::StoreEnqueue;
+    spec.slots[0] = st.slot;
+    if (s.effects.size() == 2) {
+        const Effect &enq = s.effects[1];
+        if (enq.k != Effect::K::Enqueue || !isParam(s, enq.index, 1))
+            return std::nullopt;
+        spec.hasEnqueue = true;
+        spec.name = "store-enqueue";
+    } else {
+        spec.name = "store";
+    }
+    return spec;
+}
+
+std::optional<KernelSpec>
+matchReduce(const SymResult &s)
+{
+    if (s.effects.empty() || s.effects.size() > 2)
+        return std::nullopt;
+    const Effect &red = s.effects[0];
+    KernelSpec spec;
+    if (red.k != Effect::K::Reduce || red.guarded ||
+        !isParam(s, red.index, 1) ||
+        !isLoadOfParam(s, red.value, 0, &spec.slots[1]))
+        return std::nullopt;
+    if (s.effects.size() == 2) {
+        const Effect &enq = s.effects[1];
+        if (s.guard < 0 || enq.k != Effect::K::Enqueue || !enq.guarded ||
+            !isParam(s, enq.index, 1))
+            return std::nullopt;
+        const Node &g = s.nodes[static_cast<size_t>(s.guard)];
+        if (g.k != Node::K::ReduceResult || g.a != 0)
+            return std::nullopt;
+        spec.hasEnqueue = true;
+    } else if (s.guard >= 0) {
+        return std::nullopt;
+    }
+    spec.kind = KernelKind::Reduce;
+    spec.slots[0] = red.slot;
+    spec.rop = red.rop;
+    spec.atomicRMW = red.atomic;
+    switch (red.rop) {
+      case ReductionType::Sum:
+        spec.name = "reduce-sum";
+        break;
+      case ReductionType::Min:
+        spec.name = "reduce-min";
+        break;
+      case ReductionType::Max:
+        spec.name = "reduce-max";
+        break;
+    }
+    if (spec.hasEnqueue)
+        spec.name += "-enq";
+    return spec;
+}
+
+std::optional<KernelSpec>
+matchRelaxMin(const SymResult &s)
+{
+    if (s.guard >= 0 || s.effects.size() != 1)
+        return std::nullopt;
+    const Effect &upd = s.effects[0];
+    if (upd.k != Effect::K::UpdateMin || !isParam(s, upd.index, 1))
+        return std::nullopt;
+    int l = -1, r = -1;
+    if (!isBin(s, upd.value, Op::AddI, &l, &r))
+        return std::nullopt;
+    KernelSpec spec;
+    // priority = dist[src] + weight, either operand order
+    if (isLoadOfParam(s, l, 0, &spec.slots[0]) && isParam(s, r, 2))
+        ;
+    else if (isLoadOfParam(s, r, 0, &spec.slots[0]) && isParam(s, l, 2))
+        ;
+    else
+        return std::nullopt;
+    spec.kind = KernelKind::RelaxMin;
+    spec.name = "relax-min";
+    spec.usesWeight = true;
+    return spec;
+}
+
+std::optional<KernelSpec>
+matchBcBackward(const SymResult &s)
+{
+    if (s.guard < 0 || s.effects.size() != 1)
+        return std::nullopt;
+    const Effect &red = s.effects[0];
+    if (red.k != Effect::K::Reduce || !red.guarded ||
+        red.rop != ReductionType::Sum || !isParam(s, red.index, 1))
+        return std::nullopt;
+
+    KernelSpec spec;
+    spec.slots[0] = red.slot;
+
+    // value = (np[dst] / np[src]) * (c + dep[src]), AddF commutative
+    int mul_l = -1, mul_r = -1;
+    if (!isBin(s, red.value, Op::MulF, &mul_l, &mul_r))
+        return std::nullopt;
+    int div_l = -1, div_r = -1;
+    int add_l = -1, add_r = -1;
+    int div_node = -1, add_node = -1;
+    int tl, tr;
+    if (isBin(s, mul_l, Op::DivF, &tl, &tr)) {
+        div_node = mul_l;
+        add_node = mul_r;
+    } else if (isBin(s, mul_r, Op::DivF, &tl, &tr)) {
+        div_node = mul_r;
+        add_node = mul_l;
+    } else {
+        return std::nullopt;
+    }
+    if (!isBin(s, div_node, Op::DivF, &div_l, &div_r) ||
+        !isBin(s, add_node, Op::AddF, &add_l, &add_r))
+        return std::nullopt;
+    int np_dst_slot = -1, np_src_slot = -1;
+    if (!isLoadOfParam(s, div_l, 1, &np_dst_slot) ||
+        !isLoadOfParam(s, div_r, 0, &np_src_slot) ||
+        np_dst_slot != np_src_slot)
+        return std::nullopt;
+    spec.slots[1] = np_dst_slot;
+    int dep_src_slot = -1;
+    if (isConstF(s, add_l, &spec.fimm) &&
+        isLoadOfParam(s, add_r, 0, &dep_src_slot))
+        ;
+    else if (isConstF(s, add_r, &spec.fimm) &&
+             isLoadOfParam(s, add_l, 0, &dep_src_slot))
+        ;
+    else
+        return std::nullopt;
+    if (dep_src_slot != spec.slots[0])
+        return std::nullopt; // accumulator and addend must be one property
+
+    // guard = (vis[dst] == a) and (lev[dst] == lev[src] - b), Eq/And
+    // operands in either order
+    int and_l = -1, and_r = -1;
+    if (!isBin(s, s.guard, Op::AndB, &and_l, &and_r))
+        return std::nullopt;
+    auto matchVisEq = [&](int node) {
+        int eq_l = -1, eq_r = -1;
+        if (!isBin(s, node, Op::EqI, &eq_l, &eq_r))
+            return false;
+        int slot = -1;
+        if (isLoadOfParam(s, eq_l, 1, &slot) && isConstI(s, eq_r, &spec.imm))
+            ;
+        else if (isLoadOfParam(s, eq_r, 1, &slot) &&
+                 isConstI(s, eq_l, &spec.imm))
+            ;
+        else
+            return false;
+        spec.slots[2] = slot;
+        return true;
+    };
+    auto matchLevEq = [&](int node) {
+        int eq_l = -1, eq_r = -1;
+        if (!isBin(s, node, Op::EqI, &eq_l, &eq_r))
+            return false;
+        for (int swap = 0; swap < 2; ++swap) {
+            const int lhs = swap ? eq_r : eq_l;
+            const int rhs = swap ? eq_l : eq_r;
+            int lev_dst_slot = -1;
+            if (!isLoadOfParam(s, lhs, 1, &lev_dst_slot))
+                continue;
+            int sub_l = -1, sub_r = -1;
+            if (!isBin(s, rhs, Op::SubI, &sub_l, &sub_r))
+                continue;
+            int lev_src_slot = -1;
+            if (!isLoadOfParam(s, sub_l, 0, &lev_src_slot) ||
+                lev_src_slot != lev_dst_slot ||
+                !isConstI(s, sub_r, &spec.imm2))
+                continue;
+            spec.slots[3] = lev_dst_slot;
+            return true;
+        }
+        return false;
+    };
+    if (matchVisEq(and_l) && matchLevEq(and_r))
+        ;
+    else if (matchVisEq(and_r) && matchLevEq(and_l))
+        ;
+    else
+        return std::nullopt;
+
+    spec.kind = KernelKind::BcBackward;
+    spec.name = "bc-backward";
+    spec.rop = ReductionType::Sum;
+    spec.atomicRMW = red.atomic;
+    return spec;
+}
+
+} // namespace
+
+std::optional<KernelSpec>
+matchUdfKernel(const Chunk &chunk)
+{
+    if (chunk.numParams < 2)
+        return std::nullopt;
+    auto sym = symExec(chunk);
+    if (!sym)
+        return std::nullopt;
+    // The engine ignores apply results, so a Ret value (the implicit
+    // result variable) does not disqualify a chunk.
+    std::optional<KernelSpec> spec;
+    if (!spec)
+        spec = matchCasEnqueue(*sym);
+    if (!spec)
+        spec = matchStore(*sym);
+    if (!spec)
+        spec = matchReduce(*sym);
+    if (!spec && chunk.numParams >= 3)
+        spec = matchRelaxMin(*sym);
+    if (!spec)
+        spec = matchBcBackward(*sym);
+    if (spec) {
+        spec->taken = sym->taken;
+        spec->notTaken = sym->notTaken;
+    }
+    return spec;
+}
+
+std::optional<FilterSpec>
+matchUdfFilter(const Chunk &chunk)
+{
+    if (chunk.numParams != 1 || !chunk.hasResult)
+        return std::nullopt;
+    auto sym = symExec(chunk);
+    if (!sym || !sym->effects.empty() || sym->guard >= 0 || sym->result < 0)
+        return std::nullopt;
+    FilterSpec spec;
+    int eq_l = -1, eq_r = -1;
+    if (!isBin(*sym, sym->result, Op::EqI, &eq_l, &eq_r))
+        return std::nullopt;
+    if (isLoadOfParam(*sym, eq_l, 0, &spec.slot) &&
+        isConstI(*sym, eq_r, &spec.imm))
+        ;
+    else if (isLoadOfParam(*sym, eq_r, 0, &spec.slot) &&
+             isConstI(*sym, eq_l, &spec.imm))
+        ;
+    else
+        return std::nullopt;
+    spec.instructions = sym->taken.instructions;
+    return spec;
+}
+
+} // namespace ugc::udf

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * UDF registry: dispatching user functions to an execution tier.
+ *
+ * The midend lowers every UDF to register bytecode (bytecode.h) and the
+ * baseline tier interprets it per edge (interp.h). That keeps every
+ * backend honest but leaves an indirect dispatch plus Span<Reg> argument
+ * marshalling inside the hottest loop of the whole system. The compiled
+ * tier recognizes the small family of UDF *shapes* the midend actually
+ * emits for the shipped algorithms and replaces the per-edge interpreter
+ * call with a compiled-in C++ kernel specialized over the schedule axes
+ * that change the inner loop (kernels.h).
+ *
+ * The registry is the matching half: `matchUdfKernel` symbolically
+ * executes a lowered chunk and, when its effects fit a catalog shape,
+ * returns a KernelSpec describing the kernel plus the per-path
+ * instruction/memory costs needed to keep UdfStats (and therefore every
+ * `udf.*` profile event and cycle model) bit-identical to the
+ * interpreter. Anything the matcher does not recognize — exotic ops,
+ * multiple branches, global writes — simply stays on the interpreter;
+ * both tiers are always live.
+ *
+ * Catalog (one entry per recognized shape):
+ *   cas-enqueue    if p[dst] CAS(K -> src) succeeds: enqueue dst   (BFS push)
+ *   store-enqueue  p[dst] = src; enqueue dst                       (BFS pull)
+ *   reduce-sum/min/max
+ *                  p[dst] op= q[src] [; enqueue dst on change]     (PR/CC/BC fwd)
+ *   relax-min      pq.updateMin(dst, p[src] + w)                   (SSSP)
+ *   bc-backward    guarded float accumulate over num_paths/levels  (BC bwd)
+ * plus `matchUdfFilter` for the single-compare vertex filters
+ * (`p[v] == K`) that the midend emits for from()/to() conditions.
+ */
+#ifndef UGC_UDF_REGISTRY_H
+#define UGC_UDF_REGISTRY_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/types.h"
+#include "udf/bytecode.h"
+
+namespace ugc::udf {
+
+/** Which execution tier a VM should use for UDFs. */
+enum class UdfTier {
+    Auto,     ///< compiled kernel when udf-kernel-select matched, else interp
+    Interp,   ///< always the bytecode interpreter
+    Compiled, ///< compiled kernel whenever one matches (no metadata needed)
+};
+
+const char *udfTierName(UdfTier tier);
+std::optional<UdfTier> parseUdfTier(const std::string &name);
+
+/**
+ * Interpreter cost of one straight-line bytecode path: what UdfStats
+ * would record for a single invocation that takes this path. propReads
+ * includes the implicit unconditional read of CasProp / ReduceProp /
+ * UpdatePrioMin; propWrites includes StoreProp and ReduceProp's
+ * unconditional write but NOT the outcome-conditional write of
+ * CasProp/UpdatePrioMin (kernels add those dynamically).
+ */
+struct PathCost
+{
+    uint32_t instructions = 0;
+    uint32_t propReads = 0;
+    uint32_t propWrites = 0;
+};
+
+/** Shape of a recognized UDF, as seen by the compiled tier. */
+enum class KernelKind {
+    None,
+    CasEnqueue,   ///< p0[dst] CAS(imm -> src); enqueue dst on swap
+    StoreEnqueue, ///< p0[dst] = src; enqueue dst
+    Reduce,       ///< p0[dst] rop= p1[src]; optional enqueue on change
+    RelaxMin,     ///< queue.updateMin(dst, p0[src] + weight)
+    BcBackward,   ///< guarded p0[dst] += (p1[dst]/p1[src]) * (fimm + p0[src])
+};
+
+/** A matched apply UDF: everything a kernel needs to run it. */
+struct KernelSpec
+{
+    KernelKind kind = KernelKind::None;
+    std::string name; ///< catalog name ("cas-enqueue", "reduce-min", ...)
+
+    /** Property slots by role. CasEnqueue/StoreEnqueue/RelaxMin: [0] the
+     *  single property. Reduce: [0] target, [1] value source. BcBackward:
+     *  [0] dependences, [1] num_paths, [2] visited, [3] level. */
+    int slots[4] = {-1, -1, -1, -1};
+
+    int64_t imm = 0;   ///< CAS expected value / guard compare constant
+    int64_t imm2 = 0;  ///< BcBackward: level-delta constant
+    double fimm = 0.0; ///< BcBackward: additive float constant
+
+    ReductionType rop = ReductionType::Sum;
+    bool atomicRMW = false;  ///< the chunk's RMW insn carries .atomic
+    bool usesWeight = false; ///< RelaxMin: priority adds the weight param
+    bool hasEnqueue = false; ///< Reduce: change-conditional enqueue present
+
+    PathCost taken;    ///< branch-taken path (swap / change / guard true)
+    PathCost notTaken; ///< other path (== taken for single-path shapes)
+};
+
+/** A matched vertex filter: output = (p[slot][v] == imm). */
+struct FilterSpec
+{
+    int slot = -1;
+    int64_t imm = 0;
+    uint32_t instructions = 0; ///< insns per invocation (single path)
+    // Every invocation performs exactly one property read.
+};
+
+/** Match a lowered apply UDF against the kernel catalog. */
+std::optional<KernelSpec> matchUdfKernel(const Chunk &chunk);
+
+/** Match a lowered vertex filter against the single-compare shape. */
+std::optional<FilterSpec> matchUdfFilter(const Chunk &chunk);
+
+/** True iff @p name names a catalog kernel (verifier metadata check). */
+bool isKernelName(const std::string &name);
+
+} // namespace ugc::udf
+
+#endif // UGC_UDF_REGISTRY_H

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared read-modify-write primitives of the UDF execution tiers.
+ *
+ * The bytecode interpreter (interp.cpp) and the compiled kernel tier
+ * (kernels.cpp) must agree bit-for-bit on reduction and CAS semantics —
+ * including which outcomes count as "changed" and the deterministic
+ * round-CAS protocol — so the helpers live here and both tiers include
+ * them. Keep these in sync with the Op semantics documented in bytecode.h.
+ */
+#ifndef UGC_UDF_RMW_H
+#define UGC_UDF_RMW_H
+
+#include <cstdint>
+#include <thread>
+
+#include "ir/types.h"
+#include "runtime/vertex_data.h"
+#include "support/bitset.h"
+#include "udf/bytecode.h"
+
+namespace ugc::udf {
+
+/** Non-atomic reduction used when runtime.useAtomics is false. */
+inline bool
+reducePlain(VertexData &prop, VertexId index, ReductionType op, Reg value)
+{
+    if (prop.isFloat()) {
+        const double current = prop.getFloat(index);
+        switch (op) {
+          case ReductionType::Sum:
+            prop.setFloat(index, current + value.f);
+            return value.f != 0.0;
+          case ReductionType::Min:
+            if (value.f < current) {
+                prop.setFloat(index, value.f);
+                return true;
+            }
+            return false;
+          case ReductionType::Max:
+            if (value.f > current) {
+                prop.setFloat(index, value.f);
+                return true;
+            }
+            return false;
+        }
+    } else {
+        const int64_t current = prop.getInt(index);
+        switch (op) {
+          case ReductionType::Sum:
+            prop.setInt(index, current + value.i);
+            return value.i != 0;
+          case ReductionType::Min:
+            if (value.i < current) {
+                prop.setInt(index, value.i);
+                return true;
+            }
+            return false;
+          case ReductionType::Max:
+            if (value.i > current) {
+                prop.setInt(index, value.i);
+                return true;
+            }
+            return false;
+        }
+    }
+    return false;
+}
+
+inline bool
+reduceAtomic(VertexData &prop, VertexId index, ReductionType op, Reg value)
+{
+    if (prop.isFloat()) {
+        switch (op) {
+          case ReductionType::Sum:
+            prop.addFloat(index, value.f);
+            return value.f != 0.0;
+          case ReductionType::Min:
+            return prop.minFloat(index, value.f);
+          case ReductionType::Max:
+            // Float max is unused by our algorithms; plain emulation.
+            return reducePlain(prop, index, op, value);
+        }
+    } else {
+        switch (op) {
+          case ReductionType::Sum:
+            prop.addInt(index, value.i);
+            return value.i != 0;
+          case ReductionType::Min:
+            return prop.minInt(index, value.i);
+          case ReductionType::Max:
+            return prop.maxInt(index, value.i);
+        }
+    }
+    return false;
+}
+
+/**
+ * Deterministic parallel CAS (see UdfRuntime::casRound).
+ *
+ * The first thread to claim the round bit publishes its value and reports
+ * the swap (matching the serial path's single successful CAS per vertex
+ * per round); same-round losers atomically lower the published value to
+ * the minimum desired, so the final value equals the serial outcome — the
+ * lowest-index writer of the sorted frontier — for the monotone UDFs the
+ * midend generates. The acquire/release pairing on the property value
+ * makes the round bit's visibility track the published value, so a value
+ * that already left `expected` with the bit clear was written by an
+ * earlier round and is never refined.
+ */
+inline bool
+detCasInt(VertexData &prop, VertexId index, int64_t expected,
+          int64_t desired, Bitset &round)
+{
+    if (prop.getIntAcquire(index) == expected) {
+        if (round.setAtomic(static_cast<size_t>(index))) {
+            // Designated round winner. Nobody writes before the winner
+            // publishes, so the property still holds `expected`.
+            prop.casIntRelease(index, expected, desired);
+            return true;
+        }
+        // A same-round winner claimed the bit first; refine below.
+    } else if (!round.testAtomic(static_cast<size_t>(index))) {
+        return false; // written in an earlier round; serial CAS fails too
+    }
+    for (;;) {
+        const int64_t current = prop.getIntAcquire(index);
+        if (current == expected) {
+            if (current == desired)
+                break; // degenerate no-op CAS: publish is invisible
+            std::this_thread::yield(); // winner has not published yet
+            continue;
+        }
+        if (desired >= current ||
+            prop.casIntRelease(index, current, desired))
+            break;
+    }
+    return false;
+}
+
+} // namespace ugc::udf
+
+#endif // UGC_UDF_RMW_H

@@ -45,6 +45,11 @@ class CpuModel : public MachineModel
     Cycles onLoopIteration(const Stmt &loop) override;
     CounterSet counters() const override { return _counters; }
 
+    /** The CPU path runs natively; compiled UDF kernels replace the
+     *  interpreter without disturbing the analytical cycle model (the
+     *  kernels report identical UdfStats). */
+    bool supportsCompiledUdfs() const override { return true; }
+
     const CpuParams &params() const { return _params; }
 
   private:

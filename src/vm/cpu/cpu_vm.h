@@ -9,6 +9,7 @@
 #define UGC_VM_CPU_CPU_VM_H
 
 #include "sched/cpu_schedule.h"
+#include "udf/registry.h"
 #include "vm/cpu/cpu_model.h"
 #include "vm/graphvm.h"
 
@@ -35,6 +36,12 @@ class CpuVM : public GraphVM
      *  model is unaffected). 1 = serial deterministic execution. */
     void setNumThreads(unsigned n) { _numThreads = n; }
 
+    /** UDF execution tier (udf/registry.h). Auto (the default) runs
+     *  compiled kernels on traversals the udf-kernel-select pass tagged;
+     *  Interp forces the bytecode interpreter everywhere; Compiled matches
+     *  every traversal against the kernel catalog. */
+    void setUdfTier(udf::UdfTier tier) { _udfTier = tier; }
+
   protected:
     // No registerHardwarePasses override: every CPU optimization is
     // already expressed by the standard pipeline plus the schedule
@@ -45,7 +52,7 @@ class CpuVM : public GraphVM
     {
         CpuModel model(_params);
         ExecEngine engine(lowered, inputs, model, _numThreads,
-                          effectiveLimits(inputs));
+                          effectiveLimits(inputs), _udfTier);
         return engine.run();
     }
 
@@ -54,6 +61,7 @@ class CpuVM : public GraphVM
   private:
     CpuParams _params;
     unsigned _numThreads = 1;
+    udf::UdfTier _udfTier = udf::UdfTier::Auto;
 };
 
 } // namespace ugc

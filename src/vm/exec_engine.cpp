@@ -11,6 +11,7 @@
 
 #include "ir/walk.h"
 #include "sched/cpu_schedule.h"
+#include "udf/kernels.h"
 #include "sched/swarm_schedule.h"
 #include "support/bitset.h"
 #include "support/parallel.h"
@@ -95,9 +96,10 @@ hasAtomicCas(const Chunk &chunk)
 struct ExecEngine::Impl
 {
     Impl(Program &program, const RunInputs &inputs, MachineModel &model,
-         unsigned num_threads, const RunLimits &limits)
+         unsigned num_threads, const RunLimits &limits,
+         udf::UdfTier udf_tier)
         : program(program), inputs(inputs), model(model),
-          numThreads(num_threads), limits(limits)
+          numThreads(num_threads), limits(limits), udfTier(udf_tier)
     {
         if (!inputs.graph)
             throw std::invalid_argument("RunInputs.graph is null");
@@ -116,6 +118,7 @@ struct ExecEngine::Impl
     std::chrono::steady_clock::time_point startTime;
     const Graph *graph = nullptr;
     bool taskStream = false;
+    udf::UdfTier udfTier = udf::UdfTier::Auto;
 
     AddrSpace space;
     SymbolTables symbols;
@@ -128,6 +131,55 @@ struct ExecEngine::Impl
     std::map<std::string, bool> transposedEdgeSets;
     std::map<std::string, Scalar> locals;
     std::map<std::string, Chunk> chunks;
+
+    // Compiled-tier state: catalog match results are cached per UDF name
+    // (matching is per-compile work, not per-traversal work).
+    std::map<std::string, std::optional<udf::KernelSpec>> kernelSpecCache;
+    std::map<std::string, std::optional<udf::FilterSpec>> filterSpecCache;
+    uint64_t kernelTraversals = 0; ///< traversals run on compiled kernels
+
+    const udf::KernelSpec *
+    kernelSpecFor(const std::string &name, const Chunk &chunk)
+    {
+        auto [it, inserted] = kernelSpecCache.try_emplace(name);
+        if (inserted)
+            it->second = udf::matchUdfKernel(chunk);
+        return it->second ? &*it->second : nullptr;
+    }
+
+    const udf::FilterSpec *
+    filterSpecFor(const std::string &name, const Chunk &chunk)
+    {
+        auto [it, inserted] = filterSpecCache.try_emplace(name);
+        if (inserted)
+            it->second = udf::matchUdfFilter(chunk);
+        return it->second ? &*it->second : nullptr;
+    }
+
+    /** Resolve a matched spec's property slots (and per-kind runtime
+     *  requirements) into a kernel context. False = fall back to interp. */
+    bool
+    resolveKernelProps(const udf::KernelSpec &spec, udf::KernelCtx &ctx,
+                       PrioQueue *queue)
+    {
+        ctx.spec = &spec;
+        int required = 1;
+        if (spec.kind == udf::KernelKind::Reduce)
+            required = 2;
+        else if (spec.kind == udf::KernelKind::BcBackward)
+            required = 4;
+        for (int i = 0; i < required; ++i) {
+            const int slot = spec.slots[i];
+            if (slot < 0 ||
+                slot >= static_cast<int>(propsBySlot.size()) ||
+                !propsBySlot[static_cast<size_t>(slot)])
+                return false;
+            ctx.props[i] = propsBySlot[static_cast<size_t>(slot)];
+        }
+        if (spec.kind == udf::KernelKind::RelaxMin && !queue)
+            return false;
+        return true;
+    }
 
     Cycles cycles = 0;
     int64_t round = 0;
@@ -1019,12 +1071,24 @@ struct ExecEngine::Impl
         PrioQueue *queue =
             stmt.queue.empty() ? nullptr : queues.at(stmt.queue).get();
 
+        // Compiled UDF tier: consult the registry once per traversal. Auto
+        // trusts the udf-kernel-select pass (udf_kernel metadata); Compiled
+        // re-matches unconditionally so hand-lowered programs still work.
+        // Source filters have no compiled form, and task-stream models need
+        // the interpreter's per-access recording.
+        const udf::KernelSpec *kernel_spec = nullptr;
+        if (udfTier != udf::UdfTier::Interp &&
+            model.supportsCompiledUdfs() && !taskStream && !src_filter &&
+            (udfTier == udf::UdfTier::Compiled ||
+             stmt.hasMetadata("udf_kernel")))
+            kernel_spec = kernelSpecFor(variant, apply);
+
         if (info.direction == Direction::Push) {
             runPush(stmt, info, input, output.get(), dedup, apply,
-                    dst_filter, src_filter, queue, transposed);
+                    dst_filter, src_filter, queue, transposed, kernel_spec);
         } else {
             runPull(stmt, info, input, output.get(), dedup, apply,
-                    dst_filter, src_filter, queue, transposed);
+                    dst_filter, src_filter, queue, transposed, kernel_spec);
         }
 
         if (wants_output) {
@@ -1054,9 +1118,9 @@ struct ExecEngine::Impl
     runPush(const EdgeSetIteratorStmt &stmt, TraversalInfo &info,
             VertexSet *input, VertexSet *output, bool dedup,
             const Chunk &apply, const Chunk *dst_filter,
-            const Chunk *src_filter, PrioQueue *queue, bool transposed)
+            const Chunk *src_filter, PrioQueue *queue, bool transposed,
+            const udf::KernelSpec *kernel_spec)
     {
-        (void)stmt; // metadata is consumed via info.stmt
         auto swarm_sched =
             scheduleAs<SimpleSwarmSchedule>(info.schedule);
         const bool fine_tasks =
@@ -1114,6 +1178,50 @@ struct ExecEngine::Impl
         Bitset *cas_round = nullptr;
         if (threads > 1 && hasAtomicCas(apply))
             cas_round = &roundBitset(casRoundScratch);
+
+        // Compiled-tier kernel selection: resolve the matched spec against
+        // this traversal's runtime shape (schedule axes). Any mismatch
+        // silently falls back to the interpreter. Shuffled edge order is an
+        // interpreter-only Swarm fidelity knob.
+        udf::KernelCtx kbase{};
+        udf::PushKernelFn kernel = nullptr;
+        if (kernel_spec && !shuffle) {
+            bool ok = resolveKernelProps(*kernel_spec, kbase, queue);
+            if (ok && dst_filter) {
+                const udf::FilterSpec *fspec =
+                    filterSpecFor(stmt.dstFilter, *dst_filter);
+                VertexData *fprop =
+                    (fspec && fspec->slot >= 0 &&
+                     fspec->slot < static_cast<int>(propsBySlot.size()))
+                        ? propsBySlot[static_cast<size_t>(fspec->slot)]
+                        : nullptr;
+                if (fprop && !fprop->isFloat()) {
+                    kbase.filter = fspec;
+                    kbase.filterProp = fprop;
+                } else {
+                    ok = false;
+                }
+            }
+            if (ok) {
+                udf::KernelQuery q;
+                q.useAtomics = true; // push workers always run atomically
+                q.detCas = cas_round != nullptr;
+                q.weighted = info.weighted;
+                q.locked = threads > 1;
+                q.isFloat = kbase.props[0]->isFloat();
+                q.sourceIsFloat =
+                    kbase.props[1] && kbase.props[1]->isFloat();
+                q.hasFilter = kbase.filter != nullptr;
+                kernel = udf::selectPushKernel(*kernel_spec, q);
+            }
+            if (kernel) {
+                kbase.visited = visited;
+                kbase.queue = queue;
+                kbase.queueMutex = threads > 1 ? &queueMutex : nullptr;
+                kbase.casRound = cas_round;
+                ++kernelTraversals;
+            }
+        }
 
         // Work blocks. Edge-aware / edge-based schedules weight vertices by
         // degree; vertex-based ones get uniform blocks. Serial runs take
@@ -1177,6 +1285,16 @@ struct ExecEngine::Impl
             runtime.bindEnqueue(enqueue_sink);
             runtime.bindUpdatePriorityMin(update_min_sink);
 
+            udf::KernelCtx kctx = kbase;
+            kctx.stats = &stats;
+            kctx.outBuffer = output ? &ctx.outBuffer : nullptr;
+
+            // Argument registers marshalled once per source (args[0]) and
+            // once per worker (the unweighted weight), not per edge.
+            Reg args[3];
+            args[2] = regOfInt(1);
+            const unsigned nargs = info.weighted ? 3u : 2u;
+
             Rng shuffle_rng(0x5ca1ab1eULL);
 
             for (int64_t b = blo; b < bhi; ++b) {
@@ -1186,9 +1304,10 @@ struct ExecEngine::Impl
                 const VertexId u = info.isAllVertices
                                        ? static_cast<VertexId>(i)
                                        : frontier[static_cast<size_t>(i)];
+                args[0] = regOfInt(u);
                 if (src_filter) {
-                    Reg arg = regOfInt(u);
-                    if (!runUdfBool(*src_filter, {&arg, 1}, runtime, stats))
+                    if (!runUdfBool(*src_filter, {&args[0], 1}, runtime,
+                                    stats))
                         continue;
                 }
                 const EdgeId deg = degree(u);
@@ -1197,6 +1316,16 @@ struct ExecEngine::Impl
                 const auto nbrs = neighbors(u);
                 const auto wts =
                     info.weighted ? weights(u) : std::span<const Weight>{};
+
+                if (kernel) {
+                    // Compiled tier: filter + apply inlined over the whole
+                    // adjacency list, no per-edge dispatch.
+                    kernel(kctx, u, nbrs.data(),
+                           info.weighted ? wts.data() : nullptr,
+                           nbrs.size());
+                    ctx.edges += deg;
+                    continue;
+                }
 
                 const bool shuffled = shuffle && nbrs.size() > 2;
                 if (shuffled) {
@@ -1207,6 +1336,33 @@ struct ExecEngine::Impl
                         std::swap(ctx.order[k],
                                   ctx.order[shuffle_rng.nextBounded(k + 1)]);
                     }
+                }
+
+                if (!taskStream && !shuffled) {
+                    // Hot interpreter path: the filter null check is
+                    // hoisted out of the edge loop and there is no
+                    // per-edge recorder/spawn bookkeeping (neither is
+                    // bound outside task-stream models).
+                    ctx.edges += deg;
+                    if (dst_filter) {
+                        for (size_t k = 0; k < nbrs.size(); ++k) {
+                            args[1] = regOfInt(nbrs[k]);
+                            if (!runUdfBool(*dst_filter, {&args[1], 1},
+                                            runtime, stats))
+                                continue;
+                            if (info.weighted)
+                                args[2] = regOfInt(wts[k]);
+                            runUdf(apply, {args, nargs}, runtime, stats);
+                        }
+                    } else {
+                        for (size_t k = 0; k < nbrs.size(); ++k) {
+                            args[1] = regOfInt(nbrs[k]);
+                            if (info.weighted)
+                                args[2] = regOfInt(wts[k]);
+                            runUdf(apply, {args, nargs}, runtime, stats);
+                        }
+                    }
+                    continue;
                 }
 
                 uint64_t coarse_instr = 0;
@@ -1224,8 +1380,8 @@ struct ExecEngine::Impl
                                         stats))
                             continue;
                     }
-                    Reg args[3] = {regOfInt(u), regOfInt(v),
-                                   regOfInt(info.weighted ? wts[k] : 1)};
+                    args[1] = regOfInt(v);
+                    args[2] = regOfInt(info.weighted ? wts[k] : 1);
                     const uint64_t instr_before = stats.instructions;
                     ctx.recorder.accesses.clear();
                     ctx.spawnBuffer.clear();
@@ -1300,7 +1456,8 @@ struct ExecEngine::Impl
     runPull(const EdgeSetIteratorStmt &stmt, TraversalInfo &info,
             VertexSet *input, VertexSet *output, bool dedup,
             const Chunk &apply, const Chunk *dst_filter,
-            const Chunk *src_filter, PrioQueue *queue, bool transposed)
+            const Chunk *src_filter, PrioQueue *queue, bool transposed,
+            const udf::KernelSpec *kernel_spec)
     {
         // Pull swaps roles: iterate destinations, scan in-neighbors.
         auto neighbors = [&](VertexId v) {
@@ -1363,6 +1520,47 @@ struct ExecEngine::Impl
         // Pull owns its destination, so UDF writes need no atomics.
         prepareWorkers(threads, /*use_atomics=*/false, nullptr);
 
+        // Compiled-tier kernel selection (pull). The destination filter is
+        // evaluated per destination outside the kernel, so it only needs a
+        // recognized FilterSpec, not a fused kernel variant.
+        udf::KernelCtx kbase{};
+        udf::PullKernelFn kernel = nullptr;
+        const udf::FilterSpec *pull_fspec = nullptr;
+        VertexData *pull_fprop = nullptr;
+        if (kernel_spec) {
+            bool ok = resolveKernelProps(*kernel_spec, kbase, queue);
+            if (ok && dst_filter) {
+                pull_fspec = filterSpecFor(stmt.dstFilter, *dst_filter);
+                pull_fprop =
+                    (pull_fspec && pull_fspec->slot >= 0 &&
+                     pull_fspec->slot <
+                         static_cast<int>(propsBySlot.size()))
+                        ? propsBySlot[static_cast<size_t>(pull_fspec->slot)]
+                        : nullptr;
+                if (!pull_fprop || pull_fprop->isFloat())
+                    ok = false;
+            }
+            if (ok) {
+                udf::KernelQuery q;
+                q.useAtomics = false; // pull workers always run plain
+                q.detCas = false;
+                q.weighted = info.weighted;
+                q.locked = threads > 1;
+                q.isFloat = kbase.props[0]->isFloat();
+                q.sourceIsFloat =
+                    kbase.props[1] && kbase.props[1]->isFloat();
+                q.hasFilter = false;
+                q.hasMembership = membership != nullptr;
+                kernel = udf::selectPullKernel(*kernel_spec, q);
+            }
+            if (kernel) {
+                kbase.visited = visited;
+                kbase.membership = membership;
+                kbase.earlyExit = early_exit;
+                ++kernelTraversals;
+            }
+        }
+
         auto worker_body = [&](unsigned w, int64_t blo, int64_t bhi) {
             WorkerCtx &ctx = workerCtxs[w];
             UdfRuntime &runtime = ctx.runtime;
@@ -1387,20 +1585,84 @@ struct ExecEngine::Impl
             runtime.bindEnqueue(enqueue_sink);
             runtime.bindUpdatePriorityMin(update_min_sink);
 
+            udf::KernelCtx kctx = kbase;
+            kctx.stats = &stats;
+            kctx.outBuffer = output ? &ctx.outBuffer : nullptr;
+
+            Reg args[3];
+            args[2] = regOfInt(1);
+            const unsigned nargs = info.weighted ? 3u : 2u;
+
             for (int64_t b = blo; b < bhi; ++b) {
               for (int64_t i = blockStarts[static_cast<size_t>(b)],
                            hi = blockStarts[static_cast<size_t>(b) + 1];
                    i < hi; ++i) {
                 const auto v = static_cast<VertexId>(i);
                 if (dst_filter) {
-                    Reg arg = regOfInt(v);
-                    if (!runUdfBool(*dst_filter, {&arg, 1}, runtime, stats))
-                        continue;
+                    if (kernel) {
+                        // Inline the matched filter: p[v] == imm.
+                        stats.instructions += pull_fspec->instructions;
+                        ++stats.propReads;
+                        if (pull_fprop->getInt(v) != pull_fspec->imm)
+                            continue;
+                    } else {
+                        Reg arg = regOfInt(v);
+                        if (!runUdfBool(*dst_filter, {&arg, 1}, runtime,
+                                        stats))
+                            continue;
+                    }
                 }
                 ++ctx.dsts;
                 const auto nbrs = neighbors(v);
                 const auto wts =
                     info.weighted ? weights(v) : std::span<const Weight>{};
+
+                if (kernel) {
+                    ctx.edges += kernel(kctx, v, nbrs.data(), nullptr,
+                                        nbrs.size());
+                    continue;
+                }
+
+                if (!taskStream) {
+                    // Hot interpreter path: per-destination argument setup
+                    // and hoisted filter null check; no recorder clears.
+                    ctx.enqueuedFlag = false;
+                    args[1] = regOfInt(v);
+                    if (src_filter) {
+                        for (size_t k = 0; k < nbrs.size(); ++k) {
+                            const VertexId u = nbrs[k];
+                            ++ctx.edges;
+                            if (membership &&
+                                !membership->test(static_cast<size_t>(u)))
+                                continue;
+                            args[0] = regOfInt(u);
+                            if (!runUdfBool(*src_filter, {&args[0], 1},
+                                            runtime, stats))
+                                continue;
+                            if (info.weighted)
+                                args[2] = regOfInt(wts[k]);
+                            runUdf(apply, {args, nargs}, runtime, stats);
+                            if (early_exit && ctx.enqueuedFlag)
+                                break;
+                        }
+                    } else {
+                        for (size_t k = 0; k < nbrs.size(); ++k) {
+                            const VertexId u = nbrs[k];
+                            ++ctx.edges;
+                            if (membership &&
+                                !membership->test(static_cast<size_t>(u)))
+                                continue;
+                            args[0] = regOfInt(u);
+                            if (info.weighted)
+                                args[2] = regOfInt(wts[k]);
+                            runUdf(apply, {args, nargs}, runtime, stats);
+                            if (early_exit && ctx.enqueuedFlag)
+                                break;
+                        }
+                    }
+                    continue;
+                }
+
                 ctx.enqueuedFlag = false;
                 uint64_t coarse_instr = 0;
                 ctx.coarseAccesses.clear();
@@ -1416,8 +1678,9 @@ struct ExecEngine::Impl
                                         stats))
                             continue;
                     }
-                    Reg args[3] = {regOfInt(u), regOfInt(v),
-                                   regOfInt(info.weighted ? wts[k] : 1)};
+                    args[0] = regOfInt(u);
+                    args[1] = regOfInt(v);
+                    args[2] = regOfInt(info.weighted ? wts[k] : 1);
                     const uint64_t instr_before = stats.instructions;
                     ctx.recorder.accesses.clear();
                     runUdf(apply, {args, info.weighted ? 3u : 2u}, runtime,
@@ -1573,6 +1836,9 @@ struct ExecEngine::Impl
             // once, so Profile::totalCounter matches RunResult.counters.
             for (const auto &[name, value] : result.counters.all())
                 prof::counter(name, value);
+            if (kernelTraversals)
+                prof::counter("udf.kernel_traversals",
+                              static_cast<double>(kernelTraversals));
             // Task-stream models account wall time themselves (finalCycles
             // exceeds the engine's per-statement charges); attribute the
             // difference so the profile total equals the reported cycles.
@@ -1585,9 +1851,9 @@ struct ExecEngine::Impl
 
 ExecEngine::ExecEngine(Program &program, const RunInputs &inputs,
                        MachineModel &model, unsigned num_threads,
-                       const RunLimits &limits)
+                       const RunLimits &limits, udf::UdfTier udf_tier)
     : _impl(std::make_unique<Impl>(program, inputs, model, num_threads,
-                                   limits))
+                                   limits, udf_tier))
 {
 }
 

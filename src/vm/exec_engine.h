@@ -18,6 +18,7 @@
 #include "runtime/frontier_list.h"
 #include "runtime/prio_queue.h"
 #include "udf/compiler.h"
+#include "udf/registry.h"
 #include "vm/machine_model.h"
 #include "vm/run_types.h"
 
@@ -38,10 +39,15 @@ class ExecEngine
      *                 default RunLimits{} enforces nothing and costs one
      *                 branch per loop round. A tripped guard aborts the
      *                 run with a GuardError carrying a structured RunError.
+     * @param udf_tier UDF execution tier (udf/registry.h). Auto runs the
+     *                 compiled kernel on traversals carrying udf_kernel
+     *                 metadata; effective only when the model's
+     *                 supportsCompiledUdfs() opts in.
      */
     ExecEngine(Program &program, const RunInputs &inputs,
                MachineModel &model, unsigned num_threads = 1,
-               const RunLimits &limits = {});
+               const RunLimits &limits = {},
+               udf::UdfTier udf_tier = udf::UdfTier::Auto);
     ~ExecEngine();
 
     /** Execute main and return results + machine statistics. */

@@ -36,6 +36,7 @@ makeGraphVM(const std::string &name, const BackendOptions &options)
         }
         auto cpu = std::make_unique<CpuVM>(params);
         cpu->setNumThreads(options.numThreads ? options.numThreads : 1);
+        cpu->setUdfTier(options.udfTier);
         vm = std::move(cpu);
     } else if (name == "gpu") {
         GpuParams params;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "udf/registry.h"
 #include "vm/graphvm.h"
 
 namespace ugc {
@@ -52,6 +53,13 @@ struct BackendOptions
      *  hb.dma_error, swarm.task_abort); meaningful only when a fault plan
      *  is armed (faults::arm / ugcc --fault). */
     RetryPolicy retry;
+
+    /** UDF execution tier (CPU VM only; accelerator models always
+     *  interpret). Auto runs compiled kernels where the udf-kernel-select
+     *  pass attached udf_kernel metadata; Interp forces the bytecode
+     *  interpreter; Compiled matches every traversal against the kernel
+     *  catalog regardless of metadata. */
+    udf::UdfTier udfTier = udf::UdfTier::Auto;
 };
 
 /**

@@ -90,6 +90,12 @@ class MachineModel
         return 0;
     }
 
+    /** True when the exec engine may replace the bytecode interpreter
+     *  with compiled UDF kernels for this model (see udf/registry.h).
+     *  Only the native CPU path opts in; the accelerator models keep
+     *  interpreting so their task/instruction accounting stays put. */
+    virtual bool supportsCompiledUdfs() const { return false; }
+
     /** Task-stream models additionally receive every task. */
     virtual bool wantsTaskStream() const { return false; }
     virtual void onTask(TaskRecord task) { (void)task; }

@@ -237,11 +237,13 @@ TEST(Midend, PipelinePassOrder)
     PassManager manager =
         midend::standardPipeline(std::make_shared<SimpleSchedule>());
     const auto names = manager.passNames();
-    ASSERT_EQ(names.size(), 4u);
+    ASSERT_EQ(names.size(), 5u);
     EXPECT_EQ(names[0], "direction-lowering");
     EXPECT_EQ(names[1], "atomics-insertion");
     EXPECT_EQ(names[2], "frontier-reuse");
     EXPECT_EQ(names[3], "ordered-lowering");
+    // Runs last so it matches the final (post-lowering) UDF variants.
+    EXPECT_EQ(names[4], "udf-kernel-select");
 }
 
 TEST(Midend, PipelineDoesNotMutateInput)

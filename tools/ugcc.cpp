@@ -14,6 +14,12 @@
  *   --start <v>         start vertex for --run (default 0)
  *   --arg3 <n>          argv[3] binding (PR iterations / SSSP delta)
  *   --threads <n>       host threads for CPU execution (default 1)
+ *   --udf-tier <tier>   UDF execution tier on the CPU backend: interp
+ *                       (bytecode interpreter everywhere), compiled
+ *                       (match every traversal against the compiled
+ *                       kernel catalog), or auto (default: compiled
+ *                       kernels where udf-kernel-select tagged the
+ *                       traversal, interpreter elsewhere)
  *   --profile <file>    with --run: write a JSON profile of the run
  *   --trace <file>      with --run: write a Chrome trace-event file
  *   --print-passes      list the pass pipeline for the target and exit
@@ -91,6 +97,7 @@ usage()
         "usage: ugcc <algorithm.gt> [--target cpu|gpu|swarm|hb]\n"
         "            [--emit-ir] [--run <dataset>] [--tune]\n"
         "            [--start <v>] [--arg3 <n>] [--threads <n>]\n"
+        "            [--udf-tier interp|compiled|auto]\n"
         "            [--profile <file>] [--trace <file>]\n"
         "            [--print-passes] [--print-after-all] [--verify-ir]\n"
         "            [--max-iters <n>] [--timeout-ms <n>]\n"
@@ -160,6 +167,7 @@ main(int argc, char *argv[])
     VertexId start = 0;
     int64_t arg3 = 10;
     unsigned threads = 1;
+    udf::UdfTier udf_tier = udf::UdfTier::Auto;
     std::string profile_path;
     std::string trace_path;
     bool print_passes = false;
@@ -191,7 +199,20 @@ main(int argc, char *argv[])
             arg3 = std::atoll(next());
         else if (flag == "--threads")
             threads = static_cast<unsigned>(std::atoi(next()));
-        else if (flag == "--profile")
+        else if (flag == "--udf-tier" || flag.rfind("--udf-tier=", 0) == 0) {
+            const std::string value = flag[10] == '='
+                                          ? flag.substr(11)
+                                          : std::string(next());
+            const auto parsed = udf::parseUdfTier(value);
+            if (!parsed) {
+                std::fprintf(stderr,
+                             "ugcc: bad --udf-tier '%s' (expected "
+                             "interp, compiled, or auto)\n",
+                             value.c_str());
+                return kExitParse;
+            }
+            udf_tier = *parsed;
+        } else if (flag == "--profile")
             profile_path = next();
         else if (flag == "--trace")
             trace_path = next();
@@ -268,6 +289,7 @@ main(int argc, char *argv[])
     options.numThreads = threads;
     options.profiling = profiling;
     options.limits = limits;
+    options.udfTier = udf_tier;
     auto vm = makeGraphVM(target, options);
 
     CompileOptions compile_options;
