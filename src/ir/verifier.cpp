@@ -253,6 +253,29 @@ class Verifier
                   role + " function '" + name + "' does not exist");
     }
 
+    /** One synchronization key: atomics insertion writes `is_atomic`
+     *  (bool) on every RMW site — reductions, CAS, and priority updates
+     *  alike. The legacy `needs_atomic` spelling is banned so a backend
+     *  can never read the wrong key and silently drop synchronization. */
+    template <typename Node>
+    void
+    checkSyncMetadata(const Function &func, const std::string &path,
+                      const Stmt *stmt, const Node &node)
+    {
+        if (node.hasMetadata("needs_atomic"))
+            error(func, path, stmt,
+                  "legacy 'needs_atomic' metadata present; synchronization "
+                  "state must use the unified 'is_atomic' key");
+        if (node.hasMetadata("is_atomic")) {
+            try {
+                (void)node.template getMetadata<bool>("is_atomic");
+            } catch (const std::bad_any_cast &) {
+                error(func, path, stmt,
+                      "is_atomic metadata is not a bool");
+            }
+        }
+    }
+
     // --- expression checks ------------------------------------------------
 
     void
@@ -266,6 +289,7 @@ class Verifier
             return;
         }
         walkExprs(expr, [&](const ExprPtr &node) {
+            checkSyncMetadata(func, path, &stmt, *node);
             switch (node->kind) {
               case ExprKind::PropRead: {
                 const auto &read = static_cast<const PropReadExpr &>(*node);
@@ -371,6 +395,7 @@ class Verifier
     verifyStmt(const Function &func, const Stmt &stmt,
                const std::string &path)
     {
+        checkSyncMetadata(func, path, &stmt, stmt);
         switch (stmt.kind) {
           case StmtKind::VarDecl: {
             const auto &decl = static_cast<const VarDeclStmt &>(stmt);

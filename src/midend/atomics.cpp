@@ -1,59 +1,63 @@
 #include "midend/atomics.h"
 
+#include <map>
+#include <set>
+
 #include "ir/walk.h"
-#include "midend/analyses.h"
 
 namespace ugc {
-
-namespace {
-
-/** Mark every CAS/reduction in @p func with is_atomic = @p atomic.
- *  @return number of nodes marked. */
-int
-markFunction(Function &func, bool atomic)
-{
-    int marked = 0;
-    walkStmts(func.body, [&](const StmtPtr &stmt, const std::string &) {
-        if (stmt->kind == StmtKind::Reduction) {
-            stmt->setMetadata("is_atomic", atomic);
-            ++marked;
-        }
-        stmtExprs(stmt, [&](const ExprPtr &expr) {
-            if (expr->kind == ExprKind::CompareAndSwap) {
-                expr->setMetadata("is_atomic", atomic);
-                ++marked;
-            }
-        });
-        if (stmt->kind == StmtKind::UpdatePriority) {
-            stmt->setMetadata("needs_atomic", atomic);
-            ++marked;
-        }
-    });
-    return marked;
-}
-
-} // namespace
 
 PassResult
 AtomicsInsertionPass::run(Program &program, AnalysisManager &analyses)
 {
-    const midend::TraversalInfo &info =
-        analyses.get<midend::TraversalIndexAnalysis>(program);
-    int marked = 0;
-    for (const auto &entry : info.traversals) {
-        if (!entry.edgeIter)
-            continue;
-        const EdgeSetIteratorStmt &node = *entry.edgeIter;
-        if (!node.hasMetadata("apply_variant"))
-            continue; // direction lowering has not run on this node
-        const auto direction =
-            node.getMetadataOr("direction", Direction::Push);
-        FunctionPtr variant = program.findFunction(
-            node.getMetadata<std::string>("apply_variant"));
-        if (variant)
-            marked += markFunction(*variant, direction == Direction::Push);
+    // Warm the shared traversal index first: ConflictAnalysis recomputes it
+    // privately, so later passes (ordered lowering) should still find it in
+    // the manager's cache.
+    analyses.get<midend::TraversalIndexAnalysis>(program);
+    const midend::TraversalConflicts &conflicts =
+        analyses.get<midend::ConflictAnalysis>(program);
+
+    // A UDF can be invoked by several traversals (and a site judged once
+    // per invocation context); a site needs an atomic if *any* context
+    // makes it a reducible conflict.
+    std::map<std::string, std::map<std::size_t, bool>> need;
+    for (const midend::ConflictInfo &ci : conflicts.traversals) {
+        for (const midend::AccessVerdict &verdict : ci.verdicts) {
+            const midend::UdfEffects *fx =
+                conflicts.effectsOf(verdict.function);
+            if (!fx || !fx->accesses[verdict.site].isRMW())
+                continue;
+            bool &atomic = need[verdict.function][verdict.site];
+            atomic = atomic ||
+                     verdict.kind == midend::ConflictKind::ReducibleConflict;
+        }
     }
-    return PassResult::changedIf(marked > 0);
+
+    int marked = 0;
+    for (const auto &[function, sites] : need) {
+        const midend::UdfEffects *fx = conflicts.effectsOf(function);
+        for (const auto &[index, atomic] : sites) {
+            const midend::AccessSite &site = fx->accesses[index];
+            if (site.stmt)
+                site.stmt->setMetadata("is_atomic", atomic);
+            else if (site.expr)
+                site.expr->setMetadata("is_atomic", atomic);
+            ++marked;
+        }
+    }
+
+    // Publish each traversal's static property read/write sets so
+    // downstream consumers (Swarm conflict detection, spatial hints,
+    // future fusion) use the analysis result instead of re-deriving it.
+    int exported = 0;
+    for (const midend::ConflictInfo &ci : conflicts.traversals) {
+        if (!ci.stmt)
+            continue;
+        ci.stmt->setMetadata("effects_reads", ci.readProps);
+        ci.stmt->setMetadata("effects_writes", ci.writeProps);
+        ++exported;
+    }
+    return PassResult::changedIf(marked > 0 || exported > 0);
 }
 
 } // namespace ugc

@@ -3,16 +3,24 @@
  * Property analysis / atomics insertion (Table III's
  * "Property Analysis/Atomic Insertion" pass).
  *
- * Dependence analysis over UDFs: a CompareAndSwap or ReductionOp inside an
- * edge-apply UDF needs atomicity exactly when multiple parallel workers can
- * target the same vertex — i.e. PUSH traversals (many sources share one
- * destination). PULL traversals own their destination exclusively, and
- * vertex-apply UDFs own their vertex, so their updates stay plain.
+ * Effects-driven dependence analysis (DESIGN.md §10): the pass consumes
+ * ConflictAnalysis — per-UDF property read/write/reduce summaries combined
+ * with each traversal's direction, deduplication, ordering, and
+ * parallelism — and marks exactly the RMW sites whose verdict is
+ * ReducibleConflict as is_atomic=true; every other reduction, CAS, and
+ * priority update in a traversal-invoked UDF is explicitly marked
+ * is_atomic=false so backends can elide the synchronization (pull-mode
+ * dst-indexed updates, worker-private source-side writes, serial vertex
+ * applies). It also exports each traversal's static property read/write
+ * sets as "effects_reads"/"effects_writes" metadata — the single source of
+ * truth the Swarm VM's conflict detector and spatial-hint machinery
+ * consume.
  */
 #ifndef UGC_MIDEND_ATOMICS_H
 #define UGC_MIDEND_ATOMICS_H
 
 #include "midend/analyses.h"
+#include "midend/effects.h"
 #include "midend/pass.h"
 
 namespace ugc {
@@ -24,13 +32,16 @@ class AtomicsInsertionPass : public Pass
     PassResult run(Program &program, AnalysisManager &analyses) override;
 
     /** Metadata-only: statement structure is untouched, so the cached
-     *  traversal index and IR statistics stay valid. */
+     *  traversal index, effect summaries, conflict verdicts, and IR
+     *  statistics stay valid. */
     PreservedAnalyses
     preservedAnalyses() const override
     {
         return PreservedAnalyses::none()
             .preserve(midend::TraversalIndexAnalysis::key())
-            .preserve(midend::IRStatsAnalysis::key());
+            .preserve(midend::IRStatsAnalysis::key())
+            .preserve(midend::UdfEffectsAnalysis::key())
+            .preserve(midend::ConflictAnalysis::key());
     }
 };
 

@@ -1,0 +1,477 @@
+#include "midend/effects.h"
+
+#include <algorithm>
+
+#include "ir/walk.h"
+#include "midend/analyses.h"
+
+namespace ugc::midend {
+
+const char *
+accessIndexName(AccessIndex index)
+{
+    switch (index) {
+      case AccessIndex::Src:
+        return "src";
+      case AccessIndex::Dst:
+        return "dst";
+      case AccessIndex::Self:
+        return "self";
+      case AccessIndex::Other:
+        return "other";
+    }
+    return "?";
+}
+
+const char *
+conflictKindName(ConflictKind kind)
+{
+    switch (kind) {
+      case ConflictKind::NoConflict:
+        return "NoConflict";
+      case ConflictKind::ReducibleConflict:
+        return "ReducibleConflict";
+      case ConflictKind::UnsynchronizedRace:
+        return "UnsynchronizedRace";
+    }
+    return "?";
+}
+
+const char *
+accessKindName(AccessSite::Kind kind)
+{
+    switch (kind) {
+      case AccessSite::Kind::Read:
+        return "PropRead";
+      case AccessSite::Kind::Write:
+        return "PropWrite";
+      case AccessSite::Kind::Reduce:
+        return "ReductionOp";
+      case AccessSite::Kind::Cas:
+        return "CompareAndSwap";
+      case AccessSite::Kind::PriorityUpdate:
+        return "UpdatePriority";
+    }
+    return "?";
+}
+
+bool
+UdfEffects::pure() const
+{
+    if (hasEnqueue || updatesPriority || !globalsWritten.empty())
+        return false;
+    for (const AccessSite &site : accesses)
+        if (site.kind != AccessSite::Kind::Read)
+            return false;
+    return true;
+}
+
+std::set<std::string>
+UdfEffects::propsRead() const
+{
+    std::set<std::string> props;
+    for (const AccessSite &site : accesses) {
+        if (site.isGlobal || site.kind == AccessSite::Kind::PriorityUpdate)
+            continue;
+        if (site.kind != AccessSite::Kind::Write)
+            props.insert(site.prop); // RMWs read their current value too
+    }
+    return props;
+}
+
+std::set<std::string>
+UdfEffects::propsWritten() const
+{
+    std::set<std::string> props;
+    for (const AccessSite &site : accesses) {
+        if (site.isGlobal || site.kind == AccessSite::Kind::PriorityUpdate)
+            continue;
+        if (site.kind != AccessSite::Kind::Read)
+            props.insert(site.prop);
+    }
+    return props;
+}
+
+namespace {
+
+const char *
+stmtKindName(StmtKind kind)
+{
+    switch (kind) {
+      case StmtKind::VarDecl:
+        return "VarDecl";
+      case StmtKind::Assign:
+        return "Assign";
+      case StmtKind::PropWrite:
+        return "PropWrite";
+      case StmtKind::Reduction:
+        return "ReductionOp";
+      case StmtKind::If:
+        return "If";
+      case StmtKind::While:
+        return "While";
+      case StmtKind::ForRange:
+        return "ForRange";
+      case StmtKind::ExprStmt:
+        return "ExprStmt";
+      case StmtKind::EdgeSetIterator:
+        return "EdgeSetIterator";
+      case StmtKind::VertexSetIterator:
+        return "VertexSetIterator";
+      case StmtKind::EnqueueVertex:
+        return "EnqueueVertex";
+      case StmtKind::UpdatePriority:
+        return "UpdatePriority";
+      default:
+        return "Stmt";
+    }
+}
+
+/** Whose vertex the index expression denotes, given the UDF's parameters.
+ *  Anything that is not a direct parameter reference is Other — a
+ *  conservative classification that makes the access shared. */
+AccessIndex
+classifyIndex(const ExprPtr &index, const Function &func)
+{
+    if (!index || index->kind != ExprKind::VarRef)
+        return AccessIndex::Other;
+    const std::string &name = static_cast<const VarRefExpr &>(*index).name;
+    if (func.params.size() >= 2) {
+        if (name == func.params[0].name)
+            return AccessIndex::Src;
+        if (name == func.params[1].name)
+            return AccessIndex::Dst;
+    } else if (func.params.size() == 1 && name == func.params[0].name) {
+        return AccessIndex::Self;
+    }
+    return AccessIndex::Other;
+}
+
+/** Collect per-function effect summaries. */
+UdfEffects
+summarizeFunction(const Program &program, const Function &func)
+{
+    UdfEffects fx;
+    fx.function = func.name;
+
+    // Names that are local to the function: parameters, declared locals,
+    // loop variables, and the named result.
+    std::set<std::string> locals;
+    for (const Param &param : func.params)
+        locals.insert(param.name);
+    if (func.hasResult())
+        locals.insert(func.resultName);
+    walkStmts(func.body, [&](const StmtPtr &stmt, const std::string &) {
+        if (stmt->kind == StmtKind::VarDecl)
+            locals.insert(static_cast<const VarDeclStmt &>(*stmt).name);
+        else if (stmt->kind == StmtKind::ForRange)
+            locals.insert(static_cast<const ForRangeStmt &>(*stmt).var);
+    });
+
+    const auto isScalarGlobal = [&](const std::string &name) {
+        if (locals.count(name))
+            return false;
+        const VarDeclStmt *decl = program.findGlobal(name);
+        return decl && decl->type.kind == TypeDesc::Kind::Scalar;
+    };
+
+    int ordinal = 0;
+    walkStmts(func.body, [&](const StmtPtr &stmt, const std::string &) {
+        ++ordinal;
+        const std::string at =
+            "#" + std::to_string(ordinal) + " " + stmtKindName(stmt->kind);
+
+        switch (stmt->kind) {
+          case StmtKind::PropWrite: {
+            auto &node = static_cast<PropWriteStmt &>(*stmt);
+            AccessSite site;
+            site.kind = AccessSite::Kind::Write;
+            site.prop = node.prop;
+            site.index = classifyIndex(node.index, func);
+            site.where = at;
+            site.stmt = stmt.get();
+            fx.accesses.push_back(site);
+            break;
+          }
+          case StmtKind::Reduction: {
+            auto &node = static_cast<ReductionStmt &>(*stmt);
+            AccessSite site;
+            site.kind = AccessSite::Kind::Reduce;
+            site.prop = node.prop;
+            site.index = classifyIndex(node.index, func);
+            site.reductionOp = node.op;
+            site.where = at;
+            site.stmt = stmt.get();
+            fx.accesses.push_back(site);
+            break;
+          }
+          case StmtKind::UpdatePriority: {
+            auto &node = static_cast<UpdatePriorityStmt &>(*stmt);
+            AccessSite site;
+            site.kind = AccessSite::Kind::PriorityUpdate;
+            site.prop = node.queue;
+            site.index = classifyIndex(node.vertex, func);
+            site.where = at;
+            site.stmt = stmt.get();
+            fx.accesses.push_back(site);
+            fx.updatesPriority = true;
+            break;
+          }
+          case StmtKind::Assign: {
+            auto &node = static_cast<AssignStmt &>(*stmt);
+            if (isScalarGlobal(node.name)) {
+                AccessSite site;
+                site.kind = AccessSite::Kind::Write;
+                site.prop = node.name;
+                site.index = AccessIndex::Other;
+                site.isGlobal = true;
+                site.where = at;
+                site.stmt = stmt.get();
+                fx.accesses.push_back(site);
+                fx.globalsWritten.insert(node.name);
+            }
+            break;
+          }
+          case StmtKind::EnqueueVertex:
+            fx.hasEnqueue = true;
+            break;
+          default:
+            break;
+        }
+
+        stmtExprs(stmt, [&](const ExprPtr &top) {
+            walkExprs(top, [&](const ExprPtr &expr) {
+                if (expr->kind == ExprKind::PropRead) {
+                    auto &node = static_cast<PropReadExpr &>(*expr);
+                    AccessSite site;
+                    site.kind = AccessSite::Kind::Read;
+                    site.prop = node.prop;
+                    site.index = classifyIndex(node.index, func);
+                    site.where = at;
+                    site.expr = expr.get();
+                    fx.accesses.push_back(site);
+                } else if (expr->kind == ExprKind::CompareAndSwap) {
+                    auto &node = static_cast<CompareAndSwapExpr &>(*expr);
+                    AccessSite site;
+                    site.kind = AccessSite::Kind::Cas;
+                    site.prop = node.prop;
+                    site.index = classifyIndex(node.index, func);
+                    site.where = at;
+                    site.expr = expr.get();
+                    fx.accesses.push_back(site);
+                } else if (expr->kind == ExprKind::VarRef) {
+                    auto &node = static_cast<VarRefExpr &>(*expr);
+                    if (isScalarGlobal(node.name))
+                        fx.globalsRead.insert(node.name);
+                }
+            });
+        });
+    });
+    return fx;
+}
+
+/** How a single-parameter filter UDF's "self" binds inside an edge
+ *  traversal: the dst filter sees destinations, the src filter sources. */
+AccessIndex
+remapSelf(AccessIndex index, AccessIndex self_binding)
+{
+    return index == AccessIndex::Self ? self_binding : index;
+}
+
+/** Is @p index shared between parallel workers of this traversal? */
+bool
+isSharedIndex(const ConflictInfo &ci, AccessIndex index)
+{
+    if (!ci.parallel)
+        return false;
+    if (ci.vertexApply)
+        return index != AccessIndex::Self;
+    if (ci.direction == Direction::Pull)
+        // Pull iterates destinations: each worker owns its dst exclusively
+        // but may read/write many sources.
+        return index == AccessIndex::Src || index == AccessIndex::Other;
+    // Push (ordered traversals execute push-style): many sources target the
+    // same destination concurrently. A deduplicated input frontier makes
+    // the source side private; without dedup the same src can be live on
+    // two workers at once.
+    if (index == AccessIndex::Dst || index == AccessIndex::Other)
+        return true;
+    return index == AccessIndex::Src && !ci.dedup;
+}
+
+/** Classify every access site of @p function in the context of @p ci.
+ *  @p self_binding resolves Self for filter UDFs (Src/Dst endpoint). */
+void
+judgeFunction(const TraversalConflicts &tc, ConflictInfo &ci,
+              const std::string &function, AccessIndex self_binding)
+{
+    const UdfEffects *fx = tc.effectsOf(function);
+    if (!fx)
+        return;
+    for (std::size_t i = 0; i < fx->accesses.size(); ++i) {
+        const AccessSite &site = fx->accesses[i];
+        AccessVerdict verdict;
+        verdict.function = function;
+        verdict.site = i;
+
+        if (site.isGlobal) {
+            // Scalar globals live in one shared slot: any plain write from
+            // a parallel region races with every other worker.
+            if (site.kind != AccessSite::Kind::Read && ci.parallel) {
+                verdict.kind = ConflictKind::UnsynchronizedRace;
+                verdict.reason = "plain write to global '" + site.prop +
+                                 "' from a parallel traversal";
+            } else {
+                verdict.kind = ConflictKind::NoConflict;
+                verdict.reason = ci.parallel ? "read-only access"
+                                             : "serial traversal";
+            }
+            ci.verdicts.push_back(std::move(verdict));
+            continue;
+        }
+
+        const AccessIndex index = remapSelf(site.index, self_binding);
+        if (!isSharedIndex(ci, index)) {
+            verdict.kind = ConflictKind::NoConflict;
+            verdict.reason =
+                ci.parallel
+                    ? std::string(accessIndexName(index)) +
+                          " index is private to its worker"
+                    : "serial traversal";
+        } else if (site.kind == AccessSite::Kind::Read) {
+            verdict.kind = ConflictKind::NoConflict;
+            verdict.reason = "read-only access";
+        } else if (site.isRMW()) {
+            verdict.kind = ConflictKind::ReducibleConflict;
+            verdict.reason = std::string(accessKindName(site.kind)) +
+                             " on shared '" + site.prop + "[" +
+                             accessIndexName(index) + "]'";
+        } else {
+            verdict.kind = ConflictKind::UnsynchronizedRace;
+            verdict.reason = "plain write to shared property '" + site.prop +
+                             "' indexed by " + accessIndexName(index);
+        }
+        ci.verdicts.push_back(std::move(verdict));
+    }
+}
+
+/** Static read/write sets over every UDF the traversal invokes. */
+void
+collectPropSets(const TraversalConflicts &tc, ConflictInfo &ci,
+                const std::vector<std::string> &functions)
+{
+    std::set<std::string> reads;
+    std::set<std::string> writes;
+    for (const std::string &fn : functions) {
+        const UdfEffects *fx = tc.effectsOf(fn);
+        if (!fx)
+            continue;
+        const auto r = fx->propsRead();
+        const auto w = fx->propsWritten();
+        reads.insert(r.begin(), r.end());
+        writes.insert(w.begin(), w.end());
+    }
+    ci.readProps.assign(reads.begin(), reads.end());
+    ci.writeProps.assign(writes.begin(), writes.end());
+}
+
+} // namespace
+
+bool
+ConflictInfo::needsAtomics() const
+{
+    return std::any_of(verdicts.begin(), verdicts.end(),
+                       [](const AccessVerdict &v) {
+                           return v.kind == ConflictKind::ReducibleConflict;
+                       });
+}
+
+bool
+ConflictInfo::hasRace() const
+{
+    return std::any_of(verdicts.begin(), verdicts.end(),
+                       [](const AccessVerdict &v) {
+                           return v.kind == ConflictKind::UnsynchronizedRace;
+                       });
+}
+
+const UdfEffects *
+TraversalConflicts::effectsOf(const std::string &function) const
+{
+    auto it = effects.find(function);
+    return it == effects.end() ? nullptr : &it->second;
+}
+
+UdfEffectsAnalysis::Result
+UdfEffectsAnalysis::run(Program &program)
+{
+    Result summaries;
+    for (const FunctionPtr &func : program.functions())
+        summaries.emplace(func->name, summarizeFunction(program, *func));
+    return summaries;
+}
+
+ConflictAnalysis::Result
+ConflictAnalysis::run(Program &program)
+{
+    TraversalConflicts tc;
+    tc.effects = UdfEffectsAnalysis::run(program);
+    const TraversalInfo info = TraversalIndexAnalysis::run(program);
+
+    for (const TraversalInfo::Entry &entry : info.traversals) {
+        ConflictInfo ci;
+        ci.stmt = entry.stmt;
+        ci.edgeIter = entry.edgeIter;
+        ci.path = entry.path;
+
+        std::vector<std::string> used;
+        if (entry.edgeIter) {
+            const EdgeSetIteratorStmt &node = *entry.edgeIter;
+            ci.applyFunc = node.getMetadataOr<std::string>("apply_variant",
+                                                           node.applyFunc);
+            ci.direction = node.getMetadataOr("direction", Direction::Push);
+            ci.ordered =
+                !node.queue.empty() || node.getMetadataOr("ordered", false);
+            ci.dedup = node.getMetadataOr("apply_deduplication", false);
+            // Edge traversals run on the parallel engine; whether more
+            // than one worker actually executes is a runtime decision
+            // (thread count + frontier size), so the static model must
+            // assume parallel execution.
+            ci.parallel = true;
+
+            judgeFunction(tc, ci, ci.applyFunc, AccessIndex::Other);
+            used.push_back(ci.applyFunc);
+            const bool fused =
+                node.getMetadataOr("filter_fused", false);
+            if (!node.dstFilter.empty() && !fused) {
+                judgeFunction(tc, ci, node.dstFilter, AccessIndex::Dst);
+                used.push_back(node.dstFilter);
+            }
+            if (!node.srcFilter.empty()) {
+                judgeFunction(tc, ci, node.srcFilter, AccessIndex::Src);
+                used.push_back(node.srcFilter);
+            }
+        } else {
+            const auto &node =
+                static_cast<const VertexSetIteratorStmt &>(*entry.stmt);
+            ci.vertexApply = true;
+            ci.parallel = entry.stmt->getMetadataOr("is_parallel", false);
+            if (!node.applyFunc.empty()) {
+                ci.applyFunc = node.applyFunc;
+                judgeFunction(tc, ci, node.applyFunc, AccessIndex::Self);
+                used.push_back(node.applyFunc);
+            }
+            if (!node.filterFunc.empty()) {
+                if (ci.applyFunc.empty())
+                    ci.applyFunc = node.filterFunc;
+                judgeFunction(tc, ci, node.filterFunc, AccessIndex::Self);
+                used.push_back(node.filterFunc);
+            }
+        }
+        collectPropSets(tc, ci, used);
+        tc.traversals.push_back(std::move(ci));
+    }
+    return tc;
+}
+
+} // namespace ugc::midend

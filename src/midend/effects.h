@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Property-effects dataflow analysis (DESIGN.md §10).
+ *
+ * Two cached analyses over GraphIR:
+ *
+ *  - UdfEffectsAnalysis abstract-interprets every function body into a
+ *    per-function summary of its side effects: which vertex properties it
+ *    reads, writes, reduces, or CASes — classified by *whose* vertex the
+ *    access is indexed with (the UDF's src parameter, its dst parameter,
+ *    the single self parameter, or something else) — plus the scalar
+ *    globals it touches, the priority queues it updates, and whether it
+ *    enqueues. This mirrors the symbolic bytecode executor of
+ *    udf/registry.cpp, but at GraphIR level and for *all* functions, not
+ *    just kernel-matchable ones.
+ *
+ *  - ConflictAnalysis combines those summaries with each traversal's
+ *    direction, deduplication, ordering, and parallelism metadata to give
+ *    every access site a verdict: NoConflict (the index is private to the
+ *    worker that runs the UDF invocation), ReducibleConflict (shared index
+ *    but the access is an atomic-capable RMW — reduction, CAS, or priority
+ *    update), or UnsynchronizedRace (a plain write to a shared location).
+ *
+ * The atomics-insertion pass marks exactly the ReducibleConflict sites
+ * atomic; the race-check pass and `ugcc --analyze` report the
+ * UnsynchronizedRace sites (plus lints) to the user.
+ */
+#ifndef UGC_MIDEND_EFFECTS_H
+#define UGC_MIDEND_EFFECTS_H
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace ugc::midend {
+
+/** Whose vertex a property access is indexed with, relative to the UDF's
+ *  parameter list: edge UDFs bind (src, dst), vertex UDFs bind (self). */
+enum class AccessIndex {
+    Src,   ///< indexed by the edge UDF's first (source) parameter
+    Dst,   ///< indexed by the edge UDF's second (destination) parameter
+    Self,  ///< indexed by a single-parameter (vertex) UDF's parameter
+    Other, ///< constant, local, or computed index — conservatively shared
+};
+
+const char *accessIndexName(AccessIndex index);
+
+/** What the traversal context makes of one access site. */
+enum class ConflictKind {
+    NoConflict,          ///< private index, or a read
+    ReducibleConflict,   ///< shared RMW — needs (and can use) an atomic
+    UnsynchronizedRace,  ///< plain write to a shared location
+};
+
+const char *conflictKindName(ConflictKind kind);
+
+/**
+ * One syntactic access site inside a function body, in program (pre-order)
+ * order. The stmt/expr pointers address the IR node the atomics pass marks
+ * and stay valid as long as the analyzed Program's statements do (any pass
+ * that replaces statements must invalidate this analysis).
+ */
+struct AccessSite
+{
+    enum class Kind {
+        Read,           ///< PropRead expression
+        Write,          ///< plain PropWrite (or scalar-global Assign)
+        Reduce,         ///< ReductionOp (+=, min=, max=)
+        Cas,            ///< CompareAndSwap expression
+        PriorityUpdate, ///< UpdatePriorityMin/Sum into a queue
+    };
+
+    Kind kind = Kind::Read;
+    std::string prop;     ///< property name; global or queue name for those
+    AccessIndex index = AccessIndex::Other;
+    bool isGlobal = false; ///< scalar-global access, not a vertex property
+    ReductionType reductionOp = ReductionType::Sum; ///< for Kind::Reduce
+    std::string where;    ///< attribution, e.g. "#2 ReductionOp"
+    Stmt *stmt = nullptr; ///< Write/Reduce/PriorityUpdate site
+    Expr *expr = nullptr; ///< Read/Cas site
+
+    bool
+    isRMW() const
+    {
+        return kind == Kind::Reduce || kind == Kind::Cas ||
+               kind == Kind::PriorityUpdate;
+    }
+};
+
+const char *accessKindName(AccessSite::Kind kind);
+
+/** Side-effect summary of one function body. */
+struct UdfEffects
+{
+    std::string function;
+    std::vector<AccessSite> accesses; ///< pre-order program order
+    std::set<std::string> globalsRead;
+    std::set<std::string> globalsWritten;
+    bool hasEnqueue = false;
+    bool updatesPriority = false;
+
+    /** True when the function only reads — safe as a filter. */
+    bool pure() const;
+    /** Vertex properties read (including the read half of RMWs). */
+    std::set<std::string> propsRead() const;
+    /** Vertex properties written (plain writes and RMWs). */
+    std::set<std::string> propsWritten() const;
+};
+
+/** Cached per-function effect summaries, keyed by function name. */
+struct UdfEffectsAnalysis
+{
+    static const char *key() { return "udf-effects"; }
+    using Result = std::map<std::string, UdfEffects>;
+    static Result run(Program &program);
+};
+
+/** Verdict for one access site of one function used by a traversal. */
+struct AccessVerdict
+{
+    std::string function; ///< the UDF (variant) the site belongs to
+    std::size_t site = 0; ///< index into UdfEffects::accesses
+    ConflictKind kind = ConflictKind::NoConflict;
+    std::string reason;   ///< human-readable explanation
+};
+
+/** Per-traversal conflict classification. */
+struct ConflictInfo
+{
+    Stmt *stmt = nullptr; ///< the traversal statement
+    EdgeSetIteratorStmt *edgeIter = nullptr; ///< null for vertex iterators
+    std::string path;     ///< schedule label path ("s0:s1")
+    std::string applyFunc; ///< resolved apply variant (or pre-lowering UDF)
+    Direction direction = Direction::Push; ///< meaningful for edge iters
+    bool vertexApply = false;
+    bool parallel = false;
+    bool ordered = false;
+    bool dedup = false;
+    std::vector<AccessVerdict> verdicts; ///< across apply + filter UDFs
+    std::vector<std::string> readProps;  ///< static read set, sorted
+    std::vector<std::string> writeProps; ///< static write set, sorted
+
+    bool needsAtomics() const; ///< any ReducibleConflict
+    bool hasRace() const;      ///< any UnsynchronizedRace
+};
+
+/** The whole program's conflict picture: effect summaries (embedded so
+ *  consumers see the exact sites the verdicts refer to) plus one
+ *  ConflictInfo per traversal, in program order. */
+struct TraversalConflicts
+{
+    std::map<std::string, UdfEffects> effects;
+    std::vector<ConflictInfo> traversals;
+
+    const UdfEffects *effectsOf(const std::string &function) const;
+};
+
+/** Cached per-traversal conflict classification. Depends on the traversal
+ *  index and the UDF effect summaries; both are recomputed privately (not
+ *  through the AnalysisManager) so this analysis stays self-contained. */
+struct ConflictAnalysis
+{
+    static const char *key() { return "traversal-conflicts"; }
+    using Result = TraversalConflicts;
+    static Result run(Program &program);
+};
+
+} // namespace ugc::midend
+
+#endif // UGC_MIDEND_EFFECTS_H

@@ -13,6 +13,7 @@
 #define UGC_MIDEND_FRONTIER_REUSE_H
 
 #include "midend/analyses.h"
+#include "midend/effects.h"
 #include "midend/pass.h"
 
 namespace ugc {
@@ -29,7 +30,9 @@ class FrontierReusePass : public Pass
     {
         return PreservedAnalyses::none()
             .preserve(midend::TraversalIndexAnalysis::key())
-            .preserve(midend::IRStatsAnalysis::key());
+            .preserve(midend::IRStatsAnalysis::key())
+            .preserve(midend::UdfEffectsAnalysis::key())
+            .preserve(midend::ConflictAnalysis::key());
     }
 };
 

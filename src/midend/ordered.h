@@ -9,6 +9,7 @@
 #define UGC_MIDEND_ORDERED_H
 
 #include "midend/analyses.h"
+#include "midend/effects.h"
 #include "midend/pass.h"
 
 namespace ugc {
@@ -25,7 +26,9 @@ class OrderedLoweringPass : public Pass
     {
         return PreservedAnalyses::none()
             .preserve(midend::TraversalIndexAnalysis::key())
-            .preserve(midend::IRStatsAnalysis::key());
+            .preserve(midend::IRStatsAnalysis::key())
+            .preserve(midend::UdfEffectsAnalysis::key())
+            .preserve(midend::ConflictAnalysis::key());
     }
 };
 

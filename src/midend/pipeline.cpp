@@ -4,16 +4,21 @@
 #include "midend/direction_lowering.h"
 #include "midend/frontier_reuse.h"
 #include "midend/ordered.h"
+#include "midend/race_check.h"
 #include "midend/udf_kernel_select.h"
 
 namespace ugc::midend {
 
 void
-registerStandardPasses(PassManager &manager, SchedulePtr default_schedule)
+registerStandardPasses(PassManager &manager, SchedulePtr default_schedule,
+                       const AnalyzeOptions &analyze)
 {
     manager.addPass(
         std::make_unique<DirectionLoweringPass>(std::move(default_schedule)));
     manager.addPass(std::make_unique<AtomicsInsertionPass>());
+    // Right after atomics insertion so it audits the final synchronization
+    // decisions (and reads the same cached ConflictAnalysis).
+    manager.addPass(std::make_unique<RaceCheckPass>(analyze));
     manager.addPass(std::make_unique<FrontierReusePass>());
     manager.addPass(std::make_unique<OrderedLoweringPass>());
     // Runs last so it sees the final per-variant UDFs (post direction /

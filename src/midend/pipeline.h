@@ -7,6 +7,7 @@
 #define UGC_MIDEND_PIPELINE_H
 
 #include "midend/pass.h"
+#include "midend/race_check.h"
 #include "sched/schedule.h"
 
 namespace ugc::midend {
@@ -18,9 +19,11 @@ namespace ugc::midend {
  * instrumentation.
  * @param default_schedule schedule used for unscheduled statements
  *        (each GraphVM passes its baseline schedule here)
+ * @param analyze race-check reporting options (ugcc --analyze)
  */
 void registerStandardPasses(PassManager &manager,
-                            SchedulePtr default_schedule);
+                            SchedulePtr default_schedule,
+                            const AnalyzeOptions &analyze = {});
 
 /**
  * Build the standard pipeline.

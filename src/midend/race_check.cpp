@@ -1,0 +1,359 @@
+#include "midend/race_check.h"
+
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "ir/walk.h"
+
+namespace ugc::midend {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+appendFindings(std::ostringstream &out,
+               const std::vector<AnalyzeFinding> &findings)
+{
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const AnalyzeFinding &f = findings[i];
+        out << "    {\"kind\": \"" << jsonEscape(f.kind) << "\", "
+            << "\"function\": \"" << jsonEscape(f.function) << "\", "
+            << "\"statement\": \"" << jsonEscape(f.statement) << "\", "
+            << "\"property\": \"" << jsonEscape(f.property) << "\", "
+            << "\"traversal\": \"" << jsonEscape(f.traversal) << "\", "
+            << "\"detail\": \"" << jsonEscape(f.detail) << "\"}";
+        out << (i + 1 < findings.size() ? ",\n" : "\n");
+    }
+}
+
+void
+printFinding(std::ostream &out, const std::string &severity,
+             const AnalyzeFinding &f)
+{
+    out << severity;
+    if (f.kind != "unsynchronized-race")
+        out << "[" << f.kind << "]";
+    out << ":";
+    if (!f.traversal.empty())
+        out << " traversal '" << f.traversal << "',";
+    if (!f.function.empty())
+        out << " function '" << f.function << "',";
+    if (!f.statement.empty())
+        out << " " << f.statement << ":";
+    out << " " << f.detail << "\n";
+}
+
+/** Pre-order statement ordinals, matching UdfEffects attribution. */
+std::map<const Stmt *, int>
+stmtOrdinals(const Function &func)
+{
+    std::map<const Stmt *, int> ordinals;
+    int ordinal = 0;
+    walkStmts(func.body, [&](const StmtPtr &stmt, const std::string &) {
+        ordinals[stmt.get()] = ++ordinal;
+    });
+    return ordinals;
+}
+
+/** Key identifying a syntactic prop[index] target, or empty when the index
+ *  shape cannot be proven equal across two statements. */
+std::string
+indexKey(const ExprPtr &index)
+{
+    if (!index)
+        return {};
+    if (index->kind == ExprKind::VarRef)
+        return "v:" + static_cast<const VarRefExpr &>(*index).name;
+    if (index->kind == ExprKind::IntConst)
+        return "c:" + std::to_string(
+                          static_cast<const IntConstExpr &>(*index).value);
+    return {};
+}
+
+/**
+ * Dead-write lint over one function: a top-level plain write to
+ * prop[index] followed (still at top level, with no intervening control
+ * flow, traversal, or read of the property) by another write to the same
+ * syntactic target. Straight-line only — branches clear all pending
+ * writes, so conditional re-initialization never triggers it.
+ */
+void
+lintDeadWrites(const Function &func, std::vector<AnalyzeFinding> &lints)
+{
+    const auto ordinals = stmtOrdinals(func);
+    struct Pending
+    {
+        const PropWriteStmt *stmt;
+    };
+    std::map<std::string, Pending> pending; // "prop|indexKey" -> first write
+
+    for (const StmtPtr &stmt : func.body) {
+        // Any read of a property discharges its pending writes.
+        std::set<std::string> reads;
+        stmtExprs(stmt, [&](const ExprPtr &top) {
+            walkExprs(top, [&](const ExprPtr &expr) {
+                if (expr->kind == ExprKind::PropRead)
+                    reads.insert(
+                        static_cast<const PropReadExpr &>(*expr).prop);
+                else if (expr->kind == ExprKind::CompareAndSwap)
+                    reads.insert(
+                        static_cast<const CompareAndSwapExpr &>(*expr).prop);
+            });
+        });
+        if (stmt->kind == StmtKind::Reduction)
+            reads.insert(static_cast<const ReductionStmt &>(*stmt).prop);
+        for (auto it = pending.begin(); it != pending.end();) {
+            const std::string prop =
+                it->first.substr(0, it->first.find('|'));
+            it = reads.count(prop) ? pending.erase(it) : std::next(it);
+        }
+
+        if (stmt->kind != StmtKind::PropWrite) {
+            // Control flow, loops, and traversals may read anything.
+            if (stmt->kind == StmtKind::If || stmt->kind == StmtKind::While ||
+                stmt->kind == StmtKind::ForRange ||
+                stmt->kind == StmtKind::EdgeSetIterator ||
+                stmt->kind == StmtKind::VertexSetIterator)
+                pending.clear();
+            continue;
+        }
+
+        const auto &write = static_cast<const PropWriteStmt &>(*stmt);
+        const std::string key = indexKey(write.index);
+        if (key.empty())
+            continue;
+        const std::string target = write.prop + "|" + key;
+        auto it = pending.find(target);
+        if (it != pending.end()) {
+            AnalyzeFinding finding;
+            finding.kind = "dead-write";
+            finding.function = func.name;
+            auto ord = ordinals.find(it->second.stmt);
+            finding.statement =
+                ord == ordinals.end()
+                    ? std::string("PropWrite")
+                    : "#" + std::to_string(ord->second) + " PropWrite";
+            finding.property = write.prop;
+            finding.detail = "write to '" + write.prop +
+                             "' is overwritten before any read";
+            lints.push_back(std::move(finding));
+        }
+        pending[target] = Pending{&write};
+    }
+}
+
+} // namespace
+
+std::string
+AnalysisReport::toJson(const std::string &program_name) const
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"ugc.analyze.v1\",\n";
+    out << "  \"program\": \"" << jsonEscape(program_name) << "\",\n";
+    out << "  \"summary\": {\"races\": " << races.size()
+        << ", \"lints\": " << lints.size()
+        << ", \"atomics_required\": " << atomicsRequired
+        << ", \"atomics_elided\": " << atomicsElided << "},\n";
+    out << "  \"races\": [\n";
+    appendFindings(out, races);
+    out << "  ],\n";
+    out << "  \"lints\": [\n";
+    appendFindings(out, lints);
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+void
+AnalysisReport::print(std::ostream &out,
+                      const std::string &program_name) const
+{
+    out << "== analyze: " << program_name << " ==\n";
+    for (const AnalyzeFinding &f : races)
+        printFinding(out, "race", f);
+    for (const AnalyzeFinding &f : lints)
+        printFinding(out, "lint", f);
+    out << "summary: " << races.size() << " race(s), " << lints.size()
+        << " lint(s); atomics: " << atomicsRequired << " required, "
+        << atomicsElided << " elided\n";
+}
+
+PassResult
+RaceCheckPass::run(Program &program, AnalysisManager &analyses)
+{
+    const TraversalConflicts &conflicts =
+        analyses.get<ConflictAnalysis>(program);
+
+    AnalysisReport local;
+    AnalysisReport &report = _options.report ? *_options.report : local;
+    report = AnalysisReport{};
+
+    // --- races + atomics summary (one entry per distinct site) -----------
+    std::set<std::pair<std::string, std::size_t>> countedSites;
+    for (const ConflictInfo &ci : conflicts.traversals) {
+        for (const AccessVerdict &verdict : ci.verdicts) {
+            const UdfEffects *fx = conflicts.effectsOf(verdict.function);
+            if (!fx)
+                continue;
+            const AccessSite &site = fx->accesses[verdict.site];
+
+            if (verdict.kind == ConflictKind::UnsynchronizedRace) {
+                AnalyzeFinding finding;
+                finding.kind = "unsynchronized-race";
+                finding.function = verdict.function;
+                finding.statement = site.where;
+                finding.property = site.prop;
+                finding.traversal = ci.path;
+                finding.detail = verdict.reason;
+                if (!ci.vertexApply)
+                    finding.detail +=
+                        " (" + directionName(ci.direction) + " traversal)";
+                report.races.push_back(std::move(finding));
+            }
+
+            if (site.isRMW() &&
+                countedSites.emplace(verdict.function, verdict.site)
+                    .second) {
+                const bool atomic =
+                    site.stmt
+                        ? site.stmt->getMetadataOr("is_atomic", false)
+                        : site.expr &&
+                              site.expr->getMetadataOr("is_atomic", false);
+                if (atomic)
+                    ++report.atomicsRequired;
+                else
+                    ++report.atomicsElided;
+            }
+        }
+    }
+
+    // --- lint scope: functions traversals invoke, plus main --------------
+    std::set<std::string> scope;
+    scope.insert("main");
+    for (const ConflictInfo &ci : conflicts.traversals)
+        for (const AccessVerdict &verdict : ci.verdicts)
+            scope.insert(verdict.function);
+
+    // Dead property writes (straight-line overwrites).
+    for (const std::string &name : scope) {
+        FunctionPtr func = program.findFunction(name);
+        if (func)
+            lintDeadWrites(*func, report.lints);
+    }
+
+    // Reductions outside any parallel region: a ReductionOp in main runs
+    // serially — the reduction form suggests the author expected parallel
+    // combining that never happens.
+    if (const UdfEffects *mainFx = conflicts.effectsOf("main")) {
+        for (const AccessSite &site : mainFx->accesses) {
+            if (site.kind != AccessSite::Kind::Reduce)
+                continue;
+            AnalyzeFinding finding;
+            finding.kind = "reduction-outside-parallel";
+            finding.function = "main";
+            finding.statement = site.where;
+            finding.property = site.prop;
+            finding.detail = "reduction into '" + site.prop +
+                             "' executes serially in main";
+            report.lints.push_back(std::move(finding));
+        }
+    }
+
+    // Edge-traversal filters with side effects. (vertexset.filter UDFs may
+    // legitimately mutate — PageRankDelta's do — so only the .to()/.from()
+    // operators of edge traversals are held to purity.)
+    for (const ConflictInfo &ci : conflicts.traversals) {
+        if (!ci.edgeIter)
+            continue;
+        for (const std::string &filter :
+             {ci.edgeIter->dstFilter, ci.edgeIter->srcFilter}) {
+            if (filter.empty())
+                continue;
+            const UdfEffects *fx = conflicts.effectsOf(filter);
+            if (fx && !fx->pure()) {
+                AnalyzeFinding finding;
+                finding.kind = "filter-side-effect";
+                finding.function = filter;
+                finding.traversal = ci.path;
+                finding.detail = "filter '" + filter +
+                                 "' has side effects; filters must be pure";
+                report.lints.push_back(std::move(finding));
+            }
+        }
+    }
+
+    // Never-read properties: declared vertex data no reachable code reads
+    // (reductions and CAS read their current value; a tracked property
+    // feeds frontier creation, which is a read).
+    std::set<std::string> referenced;
+    for (const auto &[name, fx] : conflicts.effects) {
+        (void)name;
+        for (const AccessSite &site : fx.accesses)
+            if (!site.isGlobal && site.kind != AccessSite::Kind::Write)
+                referenced.insert(site.prop);
+    }
+    for (const FunctionPtr &func : program.functions()) {
+        walkStmts(func->body, [&](const StmtPtr &stmt, const std::string &) {
+            stmtExprs(stmt, [&](const ExprPtr &top) {
+                walkExprs(top, [&](const ExprPtr &expr) {
+                    if (expr->kind == ExprKind::VarRef)
+                        referenced.insert(
+                            static_cast<const VarRefExpr &>(*expr).name);
+                });
+            });
+        });
+    }
+    for (const ConflictInfo &ci : conflicts.traversals)
+        if (ci.edgeIter && !ci.edgeIter->trackedProp.empty())
+            referenced.insert(ci.edgeIter->trackedProp);
+    for (const auto &decl : program.globals) {
+        if (decl->type.kind != TypeDesc::Kind::VertexData ||
+            referenced.count(decl->name))
+            continue;
+        AnalyzeFinding finding;
+        finding.kind = "never-read-property";
+        finding.property = decl->name;
+        finding.detail =
+            "property '" + decl->name + "' is never read by any function";
+        report.lints.push_back(std::move(finding));
+    }
+
+    if (_options.racesAreErrors && !report.races.empty()) {
+        const AnalyzeFinding &first = report.races.front();
+        return PassResult::error(
+            std::to_string(report.races.size()) +
+            " unsynchronized race(s); first: function '" + first.function +
+            "' " + first.statement + ": " + first.detail);
+    }
+    return PassResult::unchanged();
+}
+
+} // namespace ugc::midend

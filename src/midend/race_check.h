@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Static race checker and analysis reporting (DESIGN.md §10, `ugcc
+ * --analyze`).
+ *
+ * The race-check pass runs right after atomics insertion, consumes the
+ * same ConflictAnalysis, and turns its verdicts into user-facing
+ * diagnostics:
+ *
+ *  - races: every UnsynchronizedRace verdict (a plain write to a shared
+ *    property or global from a parallel traversal), with function and
+ *    statement attribution;
+ *  - lints: dead property writes (a write overwritten before any read),
+ *    never-read properties, reductions outside any parallel region, and
+ *    edge-traversal filters with side effects.
+ *
+ * By default the pass only reports (through an optional AnalysisReport
+ * sink) and never fails the pipeline. With racesAreErrors (ugcc --analyze
+ * --Werror) any race fails the pipeline, which surfaces through the
+ * standard PipelineError path as the verify-failure exit code.
+ */
+#ifndef UGC_MIDEND_RACE_CHECK_H
+#define UGC_MIDEND_RACE_CHECK_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "midend/effects.h"
+#include "midend/pass.h"
+
+namespace ugc::midend {
+
+/** One analysis diagnostic (a race or a lint). */
+struct AnalyzeFinding
+{
+    std::string kind;      ///< "unsynchronized-race", "dead-write", ...
+    std::string function;  ///< function the finding is attributed to
+    std::string statement; ///< statement attribution ("#2 PropWrite")
+    std::string property;  ///< property / global / queue involved
+    std::string traversal; ///< schedule label path, empty if none
+    std::string detail;    ///< human-readable explanation
+};
+
+/** Everything `ugcc --analyze` reports; stable across runs. */
+struct AnalysisReport
+{
+    std::vector<AnalyzeFinding> races;
+    std::vector<AnalyzeFinding> lints;
+    int atomicsRequired = 0; ///< RMW sites marked is_atomic=true
+    int atomicsElided = 0;   ///< RMW sites proven conflict-free
+
+    bool clean() const { return races.empty() && lints.empty(); }
+
+    /** Stable machine-readable form (schema "ugc.analyze.v1"). */
+    std::string toJson(const std::string &program_name) const;
+    /** Human-readable report. */
+    void print(std::ostream &out, const std::string &program_name) const;
+};
+
+/** How the race-check pass reports (wired from ugcc --analyze). */
+struct AnalyzeOptions
+{
+    AnalysisReport *report = nullptr; ///< filled when non-null
+    bool racesAreErrors = false;      ///< --Werror: races fail the pipeline
+};
+
+class RaceCheckPass : public Pass
+{
+  public:
+    explicit RaceCheckPass(AnalyzeOptions options = {}) : _options(options) {}
+
+    std::string name() const override { return "race-check"; }
+    PassResult run(Program &program, AnalysisManager &analyses) override;
+
+    /** Pure analysis: the IR is never touched. */
+    PreservedAnalyses
+    preservedAnalyses() const override
+    {
+        return PreservedAnalyses::all();
+    }
+
+  private:
+    AnalyzeOptions _options;
+};
+
+} // namespace ugc::midend
+
+#endif // UGC_MIDEND_RACE_CHECK_H

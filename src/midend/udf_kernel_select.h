@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "midend/analyses.h"
+#include "midend/effects.h"
 #include "midend/pass.h"
 
 namespace ugc {
@@ -66,6 +67,8 @@ class UdfKernelSelectPass : public Pass
         return PreservedAnalyses::none()
             .preserve(midend::TraversalIndexAnalysis::key())
             .preserve(midend::IRStatsAnalysis::key())
+            .preserve(midend::UdfEffectsAnalysis::key())
+            .preserve(midend::ConflictAnalysis::key())
             .preserve(midend::UdfKernelAnalysis::key());
     }
 };

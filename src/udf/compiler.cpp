@@ -436,8 +436,9 @@ class UdfCompiler
                 fail("only UpdatePriorityMin is supported in UDFs");
             const Operand vertex = compileExpr(node.vertex);
             const Operand value = compileExpr(node.value);
-            emit({Op::UpdatePrioMin, false, newReg(), vertex.reg,
-                  value.reg});
+            emit({Op::UpdatePrioMin,
+                  node.getMetadataOr<bool>("is_atomic", false), newReg(),
+                  vertex.reg, value.reg});
             break;
           }
           case StmtKind::ExprStmt:

@@ -110,6 +110,12 @@ runUdf(const Chunk &chunk, std::span<const Reg> args, UdfRuntime &runtime,
         VertexData &prop = *runtime.props[insn->b];
         const auto index = static_cast<VertexId>(regs[insn->c].i);
         bool swapped;
+        // udf.atomics counts statically-required synchronization points
+        // (is_atomic sites), independent of whether this run elides the
+        // hardware atomic — that keeps the counter identical across thread
+        // counts and elision modes.
+        if (insn->atomic)
+            ++stats.atomics;
         if (insn->atomic && runtime.useAtomics) {
             if (runtime.casRound)
                 swapped = detCasInt(prop, index, regs[insn->d].i,
@@ -117,7 +123,6 @@ runUdf(const Chunk &chunk, std::span<const Reg> args, UdfRuntime &runtime,
             else
                 swapped =
                     prop.casInt(index, regs[insn->d].i, regs[insn->e].i);
-            ++stats.atomics;
         } else {
             swapped = prop.getInt(index) == regs[insn->d].i;
             if (swapped)
@@ -138,12 +143,12 @@ runUdf(const Chunk &chunk, std::span<const Reg> args, UdfRuntime &runtime,
         const auto index = static_cast<VertexId>(regs[insn->c].i);
         const auto op = static_cast<ReductionType>(insn->e);
         bool changed;
-        if (insn->atomic && runtime.useAtomics) {
+        if (insn->atomic)
+            ++stats.atomics; // static charge; see CasProp
+        if (insn->atomic && runtime.useAtomics)
             changed = reduceAtomic(prop, index, op, regs[insn->d]);
-            ++stats.atomics;
-        } else {
+        else
             changed = reducePlain(prop, index, op, regs[insn->d]);
-        }
         if (insn->a >= 0)
             regs[insn->a].i = changed;
         ++stats.propReads;

@@ -73,6 +73,11 @@ casEnqueuePush(const KernelCtx &ctx, VertexId u, const VertexId *nbrs,
                 swapped = prop.casInt(v, expected, u);
             ++st.atomics;
         } else {
+            // Static charge: udf.atomics counts is_atomic sites, so elided
+            // runs (1 thread / pull owner) report the same counter as
+            // atomic runs. Mirrors interp.cpp's CasProp.
+            if (spec.atomicRMW)
+                ++st.atomics;
             swapped = prop.getInt(v) == expected;
             if (swapped)
                 prop.setInt(v, u);
@@ -131,6 +136,8 @@ reducePush(const KernelCtx &ctx, VertexId u, const VertexId *nbrs,
             changed = reduceAtomic(target, v, rop, value);
             ++st.atomics;
         } else {
+            if (spec.atomicRMW)
+                ++st.atomics; // static charge; see casEnqueuePush
             changed = reducePlain(target, v, rop, value);
         }
         chargePath(st, (HasEnqueue && changed) ? spec.taken : spec.notTaken);
@@ -194,6 +201,8 @@ bcBackwardPush(const KernelCtx &ctx, VertexId u, const VertexId *nbrs,
                 changed = reduceAtomic(dep, v, ReductionType::Sum, value);
                 ++st.atomics;
             } else {
+                if (spec.atomicRMW)
+                    ++st.atomics; // static charge; see casEnqueuePush
                 changed = reducePlain(dep, v, ReductionType::Sum, value);
             }
             chargePath(st, spec.taken);
@@ -258,7 +267,11 @@ reducePull(const KernelCtx &ctx, VertexId v, const VertexId *nbrs,
         else
             value.i = source.getInt(u);
         // Pull traversals run without atomics (each destination has one
-        // owner), matching runtime.useAtomics = false in the interpreter.
+        // owner). With precise marking the pull variant's RMW carries
+        // is_atomic = false, so no charge; a force-marked spec still
+        // charges statically to stay in lockstep with the interpreter.
+        if (spec.atomicRMW)
+            ++st.atomics;
         const bool changed = reducePlain(target, v, rop, value);
         chargePath(st, (HasEnqueue && changed) ? spec.taken : spec.notTaken);
         if (changed)

@@ -42,6 +42,11 @@ class CpuVM : public GraphVM
      *  every traversal against the kernel catalog. */
     void setUdfTier(udf::UdfTier tier) { _udfTier = tier; }
 
+    /** Run every is_atomic site with real hardware atomics, even where
+     *  the engine would elide them (serial rounds, pull traversals).
+     *  Validation knob: forced and elided runs must be bit-identical. */
+    void setForceAtomics(bool on) { _forceAtomics = on; }
+
   protected:
     // No registerHardwarePasses override: every CPU optimization is
     // already expressed by the standard pipeline plus the schedule
@@ -52,7 +57,8 @@ class CpuVM : public GraphVM
     {
         CpuModel model(_params);
         ExecEngine engine(lowered, inputs, model, _numThreads,
-                          effectiveLimits(inputs), _udfTier);
+                          effectiveLimits(inputs), _udfTier,
+                          _forceAtomics);
         return engine.run();
     }
 
@@ -62,6 +68,7 @@ class CpuVM : public GraphVM
     CpuParams _params;
     unsigned _numThreads = 1;
     udf::UdfTier _udfTier = udf::UdfTier::Auto;
+    bool _forceAtomics = false;
 };
 
 } // namespace ugc

@@ -97,9 +97,10 @@ struct ExecEngine::Impl
 {
     Impl(Program &program, const RunInputs &inputs, MachineModel &model,
          unsigned num_threads, const RunLimits &limits,
-         udf::UdfTier udf_tier)
+         udf::UdfTier udf_tier, bool force_atomics)
         : program(program), inputs(inputs), model(model),
-          numThreads(num_threads), limits(limits), udfTier(udf_tier)
+          numThreads(num_threads), limits(limits), udfTier(udf_tier),
+          forceAtomics(force_atomics)
     {
         if (!inputs.graph)
             throw std::invalid_argument("RunInputs.graph is null");
@@ -119,6 +120,7 @@ struct ExecEngine::Impl
     const Graph *graph = nullptr;
     bool taskStream = false;
     udf::UdfTier udfTier = udf::UdfTier::Auto;
+    bool forceAtomics = false;
 
     AddrSpace space;
     SymbolTables symbols;
@@ -992,24 +994,22 @@ struct ExecEngine::Impl
         event.cycles = charged;
         event.detail =
             prof::counterDelta(model.counters(), counters_before);
-        if (info.udf.instructions)
-            event.detail.add("udf.instructions",
-                             static_cast<double>(info.udf.instructions));
-        if (info.udf.propReads)
-            event.detail.add("udf.prop_reads",
-                             static_cast<double>(info.udf.propReads));
-        if (info.udf.propWrites)
-            event.detail.add("udf.prop_writes",
-                             static_cast<double>(info.udf.propWrites));
-        if (info.udf.atomics)
-            event.detail.add("udf.atomics",
-                             static_cast<double>(info.udf.atomics));
-        if (info.udf.enqueues)
-            event.detail.add("udf.enqueues",
-                             static_cast<double>(info.udf.enqueues));
-        if (info.udf.updates)
-            event.detail.add("udf.updates",
-                             static_cast<double>(info.udf.updates));
+        // Each udf.* figure lands twice on purpose: in the event detail
+        // for per-traversal attribution, and on the enclosing statement
+        // scope so Profile::totalCounter (and the --profile totals) see
+        // whole-run UDF work.
+        const auto fold = [&event](const char *name, uint64_t value) {
+            if (!value)
+                return;
+            event.detail.add(name, static_cast<double>(value));
+            prof::counter(name, static_cast<double>(value));
+        };
+        fold("udf.instructions", info.udf.instructions);
+        fold("udf.prop_reads", info.udf.propReads);
+        fold("udf.prop_writes", info.udf.propWrites);
+        fold("udf.atomics", info.udf.atomics);
+        fold("udf.enqueues", info.udf.enqueues);
+        fold("udf.updates", info.udf.updates);
         prof::traversalEvent(std::move(event));
     }
 
@@ -1128,6 +1128,25 @@ struct ExecEngine::Impl
             swarm_sched->granularity() == TaskGranularity::FineGrained;
         const bool hints = taskStream && swarm_sched &&
                            swarm_sched->spatialHints();
+        // Spatial-hint source: the atomics pass exports the traversal's
+        // static write set as effects_writes metadata; fine-grained tasks
+        // hint on the destination's slot in the first written property.
+        // Falls back to the first dynamically recorded access when the
+        // static set names no vertex property (e.g. only a priority
+        // queue is updated).
+        VertexData *hint_prop = nullptr;
+        if (hints) {
+            const auto hint_writes =
+                stmt.getMetadataOr<std::vector<std::string>>(
+                    "effects_writes", {});
+            for (const std::string &prop : hint_writes) {
+                auto it = props.find(prop);
+                if (it != props.end()) {
+                    hint_prop = it->second.get();
+                    break;
+                }
+            }
+        }
         const bool shuffle =
             swarm_sched && swarm_sched->shuffleEdges();
         const bool barrier_frontiers =
@@ -1169,6 +1188,12 @@ struct ExecEngine::Impl
                 ? numThreads
                 : 1;
 
+        // Atomics elision: a serial round owns every destination, so
+        // is_atomic sites may run their plain path. udf.atomics counters
+        // are charged statically (per is_atomic site) either way, and
+        // forceAtomics re-enables the hardware atomics for validation.
+        const bool use_atomics = forceAtomics || threads > 1;
+
         Bitset *visited = nullptr;
         if (dedup && output)
             visited = &roundBitset(visitedScratch);
@@ -1204,7 +1229,7 @@ struct ExecEngine::Impl
             }
             if (ok) {
                 udf::KernelQuery q;
-                q.useAtomics = true; // push workers always run atomically
+                q.useAtomics = use_atomics;
                 q.detCas = cas_round != nullptr;
                 q.weighted = info.weighted;
                 q.locked = threads > 1;
@@ -1253,7 +1278,7 @@ struct ExecEngine::Impl
             blockStarts.push_back(frontier_count);
         }
 
-        prepareWorkers(threads, /*use_atomics=*/true, cas_round);
+        prepareWorkers(threads, use_atomics, cas_round);
 
         auto worker_body = [&](unsigned w, int64_t blo, int64_t bhi) {
             WorkerCtx &ctx = workerCtxs[w];
@@ -1398,9 +1423,13 @@ struct ExecEngine::Impl
                             task.instructions = instr;
                             task.accesses = ctx.recorder.accesses;
                             task.spawns = ctx.spawnBuffer;
-                            if (hints && !ctx.recorder.accesses.empty())
-                                task.hint =
-                                    ctx.recorder.accesses.front().first;
+                            if (hints) {
+                                if (hint_prop)
+                                    task.hint = hint_prop->addrOf(v);
+                                else if (!ctx.recorder.accesses.empty())
+                                    task.hint =
+                                        ctx.recorder.accesses.front().first;
+                            }
                             model.onTask(std::move(task));
                         } else {
                             coarse_instr += instr;
@@ -1517,8 +1546,11 @@ struct ExecEngine::Impl
             blockStarts.push_back(n);
         }
 
-        // Pull owns its destination, so UDF writes need no atomics.
-        prepareWorkers(threads, /*use_atomics=*/false, nullptr);
+        // Pull owns its destination, so UDF writes need no atomics — and
+        // the atomics pass marks pull-variant RMWs is_atomic=false, so
+        // this gate is belt-and-braces. forceAtomics validates the elision
+        // by running whatever is marked atomic with real atomics.
+        prepareWorkers(threads, forceAtomics, nullptr);
 
         // Compiled-tier kernel selection (pull). The destination filter is
         // evaluated per destination outside the kernel, so it only needs a
@@ -1542,7 +1574,7 @@ struct ExecEngine::Impl
             }
             if (ok) {
                 udf::KernelQuery q;
-                q.useAtomics = false; // pull workers always run plain
+                q.useAtomics = forceAtomics; // pull normally runs plain
                 q.detCas = false;
                 q.weighted = info.weighted;
                 q.locked = threads > 1;
@@ -1775,7 +1807,9 @@ struct ExecEngine::Impl
         UdfRuntime runtime;
         runtime.props = propsBySlot;
         runtime.globals = &globals;
-        runtime.useAtomics = false;
+        // Vertex ops run serially here, so marked sites may elide; the
+        // forceAtomics knob re-enables them for elision validation.
+        runtime.useAtomics = forceAtomics;
         auto noop_enqueue = [](VertexId) {};
         auto noop_update_min = [](VertexId, int64_t) { return false; };
         runtime.bindEnqueue(noop_enqueue);
@@ -1851,9 +1885,10 @@ struct ExecEngine::Impl
 
 ExecEngine::ExecEngine(Program &program, const RunInputs &inputs,
                        MachineModel &model, unsigned num_threads,
-                       const RunLimits &limits, udf::UdfTier udf_tier)
+                       const RunLimits &limits, udf::UdfTier udf_tier,
+                       bool force_atomics)
     : _impl(std::make_unique<Impl>(program, inputs, model, num_threads,
-                                   limits, udf_tier))
+                                   limits, udf_tier, force_atomics))
 {
 }
 

@@ -43,11 +43,16 @@ class ExecEngine
      *                 compiled kernel on traversals carrying udf_kernel
      *                 metadata; effective only when the model's
      *                 supportsCompiledUdfs() opts in.
+     * @param force_atomics run every is_atomic site with real hardware
+     *                 atomics even where the engine would elide them
+     *                 (serial push rounds, pull traversals). Validation
+     *                 knob: forced and elided runs must be bit-identical.
      */
     ExecEngine(Program &program, const RunInputs &inputs,
                MachineModel &model, unsigned num_threads = 1,
                const RunLimits &limits = {},
-               udf::UdfTier udf_tier = udf::UdfTier::Auto);
+               udf::UdfTier udf_tier = udf::UdfTier::Auto,
+               bool force_atomics = false);
     ~ExecEngine();
 
     /** Execute main and return results + machine statistics. */

@@ -37,6 +37,10 @@ struct CompileOptions
     bool verifyIR = false;
     /** When set, dump the IR to this stream after every pass. */
     std::ostream *printAfterAll = nullptr;
+    /** When set, race-check fills this report (ugcc --analyze). */
+    midend::AnalysisReport *analyzeReport = nullptr;
+    /** Make unsynchronized races fail the pipeline (--analyze --Werror). */
+    bool racesAreErrors = false;
 };
 
 class GraphVM
@@ -214,7 +218,10 @@ class GraphVM
     buildPipeline()
     {
         PassManager manager;
-        midend::registerStandardPasses(manager, defaultSchedule());
+        midend::AnalyzeOptions analyze;
+        analyze.report = _options.analyzeReport;
+        analyze.racesAreErrors = _options.racesAreErrors;
+        midend::registerStandardPasses(manager, defaultSchedule(), analyze);
         registerHardwarePasses(manager);
         manager.addInstrumentation(
             std::make_unique<ProfInstrumentation>());

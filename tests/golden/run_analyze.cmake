@@ -1,0 +1,30 @@
+# Golden-file check for `ugcc --analyze`: analyze the deliberately racy
+# fixture, require the verify exit code (the race is fatal under --Werror),
+# and compare the machine-readable JSON report byte-for-byte against the
+# checked-in golden. Invoked by ctest (see tests/CMakeLists.txt) with
+#   -DUGCC=<driver> -DAPP=<racy.gt> -DGOLDEN=<analyze_racy.json>
+#   -DOUT=<scratch json path>
+execute_process(
+    COMMAND ${UGCC} ${APP} --target cpu --analyze --Werror
+            --analyze-json ${OUT}
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE errors
+    RESULT_VARIABLE status)
+if(NOT status EQUAL 3)
+    message(FATAL_ERROR
+        "ugcc --analyze --Werror on the racy fixture must exit 3 "
+        "(verify failure), got ${status}:\n${stdout}\n${errors}")
+endif()
+if(NOT stdout MATCHES "race: ")
+    message(FATAL_ERROR
+        "ugcc --analyze printed no race for the racy fixture:\n${stdout}")
+endif()
+
+file(READ ${OUT} actual)
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+    message(FATAL_ERROR
+        "--analyze JSON for the racy fixture does not match ${GOLDEN}."
+        "\n--- expected ---\n${expected}\n--- actual ---\n${actual}\n"
+        "If the analyzer change is intentional, update the golden file.")
+endif()

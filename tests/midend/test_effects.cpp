@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "frontend/sema.h"
+#include "ir/printer.h"
+#include "ir/walk.h"
+#include "midend/effects.h"
+#include "midend/pipeline.h"
+#include "midend/race_check.h"
+#include "sched/cpu_schedule.h"
+
+namespace ugc {
+namespace {
+
+const char *kBfsSource = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const parent : vector{Vertex}(int) = -1;
+
+func toFilter(v : Vertex) -> output : bool
+    output = (parent[v] == -1);
+end
+func updateEdge(src : Vertex, dst : Vertex)
+    parent[dst] = src;
+end
+func main()
+    var frontier : vertexset{Vertex} = new vertexset{Vertex}(0);
+    var start_vertex : int = atoi(argv[2]);
+    frontier.addVertex(start_vertex);
+    parent[start_vertex] = start_vertex;
+    #s0# while (frontier.getVertexSetSize() != 0)
+        #s1# var output : vertexset{Vertex} =
+            edges.from(frontier).to(toFilter).applyModified(updateEdge, parent, true);
+        delete frontier;
+        frontier = output;
+    end
+    delete frontier;
+end
+)";
+
+const char *kRankSource = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const rank : vector{Vertex}(float) = 0.0;
+const contrib : vector{Vertex}(float) = 0.0;
+
+func updateEdge(src : Vertex, dst : Vertex)
+    rank[dst] += contrib[src];
+end
+func main()
+    #s1# edges.apply(updateEdge);
+end
+)";
+
+const char *kRacySource = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const label : vector{Vertex}(int) = 0;
+
+func updateEdge(src : Vertex, dst : Vertex)
+    label[dst] = src;
+end
+func main()
+    label[0] = 1;
+    label[0] = 2;
+    #s1# edges.apply(updateEdge);
+end
+)";
+
+const EdgeSetIteratorStmt *
+findIterator(const Program &program, Direction wanted)
+{
+    const EdgeSetIteratorStmt *found = nullptr;
+    walkStmts(program.mainFunction()->body,
+              [&](const StmtPtr &stmt, const std::string &) {
+                  if (stmt->kind != StmtKind::EdgeSetIterator)
+                      return;
+                  const auto &node =
+                      static_cast<const EdgeSetIteratorStmt &>(*stmt);
+                  if (node.getMetadataOr("direction", Direction::Push) ==
+                      wanted)
+                      found = &node;
+              });
+    return found;
+}
+
+/** The ConflictInfo for the (single) edge traversal of @p conflicts. */
+const midend::ConflictInfo *
+edgeTraversal(const midend::TraversalConflicts &conflicts)
+{
+    for (const midend::ConflictInfo &ci : conflicts.traversals)
+        if (ci.edgeIter)
+            return &ci;
+    return nullptr;
+}
+
+TEST(Effects, SummaryClassifiesAccessesByIndex)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    const auto effects = midend::UdfEffectsAnalysis::run(*program);
+
+    // updateEdge: one plain write to parent, indexed by its dst param.
+    const auto &update = effects.at("updateEdge");
+    ASSERT_EQ(update.accesses.size(), 1u);
+    EXPECT_EQ(update.accesses[0].kind, midend::AccessSite::Kind::Write);
+    EXPECT_EQ(update.accesses[0].prop, "parent");
+    EXPECT_EQ(update.accesses[0].index, midend::AccessIndex::Dst);
+    EXPECT_FALSE(update.pure());
+    EXPECT_EQ(update.propsWritten(), std::set<std::string>{"parent"});
+
+    // toFilter: reads parent via its single (self) parameter — pure.
+    const auto &filter = effects.at("toFilter");
+    EXPECT_TRUE(filter.pure());
+    ASSERT_FALSE(filter.accesses.empty());
+    EXPECT_EQ(filter.accesses[0].kind, midend::AccessSite::Kind::Read);
+    EXPECT_EQ(filter.accesses[0].index, midend::AccessIndex::Self);
+}
+
+TEST(Effects, CasRewriteIsReducibleConflict)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+    const auto conflicts = midend::ConflictAnalysis::run(*lowered);
+
+    const midend::ConflictInfo *ci = edgeTraversal(conflicts);
+    ASSERT_NE(ci, nullptr);
+    EXPECT_EQ(ci->direction, Direction::Push);
+    EXPECT_TRUE(ci->parallel);
+    EXPECT_TRUE(ci->dedup);
+    EXPECT_TRUE(ci->needsAtomics());
+    EXPECT_FALSE(ci->hasRace());
+
+    // The push variant's CAS on parent[dst] is the reducible site.
+    const auto reducible = std::count_if(
+        ci->verdicts.begin(), ci->verdicts.end(), [](const auto &v) {
+            return v.kind == midend::ConflictKind::ReducibleConflict;
+        });
+    EXPECT_EQ(reducible, 1);
+}
+
+TEST(Effects, PlainSharedWriteIsRace)
+{
+    ProgramPtr program = frontend::compileSource(kRacySource, "racy");
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+    const auto conflicts = midend::ConflictAnalysis::run(*lowered);
+
+    const midend::ConflictInfo *ci = edgeTraversal(conflicts);
+    ASSERT_NE(ci, nullptr);
+    EXPECT_TRUE(ci->hasRace());
+    EXPECT_FALSE(ci->needsAtomics());
+    bool found = false;
+    for (const auto &verdict : ci->verdicts) {
+        if (verdict.kind != midend::ConflictKind::UnsynchronizedRace)
+            continue;
+        found = true;
+        EXPECT_NE(verdict.reason.find("label"), std::string::npos);
+        EXPECT_NE(verdict.reason.find("dst"), std::string::npos);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Effects, PushReductionMarkedAtomicPullElided)
+{
+    // Same algorithm, both directions: the push variant's reduction into
+    // rank[dst] needs an atomic; the pull variant owns its destination,
+    // so the atomics pass marks the same reduction is_atomic=false.
+    ProgramPtr push_program = frontend::compileSource(kRankSource, "rank");
+    ProgramPtr push_lowered = midend::runStandardPipeline(
+        *push_program, std::make_shared<SimpleSchedule>());
+    const EdgeSetIteratorStmt *push_iter =
+        findIterator(*push_lowered, Direction::Push);
+    ASSERT_NE(push_iter, nullptr);
+    const std::string push_text = printFunction(*push_lowered->findFunction(
+        push_iter->getMetadata<std::string>("apply_variant")));
+    EXPECT_NE(push_text.find("ReductionOp<is_atomic=true>"),
+              std::string::npos);
+
+    ProgramPtr pull_program = frontend::compileSource(kRankSource, "rank");
+    auto pull = std::make_shared<SimpleCPUSchedule>();
+    pull->configDirection(Direction::Pull);
+    pull_program->applySchedule("s1", pull);
+    ProgramPtr pull_lowered = midend::runStandardPipeline(
+        *pull_program, std::make_shared<SimpleSchedule>());
+    const EdgeSetIteratorStmt *pull_iter =
+        findIterator(*pull_lowered, Direction::Pull);
+    ASSERT_NE(pull_iter, nullptr);
+    const std::string pull_text = printFunction(*pull_lowered->findFunction(
+        pull_iter->getMetadata<std::string>("apply_variant")));
+    EXPECT_NE(pull_text.find("ReductionOp<is_atomic=false>"),
+              std::string::npos);
+}
+
+TEST(Effects, ParallelVertexApplyGetsAtomics)
+{
+    // Vertex-set traversals are parallel too: a vertex UDF reducing into
+    // a shared slot (constant index) needs an atomic just like an edge
+    // UDF reducing into dst.
+    const char *source = R"(
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const counts : vector{Vertex}(int) = 0;
+const level : vector{Vertex}(int) = 0;
+
+func tally(v : Vertex)
+    counts[0] += level[v];
+end
+func main()
+    vertices.apply(tally);
+end
+)";
+    ProgramPtr program = frontend::compileSource(source, "tally");
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+    const std::string text =
+        printFunction(*lowered->findFunction("tally"));
+    EXPECT_NE(text.find("ReductionOp<is_atomic=true>"), std::string::npos);
+
+    const auto conflicts = midend::ConflictAnalysis::run(*lowered);
+    const midend::ConflictInfo *vertex_ci = nullptr;
+    for (const auto &ci : conflicts.traversals)
+        if (ci.vertexApply)
+            vertex_ci = &ci;
+    ASSERT_NE(vertex_ci, nullptr);
+    EXPECT_TRUE(vertex_ci->parallel);
+    EXPECT_TRUE(vertex_ci->needsAtomics());
+    // The per-vertex read of level[v] stays conflict-free.
+    EXPECT_FALSE(vertex_ci->hasRace());
+}
+
+TEST(Effects, WriteSetsExportedToTraversalMetadata)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    ProgramPtr lowered = midend::runStandardPipeline(
+        *program, std::make_shared<SimpleSchedule>());
+    const EdgeSetIteratorStmt *iter =
+        findIterator(*lowered, Direction::Push);
+    ASSERT_NE(iter, nullptr);
+
+    const auto writes = iter->getMetadataOr<std::vector<std::string>>(
+        "effects_writes", {});
+    const auto reads = iter->getMetadataOr<std::vector<std::string>>(
+        "effects_reads", {});
+    ASSERT_EQ(writes.size(), 1u);
+    EXPECT_EQ(writes[0], "parent");
+    EXPECT_NE(std::find(reads.begin(), reads.end(), "parent"), reads.end());
+}
+
+TEST(Effects, RaceCheckFillsReport)
+{
+    ProgramPtr program = frontend::compileSource(kRacySource, "racy");
+    midend::AnalysisReport report;
+    midend::AnalyzeOptions options;
+    options.report = &report;
+    PassManager manager;
+    midend::registerStandardPasses(
+        manager, std::make_shared<SimpleSchedule>(), options);
+    ProgramPtr clone = program->clone();
+    ASSERT_TRUE(manager.run(*clone));
+
+    ASSERT_EQ(report.races.size(), 1u);
+    EXPECT_EQ(report.races[0].kind, "unsynchronized-race");
+    EXPECT_EQ(report.races[0].property, "label");
+    EXPECT_EQ(report.races[0].traversal, "s1");
+    EXPECT_FALSE(report.races[0].function.empty());
+    EXPECT_FALSE(report.races[0].statement.empty());
+
+    std::set<std::string> lint_kinds;
+    for (const auto &lint : report.lints)
+        lint_kinds.insert(lint.kind);
+    EXPECT_TRUE(lint_kinds.count("dead-write"));
+    EXPECT_TRUE(lint_kinds.count("never-read-property"));
+
+    // The report's JSON form is stable and carries the schema tag.
+    const std::string json = report.toJson("racy");
+    EXPECT_NE(json.find("\"schema\": \"ugc.analyze.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"races\": 1"), std::string::npos);
+}
+
+TEST(Effects, RacesAreErrorsFailsThePipeline)
+{
+    ProgramPtr program = frontend::compileSource(kRacySource, "racy");
+    midend::AnalyzeOptions options;
+    options.racesAreErrors = true;
+    PassManager manager;
+    midend::registerStandardPasses(
+        manager, std::make_shared<SimpleSchedule>(), options);
+    ProgramPtr clone = program->clone();
+    const PipelineResult result = manager.run(*clone);
+    ASSERT_FALSE(result);
+    EXPECT_EQ(result.failedPass, "race-check");
+    EXPECT_NE(result.diagnostic.find("unsynchronized race"),
+              std::string::npos);
+}
+
+TEST(Effects, CleanProgramReportsAtomicsDecisions)
+{
+    ProgramPtr program = frontend::compileSource(kBfsSource, "bfs");
+    midend::AnalysisReport report;
+    midend::AnalyzeOptions options;
+    options.report = &report;
+    options.racesAreErrors = true; // must not trip on a clean program
+    PassManager manager;
+    midend::registerStandardPasses(
+        manager, std::make_shared<SimpleSchedule>(), options);
+    ProgramPtr clone = program->clone();
+    ASSERT_TRUE(manager.run(*clone));
+    EXPECT_TRUE(report.clean());
+    EXPECT_EQ(report.atomicsRequired, 1); // the push CAS
+}
+
+} // namespace
+} // namespace ugc

@@ -237,13 +237,16 @@ TEST(Midend, PipelinePassOrder)
     PassManager manager =
         midend::standardPipeline(std::make_shared<SimpleSchedule>());
     const auto names = manager.passNames();
-    ASSERT_EQ(names.size(), 5u);
+    ASSERT_EQ(names.size(), 6u);
     EXPECT_EQ(names[0], "direction-lowering");
     EXPECT_EQ(names[1], "atomics-insertion");
-    EXPECT_EQ(names[2], "frontier-reuse");
-    EXPECT_EQ(names[3], "ordered-lowering");
+    // Right after atomics insertion, so it audits the final
+    // synchronization decisions off the same cached ConflictAnalysis.
+    EXPECT_EQ(names[2], "race-check");
+    EXPECT_EQ(names[3], "frontier-reuse");
+    EXPECT_EQ(names[4], "ordered-lowering");
     // Runs last so it matches the final (post-lowering) UDF variants.
-    EXPECT_EQ(names[4], "udf-kernel-select");
+    EXPECT_EQ(names[5], "udf-kernel-select");
 }
 
 TEST(Midend, PipelineDoesNotMutateInput)

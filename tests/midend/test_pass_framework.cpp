@@ -164,21 +164,23 @@ TEST(PassFramework, RunStandardPipelineReportsFailingPass)
 
 TEST(PassFramework, StandardPipelineComputesTraversalIndexOnce)
 {
-    // atomics-insertion computes the traversal index; frontier-reuse and
-    // ordered-lowering preserve it, so ordered-lowering's lookup is a
-    // cache hit — the index is computed exactly once per compilation.
-    // udf-kernel-select adds exactly one compute of its own analysis
-    // (the UDF kernel catalog).
+    // atomics-insertion computes the traversal index and the conflict
+    // analysis; every later standard pass preserves both, so race-check's
+    // ConflictAnalysis lookup and ordered-lowering's traversal-index
+    // lookup are cache hits. udf-kernel-select adds exactly one compute
+    // of its own analysis (the UDF kernel catalog) — three computes per
+    // compilation, total.
     ProgramPtr program = compileBfs();
     PassManager manager =
         midend::standardPipeline(std::make_shared<SimpleSchedule>());
     ASSERT_TRUE(manager.run(*program));
 
     const AnalysisManager::Stats &stats = manager.analyses().stats();
-    EXPECT_EQ(stats.computes, 2);
-    EXPECT_GE(stats.hits, 1);
+    EXPECT_EQ(stats.computes, 3);
+    EXPECT_GE(stats.hits, 2);
     EXPECT_TRUE(
         manager.analyses().isCached<midend::TraversalIndexAnalysis>());
+    EXPECT_TRUE(manager.analyses().isCached<midend::ConflictAnalysis>());
 }
 
 TEST(PassFramework, ChangedPassInvalidatesUnpreservedAnalyses)

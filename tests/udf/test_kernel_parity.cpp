@@ -12,6 +12,7 @@
 #include "graph/generators.h"
 #include "ir/walk.h"
 #include "midend/pipeline.h"
+#include "sched/cpu_schedule.h"
 #include "support/prof.h"
 #include "vm/cpu/cpu_vm.h"
 
@@ -20,7 +21,8 @@ namespace {
 
 RunResult
 runTier(const Graph &graph, const std::string &name, unsigned threads,
-        udf::UdfTier tier, VertexId start, int64_t arg3)
+        udf::UdfTier tier, VertexId start, int64_t arg3,
+        bool force_atomics = false)
 {
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName(name));
@@ -30,6 +32,7 @@ runTier(const Graph &graph, const std::string &name, unsigned threads,
     vm.setNumThreads(threads);
     vm.setUdfTier(tier);
     vm.setProfiling(true);
+    vm.setForceAtomics(force_atomics);
     RunInputs inputs;
     inputs.graph = &graph;
     inputs.args = {0, 0, start, arg3};
@@ -138,6 +141,163 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, KernelParity,
                          [](const auto &info) {
                              return std::string(info.param);
                          });
+
+class AtomicsElision : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AtomicsElision, ElidedMatchesForcedAtomics)
+{
+    // The engine elides hardware atomics where the effects analysis (or
+    // the serial round) proves them unnecessary; forcing them back on must
+    // not change anything observable — same property values, same
+    // traversal trace, and the same udf.* counters (atomics included,
+    // because the counter charges statically-required sites, not executed
+    // hardware operations).
+    const std::string name = GetParam();
+    const auto &algorithm = algorithms::byName(name);
+    const Graph graph =
+        gen::rmat(10, 8, 0.57, 0.19, 0.19, algorithm.needsWeights, 5);
+    const int64_t arg3 = name == "pr" ? 10 : 4;
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(name + " @ " + std::to_string(threads) + " threads");
+        const RunResult elided = runTier(graph, name, threads,
+                                         udf::UdfTier::Auto, 3, arg3,
+                                         /*force_atomics=*/false);
+        const RunResult forced = runTier(graph, name, threads,
+                                         udf::UdfTier::Auto, 3, arg3,
+                                         /*force_atomics=*/true);
+
+        ASSERT_EQ(elided.properties.size(), forced.properties.size());
+        for (const auto &[prop, expected] : elided.properties) {
+            ASSERT_TRUE(forced.properties.count(prop)) << prop;
+            const auto &actual = forced.properties.at(prop);
+            ASSERT_EQ(expected.size(), actual.size()) << prop;
+            const bool inexact =
+                name == "bc" && prop == "dependences" && threads > 1;
+            for (size_t v = 0; v < expected.size(); ++v) {
+                if (inexact)
+                    EXPECT_NEAR(expected[v], actual[v],
+                                1e-9 * (1.0 + std::abs(expected[v])))
+                        << prop << "[" << v << "]";
+                else
+                    EXPECT_EQ(expected[v], actual[v])
+                        << prop << "[" << v << "]";
+            }
+        }
+
+        // See KernelParity: cc's frontier evolution at > 1 thread is
+        // interleaving-dependent, so only the label fixpoint compares.
+        if (name == "cc" && threads > 1)
+            continue;
+
+        ASSERT_EQ(elided.trace.size(), forced.trace.size());
+        for (size_t i = 0; i < elided.trace.size(); ++i) {
+            EXPECT_EQ(elided.trace[i].frontierSize,
+                      forced.trace[i].frontierSize)
+                << "round " << i;
+            EXPECT_EQ(elided.trace[i].edgesTraversed,
+                      forced.trace[i].edgesTraversed)
+                << "round " << i;
+        }
+
+        EXPECT_EQ(counterOf(elided, "udf.prop_reads"),
+                  counterOf(forced, "udf.prop_reads"));
+        EXPECT_EQ(counterOf(elided, "udf.atomics"),
+                  counterOf(forced, "udf.atomics"));
+        EXPECT_EQ(counterOf(elided, "udf.enqueues"),
+                  counterOf(forced, "udf.enqueues"));
+        EXPECT_EQ(counterOf(elided, "udf.instructions"),
+                  counterOf(forced, "udf.instructions"));
+        if (!(name == "sssp" && threads > 1))
+            EXPECT_EQ(counterOf(elided, "udf.prop_writes"),
+                      counterOf(forced, "udf.prop_writes"));
+        if (threads == 1)
+            EXPECT_EQ(elided.cycles, forced.cycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, AtomicsElision,
+                         ::testing::Values("bfs", "sssp", "pr", "cc", "bc"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(AtomicsElision, PullVariantRunsPlainWithIdenticalResults)
+{
+    // Precise marking proves a pull-mode reduction conflict-free
+    // (is_atomic=false → zero udf.atomics). Force-marking every RMW site
+    // atomic and forcing runtime atomics must produce bit-identical
+    // properties — only the atomics counter moves.
+    const char *source = R"(
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex) = load(argv[1]);
+const vertices : vertexset{Vertex} = edges.getVertices();
+const rank : vector{Vertex}(float) = 0.0;
+const contrib : vector{Vertex}(float) = 1.0;
+
+func updateEdge(src : Vertex, dst : Vertex)
+    rank[dst] += contrib[src];
+end
+
+func main()
+    #s1# edges.apply(updateEdge);
+end
+)";
+    ProgramPtr program = frontend::compileSource(source, "rank");
+    auto pull = std::make_shared<SimpleCPUSchedule>();
+    pull->configDirection(Direction::Pull);
+    program->applySchedule("s1", pull);
+
+    const Graph graph = gen::rmat(10, 8, 0.57, 0.19, 0.19, false, 5);
+    RunInputs inputs;
+    inputs.graph = &graph;
+
+    CpuVM compile_vm;
+    ProgramPtr precise = compile_vm.compile(*program);
+    ProgramPtr forced_ir = precise->clone();
+    for (const FunctionPtr &func : forced_ir->functions()) {
+        walkStmts(func->body, [&](const StmtPtr &stmt, const std::string &) {
+            if (stmt->kind == StmtKind::Reduction ||
+                stmt->kind == StmtKind::UpdatePriority)
+                stmt->setMetadata("is_atomic", true);
+            stmtExprs(stmt, [&](const ExprPtr &expr) {
+                walkExprs(expr, [&](const ExprPtr &node) {
+                    if (node->kind == ExprKind::CompareAndSwap)
+                        node->setMetadata("is_atomic", true);
+                });
+            });
+        });
+    }
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        SCOPED_TRACE(threads);
+        CpuVM precise_vm;
+        precise_vm.setNumThreads(threads);
+        precise_vm.setProfiling(true);
+        RunResult elided = precise_vm.execute(*precise, inputs);
+
+        CpuVM forced_vm;
+        forced_vm.setNumThreads(threads);
+        forced_vm.setProfiling(true);
+        forced_vm.setForceAtomics(true);
+        RunResult forced = forced_vm.execute(*forced_ir, inputs);
+
+        // Pull accumulates each destination serially in neighbor order,
+        // so even the float sums are bit-identical.
+        EXPECT_EQ(elided.properties, forced.properties);
+        // Elision proved every site conflict-free; force-marking charges
+        // one atomic per traversed edge.
+        EXPECT_EQ(counterOf(elided, "udf.atomics"), 0.0);
+        EXPECT_GT(counterOf(forced, "udf.atomics"), 0.0);
+        EXPECT_EQ(counterOf(elided, "udf.prop_reads"),
+                  counterOf(forced, "udf.prop_reads"));
+        EXPECT_EQ(counterOf(elided, "udf.prop_writes"),
+                  counterOf(forced, "udf.prop_writes"));
+    }
+}
 
 TEST(KernelSelect, TagsEveryPaperAlgorithm)
 {

@@ -2,7 +2,10 @@
 # Build with ThreadSanitizer (-DUGC_SANITIZE=thread) and run the tests
 # that exercise the host-side parallel runtime: the work-stealing pool
 # itself, the CPU GraphVM's parallel traversal paths, the determinism
-# regression suite, and the cross-VM integration tests.
+# regression suite, the cross-VM integration tests, and the atomics
+# elision configurations (elided vs forced runs of every paper
+# algorithm) — the effects analysis claims the elided sites are
+# conflict-free, and TSan holds it to that.
 #
 # Usage: tools/run_tsan.sh [extra ctest args...]
 set -euo pipefail
@@ -14,11 +17,12 @@ cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUGC_SANITIZE=thread
 cmake --build "${build_dir}" -j \
-    --target test_support test_vm_cpu test_runtime test_integration
+    --target test_support test_vm_cpu test_runtime test_integration \
+    test_kernel_parity
 
 # halt_on_error makes a race fail the test instead of just logging it.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|WorkDeque|ParallelFor|Determinism|CpuVm|CpuAlgorithms|ExecEngine|VertexSet|VertexData|PrioQueue|CrossVm|Properties|EdgeCases' \
+    -R 'ThreadPool|WorkDeque|ParallelFor|Determinism|CpuVm|CpuAlgorithms|ExecEngine|VertexSet|VertexData|PrioQueue|CrossVm|Properties|EdgeCases|KernelParity|AtomicsElision' \
     "$@"

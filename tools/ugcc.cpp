@@ -27,6 +27,16 @@
  *   --verify-ir         run the GraphIR verifier after each changed pass
  *                       and once more (post-lowering invariants) at the end
  *
+ * Static analysis (DESIGN.md §10):
+ *   --analyze           compile through the pipeline and print the
+ *                       race/lint report (races, dead writes, never-read
+ *                       properties, impure filters, atomics decisions)
+ *   --analyze-json <f>  with --analyze: also write the machine-readable
+ *                       report (schema ugc.analyze.v1) to <f> ("-" =
+ *                       stdout; the human report then moves to stderr)
+ *   --Werror            with --analyze: unsynchronized races fail the
+ *                       pipeline (exit code 3)
+ *
  * Guardrail options (DESIGN.md §8):
  *   --max-iters <n>     watchdog: abort any while loop after n rounds
  *                       (also arms the oscillating-frontier detector)
@@ -72,6 +82,7 @@
 #include "graph/datasets.h"
 #include "ir/printer.h"
 #include "ir/walk.h"
+#include "midend/race_check.h"
 #include "reference/reference.h"
 #include "support/faults.h"
 #include "support/guard.h"
@@ -100,6 +111,7 @@ usage()
         "            [--udf-tier interp|compiled|auto]\n"
         "            [--profile <file>] [--trace <file>]\n"
         "            [--print-passes] [--print-after-all] [--verify-ir]\n"
+        "            [--analyze] [--analyze-json <file>] [--Werror]\n"
         "            [--max-iters <n>] [--timeout-ms <n>]\n"
         "            [--cycle-budget <n>] [--memory-budget <bytes>]\n"
         "            [--fault site:p=<prob>|nth=<n>[:seed=<s>]]...\n"
@@ -173,6 +185,9 @@ main(int argc, char *argv[])
     bool print_passes = false;
     bool print_after_all = false;
     bool verify_ir = false;
+    bool analyze = false;
+    std::string analyze_json;
+    bool werror = false;
     RunLimits limits;
     std::vector<std::string> fault_specs;
     std::string validate_algo;
@@ -226,6 +241,16 @@ main(int argc, char *argv[])
             print_after_all = true;
         else if (flag == "--verify-ir")
             verify_ir = true;
+        else if (flag == "--analyze")
+            analyze = true;
+        else if (flag == "--analyze-json") {
+            analyze = true;
+            analyze_json = next();
+        } else if (flag.rfind("--analyze-json=", 0) == 0) {
+            analyze = true;
+            analyze_json = flag.substr(15);
+        } else if (flag == "--Werror")
+            werror = true;
         else if (flag == "--max-iters")
             limits.maxIterations = std::atoll(next());
         else if (flag == "--timeout-ms")
@@ -297,6 +322,49 @@ main(int argc, char *argv[])
     if (print_after_all)
         compile_options.printAfterAll = &std::cerr;
     vm->setCompileOptions(compile_options);
+
+    if (analyze) {
+        midend::AnalysisReport report;
+        compile_options.analyzeReport = &report;
+        compile_options.racesAreErrors = werror;
+        vm->setCompileOptions(compile_options);
+        // Basename only, so reports (and golden files) don't depend on
+        // where the source lives.
+        std::string program_name = source_path;
+        if (const auto slash = program_name.find_last_of('/');
+            slash != std::string::npos)
+            program_name = program_name.substr(slash + 1);
+        int code = kExitOk;
+        try {
+            vm->compile(*program);
+        } catch (const PipelineError &error) {
+            // --Werror: race-check failed the pipeline. The report was
+            // already filled; print it before the error.
+            std::fprintf(stderr, "ugcc: %s\n", error.what());
+            code = kExitVerify;
+        }
+        // With JSON on stdout, the human report moves to stderr so the
+        // machine-readable stream stays parseable.
+        const bool json_to_stdout = analyze_json == "-";
+        report.print(json_to_stdout ? std::cerr : std::cout, program_name);
+        if (!analyze_json.empty()) {
+            if (json_to_stdout) {
+                std::cout << report.toJson(program_name);
+            } else {
+                std::ofstream out(analyze_json);
+                if (!out) {
+                    std::fprintf(stderr, "ugcc: cannot write %s\n",
+                                 analyze_json.c_str());
+                    return kExitParse;
+                }
+                out << report.toJson(program_name);
+                std::fprintf(stderr,
+                             "ugcc: analysis report written to %s\n",
+                             analyze_json.c_str());
+            }
+        }
+        return code;
+    }
 
     if (print_passes) {
         std::printf("pass pipeline for target '%s':\n", target.c_str());
