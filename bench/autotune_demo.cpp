@@ -36,7 +36,7 @@ main()
         bench::printHeading(std::string("Autotuning ") + c.algorithm +
                             " on " + c.dataset);
         for (const std::string &target : graphVMNames()) {
-            auto vm = makeGraphVM(target, {.scaleMemoryToDatasets = true});
+            auto vm = Engine::makeBackend(target, {.scaleMemoryToDatasets = true});
             ProgramPtr program = algorithms::buildProgram(algorithm);
             const auto result = autotuner::tune(*program, *vm, inputs,
                                                 "s1", c.ordered);

@@ -15,7 +15,7 @@
 
 #include "algorithms/algorithms.h"
 #include "graph/datasets.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 namespace ugc::bench {
 

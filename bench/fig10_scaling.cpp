@@ -11,7 +11,7 @@
 
 #include "common.h"
 #include "support/prof.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 using namespace ugc;
 
@@ -26,7 +26,7 @@ scaledBfs(const std::string &backend, unsigned cores,
     BackendOptions options;
     options.cores = cores;
     options.profiling = true;
-    auto vm = makeGraphVM(backend, options);
+    auto vm = Engine::makeBackend(backend, options);
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName("bfs"));
     algorithms::applyTunedSchedule(*program, "bfs", backend, kind);

@@ -11,7 +11,7 @@
 
 #include "common.h"
 #include "support/prof.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 using namespace ugc;
 
@@ -33,7 +33,7 @@ main()
             const auto &algorithm = algorithms::byName(alg);
             const Graph &graph = bench::getGraph(
                 graph_name, datasets::Scale::Small, algorithm.needsWeights);
-            auto vm = makeGraphVM("swarm", options);
+            auto vm = Engine::makeBackend("swarm", options);
             ProgramPtr program = algorithms::buildProgram(algorithm);
             algorithms::applyTunedSchedule(*program, alg, "swarm", kind);
             const RunResult result =

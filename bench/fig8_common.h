@@ -36,7 +36,7 @@ runFig8(const std::string &target, datasets::Scale scale,
     const std::vector<std::string> algs = {"pr", "bfs", "sssp", "cc", "bc"};
     std::vector<std::vector<double>> speedups;
 
-    auto vm = makeGraphVM(
+    auto vm = Engine::makeBackend(
         target, {.scaleMemoryToDatasets = true, .udfTier = udf_tier});
     for (const std::string &graph_name : graph_names) {
         std::vector<double> row;

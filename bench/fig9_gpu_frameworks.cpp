@@ -34,7 +34,7 @@ main()
             const RunInputs inputs =
                 bench::makeInputs(graph, algorithm, 10, info.kind);
 
-            auto vm = makeGraphVM("gpu", {.scaleMemoryToDatasets = true});
+            auto vm = Engine::makeBackend("gpu", {.scaleMemoryToDatasets = true});
             ProgramPtr program = algorithms::buildProgram(algorithm);
             algorithms::applyTunedSchedule(*program, alg, "gpu", info.kind);
             const Cycles ugc_cycles = vm->run(*program, inputs).cycles;

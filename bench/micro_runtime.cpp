@@ -20,7 +20,7 @@
 #include "udf/interp.h"
 #include "udf/kernels.h"
 #include "udf/registry.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 using namespace ugc;
 
@@ -292,7 +292,7 @@ BM_ProfilingOverhead(benchmark::State &state)
     ProgramPtr program = algorithms::buildProgram(bfs);
     BackendOptions options;
     options.profiling = profiling;
-    auto vm = makeGraphVM("cpu", options);
+    auto vm = Engine::makeBackend("cpu", options);
     ProgramPtr lowered = vm->compile(*program);
     RunInputs inputs;
     inputs.graph = &graph;

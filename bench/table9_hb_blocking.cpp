@@ -13,7 +13,7 @@
 #include "common.h"
 #include "sched/apply.h"
 #include "support/prof.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 using namespace ugc;
 
@@ -29,7 +29,7 @@ runSssp(const RunInputs &inputs, HBLoadBalance lb)
     applySchedule(*program, "s1", sched);
     BackendOptions options;
     options.profiling = true;
-    auto vm = makeGraphVM("hb", options);
+    auto vm = Engine::makeBackend("hb", options);
     return vm->run(*program, inputs).profile;
 }
 

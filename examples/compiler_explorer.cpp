@@ -10,7 +10,7 @@
 #include "algorithms/algorithms.h"
 #include "ir/printer.h"
 #include "midend/pipeline.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 using namespace ugc;
 
@@ -32,7 +32,7 @@ main()
                     .c_str());
 
     for (const std::string &target : graphVMNames()) {
-        auto vm = makeGraphVM(target);
+        auto vm = Engine::makeBackend(target);
         ProgramPtr tuned = algorithms::buildProgram(bfs);
         algorithms::applyTunedSchedule(*tuned, "bfs", target,
                                        datasets::GraphKind::Road);

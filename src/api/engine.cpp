@@ -1,0 +1,711 @@
+#include "api/ugc.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "algorithms/algorithms.h"
+#include "api/fuse.h"
+#include "frontend/lexer.h"
+#include "frontend/sema.h"
+#include "midend/pipeline.h"
+#include "reference/reference.h"
+#include "support/faults.h"
+#include "vm/cpu/cpu_vm.h"
+#include "vm/gpu/gpu_vm.h"
+#include "vm/hb/hb_vm.h"
+#include "vm/swarm/swarm_vm.h"
+
+namespace ugc {
+
+namespace {
+
+/** Does the program traverse weighted edges (a weighted EdgeSet global)? */
+bool
+programNeedsWeights(const Program &program)
+{
+    for (const auto &global : program.globals)
+        if (global->type.kind == TypeDesc::Kind::EdgeSet &&
+            global->getMetadataOr("weighted", false))
+            return true;
+    return false;
+}
+
+const char *
+graphKindName(datasets::GraphKind kind)
+{
+    switch (kind) {
+    case datasets::GraphKind::Road:
+        return "road";
+    case datasets::GraphKind::Social:
+        return "social";
+    case datasets::GraphKind::Web:
+        return "web";
+    }
+    return "social";
+}
+
+/** Check a finished run against the serial reference (ugcc --validate). */
+bool
+validateRun(const std::string &algo, const Graph &graph,
+            const std::vector<VertexId> &sources, VertexId start, int64_t arg3,
+            const RunResult &result, std::string &why)
+{
+    try {
+        if (sources.size() > 1) {
+            if (algo != "bfs") {
+                why = "validation of fused '" + algo +
+                      "' batches is unsupported";
+                return false;
+            }
+            if (!fuse::validMultiSourceBfs(graph, sources,
+                                           result.property("parent"))) {
+                why = "fused bfs parents failed validation against the "
+                      "multi-source reference";
+                return false;
+            }
+            return true;
+        }
+        bool ok = false;
+        if (algo == "bfs")
+            ok = reference::validBfsParents(graph, start,
+                                            result.property("parent"));
+        else if (algo == "sssp")
+            ok = reference::equalInt(result.property("dist"),
+                                     reference::ssspDistances(graph, start));
+        else if (algo == "cc")
+            ok = reference::equalInt(result.property("IDs"),
+                                     reference::connectedComponents(graph));
+        else // "pr" (the caller has rejected other names already)
+            ok = reference::closeTo(
+                result.property("old_rank"),
+                reference::pageRank(graph, static_cast<int>(arg3)));
+        if (!ok)
+            why = algo + " results failed validation against the serial "
+                         "reference";
+        return ok;
+    } catch (const std::out_of_range &) {
+        why = "result lacks the property '" + algo +
+              "' validation inspects (wrong --validate algorithm?)";
+        return false;
+    }
+}
+
+} // namespace
+
+const char *
+queryStatusName(QueryStatus status)
+{
+    switch (status) {
+    case QueryStatus::Ok:
+        return "ok";
+    case QueryStatus::BadRequest:
+        return "bad_request";
+    case QueryStatus::ParseError:
+        return "parse_error";
+    case QueryStatus::CompileError:
+        return "compile_error";
+    case QueryStatus::RuntimeError:
+        return "runtime_error";
+    case QueryStatus::BudgetExceeded:
+        return "budget_exceeded";
+    case QueryStatus::Rejected:
+        return "rejected";
+    }
+    return "unknown";
+}
+
+// --- internal entries -----------------------------------------------------
+
+struct Engine::GraphEntry
+{
+    std::string datasetCode; ///< empty for addGraph() entries
+    datasets::Scale scale = datasets::Scale::Small;
+    datasets::GraphKind kind = datasets::GraphKind::Social;
+    std::mutex mutex; ///< guards lazy materialization
+    std::shared_ptr<const Graph> unweighted;
+    std::shared_ptr<const Graph> weighted;
+};
+
+struct Engine::AlgorithmEntry
+{
+    std::string name;
+    ProgramPtr program; ///< parsed + checked master copy (never mutated)
+    uint64_t revision = 0;
+    bool needsWeights = false;
+};
+
+struct Engine::CacheEntry
+{
+    std::shared_ptr<Program> lowered;
+    std::list<std::string>::iterator lru;
+};
+
+// --- construction ---------------------------------------------------------
+
+Engine::Engine(EngineOptions options)
+    : _options(std::move(options)), _pool(_options.poolThreads)
+{
+}
+
+Engine::~Engine() = default;
+
+// --- backend construction -------------------------------------------------
+
+std::vector<std::string>
+Engine::backendNames()
+{
+    return {"cpu", "gpu", "swarm", "hb"};
+}
+
+std::unique_ptr<GraphVM>
+Engine::makeBackend(const std::string &name, const BackendOptions &options)
+{
+    // Scaled configs shrink on-chip capacities AND fixed per-round costs
+    // (fork-join, kernel launch) in proportion to the ~100x-smaller
+    // synthetic datasets, preserving the overhead-to-work regime the
+    // paper's optimizations (fusion, bucket fusion, blocking) operate in.
+    std::unique_ptr<GraphVM> vm;
+    if (name == "cpu") {
+        CpuParams params;
+        if (options.scaleMemoryToDatasets) {
+            params.llcBytes = 64 << 10;
+            params.forkJoinOverhead = 600;
+        }
+        if (options.cores) {
+            params.cores = options.cores;
+            params.threads = options.cores * 2; // 2 SMT contexts per core
+        }
+        auto cpu = std::make_unique<CpuVM>(params);
+        cpu->setNumThreads(options.numThreads ? options.numThreads : 1);
+        cpu->setUdfTier(options.udfTier);
+        cpu->setHostPool(options.numThreads > 1 ? options.sharedPool
+                                                : nullptr);
+        vm = std::move(cpu);
+    } else if (name == "gpu") {
+        GpuParams params;
+        if (options.scaleMemoryToDatasets) {
+            params.l2Bytes = 64 << 10;
+            params.kernelLaunch = 1000;
+            params.gridSync = 160;
+        }
+        if (options.cores)
+            params.sms = options.cores;
+        params.retry = options.retry;
+        vm = std::make_unique<GpuVM>(params);
+    } else if (name == "swarm") {
+        // Event-driven; costs are per task, not per round, so dataset
+        // scaling needs no adjustment.
+        SwarmParams params;
+        if (options.cores) {
+            params.cores = options.cores;
+            params.coresPerTile = std::min(4u, options.cores);
+        }
+        params.retry = options.retry;
+        vm = std::make_unique<SwarmVM>(params);
+    } else if (name == "hb") {
+        HBParams params;
+        if (options.scaleMemoryToDatasets)
+            params.hostLaunchOverhead = 500;
+        if (options.cores)
+            params.cores = options.cores;
+        params.retry = options.retry;
+        vm = std::make_unique<HBVM>(params);
+    } else {
+        // Diagnostic mirrors the dataset loader's unknown-name style.
+        std::string known;
+        for (const auto &backend : backendNames())
+            known += (known.empty() ? "" : " ") + backend;
+        throw std::out_of_range("unknown backend '" + name +
+                                "'; known backends: " + known);
+    }
+    vm->setProfiling(options.profiling);
+    vm->setRunLimits(options.limits);
+    return vm;
+}
+
+GraphVM *
+Engine::backendFor(const std::string &name, bool serial)
+{
+    const std::string key = serial ? name + "!serial" : name;
+    std::lock_guard<std::mutex> lock(_vmMutex);
+    auto it = _vms.find(key);
+    if (it != _vms.end())
+        return it->second.get();
+    BackendOptions options = _options.backend;
+    if (serial || options.numThreads <= 1) {
+        options.numThreads = 1;
+        options.sharedPool = nullptr;
+    } else {
+        options.sharedPool = &_pool;
+    }
+    std::unique_ptr<GraphVM> vm = makeBackend(name, options);
+    CompileOptions compile_options;
+    compile_options.verifyIR = _options.verifyIR;
+    vm->setCompileOptions(compile_options);
+    GraphVM *raw = vm.get();
+    _vms.emplace(key, std::move(vm));
+    return raw;
+}
+
+// --- graphs ---------------------------------------------------------------
+
+void
+Engine::loadDataset(const std::string &code, const std::string &key)
+{
+    loadDataset(code, key, _options.datasetScale);
+}
+
+void
+Engine::loadDataset(const std::string &code, const std::string &key,
+                    datasets::Scale scale)
+{
+    const datasets::DatasetInfo &info = datasets::info(code); // throws
+    auto entry = std::make_shared<GraphEntry>();
+    entry->datasetCode = code;
+    entry->scale = scale;
+    entry->kind = info.kind;
+    std::lock_guard<std::mutex> lock(_graphMutex);
+    _graphs[key.empty() ? code : key] = std::move(entry);
+}
+
+void
+Engine::addGraph(const std::string &key, Graph graph)
+{
+    auto entry = std::make_shared<GraphEntry>();
+    auto shared = std::make_shared<const Graph>(std::move(graph));
+    entry->unweighted = shared;
+    entry->weighted = std::move(shared);
+    std::lock_guard<std::mutex> lock(_graphMutex);
+    _graphs[key] = std::move(entry);
+}
+
+std::shared_ptr<Engine::GraphEntry>
+Engine::graphEntry(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(_graphMutex);
+    auto it = _graphs.find(key);
+    return it == _graphs.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const Graph>
+Engine::graph(const std::string &key, bool weighted)
+{
+    auto entry = graphEntry(key);
+    if (!entry)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    auto &slot = weighted ? entry->weighted : entry->unweighted;
+    if (!slot)
+        slot = std::make_shared<const Graph>(
+            datasets::load(entry->datasetCode, entry->scale, weighted));
+    return slot;
+}
+
+std::vector<std::string>
+Engine::graphKeys() const
+{
+    std::lock_guard<std::mutex> lock(_graphMutex);
+    std::vector<std::string> keys;
+    keys.reserve(_graphs.size());
+    for (const auto &[key, entry] : _graphs)
+        keys.push_back(key);
+    return keys;
+}
+
+// --- algorithms -----------------------------------------------------------
+
+void
+Engine::registerAlgorithm(const std::string &name, const std::string &source)
+{
+    ProgramPtr program = frontend::compileSource(source, name); // throws
+    registerProgram(name, std::move(program));
+}
+
+std::string
+Engine::registerAlgorithmFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open algorithm file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string name = path;
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    const size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        name = name.substr(0, dot);
+    registerAlgorithm(name, buffer.str());
+    return name;
+}
+
+void
+Engine::registerProgram(const std::string &name, ProgramPtr program)
+{
+    auto entry = std::make_shared<AlgorithmEntry>();
+    entry->name = name;
+    entry->needsWeights = programNeedsWeights(*program);
+    entry->program = std::move(program);
+    {
+        std::lock_guard<std::mutex> lock(_algoMutex);
+        entry->revision = ++_revision;
+        _algorithms[name] = std::move(entry);
+    }
+    // Stale compilations can never be hit again (the cache key embeds the
+    // revision); drop them eagerly instead of waiting for LRU pressure.
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    const std::string prefix = name + "#";
+    for (auto it = _programCache.begin(); it != _programCache.end();) {
+        if (it->first.compare(0, prefix.size(), prefix) == 0) {
+            _cacheLru.erase(it->second.lru);
+            it = _programCache.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Engine::registerBuiltins()
+{
+    for (const auto &algorithm : algorithms::all())
+        registerProgram(algorithm.name, algorithms::buildProgram(algorithm));
+}
+
+bool
+Engine::hasAlgorithm(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(_algoMutex);
+    return _algorithms.count(name) != 0;
+}
+
+std::vector<std::string>
+Engine::algorithmKeys() const
+{
+    std::lock_guard<std::mutex> lock(_algoMutex);
+    std::vector<std::string> keys;
+    keys.reserve(_algorithms.size());
+    for (const auto &[key, entry] : _algorithms)
+        keys.push_back(key);
+    return keys;
+}
+
+// --- program cache --------------------------------------------------------
+
+std::shared_ptr<Program>
+Engine::compiledProgram(const std::string &cache_key,
+                        const AlgorithmEntry &entry,
+                        const std::string &schedule_key,
+                        datasets::GraphKind kind, const Query &query,
+                        GraphVM &vm, bool &cache_hit)
+{
+    {
+        std::lock_guard<std::mutex> lock(_cacheMutex);
+        auto it = _programCache.find(cache_key);
+        if (it != _programCache.end()) {
+            _cacheLru.splice(_cacheLru.begin(), _cacheLru, it->second.lru);
+            cache_hit = true;
+            bump(&EngineStats::cacheHits);
+            return it->second.lowered;
+        }
+    }
+    cache_hit = false;
+
+    // Compile outside the cache lock: concurrent first-touch queries may
+    // compile the same key twice; the first insert wins and the duplicate
+    // is dropped (cheap, rare, and keeps compiles off the lock).
+    ProgramPtr scheduled = entry.program->clone();
+    if (schedule_key == "baseline")
+        scheduled->clearSchedules();
+    else if (schedule_key == "tuned")
+        algorithms::applyTunedSchedule(*scheduled, entry.name, query.backend,
+                                       kind);
+    std::shared_ptr<Program> lowered;
+    {
+        prof::ScopeTimer scope("compile");
+        lowered = vm.compile(*scheduled); // throws PipelineError
+    }
+
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    auto it = _programCache.find(cache_key);
+    if (it != _programCache.end()) {
+        _cacheLru.splice(_cacheLru.begin(), _cacheLru, it->second.lru);
+        return it->second.lowered;
+    }
+    bump(&EngineStats::cacheMisses);
+    _cacheLru.push_front(cache_key);
+    _programCache[cache_key] = CacheEntry{lowered, _cacheLru.begin()};
+    while (_options.programCacheCapacity &&
+           _programCache.size() > _options.programCacheCapacity) {
+        _programCache.erase(_cacheLru.back());
+        _cacheLru.pop_back();
+        bump(&EngineStats::cacheEvictions);
+    }
+    return lowered;
+}
+
+void
+Engine::clearProgramCache()
+{
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    _programCache.clear();
+    _cacheLru.clear();
+}
+
+// --- execution ------------------------------------------------------------
+
+void
+Engine::bump(uint64_t EngineStats::*field)
+{
+    std::lock_guard<std::mutex> lock(_statsMutex);
+    ++(_stats.*field);
+}
+
+EngineStats
+Engine::stats() const
+{
+    EngineStats out;
+    {
+        std::lock_guard<std::mutex> lock(_statsMutex);
+        out = _stats;
+    }
+    {
+        std::lock_guard<std::mutex> lock(_graphMutex);
+        out.graphs = _graphs.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(_algoMutex);
+        out.algorithms = _algorithms.size();
+    }
+    std::lock_guard<std::mutex> lock(_cacheMutex);
+    out.cachedPrograms = _programCache.size();
+    return out;
+}
+
+QueryResult
+Engine::run(const Query &query)
+{
+    uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(_statsMutex);
+        id = _nextQueryId++;
+        ++_stats.queries;
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    QueryResult result = runQuery(query, id);
+    result.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count();
+    if (!result.ok())
+        bump(&EngineStats::failures);
+    return result;
+}
+
+QueryResult
+Engine::runQuery(const Query &query, uint64_t id)
+{
+    QueryResult out;
+    out.id = id;
+    auto fail = [&out](QueryStatus status, std::string diagnostic) {
+        out.status = status;
+        out.diagnostic = std::move(diagnostic);
+        return out;
+    };
+
+    // --- request validation ---------------------------------------------
+    std::shared_ptr<AlgorithmEntry> algo;
+    {
+        std::lock_guard<std::mutex> lock(_algoMutex);
+        auto it = _algorithms.find(query.algorithm);
+        if (it != _algorithms.end())
+            algo = it->second;
+    }
+    if (!algo) {
+        std::string known;
+        for (const auto &key : algorithmKeys())
+            known += (known.empty() ? "" : " ") + key;
+        return fail(QueryStatus::BadRequest,
+                    "unknown algorithm '" + query.algorithm +
+                        "'; known algorithms: " + known);
+    }
+
+    const std::string schedule_key =
+        query.schedule.empty() ? "default" : query.schedule;
+    if (schedule_key != "default" && schedule_key != "tuned" &&
+        schedule_key != "baseline")
+        return fail(QueryStatus::BadRequest,
+                    "unknown schedule '" + query.schedule +
+                        "'; known schedules: default tuned baseline");
+
+    if (!query.validate.empty() && query.validate != "bfs" &&
+        query.validate != "sssp" && query.validate != "cc" &&
+        query.validate != "pr")
+        return fail(QueryStatus::BadRequest,
+                    "unknown validate algorithm '" + query.validate +
+                        "' (expected bfs, sssp, cc, or pr)");
+
+    GraphVM *vm = nullptr;
+    try {
+        // Queries running as tasks on the shared pool must execute
+        // serially: intra-query parallelFor on the pool that runs the
+        // task itself would deadlock, and serial execution keeps results
+        // bit-identical at any in-flight depth.
+        vm = backendFor(query.backend, ThreadPool::onWorkerThread());
+    } catch (const std::out_of_range &error) {
+        return fail(QueryStatus::BadRequest, error.what());
+    }
+
+    auto entry = graphEntry(query.graph);
+    if (!entry) {
+        std::string known;
+        for (const auto &key : graphKeys())
+            known += (known.empty() ? "" : " ") + key;
+        return fail(QueryStatus::BadRequest, "unknown graph '" + query.graph +
+                                                 "'; known graphs: " + known);
+    }
+    std::shared_ptr<const Graph> graph_ptr;
+    try {
+        graph_ptr = graph(query.graph, algo->needsWeights);
+    } catch (const std::exception &error) {
+        return fail(QueryStatus::RuntimeError,
+                    std::string("graph load failed: ") + error.what());
+    }
+
+    std::vector<VertexId> sources = query.sources;
+    const VertexId start = sources.empty() ? query.start : sources.front();
+    for (VertexId source : sources.empty()
+                               ? std::vector<VertexId>{start}
+                               : sources)
+        if (source < 0 || source >= graph_ptr->numVertices())
+            return fail(QueryStatus::BadRequest,
+                        "start vertex " + std::to_string(source) +
+                            " out of range [0, " +
+                            std::to_string(graph_ptr->numVertices()) + ")");
+    const bool fuse_batch = sources.size() > 1;
+
+    // --- compile (program cache) and execute ------------------------------
+    const bool profiling = query.profiling || _options.backend.profiling;
+    std::shared_ptr<prof::Profile> profile;
+    std::optional<prof::EnabledGuard> enable;
+    std::optional<prof::ActiveProfile> activate;
+    if (profiling) {
+        enable.emplace(true);
+        profile = std::make_shared<prof::Profile>();
+        profile->setMeta("backend", query.backend);
+        profile->setMeta("program", query.algorithm);
+        activate.emplace(profile.get());
+    }
+
+    std::string cache_key = query.algorithm + "#" +
+                            std::to_string(algo->revision) + "|" +
+                            schedule_key + "|" + query.backend;
+    if (schedule_key == "tuned")
+        cache_key += ":" + std::string(graphKindName(entry->kind));
+
+    std::shared_ptr<Program> lowered;
+    try {
+        lowered = compiledProgram(cache_key, *algo, schedule_key, entry->kind,
+                                  query, *vm, out.cacheHit);
+    } catch (const PipelineError &error) {
+        return fail(QueryStatus::CompileError, error.what());
+    } catch (const std::exception &error) {
+        return fail(QueryStatus::CompileError, error.what());
+    }
+
+    // Multi-source fusion rewrites a clone of the CACHED lowered program,
+    // so batched queries keep the no-midend-work hot path.
+    std::shared_ptr<Program> exec_program = lowered;
+    if (fuse_batch) {
+        fuse::FusionResult fused = fuse::fuseSources(*lowered, sources);
+        if (!fused)
+            return fail(QueryStatus::BadRequest, fused.error);
+        exec_program = fused.program;
+        out.fusedSources = sources.size();
+        bump(&EngineStats::fusedQueries);
+    }
+
+    RunInputs inputs;
+    inputs.graph = graph_ptr.get();
+    inputs.args = {0, 0, start, query.arg3};
+    inputs.limits = query.limits;
+
+    RunResult run_result;
+    try {
+        run_result = vm->execute(*exec_program, inputs);
+    } catch (const GuardError &error) {
+        const RunError &trigger = error.error();
+        if (!query.allowDegraded || !recoverable(trigger.kind)) {
+            out.error = trigger;
+            return fail(recoverable(trigger.kind) ? QueryStatus::BudgetExceeded
+                                                  : QueryStatus::RuntimeError,
+                        error.what());
+        }
+        // Degrade exactly like GraphVM::runGuarded — but through the cache:
+        // the baseline-schedule compilation is itself a cache entry, so
+        // repeated rescues skip the midend too.
+        if (trigger.kind == RunError::Kind::RetryExhausted &&
+            !trigger.site.empty())
+            faults::disarm(trigger.site);
+        try {
+            std::string fallback_key = query.algorithm + "#" +
+                                       std::to_string(algo->revision) +
+                                       "|baseline|" + query.backend;
+            bool fallback_hit = false;
+            std::shared_ptr<Program> fallback =
+                compiledProgram(fallback_key, *algo, "baseline", entry->kind,
+                                query, *vm, fallback_hit);
+            std::shared_ptr<Program> fallback_exec = fallback;
+            if (fuse_batch) {
+                fuse::FusionResult fused = fuse::fuseSources(*fallback,
+                                                             sources);
+                if (!fused)
+                    return fail(QueryStatus::BadRequest, fused.error);
+                fallback_exec = fused.program;
+            }
+            run_result = vm->execute(*fallback_exec, inputs);
+        } catch (const GuardError &fallback_error) {
+            out.error = fallback_error.error();
+            return fail(recoverable(fallback_error.error().kind)
+                            ? QueryStatus::BudgetExceeded
+                            : QueryStatus::RuntimeError,
+                        fallback_error.what());
+        } catch (const std::exception &fallback_error) {
+            return fail(QueryStatus::RuntimeError, fallback_error.what());
+        }
+        run_result.degraded = true;
+        run_result.guardError = trigger;
+        out.degraded = true;
+        out.error = trigger;
+        bump(&EngineStats::degraded);
+        if (profile) {
+            profile->addCounter("guard.fallbacks", 1);
+            profile->setMeta("degraded", "true");
+            profile->setMeta("guard.trigger", runErrorKindName(trigger.kind));
+        }
+    } catch (const std::exception &error) {
+        return fail(QueryStatus::RuntimeError, error.what());
+    }
+
+    if (profiling)
+        run_result.profile = profile;
+
+    // --- validation -------------------------------------------------------
+    if (!query.validate.empty()) {
+        std::string why;
+        if (!validateRun(query.validate, *graph_ptr, sources, start,
+                         query.arg3, run_result, why)) {
+            out.run = std::move(run_result);
+            return fail(QueryStatus::RuntimeError, why);
+        }
+    }
+
+    out.run = std::move(run_result);
+    return out;
+}
+
+} // namespace ugc

@@ -1,0 +1,344 @@
+#include "api/fuse.h"
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+
+#include "ir/function.h"
+#include "reference/reference.h"
+
+namespace ugc::fuse {
+
+namespace {
+
+/** Does @p expr (recursively) reference variable @p name? */
+bool
+exprRefs(const ExprPtr &expr, const std::string &name)
+{
+    if (!expr)
+        return false;
+    switch (expr->kind) {
+    case ExprKind::IntConst:
+    case ExprKind::FloatConst:
+        return false;
+    case ExprKind::VarRef:
+        return static_cast<const VarRefExpr &>(*expr).name == name;
+    case ExprKind::PropRead:
+        return exprRefs(static_cast<const PropReadExpr &>(*expr).index, name);
+    case ExprKind::Binary: {
+        const auto &bin = static_cast<const BinaryExpr &>(*expr);
+        return exprRefs(bin.lhs, name) || exprRefs(bin.rhs, name);
+    }
+    case ExprKind::Unary:
+        return exprRefs(static_cast<const UnaryExpr &>(*expr).operand, name);
+    case ExprKind::VertexSetSize:
+        return false;
+    case ExprKind::CompareAndSwap: {
+        const auto &cas = static_cast<const CompareAndSwapExpr &>(*expr);
+        return exprRefs(cas.index, name) || exprRefs(cas.oldValue, name) ||
+               exprRefs(cas.newValue, name);
+    }
+    case ExprKind::Call: {
+        const auto &call = static_cast<const CallExpr &>(*expr);
+        for (const auto &arg : call.args)
+            if (exprRefs(arg, name))
+                return true;
+        return false;
+    }
+    }
+    return false;
+}
+
+bool stmtRefs(const StmtPtr &stmt, const std::string &name);
+
+bool
+bodyRefs(const std::vector<StmtPtr> &body, const std::string &name)
+{
+    for (const auto &stmt : body)
+        if (stmtRefs(stmt, name))
+            return true;
+    return false;
+}
+
+/** Does @p stmt (recursively, including nested bodies) reference scalar
+ *  variable @p name? Set/queue/list operands are ignored — they name
+ *  container objects, never the integer start vertex. */
+bool
+stmtRefs(const StmtPtr &stmt, const std::string &name)
+{
+    switch (stmt->kind) {
+    case StmtKind::VarDecl:
+        return exprRefs(static_cast<const VarDeclStmt &>(*stmt).init, name);
+    case StmtKind::Assign:
+        return exprRefs(static_cast<const AssignStmt &>(*stmt).value, name);
+    case StmtKind::PropWrite: {
+        const auto &write = static_cast<const PropWriteStmt &>(*stmt);
+        return exprRefs(write.index, name) || exprRefs(write.value, name);
+    }
+    case StmtKind::Reduction: {
+        const auto &red = static_cast<const ReductionStmt &>(*stmt);
+        return exprRefs(red.index, name) || exprRefs(red.value, name);
+    }
+    case StmtKind::If: {
+        const auto &ifs = static_cast<const IfStmt &>(*stmt);
+        return exprRefs(ifs.cond, name) || bodyRefs(ifs.thenBody, name) ||
+               bodyRefs(ifs.elseBody, name);
+    }
+    case StmtKind::While: {
+        const auto &loop = static_cast<const WhileStmt &>(*stmt);
+        return exprRefs(loop.cond, name) || bodyRefs(loop.body, name);
+    }
+    case StmtKind::ForRange: {
+        const auto &loop = static_cast<const ForRangeStmt &>(*stmt);
+        return exprRefs(loop.lo, name) || exprRefs(loop.hi, name) ||
+               bodyRefs(loop.body, name);
+    }
+    case StmtKind::ExprStmt:
+        return exprRefs(static_cast<const ExprStmt &>(*stmt).expr, name);
+    case StmtKind::EnqueueVertex:
+        return exprRefs(static_cast<const EnqueueVertexStmt &>(*stmt).vertex,
+                        name);
+    case StmtKind::UpdatePriority: {
+        const auto &upd = static_cast<const UpdatePriorityStmt &>(*stmt);
+        return exprRefs(upd.vertex, name) || exprRefs(upd.value, name);
+    }
+    case StmtKind::Return:
+        return exprRefs(static_cast<const ReturnStmt &>(*stmt).value, name);
+    case StmtKind::EdgeSetIterator:
+    case StmtKind::VertexSetIterator:
+    case StmtKind::ListAppend:
+    case StmtKind::ListRetrieve:
+    case StmtKind::VertexSetDedup:
+    case StmtKind::Delete:
+    case StmtKind::Break:
+        return false;
+    }
+    return false;
+}
+
+/** Deep-copy of @p expr with every VarRef to @p name replaced by the
+ *  integer literal @p value. */
+ExprPtr
+substExpr(const ExprPtr &expr, const std::string &name, int64_t value)
+{
+    if (!expr)
+        return nullptr;
+    if (expr->kind == ExprKind::VarRef &&
+        static_cast<const VarRefExpr &>(*expr).name == name)
+        return intConst(value);
+    ExprPtr copy = cloneExpr(expr);
+    switch (copy->kind) {
+    case ExprKind::PropRead: {
+        auto &read = static_cast<PropReadExpr &>(*copy);
+        read.index = substExpr(read.index, name, value);
+        break;
+    }
+    case ExprKind::Binary: {
+        auto &bin = static_cast<BinaryExpr &>(*copy);
+        bin.lhs = substExpr(bin.lhs, name, value);
+        bin.rhs = substExpr(bin.rhs, name, value);
+        break;
+    }
+    case ExprKind::Unary: {
+        auto &un = static_cast<UnaryExpr &>(*copy);
+        un.operand = substExpr(un.operand, name, value);
+        break;
+    }
+    case ExprKind::CompareAndSwap: {
+        auto &cas = static_cast<CompareAndSwapExpr &>(*copy);
+        cas.index = substExpr(cas.index, name, value);
+        cas.oldValue = substExpr(cas.oldValue, name, value);
+        cas.newValue = substExpr(cas.newValue, name, value);
+        break;
+    }
+    case ExprKind::Call: {
+        auto &call = static_cast<CallExpr &>(*copy);
+        for (auto &arg : call.args)
+            arg = substExpr(arg, name, value);
+        break;
+    }
+    default:
+        break;
+    }
+    return copy;
+}
+
+/** Duplicate a seeding statement with the start variable replaced by a
+ *  literal source. Only the two seeding forms are ever duplicated. */
+StmtPtr
+substSeedStmt(const StmtPtr &stmt, const std::string &name, int64_t value)
+{
+    StmtPtr copy = cloneStmt(stmt);
+    copy->label.clear(); // schedule labels must stay unique
+    if (copy->kind == StmtKind::EnqueueVertex) {
+        auto &enq = static_cast<EnqueueVertexStmt &>(*copy);
+        enq.vertex = substExpr(enq.vertex, name, value);
+    } else if (copy->kind == StmtKind::PropWrite) {
+        auto &write = static_cast<PropWriteStmt &>(*copy);
+        write.index = substExpr(write.index, name, value);
+        write.value = substExpr(write.value, name, value);
+    }
+    return copy;
+}
+
+} // namespace
+
+FusionResult
+fuseSources(const Program &program, const std::vector<VertexId> &sources)
+{
+    FusionResult out;
+    if (sources.size() < 2) {
+        out.error = "multi-source fusion needs at least two sources";
+        return out;
+    }
+    FunctionPtr main = program.mainFunction();
+    if (!main) {
+        out.error = "program has no main function";
+        return out;
+    }
+
+    // The extern scalar backing atoi(argv[2]) — the start-vertex binding.
+    std::string argv_global;
+    for (const auto &global : program.globals)
+        if (global->getMetadataOr("argv_index", -1) == 2)
+            argv_global = global->name;
+    if (argv_global.empty()) {
+        out.error = "algorithm reads no start vertex (atoi(argv[2]))";
+        return out;
+    }
+
+    // UDFs must not read the start binding (main-local seeding only).
+    for (const auto &func : program.functions())
+        if (func != main && bodyRefs(func->body, argv_global)) {
+            out.error = "start vertex is read inside UDF '" + func->name +
+                        "'; fusion unsupported";
+            return out;
+        }
+
+    // The main-body local bound to the start vertex.
+    std::string start_var;
+    size_t decl_index = 0;
+    for (size_t i = 0; i < main->body.size(); ++i) {
+        if (main->body[i]->kind != StmtKind::VarDecl)
+            continue;
+        const auto &decl = static_cast<const VarDeclStmt &>(*main->body[i]);
+        if (decl.init && decl.init->kind == ExprKind::VarRef &&
+            static_cast<const VarRefExpr &>(*decl.init).name == argv_global) {
+            start_var = decl.name;
+            decl_index = i;
+            break;
+        }
+    }
+    if (start_var.empty()) {
+        out.error = "start vertex is not bound to a main-body local";
+        return out;
+    }
+
+    // Every use of the start vertex must be a top-level seeding statement:
+    // frontier.addVertex(start) or prop[start] = ... . Anything else (loop
+    // bodies, other initializers — e.g. SSSP's priority-queue constructor)
+    // means per-source state the fused run cannot keep disjoint.
+    std::vector<size_t> seeds;
+    for (size_t i = 0; i < main->body.size(); ++i) {
+        if (i == decl_index)
+            continue;
+        const StmtPtr &stmt = main->body[i];
+        if (stmtRefs(stmt, argv_global)) {
+            out.error = "start vertex binding is read outside its "
+                        "declaration; fusion unsupported";
+            return out;
+        }
+        if (!stmtRefs(stmt, start_var))
+            continue;
+        if (stmt->kind == StmtKind::EnqueueVertex ||
+            stmt->kind == StmtKind::PropWrite) {
+            seeds.push_back(i);
+            continue;
+        }
+        out.error = "start vertex feeds the algorithm beyond frontier "
+                    "seeding; fusion unsupported";
+        return out;
+    }
+    if (seeds.empty()) {
+        out.error = "start vertex seeds nothing; fusion unsupported";
+        return out;
+    }
+
+    // Duplicate the seeding statements per extra source, right after the
+    // originals (which keep source[0] via the argv[2] binding), preserving
+    // per-source statement order.
+    ProgramPtr fused = program.clone();
+    FunctionPtr fused_main = fused->mainFunction();
+    std::vector<StmtPtr> extra;
+    extra.reserve(seeds.size() * (sources.size() - 1));
+    for (size_t k = 1; k < sources.size(); ++k)
+        for (size_t i : seeds)
+            extra.push_back(
+                substSeedStmt(fused_main->body[i], start_var, sources[k]));
+    fused_main->body.insert(fused_main->body.begin() +
+                                static_cast<ptrdiff_t>(seeds.back() + 1),
+                            extra.begin(), extra.end());
+    out.program = std::move(fused);
+    return out;
+}
+
+std::vector<int64_t>
+multiSourceBfsLevels(const Graph &graph, const std::vector<VertexId> &sources)
+{
+    std::vector<int64_t> level(static_cast<size_t>(graph.numVertices()),
+                               reference::kUnreached);
+    std::deque<VertexId> queue;
+    for (VertexId source : sources) {
+        if (source < 0 || source >= graph.numVertices())
+            continue;
+        if (level[static_cast<size_t>(source)] != reference::kUnreached)
+            continue;
+        level[static_cast<size_t>(source)] = 0;
+        queue.push_back(source);
+    }
+    while (!queue.empty()) {
+        const VertexId v = queue.front();
+        queue.pop_front();
+        const int64_t next = level[static_cast<size_t>(v)] + 1;
+        for (VertexId w : graph.outNeighbors(v))
+            if (level[static_cast<size_t>(w)] == reference::kUnreached) {
+                level[static_cast<size_t>(w)] = next;
+                queue.push_back(w);
+            }
+    }
+    return level;
+}
+
+bool
+validMultiSourceBfs(const Graph &graph, const std::vector<VertexId> &sources,
+                    const std::vector<double> &parent)
+{
+    const auto n = static_cast<size_t>(graph.numVertices());
+    if (parent.size() != n)
+        return false;
+    const std::vector<int64_t> level = multiSourceBfsLevels(graph, sources);
+    for (size_t v = 0; v < n; ++v) {
+        const auto p = static_cast<int64_t>(std::llround(parent[v]));
+        if (level[v] == reference::kUnreached) {
+            if (p != -1)
+                return false;
+            continue;
+        }
+        if (level[v] == 0) {
+            // A source claims itself before the traversal starts.
+            if (p != static_cast<int64_t>(v))
+                return false;
+            continue;
+        }
+        if (p < 0 || p >= graph.numVertices())
+            return false;
+        if (level[static_cast<size_t>(p)] + 1 != level[v])
+            return false;
+        if (!graph.hasEdge(static_cast<VertexId>(p),
+                           static_cast<VertexId>(v)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace ugc::fuse

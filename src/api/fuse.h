@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multi-source query fusion (serving layer, DESIGN.md §11).
+ *
+ * Many concurrent requests for the same algorithm that differ only in
+ * their start vertex (a batch of BFS roots) can execute as ONE traversal
+ * seeded from every source: the frontier starts with the whole batch and
+ * the per-vertex "claimed" checks (parent != -1) keep the per-source
+ * regions disjoint exactly as in independent runs of the same forest.
+ *
+ * The rewrite works on LOWERED GraphIR — a clone of the engine's cached
+ * compiled program — so fused queries keep the program-cache property
+ * (no frontend or midend work on the hot path). It duplicates the main
+ * body's seeding statements (frontier.addVertex(start), per-source
+ * property init) once per extra source with the start variable replaced
+ * by the literal source id, and refuses any program whose start vertex
+ * feeds anything else (e.g. SSSP's priority-queue constructor).
+ */
+#ifndef UGC_API_FUSE_H
+#define UGC_API_FUSE_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ir/program.h"
+
+namespace ugc::fuse {
+
+/** Outcome of a fusion attempt: a rewritten program, or why not. */
+struct FusionResult
+{
+    ProgramPtr program; ///< null when fusion is unsupported
+    std::string error;  ///< reason when program is null
+
+    explicit operator bool() const { return program != nullptr; }
+};
+
+/**
+ * Rewrite lowered @p program so one run seeds from every vertex in
+ * @p sources (at least two). The first source stays bound to argv[2]
+ * (callers pass it via RunInputs); the rest become literal seeds.
+ * Fails — with a reason, never throws — when the program reads no
+ * start vertex, or uses it beyond top-level frontier/property seeding.
+ */
+FusionResult fuseSources(const Program &program,
+                         const std::vector<VertexId> &sources);
+
+/** BFS levels of the multi-source forest (min distance to any source);
+ *  reference::kUnreached where no source reaches. */
+std::vector<int64_t> multiSourceBfsLevels(const Graph &graph,
+                                          const std::vector<VertexId> &sources);
+
+/**
+ * Validate a fused BFS parent array: every source is its own parent,
+ * unreached vertices stay -1, and every other vertex's parent is an
+ * in-neighbor one level closer to the nearest source.
+ */
+bool validMultiSourceBfs(const Graph &graph,
+                         const std::vector<VertexId> &sources,
+                         const std::vector<double> &parent);
+
+} // namespace ugc::fuse
+
+#endif // UGC_API_FUSE_H

@@ -1,0 +1,139 @@
+#include "api/ugc.h"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+namespace ugc {
+
+Session::Session(Engine &engine, Options options)
+    : _engine(engine), _options(options)
+{
+}
+
+Session::~Session()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _cv.wait(lock, [this] { return _inFlight == 0; });
+}
+
+Query
+Session::withSessionLimits(const Query &query) const
+{
+    Query merged = query;
+    merged.limits = RunLimits::merged(_options.limits, query.limits);
+    return merged;
+}
+
+QueryResult
+Session::run(const Query &query)
+{
+    return _engine.run(withSessionLimits(query));
+}
+
+uint64_t
+Session::submit(const Query &query)
+{
+    Query merged = withSessionLimits(query);
+    uint64_t ticket;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ticket = _nextTicket++;
+        Pending &pending = _pending[ticket];
+        if (_options.maxInFlight && _inFlight >= _options.maxInFlight) {
+            pending.done = true;
+            pending.result.status = QueryStatus::Rejected;
+            pending.result.diagnostic =
+                "in-flight window full (" +
+                std::to_string(_options.maxInFlight) + " queries)";
+            return ticket;
+        }
+        ++_inFlight;
+    }
+    _engine.pool().submit([this, ticket, merged = std::move(merged)] {
+        QueryResult result = _engine.run(merged);
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _pending.find(ticket);
+        if (it != _pending.end()) {
+            it->second.result = std::move(result);
+            it->second.done = true;
+        }
+        --_inFlight;
+        _cv.notify_all();
+    });
+    return ticket;
+}
+
+QueryResult
+Session::wait(uint64_t ticket)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    auto it = _pending.find(ticket);
+    if (it == _pending.end())
+        throw std::invalid_argument("unknown query ticket " +
+                                    std::to_string(ticket));
+    _cv.wait(lock, [&it] { return it->second.done; });
+    QueryResult result = std::move(it->second.result);
+    _pending.erase(it);
+    return result;
+}
+
+bool
+Session::isDone(uint64_t ticket) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _pending.find(ticket);
+    return it != _pending.end() && it->second.done;
+}
+
+std::vector<QueryResult>
+Session::runAll(const std::vector<Query> &queries, unsigned in_flight)
+{
+    std::vector<QueryResult> results(queries.size());
+    if (queries.empty())
+        return results;
+    size_t window = in_flight ? in_flight : _options.maxInFlight;
+    if (window == 0)
+        window = 1;
+    window = std::min(window, queries.size());
+
+    // Exactly `window` pool tasks, each draining the next unclaimed query:
+    // in-flight concurrency equals the window for the whole batch, and
+    // every result lands in its request-order slot.
+    struct BatchState
+    {
+        std::atomic<size_t> next{0};
+        std::mutex mutex;
+        std::condition_variable cv;
+        size_t finished = 0;
+    };
+    auto state = std::make_shared<BatchState>();
+    for (size_t w = 0; w < window; ++w) {
+        _engine.pool().submit([this, state, &queries, &results] {
+            for (;;) {
+                const size_t i =
+                    state->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= queries.size())
+                    break;
+                results[i] = _engine.run(withSessionLimits(queries[i]));
+            }
+            std::lock_guard<std::mutex> lock(state->mutex);
+            ++state->finished;
+            state->cv.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&state, window] {
+        return state->finished == window;
+    });
+    return results;
+}
+
+size_t
+Session::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _inFlight;
+}
+
+} // namespace ugc

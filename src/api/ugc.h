@@ -1,0 +1,400 @@
+/**
+ * @file
+ * The UGC public API facade (DESIGN.md §11).
+ *
+ * One header for every harness — `ugcc`, `ugcd`, benches, tests: callers
+ * construct an Engine, register graphs and algorithms once, and issue
+ * Queries through Sessions instead of reaching into `frontend/`,
+ * `midend/`, and `vm/` directly.
+ *
+ *   - Engine:  owns loaded graphs (shared immutable CSR), the
+ *              work-stealing ThreadPool every query executes on, and a
+ *              compiled-program cache keyed by (algorithm source hash,
+ *              schedule, backend) — repeat queries skip the frontend and
+ *              midend entirely.
+ *   - Session: per-client handle carrying default RunLimits admission
+ *              budgets and an in-flight window; submits Queries
+ *              synchronously, asynchronously (as tasks over the shared
+ *              pool), or as order-preserving concurrent batches.
+ *   - Query:   one request — algorithm, graph, backend, argv bindings,
+ *              optional multi-source batch, budgets, profiling,
+ *              validation.
+ *
+ * Per-query failures surface as structured QueryResults (mapping the
+ * GuardError/runGuarded machinery of DESIGN.md §8), never as process
+ * exits; recoverable guard trips degrade to the backend's default
+ * schedule exactly like GraphVM::runGuarded, with the fallback program
+ * itself served from the cache.
+ */
+#ifndef UGC_API_UGC_H
+#define UGC_API_UGC_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/graph.h"
+#include "support/guard.h"
+#include "support/parallel.h"
+#include "vm/factory.h"
+#include "vm/run_types.h"
+
+namespace ugc {
+
+/** Engine-wide configuration (per-query knobs live on Query). */
+struct EngineOptions
+{
+    /** Workers in the shared query pool (0 = hardware concurrency). */
+    unsigned poolThreads = 0;
+
+    /** Defaults applied to every backend VM the engine constructs:
+     *  numThreads (intra-query host threads for synchronous runs; async
+     *  query tasks always execute serially so concurrency comes from the
+     *  pool, keeping per-query results bit-identical to solo runs),
+     *  limits, udfTier, cores, scaleMemoryToDatasets, profiling. */
+    BackendOptions backend;
+
+    /** Run the GraphIR verifier inside every cache-miss compile. */
+    bool verifyIR = false;
+
+    /** Compiled-program cache capacity in entries (0 = unbounded);
+     *  least-recently-used entries are evicted past it. */
+    size_t programCacheCapacity = 128;
+
+    /** Scale at which loadDataset() instantiates named datasets. */
+    datasets::Scale datasetScale = datasets::Scale::Small;
+};
+
+/** Outcome classification of one query; mirrors the ugcc exit-code
+ *  contract (0/2/3/4/5 — DESIGN.md §8) so front ends map 1:1. */
+enum class QueryStatus {
+    Ok,               ///< result is valid
+    BadRequest,       ///< unknown algorithm/graph/backend or bad fields
+    ParseError,       ///< algorithm source failed the frontend
+    CompileError,     ///< pipeline or IR-verifier failure
+    RuntimeError,     ///< execution failed (including validation mismatch)
+    BudgetExceeded,   ///< guard trip that degradation could not rescue
+    Rejected,         ///< admission control: in-flight window full
+};
+
+/** Stable lower-case name of a QueryStatus ("ok", "bad_request", ...). */
+const char *queryStatusName(QueryStatus status);
+
+/** One algorithm request against a loaded graph. */
+struct Query
+{
+    /** Registered algorithm key (Engine::registerAlgorithm*). */
+    std::string algorithm;
+
+    /** Registered graph key (Engine::loadDataset / addGraph). */
+    std::string graph;
+
+    /** Backend GraphVM name ("cpu", "gpu", "swarm", "hb"). */
+    std::string backend = "cpu";
+
+    /** Start vertex (argv[2] binding). */
+    VertexId start = 0;
+
+    /** argv[3] binding (PageRank iterations / SSSP delta). */
+    int64_t arg3 = 10;
+
+    /**
+     * Batched multi-source request: more than one entry fuses the whole
+     * batch into ONE traversal seeded from every source (e.g. many BFS
+     * roots become a single multi-source BFS forest). The fused rewrite
+     * happens on a clone of the cached lowered program — no midend work.
+     * Algorithms whose start vertex feeds anything beyond frontier
+     * seeding and per-source property init (e.g. SSSP's priority-queue
+     * constructor) reject fusion with BadRequest. Empty: `start` is used.
+     */
+    std::vector<VertexId> sources;
+
+    /** Schedule selection: "" or "default" = as registered (the
+     *  backend's baseline for unscheduled statements), "tuned" = the
+     *  per-(algorithm, backend, graph-class) hand-tuned schedule of
+     *  §IV-A, "baseline" = strip all attached schedules. */
+    std::string schedule;
+
+    /** Per-query budgets; merged over session and engine defaults,
+     *  nonzero fields winning (RunLimits::merged). */
+    RunLimits limits;
+
+    /** Attach a prof::Profile to the result. */
+    bool profiling = false;
+
+    /** Check results against the serial reference ("bfs", "sssp", "cc",
+     *  "pr"; empty = no validation). Mismatch → RuntimeError. */
+    std::string validate;
+
+    /** Degrade to the backend's default schedule on a recoverable guard
+     *  trip (the runGuarded contract) instead of failing the query. */
+    bool allowDegraded = true;
+};
+
+/** Structured outcome of one query. */
+struct QueryResult
+{
+    uint64_t id = 0;             ///< engine-wide query id (serving logs)
+    QueryStatus status = QueryStatus::Ok;
+    RunError error;              ///< guard trip detail (kind None if none)
+    std::string diagnostic;      ///< parse/pipeline/validation message
+    bool cacheHit = false;       ///< compiled program served from cache
+    bool degraded = false;       ///< rescued by schedule fallback
+    size_t fusedSources = 0;     ///< >1 when a multi-source batch fused
+    double wallMs = 0.0;         ///< host wall time of the query
+    RunResult run;               ///< results (valid when ok())
+
+    bool ok() const { return status == QueryStatus::Ok; }
+};
+
+/** Monotonic serving statistics (Engine::stats snapshot). */
+struct EngineStats
+{
+    uint64_t queries = 0;        ///< queries started
+    uint64_t failures = 0;       ///< queries not Ok
+    uint64_t degraded = 0;       ///< queries rescued by fallback
+    uint64_t cacheHits = 0;      ///< program-cache hits
+    uint64_t cacheMisses = 0;    ///< program-cache compiles
+    uint64_t cacheEvictions = 0; ///< LRU evictions
+    uint64_t fusedQueries = 0;   ///< multi-source batches fused
+    size_t graphs = 0;           ///< registered graph keys
+    size_t algorithms = 0;       ///< registered algorithm keys
+    size_t cachedPrograms = 0;   ///< live program-cache entries
+};
+
+class GraphVM;
+class Session;
+
+/**
+ * The process-wide serving core: loads graphs once into shared immutable
+ * storage, compiles each (algorithm, schedule, backend) combination once,
+ * and executes queries over one static work-stealing pool.
+ *
+ * Thread safety: every public method may be called concurrently; query
+ * execution shares registered Graph and cached lowered Program objects
+ * read-only across in-flight queries.
+ */
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions options = {});
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    // --- graphs (shared immutable CSR) -----------------------------------
+
+    /**
+     * Register dataset @p code (RN, LJ, ... — graph/datasets.h) under
+     * @p key (defaults to the code itself). Loading is lazy and cached
+     * per weighted/unweighted variant: the first query needing a variant
+     * materializes it, later queries share it.
+     * @throws std::out_of_range listing known datasets for unknown codes.
+     */
+    void loadDataset(const std::string &code, const std::string &key = "");
+
+    /** loadDataset at an explicit scale (overriding EngineOptions). */
+    void loadDataset(const std::string &code, const std::string &key,
+                     datasets::Scale scale);
+
+    /** Register an in-memory graph under @p key (tests, custom loads).
+     *  The same instance serves weighted and unweighted requests. */
+    void addGraph(const std::string &key, Graph graph);
+
+    /** The graph registered under @p key, materializing the weighted or
+     *  unweighted variant of a dataset entry on first use. Null when the
+     *  key is unknown. */
+    std::shared_ptr<const Graph> graph(const std::string &key,
+                                       bool weighted = false);
+
+    std::vector<std::string> graphKeys() const;
+
+    // --- algorithms -------------------------------------------------------
+
+    /**
+     * Register GraphIt source under @p name; parses and semantically
+     * checks eagerly. Re-registering replaces the entry and invalidates
+     * its cached compilations.
+     * @throws frontend::ParseError / frontend::SemaError on bad source.
+     */
+    void registerAlgorithm(const std::string &name,
+                           const std::string &source);
+
+    /** registerAlgorithm from a .gt file; the name is the basename
+     *  without extension. @throws std::runtime_error on I/O failure.
+     *  @return the registered name. */
+    std::string registerAlgorithmFile(const std::string &path);
+
+    /** Register a pre-built GraphIR program (hand-attached schedules,
+     *  autotuner output). The engine clones it per compilation. */
+    void registerProgram(const std::string &name, ProgramPtr program);
+
+    /** Register the five built-in evaluated algorithms (bfs, sssp, pr,
+     *  cc, bc — algorithms/algorithms.h). */
+    void registerBuiltins();
+
+    bool hasAlgorithm(const std::string &name) const;
+    std::vector<std::string> algorithmKeys() const;
+
+    // --- execution --------------------------------------------------------
+
+    /**
+     * Execute one query synchronously on the calling thread (Sessions
+     * route here; the daemon submits via Session so queries run as tasks
+     * over the shared pool). Never throws for per-query problems — the
+     * result carries the status and diagnostic.
+     */
+    QueryResult run(const Query &query);
+
+    /** The shared worker pool (task submission + parallel rounds). */
+    ThreadPool &pool() { return _pool; }
+
+    const EngineOptions &options() const { return _options; }
+
+    EngineStats stats() const;
+
+    /** Drop every cached compiled program (tests, re-tuning). */
+    void clearProgramCache();
+
+    // --- backend construction --------------------------------------------
+
+    /**
+     * Construct a configured backend GraphVM — the facade replacement
+     * for the deprecated free makeGraphVM().
+     * @throws std::out_of_range listing the known backends for unknown
+     *         names (mirroring the loader's unknown-dataset diagnostic).
+     */
+    static std::unique_ptr<GraphVM>
+    makeBackend(const std::string &name, const BackendOptions &options = {});
+
+    /** Names of all available backends, in the paper's order. */
+    static std::vector<std::string> backendNames();
+
+  private:
+    friend class Session;
+
+    struct GraphEntry;
+    struct AlgorithmEntry;
+    struct CacheEntry;
+
+    QueryResult runQuery(const Query &query, uint64_t id);
+    GraphVM *backendFor(const std::string &name, bool serial);
+    std::shared_ptr<GraphEntry> graphEntry(const std::string &key) const;
+    std::shared_ptr<Program>
+    compiledProgram(const std::string &cache_key, const AlgorithmEntry &entry,
+                    const std::string &schedule_key, datasets::GraphKind kind,
+                    const Query &query, GraphVM &vm, bool &cache_hit);
+    void bump(uint64_t EngineStats::*field);
+
+    EngineOptions _options;
+    ThreadPool _pool;
+
+    mutable std::mutex _graphMutex;
+    std::map<std::string, std::shared_ptr<GraphEntry>> _graphs;
+
+    mutable std::mutex _algoMutex;
+    std::map<std::string, std::shared_ptr<AlgorithmEntry>> _algorithms;
+    uint64_t _revision = 0; ///< bumps on (re-)registration
+
+    mutable std::mutex _vmMutex;
+    std::map<std::string, std::unique_ptr<GraphVM>> _vms;
+
+    mutable std::mutex _cacheMutex;
+    std::map<std::string, CacheEntry> _programCache;
+    std::list<std::string> _cacheLru; ///< most recent at front
+
+    mutable std::mutex _statsMutex;
+    EngineStats _stats;
+    uint64_t _nextQueryId = 1;
+};
+
+/**
+ * Per-client request handle: carries default admission budgets, bounds
+ * the number of in-flight queries, and turns queries into tasks on the
+ * engine's shared pool. Sessions are cheap; create one per client or
+ * per logical stream of requests.
+ */
+class Session
+{
+  public:
+    struct Options
+    {
+        /** Default budgets merged under every query of this session —
+         *  the per-tenant admission mechanism (DESIGN.md §8). */
+        RunLimits limits;
+
+        /** Admission control: submit() past this many unfinished
+         *  queries is Rejected. */
+        size_t maxInFlight = 64;
+    };
+
+    explicit Session(Engine &engine) : Session(engine, Options{}) {}
+    Session(Engine &engine, Options options);
+
+    /** Drains in-flight queries before returning. */
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Execute synchronously on the calling thread. */
+    QueryResult run(const Query &query);
+
+    /**
+     * Submit for asynchronous execution as a task on the engine's shared
+     * pool; returns a ticket for wait(). Queries past maxInFlight are
+     * admitted-rejected: the ticket resolves immediately to a Rejected
+     * result. Never blocks.
+     */
+    uint64_t submit(const Query &query);
+
+    /** Block until the submitted query finishes; each ticket may be
+     *  waited on once. @throws std::invalid_argument for unknown (or
+     *  already-claimed) tickets. */
+    QueryResult wait(uint64_t ticket);
+
+    /** Non-blocking: has the submitted query finished? (False for
+     *  unknown or already-claimed tickets.) */
+    bool isDone(uint64_t ticket) const;
+
+    /**
+     * Run a batch concurrently with at most @p in_flight queries active
+     * at once (0 = the session's maxInFlight), returning results in
+     * request order. Must not be called from inside a pool task.
+     */
+    std::vector<QueryResult> runAll(const std::vector<Query> &queries,
+                                    unsigned in_flight = 0);
+
+    /** Queries submitted but not yet finished. */
+    size_t inFlight() const;
+
+    Engine &engine() { return _engine; }
+
+  private:
+    Query withSessionLimits(const Query &query) const;
+
+    struct Pending
+    {
+        bool done = false;
+        QueryResult result;
+    };
+
+    Engine &_engine;
+    Options _options;
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    std::map<uint64_t, Pending> _pending;
+    uint64_t _nextTicket = 1;
+    size_t _inFlight = 0;
+};
+
+} // namespace ugc
+
+#endif // UGC_API_UGC_H

@@ -4,7 +4,7 @@
 
 #include "algorithms/algorithms.h"
 #include "sched/apply.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 #include "vm/gpu/gpu_vm.h"
 
 namespace ugc::comparators {
@@ -21,7 +21,7 @@ runWithSchedule(const std::string &algorithm, const RunInputs &inputs,
     schedule(*program);
     // Same scaled GPU configuration the Fig 8/9 harnesses use for the
     // GPU GraphVM itself (see makeGraphVM).
-    auto vm = makeGraphVM("gpu", {.scaleMemoryToDatasets = true});
+    auto vm = Engine::makeBackend("gpu", {.scaleMemoryToDatasets = true});
     RunResult result = vm->run(*program, inputs);
     result.cycles =
         static_cast<Cycles>(static_cast<double>(result.cycles) *

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ugcd serving-throughput benchmark (DESIGN.md §11): queries/sec of a
+ * mixed bfs/sssp/pr workload against one Engine at increasing in-flight
+ * depths. Exercises exactly the production path — Session::runAll over
+ * the shared pool, programs served from the compiled-program cache after
+ * the first touch of each (algorithm, backend) pair.
+ */
+#ifndef UGC_SERVE_BENCH_H
+#define UGC_SERVE_BENCH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/ugc.h"
+
+namespace ugc::serve {
+
+struct ThroughputOptions
+{
+    std::string dataset = "RN";       ///< dataset code served
+    datasets::Scale scale = datasets::Scale::Small;
+    std::string backend = "cpu";
+    size_t queries = 96;              ///< batch size per series
+    std::vector<unsigned> inFlight = {1, 8, 64};
+};
+
+struct ThroughputSeries
+{
+    unsigned inFlight = 0;
+    size_t queries = 0;
+    size_t failures = 0;
+    double wallMs = 0.0;
+    double queriesPerSec = 0.0;
+};
+
+struct ThroughputReport
+{
+    ThroughputOptions options;
+    std::vector<ThroughputSeries> series;
+    EngineStats stats; ///< engine counters after all series
+
+    /** BENCH_ugcd.json payload (deterministic key order). */
+    std::string toJson() const;
+};
+
+/** Run the benchmark: one Engine, one warm-up query per workload entry
+ *  (so every series measures the cached-program path), then runAll
+ *  batches at each in-flight depth. */
+ThroughputReport runThroughputBench(const ThroughputOptions &options);
+
+} // namespace ugc::serve
+
+#endif // UGC_SERVE_BENCH_H

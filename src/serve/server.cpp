@@ -1,0 +1,443 @@
+#include "serve/server.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "frontend/lexer.h"
+#include "frontend/sema.h"
+
+namespace ugc::serve {
+
+namespace {
+
+/** Minimal JSON string escape (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Incremental JSONL object writer (the daemon needs no JSON library). */
+class JsonLine
+{
+  public:
+    explicit JsonLine(std::ostream &out) : _out(out) { _out << '{'; }
+
+    JsonLine &
+    field(const std::string &key, const std::string &value)
+    {
+        sep();
+        _out << '"' << jsonEscape(key) << "\":\"" << jsonEscape(value)
+             << '"';
+        return *this;
+    }
+
+    JsonLine &
+    field(const std::string &key, const char *value)
+    {
+        return field(key, std::string(value));
+    }
+
+    JsonLine &
+    field(const std::string &key, uint64_t value)
+    {
+        sep();
+        _out << '"' << jsonEscape(key) << "\":" << value;
+        return *this;
+    }
+
+    JsonLine &
+    field(const std::string &key, int64_t value)
+    {
+        sep();
+        _out << '"' << jsonEscape(key) << "\":" << value;
+        return *this;
+    }
+
+    JsonLine &
+    field(const std::string &key, double value)
+    {
+        sep();
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.3f", value);
+        _out << '"' << jsonEscape(key) << "\":" << buf;
+        return *this;
+    }
+
+    JsonLine &
+    field(const std::string &key, bool value)
+    {
+        sep();
+        _out << '"' << jsonEscape(key) << "\":" << (value ? "true" : "false");
+        return *this;
+    }
+
+    ~JsonLine() { _out << "}\n" << std::flush; }
+
+  private:
+    void
+    sep()
+    {
+        if (_first)
+            _first = false;
+        else
+            _out << ',';
+    }
+
+    std::ostream &_out;
+    bool _first = true;
+};
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream in(line);
+    std::string token;
+    while (in >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+/** Split "key=value"; value empty when there is no '='. */
+std::pair<std::string, std::string>
+keyValue(const std::string &token)
+{
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos)
+        return {token, ""};
+    return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+int64_t
+parseInt(const std::string &value, const std::string &key)
+{
+    size_t used = 0;
+    const int64_t parsed = std::stoll(value, &used); // throws
+    if (used != value.size())
+        throw std::invalid_argument("bad integer for " + key + ": " + value);
+    return parsed;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options, std::ostream &out)
+    : _out(out), _engine(options.engine), _session(_engine, options.session)
+{
+}
+
+Server::~Server()
+{
+    // Session's destructor drains the pool; emit what it completes so no
+    // accepted query silently disappears if the caller forgot to quit.
+    drain();
+}
+
+void
+Server::respondError(uint64_t request, const std::string &message)
+{
+    JsonLine(_out).field("type", "error").field("req", request).field(
+        "message", message);
+}
+
+void
+Server::emitResult(uint64_t request, const QueryResult &result, bool profiled)
+{
+    JsonLine line(_out);
+    line.field("type", "result")
+        .field("req", request)
+        .field("id", result.id)
+        .field("ok", result.ok())
+        .field("status", queryStatusName(result.status))
+        .field("cache_hit", result.cacheHit)
+        .field("degraded", result.degraded)
+        .field("fused", static_cast<uint64_t>(result.fusedSources))
+        .field("wall_ms", result.wallMs);
+    if (result.ok())
+        line.field("cycles", static_cast<uint64_t>(result.run.cycles));
+    if (result.error.kind != RunError::Kind::None)
+        line.field("guard", runErrorKindName(result.error.kind));
+    if (!result.diagnostic.empty())
+        line.field("diagnostic", result.diagnostic);
+    if (profiled && result.run.profile) {
+        // Lets clients (and the CI smoke) assert the warm-path property:
+        // repeat queries must show no compile work in their profile.
+        const bool compiled = result.run.profile->find("compile") != nullptr;
+        line.field("compile_in_profile", compiled);
+    }
+}
+
+void
+Server::flushFinished()
+{
+    size_t kept = 0;
+    for (size_t i = 0; i < _pending.size(); ++i) {
+        if (_session.isDone(_pending[i].ticket)) {
+            emitResult(_pending[i].request,
+                       _session.wait(_pending[i].ticket),
+                       _pending[i].profiled);
+        } else {
+            _pending[kept++] = _pending[i];
+        }
+    }
+    _pending.resize(kept);
+}
+
+void
+Server::drain()
+{
+    for (const PendingQuery &pending : _pending)
+        emitResult(pending.request, _session.wait(pending.ticket),
+                   pending.profiled);
+    _pending.clear();
+}
+
+void
+Server::handleGraph(uint64_t request, const std::vector<std::string> &args)
+{
+    if (args.empty() || args[0].find('=') != std::string::npos) {
+        respondError(request, "usage: graph <key> [dataset=<code>] "
+                              "[scale=tiny|small|medium]");
+        return;
+    }
+    const std::string &key = args[0];
+    std::string dataset = key;
+    datasets::Scale scale = _engine.options().datasetScale;
+    for (size_t i = 1; i < args.size(); ++i) {
+        const auto [arg_key, value] = keyValue(args[i]);
+        if (arg_key == "dataset") {
+            dataset = value;
+        } else if (arg_key == "scale") {
+            if (value == "tiny")
+                scale = datasets::Scale::Tiny;
+            else if (value == "small")
+                scale = datasets::Scale::Small;
+            else if (value == "medium")
+                scale = datasets::Scale::Medium;
+            else {
+                respondError(request, "unknown scale '" + value +
+                                          "'; known scales: tiny small "
+                                          "medium");
+                return;
+            }
+        } else {
+            respondError(request, "unknown graph option '" + arg_key + "'");
+            return;
+        }
+    }
+    try {
+        _engine.loadDataset(dataset, key, scale);
+    } catch (const std::exception &error) {
+        respondError(request, error.what());
+        return;
+    }
+    JsonLine(_out).field("type", "ok").field("req", request).field("graph",
+                                                                   key);
+}
+
+void
+Server::handleAlgo(uint64_t request, const std::vector<std::string> &args)
+{
+    if (args.size() != 2) {
+        respondError(request, "usage: algo <name> <path.gt>");
+        return;
+    }
+    try {
+        const std::string registered = _engine.registerAlgorithmFile(args[1]);
+        if (registered != args[0]) {
+            // Re-register under the requested name (path basenames and
+            // protocol names may differ).
+            std::ifstream in(args[1]);
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            _engine.registerAlgorithm(args[0], buffer.str());
+        }
+    } catch (const frontend::ParseError &error) {
+        respondError(request, std::string("parse error: ") + error.what());
+        return;
+    } catch (const frontend::SemaError &error) {
+        respondError(request, std::string("semantic error: ") + error.what());
+        return;
+    } catch (const std::exception &error) {
+        respondError(request, error.what());
+        return;
+    }
+    JsonLine(_out).field("type", "ok").field("req", request).field("algo",
+                                                                   args[0]);
+}
+
+void
+Server::handleRun(uint64_t request, const std::vector<std::string> &args)
+{
+    Query query;
+    bool wait_inline = false;
+    bool profiled = false;
+    try {
+        for (const std::string &arg : args) {
+            const auto [key, value] = keyValue(arg);
+            if (key == "algo")
+                query.algorithm = value;
+            else if (key == "graph")
+                query.graph = value;
+            else if (key == "backend")
+                query.backend = value;
+            else if (key == "start")
+                query.start = parseInt(value, key);
+            else if (key == "arg3")
+                query.arg3 = parseInt(value, key);
+            else if (key == "sources") {
+                std::istringstream in(value);
+                std::string item;
+                while (std::getline(in, item, ','))
+                    query.sources.push_back(parseInt(item, key));
+            } else if (key == "schedule")
+                query.schedule = value;
+            else if (key == "validate")
+                query.validate = value;
+            else if (key == "profile")
+                profiled = query.profiling = parseInt(value, key) != 0;
+            else if (key == "wait")
+                wait_inline = parseInt(value, key) != 0;
+            else if (key == "max-iters")
+                query.limits.maxIterations = parseInt(value, key);
+            else if (key == "cycle-budget")
+                query.limits.cycleBudget = parseInt(value, key);
+            else if (key == "timeout-ms")
+                query.limits.wallTimeoutMs = parseInt(value, key);
+            else if (key == "memory-budget")
+                query.limits.memoryBudgetBytes =
+                    static_cast<Addr>(parseInt(value, key));
+            else if (key == "oscillation-window")
+                query.limits.oscillationWindow =
+                    static_cast<int>(parseInt(value, key));
+            else
+                throw std::invalid_argument("unknown run option '" + key +
+                                            "'");
+        }
+        if (query.algorithm.empty() || query.graph.empty())
+            throw std::invalid_argument(
+                "run needs at least algo=<name> graph=<key>");
+        if (query.limits.any() && query.limits.oscillationWindow == 0)
+            query.limits.oscillationWindow = kDefaultOscillationWindow;
+    } catch (const std::exception &error) {
+        respondError(request, error.what());
+        return;
+    }
+
+    if (wait_inline) {
+        emitResult(request, _session.run(query), profiled);
+        return;
+    }
+    const uint64_t ticket = _session.submit(query);
+    _pending.push_back(PendingQuery{request, ticket, profiled});
+    JsonLine(_out).field("type", "accepted").field("req", request).field(
+        "query", ticket);
+}
+
+void
+Server::handleStats(uint64_t request)
+{
+    const EngineStats stats = _engine.stats();
+    JsonLine(_out)
+        .field("type", "stats")
+        .field("req", request)
+        .field("queries", stats.queries)
+        .field("failures", stats.failures)
+        .field("degraded", stats.degraded)
+        .field("cache_hits", stats.cacheHits)
+        .field("cache_misses", stats.cacheMisses)
+        .field("cache_evictions", stats.cacheEvictions)
+        .field("fused_queries", stats.fusedQueries)
+        .field("graphs", static_cast<uint64_t>(stats.graphs))
+        .field("algorithms", static_cast<uint64_t>(stats.algorithms))
+        .field("cached_programs",
+               static_cast<uint64_t>(stats.cachedPrograms))
+        .field("in_flight", static_cast<uint64_t>(_session.inFlight()));
+}
+
+bool
+Server::handleLine(const std::string &line)
+{
+    if (_stopped)
+        return false;
+    std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#')
+        return true;
+    const uint64_t request = _nextRequest++;
+    const std::string command = tokens[0];
+    tokens.erase(tokens.begin());
+
+    if (command == "graph") {
+        handleGraph(request, tokens);
+    } else if (command == "algo") {
+        handleAlgo(request, tokens);
+    } else if (command == "builtins") {
+        _engine.registerBuiltins();
+        JsonLine(_out).field("type", "ok").field("req", request).field(
+            "algorithms", static_cast<uint64_t>(_engine.stats().algorithms));
+    } else if (command == "run") {
+        handleRun(request, tokens);
+    } else if (command == "sync") {
+        drain();
+        JsonLine(_out).field("type", "synced").field("req", request);
+    } else if (command == "stats") {
+        handleStats(request);
+    } else if (command == "quit") {
+        drain();
+        JsonLine(_out).field("type", "bye").field("req", request);
+        _stopped = true;
+        return false;
+    } else {
+        respondError(request, "unknown command '" + command +
+                                  "'; known commands: graph algo builtins "
+                                  "run sync stats quit");
+    }
+    flushFinished();
+    return true;
+}
+
+void
+Server::serve(std::istream &in)
+{
+    std::string line;
+    while (std::getline(in, line))
+        if (!handleLine(line))
+            break;
+    drain();
+}
+
+} // namespace ugc::serve

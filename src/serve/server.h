@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ugcd request server (DESIGN.md §11): a line-protocol front end over
+ * ugc::Engine/Session for the graph-serving daemon.
+ *
+ * Requests are single lines; responses are JSON objects, one per line
+ * (JSONL), so clients and the CI smoke test can validate them with any
+ * JSON parser while the daemon itself needs none.
+ *
+ * Request grammar (tokens separated by spaces, `key=value` options):
+ *
+ *   graph <key> [dataset=<code>] [scale=tiny|small|medium]
+ *       Register dataset <code> (default: <key>) under <key>.
+ *   algo <name> <path.gt>
+ *       Parse + register a GraphIt algorithm file under <name>.
+ *   builtins
+ *       Register the built-in evaluated algorithms (pr bfs sssp cc bc).
+ *   run algo=<name> graph=<key> [backend=cpu|gpu|swarm|hb] [start=N]
+ *       [arg3=N] [sources=a,b,c] [schedule=default|tuned|baseline]
+ *       [validate=bfs|sssp|cc|pr] [profile=0|1] [wait=0|1]
+ *       [max-iters=N] [cycle-budget=N] [timeout-ms=N]
+ *       Execute a query. By default the query runs asynchronously on the
+ *       engine's shared pool: the server replies `accepted` immediately
+ *       and emits the `result` line when the query finishes (at the
+ *       latest on the next sync/quit). wait=1 forces an inline run.
+ *   sync
+ *       Block until every in-flight query has finished and its result
+ *       line is emitted.
+ *   stats
+ *       Engine statistics snapshot.
+ *   quit
+ *       sync, then acknowledge and stop accepting requests.
+ *
+ * Per-query failures are `result` lines with ok=false and a structured
+ * status (QueryStatus names); only malformed request lines produce
+ * `error` responses. The server never terminates the process.
+ */
+#ifndef UGC_SERVE_SERVER_H
+#define UGC_SERVE_SERVER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/ugc.h"
+
+namespace ugc::serve {
+
+struct ServerOptions
+{
+    EngineOptions engine;
+    Session::Options session;
+};
+
+class Server
+{
+  public:
+    Server(ServerOptions options, std::ostream &out);
+    ~Server();
+
+    /**
+     * Handle one request line (empty lines and `#` comments are ignored),
+     * emitting any responses. Returns false once `quit` has been handled;
+     * the server ignores further requests after that.
+     */
+    bool handleLine(const std::string &line);
+
+    /** Wait for every in-flight query and emit its result line. */
+    void drain();
+
+    /** Read requests from @p in until EOF or quit (the daemon main loop). */
+    void serve(std::istream &in);
+
+    Engine &engine() { return _engine; }
+
+  private:
+    struct PendingQuery
+    {
+        uint64_t request = 0;
+        uint64_t ticket = 0;
+        bool profiled = false;
+    };
+
+    void respondError(uint64_t request, const std::string &message);
+    void emitResult(uint64_t request, const QueryResult &result,
+                    bool profiled);
+    void flushFinished();
+
+    void handleGraph(uint64_t request, const std::vector<std::string> &args);
+    void handleAlgo(uint64_t request, const std::vector<std::string> &args);
+    void handleRun(uint64_t request, const std::vector<std::string> &args);
+    void handleStats(uint64_t request);
+
+    std::ostream &_out;
+    Engine _engine;
+    Session _session;
+    std::vector<PendingQuery> _pending; ///< submit order
+    uint64_t _nextRequest = 1;
+    bool _stopped = false;
+};
+
+} // namespace ugc::serve
+
+#endif // UGC_SERVE_SERVER_H

@@ -1,10 +1,17 @@
 #include "support/parallel.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "support/prof.h"
 
 namespace ugc {
+
+namespace {
+/** Set for the lifetime of any pool-owned thread (fork-join worker or
+ *  task runner); lets callers detect they are already inside a pool. */
+thread_local bool t_on_pool_worker = false;
+} // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads)
     : _numThreads(num_threads ? num_threads
@@ -37,24 +44,104 @@ ThreadPool::start()
 void
 ThreadPool::workerLoop(unsigned index)
 {
+    t_on_pool_worker = true;
     uint64_t seen_generation = 0;
     for (;;) {
         {
             std::unique_lock<std::mutex> lock(_mutex);
             _wakeWorkers.wait(lock, [&] {
-                return _shutdown || _generation != seen_generation;
+                return _shutdown || _generation != seen_generation ||
+                       !_taskQueue.empty();
             });
             if (_shutdown)
                 return;
+            // Prefer the fork-join job: parallelFor rounds are short and
+            // latency-sensitive, tasks are long-running queries.
+            if (_generation == seen_generation) {
+                runOneTask(lock);
+                continue;
+            }
             seen_generation = _generation;
         }
         runWorker(index);
         {
             std::lock_guard<std::mutex> lock(_mutex);
             if (--_remaining == 0)
-                _wakeMaster.notify_one();
+                _wakeMaster.notify_all();
         }
     }
+}
+
+/** Pop and run one task. Called with @p lock held; releases it around the
+ *  task body. @return false when the queue was empty. */
+bool
+ThreadPool::runOneTask(std::unique_lock<std::mutex> &lock)
+{
+    if (_taskQueue.empty())
+        return false;
+    std::function<void()> task = std::move(_taskQueue.front());
+    _taskQueue.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+    if (--_tasksActive == 0)
+        _wakeMaster.notify_all();
+    return true;
+}
+
+/** Dedicated task runner: guarantees task progress even when every
+ *  fork-join worker is parked in a job (or the pool has size 1). */
+void
+ThreadPool::taskLoop()
+{
+    t_on_pool_worker = true;
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _wakeWorkers.wait(lock,
+                          [&] { return _shutdown || !_taskQueue.empty(); });
+        if (_shutdown)
+            return;
+        runOneTask(lock);
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_shutdown)
+            throw std::runtime_error("ThreadPool: submit after shutdown");
+        if (!_started)
+            start();
+        if (!_taskRunnerStarted) {
+            _taskRunnerStarted = true;
+            _workers.emplace_back([this] { taskLoop(); });
+        }
+        _taskQueue.push_back(std::move(task));
+        ++_tasksActive;
+    }
+    _wakeWorkers.notify_all();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _wakeMaster.wait(lock, [&] { return _tasksActive == 0; });
+}
+
+size_t
+ThreadPool::tasksInFlight() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _tasksActive;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_on_pool_worker;
 }
 
 /** Drain the own deque, then steal until every deque is empty. */

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -103,12 +104,23 @@ class alignas(64) WorkDeque
 };
 
 /**
- * A fork-join thread pool with a fixed worker count.
+ * A fork-join thread pool with a fixed worker count, doubling as a task
+ * executor for the serving layer.
  *
  * Workers are lazily started on the first parallel call and joined on
  * destruction. A pool of size 1 runs inline (important for deterministic
  * test environments and single-core machines). Nested parallelFor calls
  * from inside a body are not supported.
+ *
+ * Task mode (submit/waitIdle) runs independent closures on the same
+ * workers — the `start_query`/`end_query`-over-a-static-pool shape the
+ * serving layer needs: concurrent queries share one worker pool instead of
+ * each spawning their own. Tasks and parallelFor jobs coexist: a worker
+ * prefers a published job (short, latency-sensitive) and otherwise drains
+ * the task queue; one dedicated runner thread guarantees task progress
+ * even while every fork-join worker is busy. A task MUST NOT call
+ * parallelFor or waitIdle on the pool executing it — fork-join inside a
+ * task would wait on the very workers the tasks occupy.
  */
 class ThreadPool
 {
@@ -157,6 +169,27 @@ class ThreadPool
     void parallelFor(int64_t begin, int64_t end,
                      const std::function<void(int64_t, int64_t)> &body);
 
+    /**
+     * Enqueue an independent closure for asynchronous execution on the
+     * pool's workers (first use spawns the dedicated task runner, so a
+     * pool of size 1 still makes progress). Tasks run in submission order
+     * but complete in any order. @throws std::runtime_error after
+     * shutdown began.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. Must not be called
+     *  from inside a task of this pool. */
+    void waitIdle();
+
+    /** Tasks submitted but not yet finished (queued + running). */
+    size_t tasksInFlight() const;
+
+    /** True on a thread currently owned by any ThreadPool (a fork-join
+     *  worker or the task runner). Callers use this to avoid nesting
+     *  pool-parallel work inside a pool task. */
+    static bool onWorkerThread();
+
     /** Process-wide pool shared by callers that do not own one. */
     static ThreadPool &global();
 
@@ -164,14 +197,21 @@ class ThreadPool
     void start();
     void workerLoop(unsigned index);
     void runWorker(unsigned index);
+    void taskLoop();
+    bool runOneTask(std::unique_lock<std::mutex> &lock);
 
     unsigned _numThreads;
     std::vector<std::thread> _workers;
     std::vector<WorkDeque> _deques;
     std::vector<WorkerStats> _stats;
-    std::mutex _mutex;
+    mutable std::mutex _mutex;
     std::condition_variable _wakeWorkers;
     std::condition_variable _wakeMaster;
+
+    // Task-mode state (all guarded by _mutex).
+    std::deque<std::function<void()>> _taskQueue;
+    size_t _tasksActive = 0; ///< queued + running
+    bool _taskRunnerStarted = false;
 
     // Current job. The scalar fields are written under _mutex before the
     // generation bump and only read by workers woken by it.

@@ -7,8 +7,8 @@
 namespace ugc::prof {
 
 namespace detail {
-bool g_enabled = false;
-Profile *g_current = nullptr;
+thread_local bool g_enabled = false;
+thread_local Profile *g_current = nullptr;
 } // namespace detail
 
 void

@@ -49,12 +49,16 @@ namespace ugc::prof {
 class Profile;
 
 namespace detail {
-/** Process-wide default-enable flag (drives profile creation in the VM
- *  layer; see GraphVM::execute). */
-extern bool g_enabled;
-/** Profile currently recording, or nullptr. The single branch every
- *  recording helper takes. */
-extern Profile *g_current;
+/** Default-enable flag (drives profile creation in the VM layer; see
+ *  GraphVM::execute). Thread-local so concurrent queries on a serving
+ *  pool each control their own profiling; a run's prof:: calls all happen
+ *  on the thread driving its ExecEngine (parallelFor bodies never record
+ *  directly — workers report through per-worker stats the master folds
+ *  in after the join), so per-thread state covers a whole run. */
+extern thread_local bool g_enabled;
+/** Profile currently recording ON THIS THREAD, or nullptr. The single
+ *  branch every recording helper takes. */
+extern thread_local Profile *g_current;
 } // namespace detail
 
 /** Should runs create a profile even when the VM was not configured for

@@ -36,6 +36,12 @@ class CpuVM : public GraphVM
      *  model is unaffected). 1 = serial deterministic execution. */
     void setNumThreads(unsigned n) { _numThreads = n; }
 
+    /** Borrow @p pool for parallel rounds instead of spawning a private
+     *  ThreadPool per run (the serving layer's shared worker pool; see
+     *  ExecEngine). Null restores the private-pool behavior. Effective
+     *  only when numThreads > 1. */
+    void setHostPool(ThreadPool *pool) { _hostPool = pool; }
+
     /** UDF execution tier (udf/registry.h). Auto (the default) runs
      *  compiled kernels on traversals the udf-kernel-select pass tagged;
      *  Interp forces the bytecode interpreter everywhere; Compiled matches
@@ -58,7 +64,7 @@ class CpuVM : public GraphVM
         CpuModel model(_params);
         ExecEngine engine(lowered, inputs, model, _numThreads,
                           effectiveLimits(inputs), _udfTier,
-                          _forceAtomics);
+                          _forceAtomics, _hostPool);
         return engine.run();
     }
 
@@ -69,6 +75,7 @@ class CpuVM : public GraphVM
     unsigned _numThreads = 1;
     udf::UdfTier _udfTier = udf::UdfTier::Auto;
     bool _forceAtomics = false;
+    ThreadPool *_hostPool = nullptr;
 };
 
 } // namespace ugc

@@ -97,7 +97,7 @@ struct ExecEngine::Impl
 {
     Impl(Program &program, const RunInputs &inputs, MachineModel &model,
          unsigned num_threads, const RunLimits &limits,
-         udf::UdfTier udf_tier, bool force_atomics)
+         udf::UdfTier udf_tier, bool force_atomics, ThreadPool *host_pool)
         : program(program), inputs(inputs), model(model),
           numThreads(num_threads), limits(limits), udfTier(udf_tier),
           forceAtomics(force_atomics)
@@ -108,6 +108,12 @@ struct ExecEngine::Impl
         taskStream = model.wantsTaskStream();
         if (taskStream)
             numThreads = 1;
+        // A borrowed pool only matters for parallel rounds; its thread
+        // count governs partitioning so worker indices stay in range.
+        if (host_pool && numThreads > 1) {
+            sharedPool = host_pool;
+            numThreads = host_pool->numThreads();
+        }
     }
 
     // --- environment ------------------------------------------------------
@@ -227,6 +233,7 @@ struct ExecEngine::Impl
         }
     };
 
+    ThreadPool *sharedPool = nullptr; // borrowed (serving layer); not owned
     std::unique_ptr<ThreadPool> pool; // created on first parallel round
     std::vector<WorkerCtx> workerCtxs;
     std::vector<int64_t> blockStarts; // work-block boundaries (reused)
@@ -238,6 +245,8 @@ struct ExecEngine::Impl
     ThreadPool &
     hostPool()
     {
+        if (sharedPool)
+            return *sharedPool;
         if (!pool)
             pool = std::make_unique<ThreadPool>(numThreads);
         return *pool;
@@ -1886,9 +1895,10 @@ struct ExecEngine::Impl
 ExecEngine::ExecEngine(Program &program, const RunInputs &inputs,
                        MachineModel &model, unsigned num_threads,
                        const RunLimits &limits, udf::UdfTier udf_tier,
-                       bool force_atomics)
+                       bool force_atomics, ThreadPool *host_pool)
     : _impl(std::make_unique<Impl>(program, inputs, model, num_threads,
-                                   limits, udf_tier, force_atomics))
+                                   limits, udf_tier, force_atomics,
+                                   host_pool))
 {
 }
 

@@ -24,6 +24,8 @@
 
 namespace ugc {
 
+class ThreadPool;
+
 class ExecEngine
 {
   public:
@@ -47,12 +49,19 @@ class ExecEngine
      *                 atomics even where the engine would elide them
      *                 (serial push rounds, pull traversals). Validation
      *                 knob: forced and elided runs must be bit-identical.
+     * @param host_pool borrow this ThreadPool for parallel rounds instead
+     *                 of spawning a private one (the serving layer's
+     *                 shared worker pool). Ignored when num_threads <= 1
+     *                 (serial runs stay inline); otherwise the pool's own
+     *                 thread count governs work partitioning. The engine
+     *                 does not take ownership.
      */
     ExecEngine(Program &program, const RunInputs &inputs,
                MachineModel &model, unsigned num_threads = 1,
                const RunLimits &limits = {},
                udf::UdfTier udf_tier = udf::UdfTier::Auto,
-               bool force_atomics = false);
+               bool force_atomics = false,
+               ThreadPool *host_pool = nullptr);
     ~ExecEngine();
 
     /** Execute main and return results + machine statistics. */

@@ -1,12 +1,6 @@
 #include "vm/factory.h"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "vm/cpu/cpu_vm.h"
-#include "vm/gpu/gpu_vm.h"
-#include "vm/hb/hb_vm.h"
-#include "vm/swarm/swarm_vm.h"
+#include "api/ugc.h"
 
 namespace ugc {
 
@@ -19,60 +13,9 @@ graphVMNames()
 std::unique_ptr<GraphVM>
 makeGraphVM(const std::string &name, const BackendOptions &options)
 {
-    // Scaled configs shrink on-chip capacities AND fixed per-round costs
-    // (fork-join, kernel launch) in proportion to the ~100x-smaller
-    // synthetic datasets, preserving the overhead-to-work regime the
-    // paper's optimizations (fusion, bucket fusion, blocking) operate in.
-    std::unique_ptr<GraphVM> vm;
-    if (name == "cpu") {
-        CpuParams params;
-        if (options.scaleMemoryToDatasets) {
-            params.llcBytes = 64 << 10;
-            params.forkJoinOverhead = 600;
-        }
-        if (options.cores) {
-            params.cores = options.cores;
-            params.threads = options.cores * 2; // 2 SMT contexts per core
-        }
-        auto cpu = std::make_unique<CpuVM>(params);
-        cpu->setNumThreads(options.numThreads ? options.numThreads : 1);
-        cpu->setUdfTier(options.udfTier);
-        vm = std::move(cpu);
-    } else if (name == "gpu") {
-        GpuParams params;
-        if (options.scaleMemoryToDatasets) {
-            params.l2Bytes = 64 << 10;
-            params.kernelLaunch = 1000;
-            params.gridSync = 160;
-        }
-        if (options.cores)
-            params.sms = options.cores;
-        params.retry = options.retry;
-        vm = std::make_unique<GpuVM>(params);
-    } else if (name == "swarm") {
-        // Event-driven; costs are per task, not per round, so dataset
-        // scaling needs no adjustment.
-        SwarmParams params;
-        if (options.cores) {
-            params.cores = options.cores;
-            params.coresPerTile = std::min(4u, options.cores);
-        }
-        params.retry = options.retry;
-        vm = std::make_unique<SwarmVM>(params);
-    } else if (name == "hb") {
-        HBParams params;
-        if (options.scaleMemoryToDatasets)
-            params.hostLaunchOverhead = 500;
-        if (options.cores)
-            params.cores = options.cores;
-        params.retry = options.retry;
-        vm = std::make_unique<HBVM>(params);
-    } else {
-        throw std::out_of_range("unknown GraphVM: " + name);
-    }
-    vm->setProfiling(options.profiling);
-    vm->setRunLimits(options.limits);
-    return vm;
+    // Deprecated shim: the construction logic lives behind the facade
+    // (api/engine.cpp) so new callers find one entry point.
+    return Engine::makeBackend(name, options);
 }
 
 } // namespace ugc

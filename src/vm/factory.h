@@ -60,12 +60,23 @@ struct BackendOptions
      *  interpreter; Compiled matches every traversal against the kernel
      *  catalog regardless of metadata. */
     udf::UdfTier udfTier = udf::UdfTier::Auto;
+
+    /** Borrow this ThreadPool for the CPU VM's parallel rounds instead of
+     *  spawning a private pool per run — the serving layer's shared
+     *  worker pool (api/ugc.h). Not owned; effective when numThreads > 1. */
+    ThreadPool *sharedPool = nullptr;
 };
 
 /**
  * Create a GraphVM ("cpu", "gpu", "swarm", "hb") configured by @p options.
- * @throws std::out_of_range for unknown names.
+ * @throws std::out_of_range listing the known backends for unknown names.
+ *
+ * Deprecated: construction moved behind the public facade (api/ugc.h) so
+ * harnesses stop reaching into vm/ directly — call ugc::Engine::makeBackend
+ * (one-off VM) or route runs through Engine/Session (graph + program
+ * caching, guarded queries).
  */
+[[deprecated("use ugc::Engine::makeBackend from api/ugc.h")]]
 std::unique_ptr<GraphVM>
 makeGraphVM(const std::string &name, const BackendOptions &options = {});
 

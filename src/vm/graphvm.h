@@ -158,6 +158,14 @@ class GraphVM
     RunResult
     execute(Program &lowered, const RunInputs &inputs)
     {
+        if (prof::active()) {
+            // An enclosing profile is already recording on this thread
+            // (the serving engine wraps cache lookup + execution in one
+            // per-query profile): contribute a "run" scope to it instead
+            // of nesting a second profile.
+            prof::ScopeTimer scope("run");
+            return executeLowered(lowered, inputs);
+        }
         if (!_profiling && !prof::enabled())
             return executeLowered(lowered, inputs);
         prof::EnabledGuard enable(true);

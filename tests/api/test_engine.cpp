@@ -1,0 +1,292 @@
+/**
+ * ugc::Engine facade tests (DESIGN.md §11): request validation with
+ * structured diagnostics, the compiled-program cache (hits, per-schedule
+ * keys, invalidation on re-registration, LRU eviction), multi-source
+ * query fusion, result validation, and guard-trip mapping.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/fuse.h"
+#include "api/ugc.h"
+#include "graph/generators.h"
+
+namespace ugc {
+namespace {
+
+/** Engine over one weighted 8x8 road grid registered as "g". */
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest()
+    {
+        engine.registerBuiltins();
+        engine.addGraph("g", gen::roadGrid(8, 8, /*weighted=*/true));
+    }
+
+    Query
+    query(const std::string &algorithm, VertexId start = 0) const
+    {
+        Query q;
+        q.algorithm = algorithm;
+        q.graph = "g";
+        q.start = start;
+        q.arg3 = algorithm == "sssp" ? 4 : 5;
+        return q;
+    }
+
+    Engine engine;
+};
+
+/** Does any scope in the profile tree have a name starting with @p prefix? */
+bool
+hasScopePrefix(const prof::Profile::Scope &scope, const std::string &prefix)
+{
+    if (scope.name.compare(0, prefix.size(), prefix) == 0)
+        return true;
+    for (const auto &child : scope.children)
+        if (hasScopePrefix(*child, prefix))
+            return true;
+    return false;
+}
+
+TEST_F(EngineTest, UnknownBackendNameListsKnownBackends)
+{
+    try {
+        Engine::makeBackend("tpu");
+        FAIL() << "makeBackend(\"tpu\") did not throw";
+    } catch (const std::out_of_range &error) {
+        const std::string message = error.what();
+        EXPECT_NE(message.find("unknown backend 'tpu'"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("known backends: cpu gpu swarm hb"),
+                  std::string::npos)
+            << message;
+    }
+
+    // Through a query the same diagnostic becomes a structured BadRequest.
+    Query q = query("bfs");
+    q.backend = "tpu";
+    const QueryResult result = engine.run(q);
+    EXPECT_EQ(result.status, QueryStatus::BadRequest);
+    EXPECT_NE(result.diagnostic.find("known backends:"), std::string::npos)
+        << result.diagnostic;
+}
+
+TEST_F(EngineTest, UnknownAlgorithmAndGraphAreBadRequests)
+{
+    Query q = query("nope");
+    QueryResult result = engine.run(q);
+    EXPECT_EQ(result.status, QueryStatus::BadRequest);
+    EXPECT_NE(result.diagnostic.find("known algorithms:"), std::string::npos)
+        << result.diagnostic;
+
+    q = query("bfs");
+    q.graph = "nope";
+    result = engine.run(q);
+    EXPECT_EQ(result.status, QueryStatus::BadRequest);
+    EXPECT_NE(result.diagnostic.find("known graphs:"), std::string::npos)
+        << result.diagnostic;
+}
+
+TEST_F(EngineTest, BadScheduleValidateAndStartAreBadRequests)
+{
+    Query q = query("bfs");
+    q.schedule = "fastest";
+    EXPECT_EQ(engine.run(q).status, QueryStatus::BadRequest);
+
+    q = query("bfs");
+    q.validate = "dfs";
+    EXPECT_EQ(engine.run(q).status, QueryStatus::BadRequest);
+
+    q = query("bfs", /*start=*/1 << 20);
+    const QueryResult result = engine.run(q);
+    EXPECT_EQ(result.status, QueryStatus::BadRequest);
+    EXPECT_NE(result.diagnostic.find("out of range"), std::string::npos)
+        << result.diagnostic;
+}
+
+TEST_F(EngineTest, RepeatQueryServesCachedProgramWithoutCompiling)
+{
+    Query q = query("bfs");
+    q.profiling = true;
+
+    const QueryResult first = engine.run(q);
+    ASSERT_TRUE(first.ok()) << first.diagnostic;
+    EXPECT_FALSE(first.cacheHit);
+    ASSERT_NE(first.run.profile, nullptr);
+    EXPECT_NE(first.run.profile->find("compile"), nullptr)
+        << "cache miss must record its compile in the query profile";
+    EXPECT_NE(first.run.profile->find("run"), nullptr);
+
+    const QueryResult repeat = engine.run(q);
+    ASSERT_TRUE(repeat.ok()) << repeat.diagnostic;
+    EXPECT_TRUE(repeat.cacheHit);
+    ASSERT_NE(repeat.run.profile, nullptr);
+    // The warm-path property: no frontend or midend work on repeat.
+    EXPECT_EQ(repeat.run.profile->find("compile"), nullptr);
+    EXPECT_FALSE(hasScopePrefix(repeat.run.profile->root(), "pass:"));
+    EXPECT_NE(repeat.run.profile->find("run"), nullptr);
+
+    // The cached program produces identical results.
+    EXPECT_EQ(first.run.properties, repeat.run.properties);
+
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.cacheMisses, 1u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.cachedPrograms, 1u);
+    EXPECT_EQ(stats.queries, 2u);
+    EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST_F(EngineTest, ScheduleVariantsCacheUnderSeparateKeys)
+{
+    for (const char *schedule : {"default", "tuned", "baseline"}) {
+        Query q = query("bfs");
+        q.schedule = schedule;
+        ASSERT_TRUE(engine.run(q).ok()) << schedule;
+    }
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.cacheMisses, 3u);
+    EXPECT_EQ(stats.cacheHits, 0u);
+
+    Query q = query("bfs");
+    q.schedule = "tuned";
+    EXPECT_TRUE(engine.run(q).cacheHit);
+    stats = engine.stats();
+    EXPECT_EQ(stats.cacheMisses, 3u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+}
+
+TEST_F(EngineTest, ReregistrationInvalidatesCachedPrograms)
+{
+    ASSERT_FALSE(engine.run(query("bfs")).cacheHit);
+    ASSERT_TRUE(engine.run(query("bfs")).cacheHit);
+
+    // Re-registering bumps the revision embedded in the cache key and
+    // drops the stale compilation eagerly.
+    engine.registerBuiltins();
+    EXPECT_EQ(engine.stats().cachedPrograms, 0u);
+    EXPECT_FALSE(engine.run(query("bfs")).cacheHit);
+}
+
+TEST_F(EngineTest, ProgramCacheEvictsLeastRecentlyUsed)
+{
+    EngineOptions options;
+    options.programCacheCapacity = 1;
+    Engine small(options);
+    small.registerBuiltins();
+    small.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+
+    Query bfs;
+    bfs.algorithm = "bfs";
+    bfs.graph = "g";
+    Query pr = bfs;
+    pr.algorithm = "pr";
+    pr.arg3 = 3;
+
+    ASSERT_TRUE(small.run(bfs).ok());
+    ASSERT_TRUE(small.run(pr).ok());
+    EngineStats stats = small.stats();
+    EXPECT_EQ(stats.cacheEvictions, 1u);
+    EXPECT_EQ(stats.cachedPrograms, 1u);
+
+    // bfs was evicted: running it again recompiles (and evicts pr).
+    EXPECT_FALSE(small.run(bfs).cacheHit);
+    EXPECT_EQ(small.stats().cacheEvictions, 2u);
+}
+
+TEST_F(EngineTest, ValidatedQueriesPassTheReferenceCheck)
+{
+    Query bfs = query("bfs", 3);
+    bfs.validate = "bfs";
+    EXPECT_TRUE(engine.run(bfs).ok());
+
+    Query sssp = query("sssp", 3);
+    sssp.validate = "sssp";
+    EXPECT_TRUE(engine.run(sssp).ok());
+
+    Query cc = query("cc");
+    cc.validate = "cc";
+    EXPECT_TRUE(engine.run(cc).ok());
+
+    Query pr = query("pr");
+    pr.validate = "pr";
+    EXPECT_TRUE(engine.run(pr).ok());
+}
+
+TEST_F(EngineTest, MultiSourceBfsFusesIntoOneValidForest)
+{
+    Query q = query("bfs");
+    q.sources = {0, 27, 63};
+    q.validate = "bfs"; // engine-side validation handles the fused case
+    const QueryResult fused = engine.run(q);
+    ASSERT_TRUE(fused.ok()) << fused.diagnostic;
+    EXPECT_EQ(fused.fusedSources, 3u);
+
+    const auto graph = engine.graph("g");
+    ASSERT_NE(graph, nullptr);
+    EXPECT_TRUE(fuse::validMultiSourceBfs(*graph, q.sources,
+                                          fused.run.property("parent")));
+
+    // Every source claims itself; each claimed region is rooted at its
+    // own source (parents stay inside the forest).
+    for (const VertexId source : q.sources)
+        EXPECT_EQ(fused.run.property("parent")[source], source);
+
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.fusedQueries, 1u);
+
+    // Fusion rides the cached program: the repeat batch is a cache hit.
+    EXPECT_TRUE(engine.run(q).cacheHit);
+}
+
+TEST_F(EngineTest, SsspRejectsMultiSourceFusion)
+{
+    // SSSP's start vertex feeds the priority-queue constructor, not just
+    // frontier seeding — fusion must refuse, not mis-compute.
+    Query q = query("sssp");
+    q.sources = {0, 9};
+    const QueryResult result = engine.run(q);
+    EXPECT_EQ(result.status, QueryStatus::BadRequest);
+    EXPECT_FALSE(result.diagnostic.empty());
+    EXPECT_EQ(engine.stats().fusedQueries, 0u);
+}
+
+TEST_F(EngineTest, IterationLimitTripMapsToBudgetExceeded)
+{
+    Query q = query("bfs");
+    q.limits.maxIterations = 1;
+    q.limits.oscillationWindow = kDefaultOscillationWindow;
+
+    // Degradation re-runs the baseline schedule under the same budget;
+    // the trip persists, so the query fails structurally either way.
+    for (const bool allow_degraded : {true, false}) {
+        q.allowDegraded = allow_degraded;
+        const QueryResult result = engine.run(q);
+        EXPECT_EQ(result.status, QueryStatus::BudgetExceeded);
+        EXPECT_EQ(result.error.kind, RunError::Kind::IterationLimit);
+        EXPECT_FALSE(result.ok());
+    }
+    EXPECT_EQ(engine.stats().failures, 2u);
+}
+
+TEST_F(EngineTest, StatsCountRegistrations)
+{
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.graphs, 1u);
+    EXPECT_EQ(stats.algorithms, 6u); // pr bfs sssp cc bc prd
+    EXPECT_TRUE(engine.hasAlgorithm("bfs"));
+    EXPECT_FALSE(engine.hasAlgorithm("nope"));
+    EXPECT_EQ(engine.graphKeys(), std::vector<std::string>{"g"});
+}
+
+TEST_F(EngineTest, BackendNamesMatchThePaperOrder)
+{
+    const std::vector<std::string> expected = {"cpu", "gpu", "swarm", "hb"};
+    EXPECT_EQ(Engine::backendNames(), expected);
+}
+
+} // namespace
+} // namespace ugc

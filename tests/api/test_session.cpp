@@ -1,0 +1,209 @@
+/**
+ * ugc::Session tests (DESIGN.md §11): the serving-concurrency contract —
+ * results of concurrent batches are bit-identical to solo runs at any
+ * in-flight depth — plus submit/wait/isDone semantics, admission
+ * control, request-order batches, and session-default budget merging.
+ */
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/ugc.h"
+#include "graph/generators.h"
+
+namespace ugc {
+namespace {
+
+/** The udf.* slice of a counter set (the per-run UDF invocation counts
+ *  the determinism contract covers). */
+std::map<std::string, double>
+udfCounters(const CounterSet &counters)
+{
+    std::map<std::string, double> out;
+    for (const auto &[name, value] : counters.all())
+        if (name.compare(0, 4, "udf.") == 0)
+            out[name] = value;
+    return out;
+}
+
+/** A mixed bfs/sssp/pr/cc workload with spread-out start vertices. */
+std::vector<Query>
+mixedBatch(size_t count, VertexId vertices)
+{
+    const char *algorithms[] = {"bfs", "sssp", "pr", "cc"};
+    std::vector<Query> batch;
+    batch.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        Query q;
+        q.algorithm = algorithms[i % 4];
+        q.graph = "g";
+        q.start = static_cast<VertexId>((i * 13) % vertices);
+        q.arg3 = q.algorithm == std::string("sssp") ? 4 : 5;
+        batch.push_back(std::move(q));
+    }
+    return batch;
+}
+
+/**
+ * The acceptance property of the serving layer: 64 concurrent mixed
+ * queries produce results bit-identical to running each query alone —
+ * properties AND udf.* machine counters — because query tasks execute
+ * serially over the shared pool (concurrency is inter-query only).
+ */
+TEST(SessionTest, ConcurrentBatchesAreBitIdenticalToSoloRuns)
+{
+    Engine engine;
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(8, 8, /*weighted=*/true));
+
+    const std::vector<Query> batch = mixedBatch(64, 64);
+
+    std::vector<QueryResult> solo;
+    solo.reserve(batch.size());
+    for (const Query &q : batch) {
+        solo.push_back(engine.run(q));
+        ASSERT_TRUE(solo.back().ok()) << solo.back().diagnostic;
+    }
+
+    Session session(engine);
+    for (const unsigned window : {8u, 64u}) {
+        const std::vector<QueryResult> concurrent =
+            session.runAll(batch, window);
+        ASSERT_EQ(concurrent.size(), batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+            ASSERT_TRUE(concurrent[i].ok())
+                << "window " << window << " query " << i << ": "
+                << concurrent[i].diagnostic;
+            EXPECT_EQ(solo[i].run.properties, concurrent[i].run.properties)
+                << "window " << window << " query " << i << " ("
+                << batch[i].algorithm << ")";
+            EXPECT_EQ(udfCounters(solo[i].run.counters),
+                      udfCounters(concurrent[i].run.counters))
+                << "window " << window << " query " << i << " ("
+                << batch[i].algorithm << ")";
+            EXPECT_EQ(solo[i].run.cycles, concurrent[i].run.cycles)
+                << "window " << window << " query " << i;
+        }
+    }
+}
+
+TEST(SessionTest, SubmitWaitAndIsDone)
+{
+    Engine engine;
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+    Session session(engine);
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    const uint64_t ticket = session.submit(q);
+    const QueryResult result = session.wait(ticket);
+    EXPECT_TRUE(result.ok()) << result.diagnostic;
+    EXPECT_EQ(result.run.property("parent")[0], 0);
+
+    // Each ticket can be waited on exactly once.
+    EXPECT_FALSE(session.isDone(ticket));
+    EXPECT_THROW(session.wait(ticket), std::invalid_argument);
+    EXPECT_THROW(session.wait(9999), std::invalid_argument);
+    EXPECT_FALSE(session.isDone(9999));
+}
+
+TEST(SessionTest, AdmissionRejectsPastTheInFlightWindow)
+{
+    // One pool thread → one task runner: a gate task parks the runner so
+    // the first query stays queued (in flight) deterministically.
+    EngineOptions options;
+    options.poolThreads = 1;
+    Engine engine(options);
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+
+    Session::Options session_options;
+    session_options.maxInFlight = 1;
+    Session session(engine, session_options);
+
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    engine.pool().submit([opened] { opened.wait(); });
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    const uint64_t accepted = session.submit(q);
+    EXPECT_EQ(session.inFlight(), 1u);
+
+    const uint64_t rejected = session.submit(q);
+    // Rejection is immediate: the ticket resolves without executing.
+    EXPECT_TRUE(session.isDone(rejected));
+    const QueryResult rejection = session.wait(rejected);
+    EXPECT_EQ(rejection.status, QueryStatus::Rejected);
+    EXPECT_NE(rejection.diagnostic.find("in-flight window full"),
+              std::string::npos)
+        << rejection.diagnostic;
+
+    gate.set_value();
+    EXPECT_TRUE(session.wait(accepted).ok());
+    EXPECT_EQ(session.inFlight(), 0u);
+}
+
+TEST(SessionTest, RunAllReturnsResultsInRequestOrder)
+{
+    Engine engine;
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(6, 6, /*weighted=*/true));
+    Session session(engine);
+
+    std::vector<Query> batch;
+    for (VertexId start : {5, 17, 29, 33, 2, 11}) {
+        Query q;
+        q.algorithm = "bfs";
+        q.graph = "g";
+        q.start = start;
+        batch.push_back(std::move(q));
+    }
+    const std::vector<QueryResult> results = session.runAll(batch, 3);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_TRUE(results[i].ok());
+        // Each slot holds ITS query's forest: the root parents itself.
+        EXPECT_EQ(results[i].run.property("parent")[batch[i].start],
+                  batch[i].start)
+            << "slot " << i;
+    }
+}
+
+TEST(SessionTest, SessionLimitsMergeUnderEveryQuery)
+{
+    Engine engine;
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+
+    Session::Options strict;
+    strict.limits.maxIterations = 1;
+    strict.limits.oscillationWindow = kDefaultOscillationWindow;
+    Session session(engine, strict);
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+
+    // The same query succeeds engine-direct but trips the session budget.
+    EXPECT_TRUE(engine.run(q).ok());
+    const QueryResult limited = session.run(q);
+    EXPECT_EQ(limited.status, QueryStatus::BudgetExceeded);
+    EXPECT_EQ(limited.error.kind, RunError::Kind::IterationLimit);
+
+    // Per-query limits win over the session default (RunLimits::merged).
+    Query roomy = q;
+    roomy.limits.maxIterations = 1000;
+    roomy.limits.oscillationWindow = kDefaultOscillationWindow;
+    EXPECT_TRUE(session.run(roomy).ok());
+}
+
+} // namespace
+} // namespace ugc

@@ -5,7 +5,7 @@
 #include "graph/generators.h"
 #include "reference/reference.h"
 #include "vm/cpu/cpu_vm.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 #include "vm/swarm/swarm_vm.h"
 
 namespace ugc {
@@ -102,7 +102,7 @@ TEST(Autotuner, EveryCandidateProducesValidResults)
     const Graph graph = gen::rmat(8, 8);
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName("bfs"));
-    auto vm = makeGraphVM("gpu");
+    auto vm = Engine::makeBackend("gpu");
     for (const auto &candidate : autotuner::candidatesFor("gpu", false)) {
         ProgramPtr variant = program->clone();
         candidate.apply(*variant, "s1");

@@ -8,7 +8,7 @@
 #include "algorithms/algorithms.h"
 #include "graph/datasets.h"
 #include "reference/reference.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 namespace ugc {
 namespace {
@@ -48,7 +48,7 @@ TEST_P(CrossVm, MatchesReference)
     ProgramPtr program = algorithms::buildProgram(algorithm);
     algorithms::applyTunedSchedule(*program, combo.algorithm, combo.vm,
                                    kind);
-    auto vm = makeGraphVM(combo.vm);
+    auto vm = Engine::makeBackend(combo.vm);
     RunInputs inputs;
     inputs.graph = &graph;
     inputs.args = {0, 0, start,
@@ -106,7 +106,7 @@ TEST(CrossVmConsistency, IntegerResultsAgreeAcrossBackends)
         std::vector<double> first;
         for (const std::string &vm_name : graphVMNames()) {
             ProgramPtr program = algorithms::buildProgram(algorithm);
-            auto vm = makeGraphVM(vm_name);
+            auto vm = Engine::makeBackend(vm_name);
             RunInputs inputs;
             inputs.graph = &g;
             inputs.args = {0, 0, 0, 8};
@@ -126,7 +126,7 @@ TEST(CrossVmConsistency, EmitCodeWorksForAllBackends)
     const auto &bfs = algorithms::byName("bfs");
     for (const std::string &vm_name : graphVMNames()) {
         ProgramPtr program = algorithms::buildProgram(bfs);
-        auto vm = makeGraphVM(vm_name);
+        auto vm = Engine::makeBackend(vm_name);
         const std::string code = vm->emitCode(*program);
         EXPECT_GT(code.size(), 200u) << vm_name;
         EXPECT_NE(code.find("UGC"), std::string::npos) << vm_name;
@@ -135,7 +135,7 @@ TEST(CrossVmConsistency, EmitCodeWorksForAllBackends)
 
 TEST(CrossVmConsistency, FactoryRejectsUnknownName)
 {
-    EXPECT_THROW(makeGraphVM("tpu"), std::out_of_range);
+    EXPECT_THROW(Engine::makeBackend("tpu"), std::out_of_range);
     EXPECT_EQ(graphVMNames().size(), 4u);
 }
 

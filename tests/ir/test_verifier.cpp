@@ -11,7 +11,7 @@
 #include "ir/walk.h"
 #include "midend/pipeline.h"
 #include "sched/apply.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 namespace ugc {
 namespace {
@@ -189,7 +189,7 @@ TEST(Verifier, EveryAlgorithmVerifiesOnEveryBackend)
     for (const auto &algorithm : algorithms::all()) {
         for (const std::string &backend : graphVMNames()) {
             ProgramPtr program = algorithms::buildProgram(algorithm);
-            auto vm = makeGraphVM(backend);
+            auto vm = Engine::makeBackend(backend);
             vm->setCompileOptions(CompileOptions{.verifyIR = true});
             ProgramPtr lowered;
             ASSERT_NO_THROW(lowered = vm->compile(*program))

@@ -1,0 +1,196 @@
+/**
+ * ugcd line-protocol tests (DESIGN.md §11): every request line yields a
+ * JSONL response, per-query failures are structured result lines (the
+ * server never throws), async queries resolve by sync/quit, and repeat
+ * queries expose the warm-cache property over the wire.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "serve/server.h"
+
+namespace ugc::serve {
+namespace {
+
+/** Server writing into a string buffer, with one in-memory graph "g". */
+class ServerTest : public ::testing::Test
+{
+  protected:
+    ServerTest() : server(ServerOptions{}, out)
+    {
+        server.engine().addGraph(
+            "g", gen::roadGrid(6, 6, /*weighted=*/true));
+    }
+
+    /** Responses emitted since the last call, split into lines. */
+    std::vector<std::string>
+    takeLines()
+    {
+        std::vector<std::string> lines;
+        std::istringstream in(out.str());
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        out.str("");
+        return lines;
+    }
+
+    /** Expect exactly one response line containing every @p needle. */
+    std::string
+    expectOneLine(const std::vector<std::string> &needles)
+    {
+        const std::vector<std::string> lines = takeLines();
+        EXPECT_EQ(lines.size(), 1u);
+        if (lines.empty())
+            return "";
+        for (const std::string &needle : needles)
+            EXPECT_NE(lines[0].find(needle), std::string::npos)
+                << "missing " << needle << " in: " << lines[0];
+        return lines[0];
+    }
+
+    std::ostringstream out;
+    Server server;
+};
+
+TEST_F(ServerTest, BlankAndCommentLinesProduceNoResponse)
+{
+    EXPECT_TRUE(server.handleLine(""));
+    EXPECT_TRUE(server.handleLine("   "));
+    EXPECT_TRUE(server.handleLine("# a comment"));
+    EXPECT_TRUE(takeLines().empty());
+}
+
+TEST_F(ServerTest, UnknownCommandListsTheGrammar)
+{
+    EXPECT_TRUE(server.handleLine("frobnicate now"));
+    expectOneLine({"\"type\":\"error\"", "unknown command 'frobnicate'",
+                   "known commands:"});
+}
+
+TEST_F(ServerTest, RunValidatesItsOptions)
+{
+    EXPECT_TRUE(server.handleLine("run algo=bfs"));
+    expectOneLine({"\"type\":\"error\"", "algo=<name> graph=<key>"});
+
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=g start=abc"));
+    expectOneLine({"\"type\":\"error\""});
+
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=g turbo=1"));
+    expectOneLine({"\"type\":\"error\"", "unknown run option 'turbo'"});
+}
+
+TEST_F(ServerTest, InlineQueriesAndWarmCacheOverTheWire)
+{
+    EXPECT_TRUE(server.handleLine("builtins"));
+    expectOneLine({"\"type\":\"ok\"", "\"algorithms\":6"});
+
+    EXPECT_TRUE(server.handleLine(
+        "run algo=bfs graph=g start=0 validate=bfs profile=1 wait=1"));
+    expectOneLine({"\"type\":\"result\"", "\"ok\":true",
+                   "\"status\":\"ok\"", "\"cache_hit\":false",
+                   "\"compile_in_profile\":true"});
+
+    // The warm-path property, observable by protocol clients.
+    EXPECT_TRUE(server.handleLine(
+        "run algo=bfs graph=g start=5 validate=bfs profile=1 wait=1"));
+    expectOneLine({"\"type\":\"result\"", "\"ok\":true",
+                   "\"cache_hit\":true", "\"compile_in_profile\":false"});
+
+    // Multi-source batches report their fused width.
+    EXPECT_TRUE(server.handleLine(
+        "run algo=bfs graph=g sources=0,14,35 validate=bfs wait=1"));
+    expectOneLine({"\"type\":\"result\"", "\"ok\":true", "\"fused\":3"});
+
+    // Per-query failures are structured results, not protocol errors.
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=missing wait=1"));
+    expectOneLine({"\"type\":\"result\"", "\"ok\":false",
+                   "\"status\":\"bad_request\"", "unknown graph 'missing'"});
+
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=g backend=tpu wait=1"));
+    expectOneLine({"\"status\":\"bad_request\"", "known backends:"});
+}
+
+TEST_F(ServerTest, AsyncQueriesResolveOnSync)
+{
+    EXPECT_TRUE(server.handleLine("builtins"));
+    takeLines();
+
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=g start=0"));
+    std::vector<std::string> lines = takeLines();
+    ASSERT_FALSE(lines.empty());
+    EXPECT_NE(lines[0].find("\"type\":\"accepted\""), std::string::npos)
+        << lines[0];
+
+    // The result line lands at the latest on sync — possibly earlier,
+    // flushed by the run request itself when the query finishes fast.
+    EXPECT_TRUE(server.handleLine("sync"));
+    for (const std::string &line : takeLines())
+        lines.push_back(line);
+    bool saw_result = false;
+    for (const std::string &line : lines)
+        if (line.find("\"type\":\"result\"") != std::string::npos &&
+            line.find("\"ok\":true") != std::string::npos)
+            saw_result = true;
+    EXPECT_TRUE(saw_result);
+    EXPECT_NE(lines.back().find("\"type\":\"synced\""), std::string::npos)
+        << lines.back();
+}
+
+TEST_F(ServerTest, StatsReportEngineCounters)
+{
+    EXPECT_TRUE(server.handleLine("builtins"));
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=g wait=1"));
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=g wait=1"));
+    takeLines();
+
+    EXPECT_TRUE(server.handleLine("stats"));
+    expectOneLine({"\"type\":\"stats\"", "\"queries\":2",
+                   "\"cache_hits\":1", "\"cache_misses\":1",
+                   "\"graphs\":1", "\"algorithms\":6", "\"in_flight\":0"});
+}
+
+TEST_F(ServerTest, GraphCommandValidatesAndLoadsDatasets)
+{
+    EXPECT_TRUE(server.handleLine("graph"));
+    expectOneLine({"\"type\":\"error\"", "usage: graph"});
+
+    EXPECT_TRUE(server.handleLine("graph g2 scale=galactic"));
+    expectOneLine({"\"type\":\"error\"", "unknown scale 'galactic'"});
+
+    EXPECT_TRUE(server.handleLine("graph nope"));
+    expectOneLine({"\"type\":\"error\""});
+
+    EXPECT_TRUE(server.handleLine("graph road dataset=RN scale=tiny"));
+    expectOneLine({"\"type\":\"ok\"", "\"graph\":\"road\""});
+}
+
+TEST_F(ServerTest, QuitStopsTheServer)
+{
+    EXPECT_FALSE(server.handleLine("quit"));
+    expectOneLine({"\"type\":\"bye\""});
+
+    // Requests after quit are ignored without responses.
+    EXPECT_FALSE(server.handleLine("stats"));
+    EXPECT_TRUE(takeLines().empty());
+}
+
+TEST_F(ServerTest, ServeReadsAScriptUntilQuit)
+{
+    std::istringstream script("builtins\n"
+                              "run algo=pr graph=g arg3=3 wait=1\n"
+                              "quit\n"
+                              "stats\n");
+    server.serve(script);
+    const std::vector<std::string> lines = takeLines();
+    ASSERT_EQ(lines.size(), 3u); // ok, result, bye — stats ignored
+    EXPECT_NE(lines[1].find("\"type\":\"result\""), std::string::npos);
+    EXPECT_NE(lines[2].find("\"type\":\"bye\""), std::string::npos);
+}
+
+} // namespace
+} // namespace ugc::serve

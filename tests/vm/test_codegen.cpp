@@ -6,7 +6,7 @@
 
 #include "algorithms/algorithms.h"
 #include "vm/codegen_util.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 namespace ugc {
 namespace {
@@ -86,7 +86,7 @@ class BackendCodegen : public ::testing::TestWithParam<const char *>
 
 TEST_P(BackendCodegen, EmitsAllFiveAlgorithms)
 {
-    auto vm = makeGraphVM(GetParam());
+    auto vm = Engine::makeBackend(GetParam());
     for (const auto &algorithm : algorithms::all()) {
         ProgramPtr program = algorithms::buildProgram(algorithm);
         const std::string code = vm->emitCode(*program);

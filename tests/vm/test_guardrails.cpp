@@ -15,7 +15,7 @@
 #include "support/faults.h"
 #include "support/guard.h"
 #include "vm/cpu/cpu_vm.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 namespace ugc {
 namespace {
@@ -140,7 +140,7 @@ TEST_F(Guardrails, PerRunLimitsOverrideVmLimits)
         algorithms::buildProgram(algorithms::byName("bfs"));
     BackendOptions options;
     options.limits.maxIterations = 2;
-    auto vm = makeGraphVM("cpu", options);
+    auto vm = Engine::makeBackend("cpu", options);
     RunInputs inputs;
     inputs.graph = &graph;
     inputs.args = {0, 0, 0, 16};
@@ -158,7 +158,7 @@ TEST_F(Guardrails, SwarmAbortInjectionKeepsResultsChangesTiming)
     const auto &sssp = algorithms::byName("sssp");
     auto run_once = [&]() {
         ProgramPtr program = algorithms::buildProgram(sssp);
-        auto vm = makeGraphVM("swarm");
+        auto vm = Engine::makeBackend("swarm");
         RunInputs inputs;
         inputs.graph = &graph;
         inputs.args = {0, 0, 0, 16};
@@ -195,7 +195,7 @@ TEST_F(Guardrails, GpuRetryExhaustionDegradesGracefully)
         algorithms::buildProgram(algorithms::byName("bfs"));
     BackendOptions options;
     options.profiling = true;
-    auto vm = makeGraphVM("gpu", options);
+    auto vm = Engine::makeBackend("gpu", options);
     RunInputs inputs;
     inputs.graph = &graph;
     inputs.args = {0, 0, 0, 16};
@@ -227,7 +227,7 @@ TEST_F(Guardrails, HbDmaErrorsRetryTransparently)
     const Graph graph = datasets::load("RN", datasets::Scale::Tiny, false);
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName("bfs"));
-    auto vm = makeGraphVM("hb");
+    auto vm = Engine::makeBackend("hb");
     RunInputs inputs;
     inputs.graph = &graph;
     inputs.args = {0, 0, 0, 16};
@@ -266,7 +266,7 @@ TEST_F(Guardrails, GuardedRunIsPlainRunWhenNothingTrips)
     const Graph graph = datasets::load("RN", datasets::Scale::Tiny, false);
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName("bfs"));
-    auto vm = makeGraphVM("swarm");
+    auto vm = Engine::makeBackend("swarm");
     RunInputs inputs;
     inputs.graph = &graph;
     inputs.args = {0, 0, 0, 16};

@@ -12,7 +12,7 @@
 #include "algorithms/algorithms.h"
 #include "graph/generators.h"
 #include "support/prof.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 namespace ugc {
 namespace {
@@ -32,7 +32,7 @@ runBfs(const std::string &backend, const BackendOptions &options,
 {
     ProgramPtr program =
         algorithms::buildProgram(algorithms::byName("bfs"));
-    auto vm = makeGraphVM(backend, options);
+    auto vm = Engine::makeBackend(backend, options);
     return vm->run(*program, bfsInputs(graph));
 }
 
@@ -101,7 +101,7 @@ TEST(Profiling, CompileScopeHasOnePassScopePerExecutedPass)
     for (const std::string &backend : graphVMNames()) {
         ProgramPtr program =
             algorithms::buildProgram(algorithms::byName("bfs"));
-        auto vm = makeGraphVM(backend, {.profiling = true});
+        auto vm = Engine::makeBackend(backend, {.profiling = true});
         const std::vector<std::string> passes = vm->pipelinePassNames();
         const RunResult result = vm->run(*program, bfsInputs(graph));
         ASSERT_NE(result.profile, nullptr) << backend;

@@ -18,11 +18,11 @@ cmake -B "${build_dir}" -S "${repo_root}" \
     -DUGC_SANITIZE=thread
 cmake --build "${build_dir}" -j \
     --target test_support test_vm_cpu test_runtime test_integration \
-    test_kernel_parity
+    test_kernel_parity test_api test_serve
 
 # halt_on_error makes a race fail the test instead of just logging it.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|WorkDeque|ParallelFor|Determinism|CpuVm|CpuAlgorithms|ExecEngine|VertexSet|VertexData|PrioQueue|CrossVm|Properties|EdgeCases|KernelParity|AtomicsElision' \
+    -R 'ThreadPool|WorkDeque|ParallelFor|Determinism|CpuVm|CpuAlgorithms|ExecEngine|VertexSet|VertexData|PrioQueue|CrossVm|Properties|EdgeCases|KernelParity|AtomicsElision|EngineTest|SessionTest|ServerTest' \
     "$@"

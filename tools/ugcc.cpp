@@ -87,7 +87,7 @@
 #include "support/faults.h"
 #include "support/guard.h"
 #include "support/prof.h"
-#include "vm/factory.h"
+#include "api/ugc.h"
 
 using namespace ugc;
 
@@ -315,7 +315,7 @@ main(int argc, char *argv[])
     options.profiling = profiling;
     options.limits = limits;
     options.udfTier = udf_tier;
-    auto vm = makeGraphVM(target, options);
+    auto vm = Engine::makeBackend(target, options);
 
     CompileOptions compile_options;
     compile_options.verifyIR = verify_ir;

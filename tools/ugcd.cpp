@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ugcd — the UGC graph-serving daemon (DESIGN.md §11).
+ *
+ * Loads graphs ONCE into shared immutable CSR storage and serves many
+ * algorithm queries against them: requests arrive as lines on stdin,
+ * responses leave as JSON objects on stdout (one per line). Queries
+ * execute concurrently as tasks over the engine's shared work-stealing
+ * pool; compiled programs are cached per (algorithm, schedule, backend),
+ * so repeat queries skip the frontend and midend entirely.
+ *
+ *   $ ugcd <<'EOF'
+ *   graph RN
+ *   algo bfs apps/bfs.gt
+ *   run algo=bfs graph=RN start=0 validate=bfs
+ *   run algo=bfs graph=RN sources=0,7,23 validate=bfs
+ *   stats
+ *   quit
+ *   EOF
+ *
+ * See src/serve/server.h for the full request grammar. Per-query
+ * failures (bad request, budget trips, validation mismatches) are
+ * structured result lines; the daemon itself only exits on quit or EOF.
+ *
+ * Options:
+ *   --threads <n>    worker threads of the query pool (default: cores)
+ *   --scale <s>      default dataset scale: tiny|small|medium
+ *   --builtins       preload the built-in algorithms (pr bfs sssp cc bc)
+ *   --max-in-flight <n>  admission window; excess queries are rejected
+ *   --max-iters/--timeout-ms/--cycle-budget <n>
+ *                    session-wide default budgets for every query
+ *   --bench [file]   run the serving-throughput benchmark instead of
+ *                    serving (queries/sec at 1/8/64 in-flight, mixed
+ *                    bfs/sssp/pr); writes BENCH_ugcd.json-style output
+ *                    to <file> (default stdout) and exits
+ *   --bench-queries <n>, --bench-dataset <code>  benchmark knobs
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "serve/bench.h"
+#include "serve/server.h"
+
+using namespace ugc;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ugcd [--threads <n>] [--scale tiny|small|medium]\n"
+        "            [--builtins] [--max-in-flight <n>]\n"
+        "            [--max-iters <n>] [--timeout-ms <n>]\n"
+        "            [--cycle-budget <n>]\n"
+        "            [--bench [file]] [--bench-queries <n>]\n"
+        "            [--bench-dataset <code>]\n"
+        "reads request lines from stdin, writes JSONL responses to "
+        "stdout\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerOptions options;
+    serve::ThroughputOptions bench_options;
+    bool preload_builtins = false;
+    bool run_bench = false;
+    std::string bench_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto intValue = [&](const char *name) -> long long {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "ugcd: %s needs a value\n", name);
+                std::exit(2);
+            }
+            return std::atoll(argv[++i]);
+        };
+        if (arg == "--threads") {
+            options.engine.poolThreads =
+                static_cast<unsigned>(intValue("--threads"));
+        } else if (arg == "--scale") {
+            if (i + 1 >= argc)
+                return usage();
+            const std::string scale = argv[++i];
+            if (scale == "tiny")
+                options.engine.datasetScale = datasets::Scale::Tiny;
+            else if (scale == "small")
+                options.engine.datasetScale = datasets::Scale::Small;
+            else if (scale == "medium")
+                options.engine.datasetScale = datasets::Scale::Medium;
+            else
+                return usage();
+            bench_options.scale = options.engine.datasetScale;
+        } else if (arg == "--builtins") {
+            preload_builtins = true;
+        } else if (arg == "--max-in-flight") {
+            options.session.maxInFlight =
+                static_cast<size_t>(intValue("--max-in-flight"));
+        } else if (arg == "--max-iters") {
+            options.session.limits.maxIterations = intValue("--max-iters");
+        } else if (arg == "--timeout-ms") {
+            options.session.limits.wallTimeoutMs = intValue("--timeout-ms");
+        } else if (arg == "--cycle-budget") {
+            options.session.limits.cycleBudget = intValue("--cycle-budget");
+        } else if (arg == "--bench") {
+            run_bench = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                bench_path = argv[++i];
+        } else if (arg == "--bench-queries") {
+            bench_options.queries =
+                static_cast<size_t>(intValue("--bench-queries"));
+        } else if (arg == "--bench-dataset") {
+            if (i + 1 >= argc)
+                return usage();
+            bench_options.dataset = argv[++i];
+        } else {
+            std::fprintf(stderr, "ugcd: unknown option '%s'\n", arg.c_str());
+            return usage();
+        }
+    }
+    if (options.session.limits.any() &&
+        options.session.limits.oscillationWindow == 0)
+        options.session.limits.oscillationWindow = kDefaultOscillationWindow;
+
+    if (run_bench) {
+        const serve::ThroughputReport report =
+            serve::runThroughputBench(bench_options);
+        const std::string json = report.toJson();
+        if (bench_path.empty()) {
+            std::fputs(json.c_str(), stdout);
+        } else {
+            std::ofstream out(bench_path);
+            if (!out) {
+                std::fprintf(stderr, "ugcd: cannot write %s\n",
+                             bench_path.c_str());
+                return 1;
+            }
+            out << json;
+        }
+        for (const serve::ThroughputSeries &series : report.series)
+            std::fprintf(stderr,
+                         "ugcd: in-flight %2u: %zu queries, %.2f ms, "
+                         "%.1f queries/sec (%zu failures)\n",
+                         series.inFlight, series.queries, series.wallMs,
+                         series.queriesPerSec, series.failures);
+        return 0;
+    }
+
+    serve::Server server(std::move(options), std::cout);
+    if (preload_builtins)
+        server.engine().registerBuiltins();
+    server.serve(std::cin);
+    return 0;
+}
