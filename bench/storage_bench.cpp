@@ -1,0 +1,153 @@
+/**
+ * Storage-backend benchmark (DESIGN.md §12): what it costs to get a
+ * paper-scale R-MAT graph queryable under each storage path.
+ *
+ *   - generate: build the graph from its generator recipe, no cache
+ *   - build:    first touch through the dataset cache (generate +
+ *               .ugb write + mmap open)
+ *   - hit:      warm cache — O(1) header stamp check + mmap
+ *   - text:     parse the same graph back from an .el text file, the
+ *               pre-cache cold-start baseline
+ *
+ * The headline ratio is text_parse_ms / hit_open_ms — the cold-start
+ * speedup a restarting daemon sees. A BFS run on the mmap-backed graph
+ * proves the zero-copy columns are queryable end to end. Writes
+ * bench/BENCH_storage.json (path overridable via argv[1]).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common.h"
+#include "graph/loader.h"
+#include "graph/ugb.h"
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point begin)
+{
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - begin;
+    return wall.count();
+}
+
+} // namespace
+
+int
+main(int argc, char *argv[])
+{
+    using namespace ugc;
+
+    const char *json_path =
+        argc > 1 ? argv[1] : "bench/BENCH_storage.json";
+    const std::string code = "TW"; // largest R-MAT recipe at Large scale
+    const datasets::Scale scale = datasets::Scale::Large;
+
+    // Point the dataset cache at a private scratch directory so the bench
+    // always measures a true cold build followed by a true warm hit.
+    const std::string scratch =
+        (std::filesystem::temp_directory_path() / "ugc-storage-bench")
+            .string();
+    std::filesystem::remove_all(scratch);
+    ::setenv("UGC_GRAPH_CACHE_DIR", scratch.c_str(), 1);
+
+    bench::printHeading("storage backends: " + code + " @ " +
+                        datasets::scaleName(scale));
+
+    // 1. Generator path, no cache: the in-memory baseline.
+    auto begin = std::chrono::steady_clock::now();
+    const Graph generated =
+        datasets::load(code, scale, /*weighted=*/false);
+    const double generate_ms = msSince(begin);
+    std::printf("  generate (no cache):    %10.1f ms  |V|=%d |E|=%lld\n",
+                generate_ms, generated.numVertices(),
+                static_cast<long long>(generated.numEdges()));
+
+    // 2. Cold build through the cache: generate + .ugb write + mmap.
+    ugb::CacheReport build_report;
+    begin = std::chrono::steady_clock::now();
+    const Graph built = datasets::loadCached(
+        code, scale, false, ugb::CachePolicy::Auto, &build_report);
+    const double build_ms = msSince(begin);
+    std::printf("  cache build:            %10.1f ms  backend=%s\n",
+                build_ms, storageBackendName(built.storageBackend()));
+
+    // 3. Warm hit: the restarting daemon's cold-start cost.
+    ugb::CacheReport hit_report;
+    begin = std::chrono::steady_clock::now();
+    const Graph mapped = datasets::loadCached(
+        code, scale, false, ugb::CachePolicy::Auto, &hit_report);
+    const double hit_ms = msSince(begin);
+    std::printf("  cache hit (mmap open):  %10.1f ms  mapped=%llu bytes\n",
+                hit_ms,
+                static_cast<unsigned long long>(mapped.mappedBytes()));
+
+    // 4. Text-file baseline: the same graph parsed back from .el.
+    const std::string el_path = scratch + "/storage_bench.el";
+    {
+        std::ofstream out(el_path, std::ios::binary);
+        writeEdgeList(generated, out);
+    }
+    begin = std::chrono::steady_clock::now();
+    const Graph parsed = loadEdgeListFile(el_path, /*weighted=*/false);
+    const double text_parse_ms = msSince(begin);
+    const double speedup = text_parse_ms / std::max(hit_ms, 1e-3);
+    std::printf("  text parse (.el):       %10.1f ms\n", text_parse_ms);
+    std::printf("  cold-start speedup (text parse / cache hit): %.0fx\n",
+                speedup);
+
+    // 5. BFS on the mmap-backed columns: queryable end to end, and
+    //    bit-identical cycles against the heap-backed copy of the graph.
+    auto vm = Engine::makeBackend("cpu");
+    const Cycles mmap_cycles = bench::tunedCycles(
+        *vm, "bfs", mapped, datasets::GraphKind::Social, 10);
+    const Cycles heap_cycles = bench::tunedCycles(
+        *vm, "bfs", generated, datasets::GraphKind::Social, 10);
+    const bool identical = mmap_cycles == heap_cycles;
+    std::printf("  bfs on mmap columns:    %10llu cycles (%s heap run)\n",
+                static_cast<unsigned long long>(mmap_cycles),
+                identical ? "identical to" : "DIVERGED from");
+
+    const bool mmap_ok =
+        built.storageBackend() == StorageBackend::Mmap &&
+        mapped.storageBackend() == StorageBackend::Mmap &&
+        build_report.built && hit_report.hit;
+
+    FILE *out = std::fopen(json_path, "w");
+    if (!out) {
+        std::fprintf(stderr, "storage_bench: cannot write %s\n",
+                     json_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"storage\",\n");
+    std::fprintf(out, "  \"dataset\": \"%s\",\n  \"scale\": \"%s\",\n",
+                 code.c_str(), datasets::scaleName(scale));
+    std::fprintf(out, "  \"vertices\": %d,\n  \"edges\": %lld,\n",
+                 generated.numVertices(),
+                 static_cast<long long>(generated.numEdges()));
+    std::fprintf(out, "  \"mapped_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(mapped.mappedBytes()));
+    std::fprintf(out, "  \"generate_ms\": %.3f,\n", generate_ms);
+    std::fprintf(out, "  \"cache_build_ms\": %.3f,\n", build_ms);
+    std::fprintf(out, "  \"cache_hit_ms\": %.3f,\n", hit_ms);
+    std::fprintf(out, "  \"text_parse_ms\": %.3f,\n", text_parse_ms);
+    std::fprintf(out, "  \"cold_start_speedup\": %.1f,\n", speedup);
+    std::fprintf(out, "  \"bfs_cycles_mmap\": %llu,\n",
+                 static_cast<unsigned long long>(mmap_cycles));
+    std::fprintf(out, "  \"bfs_heap_mmap_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(out, "  \"mmap_backend_used\": %s\n}\n",
+                 mmap_ok ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+
+    std::filesystem::remove_all(scratch);
+    // Regressions CI should catch: the mmap path silently degrading to
+    // heap, or mmap results diverging from heap results.
+    return identical && mmap_ok && parsed.numEdges() == generated.numEdges()
+               ? 0
+               : 1;
+}

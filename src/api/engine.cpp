@@ -128,6 +128,10 @@ struct Engine::GraphEntry
     std::mutex mutex; ///< guards lazy materialization
     std::shared_ptr<const Graph> unweighted;
     std::shared_ptr<const Graph> weighted;
+    // Accumulated storage outcome across materialized variants.
+    bool cacheHit = false;
+    bool cacheBuilt = false;
+    double loadMs = 0.0;
 };
 
 struct Engine::AlgorithmEntry
@@ -299,10 +303,59 @@ Engine::graph(const std::string &key, bool weighted)
         return nullptr;
     std::lock_guard<std::mutex> lock(entry->mutex);
     auto &slot = weighted ? entry->weighted : entry->unweighted;
-    if (!slot)
+    if (!slot) {
+        ugb::CacheReport report;
         slot = std::make_shared<const Graph>(
-            datasets::load(entry->datasetCode, entry->scale, weighted));
+            datasets::loadCached(entry->datasetCode, entry->scale, weighted,
+                                 _options.graphCachePolicy, &report));
+        entry->cacheHit |= report.hit;
+        entry->cacheBuilt |= report.built;
+        entry->loadMs += report.parseMs + report.buildMs + report.openMs;
+        if (report.hit || report.built) {
+            std::lock_guard<std::mutex> stats_lock(_statsMutex);
+            if (report.hit)
+                ++_stats.graphCacheHits;
+            if (report.built)
+                ++_stats.graphCacheBuilds;
+        }
+    }
     return slot;
+}
+
+std::vector<GraphStorageInfo>
+Engine::graphStorage() const
+{
+    std::vector<std::pair<std::string, std::shared_ptr<GraphEntry>>> entries;
+    {
+        std::lock_guard<std::mutex> lock(_graphMutex);
+        entries.assign(_graphs.begin(), _graphs.end());
+    }
+    std::vector<GraphStorageInfo> out;
+    out.reserve(entries.size());
+    for (const auto &[key, entry] : entries) {
+        GraphStorageInfo info;
+        info.key = key;
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        info.cacheHit = entry->cacheHit;
+        info.cacheBuilt = entry->cacheBuilt;
+        info.loadMs = entry->loadMs;
+        // The two variants share storage when addGraph registered one
+        // instance; count mapped bytes per distinct storage.
+        const Graph *variants[2] = {entry->unweighted.get(),
+                                    entry->weighted.get()};
+        if (variants[0] == variants[1])
+            variants[1] = nullptr;
+        for (const Graph *g : variants) {
+            if (!g)
+                continue;
+            info.loaded = true;
+            info.mappedBytes += g->mappedBytes();
+            if (g->storageBackend() == StorageBackend::Mmap)
+                info.backend = StorageBackend::Mmap;
+        }
+        out.push_back(std::move(info));
+    }
+    return out;
 }
 
 std::vector<std::string>
@@ -482,8 +535,15 @@ Engine::stats() const
         std::lock_guard<std::mutex> lock(_algoMutex);
         out.algorithms = _algorithms.size();
     }
-    std::lock_guard<std::mutex> lock(_cacheMutex);
-    out.cachedPrograms = _programCache.size();
+    {
+        std::lock_guard<std::mutex> lock(_cacheMutex);
+        out.cachedPrograms = _programCache.size();
+    }
+    for (const GraphStorageInfo &info : graphStorage()) {
+        out.mappedBytes += info.mappedBytes;
+        if (info.loaded && info.backend == StorageBackend::Mmap)
+            ++out.mmapGraphs;
+    }
     return out;
 }
 

@@ -69,6 +69,13 @@ struct EngineOptions
 
     /** Scale at which loadDataset() instantiates named datasets. */
     datasets::Scale datasetScale = datasets::Scale::Small;
+
+    /** How loadDataset entries materialize: Off (the default — a library
+     *  Engine takes no filesystem side effects unless asked) generates
+     *  directly onto the heap; Auto goes through the build-once .ugb
+     *  cache (datasets::loadCached), mmapping a cached graph for
+     *  near-instant cold starts; Rebuild refreshes the cache entry. */
+    ugb::CachePolicy graphCachePolicy = ugb::CachePolicy::Off;
 };
 
 /** Outcome classification of one query; mirrors the ugcc exit-code
@@ -166,6 +173,22 @@ struct EngineStats
     size_t graphs = 0;           ///< registered graph keys
     size_t algorithms = 0;       ///< registered algorithm keys
     size_t cachedPrograms = 0;   ///< live program-cache entries
+    uint64_t graphCacheHits = 0;   ///< graphs served from a .ugb cache
+    uint64_t graphCacheBuilds = 0; ///< .ugb cache entries (re)built
+    size_t mmapGraphs = 0;         ///< materialized graphs backed by mmap
+    size_t mappedBytes = 0;        ///< total bytes of graph file mappings
+};
+
+/** Storage detail of one registered graph key (Engine::graphStorage). */
+struct GraphStorageInfo
+{
+    std::string key;
+    bool loaded = false;  ///< at least one variant materialized
+    StorageBackend backend = StorageBackend::Heap;
+    size_t mappedBytes = 0; ///< across materialized variants
+    bool cacheHit = false;  ///< any variant served from the .ugb cache
+    bool cacheBuilt = false; ///< any variant (re)built its cache entry
+    double loadMs = 0.0;    ///< total materialization wall time
 };
 
 class GraphVM;
@@ -215,6 +238,10 @@ class Engine
                                        bool weighted = false);
 
     std::vector<std::string> graphKeys() const;
+
+    /** Storage backend, mapped bytes, and cache outcome per registered
+     *  graph key (serving stats; ugcd's `storage` command). */
+    std::vector<GraphStorageInfo> graphStorage() const;
 
     // --- algorithms -------------------------------------------------------
 

@@ -1,5 +1,8 @@
 #include "graph/datasets.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <stdexcept>
 
@@ -17,6 +20,7 @@ struct Recipe
     int p1_tiny, p2_tiny;
     int p1_small, p2_small;
     int p1_medium, p2_medium;
+    int p1_large, p2_large;
     uint64_t seed;
     std::string description;
 };
@@ -27,25 +31,25 @@ recipes()
     // Relative ordering of sizes follows Table VIII: RN < RC < RU among
     // roads; PK < HW < LJ < OK < IC < TW < SW among social/web by edges.
     static const std::map<std::string, Recipe> table = {
-        {"RN", {GraphKind::Road, 12, 16, 80, 100, 160, 200, 101,
+        {"RN", {GraphKind::Road, 12, 16, 80, 100, 160, 200, 400, 500, 101,
                 "RoadNetCA stand-in"}},
-        {"RC", {GraphKind::Road, 14, 18, 120, 150, 240, 300, 102,
+        {"RC", {GraphKind::Road, 14, 18, 120, 150, 240, 300, 600, 700, 102,
                 "RoadCentral stand-in"}},
-        {"RU", {GraphKind::Road, 16, 20, 140, 180, 280, 360, 103,
+        {"RU", {GraphKind::Road, 16, 20, 140, 180, 280, 360, 700, 900, 103,
                 "RoadUSA stand-in"}},
-        {"PK", {GraphKind::Social, 8, 8, 12, 12, 14, 18, 104,
+        {"PK", {GraphKind::Social, 8, 8, 12, 12, 14, 18, 17, 18, 104,
                 "Pokec stand-in"}},
-        {"HW", {GraphKind::Social, 8, 16, 11, 32, 13, 48, 105,
+        {"HW", {GraphKind::Social, 8, 16, 11, 32, 13, 48, 16, 48, 105,
                 "Hollywood stand-in"}},
-        {"LJ", {GraphKind::Social, 9, 8, 13, 10, 15, 12, 106,
+        {"LJ", {GraphKind::Social, 9, 8, 13, 10, 15, 12, 18, 14, 106,
                 "LiveJournal stand-in"}},
-        {"OK", {GraphKind::Social, 9, 12, 12, 24, 14, 32, 107,
+        {"OK", {GraphKind::Social, 9, 12, 12, 24, 14, 32, 17, 32, 107,
                 "Orkut stand-in"}},
-        {"IC", {GraphKind::Web, 9, 10, 13, 14, 15, 14, 108,
+        {"IC", {GraphKind::Web, 9, 10, 13, 14, 15, 14, 18, 18, 108,
                 "Indochina stand-in"}},
-        {"TW", {GraphKind::Social, 10, 8, 14, 8, 16, 8, 109,
+        {"TW", {GraphKind::Social, 10, 8, 14, 8, 16, 8, 20, 8, 109,
                 "Twitter stand-in"}},
-        {"SW", {GraphKind::Social, 10, 8, 14, 9, 16, 9, 110,
+        {"SW", {GraphKind::Social, 10, 8, 14, 9, 16, 9, 20, 9, 110,
                 "SinaWeibo stand-in"}},
     };
     return table;
@@ -101,6 +105,38 @@ info(const std::string &name)
     throwUnknownDataset(name);
 }
 
+const char *
+scaleName(Scale scale)
+{
+    switch (scale) {
+    case Scale::Tiny:
+        return "tiny";
+    case Scale::Small:
+        return "small";
+    case Scale::Medium:
+        return "medium";
+    case Scale::Large:
+        return "large";
+    }
+    return "medium";
+}
+
+bool
+parseScale(const std::string &name, Scale &scale)
+{
+    if (name == "tiny")
+        scale = Scale::Tiny;
+    else if (name == "small")
+        scale = Scale::Small;
+    else if (name == "medium")
+        scale = Scale::Medium;
+    else if (name == "large")
+        scale = Scale::Large;
+    else
+        return false;
+    return true;
+}
+
 Graph
 load(const std::string &name, Scale scale, bool weighted)
 {
@@ -118,6 +154,10 @@ load(const std::string &name, Scale scale, bool weighted)
         p1 = r.p1_small;
         p2 = r.p2_small;
         break;
+      case Scale::Large:
+        p1 = r.p1_large;
+        p2 = r.p2_large;
+        break;
       case Scale::Medium:
       default:
         p1 = r.p1_medium;
@@ -129,6 +169,162 @@ load(const std::string &name, Scale scale, bool weighted)
     // Web graphs get a slightly more skewed R-MAT than social graphs.
     const double a = r.kind == GraphKind::Web ? 0.62 : 0.57;
     return gen::rmat(p1, p2, a, 0.19, 0.19, weighted, r.seed);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - begin)
+        .count();
+}
+
+/** Bump when a generator or recipe change should invalidate every cached
+ *  dataset despite identical parameters. */
+constexpr int kGeneratorVersion = 1;
+
+/** Recipe identity folded into the cache stamp tag: any change to the
+ *  parameters that shape the graph yields a different tag. */
+uint64_t
+recipeTag(const std::string &name, const Recipe &r, Scale scale,
+          bool weighted, int p1, int p2)
+{
+    std::string identity = name;
+    identity += '|';
+    identity += scaleName(scale);
+    identity += weighted ? "|w|" : "|u|";
+    identity += std::to_string(static_cast<int>(r.kind)) + "|" +
+                std::to_string(p1) + "x" + std::to_string(p2) + "|" +
+                std::to_string(r.seed) + "|genv" +
+                std::to_string(kGeneratorVersion);
+    return ugb::fnv1a(identity);
+}
+
+uint32_t
+kindCode(GraphKind kind)
+{
+    switch (kind) {
+    case GraphKind::Road:
+        return ugb::kKindRoad;
+    case GraphKind::Social:
+        return ugb::kKindSocial;
+    case GraphKind::Web:
+        return ugb::kKindWeb;
+    }
+    return ugb::kKindUnknown;
+}
+
+} // namespace
+
+std::string
+cacheDir()
+{
+    std::string dir;
+    if (const char *env = std::getenv("UGC_GRAPH_CACHE_DIR");
+        env && *env != '\0')
+        dir = env;
+    else
+        dir = (std::filesystem::temp_directory_path() / "ugc-graph-cache")
+                  .string();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec); // best effort
+    return dir;
+}
+
+Graph
+loadCached(const std::string &name, Scale scale, bool weighted,
+           ugb::CachePolicy policy, ugb::CacheReport *report)
+{
+    ugb::CacheReport local;
+    ugb::CacheReport &out = report ? *report : local;
+    out = ugb::CacheReport{};
+
+    auto it = recipes().find(name);
+    if (it == recipes().end())
+        throwUnknownDataset(name);
+    const Recipe &r = it->second;
+
+    if (policy == ugb::CachePolicy::Off) {
+        const Clock::time_point begin = Clock::now();
+        Graph graph = load(name, scale, weighted);
+        out.parseMs = msSince(begin);
+        out.backend = StorageBackend::Heap;
+        return graph;
+    }
+
+    int p1 = r.p1_medium, p2 = r.p2_medium;
+    switch (scale) {
+    case Scale::Tiny:
+        p1 = r.p1_tiny;
+        p2 = r.p2_tiny;
+        break;
+    case Scale::Small:
+        p1 = r.p1_small;
+        p2 = r.p2_small;
+        break;
+    case Scale::Large:
+        p1 = r.p1_large;
+        p2 = r.p2_large;
+        break;
+    case Scale::Medium:
+        break;
+    }
+    ugb::SourceStamp stamp;
+    stamp.tag = recipeTag(name, r, scale, weighted, p1, p2);
+
+    const std::string path =
+        cacheDir() + "/" + name + "-" + scaleName(scale) +
+        (weighted ? "-w" : "") + ".ugb";
+    out.cachePath = path;
+
+    if (policy == ugb::CachePolicy::Auto) {
+        ugb::SourceStamp cached;
+        uint32_t kind = ugb::kKindUnknown;
+        if (ugb::readUgbStamp(path, cached, kind) &&
+            cached.tag == stamp.tag) {
+            try {
+                const Clock::time_point begin = Clock::now();
+                ugb::LoadInfo info;
+                Graph graph = ugb::loadUgbFile(path, ugb::MapMode::Map,
+                                               &info);
+                out.openMs = msSince(begin);
+                out.hit = true;
+                out.backend = info.backend;
+                out.mappedBytes = info.mappedBytes;
+                return graph;
+            } catch (const LoaderError &) {
+                // Corrupt entry (e.g. torn by a crash): fall through and
+                // regenerate it below.
+            }
+        }
+    }
+
+    const Clock::time_point gen_begin = Clock::now();
+    Graph generated = load(name, scale, weighted);
+    out.parseMs = msSince(gen_begin);
+
+    try {
+        const Clock::time_point build_begin = Clock::now();
+        ugb::writeUgbFile(generated, path, kindCode(r.kind), stamp);
+        out.buildMs = msSince(build_begin);
+        out.built = true;
+    } catch (const LoaderError &) {
+        // Unwritable cache dir: serve the generated heap graph.
+        out.cachePath.clear();
+        out.backend = StorageBackend::Heap;
+        return generated;
+    }
+
+    const Clock::time_point open_begin = Clock::now();
+    ugb::LoadInfo info;
+    Graph graph = ugb::loadUgbFile(path, ugb::MapMode::Map, &info);
+    out.openMs = msSince(open_begin);
+    out.backend = info.backend;
+    out.mappedBytes = info.mappedBytes;
+    return graph;
 }
 
 } // namespace ugc::datasets

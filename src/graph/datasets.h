@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/ugb.h"
 
 namespace ugc::datasets {
 
@@ -26,7 +27,14 @@ enum class Scale {
     Tiny,   ///< unit tests (hundreds of vertices)
     Small,  ///< expensive simulators (Swarm, HammerBlade)
     Medium, ///< analytical simulators and the CPU backend
+    Large,  ///< paper-scale CPU runs (storage bench, fig8_cpu column)
 };
+
+/** Stable lower-case name of a Scale ("tiny" ... "large"). */
+const char *scaleName(Scale scale);
+
+/** Parse "tiny" / "small" / "medium" / "large". @return false on others. */
+bool parseScale(const std::string &name, Scale &scale);
 
 struct DatasetInfo
 {
@@ -53,6 +61,24 @@ const DatasetInfo &info(const std::string &name);
  * Deterministic: same (name, scale, weighted) always yields the same graph.
  */
 Graph load(const std::string &name, Scale scale, bool weighted);
+
+/**
+ * Like load(), but through the build-once .ugb cache (DESIGN.md §12): the
+ * first load of a (name, scale, weighted) triple generates the graph and
+ * writes `<cache dir>/<name>-<scale>[-w].ugb`; later loads mmap that file
+ * and skip generation entirely. The cache entry is stamped with a recipe
+ * tag (code, scale, parameters, seed, generator version), so changing a
+ * recipe invalidates it. With CachePolicy::Off this is exactly load().
+ * Cache I/O failures fall back to generation — the cache is an
+ * optimization, never a requirement.
+ */
+Graph loadCached(const std::string &name, Scale scale, bool weighted,
+                 ugb::CachePolicy policy = ugb::CachePolicy::Auto,
+                 ugb::CacheReport *report = nullptr);
+
+/** The directory loadCached keeps .ugb files in: $UGC_GRAPH_CACHE_DIR, or
+ *  `<system temp>/ugc-graph-cache`. Created on first use. */
+std::string cacheDir();
 
 } // namespace ugc::datasets
 

@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 
@@ -29,7 +30,33 @@ canonicalize(std::vector<RawEdge> &edges)
                 edges.end());
 }
 
+std::atomic<uint64_t> g_coo_materializations{0};
+
 } // namespace
+
+const char *
+storageBackendName(StorageBackend backend)
+{
+    switch (backend) {
+    case StorageBackend::Heap:
+        return "heap";
+    case StorageBackend::Mmap:
+        return "mmap";
+    }
+    return "heap";
+}
+
+void
+GraphStorage::adoptHeapColumns()
+{
+    backend = StorageBackend::Heap;
+    outOffsets = heapOutOffsets;
+    outNeighbors = heapOutNeighbors;
+    outWeights = heapOutWeights;
+    inOffsets = heapInOffsets;
+    inNeighbors = heapInNeighbors;
+    inWeights = heapInWeights;
+}
 
 Graph
 Graph::fromEdges(VertexId num_vertices, std::vector<RawEdge> edges,
@@ -55,42 +82,82 @@ Graph::fromEdges(VertexId num_vertices, std::vector<RawEdge> edges,
     }
     canonicalize(edges);
 
-    Graph g;
-    g._numVertices = num_vertices;
-    g._numEdges = static_cast<EdgeId>(edges.size());
-    g._weighted = weighted;
+    auto storage = std::make_shared<GraphStorage>();
+    GraphStorage &s = *storage;
 
     // Out-CSR straight from the sorted list.
-    g._outOffsets.assign(num_vertices + 1, 0);
+    s.heapOutOffsets.assign(num_vertices + 1, 0);
     for (const RawEdge &e : edges)
-        ++g._outOffsets[e.src + 1];
+        ++s.heapOutOffsets[e.src + 1];
     for (VertexId v = 0; v < num_vertices; ++v)
-        g._outOffsets[v + 1] += g._outOffsets[v];
-    g._outNeighbors.resize(edges.size());
+        s.heapOutOffsets[v + 1] += s.heapOutOffsets[v];
+    s.heapOutNeighbors.resize(edges.size());
     if (weighted)
-        g._outWeights.resize(edges.size());
+        s.heapOutWeights.resize(edges.size());
     for (size_t i = 0; i < edges.size(); ++i) {
-        g._outNeighbors[i] = edges[i].dst;
+        s.heapOutNeighbors[i] = edges[i].dst;
         if (weighted)
-            g._outWeights[i] = edges[i].weight;
+            s.heapOutWeights[i] = edges[i].weight;
     }
 
     // In-CSR via counting sort on dst.
-    g._inOffsets.assign(num_vertices + 1, 0);
+    s.heapInOffsets.assign(num_vertices + 1, 0);
     for (const RawEdge &e : edges)
-        ++g._inOffsets[e.dst + 1];
+        ++s.heapInOffsets[e.dst + 1];
     for (VertexId v = 0; v < num_vertices; ++v)
-        g._inOffsets[v + 1] += g._inOffsets[v];
-    g._inNeighbors.resize(edges.size());
+        s.heapInOffsets[v + 1] += s.heapInOffsets[v];
+    s.heapInNeighbors.resize(edges.size());
     if (weighted)
-        g._inWeights.resize(edges.size());
-    std::vector<EdgeId> cursor(g._inOffsets.begin(), g._inOffsets.end() - 1);
+        s.heapInWeights.resize(edges.size());
+    std::vector<EdgeId> cursor(s.heapInOffsets.begin(),
+                               s.heapInOffsets.end() - 1);
     for (const RawEdge &e : edges) {
         const EdgeId slot = cursor[e.dst]++;
-        g._inNeighbors[slot] = e.src;
+        s.heapInNeighbors[slot] = e.src;
         if (weighted)
-            g._inWeights[slot] = e.weight;
+            s.heapInWeights[slot] = e.weight;
     }
+    s.adoptHeapColumns();
+
+    return fromStorage(std::move(storage), num_vertices,
+                       static_cast<EdgeId>(edges.size()), weighted);
+}
+
+Graph
+Graph::fromStorage(std::shared_ptr<const GraphStorage> storage,
+                   VertexId num_vertices, EdgeId num_edges, bool weighted)
+{
+    if (!storage)
+        throw std::invalid_argument("null graph storage");
+    const GraphStorage &s = *storage;
+    const auto n_offsets = static_cast<size_t>(num_vertices) + 1;
+    const auto n_edges = static_cast<size_t>(num_edges);
+    if (s.outOffsets.size() != n_offsets || s.inOffsets.size() != n_offsets)
+        throw std::invalid_argument(
+            "graph storage offset columns do not match the vertex count");
+    if (s.outNeighbors.size() != n_edges || s.inNeighbors.size() != n_edges)
+        throw std::invalid_argument(
+            "graph storage neighbor columns do not match the edge count");
+    if (num_vertices > 0 && (s.outOffsets.back() != num_edges ||
+                             s.inOffsets.back() != num_edges))
+        throw std::invalid_argument(
+            "graph storage offsets do not end at the edge count");
+    if (weighted &&
+        (s.outWeights.size() != n_edges || s.inWeights.size() != n_edges))
+        throw std::invalid_argument(
+            "weighted graph storage lacks full weight columns");
+
+    Graph g;
+    g._numVertices = num_vertices;
+    g._numEdges = num_edges;
+    g._weighted = weighted;
+    g._outOffsets = s.outOffsets;
+    g._outNeighbors = s.outNeighbors;
+    g._outWeights = s.outWeights;
+    g._inOffsets = s.inOffsets;
+    g._inNeighbors = s.inNeighbors;
+    g._inWeights = s.inWeights;
+    g._storage = std::move(storage);
     return g;
 }
 
@@ -110,27 +177,42 @@ Graph::maxOutDegree() const
     return max_deg;
 }
 
-std::vector<RawEdge>
+const std::vector<RawEdge> &
 Graph::toCoo() const
 {
-    std::vector<RawEdge> edges;
-    edges.reserve(static_cast<size_t>(_numEdges));
-    for (VertexId v = 0; v < _numVertices; ++v) {
-        const auto nbrs = outNeighbors(v);
-        for (size_t i = 0; i < nbrs.size(); ++i) {
-            const Weight w = _weighted ? outWeights(v)[i] : 1;
-            edges.push_back({v, nbrs[i], w});
+    static const std::vector<RawEdge> empty;
+    if (!_storage)
+        return empty;
+    // Materialize once per storage; every Graph copy (and every repeat
+    // call from an edge-parallel strategy) shares the same vector.
+    std::call_once(_storage->cooOnce, [this] {
+        g_coo_materializations.fetch_add(1, std::memory_order_relaxed);
+        std::vector<RawEdge> &edges = _storage->coo;
+        edges.reserve(static_cast<size_t>(_numEdges));
+        for (VertexId v = 0; v < _numVertices; ++v) {
+            const auto nbrs = outNeighbors(v);
+            for (size_t i = 0; i < nbrs.size(); ++i) {
+                const Weight w = _weighted ? outWeights(v)[i] : 1;
+                edges.push_back({v, nbrs[i], w});
+            }
         }
-    }
-    return edges;
+    });
+    return _storage->coo;
+}
+
+uint64_t
+Graph::cooMaterializations()
+{
+    return g_coo_materializations.load(std::memory_order_relaxed);
 }
 
 std::string
 Graph::summary() const
 {
-    return strprintf("Graph(|V|=%d, |E|=%lld, %s)", _numVertices,
+    return strprintf("Graph(|V|=%d, |E|=%lld, %s, %s)", _numVertices,
                      static_cast<long long>(_numEdges),
-                     _weighted ? "weighted" : "unweighted");
+                     _weighted ? "weighted" : "unweighted",
+                     storageBackendName(storageBackend()));
 }
 
 } // namespace ugc

@@ -5,14 +5,26 @@
  * This is the EdgeSet type of GraphIR (Table II in the paper): it can be
  * viewed in CSR (the default for traversal) or materialized as a COO edge
  * list (used by edge-parallel load balancing strategies).
+ *
+ * Storage is pluggable (DESIGN.md §12): a Graph's CSR columns are
+ * std::span views over an owning GraphStorage, which either holds heap
+ * vectors (text loaders, generators, Graph::fromEdges) or zero-copy
+ * segments of an mmap'd .ugb file (graph/ugb.h). Every consumer — the
+ * four GraphVMs, load balancers, references, serving clones — reads the
+ * same span API and cannot tell the backends apart; copies of a Graph
+ * share the storage.
  */
 #ifndef UGC_GRAPH_GRAPH_H
 #define UGC_GRAPH_GRAPH_H
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "support/mmap.h"
 #include "support/types.h"
 
 namespace ugc {
@@ -25,13 +37,70 @@ struct RawEdge
     Weight weight = 1;
 };
 
+/** Which backing store owns a graph's CSR columns. */
+enum class StorageBackend {
+    Heap, ///< std::vector columns (loaders, generators)
+    Mmap, ///< zero-copy segments of an mmap'd .ugb file
+};
+
+/** Stable lower-case name of a StorageBackend ("heap", "mmap"). */
+const char *storageBackendName(StorageBackend backend);
+
+namespace detail {
+/** Offset array of the empty graph, so a default-constructed Graph keeps
+ *  the CSR invariant (numVertices+1 offsets) without any storage. */
+inline constexpr EdgeId kEmptyCsrOffsets[1] = {0};
+} // namespace detail
+
+/**
+ * The owning backing store behind a Graph: six CSR column views plus
+ * whatever keeps them alive (heap vectors, or the file mapping). Shared
+ * (immutably) between all copies of a Graph, so serving clones and
+ * weighted/unweighted dataset variants never duplicate columns.
+ */
+struct GraphStorage
+{
+    StorageBackend backend = StorageBackend::Heap;
+
+    // Column views; always valid regardless of backend. Offsets have
+    // numVertices+1 entries, neighbor/weight arrays numEdges entries
+    // (weight views are empty for unweighted graphs).
+    std::span<const EdgeId> outOffsets;
+    std::span<const VertexId> outNeighbors;
+    std::span<const Weight> outWeights;
+    std::span<const EdgeId> inOffsets;
+    std::span<const VertexId> inNeighbors;
+    std::span<const Weight> inWeights;
+
+    // --- owners ----------------------------------------------------------
+    // Heap backend: the vectors the views point into.
+    std::vector<EdgeId> heapOutOffsets;
+    std::vector<VertexId> heapOutNeighbors;
+    std::vector<Weight> heapOutWeights;
+    std::vector<EdgeId> heapInOffsets;
+    std::vector<VertexId> heapInNeighbors;
+    std::vector<Weight> heapInWeights;
+
+    // Mmap backend: the mapping the views point into.
+    support::MappedFile mapping;
+
+    /** Point the column views at the heap vectors. */
+    void adoptHeapColumns();
+
+    // Lazily materialized COO view (Graph::toCoo); built at most once
+    // per storage no matter how many Graph copies share it.
+    mutable std::once_flag cooOnce;
+    mutable std::vector<RawEdge> coo;
+};
+
 /**
  * Immutable graph in Compressed Sparse Row form, both out- and in-edges.
  *
  * Neighbor lists are sorted by destination id. Weighted graphs carry a
  * parallel weight array per direction. Construction goes through
- * Graph::fromEdges which deduplicates, optionally symmetrizes, and drops
- * self-loops.
+ * Graph::fromEdges (heap storage) or Graph::fromStorage (any backend;
+ * the .ugb mmap loader uses it). Copies are cheap: they share the
+ * underlying GraphStorage.
  */
 class Graph
 {
@@ -51,9 +120,34 @@ class Graph
                            bool weighted = false,
                            bool symmetrize = false);
 
+    /**
+     * Wrap an already-built storage (any backend). The storage's column
+     * views must be consistent: offsets of size @p num_vertices + 1
+     * ending in @p num_edges, neighbor arrays of size @p num_edges, and
+     * weight views either empty or of size @p num_edges.
+     * @throws std::invalid_argument on inconsistent columns.
+     */
+    static Graph fromStorage(std::shared_ptr<const GraphStorage> storage,
+                             VertexId num_vertices, EdgeId num_edges,
+                             bool weighted);
+
     VertexId numVertices() const { return _numVertices; }
     EdgeId numEdges() const { return _numEdges; }
     bool isWeighted() const { return _weighted; }
+
+    /** Which backend owns the CSR columns (Heap for empty graphs). */
+    StorageBackend
+    storageBackend() const
+    {
+        return _storage ? _storage->backend : StorageBackend::Heap;
+    }
+
+    /** Bytes of the file mapping backing this graph (0 for heap). */
+    size_t
+    mappedBytes() const
+    {
+        return _storage ? _storage->mapping.size() : 0;
+    }
 
     /** Out-degree of @p v. */
     EdgeId
@@ -73,45 +167,47 @@ class Graph
     std::span<const VertexId>
     outNeighbors(VertexId v) const
     {
-        return {_outNeighbors.data() + _outOffsets[v],
-                static_cast<size_t>(outDegree(v))};
+        return _outNeighbors.subspan(static_cast<size_t>(_outOffsets[v]),
+                                     static_cast<size_t>(outDegree(v)));
     }
 
     /** In-neighbors of @p v, sorted ascending. */
     std::span<const VertexId>
     inNeighbors(VertexId v) const
     {
-        return {_inNeighbors.data() + _inOffsets[v],
-                static_cast<size_t>(inDegree(v))};
+        return _inNeighbors.subspan(static_cast<size_t>(_inOffsets[v]),
+                                    static_cast<size_t>(inDegree(v)));
     }
 
     /** Weights parallel to outNeighbors(v). @pre isWeighted(). */
     std::span<const Weight>
     outWeights(VertexId v) const
     {
-        return {_outWeights.data() + _outOffsets[v],
-                static_cast<size_t>(outDegree(v))};
+        return _outWeights.subspan(static_cast<size_t>(_outOffsets[v]),
+                                   static_cast<size_t>(outDegree(v)));
     }
 
     /** Weights parallel to inNeighbors(v). @pre isWeighted(). */
     std::span<const Weight>
     inWeights(VertexId v) const
     {
-        return {_inWeights.data() + _inOffsets[v],
-                static_cast<size_t>(inDegree(v))};
+        return _inWeights.subspan(static_cast<size_t>(_inOffsets[v]),
+                                  static_cast<size_t>(inDegree(v)));
     }
 
     /** CSR offset arrays (used by load-balancing strategies). */
-    const std::vector<EdgeId> &outOffsets() const { return _outOffsets; }
-    const std::vector<EdgeId> &inOffsets() const { return _inOffsets; }
-    const std::vector<VertexId> &outNeighborArray() const
+    std::span<const EdgeId> outOffsets() const { return _outOffsets; }
+    std::span<const EdgeId> inOffsets() const { return _inOffsets; }
+    std::span<const VertexId> outNeighborArray() const
     {
         return _outNeighbors;
     }
-    const std::vector<VertexId> &inNeighborArray() const
+    std::span<const VertexId> inNeighborArray() const
     {
         return _inNeighbors;
     }
+    std::span<const Weight> outWeightArray() const { return _outWeights; }
+    std::span<const Weight> inWeightArray() const { return _inWeights; }
 
     /** True if edge (src, dst) exists. O(log deg). */
     bool hasEdge(VertexId src, VertexId dst) const;
@@ -119,8 +215,16 @@ class Graph
     /** Maximum out-degree over all vertices. */
     EdgeId maxOutDegree() const;
 
-    /** Materialize the COO (src-sorted) view of the out-edges. */
-    std::vector<RawEdge> toCoo() const;
+    /**
+     * The COO (src-sorted) view of the out-edges. Materialized at most
+     * once per underlying storage; repeated calls (edge-parallel
+     * strategies, serializers) return the same cached vector.
+     */
+    const std::vector<RawEdge> &toCoo() const;
+
+    /** Process-wide count of COO materializations (tests assert that
+     *  repeated toCoo() calls do not re-allocate). */
+    static uint64_t cooMaterializations();
 
     /** Human-readable one-line summary. */
     std::string summary() const;
@@ -130,13 +234,17 @@ class Graph
     EdgeId _numEdges = 0;
     bool _weighted = false;
 
-    std::vector<EdgeId> _outOffsets{0};
-    std::vector<VertexId> _outNeighbors;
-    std::vector<Weight> _outWeights;
+    // Views into *_storage, cached by value to keep traversal hot paths
+    // free of the extra indirection. An empty Graph points at a static
+    // one-element {0} offset array so degree queries stay well-defined.
+    std::span<const EdgeId> _outOffsets{detail::kEmptyCsrOffsets};
+    std::span<const VertexId> _outNeighbors;
+    std::span<const Weight> _outWeights;
+    std::span<const EdgeId> _inOffsets{detail::kEmptyCsrOffsets};
+    std::span<const VertexId> _inNeighbors;
+    std::span<const Weight> _inWeights;
 
-    std::vector<EdgeId> _inOffsets{0};
-    std::vector<VertexId> _inNeighbors;
-    std::vector<Weight> _inWeights;
+    std::shared_ptr<const GraphStorage> _storage;
 };
 
 } // namespace ugc

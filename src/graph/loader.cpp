@@ -258,19 +258,59 @@ writePod(std::ostream &out, const T &value)
     out.write(reinterpret_cast<const char *>(&value), sizeof(T));
 }
 
-template <typename T>
-T
-readPod(std::istream &in, const std::string &filename, const char *what)
+/** Byte-swapped kBinaryMagic: a snapshot from an opposite-endianness
+ *  machine, worth a dedicated diagnostic. */
+constexpr uint64_t kBinaryMagicSwapped = 0x31434755'00000000ull;
+
+/** POD reader that tracks the byte offset, so every truncation error can
+ *  say exactly where the stream ended. */
+class BinaryReader
 {
-    T value{};
-    in.read(reinterpret_cast<char *>(&value), sizeof(T));
-    if (!in)
-        throw LoaderError(filename, 0,
-                          std::string("binary graph: truncated file while "
-                                      "reading ") +
-                              what);
-    return value;
-}
+  public:
+    BinaryReader(std::istream &in, const std::string &filename)
+        : _in(in), _filename(filename)
+    {
+    }
+
+    template <typename T>
+    T
+    read(const char *what)
+    {
+        T value{};
+        _in.read(reinterpret_cast<char *>(&value), sizeof(T));
+        if (!_in)
+            throw LoaderError(
+                _filename, 0,
+                std::string("binary graph: truncated file while reading ") +
+                    what + " at byte offset " + std::to_string(_offset) +
+                    " (needed " + std::to_string(sizeof(T)) + " bytes)");
+        _offset += static_cast<int64_t>(sizeof(T));
+        return value;
+    }
+
+    int64_t offset() const { return _offset; }
+
+    /** Bytes from the current position to end-of-stream, or -1 when the
+     *  stream is not seekable (pipes). */
+    int64_t
+    remaining()
+    {
+        const std::istream::pos_type here = _in.tellg();
+        if (here == std::istream::pos_type(-1))
+            return -1;
+        _in.seekg(0, std::ios::end);
+        const std::istream::pos_type end = _in.tellg();
+        _in.seekg(here);
+        if (end == std::istream::pos_type(-1) || !_in)
+            return -1;
+        return static_cast<int64_t>(end - here);
+    }
+
+  private:
+    std::istream &_in;
+    const std::string &_filename;
+    int64_t _offset = 0;
+};
 
 } // namespace
 
@@ -292,11 +332,21 @@ writeBinary(const Graph &graph, std::ostream &out)
 Graph
 loadBinary(std::istream &in, const std::string &filename)
 {
-    if (readPod<uint64_t>(in, filename, "magic") != kBinaryMagic)
-        throw LoaderError(filename, 0, "binary graph: bad magic");
-    const auto num_vertices = readPod<int64_t>(in, filename, "vertex count");
-    const auto num_edges = readPod<int64_t>(in, filename, "edge count");
-    const bool weighted = readPod<uint8_t>(in, filename, "weighted flag") != 0;
+    BinaryReader reader(in, filename);
+    const auto magic = reader.read<uint64_t>("magic");
+    if (magic != kBinaryMagic) {
+        if (magic == kBinaryMagicSwapped)
+            throw LoaderError(filename, 0,
+                              "binary graph: byte-swapped magic at offset 0 "
+                              "— snapshot was written on an "
+                              "opposite-endianness machine");
+        throw LoaderError(filename, 0,
+                          "binary graph: bad magic at offset 0 (not a UGC "
+                          "binary snapshot)");
+    }
+    const auto num_vertices = reader.read<int64_t>("vertex count");
+    const auto num_edges = reader.read<int64_t>("edge count");
+    const bool weighted = reader.read<uint8_t>("weighted flag") != 0;
     if (num_vertices < 0 || num_edges < 0)
         throw LoaderError(filename, 0,
                           "binary graph: negative counts (vertices=" +
@@ -308,13 +358,29 @@ loadBinary(std::istream &in, const std::string &filename)
                               std::to_string(num_vertices) +
                               " overflows 32-bit vertex ids");
 
+    // Validate the payload size up front when the stream is seekable, so
+    // a truncated file fails immediately with the full picture instead of
+    // midway through reading edge records (historically the weight of the
+    // last record).
+    const auto record_bytes = static_cast<int64_t>(
+        2 * sizeof(VertexId) + (weighted ? sizeof(Weight) : 0));
+    const int64_t remaining = reader.remaining();
+    if (remaining >= 0 && remaining < num_edges * record_bytes)
+        throw LoaderError(
+            filename, 0,
+            "binary graph: truncated edge payload — header promises " +
+                std::to_string(num_edges) + " records (" +
+                std::to_string(num_edges * record_bytes) +
+                " bytes past offset " + std::to_string(reader.offset()) +
+                "), file has " + std::to_string(remaining));
+
     std::vector<RawEdge> edges;
     edges.reserve(static_cast<size_t>(num_edges));
     for (int64_t i = 0; i < num_edges; ++i) {
         RawEdge e;
-        e.src = readPod<VertexId>(in, filename, "edge source");
-        e.dst = readPod<VertexId>(in, filename, "edge destination");
-        e.weight = weighted ? readPod<Weight>(in, filename, "edge weight") : 1;
+        e.src = reader.read<VertexId>("edge source");
+        e.dst = reader.read<VertexId>("edge destination");
+        e.weight = weighted ? reader.read<Weight>("edge weight") : 1;
         if (e.src < 0 || e.src >= num_vertices || e.dst < 0 ||
             e.dst >= num_vertices)
             throw LoaderError(filename, 0,

@@ -1,0 +1,568 @@
+#include "graph/ugb.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/faults.h"
+
+namespace ugc::ugb {
+
+namespace {
+
+constexpr char kMagic[8] = {'U', 'G', 'C', 'B', 'C', 'S', 'R', '1'};
+constexpr uint32_t kEndianTag = 0x01020304u;
+constexpr uint32_t kFlagWeighted = 1u << 0;
+constexpr size_t kColumnAlign = 64;
+
+/** One column segment: [offset, offset + bytes) within the file. */
+struct UgbColumn
+{
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+};
+
+/** On-disk header; all integers little-endian, no implicit padding. */
+struct UgbHeader
+{
+    char magic[8];
+    uint32_t endianTag;
+    uint32_t version;
+    uint32_t flags;
+    uint32_t kind;
+    int64_t numVertices;
+    int64_t numEdges;
+    uint64_t sourceSize;
+    int64_t sourceMtimeNs;
+    uint64_t sourceTag;
+    uint64_t checksum;
+    uint64_t fileBytes;
+    // File order: out_offsets, out_neighbors, out_weights, in_offsets,
+    // in_neighbors, in_weights.
+    UgbColumn columns[6];
+};
+static_assert(sizeof(UgbHeader) == 176,
+              "UgbHeader layout must be padding-free and stable");
+
+constexpr size_t kDataStart =
+    (sizeof(UgbHeader) + kColumnAlign - 1) / kColumnAlign * kColumnAlign;
+
+size_t
+alignUp(size_t offset)
+{
+    return (offset + kColumnAlign - 1) / kColumnAlign * kColumnAlign;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - begin)
+        .count();
+}
+
+/** stat() the source file for the cache stamp. */
+SourceStamp
+statStamp(const std::string &path)
+{
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0)
+        throw LoaderError(path, 0, "cannot stat graph file");
+    SourceStamp stamp;
+    stamp.size = static_cast<uint64_t>(st.st_size);
+    stamp.mtimeNs = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                    st.st_mtim.tv_nsec;
+    std::string base = path;
+    if (const size_t slash = base.find_last_of('/');
+        slash != std::string::npos)
+        base = base.substr(slash + 1);
+    stamp.tag = fnv1a(base);
+    return stamp;
+}
+
+/** Validate everything about @p header that does not require scanning
+ *  the columns; @p file_bytes is the real on-disk size. */
+void
+validateHeader(const UgbHeader &header, uint64_t file_bytes,
+               const std::string &path)
+{
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
+        throw LoaderError(path, 0,
+                          ".ugb: bad magic at byte 0 (not a UGC binary "
+                          "columnar graph)");
+    if (header.endianTag != kEndianTag) {
+        if (header.endianTag == 0x04030201u)
+            throw LoaderError(path, 0,
+                              ".ugb: byte-swapped endian tag at byte 8 — "
+                              "file was written on an opposite-endianness "
+                              "machine; rebuild the cache on this host");
+        throw LoaderError(path, 0, ".ugb: corrupt endian tag at byte 8");
+    }
+    if (header.version != kVersion)
+        throw LoaderError(path, 0,
+                          ".ugb: unsupported format version " +
+                              std::to_string(header.version) +
+                              " (this build reads version " +
+                              std::to_string(kVersion) + ")");
+    if (header.numVertices < 0 ||
+        header.numVertices > std::numeric_limits<VertexId>::max())
+        throw LoaderError(path, 0,
+                          ".ugb: vertex count " +
+                              std::to_string(header.numVertices) +
+                              " out of the 32-bit id range");
+    if (header.numEdges < 0)
+        throw LoaderError(path, 0, ".ugb: negative edge count");
+    if (header.fileBytes != file_bytes)
+        throw LoaderError(path, 0,
+                          ".ugb: truncated or grown file (header promises " +
+                              std::to_string(header.fileBytes) +
+                              " bytes, file has " +
+                              std::to_string(file_bytes) + ")");
+
+    const bool weighted = (header.flags & kFlagWeighted) != 0;
+    const uint64_t offset_bytes =
+        (static_cast<uint64_t>(header.numVertices) + 1) * sizeof(EdgeId);
+    const uint64_t neighbor_bytes =
+        static_cast<uint64_t>(header.numEdges) * sizeof(VertexId);
+    const uint64_t weight_bytes =
+        weighted ? static_cast<uint64_t>(header.numEdges) * sizeof(Weight)
+                 : 0;
+    const uint64_t expected[6] = {offset_bytes, neighbor_bytes, weight_bytes,
+                                  offset_bytes, neighbor_bytes, weight_bytes};
+    static const char *const names[6] = {"out_offsets", "out_neighbors",
+                                         "out_weights", "in_offsets",
+                                         "in_neighbors", "in_weights"};
+    for (int i = 0; i < 6; ++i) {
+        const UgbColumn &column = header.columns[i];
+        if (column.bytes != expected[i])
+            throw LoaderError(path, 0,
+                              std::string(".ugb: column ") + names[i] +
+                                  " has " + std::to_string(column.bytes) +
+                                  " bytes, expected " +
+                                  std::to_string(expected[i]));
+        if (column.bytes == 0)
+            continue;
+        if (column.offset % kColumnAlign != 0)
+            throw LoaderError(path, 0,
+                              std::string(".ugb: column ") + names[i] +
+                                  " at byte " +
+                                  std::to_string(column.offset) +
+                                  " is not " +
+                                  std::to_string(kColumnAlign) +
+                                  "-byte aligned");
+        if (column.offset < kDataStart || column.offset > file_bytes ||
+            column.bytes > file_bytes - column.offset)
+            throw LoaderError(path, 0,
+                              std::string(".ugb: column ") + names[i] +
+                                  " [" + std::to_string(column.offset) +
+                                  ", " +
+                                  std::to_string(column.offset +
+                                                 column.bytes) +
+                                  ") leaves the " +
+                                  std::to_string(file_bytes) +
+                                  "-byte file");
+    }
+}
+
+/** Read + validate the header of an already-open mapping. */
+UgbHeader
+readHeader(const support::MappedFile &map)
+{
+    if (map.size() < sizeof(UgbHeader))
+        throw LoaderError(map.path(), 0,
+                          ".ugb: truncated header (file has " +
+                              std::to_string(map.size()) +
+                              " bytes; the header alone needs " +
+                              std::to_string(sizeof(UgbHeader)) + ")");
+    UgbHeader header;
+    std::memcpy(&header, map.data(), sizeof(header));
+    validateHeader(header, map.size(), map.path());
+    return header;
+}
+
+uint64_t
+columnChecksum(const support::MappedFile &map, const UgbHeader &header)
+{
+    uint64_t sum = 0xcbf29ce484222325ull;
+    for (const UgbColumn &column : header.columns)
+        if (column.bytes)
+            sum = fnv1a(map.data() + column.offset, column.bytes, sum);
+    return sum;
+}
+
+} // namespace
+
+uint64_t
+fnv1a(const void *data, size_t size, uint64_t basis)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint64_t hash = basis;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+uint64_t
+fnv1a(const std::string &text)
+{
+    return fnv1a(text.data(), text.size());
+}
+
+void
+writeUgbFile(const Graph &graph, const std::string &path, uint32_t kind,
+             SourceStamp stamp)
+{
+    UgbHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.endianTag = kEndianTag;
+    header.version = kVersion;
+    header.flags = graph.isWeighted() ? kFlagWeighted : 0;
+    header.kind = kind;
+    header.numVertices = graph.numVertices();
+    header.numEdges = graph.numEdges();
+    header.sourceSize = stamp.size;
+    header.sourceMtimeNs = stamp.mtimeNs;
+    header.sourceTag = stamp.tag;
+
+    struct ColumnData
+    {
+        const void *data;
+        uint64_t bytes;
+    };
+    const ColumnData columns[6] = {
+        {graph.outOffsets().data(),
+         graph.outOffsets().size_bytes()},
+        {graph.outNeighborArray().data(),
+         graph.outNeighborArray().size_bytes()},
+        {graph.outWeightArray().data(),
+         graph.outWeightArray().size_bytes()},
+        {graph.inOffsets().data(), graph.inOffsets().size_bytes()},
+        {graph.inNeighborArray().data(),
+         graph.inNeighborArray().size_bytes()},
+        {graph.inWeightArray().data(),
+         graph.inWeightArray().size_bytes()},
+    };
+
+    uint64_t offset = kDataStart;
+    uint64_t checksum = 0xcbf29ce484222325ull;
+    for (int i = 0; i < 6; ++i) {
+        header.columns[i].bytes = columns[i].bytes;
+        header.columns[i].offset = columns[i].bytes ? offset : 0;
+        if (columns[i].bytes) {
+            checksum = fnv1a(columns[i].data, columns[i].bytes, checksum);
+            offset = alignUp(offset + columns[i].bytes);
+        }
+    }
+    header.checksum = checksum;
+    // The last column needs no tail padding; the file ends with its bytes.
+    uint64_t file_bytes = kDataStart;
+    for (int i = 0; i < 6; ++i)
+        if (header.columns[i].bytes)
+            file_bytes = header.columns[i].offset + header.columns[i].bytes;
+    header.fileBytes = file_bytes;
+
+    // Same-directory temporary + rename: readers never see partial files.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw LoaderError(path, 0, "cannot create .ugb temporary " + tmp);
+    out.write(reinterpret_cast<const char *>(&header), sizeof(header));
+    uint64_t written = sizeof(header);
+    const char zeros[kColumnAlign] = {};
+    for (int i = 0; i < 6; ++i) {
+        if (!header.columns[i].bytes)
+            continue;
+        while (written < header.columns[i].offset) {
+            const uint64_t pad = std::min<uint64_t>(
+                sizeof(zeros), header.columns[i].offset - written);
+            out.write(zeros, static_cast<std::streamsize>(pad));
+            written += pad;
+        }
+        out.write(static_cast<const char *>(columns[i].data),
+                  static_cast<std::streamsize>(columns[i].bytes));
+        written += columns[i].bytes;
+    }
+    out.close();
+    if (!out) {
+        ::unlink(tmp.c_str());
+        throw LoaderError(path, 0, "failed writing .ugb temporary " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        throw LoaderError(path, 0,
+                          "cannot rename .ugb temporary into place");
+    }
+}
+
+Graph
+loadUgbFile(const std::string &path, MapMode mode, LoadInfo *info)
+{
+    if (faults::anyArmed() && faults::shouldFail("loader.io_error"))
+        throw LoaderError(path, 0, "injected I/O error (loader.io_error)");
+
+    support::MappedFile map;
+    try {
+        map = support::MappedFile(path);
+    } catch (const std::runtime_error &error) {
+        throw LoaderError(path, 0, error.what());
+    }
+    const UgbHeader header = readHeader(map);
+    const bool weighted = (header.flags & kFlagWeighted) != 0;
+    const auto num_vertices = static_cast<VertexId>(header.numVertices);
+    const auto num_edges = static_cast<EdgeId>(header.numEdges);
+    const auto n_offsets = static_cast<size_t>(num_vertices) + 1;
+    const auto n_edges = static_cast<size_t>(num_edges);
+
+    if (info) {
+        info->kind = header.kind;
+        info->stamp = {header.sourceSize, header.sourceMtimeNs,
+                       header.sourceTag};
+    }
+
+    auto storage = std::make_shared<GraphStorage>();
+    if (mode == MapMode::Map) {
+        storage->mapping = std::move(map);
+        const support::MappedFile &m = storage->mapping;
+        // Prefault: a serving cold-start should pay its page faults here,
+        // not inside the first query's traversal.
+        m.advise(support::MapAdvice::WillNeed);
+        storage->backend = StorageBackend::Mmap;
+        storage->outOffsets =
+            m.view<EdgeId>(header.columns[0].offset, n_offsets);
+        storage->outNeighbors =
+            m.view<VertexId>(header.columns[1].offset, n_edges);
+        if (weighted)
+            storage->outWeights =
+                m.view<Weight>(header.columns[2].offset, n_edges);
+        storage->inOffsets =
+            m.view<EdgeId>(header.columns[3].offset, n_offsets);
+        storage->inNeighbors =
+            m.view<VertexId>(header.columns[4].offset, n_edges);
+        if (weighted)
+            storage->inWeights =
+                m.view<Weight>(header.columns[5].offset, n_edges);
+        if (info) {
+            info->backend = StorageBackend::Mmap;
+            info->mappedBytes = m.size();
+        }
+    } else {
+        map.advise(support::MapAdvice::Sequential);
+        auto copyColumn = [&](auto &heap_vector, int column, size_t count) {
+            using T = typename std::remove_reference_t<
+                decltype(heap_vector)>::value_type;
+            const auto view =
+                map.view<T>(header.columns[column].offset, count);
+            heap_vector.assign(view.begin(), view.end());
+        };
+        copyColumn(storage->heapOutOffsets, 0, n_offsets);
+        copyColumn(storage->heapOutNeighbors, 1, n_edges);
+        if (weighted)
+            copyColumn(storage->heapOutWeights, 2, n_edges);
+        copyColumn(storage->heapInOffsets, 3, n_offsets);
+        copyColumn(storage->heapInNeighbors, 4, n_edges);
+        if (weighted)
+            copyColumn(storage->heapInWeights, 5, n_edges);
+        storage->adoptHeapColumns();
+        if (info) {
+            info->backend = StorageBackend::Heap;
+            info->mappedBytes = 0;
+        }
+    }
+
+    try {
+        return Graph::fromStorage(std::move(storage), num_vertices,
+                                  num_edges, weighted);
+    } catch (const std::invalid_argument &error) {
+        // Columns individually valid but mutually inconsistent (e.g. an
+        // offset array not ending at |E|): report as a loader diagnostic.
+        throw LoaderError(path, 0,
+                          std::string(".ugb: inconsistent columns: ") +
+                              error.what());
+    }
+}
+
+bool
+readUgbStamp(const std::string &path, SourceStamp &stamp, uint32_t &kind)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    UgbHeader header{};
+    in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!in)
+        return false;
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0)
+        return false;
+    try {
+        validateHeader(header, static_cast<uint64_t>(st.st_size), path);
+    } catch (const LoaderError &) {
+        return false;
+    }
+    stamp = {header.sourceSize, header.sourceMtimeNs, header.sourceTag};
+    kind = header.kind;
+    return true;
+}
+
+void
+verifyUgbFile(const std::string &path)
+{
+    support::MappedFile map;
+    try {
+        map = support::MappedFile(path);
+    } catch (const std::runtime_error &error) {
+        throw LoaderError(path, 0, error.what());
+    }
+    map.advise(support::MapAdvice::Sequential);
+    const UgbHeader header = readHeader(map);
+    const uint64_t actual = columnChecksum(map, header);
+    if (actual != header.checksum)
+        throw LoaderError(
+            path, 0,
+            ".ugb: column checksum mismatch (stored " +
+                std::to_string(header.checksum) + ", computed " +
+                std::to_string(actual) +
+                ") — the cache file is corrupt; delete it or reload "
+                "with --graph-cache=rebuild");
+}
+
+bool
+parseCachePolicy(const std::string &name, CachePolicy &policy)
+{
+    if (name == "auto")
+        policy = CachePolicy::Auto;
+    else if (name == "off")
+        policy = CachePolicy::Off;
+    else if (name == "rebuild")
+        policy = CachePolicy::Rebuild;
+    else
+        return false;
+    return true;
+}
+
+const char *
+cachePolicyName(CachePolicy policy)
+{
+    switch (policy) {
+    case CachePolicy::Auto:
+        return "auto";
+    case CachePolicy::Off:
+        return "off";
+    case CachePolicy::Rebuild:
+        return "rebuild";
+    }
+    return "auto";
+}
+
+std::string
+sidecarPath(const std::string &path)
+{
+    return path + ".ugb";
+}
+
+Graph
+loadFileCached(const std::string &path, CachePolicy policy,
+               CacheReport *report)
+{
+    CacheReport local;
+    CacheReport &out = report ? *report : local;
+    out = CacheReport{};
+
+    std::string ext;
+    if (const size_t dot = path.find_last_of('.');
+        dot != std::string::npos && path.find('/', dot) == std::string::npos)
+        ext = path.substr(dot + 1);
+
+    if (ext == "ugb") {
+        const Clock::time_point begin = Clock::now();
+        LoadInfo info;
+        Graph graph = loadUgbFile(path, MapMode::Map, &info);
+        out.openMs = msSince(begin);
+        out.hit = true;
+        out.backend = info.backend;
+        out.mappedBytes = info.mappedBytes;
+        out.cachePath = path;
+        return graph;
+    }
+
+    Graph (*parse)(const std::string &) = nullptr;
+    if (ext == "el" || ext == "wel" || ext == "txt")
+        parse = [](const std::string &p) { return loadEdgeListFile(p); };
+    else if (ext == "gr" || ext == "dimacs")
+        parse = [](const std::string &p) { return loadDimacsFile(p); };
+    else if (ext == "mtx")
+        parse = [](const std::string &p) { return loadMatrixMarketFile(p); };
+    else if (ext == "bin")
+        parse = [](const std::string &p) { return loadBinaryFile(p); };
+    else
+        throw LoaderError(path, 0,
+                          "unknown graph file extension '" + ext +
+                              "'; known extensions: el wel txt gr dimacs "
+                              "mtx bin ugb");
+
+    if (policy == CachePolicy::Off) {
+        const Clock::time_point begin = Clock::now();
+        Graph graph = parse(path);
+        out.parseMs = msSince(begin);
+        out.backend = StorageBackend::Heap;
+        return graph;
+    }
+
+    const SourceStamp stamp = statStamp(path);
+    const std::string sidecar = sidecarPath(path);
+    out.cachePath = sidecar;
+
+    if (policy == CachePolicy::Auto) {
+        SourceStamp cached;
+        uint32_t kind = kKindUnknown;
+        if (readUgbStamp(sidecar, cached, kind) &&
+            cached.size == stamp.size && cached.mtimeNs == stamp.mtimeNs &&
+            cached.tag == stamp.tag) {
+            const Clock::time_point begin = Clock::now();
+            LoadInfo info;
+            Graph graph = loadUgbFile(sidecar, MapMode::Map, &info);
+            out.openMs = msSince(begin);
+            out.hit = true;
+            out.backend = info.backend;
+            out.mappedBytes = info.mappedBytes;
+            return graph;
+        }
+    }
+
+    const Clock::time_point parse_begin = Clock::now();
+    Graph parsed = parse(path);
+    out.parseMs = msSince(parse_begin);
+
+    try {
+        const Clock::time_point build_begin = Clock::now();
+        writeUgbFile(parsed, sidecar, kKindUnknown, stamp);
+        out.buildMs = msSince(build_begin);
+        out.built = true;
+    } catch (const LoaderError &) {
+        // Unwritable directory: serve the parsed graph; next load
+        // re-parses. The cache is an optimization, never a requirement.
+        out.cachePath.clear();
+        out.backend = StorageBackend::Heap;
+        return parsed;
+    }
+
+    const Clock::time_point open_begin = Clock::now();
+    LoadInfo info;
+    Graph graph = loadUgbFile(sidecar, MapMode::Map, &info);
+    out.openMs = msSince(open_begin);
+    out.backend = info.backend;
+    out.mappedBytes = info.mappedBytes;
+    return graph;
+}
+
+} // namespace ugc::ugb

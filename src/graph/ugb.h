@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The .ugb binary columnar graph format and its build-once cache
+ * (DESIGN.md §12).
+ *
+ * A .ugb file is the preprocessed form of a graph: a fixed little-endian
+ * header followed by 64-byte-aligned column segments holding the exact
+ * CSR arrays a Graph serves (out/in offsets, neighbor arrays, optional
+ * weights). Loading one is O(1) work — the file is mmap'd and the Graph's
+ * column spans point straight into the mapping (StorageBackend::Mmap), so
+ * a daemon cold-start on a cached graph costs a handful of page faults
+ * instead of a full text parse + CSR build.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   byte 0    +--------------------------------------------------+
+ *             | Header: magic "UGCBCSR1", endian tag, version,   |
+ *             |   flags (weighted), graph kind, |V|, |E|,        |
+ *             |   source stamp (size, mtime, tag), column table, |
+ *             |   FNV-1a checksum over all column bytes          |
+ *   byte 192  +--------------------------------------------------+
+ *             | out_offsets  EdgeId[|V|+1]   (64-byte aligned)   |
+ *             | out_neighbors VertexId[|E|]  (64-byte aligned)   |
+ *             | out_weights  Weight[|E|]     (weighted only)     |
+ *             | in_offsets   EdgeId[|V|+1]                       |
+ *             | in_neighbors VertexId[|E|]                       |
+ *             | in_weights   Weight[|E|]     (weighted only)     |
+ *             +--------------------------------------------------+
+ *
+ * Cache protocol: loadFileCached() keeps a `<file>.ugb` sidecar next to
+ * each source graph file, built on first load and reused while the
+ * source's size and mtime match the stamp recorded in the sidecar
+ * header; a stale or corrupt sidecar is rebuilt transparently
+ * (CachePolicy::Auto). Generated datasets cache the same way under a
+ * cache directory, stamped with a recipe tag instead of file identity
+ * (datasets::loadCached).
+ *
+ * Malformed or truncated files are reported as LoaderError with the
+ * failing byte offset, like every other loader.
+ */
+#ifndef UGC_GRAPH_UGB_H
+#define UGC_GRAPH_UGB_H
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/loader.h"
+
+namespace ugc::ugb {
+
+/** Format version this build reads and writes. */
+inline constexpr uint32_t kVersion = 1;
+
+/** Graph-kind metadata carried in the header (datasets::GraphKind plus
+ *  "unknown" for graphs loaded from plain files). */
+inline constexpr uint32_t kKindUnknown = 0;
+inline constexpr uint32_t kKindRoad = 1;
+inline constexpr uint32_t kKindSocial = 2;
+inline constexpr uint32_t kKindWeb = 3;
+
+/** Identity of the source a .ugb file was built from; a mismatch on any
+ *  field invalidates the cache entry. */
+struct SourceStamp
+{
+    uint64_t size = 0;    ///< source file size in bytes (0: not a file)
+    int64_t mtimeNs = 0;  ///< source mtime in ns (0: not a file)
+    uint64_t tag = 0;     ///< FNV-1a of the source identity / recipe
+};
+
+/** How to materialize the CSR columns of a loaded .ugb file. */
+enum class MapMode {
+    Map,  ///< zero-copy: spans point into the mmap'd file
+    Heap, ///< copy the columns into heap vectors (parity tests)
+};
+
+/** What a load actually did (storage stats, serving logs, benches). */
+struct LoadInfo
+{
+    StorageBackend backend = StorageBackend::Heap;
+    size_t mappedBytes = 0; ///< file bytes mapped (0 for Heap mode)
+    uint32_t kind = kKindUnknown;
+    SourceStamp stamp;
+};
+
+/** FNV-1a 64-bit over @p size bytes, continuing from @p basis. */
+uint64_t fnv1a(const void *data, size_t size,
+               uint64_t basis = 0xcbf29ce484222325ull);
+
+/** FNV-1a of a string (cache tags). */
+uint64_t fnv1a(const std::string &text);
+
+/**
+ * Write @p graph to @p path in .ugb format. The data lands in a
+ * same-directory temporary and is renamed into place, so concurrent
+ * loaders never observe a partial file.
+ * @throws LoaderError on I/O failure.
+ */
+void writeUgbFile(const Graph &graph, const std::string &path,
+                  uint32_t kind = kKindUnknown, SourceStamp stamp = {});
+
+/**
+ * Load a .ugb file. MapMode::Map serves the CSR columns zero-copy out of
+ * the mapping; MapMode::Heap copies them into heap vectors. Header
+ * validation (magic, endianness, version, counts, column table against
+ * the real file size) always runs; it is O(1).
+ * @throws LoaderError naming the failing byte offset.
+ */
+Graph loadUgbFile(const std::string &path, MapMode mode = MapMode::Map,
+                  LoadInfo *info = nullptr);
+
+/** Read only the source stamp + kind of @p path (cache freshness probe).
+ *  @return false if the file is missing or fails header validation. */
+bool readUgbStamp(const std::string &path, SourceStamp &stamp,
+                  uint32_t &kind);
+
+/**
+ * Verify the column checksum of @p path (full file scan).
+ * @throws LoaderError if the checksum (or header) does not match.
+ */
+void verifyUgbFile(const std::string &path);
+
+// --- build-once cache -----------------------------------------------------
+
+/** Cache behavior of loadFileCached / datasets::loadCached. */
+enum class CachePolicy {
+    Auto,    ///< use a fresh sidecar, build it when missing or stale
+    Off,     ///< always parse the source; never touch sidecars
+    Rebuild, ///< rebuild the sidecar even if it looks fresh
+};
+
+/** Parse "auto" / "off" / "rebuild"; @return false on unknown names. */
+bool parseCachePolicy(const std::string &name, CachePolicy &policy);
+
+/** Stable lower-case name of a CachePolicy. */
+const char *cachePolicyName(CachePolicy policy);
+
+/** What loadFileCached (or datasets::loadCached) did. */
+struct CacheReport
+{
+    bool hit = false;      ///< served from an existing fresh sidecar
+    bool built = false;    ///< sidecar (re)built during this load
+    StorageBackend backend = StorageBackend::Heap;
+    size_t mappedBytes = 0;
+    double parseMs = 0.0;  ///< source parse time (cache miss only)
+    double buildMs = 0.0;  ///< sidecar write time (cache miss only)
+    double openMs = 0.0;   ///< .ugb open+map time
+    std::string cachePath; ///< sidecar path ("" when policy is Off)
+};
+
+/**
+ * Load a graph file of any supported format through the sidecar cache.
+ * The format is detected from the extension: .el/.wel/.txt edge list,
+ * .gr DIMACS, .mtx MatrixMarket, .bin legacy binary snapshot, .ugb
+ * direct. For non-.ugb sources a `<path>.ugb` sidecar is maintained per
+ * CachePolicy; a .ugb path ignores the policy and loads directly.
+ * @throws LoaderError on unknown extensions or malformed input.
+ */
+Graph loadFileCached(const std::string &path,
+                     CachePolicy policy = CachePolicy::Auto,
+                     CacheReport *report = nullptr);
+
+/** The sidecar path loadFileCached maintains for @p path. */
+std::string sidecarPath(const std::string &path);
+
+} // namespace ugc::ugb
+
+#endif // UGC_GRAPH_UGB_H

@@ -8,19 +8,7 @@ namespace ugc::serve {
 
 namespace {
 
-const char *
-scaleName(datasets::Scale scale)
-{
-    switch (scale) {
-    case datasets::Scale::Tiny:
-        return "tiny";
-    case datasets::Scale::Small:
-        return "small";
-    case datasets::Scale::Medium:
-        return "medium";
-    }
-    return "small";
-}
+using datasets::scaleName;
 
 /** The mixed workload: algorithm + argv[3] (PR iterations / SSSP Δ). */
 struct WorkItem

@@ -231,7 +231,7 @@ Server::handleGraph(uint64_t request, const std::vector<std::string> &args)
 {
     if (args.empty() || args[0].find('=') != std::string::npos) {
         respondError(request, "usage: graph <key> [dataset=<code>] "
-                              "[scale=tiny|small|medium]");
+                              "[scale=tiny|small|medium|large]");
         return;
     }
     const std::string &key = args[0];
@@ -242,16 +242,10 @@ Server::handleGraph(uint64_t request, const std::vector<std::string> &args)
         if (arg_key == "dataset") {
             dataset = value;
         } else if (arg_key == "scale") {
-            if (value == "tiny")
-                scale = datasets::Scale::Tiny;
-            else if (value == "small")
-                scale = datasets::Scale::Small;
-            else if (value == "medium")
-                scale = datasets::Scale::Medium;
-            else {
+            if (!datasets::parseScale(value, scale)) {
                 respondError(request, "unknown scale '" + value +
                                           "'; known scales: tiny small "
-                                          "medium");
+                                          "medium large");
                 return;
             }
         } else {
@@ -261,12 +255,52 @@ Server::handleGraph(uint64_t request, const std::vector<std::string> &args)
     }
     try {
         _engine.loadDataset(dataset, key, scale);
+        // Materialize eagerly: registration is the daemon's cold-start
+        // moment, so the storage backend and cache outcome belong on this
+        // response (and the first query doesn't pay the load).
+        _engine.graph(key, /*weighted=*/false);
     } catch (const std::exception &error) {
         respondError(request, error.what());
         return;
     }
-    JsonLine(_out).field("type", "ok").field("req", request).field("graph",
-                                                                   key);
+    JsonLine line(_out);
+    line.field("type", "ok").field("req", request).field("graph", key);
+    for (const GraphStorageInfo &info : _engine.graphStorage()) {
+        if (info.key != key)
+            continue;
+        line.field("storage", storageBackendName(info.backend))
+            .field("cache_hit", info.cacheHit)
+            .field("mapped_bytes", static_cast<uint64_t>(info.mappedBytes))
+            .field("load_ms", info.loadMs);
+        break;
+    }
+}
+
+void
+Server::handleStorage(uint64_t request)
+{
+    for (const GraphStorageInfo &info : _engine.graphStorage()) {
+        JsonLine(_out)
+            .field("type", "storage")
+            .field("req", request)
+            .field("graph", info.key)
+            .field("loaded", info.loaded)
+            .field("backend", storageBackendName(info.backend))
+            .field("mapped_bytes", static_cast<uint64_t>(info.mappedBytes))
+            .field("cache_hit", info.cacheHit)
+            .field("cache_built", info.cacheBuilt)
+            .field("load_ms", info.loadMs);
+    }
+    const EngineStats stats = _engine.stats();
+    JsonLine(_out)
+        .field("type", "storage_summary")
+        .field("req", request)
+        .field("graph_cache_policy",
+               ugb::cachePolicyName(_engine.options().graphCachePolicy))
+        .field("mmap_graphs", static_cast<uint64_t>(stats.mmapGraphs))
+        .field("mapped_bytes", static_cast<uint64_t>(stats.mappedBytes))
+        .field("graph_cache_hits", stats.graphCacheHits)
+        .field("graph_cache_builds", stats.graphCacheBuilds);
 }
 
 void
@@ -386,6 +420,10 @@ Server::handleStats(uint64_t request)
         .field("algorithms", static_cast<uint64_t>(stats.algorithms))
         .field("cached_programs",
                static_cast<uint64_t>(stats.cachedPrograms))
+        .field("graph_cache_hits", stats.graphCacheHits)
+        .field("graph_cache_builds", stats.graphCacheBuilds)
+        .field("mmap_graphs", static_cast<uint64_t>(stats.mmapGraphs))
+        .field("mapped_bytes", static_cast<uint64_t>(stats.mappedBytes))
         .field("in_flight", static_cast<uint64_t>(_session.inFlight()));
 }
 
@@ -416,6 +454,8 @@ Server::handleLine(const std::string &line)
         JsonLine(_out).field("type", "synced").field("req", request);
     } else if (command == "stats") {
         handleStats(request);
+    } else if (command == "storage") {
+        handleStorage(request);
     } else if (command == "quit") {
         drain();
         JsonLine(_out).field("type", "bye").field("req", request);
@@ -424,7 +464,7 @@ Server::handleLine(const std::string &line)
     } else {
         respondError(request, "unknown command '" + command +
                                   "'; known commands: graph algo builtins "
-                                  "run sync stats quit");
+                                  "run sync stats storage quit");
     }
     flushFinished();
     return true;

@@ -9,8 +9,11 @@
  *
  * Request grammar (tokens separated by spaces, `key=value` options):
  *
- *   graph <key> [dataset=<code>] [scale=tiny|small|medium]
- *       Register dataset <code> (default: <key>) under <key>.
+ *   graph <key> [dataset=<code>] [scale=tiny|small|medium|large]
+ *       Register dataset <code> (default: <key>) under <key> and
+ *       materialize it (through the .ugb graph cache when enabled); the
+ *       response reports the storage backend, cache outcome, and load
+ *       time.
  *   algo <name> <path.gt>
  *       Parse + register a GraphIt algorithm file under <name>.
  *   builtins
@@ -28,6 +31,9 @@
  *       line is emitted.
  *   stats
  *       Engine statistics snapshot.
+ *   storage
+ *       One `storage` line per registered graph (backend, mapped bytes,
+ *       cache outcome) plus a `storage_summary` line.
  *   quit
  *       sync, then acknowledge and stop accepting requests.
  *
@@ -91,6 +97,7 @@ class Server
     void handleAlgo(uint64_t request, const std::vector<std::string> &args);
     void handleRun(uint64_t request, const std::vector<std::string> &args);
     void handleStats(uint64_t request);
+    void handleStorage(uint64_t request);
 
     std::ostream &_out;
     Engine _engine;

@@ -1,0 +1,171 @@
+#include "support/mmap.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace ugc::support {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &path, const char *what)
+{
+    throw std::runtime_error(path + ": " + what + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+MappedFile::MappedFile(const std::string &path) : _path(path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        throwErrno(path, "cannot open for mapping");
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno(path, "cannot stat");
+    }
+    _size = static_cast<size_t>(st.st_size);
+    if (_size == 0) {
+        // mmap(len=0) is EINVAL; an empty file is a valid empty mapping.
+        ::close(fd);
+        _mappedEmpty = true;
+        return;
+    }
+    void *addr = ::mmap(nullptr, _size, PROT_READ, MAP_PRIVATE, fd, 0);
+    const int saved = errno;
+    ::close(fd); // the mapping holds its own reference
+    if (addr == MAP_FAILED) {
+        _size = 0;
+        errno = saved;
+        throwErrno(path, "mmap failed");
+    }
+    _data = static_cast<const std::byte *>(addr);
+}
+
+MappedFile::~MappedFile()
+{
+    reset();
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : _data(std::exchange(other._data, nullptr)),
+      _size(std::exchange(other._size, 0)),
+      _mappedEmpty(std::exchange(other._mappedEmpty, false)),
+      _path(std::move(other._path))
+{
+    other._path.clear();
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        _data = std::exchange(other._data, nullptr);
+        _size = std::exchange(other._size, 0);
+        _mappedEmpty = std::exchange(other._mappedEmpty, false);
+        _path = std::move(other._path);
+        other._path.clear();
+    }
+    return *this;
+}
+
+void
+MappedFile::reset()
+{
+    if (_data != nullptr)
+        ::munmap(const_cast<std::byte *>(_data), _size);
+    _data = nullptr;
+    _size = 0;
+    _mappedEmpty = false;
+}
+
+void
+MappedFile::advise(MapAdvice advice) const
+{
+    if (_data == nullptr)
+        return;
+    int flag = MADV_NORMAL;
+    switch (advice) {
+    case MapAdvice::Normal:
+        flag = MADV_NORMAL;
+        break;
+    case MapAdvice::Sequential:
+        flag = MADV_SEQUENTIAL;
+        break;
+    case MapAdvice::Random:
+        flag = MADV_RANDOM;
+        break;
+    case MapAdvice::WillNeed:
+        flag = MADV_WILLNEED;
+        break;
+    }
+    // Best effort: a refused hint must never fail a load.
+    (void)::madvise(const_cast<std::byte *>(_data), _size, flag);
+}
+
+void
+MappedFile::checkWindow(size_t offset, size_t bytes, size_t alignment) const
+{
+    if (offset > _size || bytes > _size - offset)
+        throw std::out_of_range(
+            _path + ": mapped view [" + std::to_string(offset) + ", " +
+            std::to_string(offset + bytes) + ") exceeds the " +
+            std::to_string(_size) + "-byte mapping");
+    if (offset % alignment != 0)
+        throw std::out_of_range(_path + ": mapped view at offset " +
+                                std::to_string(offset) +
+                                " is misaligned for its element type");
+}
+
+void
+atomicWriteFile(const std::string &path, const void *data, size_t size)
+{
+    // Same-directory temp so rename() stays within one filesystem.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throwErrno(tmp, "cannot create temporary");
+    size_t written = 0;
+    const char *bytes = static_cast<const char *>(data);
+    while (written < size) {
+        const ssize_t n = ::write(fd, bytes + written, size - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int saved = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            errno = saved;
+            throwErrno(tmp, "write failed");
+        }
+        written += static_cast<size_t>(n);
+    }
+    if (::close(fd) != 0) {
+        const int saved = errno;
+        ::unlink(tmp.c_str());
+        errno = saved;
+        throwErrno(tmp, "close failed");
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int saved = errno;
+        ::unlink(tmp.c_str());
+        errno = saved;
+        throwErrno(path, "rename into place failed");
+    }
+}
+
+} // namespace ugc::support

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * RAII memory-mapped file utility (DESIGN.md §12).
+ *
+ * MappedFile wraps an mmap(2)-backed read-only view of a file: the
+ * mapping lives exactly as long as the object, is move-only (like a
+ * unique_ptr over the kernel resource), and exposes the bytes as spans so
+ * the graph storage layer can serve zero-copy CSR columns straight out
+ * of the page cache. Access-pattern hints (madvise) are forwarded so
+ * sequential scans (cache builds) and random traversal (graph queries)
+ * can each tell the kernel what is coming.
+ *
+ * The idiom follows the mapping/pooling utilities of high-performance
+ * query engines: map once, hand out typed views, never copy.
+ */
+#ifndef UGC_SUPPORT_MMAP_H
+#define UGC_SUPPORT_MMAP_H
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace ugc::support {
+
+/** Kernel access-pattern hint for a mapping (subset of madvise). */
+enum class MapAdvice {
+    Normal,     ///< no special treatment
+    Sequential, ///< aggressive readahead (cache builds, checksums)
+    Random,     ///< readahead off (pointer-chasing graph traversal)
+    WillNeed,   ///< prefault: fault pages in ahead of first access
+};
+
+/**
+ * A read-only memory-mapped file. Empty files map to a valid object with
+ * size() == 0 and data() == nullptr. Failures (missing file, mmap error)
+ * throw std::runtime_error carrying the path and errno text.
+ */
+class MappedFile
+{
+  public:
+    /** An unmapped placeholder; valid() is false. */
+    MappedFile() = default;
+
+    /** Map @p path read-only in its entirety. @throws std::runtime_error */
+    explicit MappedFile(const std::string &path);
+
+    ~MappedFile();
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /** Is a file mapped? (False for default-constructed / moved-from.) */
+    bool valid() const { return _data != nullptr || _mappedEmpty; }
+
+    /** First mapped byte (nullptr when empty or unmapped). */
+    const std::byte *data() const { return _data; }
+
+    /** Mapped length in bytes. */
+    size_t size() const { return _size; }
+
+    const std::string &path() const { return _path; }
+
+    /** Whole mapping as a byte span. */
+    std::span<const std::byte> bytes() const { return {_data, _size}; }
+
+    /**
+     * Typed view of @p count elements of T starting at byte @p offset.
+     * @throws std::out_of_range if the window leaves the mapping or the
+     *         offset is misaligned for T.
+     */
+    template <typename T>
+    std::span<const T>
+    view(size_t offset, size_t count) const
+    {
+        checkWindow(offset, count * sizeof(T), alignof(T));
+        return {reinterpret_cast<const T *>(_data + offset), count};
+    }
+
+    /** Forward an access-pattern hint to the kernel (best effort). */
+    void advise(MapAdvice advice) const;
+
+    /** Unmap now (also done by the destructor). Idempotent. */
+    void reset();
+
+  private:
+    void checkWindow(size_t offset, size_t bytes, size_t alignment) const;
+
+    const std::byte *_data = nullptr;
+    size_t _size = 0;
+    bool _mappedEmpty = false; ///< distinguishes "empty file" from "none"
+    std::string _path;
+};
+
+/**
+ * Write @p size bytes to @p path atomically: the data lands in a
+ * same-directory temporary first and is rename(2)d into place, so
+ * concurrent readers (and crashed writers) never observe a partial file.
+ * @throws std::runtime_error on I/O failure.
+ */
+void atomicWriteFile(const std::string &path, const void *data, size_t size);
+
+} // namespace ugc::support
+
+#endif // UGC_SUPPORT_MMAP_H

@@ -1541,7 +1541,7 @@ struct ExecEngine::Impl
                     buildBlocks(n, n, grain_hint,
                                 [](int64_t) { return EdgeId{1}; });
             } else {
-                const std::vector<EdgeId> &offsets =
+                const auto offsets =
                     transposed ? graph->outOffsets() : graph->inOffsets();
                 num_blocks = buildBlocks(
                     n, graph->numEdges() + n, grain_hint, [&](int64_t i) {

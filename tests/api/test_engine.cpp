@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 
 #include "api/fuse.h"
@@ -286,6 +288,68 @@ TEST_F(EngineTest, BackendNamesMatchThePaperOrder)
 {
     const std::vector<std::string> expected = {"cpu", "gpu", "swarm", "hb"};
     EXPECT_EQ(Engine::backendNames(), expected);
+}
+
+TEST_F(EngineTest, GraphStorageReportsHeapEntries)
+{
+    const auto infos = engine.graphStorage();
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_EQ(infos[0].key, "g");
+    EXPECT_TRUE(infos[0].loaded);
+    EXPECT_EQ(infos[0].backend, StorageBackend::Heap);
+    EXPECT_EQ(infos[0].mappedBytes, 0u);
+    EXPECT_FALSE(infos[0].cacheHit);
+
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.mmapGraphs, 0u);
+    EXPECT_EQ(stats.mappedBytes, 0u);
+    EXPECT_EQ(stats.graphCacheHits, 0u);
+}
+
+TEST(EngineStorage, GraphCachePolicyAutoServesMmapDatasets)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/ugc-engine-cache-test";
+    std::filesystem::remove_all(dir);
+    ::setenv("UGC_GRAPH_CACHE_DIR", dir.c_str(), 1);
+
+    EngineOptions options;
+    options.graphCachePolicy = ugb::CachePolicy::Auto;
+    options.datasetScale = datasets::Scale::Tiny;
+
+    {
+        Engine engine(options);
+        engine.registerBuiltins();
+        engine.loadDataset("RN");
+        // Lazy: nothing materialized yet.
+        EXPECT_FALSE(engine.graphStorage()[0].loaded);
+
+        Query q;
+        q.algorithm = "bfs";
+        q.graph = "RN";
+        q.validate = "bfs";
+        ASSERT_TRUE(engine.run(q).ok());
+
+        const auto infos = engine.graphStorage();
+        ASSERT_EQ(infos.size(), 1u);
+        EXPECT_TRUE(infos[0].loaded);
+        EXPECT_EQ(infos[0].backend, StorageBackend::Mmap);
+        EXPECT_GT(infos[0].mappedBytes, 0u);
+        EXPECT_EQ(engine.stats().graphCacheBuilds, 1u);
+        EXPECT_EQ(engine.stats().mmapGraphs, 1u);
+    }
+    {
+        // A second engine (cold restart) hits the cache entry.
+        Engine engine(options);
+        engine.loadDataset("RN");
+        ASSERT_NE(engine.graph("RN"), nullptr);
+        EXPECT_TRUE(engine.graphStorage()[0].cacheHit);
+        EXPECT_EQ(engine.stats().graphCacheHits, 1u);
+        EXPECT_EQ(engine.stats().graphCacheBuilds, 0u);
+    }
+
+    ::unsetenv("UGC_GRAPH_CACHE_DIR");
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

@@ -59,6 +59,69 @@ TEST(BinaryIo, RejectsTruncatedFile)
     EXPECT_THROW(loadBinary(truncated), std::runtime_error);
 }
 
+TEST(BinaryIo, TruncatedPayloadIsReportedUpFrontWithSizes)
+{
+    // A weighted graph whose file loses its tail: historically this
+    // failed midway through the edge records ("truncated ... edge
+    // weight"); now the payload size is validated before any record is
+    // read, with the full picture in the diagnostic.
+    const Graph original = gen::roadGrid(5, 6, true, 9);
+    std::stringstream buffer;
+    writeBinary(original, buffer);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() - 3); // clip into the last weight
+    std::stringstream truncated(bytes);
+    try {
+        loadBinary(truncated, "clipped.bin");
+        FAIL() << "expected LoaderError";
+    } catch (const LoaderError &error) {
+        EXPECT_NE(error.reason().find("truncated edge payload"),
+                  std::string::npos)
+            << error.reason();
+        EXPECT_NE(error.reason().find("header promises"), std::string::npos)
+            << error.reason();
+        EXPECT_EQ(error.file(), "clipped.bin");
+    }
+}
+
+TEST(BinaryIo, ByteSwappedMagicGetsADedicatedDiagnostic)
+{
+    const Graph original = gen::path(4);
+    std::stringstream buffer;
+    writeBinary(original, buffer);
+    std::string bytes = buffer.str();
+    // Byte-swap the leading 64-bit magic as an opposite-endianness writer
+    // would have laid it out.
+    for (int i = 0; i < 4; ++i)
+        std::swap(bytes[i], bytes[7 - i]);
+    std::stringstream swapped(bytes);
+    try {
+        loadBinary(swapped);
+        FAIL() << "expected LoaderError";
+    } catch (const LoaderError &error) {
+        EXPECT_NE(error.reason().find("byte-swapped"), std::string::npos)
+            << error.reason();
+    }
+}
+
+TEST(BinaryIo, TruncationInsideHeaderNamesTheOffset)
+{
+    std::stringstream buffer;
+    const uint64_t magic = 0x55474331;
+    buffer.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    const int64_t vertices = 10;
+    buffer.write(reinterpret_cast<const char *>(&vertices), 4); // clipped
+    try {
+        loadBinary(buffer);
+        FAIL() << "expected LoaderError";
+    } catch (const LoaderError &error) {
+        EXPECT_NE(error.reason().find("vertex count"), std::string::npos)
+            << error.reason();
+        EXPECT_NE(error.reason().find("byte offset 8"), std::string::npos)
+            << error.reason();
+    }
+}
+
 TEST(BinaryIo, FileRoundTrip)
 {
     const Graph original = gen::cycle(30);

@@ -122,6 +122,68 @@ TEST(Graph, SummaryMentionsSizes)
     const std::string s = g.summary();
     EXPECT_NE(s.find("|V|=3"), std::string::npos);
     EXPECT_NE(s.find("|E|=6"), std::string::npos);
+    EXPECT_NE(s.find("heap"), std::string::npos);
+}
+
+TEST(Graph, ToCooMaterializesOncePerStorage)
+{
+    const Graph g = Graph::fromEdges(
+        3, {{0, 1, 2}, {1, 2, 3}, {2, 0, 4}}, true, false);
+    const uint64_t before = Graph::cooMaterializations();
+
+    const std::vector<RawEdge> &first = g.toCoo();
+    EXPECT_EQ(Graph::cooMaterializations(), before + 1);
+
+    // Repeat calls — and calls through a copy sharing the storage — must
+    // return the same cached vector without re-allocating.
+    const std::vector<RawEdge> &second = g.toCoo();
+    EXPECT_EQ(&first, &second);
+    const Graph copy = g;
+    const std::vector<RawEdge> &third = copy.toCoo();
+    EXPECT_EQ(&first, &third);
+    EXPECT_EQ(Graph::cooMaterializations(), before + 1);
+    EXPECT_EQ(first.size(), 3u);
+}
+
+TEST(Graph, CopiesShareStorage)
+{
+    const Graph g = Graph::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}}, false,
+                                     true);
+    const Graph copy = g;
+    // Same columns, same addresses: a copy is a view, not a duplicate.
+    EXPECT_EQ(g.outOffsets().data(), copy.outOffsets().data());
+    EXPECT_EQ(g.outNeighborArray().data(), copy.outNeighborArray().data());
+    EXPECT_EQ(copy.numEdges(), g.numEdges());
+}
+
+TEST(Graph, DefaultConstructedGraphIsEmptyHeap)
+{
+    const Graph g;
+    EXPECT_EQ(g.numVertices(), 0);
+    EXPECT_EQ(g.numEdges(), 0);
+    EXPECT_EQ(g.storageBackend(), StorageBackend::Heap);
+    EXPECT_EQ(g.mappedBytes(), 0u);
+    EXPECT_EQ(g.outOffsets().size(), 1u);
+    EXPECT_EQ(g.outOffsets()[0], 0);
+}
+
+TEST(Graph, FromStorageRejectsInconsistentColumns)
+{
+    auto storage = std::make_shared<GraphStorage>();
+    storage->heapOutOffsets = {0, 1, 2};
+    storage->heapOutNeighbors = {1, 0};
+    storage->heapInOffsets = {0, 1, 2};
+    storage->heapInNeighbors = {1, 0};
+    storage->adoptHeapColumns();
+    EXPECT_NO_THROW(Graph::fromStorage(storage, 2, 2, false));
+    // Vertex count off by one vs the offset columns.
+    EXPECT_THROW(Graph::fromStorage(storage, 3, 2, false),
+                 std::invalid_argument);
+    // Weighted without weight columns.
+    EXPECT_THROW(Graph::fromStorage(storage, 2, 2, true),
+                 std::invalid_argument);
+    EXPECT_THROW(Graph::fromStorage(nullptr, 0, 0, false),
+                 std::invalid_argument);
 }
 
 } // namespace

@@ -1,0 +1,115 @@
+/**
+ * Storage-backend parity (DESIGN.md §12): algorithms must be bit-identical
+ * whether the CSR columns live in heap vectors or an mmap'd .ugb file, at
+ * 1 and at 8 host threads — properties, machine counters (including the
+ * udf.* set), and simulated cycles all included.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/ugc.h"
+#include "graph/datasets.h"
+#include "graph/ugb.h"
+
+namespace ugc {
+namespace {
+
+/** Results must match to the last bit: every property vector, every
+ *  counter (udf.* included), and the simulated cycle count. */
+void
+expectIdenticalResults(const QueryResult &heap, const QueryResult &mmap,
+                       const std::string &label)
+{
+    ASSERT_TRUE(heap.ok()) << label << ": " << heap.diagnostic;
+    ASSERT_TRUE(mmap.ok()) << label << ": " << mmap.diagnostic;
+    EXPECT_EQ(heap.run.cycles, mmap.run.cycles) << label;
+
+    ASSERT_EQ(heap.run.properties.size(), mmap.run.properties.size())
+        << label;
+    for (const auto &[name, values] : heap.run.properties) {
+        const auto it = mmap.run.properties.find(name);
+        ASSERT_NE(it, mmap.run.properties.end())
+            << label << ": missing property " << name;
+        ASSERT_EQ(values.size(), it->second.size()) << label << " " << name;
+        for (size_t i = 0; i < values.size(); ++i)
+            ASSERT_EQ(values[i], it->second[i])
+                << label << ": property " << name << "[" << i << "]";
+    }
+
+    ASSERT_EQ(heap.run.counters.all().size(),
+              mmap.run.counters.all().size())
+        << label;
+    for (const auto &[name, value] : heap.run.counters.all())
+        EXPECT_EQ(value, mmap.run.counters.get(name))
+            << label << ": counter " << name;
+}
+
+class StorageParityTest : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    /** One engine serving the same dataset twice: generated on the heap
+     *  under "heap", and via .ugb + mmap under "mmap". */
+    static void
+    registerBoth(Engine &engine, const std::string &dataset, bool weighted)
+    {
+        const Graph heap =
+            datasets::load(dataset, datasets::Scale::Tiny, weighted);
+        const std::string path = ::testing::TempDir() + "/parity-" +
+                                 dataset + (weighted ? "-w" : "") + ".ugb";
+        ugb::writeUgbFile(heap, path);
+        Graph mapped = ugb::loadUgbFile(path, ugb::MapMode::Map);
+        ASSERT_EQ(mapped.storageBackend(), StorageBackend::Mmap);
+        engine.addGraph("heap", heap);
+        engine.addGraph("mmap", std::move(mapped));
+    }
+};
+
+TEST_P(StorageParityTest, BfsSsspPrAreBitIdenticalHeapVsMmap)
+{
+    const unsigned threads = GetParam();
+    EngineOptions options;
+    options.backend.numThreads = threads;
+
+    struct Case
+    {
+        const char *algorithm;
+        const char *dataset;
+        bool weighted;
+        int64_t arg3;
+    };
+    const Case cases[] = {
+        {"bfs", "LJ", false, 0},
+        {"sssp", "RN", true, 4},
+        {"pr", "PK", false, 5},
+    };
+
+    for (const Case &test_case : cases) {
+        Engine engine(options);
+        engine.registerBuiltins();
+        registerBoth(engine, test_case.dataset, test_case.weighted);
+
+        Query q;
+        q.algorithm = test_case.algorithm;
+        q.start = 1;
+        q.arg3 = test_case.arg3;
+        q.validate = test_case.algorithm;
+
+        q.graph = "heap";
+        const QueryResult heap = engine.run(q);
+        q.graph = "mmap";
+        const QueryResult mmap = engine.run(q);
+        expectIdenticalResults(heap, mmap,
+                               std::string(test_case.algorithm) + "@" +
+                                   std::to_string(threads) + "t");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, StorageParityTest,
+                         ::testing::Values(1u, 8u),
+                         [](const auto &info) {
+                             return std::to_string(info.param) + "threads";
+                         });
+
+} // namespace
+} // namespace ugc

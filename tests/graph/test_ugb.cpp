@@ -1,0 +1,437 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/loader.h"
+#include "graph/ugb.h"
+
+namespace ugc {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+/** Every CSR column of @p a and @p b must be bit-identical. */
+void
+expectSameCsr(const Graph &a, const Graph &b)
+{
+    ASSERT_EQ(a.numVertices(), b.numVertices());
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    ASSERT_EQ(a.isWeighted(), b.isWeighted());
+    const auto same = [](const auto &lhs, const auto &rhs) {
+        ASSERT_EQ(lhs.size(), rhs.size());
+        for (size_t i = 0; i < lhs.size(); ++i)
+            ASSERT_EQ(lhs[i], rhs[i]) << "column mismatch at index " << i;
+    };
+    same(a.outOffsets(), b.outOffsets());
+    same(a.outNeighborArray(), b.outNeighborArray());
+    same(a.outWeightArray(), b.outWeightArray());
+    same(a.inOffsets(), b.inOffsets());
+    same(a.inNeighborArray(), b.inNeighborArray());
+    same(a.inWeightArray(), b.inWeightArray());
+}
+
+TEST(Ugb, RoundTripsUnweightedGraph)
+{
+    const Graph original = gen::rmat(8, 6, 0.57, 0.19, 0.19, false, 42);
+    const std::string path = tempPath("ugb_rt_unweighted.ugb");
+    ugb::writeUgbFile(original, path);
+
+    ugb::LoadInfo info;
+    const Graph mapped = ugb::loadUgbFile(path, ugb::MapMode::Map, &info);
+    EXPECT_EQ(mapped.storageBackend(), StorageBackend::Mmap);
+    EXPECT_EQ(info.backend, StorageBackend::Mmap);
+    EXPECT_GT(mapped.mappedBytes(), 0u);
+    expectSameCsr(original, mapped);
+}
+
+TEST(Ugb, RoundTripsWeightedGraphInBothMapModes)
+{
+    const Graph original = gen::roadGrid(9, 11, true, 7);
+    const std::string path = tempPath("ugb_rt_weighted.ugb");
+    ugb::writeUgbFile(original, path, ugb::kKindRoad);
+
+    ugb::LoadInfo info;
+    const Graph mapped = ugb::loadUgbFile(path, ugb::MapMode::Map, &info);
+    EXPECT_EQ(info.kind, ugb::kKindRoad);
+    expectSameCsr(original, mapped);
+
+    const Graph heap = ugb::loadUgbFile(path, ugb::MapMode::Heap, &info);
+    EXPECT_EQ(heap.storageBackend(), StorageBackend::Heap);
+    EXPECT_EQ(heap.mappedBytes(), 0u);
+    EXPECT_EQ(info.mappedBytes, 0u);
+    expectSameCsr(original, heap);
+    expectSameCsr(mapped, heap);
+}
+
+TEST(Ugb, VerifyAcceptsFreshAndRejectsCorruptFiles)
+{
+    const Graph graph = gen::rmat(7, 5);
+    const std::string path = tempPath("ugb_verify.ugb");
+    ugb::writeUgbFile(graph, path);
+    EXPECT_NO_THROW(ugb::verifyUgbFile(path));
+
+    // Flip one byte inside a column: the header still validates but the
+    // checksum must not.
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(256);
+    char byte = 0;
+    file.seekg(256);
+    file.read(&byte, 1);
+    byte ^= 0x40;
+    file.seekp(256);
+    file.write(&byte, 1);
+    file.close();
+    EXPECT_THROW(ugb::verifyUgbFile(path), LoaderError);
+}
+
+TEST(Ugb, RejectsTruncatedAndForeignFiles)
+{
+    const Graph graph = gen::rmat(7, 5);
+    const std::string path = tempPath("ugb_reject.ugb");
+    ugb::writeUgbFile(graph, path);
+
+    // Truncation is caught by the O(1) header check (fileBytes mismatch).
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size / 2);
+    EXPECT_THROW(ugb::loadUgbFile(path), LoaderError);
+
+    const std::string garbage = tempPath("ugb_garbage.ugb");
+    // Long enough to clear the header-size check so the magic check fires.
+    writeFile(garbage,
+              std::string("definitely not a ugb file, not even close.") +
+                  std::string(256, '.'));
+    try {
+        ugb::loadUgbFile(garbage);
+        FAIL() << "expected LoaderError";
+    } catch (const LoaderError &error) {
+        EXPECT_NE(error.reason().find("magic"), std::string::npos);
+    }
+
+    const std::string tiny = tempPath("ugb_tiny.ugb");
+    writeFile(tiny, "short");
+    try {
+        ugb::loadUgbFile(tiny);
+        FAIL() << "expected LoaderError";
+    } catch (const LoaderError &error) {
+        EXPECT_NE(error.reason().find("truncated header"),
+                  std::string::npos);
+    }
+}
+
+TEST(Ugb, ReadsStampBackFromHeader)
+{
+    const Graph graph = gen::path(12);
+    const std::string path = tempPath("ugb_stamp.ugb");
+    ugb::SourceStamp stamp;
+    stamp.size = 12345;
+    stamp.mtimeNs = 987654321;
+    stamp.tag = 0xfeedfacecafebeefull;
+    ugb::writeUgbFile(graph, path, ugb::kKindSocial, stamp);
+
+    ugb::SourceStamp read;
+    uint32_t kind = ugb::kKindUnknown;
+    ASSERT_TRUE(ugb::readUgbStamp(path, read, kind));
+    EXPECT_EQ(read.size, stamp.size);
+    EXPECT_EQ(read.mtimeNs, stamp.mtimeNs);
+    EXPECT_EQ(read.tag, stamp.tag);
+    EXPECT_EQ(kind, ugb::kKindSocial);
+
+    ugb::SourceStamp missing;
+    EXPECT_FALSE(
+        ugb::readUgbStamp(tempPath("ugb_no_such.ugb"), missing, kind));
+}
+
+// --- loader round trips: every text/binary format → .ugb → mmap ---------
+
+struct FormatCase
+{
+    const char *name;
+    std::string extension;
+    void (*write)(const Graph &, const std::string &);
+    Graph (*parse)(const std::string &);
+};
+
+void
+writeEdgeListTo(const Graph &graph, const std::string &path)
+{
+    std::ofstream out(path);
+    writeEdgeList(graph, out);
+}
+
+void
+writeDimacsTo(const Graph &graph, const std::string &path)
+{
+    std::ofstream out(path);
+    out << "c synthetic test road graph\n";
+    out << "p sp " << graph.numVertices() << " " << graph.numEdges()
+        << "\n";
+    for (const RawEdge &e : graph.toCoo())
+        out << "a " << e.src + 1 << " " << e.dst + 1 << " " << e.weight
+            << "\n";
+}
+
+void
+writeMatrixMarketTo(const Graph &graph, const std::string &path)
+{
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate integer general\n";
+    out << graph.numVertices() << " " << graph.numVertices() << " "
+        << graph.numEdges() << "\n";
+    for (const RawEdge &e : graph.toCoo())
+        out << e.src + 1 << " " << e.dst + 1 << " " << e.weight << "\n";
+}
+
+TEST(UgbCache, EveryLoaderRoundTripsThroughTheCacheBitIdentically)
+{
+    const Graph unweighted = gen::rmat(7, 4, 0.57, 0.19, 0.19, false, 11);
+    const Graph weighted = gen::roadGrid(6, 8, true, 3);
+
+    const FormatCase cases[] = {
+        {"edge list", "el", writeEdgeListTo,
+         [](const std::string &p) {
+             return loadEdgeListFile(p, /*symmetrize=*/true);
+         }},
+        {"weighted edge list", "wel", writeEdgeListTo,
+         [](const std::string &p) {
+             return loadEdgeListFile(p, /*symmetrize=*/true);
+         }},
+        {"dimacs", "gr", writeDimacsTo, loadDimacsFile},
+        {"matrix market", "mtx", writeMatrixMarketTo, loadMatrixMarketFile},
+        {"legacy binary", "bin",
+         [](const Graph &g, const std::string &p) { writeBinaryFile(g, p); },
+         loadBinaryFile},
+    };
+
+    for (const FormatCase &format : cases) {
+        SCOPED_TRACE(format.name);
+        const bool use_weighted =
+            format.extension != "el"; // .el exercises the unweighted path
+        const Graph &source = use_weighted ? weighted : unweighted;
+        const std::string path =
+            tempPath(std::string("ugb_case.") + format.extension);
+        format.write(source, path);
+        std::filesystem::remove(ugb::sidecarPath(path));
+
+        const Graph direct = format.parse(path);
+
+        // First cached load parses + builds the sidecar...
+        ugb::CacheReport first;
+        const Graph built =
+            ugb::loadFileCached(path, ugb::CachePolicy::Auto, &first);
+        EXPECT_FALSE(first.hit);
+        EXPECT_TRUE(first.built);
+        EXPECT_EQ(built.storageBackend(), StorageBackend::Mmap);
+        expectSameCsr(direct, built);
+        EXPECT_TRUE(std::filesystem::exists(ugb::sidecarPath(path)));
+
+        // ...the second serves the mmap'd sidecar, bit-identically.
+        ugb::CacheReport second;
+        const Graph cached =
+            ugb::loadFileCached(path, ugb::CachePolicy::Auto, &second);
+        EXPECT_TRUE(second.hit);
+        EXPECT_FALSE(second.built);
+        EXPECT_EQ(cached.storageBackend(), StorageBackend::Mmap);
+        EXPECT_GT(second.mappedBytes, 0u);
+        expectSameCsr(direct, cached);
+
+        // And the heap materialization of the sidecar matches too.
+        expectSameCsr(direct, ugb::loadUgbFile(ugb::sidecarPath(path),
+                                               ugb::MapMode::Heap));
+    }
+}
+
+TEST(UgbCache, SourceChangeInvalidatesTheSidecar)
+{
+    const std::string path = tempPath("ugb_invalidate.el");
+    std::filesystem::remove(ugb::sidecarPath(path));
+    writeFile(path, "0 1\n1 2\n");
+
+    ugb::CacheReport report;
+    Graph g = ugb::loadFileCached(path, ugb::CachePolicy::Auto, &report);
+    EXPECT_TRUE(report.built);
+    EXPECT_EQ(g.numVertices(), 3);
+
+    // Growing the source changes its stamp; the stale sidecar must not
+    // be served.
+    writeFile(path, "0 1\n1 2\n2 3\n");
+    g = ugb::loadFileCached(path, ugb::CachePolicy::Auto, &report);
+    EXPECT_FALSE(report.hit);
+    EXPECT_TRUE(report.built);
+    EXPECT_EQ(g.numVertices(), 4);
+
+    // Fresh again on the next load.
+    g = ugb::loadFileCached(path, ugb::CachePolicy::Auto, &report);
+    EXPECT_TRUE(report.hit);
+    EXPECT_EQ(g.numVertices(), 4);
+}
+
+TEST(UgbCache, PolicyOffNeverTouchesSidecars)
+{
+    const std::string path = tempPath("ugb_policy_off.el");
+    std::filesystem::remove(ugb::sidecarPath(path));
+    writeFile(path, "0 1\n1 2\n");
+
+    ugb::CacheReport report;
+    const Graph g =
+        ugb::loadFileCached(path, ugb::CachePolicy::Off, &report);
+    EXPECT_EQ(g.storageBackend(), StorageBackend::Heap);
+    EXPECT_FALSE(report.hit);
+    EXPECT_FALSE(report.built);
+    EXPECT_FALSE(std::filesystem::exists(ugb::sidecarPath(path)));
+}
+
+TEST(UgbCache, PolicyRebuildRefreshesAFreshSidecar)
+{
+    const std::string path = tempPath("ugb_policy_rebuild.el");
+    std::filesystem::remove(ugb::sidecarPath(path));
+    writeFile(path, "0 1\n1 2\n");
+
+    ugb::CacheReport report;
+    ugb::loadFileCached(path, ugb::CachePolicy::Auto, &report);
+    EXPECT_TRUE(report.built);
+    ugb::loadFileCached(path, ugb::CachePolicy::Rebuild, &report);
+    EXPECT_FALSE(report.hit);
+    EXPECT_TRUE(report.built); // rebuilt despite being fresh
+}
+
+TEST(UgbCache, UnknownExtensionIsReported)
+{
+    const std::string path = tempPath("ugb_unknown.graphml");
+    writeFile(path, "<graphml/>");
+    try {
+        ugb::loadFileCached(path);
+        FAIL() << "expected LoaderError";
+    } catch (const LoaderError &error) {
+        EXPECT_NE(error.reason().find("unknown graph file extension"),
+                  std::string::npos);
+    }
+}
+
+TEST(UgbCache, DirectUgbPathsLoadWithoutSidecars)
+{
+    const Graph graph = gen::cycle(16);
+    const std::string path = tempPath("ugb_direct.ugb");
+    ugb::writeUgbFile(graph, path);
+    ugb::CacheReport report;
+    const Graph loaded =
+        ugb::loadFileCached(path, ugb::CachePolicy::Auto, &report);
+    EXPECT_TRUE(report.hit);
+    EXPECT_EQ(loaded.storageBackend(), StorageBackend::Mmap);
+    expectSameCsr(graph, loaded);
+}
+
+// --- the generated-dataset cache ----------------------------------------
+
+class DatasetCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _dir = tempPath("ugc-dataset-cache-test");
+        std::filesystem::remove_all(_dir);
+        ::setenv("UGC_GRAPH_CACHE_DIR", _dir.c_str(), 1);
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("UGC_GRAPH_CACHE_DIR");
+        std::filesystem::remove_all(_dir);
+    }
+
+    std::string _dir;
+};
+
+TEST_F(DatasetCacheTest, BuildsOnceThenServesMmapHits)
+{
+    const Graph direct =
+        datasets::load("RN", datasets::Scale::Tiny, /*weighted=*/false);
+
+    ugb::CacheReport report;
+    const Graph built = datasets::loadCached(
+        "RN", datasets::Scale::Tiny, false, ugb::CachePolicy::Auto,
+        &report);
+    EXPECT_TRUE(report.built);
+    EXPECT_FALSE(report.hit);
+    EXPECT_EQ(built.storageBackend(), StorageBackend::Mmap);
+    expectSameCsr(direct, built);
+    EXPECT_TRUE(
+        std::filesystem::exists(_dir + "/RN-tiny.ugb"));
+
+    const Graph hit = datasets::loadCached(
+        "RN", datasets::Scale::Tiny, false, ugb::CachePolicy::Auto,
+        &report);
+    EXPECT_TRUE(report.hit);
+    EXPECT_FALSE(report.built);
+    expectSameCsr(direct, hit);
+}
+
+TEST_F(DatasetCacheTest, VariantsAndScalesGetSeparateEntries)
+{
+    ugb::CacheReport report;
+    datasets::loadCached("RN", datasets::Scale::Tiny, true,
+                         ugb::CachePolicy::Auto, &report);
+    EXPECT_TRUE(report.built);
+    datasets::loadCached("RN", datasets::Scale::Tiny, false,
+                         ugb::CachePolicy::Auto, &report);
+    EXPECT_TRUE(report.built); // different variant, different entry
+    EXPECT_TRUE(std::filesystem::exists(_dir + "/RN-tiny-w.ugb"));
+    EXPECT_TRUE(std::filesystem::exists(_dir + "/RN-tiny.ugb"));
+
+    // The weighted entry is still a hit afterwards.
+    datasets::loadCached("RN", datasets::Scale::Tiny, true,
+                         ugb::CachePolicy::Auto, &report);
+    EXPECT_TRUE(report.hit);
+}
+
+TEST_F(DatasetCacheTest, PolicyOffMatchesDirectGeneration)
+{
+    ugb::CacheReport report;
+    const Graph off = datasets::loadCached(
+        "PK", datasets::Scale::Tiny, false, ugb::CachePolicy::Off, &report);
+    EXPECT_EQ(off.storageBackend(), StorageBackend::Heap);
+    EXPECT_FALSE(std::filesystem::exists(_dir + "/PK-tiny.ugb"));
+    expectSameCsr(datasets::load("PK", datasets::Scale::Tiny, false), off);
+}
+
+TEST_F(DatasetCacheTest, CorruptCacheEntryIsRebuiltTransparently)
+{
+    ugb::CacheReport report;
+    datasets::loadCached("RN", datasets::Scale::Tiny, false,
+                         ugb::CachePolicy::Auto, &report);
+    ASSERT_TRUE(report.built);
+
+    // Truncate the entry; the next load must regenerate, not fail.
+    const std::string entry = _dir + "/RN-tiny.ugb";
+    const auto size = std::filesystem::file_size(entry);
+    std::filesystem::resize_file(entry, size / 3);
+
+    const Graph graph = datasets::loadCached(
+        "RN", datasets::Scale::Tiny, false, ugb::CachePolicy::Auto,
+        &report);
+    EXPECT_FALSE(report.hit);
+    EXPECT_TRUE(report.built);
+    expectSameCsr(datasets::load("RN", datasets::Scale::Tiny, false),
+                  graph);
+}
+
+} // namespace
+} // namespace ugc

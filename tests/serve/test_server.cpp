@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -166,7 +168,74 @@ TEST_F(ServerTest, GraphCommandValidatesAndLoadsDatasets)
     expectOneLine({"\"type\":\"error\""});
 
     EXPECT_TRUE(server.handleLine("graph road dataset=RN scale=tiny"));
-    expectOneLine({"\"type\":\"ok\"", "\"graph\":\"road\""});
+    expectOneLine({"\"type\":\"ok\"", "\"graph\":\"road\"",
+                   "\"storage\":\"heap\"", "\"load_ms\":"});
+}
+
+TEST_F(ServerTest, StorageCommandReportsBackendsPerGraph)
+{
+    EXPECT_TRUE(server.handleLine("graph road dataset=RN scale=tiny"));
+    takeLines();
+
+    EXPECT_TRUE(server.handleLine("storage"));
+    const std::vector<std::string> lines = takeLines();
+    // One line per registered graph ("g" + "road") plus the summary.
+    ASSERT_EQ(lines.size(), 3u);
+    for (const std::string needle :
+         {"\"type\":\"storage\"", "\"graph\":\"g\"", "\"loaded\":true",
+          "\"backend\":\"heap\"", "\"mapped_bytes\":0"})
+        EXPECT_NE(lines[0].find(needle), std::string::npos)
+            << "missing " << needle << " in: " << lines[0];
+    EXPECT_NE(lines[1].find("\"graph\":\"road\""), std::string::npos)
+        << lines[1];
+    for (const std::string needle :
+         {"\"type\":\"storage_summary\"", "\"graph_cache_policy\":\"off\"",
+          "\"mmap_graphs\":0", "\"graph_cache_hits\":0"})
+        EXPECT_NE(lines[2].find(needle), std::string::npos)
+            << "missing " << needle << " in: " << lines[2];
+}
+
+TEST(ServerStorage, GraphCacheServesMmapAcrossServerRestarts)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/ugc-server-cache-test";
+    std::filesystem::remove_all(dir);
+    ::setenv("UGC_GRAPH_CACHE_DIR", dir.c_str(), 1);
+
+    ServerOptions options;
+    options.engine.graphCachePolicy = ugb::CachePolicy::Auto;
+
+    {
+        std::ostringstream out;
+        Server first(options, out);
+        EXPECT_TRUE(first.handleLine("graph RN scale=tiny"));
+        const std::string line = out.str();
+        EXPECT_NE(line.find("\"storage\":\"mmap\""), std::string::npos)
+            << line;
+        EXPECT_NE(line.find("\"cache_hit\":false"), std::string::npos)
+            << line;
+    }
+    {
+        // A fresh server — the daemon's cold restart — must hit the cache.
+        std::ostringstream out;
+        Server second(options, out);
+        EXPECT_TRUE(second.handleLine("graph RN scale=tiny"));
+        const std::string line = out.str();
+        EXPECT_NE(line.find("\"storage\":\"mmap\""), std::string::npos)
+            << line;
+        EXPECT_NE(line.find("\"cache_hit\":true"), std::string::npos)
+            << line;
+        out.str("");
+        EXPECT_TRUE(second.handleLine("stats"));
+        const std::string stats = out.str();
+        EXPECT_NE(stats.find("\"graph_cache_hits\":1"), std::string::npos)
+            << stats;
+        EXPECT_NE(stats.find("\"mmap_graphs\":1"), std::string::npos)
+            << stats;
+    }
+
+    ::unsetenv("UGC_GRAPH_CACHE_DIR");
+    std::filesystem::remove_all(dir);
 }
 
 TEST_F(ServerTest, QuitStopsTheServer)

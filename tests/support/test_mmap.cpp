@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "support/mmap.h"
+
+namespace ugc::support {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+TEST(MappedFile, MapsFileContents)
+{
+    const std::string path = tempPath("mmap_basic.bin");
+    writeFile(path, "hello mapping");
+    MappedFile map(path);
+    ASSERT_TRUE(map.valid());
+    EXPECT_EQ(map.size(), 13u);
+    EXPECT_EQ(map.path(), path);
+    EXPECT_EQ(std::string(reinterpret_cast<const char *>(map.data()),
+                          map.size()),
+              "hello mapping");
+}
+
+TEST(MappedFile, EmptyFileIsValidEmptyMapping)
+{
+    const std::string path = tempPath("mmap_empty.bin");
+    writeFile(path, "");
+    MappedFile map(path);
+    EXPECT_TRUE(map.valid());
+    EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(MappedFile, MissingFileThrows)
+{
+    EXPECT_THROW(MappedFile(tempPath("mmap_does_not_exist.bin")),
+                 std::runtime_error);
+}
+
+TEST(MappedFile, TypedViewReadsValues)
+{
+    const std::string path = tempPath("mmap_typed.bin");
+    const uint64_t values[3] = {7, 11, 13};
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(values), sizeof(values));
+    out.close();
+
+    MappedFile map(path);
+    const auto view = map.view<uint64_t>(0, 3);
+    ASSERT_EQ(view.size(), 3u);
+    EXPECT_EQ(view[0], 7u);
+    EXPECT_EQ(view[2], 13u);
+    const auto tail = map.view<uint64_t>(8, 2);
+    EXPECT_EQ(tail[0], 11u);
+}
+
+TEST(MappedFile, ViewBoundsAndAlignmentAreChecked)
+{
+    const std::string path = tempPath("mmap_bounds.bin");
+    writeFile(path, std::string(16, 'x'));
+    MappedFile map(path);
+    EXPECT_THROW(map.view<uint64_t>(0, 3), std::out_of_range);
+    EXPECT_THROW(map.view<uint64_t>(16, 1), std::out_of_range);
+    EXPECT_THROW(map.view<uint64_t>(4, 1), std::out_of_range); // misaligned
+    EXPECT_NO_THROW(map.view<uint64_t>(8, 1));
+}
+
+TEST(MappedFile, MoveTransfersOwnership)
+{
+    const std::string path = tempPath("mmap_move.bin");
+    writeFile(path, "abcd");
+    MappedFile a(path);
+    MappedFile b(std::move(a));
+    EXPECT_FALSE(a.valid());
+    ASSERT_TRUE(b.valid());
+    EXPECT_EQ(b.size(), 4u);
+    MappedFile c;
+    c = std::move(b);
+    EXPECT_FALSE(b.valid());
+    EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(MappedFile, AdviseIsBestEffort)
+{
+    const std::string path = tempPath("mmap_advise.bin");
+    writeFile(path, std::string(4096, 'y'));
+    MappedFile map(path);
+    EXPECT_NO_THROW(map.advise(MapAdvice::Sequential));
+    EXPECT_NO_THROW(map.advise(MapAdvice::Random));
+    EXPECT_NO_THROW(map.advise(MapAdvice::WillNeed));
+    EXPECT_NO_THROW(map.advise(MapAdvice::Normal));
+}
+
+TEST(AtomicWriteFile, WritesAndReplaces)
+{
+    const std::string path = tempPath("atomic_write.bin");
+    atomicWriteFile(path, "first", 5);
+    {
+        MappedFile map(path);
+        EXPECT_EQ(std::string(reinterpret_cast<const char *>(map.data()),
+                              map.size()),
+                  "first");
+    }
+    atomicWriteFile(path, "second!", 7);
+    MappedFile map(path);
+    EXPECT_EQ(std::string(reinterpret_cast<const char *>(map.data()),
+                          map.size()),
+              "second!");
+}
+
+TEST(AtomicWriteFile, UnwritableDirectoryThrows)
+{
+    EXPECT_THROW(
+        atomicWriteFile("/proc/ugc-definitely-unwritable/file", "x", 1),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace ugc::support

@@ -11,6 +11,12 @@
  *   --run <dataset>     execute on a named synthetic dataset and report
  *                       cycles (RN, RC, RU, PK, HW, LJ, OK, IC, TW, SW)
  *   --tune              autotune the s1 schedule before emitting/running
+ *   --scale <s>         dataset scale for --run/--tune: tiny|small|
+ *                       medium|large (default small)
+ *   --graph-cache <p>   dataset .ugb cache policy for --run: auto (reuse
+ *                       or build a cached binary CSR under
+ *                       $UGC_GRAPH_CACHE_DIR and mmap it), off
+ *                       (default: generate in memory), rebuild
  *   --start <v>         start vertex for --run (default 0)
  *   --arg3 <n>          argv[3] binding (PR iterations / SSSP delta)
  *   --threads <n>       host threads for CPU execution (default 1)
@@ -107,6 +113,8 @@ usage()
         stderr,
         "usage: ugcc <algorithm.gt> [--target cpu|gpu|swarm|hb]\n"
         "            [--emit-ir] [--run <dataset>] [--tune]\n"
+        "            [--scale tiny|small|medium|large]\n"
+        "            [--graph-cache auto|off|rebuild]\n"
         "            [--start <v>] [--arg3 <n>] [--threads <n>]\n"
         "            [--udf-tier interp|compiled|auto]\n"
         "            [--profile <file>] [--trace <file>]\n"
@@ -176,6 +184,8 @@ main(int argc, char *argv[])
     std::string run_dataset;
     bool emit_ir = false;
     bool tune = false;
+    datasets::Scale run_scale = datasets::Scale::Small;
+    ugb::CachePolicy cache_policy = ugb::CachePolicy::Off;
     VertexId start = 0;
     int64_t arg3 = 10;
     unsigned threads = 1;
@@ -208,6 +218,21 @@ main(int argc, char *argv[])
             run_dataset = next();
         else if (flag == "--tune")
             tune = true;
+        else if (flag == "--scale") {
+            if (!datasets::parseScale(next(), run_scale)) {
+                std::fprintf(stderr,
+                             "ugcc: bad --scale (expected tiny, small, "
+                             "medium, or large)\n");
+                return kExitParse;
+            }
+        } else if (flag == "--graph-cache") {
+            if (!ugb::parseCachePolicy(next(), cache_policy)) {
+                std::fprintf(stderr,
+                             "ugcc: bad --graph-cache (expected auto, "
+                             "off, or rebuild)\n");
+                return kExitParse;
+            }
+        }
         else if (flag == "--start")
             start = static_cast<VertexId>(std::atoi(next()));
         else if (flag == "--arg3")
@@ -378,8 +403,17 @@ main(int argc, char *argv[])
             const bool weighted = programNeedsWeights(*program);
             const std::string dataset =
                 run_dataset.empty() ? "LJ" : run_dataset;
-            const Graph graph =
-                datasets::load(dataset, datasets::Scale::Small, weighted);
+            ugb::CacheReport cache_report;
+            const Graph graph = datasets::loadCached(
+                dataset, run_scale, weighted, cache_policy, &cache_report);
+            if (cache_policy != ugb::CachePolicy::Off)
+                std::fprintf(
+                    stderr,
+                    "ugcc: graph cache %s (%s backend, %.1f ms load)\n",
+                    cache_report.hit ? "hit" : "miss",
+                    storageBackendName(graph.storageBackend()),
+                    cache_report.parseMs + cache_report.buildMs +
+                        cache_report.openMs);
             RunInputs inputs;
             inputs.graph = &graph;
             inputs.args = {0, 0, start, arg3};

@@ -24,7 +24,11 @@
  *
  * Options:
  *   --threads <n>    worker threads of the query pool (default: cores)
- *   --scale <s>      default dataset scale: tiny|small|medium
+ *   --scale <s>      default dataset scale: tiny|small|medium|large
+ *   --graph-cache <p>  dataset .ugb cache policy: auto (default — reuse
+ *                    or build `$UGC_GRAPH_CACHE_DIR`/<temp>/ugc-graph-cache
+ *                    entries and serve graphs mmap'd, making restarts
+ *                    near-instant), off (always generate), rebuild
  *   --builtins       preload the built-in algorithms (pr bfs sssp cc bc)
  *   --max-in-flight <n>  admission window; excess queries are rejected
  *   --max-iters/--timeout-ms/--cycle-budget <n>
@@ -53,7 +57,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: ugcd [--threads <n>] [--scale tiny|small|medium]\n"
+        "usage: ugcd [--threads <n>] [--scale tiny|small|medium|large]\n"
+        "            [--graph-cache auto|off|rebuild]\n"
         "            [--builtins] [--max-in-flight <n>]\n"
         "            [--max-iters <n>] [--timeout-ms <n>]\n"
         "            [--cycle-budget <n>]\n"
@@ -70,6 +75,9 @@ int
 main(int argc, char **argv)
 {
     serve::ServerOptions options;
+    // A serving daemon wants near-instant restarts: reuse (or build) the
+    // .ugb dataset cache by default. Library Engines default to off.
+    options.engine.graphCachePolicy = ugb::CachePolicy::Auto;
     serve::ThroughputOptions bench_options;
     bool preload_builtins = false;
     bool run_bench = false;
@@ -90,16 +98,16 @@ main(int argc, char **argv)
         } else if (arg == "--scale") {
             if (i + 1 >= argc)
                 return usage();
-            const std::string scale = argv[++i];
-            if (scale == "tiny")
-                options.engine.datasetScale = datasets::Scale::Tiny;
-            else if (scale == "small")
-                options.engine.datasetScale = datasets::Scale::Small;
-            else if (scale == "medium")
-                options.engine.datasetScale = datasets::Scale::Medium;
-            else
+            if (!datasets::parseScale(argv[++i],
+                                      options.engine.datasetScale))
                 return usage();
             bench_options.scale = options.engine.datasetScale;
+        } else if (arg == "--graph-cache") {
+            if (i + 1 >= argc)
+                return usage();
+            if (!ugb::parseCachePolicy(argv[++i],
+                                       options.engine.graphCachePolicy))
+                return usage();
         } else if (arg == "--builtins") {
             preload_builtins = true;
         } else if (arg == "--max-in-flight") {
