@@ -114,6 +114,24 @@ queryStatusName(QueryStatus status)
         return "budget_exceeded";
     case QueryStatus::Rejected:
         return "rejected";
+    case QueryStatus::Cancelled:
+        return "cancelled";
+    case QueryStatus::DeadlineExceeded:
+        return "deadline_exceeded";
+    case QueryStatus::Shed:
+        return "shed";
+    }
+    return "unknown";
+}
+
+const char *
+queryClassName(QueryClass cls)
+{
+    switch (cls) {
+    case QueryClass::Interactive:
+        return "interactive";
+    case QueryClass::Batch:
+        return "batch";
     }
     return "unknown";
 }
@@ -510,6 +528,61 @@ Engine::clearProgramCache()
     _cacheLru.clear();
 }
 
+// --- schedule circuit breaker (DESIGN.md §13) -----------------------------
+
+bool
+Engine::breakerQuarantined(const std::string &cache_key, RunError *evidence)
+{
+    if (!_options.breakerThreshold)
+        return false;
+    std::lock_guard<std::mutex> lock(_breakerMutex);
+    auto it = _breaker.find(cache_key);
+    if (it == _breaker.end() || !it->second.open)
+        return false;
+    Breaker &breaker = it->second;
+    if (std::chrono::steady_clock::now() >= breaker.until) {
+        // Half-open: let one probe through; a single further trip
+        // re-opens the breaker immediately.
+        breaker.open = false;
+        breaker.trips = _options.breakerThreshold - 1;
+        return false;
+    }
+    ++breaker.hits;
+    if (evidence)
+        *evidence = breaker.lastTrigger;
+    bump(&EngineStats::quarantineHits);
+    return true;
+}
+
+void
+Engine::recordBreakerTrip(const std::string &cache_key, const RunError &error)
+{
+    bump(&EngineStats::guardTrips);
+    if (!_options.breakerThreshold)
+        return;
+    std::lock_guard<std::mutex> lock(_breakerMutex);
+    Breaker &breaker = _breaker[cache_key];
+    breaker.lastTrigger = error;
+    if (!breaker.open && ++breaker.trips >= _options.breakerThreshold) {
+        breaker.open = true;
+        breaker.until = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(_options.breakerCooldownMs);
+    }
+}
+
+void
+Engine::recordBreakerSuccess(const std::string &cache_key)
+{
+    std::lock_guard<std::mutex> lock(_breakerMutex);
+    if (_breaker.empty())
+        return;
+    auto it = _breaker.find(cache_key);
+    if (it == _breaker.end())
+        return;
+    it->second.trips = 0;
+    it->second.open = false;
+}
+
 // --- execution ------------------------------------------------------------
 
 void
@@ -538,6 +611,12 @@ Engine::stats() const
     {
         std::lock_guard<std::mutex> lock(_cacheMutex);
         out.cachedPrograms = _programCache.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(_breakerMutex);
+        for (const auto &[key, breaker] : _breaker)
+            if (breaker.open)
+                ++out.quarantinedEntries;
     }
     for (const GraphStorageInfo &info : graphStorage()) {
         out.mappedBytes += info.mappedBytes;
@@ -666,11 +745,27 @@ Engine::runQuery(const Query &query, uint64_t id)
                             schedule_key + "|" + query.backend;
     if (schedule_key == "tuned")
         cache_key += ":" + std::string(graphKindName(entry->kind));
+    const std::string fallback_key = query.algorithm + "#" +
+                                     std::to_string(algo->revision) +
+                                     "|baseline|" + query.backend;
+
+    // Circuit breaker: a combination that keeps tripping its guards is
+    // quarantined — serve the baseline fallback immediately instead of
+    // paying for another doomed attempt (DESIGN.md §13). Queries that
+    // forbid degradation keep their contract: they attempt the requested
+    // schedule (and fail structurally) rather than silently degrade.
+    RunError quarantine_evidence;
+    const bool quarantined =
+        query.allowDegraded && schedule_key != "baseline" &&
+        breakerQuarantined(cache_key, &quarantine_evidence);
+    const std::string &used_key = quarantined ? fallback_key : cache_key;
+    const std::string used_schedule =
+        quarantined ? "baseline" : schedule_key;
 
     std::shared_ptr<Program> lowered;
     try {
-        lowered = compiledProgram(cache_key, *algo, schedule_key, entry->kind,
-                                  query, *vm, out.cacheHit);
+        lowered = compiledProgram(used_key, *algo, used_schedule,
+                                  entry->kind, query, *vm, out.cacheHit);
     } catch (const PipelineError &error) {
         return fail(QueryStatus::CompileError, error.what());
     } catch (const std::exception &error) {
@@ -694,11 +789,42 @@ Engine::runQuery(const Query &query, uint64_t id)
     inputs.args = {0, 0, start, query.arg3};
     inputs.limits = query.limits;
 
+    // Cooperative cancellation / deadline: prefer the caller's token; a
+    // bare deadlineMs (synchronous runs) gets a local one. The deadline is
+    // end-to-end, so Session arms the token with the *remaining* budget —
+    // here we only arm when nobody has yet.
+    CancelToken local_cancel;
+    if (query.cancel) {
+        if (query.deadlineMs > 0 && !query.cancel->hasDeadline())
+            query.cancel->armDeadlineIn(query.deadlineMs);
+        inputs.cancel = query.cancel.get();
+    } else if (query.deadlineMs > 0) {
+        local_cancel.armDeadlineIn(query.deadlineMs);
+        inputs.cancel = &local_cancel;
+    }
+
     RunResult run_result;
     try {
         run_result = vm->execute(*exec_program, inputs);
     } catch (const GuardError &error) {
         const RunError &trigger = error.error();
+        // Cancellation and deadline expiry never degrade: re-running a
+        // request the client has abandoned is pure waste. Both carry
+        // round/edge progress in the structured error.
+        if (trigger.kind == RunError::Kind::Cancelled) {
+            out.error = trigger;
+            bump(&EngineStats::cancelled);
+            return fail(QueryStatus::Cancelled, error.what());
+        }
+        if (trigger.kind == RunError::Kind::WallTimeout &&
+            (query.deadlineMs > 0 || inputs.cancel)) {
+            out.error = trigger;
+            bump(&EngineStats::deadlineExceeded);
+            return fail(QueryStatus::DeadlineExceeded, error.what());
+        }
+        if (recoverable(trigger.kind) && !quarantined &&
+            schedule_key != "baseline")
+            recordBreakerTrip(cache_key, trigger);
         if (!query.allowDegraded || !recoverable(trigger.kind)) {
             out.error = trigger;
             return fail(recoverable(trigger.kind) ? QueryStatus::BudgetExceeded
@@ -712,9 +838,6 @@ Engine::runQuery(const Query &query, uint64_t id)
             !trigger.site.empty())
             faults::disarm(trigger.site);
         try {
-            std::string fallback_key = query.algorithm + "#" +
-                                       std::to_string(algo->revision) +
-                                       "|baseline|" + query.backend;
             bool fallback_hit = false;
             std::shared_ptr<Program> fallback =
                 compiledProgram(fallback_key, *algo, "baseline", entry->kind,
@@ -749,6 +872,26 @@ Engine::runQuery(const Query &query, uint64_t id)
         }
     } catch (const std::exception &error) {
         return fail(QueryStatus::RuntimeError, error.what());
+    }
+
+    if (quarantined) {
+        // Served from the baseline fallback without attempting the
+        // requested schedule; surface the evidence that opened the
+        // breaker so clients can see *why* they got a degraded answer.
+        run_result.degraded = true;
+        run_result.guardError = quarantine_evidence;
+        out.degraded = true;
+        out.error = quarantine_evidence;
+        out.diagnostic = "schedule quarantined by circuit breaker (" +
+                         std::string(runErrorKindName(
+                             quarantine_evidence.kind)) +
+                         "); served baseline fallback";
+        if (profile) {
+            profile->setMeta("degraded", "true");
+            profile->setMeta("guard.quarantined", "true");
+        }
+    } else if (!out.degraded && schedule_key != "baseline") {
+        recordBreakerSuccess(cache_key);
     }
 
     if (profiling)

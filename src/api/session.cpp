@@ -1,10 +1,23 @@
 #include "api/ugc.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 
 namespace ugc {
+
+namespace {
+
+int64_t
+elapsedMs(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
 
 Session::Session(Engine &engine, Options options)
     : _engine(engine), _options(options)
@@ -35,23 +48,76 @@ uint64_t
 Session::submit(const Query &query)
 {
     Query merged = withSessionLimits(query);
+    // Every async query carries a CancelToken so cancel()/cancelAll()
+    // and deadline arming have a handle; the caller's token is honored.
+    if (!merged.cancel)
+        merged.cancel = std::make_shared<CancelToken>();
+    const auto enqueued = std::chrono::steady_clock::now();
+    const size_t cls_idx = static_cast<size_t>(merged.cls);
     uint64_t ticket;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         ticket = _nextTicket++;
         Pending &pending = _pending[ticket];
-        if (_options.maxInFlight && _inFlight >= _options.maxInFlight) {
+        pending.cls = merged.cls;
+        pending.cancel = merged.cancel;
+        const size_t class_cap = merged.cls == QueryClass::Interactive
+                                     ? _options.maxInFlightInteractive
+                                     : _options.maxInFlightBatch;
+        std::string rejection;
+        if (_options.maxInFlight && _inFlight >= _options.maxInFlight)
+            rejection = "in-flight window full (" +
+                        std::to_string(_options.maxInFlight) + " queries)";
+        else if (class_cap && _inFlightByClass[cls_idx] >= class_cap)
+            rejection = std::string(queryClassName(merged.cls)) +
+                        " in-flight window full (" +
+                        std::to_string(class_cap) + " queries)";
+        if (!rejection.empty()) {
             pending.done = true;
             pending.result.status = QueryStatus::Rejected;
-            pending.result.diagnostic =
-                "in-flight window full (" +
-                std::to_string(_options.maxInFlight) + " queries)";
+            pending.result.diagnostic = std::move(rejection);
             return ticket;
         }
         ++_inFlight;
+        ++_inFlightByClass[cls_idx];
     }
-    _engine.pool().submit([this, ticket, merged = std::move(merged)] {
-        QueryResult result = _engine.run(merged);
+    _engine.pool().submit([this, ticket, enqueued, cls_idx,
+                           merged = std::move(merged)] {
+        QueryResult result;
+        const int64_t waited = elapsedMs(enqueued);
+        const bool missed_deadline =
+            merged.deadlineMs > 0 && waited >= merged.deadlineMs;
+        if (_options.queueDeadlineMs > 0 &&
+            waited > _options.queueDeadlineMs) {
+            // Load shedding: this query waited so long that serving it
+            // now only adds latency to everything behind it.
+            result.status = QueryStatus::Shed;
+            result.diagnostic = "shed after " + std::to_string(waited) +
+                                " ms queued (queue deadline " +
+                                std::to_string(_options.queueDeadlineMs) +
+                                " ms)";
+            _engine.bump(&EngineStats::shed);
+        } else if (missed_deadline) {
+            result.status = QueryStatus::Shed;
+            result.diagnostic = "deadline (" +
+                                std::to_string(merged.deadlineMs) +
+                                " ms) expired after " +
+                                std::to_string(waited) + " ms queued";
+            _engine.bump(&EngineStats::shed);
+        } else if (merged.cancel->cancelled()) {
+            // Cancelled while queued: answer without running.
+            result.status = QueryStatus::Cancelled;
+            result.error.kind = RunError::Kind::Cancelled;
+            result.diagnostic = "cancelled while queued";
+            _engine.bump(&EngineStats::cancelled);
+        } else {
+            // The deadline is end-to-end: arm the token with what is
+            // left after the queue wait (runQuery sees hasDeadline()
+            // and leaves it alone).
+            if (merged.deadlineMs > 0)
+                merged.cancel->armDeadlineIn(merged.deadlineMs - waited);
+            result = _engine.run(merged);
+        }
         std::lock_guard<std::mutex> lock(_mutex);
         auto it = _pending.find(ticket);
         if (it != _pending.end()) {
@@ -59,6 +125,7 @@ Session::submit(const Query &query)
             it->second.done = true;
         }
         --_inFlight;
+        --_inFlightByClass[cls_idx];
         _cv.notify_all();
     });
     return ticket;
@@ -73,9 +140,17 @@ Session::wait(uint64_t ticket)
         throw std::invalid_argument("unknown query ticket " +
                                     std::to_string(ticket));
     _cv.wait(lock, [&it] { return it->second.done; });
-    QueryResult result = std::move(it->second.result);
-    _pending.erase(it);
-    return result;
+    // Idempotent: the entry is retained (bounded FIFO) so a second wait
+    // on the same ticket returns the same result instead of throwing.
+    if (!it->second.claimed) {
+        it->second.claimed = true;
+        _claimedOrder.push_back(ticket);
+        while (_claimedOrder.size() > kClaimedRetention) {
+            _pending.erase(_claimedOrder.front());
+            _claimedOrder.pop_front();
+        }
+    }
+    return it->second.result;
 }
 
 bool
@@ -84,6 +159,38 @@ Session::isDone(uint64_t ticket) const
     std::lock_guard<std::mutex> lock(_mutex);
     auto it = _pending.find(ticket);
     return it != _pending.end() && it->second.done;
+}
+
+bool
+Session::cancel(uint64_t ticket)
+{
+    std::shared_ptr<CancelToken> token;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _pending.find(ticket);
+        if (it == _pending.end() || it->second.done)
+            return false;
+        token = it->second.cancel;
+    }
+    if (!token)
+        return false;
+    token->cancel();
+    return true;
+}
+
+size_t
+Session::cancelAll()
+{
+    std::vector<std::shared_ptr<CancelToken>> tokens;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        for (auto &[ticket, pending] : _pending)
+            if (!pending.done && pending.cancel)
+                tokens.push_back(pending.cancel);
+    }
+    for (const auto &token : tokens)
+        token->cancel();
+    return tokens.size();
 }
 
 std::vector<QueryResult>

@@ -29,8 +29,10 @@
 #ifndef UGC_API_UGC_H
 #define UGC_API_UGC_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <map>
 #include <memory>
@@ -74,8 +76,22 @@ struct EngineOptions
      *  Engine takes no filesystem side effects unless asked) generates
      *  directly onto the heap; Auto goes through the build-once .ugb
      *  cache (datasets::loadCached), mmapping a cached graph for
-     *  near-instant cold starts; Rebuild refreshes the cache entry. */
+     *  near-instant cold starts; Verify is Auto plus a full checksum walk
+     *  of every cache hit before serving it (paranoid mode — a corrupted
+     *  cache file is rebuilt instead of served); Rebuild refreshes the
+     *  cache entry. */
     ugb::CachePolicy graphCachePolicy = ugb::CachePolicy::Off;
+
+    /** Schedule circuit breaker (DESIGN.md §13): quarantine a compiled
+     *  (algorithm, schedule, backend) combination after this many
+     *  recoverable guard trips, serving the baseline fallback directly —
+     *  no doomed first attempt — until the cooldown expires. 0 disables
+     *  the breaker. */
+    unsigned breakerThreshold = 3;
+
+    /** How long a tripped combination stays quarantined before one
+     *  re-probe is allowed (half-open). */
+    int64_t breakerCooldownMs = 10000;
 };
 
 /** Outcome classification of one query; mirrors the ugcc exit-code
@@ -88,10 +104,24 @@ enum class QueryStatus {
     RuntimeError,     ///< execution failed (including validation mismatch)
     BudgetExceeded,   ///< guard trip that degradation could not rescue
     Rejected,         ///< admission control: in-flight window full
+    Cancelled,        ///< the request's CancelToken was tripped mid-run
+    DeadlineExceeded, ///< the request deadline expired (queued or mid-run)
+    Shed,             ///< load shedding: dropped before execution started
 };
 
 /** Stable lower-case name of a QueryStatus ("ok", "bad_request", ...). */
 const char *queryStatusName(QueryStatus status);
+
+/** Scheduling class of a query: interactive requests are latency-bound
+ *  (tight deadlines, shed early under overload); batch requests tolerate
+ *  queueing. Sessions can cap the two classes independently. */
+enum class QueryClass {
+    Interactive,
+    Batch,
+};
+
+/** Stable lower-case name of a QueryClass ("interactive", "batch"). */
+const char *queryClassName(QueryClass cls);
 
 /** One algorithm request against a loaded graph. */
 struct Query
@@ -142,6 +172,30 @@ struct Query
     /** Degrade to the backend's default schedule on a recoverable guard
      *  trip (the runGuarded contract) instead of failing the query. */
     bool allowDegraded = true;
+
+    /** Scheduling class: admission limits and shedding are tracked per
+     *  class (Session::Options::maxInFlightInteractive / -Batch). */
+    QueryClass cls = QueryClass::Interactive;
+
+    /**
+     * End-to-end deadline in milliseconds, measured from submit():
+     * queue wait counts against it. A query still queued at its deadline
+     * is Shed without running; one that starts is given the remaining
+     * budget as a cooperative mid-round deadline (DeadlineExceeded).
+     * 0 = no deadline. Unlike limits.wallTimeoutMs (a per-run execution
+     * budget, recoverable via degradation), an expired deadline never
+     * triggers a fallback re-run — the client has already given up.
+     */
+    int64_t deadlineMs = 0;
+
+    /**
+     * Cooperative cancellation handle. Optional: submit() creates one
+     * per async query when absent (Session::cancel uses it); attach your
+     * own to cancel a synchronous run from another thread. The engine
+     * polls it at round tops and amortized inside traversal loops
+     * (support/cancel.h), so cancellation lands mid-round.
+     */
+    std::shared_ptr<CancelToken> cancel;
 };
 
 /** Structured outcome of one query. */
@@ -177,6 +231,14 @@ struct EngineStats
     uint64_t graphCacheBuilds = 0; ///< .ugb cache entries (re)built
     size_t mmapGraphs = 0;         ///< materialized graphs backed by mmap
     size_t mappedBytes = 0;        ///< total bytes of graph file mappings
+
+    // --- request-lifecycle reliability (DESIGN.md §13) -------------------
+    uint64_t cancelled = 0;        ///< queries cancelled mid-run
+    uint64_t deadlineExceeded = 0; ///< deadlines expired mid-run
+    uint64_t shed = 0;             ///< queries shed before running
+    uint64_t guardTrips = 0;       ///< recoverable guard trips recorded
+    uint64_t quarantineHits = 0;   ///< queries served baseline by breaker
+    size_t quarantinedEntries = 0; ///< schedule combinations quarantined now
 };
 
 /** Storage detail of one registered graph key (Engine::graphStorage). */
@@ -311,6 +373,18 @@ class Engine
     struct AlgorithmEntry;
     struct CacheEntry;
 
+    /** Circuit-breaker state of one compiled (algorithm, schedule,
+     *  backend) combination; keyed separately from the program cache so
+     *  quarantine survives LRU eviction. */
+    struct Breaker
+    {
+        unsigned trips = 0;   ///< consecutive recoverable guard trips
+        bool open = false;    ///< quarantined right now
+        std::chrono::steady_clock::time_point until; ///< cooldown expiry
+        RunError lastTrigger; ///< evidence attached to quarantined results
+        uint64_t hits = 0;    ///< queries served baseline while open
+    };
+
     QueryResult runQuery(const Query &query, uint64_t id);
     GraphVM *backendFor(const std::string &name, bool serial);
     std::shared_ptr<GraphEntry> graphEntry(const std::string &key) const;
@@ -319,6 +393,14 @@ class Engine
                     const std::string &schedule_key, datasets::GraphKind kind,
                     const Query &query, GraphVM &vm, bool &cache_hit);
     void bump(uint64_t EngineStats::*field);
+
+    /** True when @p cache_key is quarantined (serve baseline directly);
+     *  fills @p evidence with the trip that opened the breaker. Handles
+     *  the half-open transition on cooldown expiry. */
+    bool breakerQuarantined(const std::string &cache_key, RunError *evidence);
+    void recordBreakerTrip(const std::string &cache_key,
+                           const RunError &error);
+    void recordBreakerSuccess(const std::string &cache_key);
 
     EngineOptions _options;
     ThreadPool _pool;
@@ -336,6 +418,9 @@ class Engine
     mutable std::mutex _cacheMutex;
     std::map<std::string, CacheEntry> _programCache;
     std::list<std::string> _cacheLru; ///< most recent at front
+
+    mutable std::mutex _breakerMutex;
+    std::map<std::string, Breaker> _breaker; ///< keyed by cache_key
 
     mutable std::mutex _statsMutex;
     EngineStats _stats;
@@ -360,6 +445,17 @@ class Session
         /** Admission control: submit() past this many unfinished
          *  queries is Rejected. */
         size_t maxInFlight = 64;
+
+        /** Per-class admission caps layered under maxInFlight: submits
+         *  past the cap for the query's class are Rejected naming the
+         *  class. 0 = no per-class cap (the global cap still applies). */
+        size_t maxInFlightInteractive = 0;
+        size_t maxInFlightBatch = 0;
+
+        /** Load shedding: a queued query that waited longer than this
+         *  before starting is Shed without running (0 = never). Distinct
+         *  from Query::deadlineMs, which also bounds execution. */
+        int64_t queueDeadlineMs = 0;
     };
 
     explicit Session(Engine &engine) : Session(engine, Options{}) {}
@@ -382,14 +478,28 @@ class Session
      */
     uint64_t submit(const Query &query);
 
-    /** Block until the submitted query finishes; each ticket may be
-     *  waited on once. @throws std::invalid_argument for unknown (or
-     *  already-claimed) tickets. */
+    /** Block until the submitted query finishes. Idempotent: waiting on
+     *  the same ticket again returns the cached result (recent tickets
+     *  are retained; see kClaimedRetention). @throws
+     *  std::invalid_argument for unknown tickets. */
     QueryResult wait(uint64_t ticket);
 
-    /** Non-blocking: has the submitted query finished? (False for
-     *  unknown or already-claimed tickets.) */
+    /** Non-blocking: has the submitted query finished? (True for
+     *  already-claimed tickets still retained; false for unknown.) */
     bool isDone(uint64_t ticket) const;
+
+    /**
+     * Request cancellation of a submitted query. Queued queries resolve
+     * Cancelled without running; a running query trips its CancelToken
+     * and terminates mid-round within the engine's poll grain. Returns
+     * false for unknown or already-finished tickets. Never blocks; the
+     * result still arrives through wait().
+     */
+    bool cancel(uint64_t ticket);
+
+    /** Cancel every unfinished query (drain path). Returns how many
+     *  tokens were tripped. */
+    size_t cancelAll();
 
     /**
      * Run a batch concurrently with at most @p in_flight queries active
@@ -405,11 +515,18 @@ class Session
     Engine &engine() { return _engine; }
 
   private:
+    /** Claimed tickets retained for idempotent wait()/isDone(), evicted
+     *  FIFO past this many. */
+    static constexpr size_t kClaimedRetention = 128;
+
     Query withSessionLimits(const Query &query) const;
 
     struct Pending
     {
         bool done = false;
+        bool claimed = false; ///< wait() returned it at least once
+        QueryClass cls = QueryClass::Interactive;
+        std::shared_ptr<CancelToken> cancel;
         QueryResult result;
     };
 
@@ -418,8 +535,10 @@ class Session
     mutable std::mutex _mutex;
     std::condition_variable _cv;
     std::map<uint64_t, Pending> _pending;
+    std::deque<uint64_t> _claimedOrder; ///< retention FIFO
     uint64_t _nextTicket = 1;
     size_t _inFlight = 0;
+    size_t _inFlightByClass[2] = {0, 0}; ///< indexed by QueryClass
 };
 
 } // namespace ugc

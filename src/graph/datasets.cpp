@@ -280,12 +280,17 @@ loadCached(const std::string &name, Scale scale, bool weighted,
         (weighted ? "-w" : "") + ".ugb";
     out.cachePath = path;
 
-    if (policy == ugb::CachePolicy::Auto) {
+    if (policy == ugb::CachePolicy::Auto ||
+        policy == ugb::CachePolicy::Verify) {
         ugb::SourceStamp cached;
         uint32_t kind = ugb::kKindUnknown;
         if (ugb::readUgbStamp(path, cached, kind) &&
             cached.tag == stamp.tag) {
             try {
+                // Verify: full checksum walk before serving the hit; a
+                // corrupted entry falls through and is regenerated.
+                if (policy == ugb::CachePolicy::Verify)
+                    ugb::verifyUgbFile(path);
                 const Clock::time_point begin = Clock::now();
                 ugb::LoadInfo info;
                 Graph graph = ugb::loadUgbFile(path, ugb::MapMode::Map,

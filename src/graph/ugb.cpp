@@ -445,6 +445,8 @@ parseCachePolicy(const std::string &name, CachePolicy &policy)
         policy = CachePolicy::Off;
     else if (name == "rebuild")
         policy = CachePolicy::Rebuild;
+    else if (name == "verify")
+        policy = CachePolicy::Verify;
     else
         return false;
     return true;
@@ -460,6 +462,8 @@ cachePolicyName(CachePolicy policy)
         return "off";
     case CachePolicy::Rebuild:
         return "rebuild";
+    case CachePolicy::Verify:
+        return "verify";
     }
     return "auto";
 }
@@ -485,6 +489,10 @@ loadFileCached(const std::string &path, CachePolicy policy,
 
     if (ext == "ugb") {
         const Clock::time_point begin = Clock::now();
+        // A direct .ugb has no source to rebuild from, so under Verify a
+        // corrupted file is a hard error rather than a silent rebuild.
+        if (policy == CachePolicy::Verify)
+            verifyUgbFile(path);
         LoadInfo info;
         Graph graph = loadUgbFile(path, MapMode::Map, &info);
         out.openMs = msSince(begin);
@@ -522,20 +530,28 @@ loadFileCached(const std::string &path, CachePolicy policy,
     const std::string sidecar = sidecarPath(path);
     out.cachePath = sidecar;
 
-    if (policy == CachePolicy::Auto) {
+    if (policy == CachePolicy::Auto || policy == CachePolicy::Verify) {
         SourceStamp cached;
         uint32_t kind = kKindUnknown;
         if (readUgbStamp(sidecar, cached, kind) &&
             cached.size == stamp.size && cached.mtimeNs == stamp.mtimeNs &&
             cached.tag == stamp.tag) {
-            const Clock::time_point begin = Clock::now();
-            LoadInfo info;
-            Graph graph = loadUgbFile(sidecar, MapMode::Map, &info);
-            out.openMs = msSince(begin);
-            out.hit = true;
-            out.backend = info.backend;
-            out.mappedBytes = info.mappedBytes;
-            return graph;
+            try {
+                // Verify pays a full checksum walk per hit; a corrupted
+                // sidecar falls through to the rebuild path below.
+                if (policy == CachePolicy::Verify)
+                    verifyUgbFile(sidecar);
+                const Clock::time_point begin = Clock::now();
+                LoadInfo info;
+                Graph graph = loadUgbFile(sidecar, MapMode::Map, &info);
+                out.openMs = msSince(begin);
+                out.hit = true;
+                out.backend = info.backend;
+                out.mappedBytes = info.mappedBytes;
+                return graph;
+            } catch (const LoaderError &) {
+                // fall through: rebuild the sidecar from the source
+            }
         }
     }
 

@@ -127,9 +127,12 @@ enum class CachePolicy {
     Auto,    ///< use a fresh sidecar, build it when missing or stale
     Off,     ///< always parse the source; never touch sidecars
     Rebuild, ///< rebuild the sidecar even if it looks fresh
+    Verify,  ///< Auto + full checksum walk of every hit before serving;
+             ///< a corrupted sidecar is rebuilt instead of served
 };
 
-/** Parse "auto" / "off" / "rebuild"; @return false on unknown names. */
+/** Parse "auto" / "off" / "rebuild" / "verify";
+ *  @return false on unknown names. */
 bool parseCachePolicy(const std::string &name, CachePolicy &policy);
 
 /** Stable lower-case name of a CachePolicy. */

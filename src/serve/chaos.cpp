@@ -1,0 +1,436 @@
+#include "serve/chaos.h"
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+
+#include "api/ugc.h"
+#include "graph/generators.h"
+#include "support/cancel.h"
+#include "support/faults.h"
+#include "support/rng.h"
+
+namespace ugc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - begin)
+        .count();
+}
+
+/** What one mixed-phase query is meant to exercise. */
+enum class Disposition {
+    Clean,         ///< must be Ok and bit-identical to the twin run
+    TinyBudget,    ///< maxIterations=1, no degradation: BudgetExceeded
+    PreCancel,     ///< token tripped before submit: Cancelled
+    LateCancel,    ///< cancelled after submit: Ok or Cancelled
+    ShortDeadline, ///< 1-3 ms end-to-end: Ok, Shed, or DeadlineExceeded
+    BadRequest,    ///< unknown algorithm/graph/backend: BadRequest
+};
+
+struct Plan
+{
+    Disposition disposition = Disposition::Clean;
+    Query query;
+};
+
+const char *
+dispositionName(Disposition d)
+{
+    switch (d) {
+    case Disposition::Clean:
+        return "clean";
+    case Disposition::TinyBudget:
+        return "tiny_budget";
+    case Disposition::PreCancel:
+        return "pre_cancel";
+    case Disposition::LateCancel:
+        return "late_cancel";
+    case Disposition::ShortDeadline:
+        return "short_deadline";
+    case Disposition::BadRequest:
+        return "bad_request";
+    }
+    return "?";
+}
+
+/**
+ * Derive query @p index of the mixed phase from the seed alone. Every
+ * field — disposition, algorithm, graph, start vertex — comes from a
+ * splitMix64 stream keyed by (seed, index), so the same ChaosOptions
+ * reproduce the same schedule bit-for-bit, and the fault-free twin can
+ * regenerate exactly the clean subset.
+ */
+Plan
+makePlan(uint64_t seed, int index, VertexId social_vertices,
+         VertexId road_vertices)
+{
+    uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (uint64_t(index) + 1));
+    const uint64_t pick = splitMix64(state) % 100;
+
+    Plan plan;
+    Query &q = plan.query;
+    q.backend = "cpu";
+
+    const uint64_t graph_draw = splitMix64(state);
+    const bool social = (graph_draw & 1) == 0;
+    q.graph = social ? "social" : "road";
+    const VertexId vertices = social ? social_vertices : road_vertices;
+    q.start = static_cast<VertexId>(splitMix64(state) % uint64_t(vertices));
+
+    static const char *const kAlgorithms[] = {"bfs", "sssp", "pr", "cc",
+                                              "bc"};
+    q.algorithm = kAlgorithms[splitMix64(state) % 5];
+    if (q.algorithm == "pr")
+        q.arg3 = 3 + static_cast<int64_t>(splitMix64(state) % 5);
+    else if (q.algorithm == "sssp")
+        q.arg3 = 1 + static_cast<int64_t>(splitMix64(state) % 4);
+    q.cls = (splitMix64(state) & 1) ? QueryClass::Interactive
+                                    : QueryClass::Batch;
+
+    if (pick < 60) {
+        plan.disposition = Disposition::Clean;
+    } else if (pick < 70) {
+        plan.disposition = Disposition::TinyBudget;
+        // BFS on the grid needs tens of While rounds from any start, so a
+        // one-iteration budget with degradation disabled trips every run.
+        q.algorithm = "bfs";
+        q.graph = "road";
+        q.start = q.start % road_vertices; // drawn against the other graph
+        q.arg3 = 10;
+        q.limits.maxIterations = 1;
+        q.allowDegraded = false;
+    } else if (pick < 78) {
+        plan.disposition = Disposition::PreCancel;
+        q.cancel = std::make_shared<CancelToken>();
+        q.cancel->cancel();
+    } else if (pick < 86) {
+        plan.disposition = Disposition::LateCancel;
+        q.algorithm = "pr";
+        q.arg3 = 30;
+    } else if (pick < 93) {
+        plan.disposition = Disposition::ShortDeadline;
+        q.algorithm = "pr";
+        q.arg3 = 30;
+        q.deadlineMs = 1 + static_cast<int64_t>(splitMix64(state) % 3);
+    } else {
+        plan.disposition = Disposition::BadRequest;
+        switch (splitMix64(state) % 3) {
+        case 0:
+            q.algorithm = "no_such_algorithm";
+            break;
+        case 1:
+            q.graph = "no_such_graph";
+            break;
+        default:
+            q.backend = "no_such_backend";
+            break;
+        }
+    }
+    return plan;
+}
+
+/** Build the chaos engine: breaker off and single-threaded VMs so clean
+ *  results cannot be perturbed by quarantine or reduction order. */
+std::unique_ptr<Engine>
+makeChaosEngine(const ChaosOptions &options)
+{
+    EngineOptions eo;
+    eo.poolThreads = options.poolThreads;
+    eo.breakerThreshold = 0;
+    eo.backend.numThreads = 1;
+    auto engine = std::make_unique<Engine>(eo);
+    engine->registerBuiltins();
+    engine->addGraph("social",
+                     gen::rmat(11, 8, 0.57, 0.19, 0.19, true, 7));
+    engine->addGraph("road", gen::roadGrid(40, 40, true, 8));
+    return engine;
+}
+
+bool
+sameResult(const QueryResult &a, const QueryResult &b, std::string &why)
+{
+    if (a.run.cycles != b.run.cycles) {
+        why = "cycles differ";
+        return false;
+    }
+    if (a.run.counters.all() != b.run.counters.all()) {
+        why = "counters differ";
+        return false;
+    }
+    if (a.run.properties != b.run.properties) {
+        why = "properties differ";
+        return false;
+    }
+    return true;
+}
+
+void
+appendCounts(std::ostringstream &out, const char *key,
+             const std::map<std::string, uint64_t> &counts)
+{
+    out << '"' << key << "\":{";
+    bool first = true;
+    for (const auto &[name, value] : counts) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << '"' << name << "\":" << value;
+    }
+    out << '}';
+}
+
+} // namespace
+
+bool
+ChaosReport::passed() const
+{
+    return exactlyOnce && idempotentWaits && violations.empty() &&
+           cleanMatched == cleanTotal &&
+           overloadAnswered == overloadSubmitted &&
+           faultAnswered == faultSubmitted;
+}
+
+std::string
+ChaosReport::toJson() const
+{
+    std::ostringstream out;
+    out << "{\"type\":\"chaos\",\"passed\":" << (passed() ? "true" : "false")
+        << ",\"submitted\":" << submitted << ",\"answered\":" << answered
+        << ",\"exactly_once\":" << (exactlyOnce ? "true" : "false")
+        << ",\"idempotent_waits\":" << (idempotentWaits ? "true" : "false")
+        << ",\"clean_total\":" << cleanTotal
+        << ",\"clean_matched\":" << cleanMatched << ',';
+    appendCounts(out, "status", statusCounts);
+    out << ",\"overload_submitted\":" << overloadSubmitted
+        << ",\"overload_answered\":" << overloadAnswered
+        << ",\"overload_rejected\":" << overloadRejected
+        << ",\"fault_submitted\":" << faultSubmitted
+        << ",\"fault_answered\":" << faultAnswered
+        << ",\"faults_fired\":" << faultsFired << ',';
+    appendCounts(out, "fault_status", faultStatusCounts);
+    out << ",\"violations\":" << violations.size() << ",\"wall_ms\":"
+        << wallMs << '}';
+    return out.str();
+}
+
+ChaosReport
+runChaos(const ChaosOptions &options)
+{
+    ChaosReport report;
+    const Clock::time_point begin = Clock::now();
+
+    auto engine = makeChaosEngine(options);
+    const VertexId social_vertices =
+        engine->graph("social")->numVertices();
+    const VertexId road_vertices = engine->graph("road")->numVertices();
+
+    // --- mixed phase: submit everything, cancel stragglers, wait all ----
+    std::vector<Plan> plans;
+    plans.reserve(static_cast<size_t>(options.queries));
+    for (int i = 0; i < options.queries; ++i)
+        plans.push_back(makePlan(options.seed, i, social_vertices,
+                                 road_vertices));
+
+    Session::Options so;
+    so.maxInFlight = static_cast<size_t>(options.queries) + 16;
+    Session session(*engine, so);
+
+    std::vector<uint64_t> tickets;
+    tickets.reserve(plans.size());
+    for (const Plan &plan : plans) {
+        tickets.push_back(session.submit(plan.query));
+        ++report.submitted;
+    }
+    for (size_t i = 0; i < plans.size(); ++i)
+        if (plans[i].disposition == Disposition::LateCancel)
+            session.cancel(tickets[i]);
+
+    std::vector<QueryResult> results(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        try {
+            results[i] = session.wait(tickets[i]);
+            ++report.answered;
+        } catch (const std::exception &e) {
+            report.violations.push_back(
+                "wait threw for query " + std::to_string(i) + " (" +
+                dispositionName(plans[i].disposition) + "): " + e.what());
+        }
+    }
+    report.exactlyOnce = report.answered == report.submitted;
+
+    // Idempotent re-waits on the retained tail (kClaimedRetention).
+    const size_t recheck = std::min<size_t>(plans.size(), 32);
+    for (size_t i = plans.size() - recheck; i < plans.size(); ++i) {
+        try {
+            if (!session.isDone(tickets[i]) ||
+                session.wait(tickets[i]).status != results[i].status) {
+                report.idempotentWaits = false;
+                report.violations.push_back(
+                    "re-wait mismatch for query " + std::to_string(i));
+            }
+        } catch (const std::exception &e) {
+            report.idempotentWaits = false;
+            report.violations.push_back("re-wait threw for query " +
+                                        std::to_string(i) + ": " +
+                                        e.what());
+        }
+    }
+
+    // Status invariants per disposition.
+    for (size_t i = 0; i < plans.size(); ++i) {
+        const QueryStatus status = results[i].status;
+        report.statusCounts[queryStatusName(status)]++;
+        bool ok = true;
+        switch (plans[i].disposition) {
+        case Disposition::Clean:
+            ok = status == QueryStatus::Ok && !results[i].degraded;
+            break;
+        case Disposition::TinyBudget:
+            ok = status == QueryStatus::BudgetExceeded;
+            break;
+        case Disposition::PreCancel:
+            ok = status == QueryStatus::Cancelled;
+            break;
+        case Disposition::LateCancel:
+            ok = status == QueryStatus::Ok ||
+                 status == QueryStatus::Cancelled;
+            break;
+        case Disposition::ShortDeadline:
+            ok = status == QueryStatus::Ok || status == QueryStatus::Shed ||
+                 status == QueryStatus::DeadlineExceeded;
+            break;
+        case Disposition::BadRequest:
+            ok = status == QueryStatus::BadRequest;
+            break;
+        }
+        if (!ok)
+            report.violations.push_back(
+                std::string("unexpected status ") +
+                queryStatusName(status) + " for " +
+                dispositionName(plans[i].disposition) + " query " +
+                std::to_string(i));
+    }
+
+    // --- fault-free twin: clean queries must match bit-for-bit ----------
+    {
+        auto twin_engine = makeChaosEngine(options);
+        Session twin(*twin_engine, so);
+        for (size_t i = 0; i < plans.size(); ++i) {
+            if (plans[i].disposition != Disposition::Clean)
+                continue;
+            ++report.cleanTotal;
+            const QueryResult fresh =
+                twin.wait(twin.submit(plans[i].query));
+            std::string why;
+            if (fresh.status == QueryStatus::Ok &&
+                results[i].status == QueryStatus::Ok &&
+                sameResult(results[i], fresh, why)) {
+                ++report.cleanMatched;
+            } else {
+                if (why.empty())
+                    why = std::string("twin status ") +
+                          queryStatusName(fresh.status);
+                report.violations.push_back(
+                    "clean query " + std::to_string(i) + " (" +
+                    plans[i].query.algorithm + " on " +
+                    plans[i].query.graph + ") diverged from twin: " + why);
+            }
+        }
+    }
+
+    // --- overload phase: burst through a tiny admission window ----------
+    if (options.overloadPhase) {
+        Session::Options tight;
+        tight.maxInFlight = 2;
+        Session narrow(*engine, tight);
+        std::vector<uint64_t> burst;
+        for (int i = 0; i < options.overloadQueries; ++i) {
+            Query q;
+            q.algorithm = "pr";
+            q.graph = "social";
+            q.arg3 = 50;
+            burst.push_back(narrow.submit(q));
+            ++report.overloadSubmitted;
+        }
+        for (uint64_t ticket : burst) {
+            try {
+                const QueryResult r = narrow.wait(ticket);
+                ++report.overloadAnswered;
+                if (r.status == QueryStatus::Rejected)
+                    ++report.overloadRejected;
+                else if (r.status != QueryStatus::Ok)
+                    report.violations.push_back(
+                        std::string("overload query resolved ") +
+                        queryStatusName(r.status) +
+                        " (expected ok or rejected)");
+            } catch (const std::exception &e) {
+                report.violations.push_back(
+                    std::string("overload wait threw: ") + e.what());
+            }
+        }
+    }
+
+    // --- fault phase: accelerator queries under armed fault sites -------
+    if (options.faultPhase) {
+        faults::clearAll();
+        {
+            faults::ScopedPlan gpu(
+                {"gpu.kernel_launch", 0.0, 3, options.seed});
+            faults::ScopedPlan hb({"hb.dma_error", 0.0, 4, options.seed});
+            faults::ScopedPlan swarm(
+                {"swarm.task_abort", 0.25, 0, options.seed});
+            faults::ScopedPlan alloc(
+                {"runtime.alloc_fail", 0.02, 0, options.seed});
+
+            static const char *const kBackends[] = {"gpu", "hb", "swarm"};
+            std::vector<uint64_t> fault_tickets;
+            uint64_t state = options.seed ^ 0xc3a5c85c97cb3127ULL;
+            for (int i = 0; i < options.faultQueries; ++i) {
+                Query q;
+                q.backend = kBackends[i % 3];
+                q.algorithm = (splitMix64(state) & 1) ? "bfs" : "pr";
+                q.graph = (splitMix64(state) & 1) ? "social" : "road";
+                q.start = static_cast<VertexId>(splitMix64(state) % 256);
+                fault_tickets.push_back(session.submit(q));
+                ++report.faultSubmitted;
+            }
+            for (uint64_t ticket : fault_tickets) {
+                try {
+                    const QueryResult r = session.wait(ticket);
+                    ++report.faultAnswered;
+                    report.faultStatusCounts[queryStatusName(r.status)]++;
+                    // Injected faults surface as absorbed retries (Ok),
+                    // exhausted retry policies (BudgetExceeded after a
+                    // failed rescue), or structured runtime errors —
+                    // never as hangs, crashes, or lost results.
+                    if (r.status != QueryStatus::Ok &&
+                        r.status != QueryStatus::BudgetExceeded &&
+                        r.status != QueryStatus::RuntimeError)
+                        report.violations.push_back(
+                            std::string("fault-phase query resolved ") +
+                            queryStatusName(r.status));
+                } catch (const std::exception &e) {
+                    report.violations.push_back(
+                        std::string("fault-phase wait threw: ") +
+                        e.what());
+                }
+            }
+            for (const char *site :
+                 {"gpu.kernel_launch", "hb.dma_error", "swarm.task_abort",
+                  "runtime.alloc_fail"})
+                report.faultsFired += faults::firedCount(site);
+        }
+        faults::clearAll();
+    }
+
+    report.wallMs = msSince(begin);
+    return report;
+}
+
+} // namespace ugc::serve

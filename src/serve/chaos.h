@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Seeded chaos harness for the serving stack (DESIGN.md §13).
+ *
+ * runChaos() drives an Engine/Session pair through hundreds of mixed
+ * queries whose disposition — clean, budget-starved, pre-cancelled,
+ * cancelled mid-flight, deadline-bound, or malformed — is derived
+ * deterministically from a seed, then checks the reliability invariants
+ * the serving layer promises:
+ *
+ *   1. Exactly once: every submitted query resolves through wait() with
+ *      exactly one result; no hangs, no throws, no lost tickets.
+ *   2. Deterministic casualties: dispositions whose outcome does not
+ *      depend on scheduler timing (clean, tiny budget, pre-cancel, bad
+ *      request) produce exactly the expected status every run.
+ *   3. Blast-radius containment: clean queries are bit-identical —
+ *      properties, simulated cycles, and machine counters — to a
+ *      fault-free twin run of the same seed on a fresh engine.
+ *
+ * Two follow-on phases reuse the same engine: an overload phase submits
+ * a burst through a tiny admission window (Rejected and Ok must together
+ * account for every ticket), and a fault phase arms the deterministic
+ * fault registry (gpu.kernel_launch, hb.dma_error, swarm.task_abort,
+ * runtime.alloc_fail) while accelerator queries run on pool workers —
+ * every outcome must still be a structured status from the allowed set.
+ *
+ * The harness runs with the circuit breaker disabled (breakerThreshold
+ * = 0) and single-threaded VMs so that clean-query results cannot be
+ * perturbed by quarantine fallbacks or parallel reduction orders; the
+ * breaker has its own dedicated tests (tests/api/test_engine.cpp).
+ *
+ * Exposed both as a library entry point (tests/serve/test_chaos.cpp) and
+ * through `ugcd --chaos` for the CI smoke job.
+ */
+#ifndef UGC_SERVE_CHAOS_H
+#define UGC_SERVE_CHAOS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ugc::serve {
+
+/** Tuning knobs of one chaos run; the defaults satisfy the reliability
+ *  acceptance bar (>= 200 mixed queries). */
+struct ChaosOptions
+{
+    uint64_t seed = 1;       ///< drives every per-query disposition
+    int queries = 200;       ///< mixed-phase query count
+    int overloadQueries = 24; ///< burst size of the overload phase
+    int faultQueries = 24;   ///< accelerator queries under armed faults
+    unsigned poolThreads = 0; ///< engine pool size (0 = hardware)
+    bool faultPhase = true;  ///< run the armed-fault phase
+    bool overloadPhase = true; ///< run the tiny-admission-window phase
+};
+
+/** Outcome of one chaos run (ugcd --chaos serializes this as JSON). */
+struct ChaosReport
+{
+    // --- mixed phase -----------------------------------------------------
+    int submitted = 0;
+    int answered = 0;        ///< wait() calls that returned a result
+    bool exactlyOnce = false; ///< answered == submitted, no wait() throw
+    bool idempotentWaits = true; ///< re-waits returned the cached result
+    std::map<std::string, uint64_t> statusCounts; ///< by queryStatusName
+
+    int cleanTotal = 0;      ///< clean queries compared against the twin
+    int cleanMatched = 0;    ///< ... that matched bit-for-bit
+    /** Human-readable descriptions of every invariant violation; empty on
+     *  a passing run. */
+    std::vector<std::string> violations;
+
+    // --- overload phase --------------------------------------------------
+    int overloadSubmitted = 0;
+    int overloadAnswered = 0;
+    uint64_t overloadRejected = 0;
+
+    // --- fault phase -----------------------------------------------------
+    int faultSubmitted = 0;
+    int faultAnswered = 0;
+    uint64_t faultsFired = 0; ///< injected failures across armed sites
+    std::map<std::string, uint64_t> faultStatusCounts;
+
+    double wallMs = 0.0;
+
+    bool passed() const;
+
+    /** One-line JSON object (the ugcd --chaos output contract). */
+    std::string toJson() const;
+};
+
+/**
+ * Run the chaos schedule described by @p options. Never throws for
+ * in-band failures — every broken invariant lands in
+ * ChaosReport::violations; only setup errors (out of memory) propagate.
+ * Always leaves the global fault registry disarmed.
+ */
+ChaosReport runChaos(const ChaosOptions &options = {});
+
+} // namespace ugc::serve
+
+#endif // UGC_SERVE_CHAOS_H

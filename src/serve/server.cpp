@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -7,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "frontend/lexer.h"
 #include "frontend/sema.h"
@@ -189,8 +191,13 @@ Server::emitResult(uint64_t request, const QueryResult &result, bool profiled)
         .field("wall_ms", result.wallMs);
     if (result.ok())
         line.field("cycles", static_cast<uint64_t>(result.run.cycles));
-    if (result.error.kind != RunError::Kind::None)
+    if (result.error.kind != RunError::Kind::None) {
         line.field("guard", runErrorKindName(result.error.kind));
+        // Progress at the trip: clients see how far a cancelled or
+        // deadline-exceeded query got (mid-round evidence).
+        line.field("guard_round", result.error.round);
+        line.field("guard_edges", result.error.edges);
+    }
     if (!result.diagnostic.empty())
         line.field("diagnostic", result.diagnostic);
     if (profiled && result.run.profile) {
@@ -224,6 +231,38 @@ Server::drain()
         emitResult(pending.request, _session.wait(pending.ticket),
                    pending.profiled);
     _pending.clear();
+}
+
+void
+Server::shutdown(int64_t grace_ms)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    _stopped = true; // no further admissions
+    size_t cancelled = 0;
+    bool past_grace = false;
+    while (!_pending.empty()) {
+        flushFinished();
+        if (_pending.empty())
+            break;
+        const int64_t waited =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        if (!past_grace && waited >= grace_ms) {
+            // Grace expired: cooperatively cancel the stragglers. They
+            // terminate within the engine's poll grain and still answer.
+            past_grace = true;
+            cancelled = _session.cancelAll();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    _drainMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - begin)
+                   .count();
+    JsonLine(_out)
+        .field("type", "shutdown")
+        .field("drain_ms", _drainMs)
+        .field("cancelled", static_cast<uint64_t>(cancelled));
 }
 
 void
@@ -378,7 +417,18 @@ Server::handleRun(uint64_t request, const std::vector<std::string> &args)
             else if (key == "oscillation-window")
                 query.limits.oscillationWindow =
                     static_cast<int>(parseInt(value, key));
-            else
+            else if (key == "deadline-ms")
+                query.deadlineMs = parseInt(value, key);
+            else if (key == "class") {
+                if (value == "interactive")
+                    query.cls = QueryClass::Interactive;
+                else if (value == "batch")
+                    query.cls = QueryClass::Batch;
+                else
+                    throw std::invalid_argument(
+                        "unknown class '" + value +
+                        "' (expected interactive or batch)");
+            } else
                 throw std::invalid_argument("unknown run option '" + key +
                                             "'");
         }
@@ -403,6 +453,35 @@ Server::handleRun(uint64_t request, const std::vector<std::string> &args)
 }
 
 void
+Server::handleCancel(uint64_t request, const std::vector<std::string> &args)
+{
+    uint64_t target = 0;
+    try {
+        if (args.size() != 1)
+            throw std::invalid_argument("usage: cancel <req>");
+        target = static_cast<uint64_t>(parseInt(args[0], "cancel"));
+    } catch (const std::exception &error) {
+        respondError(request, error.what());
+        return;
+    }
+    // Cancelling a request that already finished (or never existed) is
+    // not an error — cancellation races completion by design; delivered
+    // tells the client whether the token was actually tripped.
+    bool delivered = false;
+    for (const PendingQuery &pending : _pending) {
+        if (pending.request == target) {
+            delivered = _session.cancel(pending.ticket);
+            break;
+        }
+    }
+    JsonLine(_out)
+        .field("type", "ok")
+        .field("req", request)
+        .field("cancel", target)
+        .field("delivered", delivered);
+}
+
+void
 Server::handleStats(uint64_t request)
 {
     const EngineStats stats = _engine.stats();
@@ -424,7 +503,34 @@ Server::handleStats(uint64_t request)
         .field("graph_cache_builds", stats.graphCacheBuilds)
         .field("mmap_graphs", static_cast<uint64_t>(stats.mmapGraphs))
         .field("mapped_bytes", static_cast<uint64_t>(stats.mappedBytes))
+        .field("cancelled", stats.cancelled)
+        .field("deadline_exceeded", stats.deadlineExceeded)
+        .field("shed", stats.shed)
+        .field("guard_trips", stats.guardTrips)
+        .field("quarantine_hits", stats.quarantineHits)
+        .field("quarantined",
+               static_cast<uint64_t>(stats.quarantinedEntries))
         .field("in_flight", static_cast<uint64_t>(_session.inFlight()));
+}
+
+void
+Server::handleHealth(uint64_t request)
+{
+    const EngineStats stats = _engine.stats();
+    JsonLine(_out)
+        .field("type", "health")
+        .field("req", request)
+        .field("ok", true)
+        .field("in_flight", static_cast<uint64_t>(_session.inFlight()))
+        .field("pending", static_cast<uint64_t>(_pending.size()))
+        .field("shed", stats.shed)
+        .field("cancelled", stats.cancelled)
+        .field("deadline_exceeded", stats.deadlineExceeded)
+        .field("degraded", stats.degraded)
+        .field("quarantined",
+               static_cast<uint64_t>(stats.quarantinedEntries))
+        .field("quarantine_hits", stats.quarantineHits)
+        .field("drain_ms", _drainMs);
 }
 
 bool
@@ -449,11 +555,15 @@ Server::handleLine(const std::string &line)
             "algorithms", static_cast<uint64_t>(_engine.stats().algorithms));
     } else if (command == "run") {
         handleRun(request, tokens);
+    } else if (command == "cancel") {
+        handleCancel(request, tokens);
     } else if (command == "sync") {
         drain();
         JsonLine(_out).field("type", "synced").field("req", request);
     } else if (command == "stats") {
         handleStats(request);
+    } else if (command == "health") {
+        handleHealth(request);
     } else if (command == "storage") {
         handleStorage(request);
     } else if (command == "quit") {
@@ -464,7 +574,8 @@ Server::handleLine(const std::string &line)
     } else {
         respondError(request, "unknown command '" + command +
                                   "'; known commands: graph algo builtins "
-                                  "run sync stats storage quit");
+                                  "run cancel sync stats health storage "
+                                  "quit");
     }
     flushFinished();
     return true;

@@ -22,15 +22,26 @@
  *       [arg3=N] [sources=a,b,c] [schedule=default|tuned|baseline]
  *       [validate=bfs|sssp|cc|pr] [profile=0|1] [wait=0|1]
  *       [max-iters=N] [cycle-budget=N] [timeout-ms=N]
+ *       [deadline-ms=N] [class=interactive|batch]
  *       Execute a query. By default the query runs asynchronously on the
  *       engine's shared pool: the server replies `accepted` immediately
  *       and emits the `result` line when the query finishes (at the
  *       latest on the next sync/quit). wait=1 forces an inline run.
+ *       deadline-ms is end-to-end (queue wait counts); class selects the
+ *       admission window under per-class limits.
+ *   cancel <req>
+ *       Request cooperative cancellation of the async query accepted
+ *       under request id <req>. The query still emits exactly one
+ *       `result` line (status cancelled if the cancel landed in time).
  *   sync
  *       Block until every in-flight query has finished and its result
  *       line is emitted.
  *   stats
  *       Engine statistics snapshot.
+ *   health
+ *       Liveness/overload snapshot: in-flight and pending counts, shed /
+ *       cancelled / deadline-exceeded totals, quarantined schedule
+ *       combinations, and the last drain time.
  *   storage
  *       One `storage` line per registered graph (backend, mapped bytes,
  *       cache outcome) plus a `storage_summary` line.
@@ -39,7 +50,10 @@
  *
  * Per-query failures are `result` lines with ok=false and a structured
  * status (QueryStatus names); only malformed request lines produce
- * `error` responses. The server never terminates the process.
+ * `error` responses. The server never terminates the process. On SIGTERM
+ * or SIGINT the daemon calls shutdown(): admission stops, stragglers past
+ * the grace period are cooperatively cancelled, and every accepted query
+ * still gets exactly one result line before exit.
  */
 #ifndef UGC_SERVE_SERVER_H
 #define UGC_SERVE_SERVER_H
@@ -75,10 +89,21 @@ class Server
     /** Wait for every in-flight query and emit its result line. */
     void drain();
 
+    /**
+     * Graceful shutdown (signal path): stop accepting requests, keep
+     * flushing finished queries, cooperatively cancel whatever is still
+     * running after @p grace_ms, and emit a final `shutdown` line once
+     * every accepted query has its result line. Bounded by the engine's
+     * cancellation poll grain, never by query runtime.
+     */
+    void shutdown(int64_t grace_ms);
+
     /** Read requests from @p in until EOF or quit (the daemon main loop). */
     void serve(std::istream &in);
 
     Engine &engine() { return _engine; }
+
+    Session &session() { return _session; }
 
   private:
     struct PendingQuery
@@ -96,7 +121,10 @@ class Server
     void handleGraph(uint64_t request, const std::vector<std::string> &args);
     void handleAlgo(uint64_t request, const std::vector<std::string> &args);
     void handleRun(uint64_t request, const std::vector<std::string> &args);
+    void handleCancel(uint64_t request,
+                      const std::vector<std::string> &args);
     void handleStats(uint64_t request);
+    void handleHealth(uint64_t request);
     void handleStorage(uint64_t request);
 
     std::ostream &_out;
@@ -105,6 +133,7 @@ class Server
     std::vector<PendingQuery> _pending; ///< submit order
     uint64_t _nextRequest = 1;
     bool _stopped = false;
+    double _drainMs = 0.0; ///< last drain/shutdown wait (health)
 };
 
 } // namespace ugc::serve

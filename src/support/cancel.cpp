@@ -1,0 +1,56 @@
+#include "support/cancel.h"
+
+namespace ugc {
+
+namespace {
+
+int64_t
+toNs(std::chrono::steady_clock::time_point when)
+{
+    const int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           when.time_since_epoch())
+                           .count();
+    // 0 means "no deadline"; a deadline landing exactly on the epoch is
+    // nudged by a nanosecond rather than silently disarmed.
+    return ns == 0 ? 1 : ns;
+}
+
+} // namespace
+
+void
+CancelToken::armDeadline(std::chrono::steady_clock::time_point when)
+{
+    _deadlineNs.store(toNs(when), std::memory_order_relaxed);
+}
+
+void
+CancelToken::armDeadlineIn(int64_t ms)
+{
+    armDeadline(std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ms));
+}
+
+bool
+CancelToken::deadlineExpired() const
+{
+    const int64_t deadline = _deadlineNs.load(std::memory_order_relaxed);
+    if (deadline == 0)
+        return false;
+    const int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    return now >= deadline;
+}
+
+CancelToken::Trip
+CancelToken::poll() const
+{
+    if (cancelled())
+        return Trip::Cancelled;
+    if (deadlineExpired())
+        return Trip::Deadline;
+    return Trip::None;
+}
+
+} // namespace ugc

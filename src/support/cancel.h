@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines (DESIGN.md §13).
+ *
+ * A CancelToken is the one-way stop signal of a request: the serving layer
+ * (or any caller) arms it — an explicit cancel() or an absolute deadline —
+ * and the execution engine polls it at bounded intervals (round tops and,
+ * amortized every kCancelPollEdges traversed edges, inside traversal inner
+ * loops). A tripped poll surfaces as a structured GuardError
+ * (RunError::Kind::Cancelled / WallTimeout) carrying round/edge progress,
+ * never as a torn result.
+ *
+ * Unlike the fault-injection registry (support/faults.h), tokens ARE
+ * polled from worker-pool threads: all state is atomic, and polls are
+ * relaxed loads — a single predictable branch when no token is attached,
+ * mirroring the disarmed fault-site fast path.
+ */
+#ifndef UGC_SUPPORT_CANCEL_H
+#define UGC_SUPPORT_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ugc {
+
+/** Amortization grain of in-round cancellation polls: each engine worker
+ *  checks its token at least once per this many traversed edges (plus the
+ *  adjacency list of the vertex in progress). This bounds cancellation
+ *  latency to a small multiple of the per-edge cost. */
+inline constexpr int64_t kCancelPollEdges = 8192;
+
+/**
+ * Shared stop signal of one request. Thread-safe and allocation-free:
+ * writers (cancel(), armDeadline*) may race with any number of polling
+ * readers. Tokens are single-trip — once cancelled or past the deadline
+ * they stay tripped; reuse a fresh token per request.
+ */
+class CancelToken
+{
+  public:
+    /** Why a poll tripped. */
+    enum class Trip : uint8_t {
+        None = 0,
+        Cancelled, ///< explicit cancel()
+        Deadline,  ///< armed deadline passed
+    };
+
+    /** Request cancellation. Safe from any thread; idempotent. */
+    void
+    cancel()
+    {
+        _cancelled.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    cancelled() const
+    {
+        return _cancelled.load(std::memory_order_relaxed);
+    }
+
+    /** Arm an absolute steady-clock deadline. Re-arming moves it; arm
+     *  before handing the token to a running query (late re-arms are
+     *  honored only at the next poll). */
+    void armDeadline(std::chrono::steady_clock::time_point when);
+
+    /** armDeadline at now + @p ms (ms <= 0 arms an already-expired
+     *  deadline: the next poll trips). */
+    void armDeadlineIn(int64_t ms);
+
+    bool
+    hasDeadline() const
+    {
+        return _deadlineNs.load(std::memory_order_relaxed) != 0;
+    }
+
+    /** True once an armed deadline lies in the past. */
+    bool deadlineExpired() const;
+
+    /** One poll: cancelled beats deadline; Trip::None when unarmed or not
+     *  yet tripped. Cheap enough for amortized inner-loop use. */
+    Trip poll() const;
+
+  private:
+    std::atomic<bool> _cancelled{false};
+    /** Deadline in ns since the steady_clock epoch; 0 = none armed. */
+    std::atomic<int64_t> _deadlineNs{0};
+};
+
+} // namespace ugc
+
+#endif // UGC_SUPPORT_CANCEL_H

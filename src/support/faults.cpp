@@ -1,6 +1,8 @@
 #include "support/faults.h"
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "support/rng.h"
@@ -18,8 +20,10 @@ struct SiteState
     uint64_t fired = 0;
 };
 
-// Armed sites. Kept deliberately tiny and unsynchronized: instrumented
-// sites run on the coordinating thread only (see header).
+// Armed sites, guarded by registryMutex(). The serving layer runs queries
+// on pool workers, so instrumented sites can hit concurrently; the armed
+// path serializes on the mutex (fault runs are diagnostics, not perf
+// runs), while the disarmed fast path below stays a single relaxed load.
 std::map<std::string, SiteState> &
 registry()
 {
@@ -27,9 +31,16 @@ registry()
     return sites;
 }
 
-// Fast-path gate read by the inline-ish shouldFail; avoids a map lookup
-// per instrumented hit when nothing is armed (the common case).
-bool g_any_armed = false;
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+// Fast-path gate read by the inline-ish shouldFail; avoids the lock and
+// map lookup per instrumented hit when nothing is armed (the common case).
+std::atomic<bool> g_any_armed{false};
 
 uint64_t
 hashName(const std::string &name)
@@ -81,35 +92,39 @@ arm(const FaultPlan &plan)
     state.plan = plan;
     uint64_t sm = plan.seed ^ hashName(plan.site);
     state.rng = Rng(splitMix64(sm));
+    std::lock_guard<std::mutex> lock(registryMutex());
     registry()[plan.site] = std::move(state);
-    g_any_armed = true;
+    g_any_armed.store(true, std::memory_order_release);
 }
 
 void
 disarm(const std::string &site)
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     registry().erase(site);
-    g_any_armed = !registry().empty();
+    g_any_armed.store(!registry().empty(), std::memory_order_release);
 }
 
 void
 clearAll()
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     registry().clear();
-    g_any_armed = false;
+    g_any_armed.store(false, std::memory_order_release);
 }
 
 bool
 anyArmed()
 {
-    return g_any_armed;
+    return g_any_armed.load(std::memory_order_acquire);
 }
 
 bool
 shouldFail(const char *site)
 {
-    if (!g_any_armed)
+    if (!g_any_armed.load(std::memory_order_acquire))
         return false;
+    std::lock_guard<std::mutex> lock(registryMutex());
     auto it = registry().find(site);
     if (it == registry().end())
         return false;
@@ -129,6 +144,7 @@ shouldFail(const char *site)
 uint64_t
 firedCount(const std::string &site)
 {
+    std::lock_guard<std::mutex> lock(registryMutex());
     auto it = registry().find(site);
     return it == registry().end() ? 0 : it->second.fired;
 }

@@ -15,11 +15,14 @@
  * the same plan see bit-identical fault streams — the property the
  * determinism tests (tests/vm/test_determinism.cpp) rely on.
  *
- * Threading: the registry is intentionally unsynchronized. Every
- * instrumented site executes on the coordinating thread (graph loading,
- * engine setup, machine-model callbacks — the task-stream models force a
- * single-threaded engine), and keeping the fast path a plain load is the
- * point. Do not call shouldFail from worker-pool lambdas.
+ * Threading: the disarmed fast path is a single relaxed atomic load (free
+ * in normal runs); the armed path serializes on an internal mutex so the
+ * serving layer — which executes queries on pool workers — can hit
+ * instrumented sites concurrently during chaos runs. Determinism of the
+ * per-site fault stream is preserved per site, but when several threads
+ * hit the *same* armed site the interleaving decides which thread observes
+ * which draw; chaos assertions therefore count failures rather than
+ * predicting which query absorbs them.
  */
 #ifndef UGC_SUPPORT_FAULTS_H
 #define UGC_SUPPORT_FAULTS_H

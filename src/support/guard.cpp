@@ -24,6 +24,8 @@ runErrorKindName(RunError::Kind kind)
         return "alloc_failed";
     case RunError::Kind::IoError:
         return "io_error";
+    case RunError::Kind::Cancelled:
+        return "cancelled";
     }
     return "unknown";
 }
@@ -42,6 +44,7 @@ recoverable(RunError::Kind kind)
     case RunError::Kind::None:
     case RunError::Kind::AllocFailed:
     case RunError::Kind::IoError:
+    case RunError::Kind::Cancelled: // re-running a cancelled query is waste
         return false;
     }
     return false;
@@ -55,6 +58,8 @@ RunError::toString() const
     out += "]";
     if (round > 0)
         out += " at round " + std::to_string(round);
+    if (edges > 0)
+        out += " after " + std::to_string(edges) + " edges";
     if (!site.empty())
         out += " (site " + site + ")";
     if (!detail.empty())

@@ -98,12 +98,14 @@ struct RunError
         RetryExhausted, ///< a fault site failed more than RetryPolicy allows
         AllocFailed,    ///< runtime allocation failure (runtime.alloc_fail)
         IoError,        ///< I/O failure (loader.io_error)
+        Cancelled,      ///< the request's CancelToken was cancelled
     };
 
     Kind kind = Kind::None;
     int64_t round = 0;  ///< engine round counter when the guard tripped
     std::string site;   ///< fault site, for retry/alloc/io kinds
     std::string detail; ///< human-readable explanation
+    int64_t edges = 0;  ///< edges traversed when it tripped (0 = unknown)
 
     std::string toString() const;
 };

@@ -1,6 +1,7 @@
 #include "vm/exec_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstring>
@@ -194,6 +195,86 @@ struct ExecEngine::Impl
     std::vector<IterationTrace> trace;
     bool returned = false;
 
+    // --- cooperative stop (cancellation + mid-round deadlines) ------------
+    // Armed once per run (armStop) from RunInputs.cancel and/or
+    // limits.wallTimeoutMs; polled at round tops and amortized inside the
+    // traversal worker loops, so a cancel or deadline trips within
+    // kCancelPollEdges traversed edges even mid-round. The trip latch is
+    // shared across workers: the first poll that trips publishes it, the
+    // others bail at their next poll, and the coordinating thread turns it
+    // into a GuardError after the round's parallelFor returns.
+    const CancelToken *stopToken = nullptr;
+    bool stopHasDeadline = false;
+    std::chrono::steady_clock::time_point stopDeadline;
+    bool stopArmed = false;
+    std::atomic<uint8_t> stopTripped{0}; // 0 none, else CancelToken::Trip
+    EdgeId edgesTotal = 0; ///< traversed edges merged so far (progress)
+
+    void
+    armStop()
+    {
+        stopToken = inputs.cancel;
+        if (limits.wallTimeoutMs) {
+            stopHasDeadline = true;
+            stopDeadline = startTime +
+                           std::chrono::milliseconds(limits.wallTimeoutMs);
+        }
+        stopArmed = stopToken != nullptr || stopHasDeadline;
+    }
+
+    /** One poll; latches and returns the trip. Safe from worker threads. */
+    uint8_t
+    pollStop()
+    {
+        uint8_t trip = stopTripped.load(std::memory_order_relaxed);
+        if (trip)
+            return trip;
+        if (stopToken && stopToken->cancelled())
+            trip = static_cast<uint8_t>(CancelToken::Trip::Cancelled);
+        else if (stopHasDeadline &&
+                 std::chrono::steady_clock::now() >= stopDeadline)
+            trip = static_cast<uint8_t>(CancelToken::Trip::Deadline);
+        else if (stopToken && stopToken->deadlineExpired())
+            trip = static_cast<uint8_t>(CancelToken::Trip::Deadline);
+        if (trip)
+            stopTripped.store(trip, std::memory_order_relaxed);
+        return trip;
+    }
+
+    /** Poll (coordinating thread only) and throw the structured guard
+     *  error carrying round/edge progress when tripped. */
+    void
+    throwIfStopped()
+    {
+        if (!stopArmed || !pollStop())
+            return;
+        const auto trip =
+            static_cast<CancelToken::Trip>(
+                stopTripped.load(std::memory_order_relaxed));
+        const int64_t elapsed =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - startTime)
+                .count();
+        RunError error;
+        error.round = round;
+        error.edges = static_cast<int64_t>(edgesTotal);
+        if (trip == CancelToken::Trip::Cancelled) {
+            error.kind = RunError::Kind::Cancelled;
+            error.detail = "query cancelled after " +
+                           std::to_string(elapsed) + " ms";
+        } else {
+            error.kind = RunError::Kind::WallTimeout;
+            error.detail =
+                "wall clock (" + std::to_string(elapsed) +
+                " ms) exceeded the " +
+                (limits.wallTimeoutMs
+                     ? "timeout (" + std::to_string(limits.wallTimeoutMs) +
+                           " ms)"
+                     : std::string("request deadline"));
+        }
+        throw GuardError(std::move(error));
+    }
+
     // --- host-parallel runtime state --------------------------------------
     /**
      * Per-worker scratch reused across traversal rounds so the hot loop
@@ -217,6 +298,7 @@ struct ExecEngine::Impl
         EdgeId maxDeg = 0;
         VertexId dsts = 0;
         bool enqueuedFlag = false;
+        int64_t stopBudget = 0; // edges until the next cooperative-stop poll
 
         void
         reset()
@@ -230,6 +312,7 @@ struct ExecEngine::Impl
             maxDeg = 0;
             dsts = 0;
             enqueuedFlag = false;
+            stopBudget = kCancelPollEdges;
         }
     };
 
@@ -385,11 +468,12 @@ struct ExecEngine::Impl
 
     // --- guardrails (DESIGN.md §8) ----------------------------------------
 
-    /** Cycle + wall-clock budgets; called once per loop round when any
-     *  limit is armed. */
+    /** Cycle budget plus the cooperative stop (wall deadline, cancel);
+     *  called once per loop round when any limit is armed. */
     void
     checkBudgets()
     {
+        throwIfStopped(); // covers wallTimeoutMs and RunInputs.cancel
         if (limits.cycleBudget) {
             const Cycles simulated = model.finalCycles(cycles);
             if (simulated > limits.cycleBudget)
@@ -398,18 +482,6 @@ struct ExecEngine::Impl
                      "simulated cycles (" + std::to_string(simulated) +
                          ") exceed the cycle budget (" +
                          std::to_string(limits.cycleBudget) + ")"});
-        }
-        if (limits.wallTimeoutMs) {
-            const auto elapsed =
-                std::chrono::duration_cast<std::chrono::milliseconds>(
-                    std::chrono::steady_clock::now() - startTime)
-                    .count();
-            if (elapsed > limits.wallTimeoutMs)
-                throw GuardError(
-                    {RunError::Kind::WallTimeout, round, "",
-                     "wall clock (" + std::to_string(elapsed) +
-                         " ms) exceeded the timeout (" +
-                         std::to_string(limits.wallTimeoutMs) + " ms)"});
         }
     }
 
@@ -734,7 +806,7 @@ struct ExecEngine::Impl
                               fused_queue = iter.queue;
                       });
             int64_t last_bucket = std::numeric_limits<int64_t>::min();
-            const bool guarded = limits.any();
+            const bool guarded = limits.any() || stopArmed;
             int64_t loop_round = 0;
             std::vector<uint64_t> hash_ring;
             while (!returned && evalScalar(node.cond).truthy()) {
@@ -767,8 +839,7 @@ struct ExecEngine::Impl
             const int64_t hi = evalScalar(node.hi).asInt();
             // Statically bounded: no iteration/oscillation watchdog, but
             // cycle/wall budgets still apply.
-            const bool guarded =
-                limits.cycleBudget != 0 || limits.wallTimeoutMs != 0;
+            const bool guarded = limits.cycleBudget != 0 || stopArmed;
             for (int64_t i = lo; i < hi && !returned; ++i) {
                 prof::ScopeTimer round_scope("round");
                 locals[node.var] = Scalar::ofInt(i);
@@ -1330,8 +1401,14 @@ struct ExecEngine::Impl
             const unsigned nargs = info.weighted ? 3u : 2u;
 
             Rng shuffle_rng(0x5ca1ab1eULL);
+            const bool stop_armed = stopArmed;
 
             for (int64_t b = blo; b < bhi; ++b) {
+              // Bail fast once any worker latched the trip; the coordinating
+              // thread turns it into a GuardError after the parallelFor.
+              if (stop_armed &&
+                  stopTripped.load(std::memory_order_relaxed))
+                  return;
               for (int64_t i = blockStarts[static_cast<size_t>(b)],
                            hi = blockStarts[static_cast<size_t>(b) + 1];
                    i < hi; ++i) {
@@ -1345,6 +1422,15 @@ struct ExecEngine::Impl
                         continue;
                 }
                 const EdgeId deg = degree(u);
+                // Amortized cooperative-stop poll: at most one clock read
+                // per kCancelPollEdges traversed edges per worker; a single
+                // predictable branch when disarmed.
+                if (stop_armed &&
+                    (ctx.stopBudget -= static_cast<int64_t>(deg) + 1) <= 0) {
+                    ctx.stopBudget = kCancelPollEdges;
+                    if (pollStop())
+                        return;
+                }
                 ctx.degSum += deg;
                 ctx.maxDeg = std::max(ctx.maxDeg, deg);
                 const auto nbrs = neighbors(u);
@@ -1485,7 +1571,10 @@ struct ExecEngine::Impl
                 std::max<EdgeId>(info.frontierDegreeMax, ctx.maxDeg);
             if (output)
                 output->addBulk(ctx.outBuffer);
+            edgesTotal += ctx.edges;
         }
+        if (stopArmed)
+            throwIfStopped(); // surface a mid-round trip with full progress
         if (barrier_frontiers)
             model.onRoundBarrier();
     }
@@ -1633,12 +1722,26 @@ struct ExecEngine::Impl
             Reg args[3];
             args[2] = regOfInt(1);
             const unsigned nargs = info.weighted ? 3u : 2u;
+            const bool stop_armed = stopArmed;
 
             for (int64_t b = blo; b < bhi; ++b) {
+              // Bail fast once any worker latched the trip.
+              if (stop_armed &&
+                  stopTripped.load(std::memory_order_relaxed))
+                  return;
               for (int64_t i = blockStarts[static_cast<size_t>(b)],
                            hi = blockStarts[static_cast<size_t>(b) + 1];
                    i < hi; ++i) {
                 const auto v = static_cast<VertexId>(i);
+                // Amortized cooperative-stop poll (see runPush): count the
+                // destination plus its in-degree against the poll budget.
+                if (stop_armed &&
+                    (ctx.stopBudget -=
+                     static_cast<int64_t>(neighbors(v).size()) + 1) <= 0) {
+                    ctx.stopBudget = kCancelPollEdges;
+                    if (pollStop())
+                        return;
+                }
                 if (dst_filter) {
                     if (kernel) {
                         // Inline the matched filter: p[v] == imm.
@@ -1762,8 +1865,11 @@ struct ExecEngine::Impl
             info.destinationsScanned += ctx.dsts;
             if (output)
                 output->addBulk(ctx.outBuffer);
+            edgesTotal += ctx.edges;
         }
         info.frontierDegreeSum = info.edgesTraversed;
+        if (stopArmed)
+            throwIfStopped(); // surface a mid-round trip with full progress
         if (taskStream)
             model.onRoundBarrier();
     }
@@ -1824,7 +1930,15 @@ struct ExecEngine::Impl
         runtime.bindEnqueue(noop_enqueue);
         runtime.bindUpdatePriorityMin(noop_update_min);
 
+        const bool stop_armed = stopArmed;
+        int64_t stop_budget = kCancelPollEdges;
         for (VertexId i = 0; i < count; ++i) {
+            // Amortized cooperative-stop poll, one per kCancelPollEdges
+            // vertices: vertex-op rounds have no edge work to count.
+            if (stop_armed && --stop_budget <= 0) {
+                stop_budget = kCancelPollEdges;
+                throwIfStopped();
+            }
             const VertexId v =
                 info.isAllVertices ? i : members[static_cast<size_t>(i)];
             Reg arg = regOfInt(v);
@@ -1908,6 +2022,7 @@ RunResult
 ExecEngine::run()
 {
     _impl->startTime = std::chrono::steady_clock::now();
+    _impl->armStop();
     _impl->model.reset(*_impl->graph);
     _impl->setup();
     FunctionPtr main = _impl->program.mainFunction();

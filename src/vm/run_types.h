@@ -13,6 +13,7 @@
 
 #include "graph/graph.h"
 #include "ir/types.h"
+#include "support/cancel.h"
 #include "support/guard.h"
 #include "support/prof.h"
 #include "support/stats.h"
@@ -33,6 +34,13 @@ struct RunInputs
     /** Per-run budgets and watchdogs; merged over the VM's own limits
      *  (BackendOptions::limits), nonzero per-run fields winning. */
     RunLimits limits;
+
+    /** Cooperative stop signal (cancellation / deadline), polled by the
+     *  execution engine at round tops and amortized inside traversal
+     *  inner loops (support/cancel.h). Null = never polled: the disarmed
+     *  fast path is a single predictable branch. The token must outlive
+     *  the run; the engine does not take ownership. */
+    const CancelToken *cancel = nullptr;
 
     /** Convenience: set args[2], the conventional start-vertex slot. */
     RunInputs &

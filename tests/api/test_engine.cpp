@@ -6,13 +6,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "api/fuse.h"
 #include "api/ugc.h"
 #include "graph/generators.h"
+#include "support/faults.h"
 
 namespace ugc {
 namespace {
@@ -304,6 +307,96 @@ TEST_F(EngineTest, GraphStorageReportsHeapEntries)
     EXPECT_EQ(stats.mmapGraphs, 0u);
     EXPECT_EQ(stats.mappedBytes, 0u);
     EXPECT_EQ(stats.graphCacheHits, 0u);
+}
+
+/**
+ * The schedule circuit breaker (DESIGN.md §13): after breakerThreshold
+ * recoverable guard trips on one (algorithm, schedule, backend)
+ * combination, the engine quarantines it and serves the baseline
+ * fallback directly — no doomed first attempt — until the cooldown
+ * allows a half-open re-probe.
+ */
+TEST(EngineBreaker, QuarantineServesBaselineThenReprobesAfterCooldown)
+{
+    EngineOptions options;
+    options.breakerThreshold = 3;
+    options.breakerCooldownMs = 200;
+    Engine engine(options);
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(8, 8, /*weighted=*/true));
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    q.backend = "gpu";
+
+    // Every kernel launch fails while the plan is armed. allowDegraded
+    // is off for the tripping runs so each one fails structurally (the
+    // degrade path would disarm the fault site) while still recording a
+    // recoverable guard trip against the combination.
+    {
+        faults::ScopedPlan plan({"gpu.kernel_launch", 0.0, 1, 1});
+        q.allowDegraded = false;
+        for (int i = 0; i < 3; ++i) {
+            const QueryResult r = engine.run(q);
+            EXPECT_EQ(r.status, QueryStatus::BudgetExceeded) << i;
+            EXPECT_EQ(r.error.kind, RunError::Kind::RetryExhausted) << i;
+        }
+        q.allowDegraded = true;
+    }
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.guardTrips, 3u);
+    EXPECT_EQ(stats.quarantinedEntries, 1u);
+
+    // Faults are gone, but the combination is quarantined: the engine
+    // serves the baseline program immediately, marked degraded, with the
+    // opening trip attached as evidence.
+    const QueryResult quarantined = engine.run(q);
+    EXPECT_EQ(quarantined.status, QueryStatus::Ok);
+    EXPECT_TRUE(quarantined.degraded);
+    EXPECT_EQ(quarantined.error.kind, RunError::Kind::RetryExhausted);
+    EXPECT_NE(quarantined.diagnostic.find("quarantined"),
+              std::string::npos)
+        << quarantined.diagnostic;
+    EXPECT_EQ(engine.stats().quarantineHits, 1u);
+
+    // Still open before the cooldown: another baseline hit, and no
+    // further guard trips accumulate (the real schedule never runs).
+    EXPECT_TRUE(engine.run(q).degraded);
+    stats = engine.stats();
+    EXPECT_EQ(stats.quarantineHits, 2u);
+    EXPECT_EQ(stats.guardTrips, 3u);
+
+    // After the cooldown one half-open re-probe runs the real schedule;
+    // it succeeds and the breaker closes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const QueryResult reprobe = engine.run(q);
+    EXPECT_EQ(reprobe.status, QueryStatus::Ok);
+    EXPECT_FALSE(reprobe.degraded);
+    EXPECT_EQ(engine.stats().quarantinedEntries, 0u);
+    EXPECT_FALSE(engine.run(q).degraded);
+}
+
+TEST(EngineBreaker, ThresholdZeroDisablesTheBreaker)
+{
+    EngineOptions options;
+    options.breakerThreshold = 0;
+    Engine engine(options);
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(8, 8, /*weighted=*/true));
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    q.backend = "gpu";
+    q.allowDegraded = false;
+
+    faults::ScopedPlan plan({"gpu.kernel_launch", 0.0, 1, 1});
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(engine.run(q).status, QueryStatus::BudgetExceeded) << i;
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.quarantinedEntries, 0u);
+    EXPECT_EQ(stats.quarantineHits, 0u);
 }
 
 TEST(EngineStorage, GraphCachePolicyAutoServesMmapDatasets)

@@ -6,10 +6,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/ugc.h"
@@ -106,11 +108,194 @@ TEST(SessionTest, SubmitWaitAndIsDone)
     EXPECT_TRUE(result.ok()) << result.diagnostic;
     EXPECT_EQ(result.run.property("parent")[0], 0);
 
-    // Each ticket can be waited on exactly once.
-    EXPECT_FALSE(session.isDone(ticket));
-    EXPECT_THROW(session.wait(ticket), std::invalid_argument);
+    // wait() is idempotent: a re-wait returns the cached result instead
+    // of throwing, and isDone stays true for retained tickets.
+    EXPECT_TRUE(session.isDone(ticket));
+    const QueryResult again = session.wait(ticket);
+    EXPECT_EQ(again.status, result.status);
+    EXPECT_EQ(again.run.properties, result.run.properties);
+
+    // Unknown tickets are still a caller bug.
     EXPECT_THROW(session.wait(9999), std::invalid_argument);
     EXPECT_FALSE(session.isDone(9999));
+}
+
+TEST(SessionTest, ClaimedTicketsAreEvictedPastRetention)
+{
+    Engine engine;
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+    Session session(engine);
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    const uint64_t first = session.submit(q);
+    ASSERT_TRUE(session.wait(first).ok());
+    EXPECT_TRUE(session.isDone(first));
+
+    // Claim far more than kClaimedRetention tickets: the oldest entry is
+    // evicted and becomes unknown again (bounded memory per session).
+    for (int i = 0; i < 140; ++i)
+        ASSERT_TRUE(session.wait(session.submit(q)).ok()) << i;
+    EXPECT_FALSE(session.isDone(first));
+    EXPECT_THROW(session.wait(first), std::invalid_argument);
+}
+
+TEST(SessionTest, CancelQueuedQueryResolvesCancelledWithoutRunning)
+{
+    EngineOptions options;
+    options.poolThreads = 1;
+    Engine engine(options);
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+    Session session(engine);
+
+    // Park the single pool runner so the query stays queued.
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    engine.pool().submit([opened] { opened.wait(); });
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    const uint64_t ticket = session.submit(q);
+    EXPECT_TRUE(session.cancel(ticket));
+
+    gate.set_value();
+    const QueryResult result = session.wait(ticket);
+    EXPECT_EQ(result.status, QueryStatus::Cancelled);
+    EXPECT_EQ(result.error.kind, RunError::Kind::Cancelled);
+    EXPECT_EQ(engine.stats().cancelled, 1u);
+
+    // Unknown or already-finished tickets are not cancellable.
+    EXPECT_FALSE(session.cancel(ticket));
+    EXPECT_FALSE(session.cancel(9999));
+}
+
+TEST(SessionTest, CancelAllTripsEveryUnfinishedQuery)
+{
+    EngineOptions options;
+    options.poolThreads = 1;
+    Engine engine(options);
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+    Session session(engine);
+
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    engine.pool().submit([opened] { opened.wait(); });
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    std::vector<uint64_t> tickets;
+    for (int i = 0; i < 3; ++i)
+        tickets.push_back(session.submit(q));
+    EXPECT_EQ(session.cancelAll(), 3u);
+
+    gate.set_value();
+    for (const uint64_t ticket : tickets)
+        EXPECT_EQ(session.wait(ticket).status, QueryStatus::Cancelled);
+}
+
+TEST(SessionTest, PerClassAdmissionCapsRejectNamingTheClass)
+{
+    EngineOptions options;
+    options.poolThreads = 1;
+    Engine engine(options);
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+
+    Session::Options session_options;
+    session_options.maxInFlightInteractive = 1;
+    Session session(engine, session_options);
+
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    engine.pool().submit([opened] { opened.wait(); });
+
+    Query interactive;
+    interactive.algorithm = "bfs";
+    interactive.graph = "g";
+    interactive.cls = QueryClass::Interactive;
+
+    const uint64_t admitted = session.submit(interactive);
+    const uint64_t rejected = session.submit(interactive);
+    EXPECT_TRUE(session.isDone(rejected));
+    const QueryResult rejection = session.wait(rejected);
+    EXPECT_EQ(rejection.status, QueryStatus::Rejected);
+    EXPECT_NE(rejection.diagnostic.find("interactive"), std::string::npos)
+        << rejection.diagnostic;
+
+    // The batch class has its own window: still admitted.
+    Query batch = interactive;
+    batch.cls = QueryClass::Batch;
+    const uint64_t batch_ticket = session.submit(batch);
+
+    gate.set_value();
+    EXPECT_TRUE(session.wait(admitted).ok());
+    EXPECT_TRUE(session.wait(batch_ticket).ok());
+}
+
+TEST(SessionTest, QueueDeadlineShedsStaleQueries)
+{
+    EngineOptions options;
+    options.poolThreads = 1;
+    Engine engine(options);
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+
+    Session::Options session_options;
+    session_options.queueDeadlineMs = 5;
+    Session session(engine, session_options);
+
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    engine.pool().submit([opened] { opened.wait(); });
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    const uint64_t ticket = session.submit(q);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gate.set_value();
+
+    const QueryResult result = session.wait(ticket);
+    EXPECT_EQ(result.status, QueryStatus::Shed);
+    EXPECT_NE(result.diagnostic.find("shed"), std::string::npos)
+        << result.diagnostic;
+    EXPECT_EQ(engine.stats().shed, 1u);
+}
+
+TEST(SessionTest, ExpiredEndToEndDeadlineShedsBeforeRunning)
+{
+    EngineOptions options;
+    options.poolThreads = 1;
+    Engine engine(options);
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(4, 4, /*weighted=*/true));
+    Session session(engine);
+
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    engine.pool().submit([opened] { opened.wait(); });
+
+    // The deadline is end-to-end: a query whose budget is consumed by
+    // queueing alone never runs.
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    q.deadlineMs = 5;
+    const uint64_t ticket = session.submit(q);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gate.set_value();
+    EXPECT_EQ(session.wait(ticket).status, QueryStatus::Shed);
+
+    // With queue headroom the same deadline admits and completes.
+    Query roomy = q;
+    roomy.deadlineMs = 60000;
+    EXPECT_TRUE(session.wait(session.submit(roomy)).ok());
 }
 
 TEST(SessionTest, AdmissionRejectsPastTheInFlightWindow)

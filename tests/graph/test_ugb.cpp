@@ -26,6 +26,20 @@ writeFile(const std::string &path, const std::string &content)
     out << content;
 }
 
+/** XOR one byte of @p path at @p offset: header-valid payload corruption. */
+void
+flipByte(const std::string &path, std::streamoff offset)
+{
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    char byte = 0;
+    file.seekg(offset);
+    file.read(&byte, 1);
+    byte ^= 0x40;
+    file.seekp(offset);
+    file.write(&byte, 1);
+}
+
 /** Every CSR column of @p a and @p b must be bit-identical. */
 void
 expectSameCsr(const Graph &a, const Graph &b)
@@ -337,6 +351,55 @@ TEST(UgbCache, DirectUgbPathsLoadWithoutSidecars)
     expectSameCsr(graph, loaded);
 }
 
+TEST(UgbCache, VerifyRebuildsACorruptedSidecarThatAutoWouldServe)
+{
+    const Graph source = gen::rmat(7, 4, 0.57, 0.19, 0.19, false, 11);
+    const std::string path = tempPath("ugb_policy_verify.el");
+    std::filesystem::remove(ugb::sidecarPath(path));
+    writeEdgeListTo(source, path);
+    const Graph direct = loadEdgeListFile(path, /*symmetrize=*/true);
+
+    ugb::CacheReport report;
+    ugb::loadFileCached(path, ugb::CachePolicy::Verify, &report);
+    EXPECT_TRUE(report.built); // Verify subsumes Auto's build-when-missing
+
+    // Payload corruption past the header: the O(1) freshness probe still
+    // passes, so Auto serves the damaged bytes without noticing...
+    flipByte(ugb::sidecarPath(path), 256);
+    ugb::loadFileCached(path, ugb::CachePolicy::Auto, &report);
+    EXPECT_TRUE(report.hit);
+
+    // ...while Verify's checksum walk catches it and rebuilds.
+    const Graph rebuilt =
+        ugb::loadFileCached(path, ugb::CachePolicy::Verify, &report);
+    EXPECT_FALSE(report.hit);
+    EXPECT_TRUE(report.built);
+    expectSameCsr(direct, rebuilt);
+
+    // The rebuilt sidecar passes the next verified load as a hit.
+    ugb::loadFileCached(path, ugb::CachePolicy::Verify, &report);
+    EXPECT_TRUE(report.hit);
+    EXPECT_FALSE(report.built);
+}
+
+TEST(UgbCache, VerifyOnADirectUgbPathIsAHardErrorWhenCorrupt)
+{
+    const Graph graph = gen::rmat(7, 5);
+    const std::string path = tempPath("ugb_verify_direct.ugb");
+    ugb::writeUgbFile(graph, path);
+
+    ugb::CacheReport report;
+    ugb::loadFileCached(path, ugb::CachePolicy::Verify, &report);
+    EXPECT_TRUE(report.hit);
+
+    // There is no source to rebuild a direct .ugb from, so Verify must
+    // refuse rather than quietly serve damaged columns.
+    flipByte(path, 256);
+    EXPECT_NO_THROW(ugb::loadFileCached(path, ugb::CachePolicy::Auto));
+    EXPECT_THROW(ugb::loadFileCached(path, ugb::CachePolicy::Verify),
+                 LoaderError);
+}
+
 // --- the generated-dataset cache ----------------------------------------
 
 class DatasetCacheTest : public ::testing::Test
@@ -426,6 +489,29 @@ TEST_F(DatasetCacheTest, CorruptCacheEntryIsRebuiltTransparently)
 
     const Graph graph = datasets::loadCached(
         "RN", datasets::Scale::Tiny, false, ugb::CachePolicy::Auto,
+        &report);
+    EXPECT_FALSE(report.hit);
+    EXPECT_TRUE(report.built);
+    expectSameCsr(datasets::load("RN", datasets::Scale::Tiny, false),
+                  graph);
+}
+
+TEST_F(DatasetCacheTest, VerifyPolicyRegeneratesACorruptedEntry)
+{
+    ugb::CacheReport report;
+    datasets::loadCached("RN", datasets::Scale::Tiny, false,
+                         ugb::CachePolicy::Auto, &report);
+    ASSERT_TRUE(report.built);
+
+    // Flip a payload byte: the stamp probe still matches, so Auto keeps
+    // serving the entry; Verify's checksum walk regenerates it.
+    flipByte(_dir + "/RN-tiny.ugb", 256);
+    datasets::loadCached("RN", datasets::Scale::Tiny, false,
+                         ugb::CachePolicy::Auto, &report);
+    EXPECT_TRUE(report.hit);
+
+    const Graph graph = datasets::loadCached(
+        "RN", datasets::Scale::Tiny, false, ugb::CachePolicy::Verify,
         &report);
     EXPECT_FALSE(report.hit);
     EXPECT_TRUE(report.built);

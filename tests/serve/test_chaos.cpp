@@ -1,0 +1,95 @@
+/**
+ * Chaos-harness tests (DESIGN.md §13): hundreds of seeded mixed queries —
+ * clean, budget-starved, cancelled, deadline-bound, malformed — under
+ * injected faults and overload, asserting the serving reliability
+ * contract: every request answered exactly once, deterministic
+ * dispositions resolve to their expected status, and clean queries stay
+ * bit-identical to a fault-free twin run of the same seed.
+ */
+#include <gtest/gtest.h>
+
+#include "serve/chaos.h"
+#include "support/faults.h"
+
+namespace ugc::serve {
+namespace {
+
+TEST(ChaosTest, TwoHundredMixedQueriesSatisfyEveryInvariant)
+{
+    ChaosOptions options;
+    options.seed = 1;
+    options.queries = 200;
+    const ChaosReport report = runChaos(options);
+
+    for (const std::string &violation : report.violations)
+        ADD_FAILURE() << violation;
+    EXPECT_TRUE(report.passed());
+
+    // Exactly once: every submitted query produced one result.
+    EXPECT_EQ(report.submitted, 200);
+    EXPECT_EQ(report.answered, report.submitted);
+    EXPECT_TRUE(report.exactlyOnce);
+    EXPECT_TRUE(report.idempotentWaits);
+
+    // The schedule actually mixed dispositions (not a clean-only run).
+    EXPECT_GT(report.cleanTotal, 0);
+    EXPECT_EQ(report.cleanMatched, report.cleanTotal);
+    EXPECT_GT(report.statusCounts.at("cancelled"), 0u);
+    EXPECT_GT(report.statusCounts.at("budget_exceeded"), 0u);
+    EXPECT_GT(report.statusCounts.at("bad_request"), 0u);
+
+    // Overload and fault phases also answered everything.
+    EXPECT_EQ(report.overloadAnswered, report.overloadSubmitted);
+    EXPECT_EQ(report.faultAnswered, report.faultSubmitted);
+    EXPECT_GT(report.faultsFired, 0u);
+
+    // The harness must leave the global fault registry disarmed.
+    EXPECT_FALSE(faults::anyArmed());
+
+    // The JSON line ugcd --chaos emits reflects the verdict.
+    EXPECT_NE(report.toJson().find("\"passed\":true"), std::string::npos)
+        << report.toJson();
+}
+
+TEST(ChaosTest, DeterministicDispositionsRepeatAcrossRunsOfOneSeed)
+{
+    ChaosOptions options;
+    options.seed = 99;
+    options.queries = 120;
+    options.faultPhase = false;
+    options.overloadPhase = false;
+
+    const ChaosReport first = runChaos(options);
+    const ChaosReport second = runChaos(options);
+    EXPECT_TRUE(first.passed());
+    EXPECT_TRUE(second.passed());
+
+    // Timing-independent dispositions must land identically: the same
+    // clean subset and the same deterministic casualty counts. (Late
+    // cancels and short deadlines may legitimately split differently
+    // between Ok/Cancelled/Shed across runs — only exactly-once and the
+    // allowed-status set bind them, already checked by passed().)
+    EXPECT_EQ(first.cleanTotal, second.cleanTotal);
+    const auto count = [](const ChaosReport &r, const char *key) {
+        auto it = r.statusCounts.find(key);
+        return it == r.statusCounts.end() ? uint64_t(0) : it->second;
+    };
+    EXPECT_EQ(count(first, "bad_request"), count(second, "bad_request"));
+    EXPECT_EQ(count(first, "budget_exceeded"),
+              count(second, "budget_exceeded"));
+}
+
+TEST(ChaosTest, DifferentSeedsStillPass)
+{
+    ChaosOptions options;
+    options.seed = 2026;
+    options.queries = 200;
+    const ChaosReport report = runChaos(options);
+    for (const std::string &violation : report.violations)
+        ADD_FAILURE() << violation;
+    EXPECT_TRUE(report.passed());
+    EXPECT_EQ(report.answered, report.submitted);
+}
+
+} // namespace
+} // namespace ugc::serve

@@ -261,5 +261,151 @@ TEST_F(ServerTest, ServeReadsAScriptUntilQuit)
     EXPECT_NE(lines[2].find("\"type\":\"bye\""), std::string::npos);
 }
 
+TEST_F(ServerTest, HealthReportsLivenessCounters)
+{
+    EXPECT_TRUE(server.handleLine("health"));
+    expectOneLine({"\"type\":\"health\"", "\"ok\":true", "\"in_flight\":0",
+                   "\"pending\":0", "\"shed\":0", "\"cancelled\":0",
+                   "\"deadline_exceeded\":0", "\"quarantined\":0",
+                   "\"drain_ms\":"});
+}
+
+TEST_F(ServerTest, RunAcceptsDeadlineAndClassOptions)
+{
+    EXPECT_TRUE(server.handleLine("builtins"));
+    takeLines();
+
+    EXPECT_TRUE(server.handleLine(
+        "run algo=bfs graph=g deadline-ms=60000 class=batch wait=1"));
+    expectOneLine({"\"type\":\"result\"", "\"ok\":true"});
+
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=g class=weird wait=1"));
+    expectOneLine({"\"type\":\"error\"", "unknown class 'weird'"});
+}
+
+TEST_F(ServerTest, CancelRacesCompletionWithoutDuplicatingResults)
+{
+    EXPECT_TRUE(server.handleLine("builtins"));
+    takeLines();
+
+    // Cancelling a request nobody submitted is not an error.
+    EXPECT_TRUE(server.handleLine("cancel 42"));
+    expectOneLine({"\"type\":\"ok\"", "\"cancel\":42",
+                   "\"delivered\":false"});
+
+    EXPECT_TRUE(server.handleLine("run algo=pr graph=g arg3=4"));
+    std::vector<std::string> lines = takeLines();
+    ASSERT_FALSE(lines.empty());
+    ASSERT_NE(lines[0].find("\"type\":\"accepted\""), std::string::npos)
+        << lines[0];
+    const size_t req_at = lines[0].find("\"req\":");
+    ASSERT_NE(req_at, std::string::npos);
+    const std::string req_field =
+        lines[0].substr(req_at, lines[0].find(',', req_at) - req_at);
+
+    // Cancel may beat the query or lose the race — either way the
+    // request resolves to exactly one result line, never two.
+    EXPECT_TRUE(server.handleLine("cancel " +
+                                  req_field.substr(req_field.find(':') + 1)));
+    EXPECT_TRUE(server.handleLine("sync"));
+    for (const std::string &line : takeLines())
+        lines.push_back(line);
+    size_t results = 0;
+    bool status_ok = false;
+    for (const std::string &line : lines)
+        if (line.find("\"type\":\"result\"") != std::string::npos &&
+            line.find(req_field) != std::string::npos) {
+            ++results;
+            status_ok =
+                line.find("\"status\":\"ok\"") != std::string::npos ||
+                line.find("\"status\":\"cancelled\"") != std::string::npos;
+        }
+    EXPECT_EQ(results, 1u);
+    EXPECT_TRUE(status_ok);
+}
+
+TEST_F(ServerTest, EofWithoutQuitDrainsAllPendingQueries)
+{
+    EXPECT_TRUE(server.handleLine("builtins"));
+    takeLines();
+
+    // A client that disconnects without quit must still receive every
+    // accepted query's result before serve() returns — no silent drops.
+    std::istringstream script("run algo=bfs graph=g start=0\n"
+                              "run algo=pr graph=g arg3=3\n");
+    server.serve(script);
+    const std::vector<std::string> lines = takeLines();
+    size_t accepted = 0;
+    size_t results = 0;
+    for (const std::string &line : lines) {
+        if (line.find("\"type\":\"accepted\"") != std::string::npos)
+            ++accepted;
+        if (line.find("\"type\":\"result\"") != std::string::npos)
+            ++results;
+        EXPECT_EQ(line.find("\"type\":\"bye\""), std::string::npos) << line;
+    }
+    EXPECT_EQ(accepted, 2u);
+    EXPECT_EQ(results, 2u);
+}
+
+TEST_F(ServerTest, MalformedLineCorpusNeverCrashesTheServer)
+{
+    EXPECT_TRUE(server.handleLine("builtins"));
+    takeLines();
+
+    const std::vector<std::string> corpus = {
+        "run",
+        "run algo=",
+        "run =g",
+        "run algo=bfs graph=g start=99999999999999999999 wait=1",
+        "run algo=bfs graph=g start=-5 wait=1",
+        "run algo=bfs graph=g deadline-ms=-7 wait=1",
+        "run algo=bfs graph=g max-iters=nope",
+        "run run run",
+        "cancel",
+        "cancel abc",
+        "cancel 1 2 3",
+        "graph =",
+        "graph g2 dataset=",
+        std::string("run algo=bfs graph=g st\0art=0", 28),
+        "\x01\x02\xff\xfe garbage \xc3\x28",
+        std::string(5000, 'x'),
+        "run algo=bfs graph=g start=0 start=1 wait=1",
+    };
+    for (const std::string &line : corpus)
+        EXPECT_TRUE(server.handleLine(line)) << line;
+    takeLines();
+
+    // The server is still fully alive afterwards.
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=g start=0 wait=1"));
+    expectOneLine({"\"type\":\"result\"", "\"ok\":true"});
+}
+
+TEST_F(ServerTest, ShutdownDrainsThenEmitsAShutdownLine)
+{
+    EXPECT_TRUE(server.handleLine("builtins"));
+    takeLines();
+
+    EXPECT_TRUE(server.handleLine("run algo=pr graph=g arg3=4"));
+    EXPECT_TRUE(server.handleLine("run algo=bfs graph=g start=3"));
+    takeLines();
+
+    server.shutdown(/*grace_ms=*/2000);
+    const std::vector<std::string> lines = takeLines();
+    ASSERT_FALSE(lines.empty());
+    size_t results = 0;
+    for (const std::string &line : lines)
+        if (line.find("\"type\":\"result\"") != std::string::npos)
+            ++results;
+    EXPECT_EQ(results, 2u);
+    EXPECT_NE(lines.back().find("\"type\":\"shutdown\""), std::string::npos)
+        << lines.back();
+    EXPECT_NE(lines.back().find("\"drain_ms\":"), std::string::npos);
+
+    // The server admits nothing after shutdown.
+    EXPECT_FALSE(server.handleLine("stats"));
+    EXPECT_TRUE(takeLines().empty());
+}
+
 } // namespace
 } // namespace ugc::serve

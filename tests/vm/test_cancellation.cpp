@@ -1,0 +1,149 @@
+/**
+ * Cooperative cancellation and deadline enforcement (DESIGN.md §13): an
+ * expired deadline or a tripped CancelToken must terminate a query
+ * mid-round — within the engine's documented poll grain
+ * (kCancelPollEdges), not at the next round boundary and certainly not
+ * at query completion — and surface structured round/edge progress.
+ *
+ * The big-graph test runs on the TW stand-in at Scale::Large (~1M
+ * vertices, ~16M edges), where one PageRank iteration alone takes long
+ * enough that end-of-round reaction would be visibly late.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "api/ugc.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "support/cancel.h"
+
+namespace ugc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - begin)
+        .count();
+}
+
+TEST(CancellationLatency, DeadlineAndCancelTerminateMidRoundOnLargeGraph)
+{
+    Engine engine;
+    engine.registerBuiltins();
+    engine.addGraph("tw",
+                    datasets::load("TW", datasets::Scale::Large, false));
+
+    // Calibrate: init plus two full PageRank rounds. Everything below
+    // scales with this, so the test holds under sanitizers too.
+    Query calibrate;
+    calibrate.algorithm = "pr";
+    calibrate.graph = "tw";
+    calibrate.arg3 = 2;
+    Clock::time_point begin = Clock::now();
+    ASSERT_TRUE(engine.run(calibrate).ok());
+    const double two_rounds_ms = msSince(begin);
+
+    // A deadline worth ~2 of 40 rounds lands mid-traversal; the run must
+    // stop within the poll grain, reporting how far it got.
+    Query q = calibrate;
+    q.arg3 = 40;
+    q.deadlineMs = std::max<int64_t>(
+        50, static_cast<int64_t>(two_rounds_ms));
+    begin = Clock::now();
+    const QueryResult late = engine.run(q);
+    const double deadline_elapsed = msSince(begin);
+
+    EXPECT_EQ(late.status, QueryStatus::DeadlineExceeded);
+    EXPECT_EQ(late.error.kind, RunError::Kind::WallTimeout);
+    EXPECT_NE(late.diagnostic.find("request deadline"), std::string::npos)
+        << late.diagnostic;
+    // Progress is structured: by the deadline at least two merged rounds
+    // of traversal happened.
+    EXPECT_GE(late.error.round, 1);
+    EXPECT_GT(late.error.edges, 0);
+    // Bounded reaction: the query died near its deadline, nowhere near
+    // the ~20x longer full run.
+    EXPECT_LT(deadline_elapsed,
+              static_cast<double>(q.deadlineMs) + two_rounds_ms + 1500.0);
+    EXPECT_EQ(engine.stats().deadlineExceeded, 1u);
+
+    // Explicit cross-thread cancellation, no deadline: same bounded
+    // mid-round reaction through the same token.
+    Query cancellable = calibrate;
+    cancellable.arg3 = 40;
+    cancellable.cancel = std::make_shared<CancelToken>();
+    std::thread canceller([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<int64_t>(two_rounds_ms / 2) + 1));
+        cancellable.cancel->cancel();
+    });
+    begin = Clock::now();
+    const QueryResult cancelled = engine.run(cancellable);
+    const double cancel_elapsed = msSince(begin);
+    canceller.join();
+
+    EXPECT_EQ(cancelled.status, QueryStatus::Cancelled);
+    EXPECT_EQ(cancelled.error.kind, RunError::Kind::Cancelled);
+    EXPECT_NE(cancelled.diagnostic.find("cancelled"), std::string::npos)
+        << cancelled.diagnostic;
+    EXPECT_LT(cancel_elapsed, two_rounds_ms + 1500.0);
+    EXPECT_EQ(engine.stats().cancelled, 1u);
+}
+
+TEST(CancellationLatency, PreTrippedTokensResolveWithoutTraversing)
+{
+    Engine engine;
+    engine.registerBuiltins();
+    engine.addGraph("g", gen::roadGrid(16, 16, /*weighted=*/true));
+
+    Query q;
+    q.algorithm = "bfs";
+    q.graph = "g";
+    q.cancel = std::make_shared<CancelToken>();
+    q.cancel->cancel();
+    const QueryResult cancelled = engine.run(q);
+    EXPECT_EQ(cancelled.status, QueryStatus::Cancelled);
+    EXPECT_EQ(cancelled.error.kind, RunError::Kind::Cancelled);
+
+    // An already-expired deadline trips at the first poll and maps to
+    // DeadlineExceeded (never the recoverable wall-timeout degrade path).
+    Query expired;
+    expired.algorithm = "bfs";
+    expired.graph = "g";
+    expired.cancel = std::make_shared<CancelToken>();
+    expired.cancel->armDeadlineIn(0);
+    const QueryResult dead = engine.run(expired);
+    EXPECT_EQ(dead.status, QueryStatus::DeadlineExceeded);
+    EXPECT_EQ(dead.error.kind, RunError::Kind::WallTimeout);
+    EXPECT_FALSE(dead.degraded);
+}
+
+TEST(CancellationLatency, PlainWallTimeoutStillDegradesWithoutToken)
+{
+    // Pre-existing contract: limits.wallTimeoutMs without a deadline or
+    // token keeps the historical recoverable path (BudgetExceeded after
+    // a failed rescue), not DeadlineExceeded.
+    Engine engine;
+    engine.registerBuiltins();
+    engine.addGraph("tw",
+                    datasets::load("TW", datasets::Scale::Medium, false));
+
+    Query q;
+    q.algorithm = "pr";
+    q.graph = "tw";
+    q.arg3 = 50;
+    q.limits.wallTimeoutMs = 1;
+    q.allowDegraded = false;
+    const QueryResult result = engine.run(q);
+    EXPECT_EQ(result.status, QueryStatus::BudgetExceeded);
+    EXPECT_EQ(result.error.kind, RunError::Kind::WallTimeout);
+}
+
+} // namespace
+} // namespace ugc

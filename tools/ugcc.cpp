@@ -16,7 +16,8 @@
  *   --graph-cache <p>   dataset .ugb cache policy for --run: auto (reuse
  *                       or build a cached binary CSR under
  *                       $UGC_GRAPH_CACHE_DIR and mmap it), off
- *                       (default: generate in memory), rebuild
+ *                       (default: generate in memory), rebuild, verify
+ *                       (auto + full checksum walk of every cache hit)
  *   --start <v>         start vertex for --run (default 0)
  *   --arg3 <n>          argv[3] binding (PR iterations / SSSP delta)
  *   --threads <n>       host threads for CPU execution (default 1)
@@ -114,7 +115,7 @@ usage()
         "usage: ugcc <algorithm.gt> [--target cpu|gpu|swarm|hb]\n"
         "            [--emit-ir] [--run <dataset>] [--tune]\n"
         "            [--scale tiny|small|medium|large]\n"
-        "            [--graph-cache auto|off|rebuild]\n"
+        "            [--graph-cache auto|off|rebuild|verify]\n"
         "            [--start <v>] [--arg3 <n>] [--threads <n>]\n"
         "            [--udf-tier interp|compiled|auto]\n"
         "            [--profile <file>] [--trace <file>]\n"
@@ -229,7 +230,7 @@ main(int argc, char *argv[])
             if (!ugb::parseCachePolicy(next(), cache_policy)) {
                 std::fprintf(stderr,
                              "ugcc: bad --graph-cache (expected auto, "
-                             "off, or rebuild)\n");
+                             "off, rebuild, or verify)\n");
                 return kExitParse;
             }
         }

@@ -31,21 +31,35 @@
  *                    near-instant), off (always generate), rebuild
  *   --builtins       preload the built-in algorithms (pr bfs sssp cc bc)
  *   --max-in-flight <n>  admission window; excess queries are rejected
+ *   --max-interactive/--max-batch <n>  per-class admission caps
+ *   --queue-deadline-ms <n>  shed queries that queued longer than this
  *   --max-iters/--timeout-ms/--cycle-budget <n>
  *                    session-wide default budgets for every query
+ *   --grace-ms <n>   graceful-shutdown grace period: on SIGTERM/SIGINT
+ *                    the daemon stops admitting, keeps flushing results,
+ *                    cooperatively cancels whatever still runs after the
+ *                    grace, emits a final `shutdown` line, and exits 0
+ *   --chaos          run the seeded chaos harness instead of serving;
+ *                    prints the ChaosReport JSON and exits 0 on pass
+ *   --chaos-seed/--chaos-queries <n>  chaos harness knobs
  *   --bench [file]   run the serving-throughput benchmark instead of
  *                    serving (queries/sec at 1/8/64 in-flight, mixed
  *                    bfs/sssp/pr); writes BENCH_ugcd.json-style output
  *                    to <file> (default stdout) and exits
  *   --bench-queries <n>, --bench-dataset <code>  benchmark knobs
  */
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include <unistd.h>
+
 #include "serve/bench.h"
+#include "serve/chaos.h"
 #include "serve/server.h"
 
 using namespace ugc;
@@ -58,15 +72,80 @@ usage()
     std::fprintf(
         stderr,
         "usage: ugcd [--threads <n>] [--scale tiny|small|medium|large]\n"
-        "            [--graph-cache auto|off|rebuild]\n"
+        "            [--graph-cache auto|off|rebuild|verify]\n"
         "            [--builtins] [--max-in-flight <n>]\n"
+        "            [--max-interactive <n>] [--max-batch <n>]\n"
+        "            [--queue-deadline-ms <n>] [--grace-ms <n>]\n"
         "            [--max-iters <n>] [--timeout-ms <n>]\n"
         "            [--cycle-budget <n>]\n"
+        "            [--chaos] [--chaos-seed <n>] [--chaos-queries <n>]\n"
         "            [--bench [file]] [--bench-queries <n>]\n"
         "            [--bench-dataset <code>]\n"
         "reads request lines from stdin, writes JSONL responses to "
         "stdout\n");
     return 2;
+}
+
+/** Last termination signal received (SIGTERM/SIGINT), 0 while serving. */
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int signo)
+{
+    g_signal = signo;
+}
+
+/** Install @p handler without SA_RESTART so a blocking read(2) on stdin
+ *  returns EINTR and the main loop can react to the signal promptly. */
+void
+installSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+}
+
+/**
+ * Daemon main loop: a POSIX read(2) line loop instead of std::getline so
+ * termination signals interrupt the blocking read mid-burst. Returns true
+ * when the input ended normally (EOF or quit), false when a signal asked
+ * for shutdown.
+ */
+bool
+serveStdin(serve::Server &server)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        if (g_signal)
+            return false;
+        const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue; // the loop top checks g_signal
+            return true;  // unreadable stdin: treat as EOF
+        }
+        if (n == 0) {
+            if (!buffer.empty())
+                server.handleLine(buffer); // unterminated final line
+            return true; // EOF: the caller drains pending queries
+        }
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t start = 0;
+        for (size_t nl; (nl = buffer.find('\n', start)) !=
+                        std::string::npos;
+             start = nl + 1) {
+            if (!server.handleLine(buffer.substr(start, nl - start)))
+                return true; // quit
+            if (g_signal)
+                return false;
+        }
+        buffer.erase(0, start);
+    }
 }
 
 } // namespace
@@ -79,8 +158,11 @@ main(int argc, char **argv)
     // .ugb dataset cache by default. Library Engines default to off.
     options.engine.graphCachePolicy = ugb::CachePolicy::Auto;
     serve::ThroughputOptions bench_options;
+    serve::ChaosOptions chaos_options;
     bool preload_builtins = false;
     bool run_bench = false;
+    bool run_chaos = false;
+    long long grace_ms = 2000;
     std::string bench_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -113,6 +195,25 @@ main(int argc, char **argv)
         } else if (arg == "--max-in-flight") {
             options.session.maxInFlight =
                 static_cast<size_t>(intValue("--max-in-flight"));
+        } else if (arg == "--max-interactive") {
+            options.session.maxInFlightInteractive =
+                static_cast<size_t>(intValue("--max-interactive"));
+        } else if (arg == "--max-batch") {
+            options.session.maxInFlightBatch =
+                static_cast<size_t>(intValue("--max-batch"));
+        } else if (arg == "--queue-deadline-ms") {
+            options.session.queueDeadlineMs =
+                intValue("--queue-deadline-ms");
+        } else if (arg == "--grace-ms") {
+            grace_ms = intValue("--grace-ms");
+        } else if (arg == "--chaos") {
+            run_chaos = true;
+        } else if (arg == "--chaos-seed") {
+            chaos_options.seed =
+                static_cast<uint64_t>(intValue("--chaos-seed"));
+        } else if (arg == "--chaos-queries") {
+            chaos_options.queries =
+                static_cast<int>(intValue("--chaos-queries"));
         } else if (arg == "--max-iters") {
             options.session.limits.maxIterations = intValue("--max-iters");
         } else if (arg == "--timeout-ms") {
@@ -139,6 +240,16 @@ main(int argc, char **argv)
         options.session.limits.oscillationWindow == 0)
         options.session.limits.oscillationWindow = kDefaultOscillationWindow;
 
+    if (run_chaos) {
+        chaos_options.poolThreads = options.engine.poolThreads;
+        const serve::ChaosReport report = serve::runChaos(chaos_options);
+        std::fputs((report.toJson() + "\n").c_str(), stdout);
+        for (const std::string &violation : report.violations)
+            std::fprintf(stderr, "ugcd: chaos violation: %s\n",
+                         violation.c_str());
+        return report.passed() ? 0 : 1;
+    }
+
     if (run_bench) {
         const serve::ThroughputReport report =
             serve::runThroughputBench(bench_options);
@@ -163,9 +274,15 @@ main(int argc, char **argv)
         return 0;
     }
 
+    installSignalHandlers();
     serve::Server server(std::move(options), std::cout);
     if (preload_builtins)
         server.engine().registerBuiltins();
-    server.serve(std::cin);
+    if (serveStdin(server)) {
+        server.drain(); // EOF or quit: every accepted query still answers
+    } else {
+        server.shutdown(grace_ms);
+        std::cout.flush();
+    }
     return 0;
 }
